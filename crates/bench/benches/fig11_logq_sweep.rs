@@ -1,0 +1,37 @@
+//! Criterion wrapper around the Figure 11 LogQ sweep: simulator runtime
+//! per LogQ size (the simulated speedups are produced by `reproduce
+//! fig11`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proteus_sim::runner::{run_workload, ExperimentSpec};
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
+
+fn bench_logq_sizes(c: &mut Criterion) {
+    let bench = Benchmark::StringSwap;
+    let params = WorkloadParams { threads: 2, init_ops: 100, sim_ops: 30, seed: 3 };
+    let workload = generate(bench, &params);
+    let mut group = c.benchmark_group("fig11_ss_tiny");
+    group.sample_size(10);
+    for logq in [1usize, 8, 64] {
+        let config = SystemConfig::skylake_like()
+            .with_num_cores(2)
+            .with_cache_divisor(64)
+            .with_logq_entries(logq);
+        group.bench_with_input(BenchmarkId::from_parameter(logq), &config, |b, config| {
+            b.iter(|| {
+                let spec = ExperimentSpec {
+                    config: config.clone(),
+                    scheme: LoggingSchemeKind::Proteus,
+                    bench,
+                    params: params.clone(),
+                };
+                run_workload(&spec, &workload).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logq_sizes);
+criterion_main!(benches);

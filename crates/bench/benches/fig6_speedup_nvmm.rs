@@ -1,0 +1,45 @@
+//! Criterion wrapper around the Figure 6 experiment (speedup on NVMM):
+//! measures simulator throughput per scheme on a reduced workload so
+//! regressions in the model's host performance are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proteus_sim::runner::{run_workload, ExperimentSpec};
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
+
+fn bench_schemes(c: &mut Criterion) {
+    let bench = Benchmark::HashMap;
+    let params = WorkloadParams { threads: 2, init_ops: 200, sim_ops: 40, seed: 1 };
+    let workload = generate(bench, &params);
+    let config = SystemConfig::skylake_like()
+        .with_num_cores(2)
+        .with_cache_divisor(64);
+    let mut group = c.benchmark_group("fig6_hm_tiny");
+    group.sample_size(10);
+    for scheme in [
+        LoggingSchemeKind::SwPmem,
+        LoggingSchemeKind::Atom,
+        LoggingSchemeKind::Proteus,
+        LoggingSchemeKind::NoLog,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let spec = ExperimentSpec {
+                        config: config.clone(),
+                        scheme,
+                        bench,
+                        params: params.clone(),
+                    };
+                    run_workload(&spec, &workload).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

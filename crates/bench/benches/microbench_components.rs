@@ -1,0 +1,85 @@
+//! Component microbenchmarks: host-side throughput of the simulator's
+//! hot structures (LLT, log areas, the word image, recovery scanning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proteus_core::entry::LogEntry;
+use proteus_core::layout::AddressLayout;
+use proteus_core::logarea::LogArea;
+use proteus_core::pmem::WordImage;
+use proteus_core::recovery::scan_log_area;
+use proteus_types::{Addr, ThreadId, TxId};
+
+fn bench_word_image(c: &mut Criterion) {
+    c.bench_function("word_image_write_read", |b| {
+        let mut img = WordImage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Addr::new((i % 65_536) * 8);
+            img.write_word(addr, i);
+            i += 1;
+            img.read_word(addr)
+        })
+    });
+    c.bench_function("word_image_line_roundtrip", |b| {
+        let mut img = WordImage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let line = Addr::new((i % 4096) * 64).line();
+            img.write_line(line, &[i; 8]);
+            i += 1;
+            img.read_line(line)
+        })
+    });
+}
+
+fn bench_log_entry_codec(c: &mut Criterion) {
+    let entry = LogEntry::new([1, 2, 3, 4], Addr::new(0x1000_0020), TxId::new(7), 99);
+    c.bench_function("log_entry_encode_decode", |b| {
+        b.iter(|| {
+            let words = entry.encode_words();
+            LogEntry::decode_words(&words)
+        })
+    });
+}
+
+fn bench_log_area_alloc(c: &mut Criterion) {
+    let layout = AddressLayout::default();
+    c.bench_function("log_area_alloc_cycle", |b| {
+        let mut area = LogArea::new(ThreadId::new(0), &layout);
+        let mut tx = TxId::new(1);
+        b.iter(|| {
+            area.begin_tx(tx).unwrap();
+            for _ in 0..8 {
+                area.alloc().unwrap();
+            }
+            area.end_tx().unwrap();
+            tx = tx.next();
+        })
+    });
+}
+
+fn bench_recovery_scan(c: &mut Criterion) {
+    let layout = AddressLayout::default();
+    let mut img = WordImage::new();
+    for slot in 0..512 {
+        LogEntry::new(
+            [slot as u64; 4],
+            Addr::new(0x1000_0000 + slot as u64 * 32),
+            TxId::new(3),
+            slot as u64,
+        )
+        .write_to(&mut img, layout.log_slot(ThreadId::new(0), slot));
+    }
+    c.bench_function("recovery_scan_512_entries", |b| {
+        b.iter(|| scan_log_area(&img, &layout, ThreadId::new(0)).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_word_image,
+    bench_log_entry_codec,
+    bench_log_area_alloc,
+    bench_recovery_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Inspect a crashed machine's log areas: run a workload under a chosen
+//! scheme, pull the plug at a chosen fraction of the run, and dump every
+//! valid log entry plus the recovery decision per thread.
+//!
+//! ```text
+//! logdump [scheme] [crash-percent]
+//!   scheme: sw | atom | proteus | nolwr   (default proteus)
+//!   crash-percent: 1..99                  (default 50)
+//! ```
+
+use proteus_core::recovery::scan_log_area;
+use proteus_sim::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let scheme = match std::env::args().nth(1).as_deref() {
+        None | Some("proteus") => LoggingSchemeKind::Proteus,
+        Some("sw") => LoggingSchemeKind::SwPmem,
+        Some("atom") => LoggingSchemeKind::Atom,
+        Some("nolwr") => LoggingSchemeKind::ProteusNoLwr,
+        Some(other) => {
+            eprintln!("unknown scheme {other} (sw|atom|proteus|nolwr)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pct: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .filter(|p| (1..100).contains(p))
+        .unwrap_or(50);
+
+    let params = WorkloadParams { threads: 2, init_ops: 200, sim_ops: 30, seed: 99 };
+    let workload = generate(Benchmark::RbTree, &params);
+    let config = SystemConfig::skylake_like().with_num_cores(2);
+
+    let total = {
+        let mut m = System::new(&config, scheme, &workload).expect("build");
+        m.run().expect("run").total_cycles
+    };
+    let crash_at = total * pct / 100;
+    let mut machine = System::new(&config, scheme, &workload).expect("build");
+    machine.run_until(crash_at);
+    println!(
+        "=== {} crashed at cycle {} of {} ({pct}%) ===",
+        scheme.label(),
+        machine.now(),
+        total
+    );
+
+    let image = machine.crash_image();
+    for program in &workload.programs {
+        let thread = program.thread;
+        let entries = scan_log_area(&image, machine.layout(), thread);
+        println!("\n{thread}: {} valid log entries in NVMM/ADR domain", entries.len());
+        let max_tx = entries.iter().map(|(_, e)| e.tx).max();
+        for (slot, e) in entries.iter().take(40) {
+            let live = Some(e.tx) == max_tx;
+            println!(
+                "  slot {slot}  {}  seq {:>6}  from {}  data[0]={:#x}{}{}",
+                e.tx,
+                e.seq,
+                e.log_from,
+                e.data[0],
+                if e.commit_marker { "  [commit-marker]" } else { "" },
+                if live { "  <- live" } else { "" },
+            );
+        }
+        if entries.len() > 40 {
+            println!("  ... {} more", entries.len() - 40);
+        }
+        let flag = image.read_word(machine.layout().log_flag(thread));
+        println!("  logFlag = {flag}");
+    }
+
+    let (_, report) = machine.crash_and_recover().expect("recovery");
+    println!("\n=== recovery decisions ===");
+    for (thread, outcome) in &report.outcomes {
+        println!("  {thread}: {outcome:?}");
+    }
+    ExitCode::SUCCESS
+}

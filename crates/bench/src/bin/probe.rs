@@ -1,0 +1,46 @@
+//! Ad-hoc cycle-breakdown probe used while calibrating the model.
+
+use proteus_sim::runner::sweep_schemes;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{Benchmark, WorkloadParams};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let bench = match std::env::args().nth(2).as_deref() {
+        Some("qe") => Benchmark::Queue,
+        Some("hm") => Benchmark::HashMap,
+        Some("ss") => Benchmark::StringSwap,
+        Some("bt") => Benchmark::BTree,
+        Some("rt") => Benchmark::RbTree,
+        _ => Benchmark::AvlTree,
+    };
+    let params = WorkloadParams::table2(bench, 4, scale);
+    let divisor = ((1.0 / scale) as u64).max(1).next_power_of_two().min(64);
+    let cfg = SystemConfig::skylake_like().with_cache_divisor(divisor);
+    let sweep = sweep_schemes(
+        &cfg,
+        bench,
+        &params,
+        &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog],
+    )
+    .unwrap();
+    for (label, s) in &sweep.results {
+        let m = s.cores_merged();
+        println!(
+            "{label:>12}: cycles={} uops={} ipc={:.2} stalls={} nvmm_r={} nvmm_w={} l3hit%={:?}",
+            s.total_cycles,
+            m.uops_retired,
+            m.uops_retired as f64 / s.total_cycles as f64,
+            m.total_stall_cycles(),
+            s.mem.nvmm_reads,
+            s.mem.total_nvmm_writes(),
+            s.l3.hit_rate_pct().map(|p| p.round()),
+        );
+        use proteus_types::stats::StallCause;
+        let parts: Vec<String> = StallCause::ALL
+            .iter()
+            .map(|c| format!("{c}={}", m.stall(*c)))
+            .collect();
+        println!("              {}", parts.join(" "));
+    }
+}

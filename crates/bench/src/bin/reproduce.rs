@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|all>
+//!           [--scale S] [--threads N]
+//! ```
+//!
+//! `--scale` scales the Table 2 op counts (default 0.1); `--threads`
+//! sets the core/thread count (default 4). Shapes are stable across
+//! scales; absolute speedups move slightly.
+
+use proteus_bench::experiments::{
+    ablation_llt, ablation_threads, ablation_wpq, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
+    table1, table2, table3, table4, ExperimentScale,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|all> \
+         [--scale S] [--threads N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first().cloned() else {
+        return usage();
+    };
+    let mut scale = ExperimentScale::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale.scale = args[i + 1].parse().unwrap_or(scale.scale);
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                scale.threads = args[i + 1].parse().unwrap_or(scale.threads);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let experiments: Vec<(&str, fn(&ExperimentScale) -> Result<String, proteus_types::SimError>)> = vec![
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("table1", table1),
+        ("table2", table2),
+        ("table3", table3),
+        ("table4", table4),
+        ("ablation-llt", ablation_llt),
+        ("ablation-threads", ablation_threads),
+        ("ablation-wpq", ablation_wpq),
+    ];
+
+    let selected: Vec<_> = if target == "all" {
+        experiments
+    } else {
+        experiments.into_iter().filter(|(name, _)| *name == target).collect()
+    };
+    if selected.is_empty() {
+        return usage();
+    }
+    for (name, run) in selected {
+        let start = std::time::Instant::now();
+        match run(&scale) {
+            Ok(report) => {
+                println!("{report}");
+                eprintln!("[{name} done in {:.1?}]", start.elapsed());
+            }
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

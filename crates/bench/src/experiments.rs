@@ -1,0 +1,503 @@
+//! One entry point per paper figure/table.
+//!
+//! All speedups are relative to the software-logging PMEM baseline, all
+//! write counts relative to the no-logging ideal, exactly as in the
+//! paper. Workload sizes are Table 2 scaled by
+//! [`ExperimentScale::scale`]; the result *shapes* (orderings,
+//! crossovers, approximate ratios) are stable across scales.
+
+use proteus_sim::report::{f2, pct1, Table};
+use proteus_sim::runner::{sweep_schemes, SchemeSweep};
+use proteus_types::config::{LoggingSchemeKind, MemTech, SystemConfig};
+use proteus_types::stats::geometric_mean;
+use proteus_types::SimError;
+use proteus_workloads::{Benchmark, WorkloadParams};
+
+/// Scale/threads knobs shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Fraction of the paper's Table 2 op counts (1.0 = full size).
+    pub scale: f64,
+    /// Threads = cores.
+    pub threads: usize,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale { scale: 0.1, threads: 4 }
+    }
+}
+
+impl ExperimentScale {
+    fn params(&self, bench: Benchmark) -> WorkloadParams {
+        WorkloadParams::table2(bench, self.threads, self.scale)
+    }
+
+    /// Table 1 configuration with the L2/L3 scaled down by the workload
+    /// scale factor (power-of-two divisor), keeping the working-set /
+    /// cache ratio — and thus the paper's DRAM-bound behaviour — intact.
+    fn config(&self) -> SystemConfig {
+        let divisor = if self.scale >= 1.0 {
+            1
+        } else {
+            ((1.0 / self.scale) as u64).next_power_of_two().min(64)
+        };
+        SystemConfig::skylake_like()
+            .with_num_cores(self.threads)
+            .with_cache_divisor(divisor)
+    }
+}
+
+/// The figure-6/9/10 scheme set, in presentation order.
+const FIG6_SCHEMES: [LoggingSchemeKind; 5] = [
+    LoggingSchemeKind::SwPmemPcommit,
+    LoggingSchemeKind::Atom,
+    LoggingSchemeKind::ProteusNoLwr,
+    LoggingSchemeKind::Proteus,
+    LoggingSchemeKind::NoLog,
+];
+
+fn sweep_all_benchmarks(
+    scale: &ExperimentScale,
+    tech: MemTech,
+) -> Result<Vec<SchemeSweep>, SimError> {
+    Benchmark::TABLE2
+        .iter()
+        .map(|bench| {
+            sweep_schemes(
+                &scale.config().with_mem_tech(tech),
+                *bench,
+                &scale.params(*bench),
+                &LoggingSchemeKind::ALL,
+            )
+        })
+        .collect()
+}
+
+fn speedup_table(sweeps: &[SchemeSweep], title: &str) -> String {
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(FIG6_SCHEMES.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(headers);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); FIG6_SCHEMES.len()];
+    for sweep in sweeps {
+        let mut row = vec![sweep.bench.clone()];
+        for (i, scheme) in FIG6_SCHEMES.iter().enumerate() {
+            let v = sweep.speedup(*scheme);
+            columns[i].push(v);
+            row.push(f2(v));
+        }
+        table.row(row);
+    }
+    let mut gm_row = vec!["geomean".to_string()];
+    gm_row.extend(columns.iter().map(|c| f2(geometric_mean(c))));
+    table.row(gm_row);
+    format!("{title}\n{}", table.render())
+}
+
+/// Figure 6: speedup on NVMM over the PMEM software-logging baseline.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig6(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmFast)?;
+    Ok(speedup_table(
+        &sweeps,
+        "Figure 6: speedup on NVMM (baseline: PMEM software logging)",
+    ))
+}
+
+/// Figure 7: front-end stall cycles normalised to PMEM+nolog.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig7(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmFast)?;
+    let schemes = [LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog];
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(schemes.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(headers);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for sweep in &sweeps {
+        let mut row = vec![sweep.bench.clone()];
+        for (i, scheme) in schemes.iter().enumerate() {
+            let v = sweep.stalls_normalized(*scheme);
+            columns[i].push(v);
+            row.push(f2(v));
+        }
+        table.row(row);
+    }
+    let mut gm = vec!["geomean".to_string()];
+    gm.extend(columns.iter().map(|c| f2(geometric_mean(c))));
+    table.row(gm);
+    Ok(format!(
+        "Figure 7: front-end stall cycles, normalised to PMEM+nolog\n{}",
+        table.render()
+    ))
+}
+
+/// Figure 8: NVMM writes normalised to PMEM+nolog.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig8(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmFast)?;
+    let schemes = [
+        LoggingSchemeKind::SwPmem,
+        LoggingSchemeKind::Atom,
+        LoggingSchemeKind::ProteusNoLwr,
+        LoggingSchemeKind::Proteus,
+    ];
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(schemes.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(headers);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for sweep in &sweeps {
+        let mut row = vec![sweep.bench.clone()];
+        for (i, scheme) in schemes.iter().enumerate() {
+            let v = sweep.nvmm_writes_normalized(*scheme);
+            columns[i].push(v);
+            row.push(f2(v));
+        }
+        table.row(row);
+    }
+    let mut mean = vec!["mean".to_string()];
+    mean.extend(columns.iter().map(|c| f2(c.iter().sum::<f64>() / c.len() as f64)));
+    table.row(mean);
+    Ok(format!(
+        "Figure 8: NVMM writes, normalised to PMEM+nolog\n{}",
+        table.render()
+    ))
+}
+
+/// Figure 9: speedup on slow NVM (300 ns writes).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig9(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmSlow)?;
+    Ok(speedup_table(
+        &sweeps,
+        "Figure 9: speedup on slow NVMM, 300 ns writes (baseline: PMEM)",
+    ))
+}
+
+/// Figure 10: speedup on DRAM (battery-backed NVDIMM study).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig10(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(scale, MemTech::Dram)?;
+    Ok(speedup_table(
+        &sweeps,
+        "Figure 10: speedup on DRAM (baseline: PMEM)",
+    ))
+}
+
+/// Figure 11: Proteus speedup with varying LogQ sizes.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig11(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("LogQ={s}")));
+    let mut table = Table::new(headers);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for bench in Benchmark::TABLE2 {
+        let params = scale.params(bench);
+        let mut row = vec![bench.abbrev().to_string()];
+        for (i, size) in sizes.iter().enumerate() {
+            let sweep = sweep_schemes(
+                &scale.config().with_logq_entries(*size),
+                bench,
+                &params,
+                &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+            )?;
+            let v = sweep.speedup(LoggingSchemeKind::Proteus);
+            columns[i].push(v);
+            row.push(f2(v));
+        }
+        table.row(row);
+    }
+    let mut gm = vec!["geomean".to_string()];
+    gm.extend(columns.iter().map(|c| f2(geometric_mean(c))));
+    table.row(gm);
+    Ok(format!(
+        "Figure 11: Proteus speedup vs LogQ size (baseline: PMEM)\n{}",
+        table.render()
+    ))
+}
+
+/// Figure 12: Proteus speedup with varying LPQ sizes (LogQ = 16).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig12(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sizes = [16usize, 32, 64, 128, 256, 512];
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("LPQ={s}")));
+    let mut table = Table::new(headers);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for bench in Benchmark::TABLE2 {
+        let params = scale.params(bench);
+        let mut row = vec![bench.abbrev().to_string()];
+        for (i, size) in sizes.iter().enumerate() {
+            let sweep = sweep_schemes(
+                &scale.config().with_logq_entries(16).with_lpq_entries(*size),
+                bench,
+                &params,
+                &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+            )?;
+            let v = sweep.speedup(LoggingSchemeKind::Proteus);
+            columns[i].push(v);
+            row.push(f2(v));
+        }
+        table.row(row);
+    }
+    let mut gm = vec!["geomean".to_string()];
+    gm.extend(columns.iter().map(|c| f2(geometric_mean(c))));
+    table.row(gm);
+    Ok(format!(
+        "Figure 12: Proteus speedup vs LPQ size, LogQ=16 (baseline: PMEM)\n{}",
+        table.render()
+    ))
+}
+
+/// Table 3: large transactions (linked-list microbenchmark).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table3(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sizes = [1024u64, 2048, 4096, 8192];
+    let mut headers = vec!["scheme".to_string()];
+    headers.extend(sizes.iter().map(|s| s.to_string()));
+    let mut table = Table::new(headers);
+    let mut proteus_row = vec!["Proteus".to_string()];
+    let mut ideal_row = vec!["PMEM+nolog(ideal)".to_string()];
+    for elements in sizes {
+        let bench = Benchmark::LargeTx { elements };
+        let params = WorkloadParams {
+            threads: scale.threads,
+            init_ops: 0,
+            sim_ops: ((200.0 * scale.scale * 5.0) as usize).max(8),
+            seed: 0x7AB1E3,
+        };
+        let sweep = sweep_schemes(
+            &scale.config(),
+            bench,
+            &params,
+            &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog],
+        )?;
+        proteus_row.push(f2(sweep.speedup(LoggingSchemeKind::Proteus)));
+        ideal_row.push(f2(sweep.speedup(LoggingSchemeKind::NoLog)));
+    }
+    table.row(proteus_row);
+    table.row(ideal_row);
+    Ok(format!(
+        "Table 3: speedups for large transactions (elements per node)\n{}",
+        table.render()
+    ))
+}
+
+/// Table 4: LLT miss rates per benchmark under Proteus.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn table4(scale: &ExperimentScale) -> Result<String, SimError> {
+    let mut table = Table::new(["bench", "LLT miss rate (%)"]);
+    for bench in Benchmark::TABLE2 {
+        let sweep = sweep_schemes(
+            &scale.config(),
+            bench,
+            &scale.params(bench),
+            &[LoggingSchemeKind::Proteus],
+        )?;
+        let merged = sweep.summary_of(LoggingSchemeKind::Proteus).cores_merged();
+        let rate = merged.llt_miss_rate_pct().unwrap_or(0.0);
+        table.row([bench.abbrev().to_string(), pct1(rate)]);
+    }
+    Ok(format!("Table 4: LLT miss rate (64 entries, 8-way)\n{}", table.render()))
+}
+
+/// Table 1: the baseline system configuration actually instantiated for
+/// these runs (after cache downscaling).
+///
+/// # Errors
+///
+/// Never fails; the `Result` keeps the command table uniform.
+pub fn table1(scale: &ExperimentScale) -> Result<String, SimError> {
+    let cfg = scale.config();
+    let mut t = Table::new(["parameter", "value"]);
+    t.row(["cores".to_string(), format!("{} @ {} MHz, {}-wide OOO", cfg.num_cores, cfg.cores.freq_mhz, cfg.cores.width)]);
+    t.row(["ROB / fetchQ / issueQ".to_string(), format!("{} / {} / {}", cfg.cores.rob_entries, cfg.cores.fetchq_entries, cfg.cores.issueq_entries)]);
+    t.row(["loadQ / storeQ".to_string(), format!("{} / {}", cfg.cores.loadq_entries, cfg.cores.storeq_entries)]);
+    t.row(["L1D".to_string(), format!("{} KiB, {}-way, {} cycles", cfg.caches.l1d.size_bytes / 1024, cfg.caches.l1d.ways, cfg.caches.l1d.latency)]);
+    t.row(["L2".to_string(), format!("{} KiB, {}-way, {} cycles", cfg.caches.l2.size_bytes / 1024, cfg.caches.l2.ways, cfg.caches.l2.latency)]);
+    t.row(["L3 (shared)".to_string(), format!("{} KiB, {}-way, {} cycles", cfg.caches.l3.size_bytes / 1024, cfg.caches.l3.ways, cfg.caches.l3.latency)]);
+    t.row(["memory".to_string(), format!("{}: {} banks, {} B rows", cfg.mem.tech.label(), cfg.mem.banks, cfg.mem.row_buffer_bytes)]);
+    t.row(["WPQ / LPQ / readQ".to_string(), format!("{} / {} / {}", cfg.mem.wpq_entries, cfg.mem.lpq_entries, cfg.mem.read_queue_entries)]);
+    t.row(["Proteus LR / LogQ / LLT".to_string(), format!("{} / {} / {} ({}-way)", cfg.proteus.log_registers, cfg.proteus.logq_entries, cfg.proteus.llt_entries, cfg.proteus.llt_ways)]);
+    Ok(format!("Table 1: system configuration (scale {:.2})\n{}", scale.scale, t.render()))
+}
+
+/// Table 2: the benchmark suite with the op counts these runs use.
+///
+/// # Errors
+///
+/// Never fails; the `Result` keeps the command table uniform.
+pub fn table2(scale: &ExperimentScale) -> Result<String, SimError> {
+    let mut t = Table::new(["bench", "description", "#InitOps", "#SimOps"]);
+    let desc = |b: Benchmark| match b {
+        Benchmark::Queue => "enqueue/dequeue in 8 queues",
+        Benchmark::HashMap => "insert/delete in 16 hash maps",
+        Benchmark::StringSwap => "swap 256 B strings in an array",
+        Benchmark::AvlTree => "insert/delete in 16 AVL trees",
+        Benchmark::BTree => "insert/delete in 16 B-trees",
+        Benchmark::RbTree => "insert/delete in 16 RB trees",
+        Benchmark::LargeTx { .. } => "large-tx linked list (§7.3)",
+    };
+    for bench in Benchmark::TABLE2 {
+        let p = scale.params(bench);
+        t.row([
+            bench.abbrev().to_string(),
+            desc(bench).to_string(),
+            p.init_ops.to_string(),
+            p.sim_ops.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "Table 2: benchmarks, per-thread op counts at scale {:.2}\n{}",
+        scale.scale,
+        t.render()
+    ))
+}
+
+/// Ablation beyond the paper: thread/core scaling for the headline
+/// schemes.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn ablation_threads(scale: &ExperimentScale) -> Result<String, SimError> {
+    let threads = [1usize, 2, 4];
+    let bench = Benchmark::HashMap;
+    let mut table = Table::new(["threads", "ATOM", "Proteus", "PMEM+nolog"]);
+    for n in threads {
+        let sub = ExperimentScale { threads: n, ..*scale };
+        let sweep = sweep_schemes(
+            &sub.config(),
+            bench,
+            &sub.params(bench),
+            &[
+                LoggingSchemeKind::SwPmem,
+                LoggingSchemeKind::Atom,
+                LoggingSchemeKind::Proteus,
+                LoggingSchemeKind::NoLog,
+            ],
+        )?;
+        table.row([
+            n.to_string(),
+            f2(sweep.speedup(LoggingSchemeKind::Atom)),
+            f2(sweep.speedup(LoggingSchemeKind::Proteus)),
+            f2(sweep.speedup(LoggingSchemeKind::NoLog)),
+        ]);
+    }
+    Ok(format!(
+        "Ablation: HM speedups vs thread count (baseline: PMEM at equal threads)\n{}",
+        table.render()
+    ))
+}
+
+/// Ablation beyond the paper: WPQ size effect on the software baseline
+/// and Proteus (a larger WPQ absorbs persist bursts; the paper's §4.3
+/// motivates the LPQ by the cost of growing the WPQ instead).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn ablation_wpq(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sizes = [16usize, 32, 64, 128];
+    let bench = Benchmark::AvlTree;
+    let params = scale.params(bench);
+    let mut table = Table::new(["WPQ", "Proteus speedup", "SW cycles (M)"]);
+    for size in sizes {
+        let mut config = scale.config();
+        config.mem.wpq_entries = size;
+        let sweep = sweep_schemes(
+            &config,
+            bench,
+            &params,
+            &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+        )?;
+        table.row([
+            size.to_string(),
+            f2(sweep.speedup(LoggingSchemeKind::Proteus)),
+            format!(
+                "{:.2}",
+                sweep.summary_of(LoggingSchemeKind::SwPmem).total_cycles as f64 / 1e6
+            ),
+        ]);
+    }
+    Ok(format!("Ablation: AT vs WPQ size\n{}", table.render()))
+}
+
+/// Ablation beyond the paper: LLT size sweep for Proteus.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn ablation_llt(scale: &ExperimentScale) -> Result<String, SimError> {
+    let sizes = [8usize, 16, 32, 64, 128];
+    let mut headers = vec!["bench".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("LLT={s}")));
+    let mut table = Table::new(headers);
+    for bench in [Benchmark::HashMap, Benchmark::RbTree, Benchmark::StringSwap] {
+        let params = scale.params(bench);
+        let mut row = vec![bench.abbrev().to_string()];
+        for size in sizes {
+            let sweep = sweep_schemes(
+                &scale.config().with_llt_entries(size, 8.min(size)),
+                bench,
+                &params,
+                &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+            )?;
+            row.push(f2(sweep.speedup(LoggingSchemeKind::Proteus)));
+        }
+        table.row(row);
+    }
+    Ok(format!("Ablation: Proteus speedup vs LLT size\n{}", table.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale { scale: 0.001, threads: 2 }
+    }
+
+    #[test]
+    fn fig6_produces_full_table() {
+        let out = fig6(&tiny()).unwrap();
+        assert!(out.contains("geomean"));
+        for abbrev in ["QE", "HM", "SS", "AT", "BT", "RT"] {
+            assert!(out.contains(abbrev), "missing {abbrev} in:\n{out}");
+        }
+        assert!(out.contains("Proteus"));
+    }
+
+    #[test]
+    fn table4_reports_all_benchmarks() {
+        let out = table4(&tiny()).unwrap();
+        assert_eq!(out.lines().count(), 2 + 1 + 6, "header+rule+6 rows:\n{out}");
+    }
+}

@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+//! Experiment definitions regenerating every table and figure of the
+//! paper's evaluation (§6-§7).
+//!
+//! Each `figN`/`tableN` function in [`experiments`] runs the
+//! corresponding experiment and returns a formatted report; the
+//! `reproduce` binary prints them. The Criterion benches in `benches/`
+//! wrap the same entry points for performance tracking.
+
+pub mod experiments;
+
+pub use experiments::*;

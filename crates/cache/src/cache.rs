@@ -1,0 +1,284 @@
+//! One set-associative cache level with LRU replacement.
+
+use proteus_core::pmem::LineData;
+use proteus_types::addr::LineAddr;
+use proteus_types::config::CacheLevelConfig;
+use proteus_types::stats::CacheStats;
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Its contents.
+    pub data: LineData,
+    /// Whether it was dirty (clean evictions are silently dropped by
+    /// callers).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    tag: u64,
+    data: LineData,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative, write-back cache with LRU replacement, carrying
+/// full line data.
+#[derive(Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_mask: u64,
+    set_shift: u32,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from a level configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly (see
+    /// [`CacheLevelConfig::sets`]).
+    pub fn new(cfg: &CacheLevelConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
+            ways: cfg.ways,
+            set_mask: sets as u64 - 1,
+            set_shift: 0,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        ((line.index() >> self.set_shift) & self.set_mask) as usize
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Looks up `line`, returning its data on a hit and updating LRU.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<LineData> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_index(line);
+        let found = self.sets[set].iter_mut().find(|w| w.tag == line.index());
+        match found {
+            Some(w) => {
+                w.lru = clock;
+                self.stats.hits += 1;
+                Some(w.data)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without updating LRU or statistics.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.tag == line.index())
+    }
+
+    /// Reads a resident line's data without updating LRU or statistics.
+    pub fn peek_data(&self, line: LineAddr) -> Option<LineData> {
+        let set = self.set_index(line);
+        self.sets[set].iter().find(|w| w.tag == line.index()).map(|w| w.data)
+    }
+
+    /// Whether `line` is present and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        self.sets[set].iter().any(|w| w.tag == line.index() && w.dirty)
+    }
+
+    /// Writes a word into a resident line, marking it dirty. Returns
+    /// `false` if the line is not resident.
+    pub fn write_word(&mut self, addr: proteus_types::Addr, value: u64) -> bool {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let line = addr.line();
+        let set = self.set_index(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == line.index()) {
+            w.data[(addr.line_offset() / 8) as usize] = value;
+            w.dirty = true;
+            w.lru = clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `line` (from a fill or a write-back from the level above),
+    /// evicting the LRU way if the set is full. `dirty` marks the
+    /// inserted copy. If the line is already resident its data is
+    /// updated in place (and the dirty bit is OR-ed).
+    pub fn insert(&mut self, line: LineAddr, data: LineData, dirty: bool) -> Option<EvictedLine> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_index(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == line.index()) {
+            w.data = data;
+            w.dirty |= dirty;
+            w.lru = clock;
+            return None;
+        }
+        let evicted = if self.sets[set].len() >= self.ways {
+            let (pos, _) = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .expect("full set is nonempty");
+            let victim = self.sets[set].swap_remove(pos);
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                line: LineAddr::from_index(victim.tag),
+                data: victim.data,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        self.sets[set].push(Way { tag: line.index(), data, dirty, lru: clock });
+        evicted
+    }
+
+    /// Updates a resident line's data in place and marks it clean (the
+    /// write-through part of a `clwb`: lower-level shadow copies must
+    /// receive the fresh data, or a later clean eviction would expose
+    /// stale contents). Returns whether the line was present.
+    pub fn update_if_present(&mut self, line: LineAddr, data: LineData) -> bool {
+        let set = self.set_index(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == line.index()) {
+            w.data = data;
+            w.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cleans a resident dirty line, returning its data (the `clwb`
+    /// flush path: the copy stays valid but is no longer dirty).
+    pub fn clean(&mut self, line: LineAddr) -> Option<LineData> {
+        let set = self.set_index(line);
+        let w = self.sets[set]
+            .iter_mut()
+            .find(|w| w.tag == line.index() && w.dirty)?;
+        w.dirty = false;
+        self.stats.clwb_flushes += 1;
+        Some(w.data)
+    }
+
+    /// Removes `line` entirely, returning its data and dirty state.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<(LineData, bool)> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|w| w.tag == line.index())?;
+        let w = self.sets[set].swap_remove(pos);
+        Some((w.data, w.dirty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::Addr;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64 B = 256 B.
+        Cache::new(&CacheLevelConfig { size_bytes: 256, ways: 2, latency: 1 })
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(line(0)), None);
+        c.insert(line(0), [1; 8], false);
+        assert_eq!(c.lookup(line(0)), Some([1; 8]));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even line indices with 2 sets).
+        c.insert(line(0), [0; 8], false);
+        c.insert(line(2), [2; 8], false);
+        c.lookup(line(0)); // make line 2 the LRU
+        let evicted = c.insert(line(4), [4; 8], false).expect("eviction");
+        assert_eq!(evicted.line, line(2));
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(4)));
+    }
+
+    #[test]
+    fn dirty_eviction_carries_data() {
+        let mut c = tiny();
+        c.insert(line(0), [7; 8], true);
+        c.insert(line(2), [0; 8], false);
+        let evicted = c.insert(line(4), [0; 8], false).expect("eviction");
+        assert_eq!(evicted.line, line(0));
+        assert!(evicted.dirty);
+        assert_eq!(evicted.data, [7; 8]);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_word_dirties_and_merges() {
+        let mut c = tiny();
+        c.insert(line(0), [0; 8], false);
+        assert!(c.write_word(Addr::new(0x10), 5));
+        assert!(c.is_dirty(line(0)));
+        let data = c.lookup(line(0)).unwrap();
+        assert_eq!(data[2], 5);
+        assert!(!c.write_word(Addr::new(0x1000), 5), "absent line rejects write");
+    }
+
+    #[test]
+    fn clean_returns_data_once() {
+        let mut c = tiny();
+        c.insert(line(0), [3; 8], true);
+        assert_eq!(c.clean(line(0)), Some([3; 8]));
+        assert_eq!(c.clean(line(0)), None, "already clean");
+        assert!(c.contains(line(0)), "clwb keeps the line resident");
+        // Re-dirtying allows another flush.
+        c.write_word(Addr::new(0), 9);
+        assert!(c.clean(line(0)).is_some());
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let mut c = tiny();
+        c.insert(line(0), [1; 8], true);
+        let evicted = c.insert(line(0), [2; 8], false);
+        assert!(evicted.is_none());
+        assert!(c.is_dirty(line(0)), "dirty bit must be sticky");
+        assert_eq!(c.lookup(line(0)), Some([2; 8]));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(line(0), [1; 8], true);
+        assert_eq!(c.invalidate(line(0)), Some(([1; 8], true)));
+        assert!(!c.contains(line(0)));
+        assert_eq!(c.invalidate(line(0)), None);
+    }
+}

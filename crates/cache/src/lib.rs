@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Cache hierarchy model for the Proteus simulator.
+//!
+//! Implements the three-level write-back, write-allocate hierarchy of
+//! Table 1 (private 32 KB L1D and 256 KB L2 per core, shared 8 MB L3),
+//! carrying full line data so persist machinery and crash recovery can be
+//! verified end-to-end:
+//!
+//! * [`cache::Cache`] — one set-associative level with LRU replacement;
+//! * [`system::CacheSystem`] — the per-core L1/L2 stacks over the shared
+//!   L3, with hit promotion, eviction cascades, and the `clwb` flush path
+//!   (a `clwb` cleans the freshest dirty copy and surfaces it as a
+//!   write-back bound for the memory controller's WPQ).
+//!
+//! Uncacheable accesses (the Proteus log area, §4.2) never enter this
+//! crate — the core sends them straight to the memory controller.
+
+pub mod cache;
+pub mod system;
+
+pub use cache::{Cache, EvictedLine};
+pub use system::{CacheSystem, LookupResult};

@@ -1,0 +1,343 @@
+//! The full hierarchy: per-core L1/L2 stacks over a shared L3.
+//!
+//! Hits at a lower level promote the line into the upper levels (fill
+//! path); evictions cascade downward, and dirty lines evicted from the L3
+//! surface as write-backs bound for the memory controller. The paper's
+//! workloads partition data structures across threads behind locks, so no
+//! inter-core coherence protocol is modelled — the simulator's invariant
+//! is that no line is written by more than one core.
+
+use crate::cache::Cache;
+use proteus_core::pmem::LineData;
+use proteus_types::addr::LineAddr;
+use proteus_types::clock::Cycle;
+use proteus_types::config::{CacheConfig, SystemConfig};
+use proteus_types::stats::CacheStats;
+use proteus_types::{Addr, CoreId};
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The line was found at some level; `latency` is the load-to-use
+    /// latency of that level and `data` the line contents.
+    Hit {
+        /// Access latency in CPU cycles.
+        latency: Cycle,
+        /// Line contents after the access.
+        data: LineData,
+    },
+    /// The line is not cached; the caller must fetch it from memory and
+    /// call [`CacheSystem::fill`].
+    Miss,
+}
+
+/// A dirty line headed for the memory controller.
+pub type Writeback = (LineAddr, LineData);
+
+/// The system's cache hierarchy.
+#[derive(Debug)]
+pub struct CacheSystem {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    cfg: CacheConfig,
+}
+
+impl CacheSystem {
+    /// Builds the hierarchy for `cfg.num_cores` cores.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        CacheSystem {
+            l1: (0..cfg.num_cores).map(|_| Cache::new(&cfg.caches.l1d)).collect(),
+            l2: (0..cfg.num_cores).map(|_| Cache::new(&cfg.caches.l2)).collect(),
+            l3: Cache::new(&cfg.caches.l3),
+            cfg: cfg.caches.clone(),
+        }
+    }
+
+    /// Number of cores served.
+    pub fn num_cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Performs a load of the line containing `addr` for `core`.
+    /// On a hit the line is promoted to the L1; evictions caused by the
+    /// promotion are appended to `writebacks`.
+    pub fn load(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        writebacks: &mut Vec<Writeback>,
+    ) -> LookupResult {
+        let line = addr.line();
+        let c = core.index();
+        if let Some(data) = self.l1[c].lookup(line) {
+            return LookupResult::Hit { latency: self.cfg.l1d.latency, data };
+        }
+        if let Some(data) = self.l2[c].lookup(line) {
+            let dirty = self.l2[c].is_dirty(line);
+            self.promote_to_l1(c, line, data, dirty, writebacks);
+            return LookupResult::Hit { latency: self.cfg.l2.latency, data };
+        }
+        if let Some(data) = self.l3.lookup(line) {
+            let dirty = self.l3.is_dirty(line);
+            self.promote_to_l1(c, line, data, dirty, writebacks);
+            return LookupResult::Hit { latency: self.cfg.l3.latency, data };
+        }
+        LookupResult::Miss
+    }
+
+    /// Performs a store of `value` at `addr` for `core` (write-allocate:
+    /// the caller fetches on a miss and retries). On a hit the word is
+    /// merged and the L1 copy dirtied.
+    pub fn store(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+        writebacks: &mut Vec<Writeback>,
+    ) -> LookupResult {
+        match self.load(core, addr, writebacks) {
+            LookupResult::Hit { latency, mut data } => {
+                let ok = self.l1[core.index()].write_word(addr, value);
+                debug_assert!(ok, "load promoted the line into L1");
+                data[(addr.line_offset() / 8) as usize] = value;
+                LookupResult::Hit { latency, data }
+            }
+            LookupResult::Miss => LookupResult::Miss,
+        }
+    }
+
+    /// Installs a line fetched from memory into all levels for `core`.
+    /// Returns eviction write-backs for the memory controller.
+    pub fn fill(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        data: LineData,
+        writebacks: &mut Vec<Writeback>,
+    ) {
+        let c = core.index();
+        if let Some(ev) = self.l3.insert(line, data, false) {
+            if ev.dirty {
+                writebacks.push((ev.line, ev.data));
+            }
+        }
+        self.promote_to_l1(c, line, data, false, writebacks);
+    }
+
+    fn promote_to_l1(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        data: LineData,
+        dirty: bool,
+        writebacks: &mut Vec<Writeback>,
+    ) {
+        if let Some(ev) = self.l1[core].insert(line, data, dirty) {
+            if ev.dirty {
+                self.spill_to_l2(core, ev.line, ev.data, writebacks);
+            }
+        }
+    }
+
+    fn spill_to_l2(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        data: LineData,
+        writebacks: &mut Vec<Writeback>,
+    ) {
+        if let Some(ev) = self.l2[core].insert(line, data, true) {
+            if ev.dirty {
+                self.spill_to_l3(ev.line, ev.data, writebacks);
+            }
+        }
+    }
+
+    fn spill_to_l3(&mut self, line: LineAddr, data: LineData, writebacks: &mut Vec<Writeback>) {
+        if let Some(ev) = self.l3.insert(line, data, true) {
+            if ev.dirty {
+                writebacks.push((ev.line, ev.data));
+            }
+        }
+    }
+
+    /// The `clwb` flush path: cleans the freshest dirty copy of the line
+    /// (searching L1, then L2, then L3) and returns its data for the WPQ.
+    /// Returns `None` when no dirty copy exists (the flush is a no-op).
+    pub fn clwb(&mut self, core: CoreId, addr: Addr) -> Option<LineData> {
+        let line = addr.line();
+        let c = core.index();
+        if let Some(data) = self.l1[c].clean(line) {
+            // The flush passes through the hierarchy: lower-level shadow
+            // copies receive the fresh data (and become clean), so a
+            // later clean eviction of the L1 copy cannot expose stale
+            // contents.
+            self.l2[c].update_if_present(line, data);
+            self.l3.update_if_present(line, data);
+            return Some(data);
+        }
+        if let Some(data) = self.l2[c].clean(line) {
+            self.l3.update_if_present(line, data);
+            return Some(data);
+        }
+        self.l3.clean(line)
+    }
+
+    /// Non-mutating presence check: returns the freshest cached copy of
+    /// the line without touching LRU state or statistics. Used by the
+    /// ATOM engine to capture pre-store data when the line happens to be
+    /// cached (on a miss, the memory controller sources the log entry
+    /// itself — the source-log optimisation).
+    pub fn peek(&self, core: CoreId, addr: Addr) -> Option<LineData> {
+        let line = addr.line();
+        let c = core.index();
+        if self.l1[c].contains(line) {
+            return self.l1[c].peek_data(line);
+        }
+        if self.l2[c].contains(line) {
+            return self.l2[c].peek_data(line);
+        }
+        self.l3.peek_data(line)
+    }
+
+    /// Pre-loads a line as clean into the shared L3 (warm-up).
+    pub fn preload_l3(&mut self, line: LineAddr, data: LineData, writebacks: &mut Vec<Writeback>) {
+        if let Some(ev) = self.l3.insert(line, data, false) {
+            if ev.dirty {
+                writebacks.push((ev.line, ev.data));
+            }
+        }
+    }
+
+    /// Aggregated statistics: (L1 over all cores, L2 over all cores, L3).
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        let mut l1 = CacheStats::default();
+        for c in &self.l1 {
+            l1.merge(c.stats());
+        }
+        let mut l2 = CacheStats::default();
+        for c in &self.l2 {
+            l2.merge(c.stats());
+        }
+        (l1, l2, self.l3.stats().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::config::SystemConfig;
+
+    fn sys() -> CacheSystem {
+        CacheSystem::new(&SystemConfig::skylake_like())
+    }
+
+    fn core() -> CoreId {
+        CoreId::new(0)
+    }
+
+    #[test]
+    fn miss_fill_hit_latencies() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(0x1000);
+        assert_eq!(s.load(core(), a, &mut wb), LookupResult::Miss);
+        s.fill(core(), a.line(), [9; 8], &mut wb);
+        match s.load(core(), a, &mut wb) {
+            LookupResult::Hit { latency, data } => {
+                assert_eq!(latency, 4, "L1 hit after fill");
+                assert_eq!(data, [9; 8]);
+            }
+            LookupResult::Miss => panic!("expected hit"),
+        }
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn store_merges_word_and_dirties() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(0x1008);
+        s.fill(core(), a.line(), [0; 8], &mut wb);
+        match s.store(core(), a, 42, &mut wb) {
+            LookupResult::Hit { data, .. } => assert_eq!(data[1], 42),
+            LookupResult::Miss => panic!("expected hit"),
+        }
+        // clwb now returns the dirty data.
+        let flushed = s.clwb(core(), a).expect("dirty line");
+        assert_eq!(flushed[1], 42);
+        // Second clwb is a no-op.
+        assert_eq!(s.clwb(core(), a), None);
+    }
+
+    #[test]
+    fn store_miss_requires_fill() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        assert_eq!(s.store(core(), Addr::new(0x2000), 1, &mut wb), LookupResult::Miss);
+    }
+
+    #[test]
+    fn l1_eviction_spills_dirty_to_l2_then_hits_there() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        // L1: 32 KB, 8 ways, 64 sets. Lines with identical set index are
+        // 64 lines apart. Fill 9 lines mapping to the same L1 set.
+        let stride = 64 * 64; // 64 sets * 64 B
+        let base = Addr::new(0x10_0000);
+        s.fill(core(), base.line(), [1; 8], &mut wb);
+        s.store(core(), base, 7, &mut wb); // dirty the first line
+        for i in 1..9u64 {
+            s.fill(core(), base.offset(i * stride).line(), [0; 8], &mut wb);
+        }
+        // The dirty line was evicted from L1 to L2; a load must hit L2
+        // with the stored data intact.
+        match s.load(core(), base, &mut wb) {
+            LookupResult::Hit { latency, data } => {
+                assert_eq!(latency, 12, "expected L2 hit");
+                assert_eq!(data[0], 7);
+            }
+            LookupResult::Miss => panic!("dirty data lost on eviction"),
+        }
+        assert!(wb.is_empty(), "nothing should reach memory yet");
+    }
+
+    #[test]
+    fn per_core_l1_isolation() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(0x3000);
+        s.fill(CoreId::new(0), a.line(), [5; 8], &mut wb);
+        // Core 1 misses L1/L2 but hits shared L3.
+        match s.load(CoreId::new(1), a, &mut wb) {
+            LookupResult::Hit { latency, .. } => assert_eq!(latency, 42),
+            LookupResult::Miss => panic!("L3 is shared"),
+        }
+    }
+
+    #[test]
+    fn clwb_prefers_freshest_copy() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(0x4000);
+        s.fill(core(), a.line(), [0; 8], &mut wb);
+        s.store(core(), a, 1, &mut wb); // dirty in L1
+        let data = s.clwb(core(), a).unwrap();
+        assert_eq!(data[0], 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(0x5000);
+        assert_eq!(s.load(core(), a, &mut wb), LookupResult::Miss);
+        s.fill(core(), a.line(), [0; 8], &mut wb);
+        s.load(core(), a, &mut wb);
+        let (l1, _, l3) = s.stats();
+        assert!(l1.hits >= 1);
+        assert!(l1.misses >= 1);
+        assert!(l3.misses >= 1);
+    }
+}

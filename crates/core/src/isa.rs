@@ -1,0 +1,230 @@
+//! The micro-op ISA executed by the cycle-level core model.
+//!
+//! The ISA contains ordinary memory operations, the Intel PMEM persistence
+//! instructions described in §2.1 of the paper, and the two new Proteus
+//! logging instructions from §3.2:
+//!
+//! * [`Uop::LogLoad`] — load a 32-byte block from the *log-from* address
+//!   into a log register;
+//! * [`Uop::LogFlush`] — flush that log register to the next *log-to*
+//!   address in the thread's log area (the LTA register auto-increments,
+//!   so the instruction carries no explicit log-to address).
+//!
+//! Values are modelled at 8-byte word granularity; a [`Uop::Store`] writes
+//! one word. This matches the benchmarks, whose node fields are 8-byte
+//! aligned.
+
+use proteus_types::{Addr, ThreadId, TxId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a log register (LR) in the logging data register file.
+///
+/// The Table 1 configuration provides 8 LRs; the code generator allocates
+/// them round-robin since an LR is recycled as soon as its `log-flush`
+/// commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LogRegId(pub u8);
+
+impl fmt::Display for LogRegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LR{}", self.0)
+    }
+}
+
+/// One micro-operation in a thread's instruction trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Uop {
+    /// Non-memory work occupying the pipeline for `latency` cycles.
+    Compute {
+        /// Execution latency in cycles (≥ 1).
+        latency: u8,
+    },
+    /// An 8-byte load.
+    ///
+    /// A *dependent* load's address was produced by an older load
+    /// (pointer chasing): it may not issue until every older load has
+    /// completed. This is what serialises tree and list traversals the
+    /// way real hardware data dependencies do.
+    Load {
+        /// Word-aligned address.
+        addr: Addr,
+        /// Whether the address depends on older loads.
+        dependent: bool,
+    },
+    /// An 8-byte store of `value`.
+    Store {
+        /// Word-aligned address.
+        addr: Addr,
+        /// Value written.
+        value: u64,
+    },
+    /// Cache-line write-back: flushes the dirty line containing `addr` to
+    /// the memory controller without invalidating it. Ordered only against
+    /// older stores to the same line and against store fences.
+    Clwb {
+        /// Any address within the target line.
+        addr: Addr,
+    },
+    /// Store fence: retires only once all older stores, clwbs, and logging
+    /// operations have completed (reached the persistency domain).
+    Sfence,
+    /// `pcommit`: drains the WPQ to NVMM. Deprecated by ADR but modelled
+    /// for the PMEM+pcommit baseline. Ordered like a fence.
+    Pcommit,
+    /// Marks the start of a durable transaction `tx` on the issuing core.
+    TxBegin {
+        /// Transaction being opened.
+        tx: TxId,
+    },
+    /// Marks the end of a durable transaction: waits for all of the
+    /// transaction's data updates to reach the persistency domain, then
+    /// clears the LLT and flash-clears the LPQ entries of `tx`.
+    TxEnd {
+        /// Transaction being committed.
+        tx: TxId,
+    },
+    /// Proteus `log-load`: reads the 32-byte log grain containing `addr`
+    /// into log register `lr` together with the log-from address.
+    LogLoad {
+        /// Destination log register.
+        lr: LogRegId,
+        /// Address whose grain is captured.
+        addr: Addr,
+    },
+    /// Proteus `log-flush`: writes log register `lr` as a 64-byte log
+    /// entry to the thread's log area at the auto-incremented LTA.
+    /// Completes when the memory controller acknowledges receipt.
+    LogFlush {
+        /// Source log register (must match a prior `log-load`).
+        lr: LogRegId,
+    },
+    /// Proteus `log-save` (§4.4): context-switch support. Saves logging
+    /// registers and forces the MC to drain this thread's LPQ entries to
+    /// NVMM.
+    LogSave,
+}
+
+impl Uop {
+    /// Whether this op is one of the Proteus logging instructions.
+    pub fn is_logging(&self) -> bool {
+        matches!(self, Uop::LogLoad { .. } | Uop::LogFlush { .. } | Uop::LogSave)
+    }
+
+    /// Whether this op acts as an ordering fence at retirement
+    /// (sfence, pcommit, tx-end).
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Uop::Sfence | Uop::Pcommit | Uop::TxEnd { .. })
+    }
+
+    /// The memory address this op touches, if any.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Uop::Load { addr, .. }
+            | Uop::Store { addr, .. }
+            | Uop::Clwb { addr }
+            | Uop::LogLoad { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Uop::Compute { latency } => write!(f, "compute({latency})"),
+            Uop::Load { addr, dependent: false } => write!(f, "ld {addr}"),
+            Uop::Load { addr, dependent: true } => write!(f, "ld.dep {addr}"),
+            Uop::Store { addr, value } => write!(f, "st {addr}, {value:#x}"),
+            Uop::Clwb { addr } => write!(f, "clwb {addr}"),
+            Uop::Sfence => f.write_str("sfence"),
+            Uop::Pcommit => f.write_str("pcommit"),
+            Uop::TxBegin { tx } => write!(f, "tx-begin {tx}"),
+            Uop::TxEnd { tx } => write!(f, "tx-end {tx}"),
+            Uop::LogLoad { lr, addr } => write!(f, "log-load {lr}, {addr}"),
+            Uop::LogFlush { lr } => write!(f, "log-flush {lr}, (LTA)+"),
+            Uop::LogSave => f.write_str("log-save"),
+        }
+    }
+}
+
+/// A complete instruction trace for one thread, produced by scheme
+/// expansion and consumed by the core model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The thread this trace belongs to.
+    pub thread: ThreadId,
+    /// The micro-ops in program order.
+    pub uops: Vec<Uop>,
+    /// Number of durable transactions in the trace.
+    pub transactions: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace for `thread`.
+    pub fn new(thread: ThreadId) -> Self {
+        Trace { thread, uops: Vec::new(), transactions: 0 }
+    }
+
+    /// Number of micro-ops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace contains no micro-ops.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Counts ops matching a predicate (handy in tests and reports).
+    pub fn count_matching(&self, pred: impl Fn(&Uop) -> bool) -> usize {
+        self.uops.iter().filter(|u| pred(u)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Uop::LogFlush { lr: LogRegId(0) }.is_logging());
+        assert!(Uop::LogLoad { lr: LogRegId(1), addr: Addr::new(0) }.is_logging());
+        assert!(!Uop::Store { addr: Addr::new(0), value: 0 }.is_logging());
+        assert!(Uop::Sfence.is_fence());
+        assert!(Uop::Pcommit.is_fence());
+        assert!(Uop::TxEnd { tx: TxId::new(1) }.is_fence());
+        assert!(!Uop::TxBegin { tx: TxId::new(1) }.is_fence());
+    }
+
+    #[test]
+    fn addresses() {
+        assert_eq!(
+            Uop::Load { addr: Addr::new(8), dependent: false }.addr(),
+            Some(Addr::new(8))
+        );
+        assert_eq!(Uop::Sfence.addr(), None);
+        assert_eq!(
+            Uop::LogLoad { lr: LogRegId(0), addr: Addr::new(0x20) }.addr(),
+            Some(Addr::new(0x20))
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let ll = Uop::LogLoad { lr: LogRegId(1), addr: Addr::new(0x40) };
+        assert_eq!(ll.to_string(), "log-load LR1, 0x40");
+        let lf = Uop::LogFlush { lr: LogRegId(1) };
+        assert_eq!(lf.to_string(), "log-flush LR1, (LTA)+");
+    }
+
+    #[test]
+    fn trace_counting() {
+        let mut t = Trace::new(ThreadId::new(0));
+        assert!(t.is_empty());
+        t.uops.push(Uop::Sfence);
+        t.uops.push(Uop::Load { addr: Addr::new(0), dependent: false });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count_matching(|u| u.is_fence()), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Physical address-space layout of the simulated machine.
+//!
+//! The simulator uses a flat physical address space carved into three
+//! regions:
+//!
+//! * **data heap** — cacheable persistent data structures;
+//! * **log headers** — one cache line per thread holding the software
+//!   logging protocol's `logFlag` (Fig. 2 of the paper);
+//! * **log areas** — one per-thread circular buffer of 64-byte log
+//!   entries. Log areas are uncacheable (paper §4.2), so log traffic
+//!   bypasses the caches and goes straight to the memory controller.
+
+use proteus_types::addr::{Region, RegionKind, RegionMap, CACHE_LINE_SIZE};
+use proteus_types::{Addr, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Address-space layout parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressLayout {
+    /// Base of the cacheable persistent data heap.
+    pub data_base: Addr,
+    /// Base of the per-thread log-header lines (logFlag protocol state).
+    pub log_header_base: Addr,
+    /// Base of the per-thread log areas.
+    pub log_base: Addr,
+    /// Capacity of each thread's log area, in 64-byte entries.
+    pub log_area_entries: usize,
+    /// Maximum number of threads the layout reserves space for.
+    pub max_threads: usize,
+}
+
+impl Default for AddressLayout {
+    fn default() -> Self {
+        AddressLayout {
+            data_base: Addr::new(0x1000_0000),
+            log_header_base: Addr::new(0x0F00_0000),
+            log_base: Addr::new(0x8000_0000),
+            // 4096 entries = 256 KiB per thread: large enough for the
+            // biggest transaction (§7.3's 8192-element updates need 2048
+            // entries), small enough that a software log's circular reuse
+            // stays cache-resident, as a programmer would size it.
+            log_area_entries: 4 * 1024,
+            max_threads: 16,
+        }
+    }
+}
+
+impl AddressLayout {
+    /// Byte length of one thread's log area.
+    pub fn log_area_bytes(&self) -> u64 {
+        self.log_area_entries as u64 * CACHE_LINE_SIZE
+    }
+
+    /// The log area region `[start, end)` of `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` exceeds [`AddressLayout::max_threads`].
+    pub fn log_area(&self, thread: ThreadId) -> Region {
+        assert!(
+            thread.index() < self.max_threads,
+            "{thread} exceeds layout capacity of {} threads",
+            self.max_threads
+        );
+        let start = self.log_base.offset(thread.index() as u64 * self.log_area_bytes());
+        Region::new(start, start.offset(self.log_area_bytes()), RegionKind::Log)
+    }
+
+    /// The address of the n-th log entry slot in `thread`'s area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn log_slot(&self, thread: ThreadId, slot: usize) -> Addr {
+        assert!(slot < self.log_area_entries, "slot {slot} out of range");
+        self.log_area(thread).start.offset(slot as u64 * CACHE_LINE_SIZE)
+    }
+
+    /// The `logFlag` word address of `thread` (software logging protocol).
+    pub fn log_flag(&self, thread: ThreadId) -> Addr {
+        assert!(
+            thread.index() < self.max_threads,
+            "{thread} exceeds layout capacity of {} threads",
+            self.max_threads
+        );
+        self.log_header_base.offset(thread.index() as u64 * CACHE_LINE_SIZE)
+    }
+
+    /// Which thread's log area contains `addr`, if any.
+    pub fn log_area_owner(&self, addr: Addr) -> Option<ThreadId> {
+        if addr < self.log_base {
+            return None;
+        }
+        let idx = (addr.raw() - self.log_base.raw()) / self.log_area_bytes();
+        if (idx as usize) < self.max_threads {
+            Some(ThreadId::new(idx as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Builds the region map marking every thread's log area uncacheable.
+    pub fn region_map(&self) -> RegionMap {
+        let mut map = RegionMap::new();
+        for t in 0..self.max_threads {
+            map.add(self.log_area(ThreadId::new(t as u32)));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_are_disjoint_and_sized() {
+        let layout = AddressLayout::default();
+        let a0 = layout.log_area(ThreadId::new(0));
+        let a1 = layout.log_area(ThreadId::new(1));
+        assert_eq!(a0.len(), layout.log_area_bytes());
+        assert_eq!(a0.end, a1.start);
+        assert!(!a0.contains(a1.start));
+    }
+
+    #[test]
+    fn slots_are_line_aligned() {
+        let layout = AddressLayout::default();
+        let s0 = layout.log_slot(ThreadId::new(2), 0);
+        let s1 = layout.log_slot(ThreadId::new(2), 1);
+        assert!(s0.is_line_aligned());
+        assert_eq!(s1.raw() - s0.raw(), CACHE_LINE_SIZE);
+        assert!(layout.log_area(ThreadId::new(2)).contains(s0));
+    }
+
+    #[test]
+    fn log_area_owner_roundtrip() {
+        let layout = AddressLayout::default();
+        for t in 0..4 {
+            let thread = ThreadId::new(t);
+            let slot = layout.log_slot(thread, 100);
+            assert_eq!(layout.log_area_owner(slot), Some(thread));
+        }
+        assert_eq!(layout.log_area_owner(layout.data_base), None);
+    }
+
+    #[test]
+    fn region_map_marks_logs_uncacheable() {
+        let layout = AddressLayout::default();
+        let map = layout.region_map();
+        assert!(!map.is_cacheable(layout.log_slot(ThreadId::new(0), 5)));
+        assert!(map.is_cacheable(layout.data_base));
+        assert!(map.is_cacheable(layout.log_flag(ThreadId::new(0))));
+    }
+
+    #[test]
+    fn log_flags_are_per_thread_lines() {
+        let layout = AddressLayout::default();
+        let f0 = layout.log_flag(ThreadId::new(0));
+        let f1 = layout.log_flag(ThreadId::new(1));
+        assert_eq!(f1.raw() - f0.raw(), CACHE_LINE_SIZE);
+        assert_ne!(f0.line(), f1.line());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds layout capacity")]
+    fn thread_bounds_enforced() {
+        let layout = AddressLayout::default();
+        let _ = layout.log_area(ThreadId::new(99));
+    }
+}

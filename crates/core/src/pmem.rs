@@ -1,0 +1,160 @@
+//! Functional model of memory contents at 8-byte word granularity.
+//!
+//! The timing simulator moves 64-byte lines; this module provides the
+//! *values* inside them so crash-recovery behaviour can be tested
+//! end-to-end: stores update cache-line data, write-backs and log flushes
+//! carry line data into the memory controller, and NVMM writes land in a
+//! [`WordImage`] that represents the durable contents of the machine.
+
+use proteus_types::addr::{LineAddr, CACHE_LINE_SIZE};
+use proteus_types::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of 8-byte words in a cache line.
+pub const WORDS_PER_LINE: usize = (CACHE_LINE_SIZE / 8) as usize;
+
+/// The data payload of one cache line.
+pub type LineData = [u64; WORDS_PER_LINE];
+
+/// Sparse word-addressed memory contents. Unwritten words read as zero,
+/// matching zero-initialised NVMM.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordImage {
+    words: HashMap<u64, u64>,
+}
+
+impl WordImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the 8-byte word containing `addr`.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        self.words.get(&(addr.raw() / 8)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 8-byte word containing `addr`.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        if value == 0 {
+            self.words.remove(&(addr.raw() / 8));
+        } else {
+            self.words.insert(addr.raw() / 8, value);
+        }
+    }
+
+    /// Reads a full cache line.
+    pub fn read_line(&self, line: LineAddr) -> LineData {
+        let base = line.base();
+        std::array::from_fn(|i| self.read_word(base.offset(i as u64 * 8)))
+    }
+
+    /// Writes a full cache line.
+    pub fn write_line(&mut self, line: LineAddr, data: &LineData) {
+        let base = line.base();
+        for (i, w) in data.iter().enumerate() {
+            self.write_word(base.offset(i as u64 * 8), *w);
+        }
+    }
+
+    /// Reads the four words of the 32-byte log grain containing `addr`.
+    pub fn read_grain(&self, addr: Addr) -> [u64; 4] {
+        let base = addr.log_grain().base();
+        std::array::from_fn(|i| self.read_word(base.offset(i as u64 * 8)))
+    }
+
+    /// Writes the four words of the 32-byte log grain containing `addr`.
+    pub fn write_grain(&mut self, addr: Addr, data: &[u64; 4]) {
+        let base = addr.log_grain().base();
+        for (i, w) in data.iter().enumerate() {
+            self.write_word(base.offset(i as u64 * 8), *w);
+        }
+    }
+
+    /// Number of nonzero words stored (diagnostic).
+    pub fn population(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Iterates over `(word_address, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.words.iter().map(|(w, v)| (Addr::new(w * 8), *v))
+    }
+
+    /// Returns the set of word addresses where `self` and `other` differ,
+    /// restricted to `range` if given. Used by recovery tests.
+    pub fn diff(&self, other: &WordImage) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = Vec::new();
+        for (w, v) in &self.words {
+            if other.words.get(w).copied().unwrap_or(0) != *v {
+                addrs.push(Addr::new(w * 8));
+            }
+        }
+        for (w, v) in &other.words {
+            if *v != 0 && !self.words.contains_key(w) {
+                addrs.push(Addr::new(w * 8));
+            }
+        }
+        addrs.sort();
+        addrs.dedup();
+        addrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default_and_roundtrip() {
+        let mut img = WordImage::new();
+        assert_eq!(img.read_word(Addr::new(0x100)), 0);
+        img.write_word(Addr::new(0x100), 7);
+        assert_eq!(img.read_word(Addr::new(0x100)), 7);
+        assert_eq!(img.read_word(Addr::new(0x104)), 7); // same word
+        assert_eq!(img.read_word(Addr::new(0x108)), 0);
+    }
+
+    #[test]
+    fn zero_writes_prune_storage() {
+        let mut img = WordImage::new();
+        img.write_word(Addr::new(0x40), 1);
+        assert_eq!(img.population(), 1);
+        img.write_word(Addr::new(0x40), 0);
+        assert_eq!(img.population(), 0);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut img = WordImage::new();
+        let line = Addr::new(0x2000).line();
+        let data: LineData = std::array::from_fn(|i| i as u64 + 1);
+        img.write_line(line, &data);
+        assert_eq!(img.read_line(line), data);
+        assert_eq!(img.read_word(Addr::new(0x2038)), 8);
+    }
+
+    #[test]
+    fn grain_roundtrip() {
+        let mut img = WordImage::new();
+        img.write_grain(Addr::new(0x2025), &[9, 8, 7, 6]);
+        // Grain base is 0x2020.
+        assert_eq!(img.read_word(Addr::new(0x2020)), 9);
+        assert_eq!(img.read_word(Addr::new(0x2038)), 6);
+        assert_eq!(img.read_grain(Addr::new(0x203f)), [9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn diff_is_symmetric_set() {
+        let mut a = WordImage::new();
+        let mut b = WordImage::new();
+        a.write_word(Addr::new(0x0), 1);
+        b.write_word(Addr::new(0x8), 2);
+        a.write_word(Addr::new(0x10), 3);
+        b.write_word(Addr::new(0x10), 3);
+        let d = a.diff(&b);
+        assert_eq!(d, vec![Addr::new(0x0), Addr::new(0x8)]);
+        assert_eq!(a.diff(&a), vec![]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Logical programs: what a workload *does*, independent of logging scheme.
+//!
+//! A [`Program`] is a sequence of logical operations — reads, writes,
+//! compute, and durable-transaction boundaries. The scheme expanders in
+//! [`crate::scheme`] compile the same program into different micro-op
+//! traces (software undo logging, ATOM, Proteus, ...), which is exactly
+//! the paper's experimental setup: one benchmark, several logging
+//! implementations.
+//!
+//! `tx_begin` carries an *undo hint*: the set of addresses the transaction
+//! might modify. Software undo logging needs it because the log must be
+//! complete before the first data update (Fig. 2, step 1); for
+//! self-balancing trees the hint is conservative, which is what makes the
+//! software baseline slow on BT/RT (§6). Hardware schemes ignore the hint
+//! and log on demand.
+
+use proteus_types::{Addr, SimError, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// One logical operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the 8-byte word at the address.
+    Read(Addr),
+    /// Read whose address was produced by an earlier read (pointer
+    /// chasing): compiled to a dependent load that serialises behind
+    /// older loads.
+    ReadDep(Addr),
+    /// Write `1`-valued word: `(address, value)`.
+    Write(Addr, u64),
+    /// Non-memory work of the given cycle latency.
+    Compute(u8),
+    /// Open a durable transaction; the hint lists addresses that may be
+    /// written (any address within a 32-byte grain stands for the grain).
+    TxBegin {
+        /// Conservative write-set hint for software undo logging.
+        undo_hint: Vec<Addr>,
+    },
+    /// Commit the open durable transaction.
+    TxEnd,
+}
+
+/// A thread's logical operation sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Owning thread.
+    pub thread: ThreadId,
+    /// Operations in program order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates an empty program for `thread`.
+    pub fn new(thread: ThreadId) -> Self {
+        Program { thread, ops: Vec::new() }
+    }
+
+    /// Appends a read.
+    pub fn read(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::Read(addr));
+        self
+    }
+
+    /// Appends a pointer-chasing read (see [`Op::ReadDep`]).
+    pub fn read_dep(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::ReadDep(addr));
+        self
+    }
+
+    /// Appends a write.
+    pub fn write(&mut self, addr: Addr, value: u64) -> &mut Self {
+        self.ops.push(Op::Write(addr, value));
+        self
+    }
+
+    /// Appends compute work.
+    pub fn compute(&mut self, latency: u8) -> &mut Self {
+        self.ops.push(Op::Compute(latency));
+        self
+    }
+
+    /// Opens a durable transaction with the given undo hint.
+    pub fn tx_begin(&mut self, undo_hint: Vec<Addr>) -> &mut Self {
+        self.ops.push(Op::TxBegin { undo_hint });
+        self
+    }
+
+    /// Commits the open durable transaction.
+    pub fn tx_end(&mut self) -> &mut Self {
+        self.ops.push(Op::TxEnd);
+        self
+    }
+
+    /// Number of transactions in the program.
+    pub fn transaction_count(&self) -> u64 {
+        self.ops.iter().filter(|o| matches!(o, Op::TxEnd)).count() as u64
+    }
+
+    /// Validates transaction bracketing and, for each transaction, that
+    /// every written grain is covered by the undo hint (required for the
+    /// software logging expansion to be failure-safe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let mut hint_grains: Option<std::collections::HashSet<u64>> = None;
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::TxBegin { undo_hint } => {
+                    if hint_grains.is_some() {
+                        return Err(SimError::InvalidConfig(format!(
+                            "op {i}: nested tx_begin in program for {}",
+                            self.thread
+                        )));
+                    }
+                    hint_grains = Some(
+                        undo_hint.iter().map(|a| a.log_grain().index()).collect(),
+                    );
+                }
+                Op::TxEnd => {
+                    if hint_grains.take().is_none() {
+                        return Err(SimError::InvalidConfig(format!(
+                            "op {i}: tx_end without tx_begin in program for {}",
+                            self.thread
+                        )));
+                    }
+                }
+                Op::Write(addr, _) => {
+                    if let Some(grains) = &hint_grains {
+                        if !grains.contains(&addr.log_grain().index()) {
+                            return Err(SimError::InvalidConfig(format!(
+                                "op {i}: write to {addr} not covered by undo hint"
+                            )));
+                        }
+                    }
+                }
+                Op::Read(_) | Op::ReadDep(_) | Op::Compute(_) => {}
+            }
+        }
+        if hint_grains.is_some() {
+            return Err(SimError::InvalidConfig(format!(
+                "program for {} ends inside a transaction",
+                self.thread
+            )));
+        }
+        Ok(())
+    }
+
+    /// Applies the program's writes directly to `image`, bypassing the
+    /// simulator. Used to fast-forward initialization phases (the paper
+    /// fast-forwards `#InitOps` before detailed simulation) and to compute
+    /// the expected final memory contents in tests.
+    pub fn apply_functionally(&self, image: &mut crate::pmem::WordImage) {
+        for op in &self.ops {
+            if let Op::Write(addr, value) = op {
+                image.write_word(*addr, *value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmem::WordImage;
+
+    #[test]
+    fn builder_chains() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![Addr::new(0x100)])
+            .read(Addr::new(0x100))
+            .compute(3)
+            .write(Addr::new(0x100), 5)
+            .tx_end();
+        assert_eq!(p.ops.len(), 5);
+        assert_eq!(p.transaction_count(), 1);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn hint_covers_whole_grain() {
+        let mut p = Program::new(ThreadId::new(0));
+        // Hint names 0x100; write to 0x118 is in the same 32 B grain.
+        p.tx_begin(vec![Addr::new(0x100)]).write(Addr::new(0x118), 1).tx_end();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn uncovered_write_rejected() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![Addr::new(0x100)]).write(Addr::new(0x200), 1).tx_end();
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("not covered"));
+    }
+
+    #[test]
+    fn bracketing_violations_rejected() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_end();
+        assert!(p.validate().is_err());
+
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![]).tx_begin(vec![]);
+        assert!(p.validate().is_err());
+
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn writes_outside_tx_need_no_hint() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.write(Addr::new(0x500), 9);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn functional_application() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![Addr::new(0x100)]).write(Addr::new(0x100), 5).tx_end();
+        p.write(Addr::new(0x200), 6);
+        let mut img = WordImage::new();
+        p.apply_functionally(&mut img);
+        assert_eq!(img.read_word(Addr::new(0x100)), 5);
+        assert_eq!(img.read_word(Addr::new(0x200)), 6);
+    }
+}

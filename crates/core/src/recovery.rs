@@ -1,0 +1,380 @@
+//! Crash recovery for both logging protocols.
+//!
+//! A crash leaves a [`CrashImage`]: the durable contents of the machine —
+//! the NVMM plus, under ADR, whatever the battery drained out of the WPQ
+//! and LPQ (the simulator builds the image; this module consumes it).
+//!
+//! Two recovery protocols exist:
+//!
+//! * **Software (logFlag)** — Fig. 2 of the paper. If a thread's
+//!   `logFlag` is non-zero, the transaction it names was in flight; its
+//!   undo entries are applied and the flag is cleared.
+//! * **Hardware (txID + commit marker)** — §4.3 of the paper. Because
+//!   each thread has one log area and one active transaction, only log
+//!   entries carrying the *most recent* transaction ID are live. If that
+//!   transaction's commit marker made it to durability the transaction
+//!   committed and nothing is undone; otherwise its entries are applied.
+//!
+//! In both protocols, when a grain was logged more than once (out-of-order
+//! flushes, LLT evictions, context switches), only the **earliest** entry
+//! in program order holds pre-transaction data (§4.2), so recovery applies
+//! the lowest-sequence entry per grain.
+//!
+//! Recovery is idempotent: the software path clears `logFlag`, and the
+//! hardware path stamps a commit marker onto the undone transaction's last
+//! entry so a second crash during recovery re-runs harmlessly.
+
+use crate::entry::LogEntry;
+use crate::layout::AddressLayout;
+use crate::pmem::WordImage;
+use proteus_types::config::LoggingSchemeKind;
+use proteus_types::{Addr, SimError, ThreadId, TxId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The durable state captured at a crash.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashImage {
+    /// Durable memory contents: NVMM plus ADR-drained queues.
+    pub nvmm: WordImage,
+}
+
+impl CrashImage {
+    /// Wraps an image.
+    pub fn new(nvmm: WordImage) -> Self {
+        CrashImage { nvmm }
+    }
+}
+
+/// What recovery did, per thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadOutcome {
+    /// No live log was found; nothing to do.
+    Clean,
+    /// The named transaction was in flight and has been rolled back,
+    /// applying the given number of undo entries.
+    RolledBack {
+        /// The undone transaction.
+        tx: TxId,
+        /// Undo entries applied (one per distinct grain).
+        entries_applied: usize,
+    },
+    /// The most recent transaction had a durable commit marker, so its
+    /// (stale) log entries were ignored.
+    Committed {
+        /// The committed transaction.
+        tx: TxId,
+    },
+}
+
+/// Summary of a recovery pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Outcome per scanned thread.
+    pub outcomes: Vec<(ThreadId, ThreadOutcome)>,
+}
+
+impl RecoveryReport {
+    /// Total undo entries applied across threads.
+    pub fn entries_applied(&self) -> usize {
+        self.outcomes
+            .iter()
+            .map(|(_, o)| match o {
+                ThreadOutcome::RolledBack { entries_applied, .. } => *entries_applied,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Threads whose transactions were rolled back.
+    pub fn rolled_back(&self) -> impl Iterator<Item = (ThreadId, TxId)> + '_ {
+        self.outcomes.iter().filter_map(|(t, o)| match o {
+            ThreadOutcome::RolledBack { tx, .. } => Some((*t, *tx)),
+            _ => None,
+        })
+    }
+}
+
+/// Runs crash recovery over `image` for every thread in `threads`.
+///
+/// The scheme kind selects the protocol: the software schemes use the
+/// logFlag protocol, the hardware schemes the txID/commit-marker protocol,
+/// and [`LoggingSchemeKind::NoLog`] performs no recovery (it is not
+/// failure-safe — this is exactly the paper's "ideal but unsafe" point).
+///
+/// # Errors
+///
+/// Returns [`SimError::CorruptLog`] if a log image violates protocol
+/// invariants (e.g. a logFlag naming a transaction with no entries when
+/// entries were required).
+pub fn recover(
+    image: &mut WordImage,
+    layout: &AddressLayout,
+    kind: LoggingSchemeKind,
+    threads: &[ThreadId],
+) -> Result<RecoveryReport, SimError> {
+    let mut report = RecoveryReport::default();
+    for &thread in threads {
+        let outcome = match kind {
+            LoggingSchemeKind::SwPmem | LoggingSchemeKind::SwPmemPcommit => {
+                recover_sw_thread(image, layout, thread)?
+            }
+            LoggingSchemeKind::Atom
+            | LoggingSchemeKind::Proteus
+            | LoggingSchemeKind::ProteusNoLwr => recover_hw_thread(image, layout, thread)?,
+            LoggingSchemeKind::NoLog => ThreadOutcome::Clean,
+        };
+        report.outcomes.push((thread, outcome));
+    }
+    Ok(report)
+}
+
+/// Scans a thread's log area, returning `(slot_address, entry)` pairs for
+/// every valid slot.
+pub fn scan_log_area(
+    image: &WordImage,
+    layout: &AddressLayout,
+    thread: ThreadId,
+) -> Vec<(Addr, LogEntry)> {
+    (0..layout.log_area_entries)
+        .filter_map(|slot| {
+            let addr = layout.log_slot(thread, slot);
+            LogEntry::read_from(image, addr).map(|e| (addr, e))
+        })
+        .collect()
+}
+
+/// Selects, per grain, the earliest-sequence entry among `entries`.
+fn earliest_per_grain(entries: &[(Addr, LogEntry)], tx: TxId) -> Vec<LogEntry> {
+    let mut best: HashMap<u64, LogEntry> = HashMap::new();
+    for (_, e) in entries {
+        if e.tx != tx {
+            continue;
+        }
+        let grain = e.log_from.log_grain().index();
+        match best.get(&grain) {
+            Some(prev) if prev.seq <= e.seq => {}
+            _ => {
+                best.insert(grain, *e);
+            }
+        }
+    }
+    let mut list: Vec<LogEntry> = best.into_values().collect();
+    list.sort_by_key(|e| e.seq);
+    list
+}
+
+fn apply_undo(image: &mut WordImage, entries: &[LogEntry]) {
+    for e in entries {
+        image.write_grain(e.log_from, &e.data);
+    }
+}
+
+fn recover_sw_thread(
+    image: &mut WordImage,
+    layout: &AddressLayout,
+    thread: ThreadId,
+) -> Result<ThreadOutcome, SimError> {
+    let flag_addr = layout.log_flag(thread);
+    let flag = image.read_word(flag_addr);
+    if flag == 0 {
+        return Ok(ThreadOutcome::Clean);
+    }
+    let tx = TxId::new(flag);
+    let entries = scan_log_area(image, layout, thread);
+    let undo = earliest_per_grain(&entries, tx);
+    apply_undo(image, &undo);
+    image.write_word(flag_addr, 0);
+    Ok(ThreadOutcome::RolledBack { tx, entries_applied: undo.len() })
+}
+
+fn recover_hw_thread(
+    image: &mut WordImage,
+    layout: &AddressLayout,
+    thread: ThreadId,
+) -> Result<ThreadOutcome, SimError> {
+    let entries = scan_log_area(image, layout, thread);
+    let Some(max_tx) = entries.iter().map(|(_, e)| e.tx).max() else {
+        return Ok(ThreadOutcome::Clean);
+    };
+    let committed = entries.iter().any(|(_, e)| e.tx == max_tx && e.commit_marker);
+    if committed {
+        return Ok(ThreadOutcome::Committed { tx: max_tx });
+    }
+    let undo = earliest_per_grain(&entries, max_tx);
+    if undo.is_empty() {
+        return Err(SimError::CorruptLog(format!(
+            "{thread}: live transaction {max_tx} has no undo entries"
+        )));
+    }
+    apply_undo(image, &undo);
+    // Stamp a commit marker on the transaction's latest entry so a repeat
+    // recovery (crash during recovery) treats it as resolved.
+    let (slot, latest) = entries
+        .iter()
+        .filter(|(_, e)| e.tx == max_tx)
+        .max_by_key(|(_, e)| e.seq)
+        .copied()
+        .expect("entries nonempty for max_tx");
+    latest.with_commit_marker().write_to(image, slot);
+    Ok(ThreadOutcome::RolledBack { tx: max_tx, entries_applied: undo.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> AddressLayout {
+        AddressLayout { log_area_entries: 8, ..AddressLayout::default() }
+    }
+
+    fn thread() -> ThreadId {
+        ThreadId::new(0)
+    }
+
+    fn put_entry(
+        image: &mut WordImage,
+        layout: &AddressLayout,
+        slot: usize,
+        entry: LogEntry,
+    ) {
+        entry.write_to(image, layout.log_slot(thread(), slot));
+    }
+
+    #[test]
+    fn sw_clean_when_flag_clear() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let r = recover(&mut img, &layout, LoggingSchemeKind::SwPmem, &[thread()]).unwrap();
+        assert_eq!(r.outcomes[0].1, ThreadOutcome::Clean);
+    }
+
+    #[test]
+    fn sw_rolls_back_in_flight_tx() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let data_addr = Addr::new(0x1000_0000);
+        // Pre-tx value 7 in the log; crashed mid-update with 99 in place.
+        img.write_word(data_addr, 99);
+        put_entry(
+            &mut img,
+            &layout,
+            0,
+            LogEntry::new([7, 0, 0, 0], data_addr, TxId::new(3), 0),
+        );
+        img.write_word(layout.log_flag(thread()), 3);
+        let r = recover(&mut img, &layout, LoggingSchemeKind::SwPmem, &[thread()]).unwrap();
+        assert_eq!(img.read_word(data_addr), 7);
+        assert_eq!(img.read_word(layout.log_flag(thread())), 0);
+        assert_eq!(r.entries_applied(), 1);
+        // Idempotent: running again finds a clear flag.
+        let r2 = recover(&mut img, &layout, LoggingSchemeKind::SwPmem, &[thread()]).unwrap();
+        assert_eq!(r2.outcomes[0].1, ThreadOutcome::Clean);
+    }
+
+    #[test]
+    fn sw_ignores_stale_entries_of_other_txs() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0100);
+        img.write_word(a, 50);
+        img.write_word(b, 60);
+        put_entry(&mut img, &layout, 0, LogEntry::new([1, 0, 0, 0], a, TxId::new(2), 0));
+        put_entry(&mut img, &layout, 1, LogEntry::new([2, 0, 0, 0], b, TxId::new(3), 1));
+        img.write_word(layout.log_flag(thread()), 3);
+        recover(&mut img, &layout, LoggingSchemeKind::SwPmem, &[thread()]).unwrap();
+        assert_eq!(img.read_word(a), 50, "tx2's entry must not be applied");
+        assert_eq!(img.read_word(b), 2, "tx3's entry must be applied");
+    }
+
+    #[test]
+    fn hw_clean_on_empty_log() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()]).unwrap();
+        assert_eq!(r.outcomes[0].1, ThreadOutcome::Clean);
+    }
+
+    #[test]
+    fn hw_committed_tx_not_undone() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let a = Addr::new(0x1000_0000);
+        img.write_word(a, 99); // committed new value
+        put_entry(
+            &mut img,
+            &layout,
+            0,
+            LogEntry::new([7, 0, 0, 0], a, TxId::new(5), 0).with_commit_marker(),
+        );
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()]).unwrap();
+        assert_eq!(img.read_word(a), 99);
+        assert_eq!(r.outcomes[0].1, ThreadOutcome::Committed { tx: TxId::new(5) });
+    }
+
+    #[test]
+    fn hw_rolls_back_latest_tx_only() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0100);
+        img.write_word(a, 11); // committed by tx4 long ago
+        img.write_word(b, 99); // in-flight update by tx5
+        // Stale escaped entry of committed tx4 (its marker was dropped
+        // when tx5's first entry arrived — the §4.3 protocol).
+        put_entry(&mut img, &layout, 0, LogEntry::new([1, 0, 0, 0], a, TxId::new(4), 0));
+        // Live entry of crashed tx5.
+        put_entry(&mut img, &layout, 1, LogEntry::new([60, 0, 0, 0], b, TxId::new(5), 1));
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()]).unwrap();
+        assert_eq!(img.read_word(a), 11, "older tx must be ignored");
+        assert_eq!(img.read_word(b), 60, "latest tx must be rolled back");
+        assert_eq!(r.entries_applied(), 1);
+        // Idempotent: a second recovery sees the stamped marker.
+        let r2 = recover(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()]).unwrap();
+        assert_eq!(r2.outcomes[0].1, ThreadOutcome::Committed { tx: TxId::new(5) });
+        assert_eq!(img.read_word(b), 60);
+    }
+
+    #[test]
+    fn hw_earliest_entry_per_grain_wins() {
+        // §4.2: two entries for the same grain in one tx — only the first
+        // in program order holds pre-tx data.
+        let layout = layout();
+        let mut img = WordImage::new();
+        let a = Addr::new(0x1000_0000);
+        img.write_word(a, 99);
+        put_entry(&mut img, &layout, 2, LogEntry::new([7, 0, 0, 0], a, TxId::new(9), 10));
+        put_entry(&mut img, &layout, 5, LogEntry::new([55, 0, 0, 0], a, TxId::new(9), 14));
+        recover(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()]).unwrap();
+        assert_eq!(img.read_word(a), 7, "earliest entry must win");
+    }
+
+    #[test]
+    fn hw_undoes_multiple_grains_of_one_tx() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0020);
+        img.write_word(a, 100);
+        img.write_word(b, 200);
+        put_entry(&mut img, &layout, 0, LogEntry::new([1, 2, 3, 4], a, TxId::new(2), 0));
+        put_entry(&mut img, &layout, 1, LogEntry::new([5, 6, 7, 8], b, TxId::new(2), 1));
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Atom, &[thread()]).unwrap();
+        assert_eq!(r.entries_applied(), 2);
+        assert_eq!(img.read_grain(a), [1, 2, 3, 4]);
+        assert_eq!(img.read_grain(b), [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn nolog_never_recovers() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let a = Addr::new(0x1000_0000);
+        img.write_word(a, 99);
+        put_entry(&mut img, &layout, 0, LogEntry::new([7, 0, 0, 0], a, TxId::new(1), 0));
+        let r = recover(&mut img, &layout, LoggingSchemeKind::NoLog, &[thread()]).unwrap();
+        assert_eq!(r.outcomes[0].1, ThreadOutcome::Clean);
+        assert_eq!(img.read_word(a), 99);
+    }
+}

@@ -1,0 +1,216 @@
+//! Hardware-logging expansions: ATOM and Proteus.
+//!
+//! **ATOM** (paper §3.1, §5.1): software only marks transaction
+//! boundaries; the hardware creates undo-log entries automatically right
+//! before each transactional store retires. The trace therefore contains
+//! no logging instructions at all — just `tx-begin`, the body, per-line
+//! `clwb`s, and `tx-end`.
+//!
+//! **Proteus** (paper §3.2, Fig. 4): the compiler expands every
+//! transactional store into the three-instruction sequence
+//! `log-load LRn, addr; log-flush LRn, (LTA)+; st addr`. Log registers are
+//! assigned round-robin; repeated stores to an already-logged grain still
+//! carry the pair (alias analysis is unreliable, §4.2) and are elided at
+//! run time by the LLT.
+
+use super::DirtyLines;
+use crate::isa::{LogRegId, Trace, Uop};
+use crate::program::{Op, Program};
+use crate::scheme::ExpandOptions;
+use proteus_types::{SimError, TxId};
+
+pub(super) fn expand_atom(program: &Program) -> Result<Trace, SimError> {
+    let mut trace = Trace::new(program.thread);
+    let mut dirty = DirtyLines::new();
+    let mut next_tx = TxId::new(1);
+    let mut current: Option<TxId> = None;
+    for op in &program.ops {
+        match op {
+            Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
+            Op::ReadDep(addr) => {
+                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
+            }
+            Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
+            Op::Write(addr, value) => {
+                trace.uops.push(Uop::Store { addr: *addr, value: *value });
+                if current.is_some() {
+                    dirty.record(*addr);
+                }
+            }
+            Op::TxBegin { .. } => {
+                let tx = next_tx;
+                next_tx = next_tx.next();
+                current = Some(tx);
+                trace.uops.push(Uop::TxBegin { tx });
+            }
+            Op::TxEnd => {
+                let tx = current.take().expect("validated program");
+                for line in dirty.drain() {
+                    trace.uops.push(Uop::Clwb { addr: line.base() });
+                }
+                trace.uops.push(Uop::TxEnd { tx });
+                trace.transactions += 1;
+            }
+        }
+    }
+    Ok(trace)
+}
+
+pub(super) fn expand_proteus(
+    program: &Program,
+    opts: &ExpandOptions,
+) -> Result<Trace, SimError> {
+    if opts.log_registers == 0 {
+        return Err(SimError::InvalidConfig("log_registers must be at least 1".into()));
+    }
+    let mut trace = Trace::new(program.thread);
+    let mut dirty = DirtyLines::new();
+    let mut next_tx = TxId::new(1);
+    let mut current: Option<TxId> = None;
+    let mut lr_counter = 0usize;
+    for op in &program.ops {
+        match op {
+            Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
+            Op::ReadDep(addr) => {
+                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
+            }
+            Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
+            Op::Write(addr, value) => {
+                if current.is_some() {
+                    let lr = LogRegId((lr_counter % opts.log_registers) as u8);
+                    lr_counter += 1;
+                    trace.uops.push(Uop::LogLoad { lr, addr: addr.log_grain().base() });
+                    trace.uops.push(Uop::LogFlush { lr });
+                    dirty.record(*addr);
+                }
+                trace.uops.push(Uop::Store { addr: *addr, value: *value });
+            }
+            Op::TxBegin { .. } => {
+                let tx = next_tx;
+                next_tx = next_tx.next();
+                current = Some(tx);
+                trace.uops.push(Uop::TxBegin { tx });
+            }
+            Op::TxEnd => {
+                let tx = current.take().expect("validated program");
+                for line in dirty.drain() {
+                    trace.uops.push(Uop::Clwb { addr: line.base() });
+                }
+                trace.uops.push(Uop::TxEnd { tx });
+                trace.transactions += 1;
+            }
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::{Addr, ThreadId};
+
+    fn two_store_tx() -> Program {
+        let mut p = Program::new(ThreadId::new(0));
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0040);
+        p.tx_begin(vec![a, b]);
+        p.write(a, 1);
+        p.write(b, 2);
+        p.tx_end();
+        p
+    }
+
+    #[test]
+    fn atom_has_no_logging_instructions() {
+        let t = expand_atom(&two_store_tx()).unwrap();
+        assert_eq!(t.count_matching(|u| u.is_logging()), 0);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::TxBegin { .. })), 1);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::TxEnd { .. })), 1);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Clwb { .. })), 2);
+    }
+
+    #[test]
+    fn proteus_matches_fig4_shape() {
+        // Fig. 4: each store becomes log-load; log-flush; st.
+        let t = expand_proteus(&two_store_tx(), &ExpandOptions::default()).unwrap();
+        let kinds: Vec<&Uop> = t.uops.iter().collect();
+        assert!(matches!(kinds[0], Uop::TxBegin { .. }));
+        assert!(matches!(kinds[1], Uop::LogLoad { lr: LogRegId(0), .. }));
+        assert!(matches!(kinds[2], Uop::LogFlush { lr: LogRegId(0) }));
+        assert!(matches!(kinds[3], Uop::Store { .. }));
+        assert!(matches!(kinds[4], Uop::LogLoad { lr: LogRegId(1), .. }));
+        assert!(matches!(kinds[5], Uop::LogFlush { lr: LogRegId(1) }));
+        assert!(matches!(kinds[6], Uop::Store { .. }));
+    }
+
+    #[test]
+    fn log_registers_wrap_round_robin() {
+        let mut p = Program::new(ThreadId::new(0));
+        let base = Addr::new(0x1000_0000);
+        let hints: Vec<Addr> = (0..10).map(|i| base.offset(i * 64)).collect();
+        p.tx_begin(hints.clone());
+        for (i, a) in hints.iter().enumerate() {
+            p.write(*a, i as u64);
+        }
+        p.tx_end();
+        let opts = ExpandOptions { log_registers: 4, ..Default::default() };
+        let t = expand_proteus(&p, &opts).unwrap();
+        let regs: Vec<u8> = t
+            .uops
+            .iter()
+            .filter_map(|u| match u {
+                Uop::LogLoad { lr, .. } => Some(lr.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regs, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn repeated_grain_stores_still_emit_log_pairs() {
+        // The compiler cannot prove aliasing; the LLT dedups at run time.
+        let mut p = Program::new(ThreadId::new(0));
+        let a = Addr::new(0x1000_0000);
+        p.tx_begin(vec![a]);
+        p.write(a, 1);
+        p.write(a.offset(8), 2); // same grain
+        p.tx_end();
+        let t = expand_proteus(&p, &ExpandOptions::default()).unwrap();
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::LogLoad { .. })), 2);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::LogFlush { .. })), 2);
+    }
+
+    #[test]
+    fn log_load_targets_grain_base() {
+        let mut p = Program::new(ThreadId::new(0));
+        let a = Addr::new(0x1000_0038); // not grain aligned
+        p.tx_begin(vec![a]);
+        p.write(a, 1);
+        p.tx_end();
+        let t = expand_proteus(&p, &ExpandOptions::default()).unwrap();
+        let ll = t
+            .uops
+            .iter()
+            .find_map(|u| match u {
+                Uop::LogLoad { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ll, Addr::new(0x1000_0020));
+    }
+
+    #[test]
+    fn non_transactional_writes_unlogged() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.write(Addr::new(0x100), 1);
+        let t = expand_proteus(&p, &ExpandOptions::default()).unwrap();
+        assert_eq!(t.count_matching(|u| u.is_logging()), 0);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Store { .. })), 1);
+    }
+
+    #[test]
+    fn zero_log_registers_rejected() {
+        let opts = ExpandOptions { log_registers: 0, ..Default::default() };
+        assert!(expand_proteus(&two_store_tx(), &opts).is_err());
+    }
+}

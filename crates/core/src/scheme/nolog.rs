@@ -1,0 +1,76 @@
+//! PMEM+nolog expansion: data persistence without any logging.
+//!
+//! This is the paper's ideal case — not failure-safe, but free of every
+//! logging overhead. Transactional stores execute directly; at commit each
+//! dirtied line is flushed with one `clwb` and a single `sfence` orders
+//! the flushes before post-transaction code.
+
+use super::DirtyLines;
+use crate::isa::{Trace, Uop};
+use crate::program::{Op, Program};
+use proteus_types::SimError;
+
+pub(super) fn expand(program: &Program) -> Result<Trace, SimError> {
+    let mut trace = Trace::new(program.thread);
+    let mut dirty = DirtyLines::new();
+    let mut in_tx = false;
+    for op in &program.ops {
+        match op {
+            Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
+            Op::ReadDep(addr) => {
+                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
+            }
+            Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
+            Op::Write(addr, value) => {
+                trace.uops.push(Uop::Store { addr: *addr, value: *value });
+                if in_tx {
+                    dirty.record(*addr);
+                }
+            }
+            Op::TxBegin { .. } => {
+                in_tx = true;
+            }
+            Op::TxEnd => {
+                for line in dirty.drain() {
+                    trace.uops.push(Uop::Clwb { addr: line.base() });
+                }
+                trace.uops.push(Uop::Sfence);
+                trace.transactions += 1;
+                in_tx = false;
+            }
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::{Addr, ThreadId};
+
+    #[test]
+    fn one_clwb_per_node_line() {
+        let mut p = Program::new(ThreadId::new(0));
+        let node = Addr::new(0x1000_0000);
+        p.tx_begin(vec![node]);
+        // Three stores to the same 64 B node.
+        p.write(node, 1);
+        p.write(node.offset(8), 2);
+        p.write(node.offset(16), 3);
+        p.tx_end();
+        let t = expand(&p).unwrap();
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Store { .. })), 3);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Clwb { .. })), 1);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Sfence)), 1);
+        assert_eq!(t.count_matching(|u| u.is_logging()), 0);
+    }
+
+    #[test]
+    fn non_transactional_stores_not_flushed() {
+        let mut p = Program::new(ThreadId::new(0));
+        p.write(Addr::new(0x100), 1);
+        let t = expand(&p).unwrap();
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Clwb { .. })), 0);
+        assert_eq!(t.transactions, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Software undo-logging expansion (the paper's PMEM baseline, Fig. 2).
+//!
+//! Each durable transaction compiles into the four-step fail-safe
+//! protocol:
+//!
+//! 1. for every grain in the undo hint: load the original 32 B, store the
+//!    64 B log entry into the thread's circular log area, `clwb` the log
+//!    line; then one `sfence`;
+//! 2. store `logFlag = txID`, `clwb`, `sfence`;
+//! 3. the transaction body (data stores in place), then `clwb` of every
+//!    dirtied line and `sfence`;
+//! 4. store `logFlag = 0`, `clwb`, `sfence`.
+//!
+//! With `pcommit` enabled (the PMEM+pcommit baseline), every persist point
+//! additionally drains the WPQ to NVMM.
+//!
+//! The expansion pre-executes the program against a working copy of the
+//! initial memory image so the log-entry stores carry the exact
+//! pre-transaction values; recovery correctness is then testable
+//! end-to-end.
+
+use super::DirtyLines;
+use crate::entry::LogEntry;
+use crate::isa::{Trace, Uop};
+use crate::layout::AddressLayout;
+use crate::logarea::LogArea;
+use crate::program::{Op, Program};
+use crate::scheme::ExpandOptions;
+use proteus_types::{SimError, TxId};
+
+pub(super) fn expand(
+    program: &Program,
+    layout: &AddressLayout,
+    opts: &ExpandOptions,
+    pcommit: bool,
+) -> Result<Trace, SimError> {
+    let mut trace = Trace::new(program.thread);
+    let mut image = opts.initial_image.clone();
+    let mut area = LogArea::new(program.thread, layout);
+    let mut dirty = DirtyLines::new();
+    let log_flag = layout.log_flag(program.thread);
+    let mut next_tx = TxId::new(1);
+
+    let persist_point = |trace: &mut Trace| {
+        trace.uops.push(Uop::Sfence);
+        if pcommit {
+            trace.uops.push(Uop::Pcommit);
+            trace.uops.push(Uop::Sfence);
+        }
+    };
+
+    for op in &program.ops {
+        match op {
+            Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
+            Op::ReadDep(addr) => {
+                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
+            }
+            Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
+            Op::Write(addr, value) => {
+                trace.uops.push(Uop::Store { addr: *addr, value: *value });
+                image.write_word(*addr, *value);
+                if area.current_tx().is_some() {
+                    dirty.record(*addr);
+                }
+            }
+            Op::TxBegin { undo_hint } => {
+                let tx = next_tx;
+                next_tx = next_tx.next();
+                area.begin_tx(tx)?;
+
+                // Step 1: create and persist the undo log for every grain
+                // in the (conservative) hint, one grain at a time.
+                let mut seen_grains = std::collections::HashSet::new();
+                for hint_addr in undo_hint {
+                    let grain = hint_addr.log_grain();
+                    if !seen_grains.insert(grain) {
+                        continue;
+                    }
+                    let grain_base = grain.base();
+                    // Software reads the original data...
+                    for w in 0..4u64 {
+                        trace.uops.push(Uop::Load { addr: grain_base.offset(w * 8), dependent: false });
+                    }
+                    let (slot, seq) = area.alloc()?;
+                    let entry =
+                        LogEntry::new(image.read_grain(grain_base), grain_base, tx, seq);
+                    // ...then stores the 64 B entry word by word...
+                    for (i, word) in entry.encode_words().iter().enumerate() {
+                        trace.uops.push(Uop::Store {
+                            addr: slot.offset(i as u64 * 8),
+                            value: *word,
+                        });
+                    }
+                    image.write_line(slot.line(), &entry.encode_words());
+                    // ...and flushes the log line.
+                    trace.uops.push(Uop::Clwb { addr: slot });
+                }
+                persist_point(&mut trace);
+
+                // Step 2: set and persist logFlag = txID.
+                trace.uops.push(Uop::Store { addr: log_flag, value: tx.raw() });
+                image.write_word(log_flag, tx.raw());
+                trace.uops.push(Uop::Clwb { addr: log_flag });
+                persist_point(&mut trace);
+            }
+            Op::TxEnd => {
+                area.end_tx()?;
+                // Step 3: persist the data updates.
+                for line in dirty.drain() {
+                    trace.uops.push(Uop::Clwb { addr: line.base() });
+                }
+                persist_point(&mut trace);
+
+                // Step 4: clear and persist logFlag.
+                trace.uops.push(Uop::Store { addr: log_flag, value: 0 });
+                image.write_word(log_flag, 0);
+                trace.uops.push(Uop::Clwb { addr: log_flag });
+                persist_point(&mut trace);
+                trace.transactions += 1;
+            }
+        }
+    }
+    Ok(trace)
+}
+
+/// Expands with access to the working image for tests that need the final
+/// functional state.
+#[cfg(test)]
+pub(crate) fn expand_with_final_image(
+    program: &Program,
+    layout: &AddressLayout,
+    opts: &ExpandOptions,
+) -> (Trace, crate::pmem::WordImage) {
+    let trace = expand(program, layout, opts, false).unwrap();
+    let mut image = opts.initial_image.clone();
+    for u in &trace.uops {
+        if let Uop::Store { addr, value } = u {
+            image.write_word(*addr, *value);
+        }
+    }
+    (trace, image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmem::WordImage;
+    use proteus_types::{Addr, ThreadId};
+
+    fn one_tx_program(node: Addr) -> Program {
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node]);
+        p.write(node, 0xAB);
+        p.tx_end();
+        p
+    }
+
+    #[test]
+    fn four_sfences_per_transaction() {
+        let layout = AddressLayout::default();
+        let p = one_tx_program(Addr::new(0x1000_0000));
+        let t = expand(&p, &layout, &ExpandOptions::default(), false).unwrap();
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Sfence)), 4);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Pcommit)), 0);
+    }
+
+    #[test]
+    fn pcommit_variant_adds_drains() {
+        let layout = AddressLayout::default();
+        let p = one_tx_program(Addr::new(0x1000_0000));
+        let t = expand(&p, &layout, &ExpandOptions::default(), true).unwrap();
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Pcommit)), 4);
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Sfence)), 8);
+    }
+
+    #[test]
+    fn log_entry_carries_pre_transaction_value() {
+        let layout = AddressLayout::default();
+        let node = Addr::new(0x1000_0000);
+        let mut initial = WordImage::new();
+        initial.write_word(node, 0x11);
+        let opts = ExpandOptions { initial_image: initial, ..Default::default() };
+        let p = one_tx_program(node);
+        let (_, final_image) = expand_with_final_image(&p, &layout, &opts);
+        // The log entry at slot 0 must hold the OLD value 0x11, while the
+        // data location holds the new value 0xAB.
+        let slot = layout.log_slot(ThreadId::new(0), 0);
+        let entry = LogEntry::read_from(&final_image, slot).unwrap();
+        assert_eq!(entry.data[0], 0x11);
+        assert_eq!(entry.log_from, node);
+        assert_eq!(final_image.read_word(node), 0xAB);
+    }
+
+    #[test]
+    fn conservative_hint_logs_unwritten_grains() {
+        // Tree rebalancing logs nodes that end up unmodified; the trace
+        // must still log every hinted grain.
+        let layout = AddressLayout::default();
+        let mut p = Program::new(ThreadId::new(0));
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0100);
+        let c = Addr::new(0x1000_0200);
+        p.tx_begin(vec![a, b, c]);
+        p.write(a, 1);
+        p.tx_end();
+        let t = expand(&p, &layout, &ExpandOptions::default(), false).unwrap();
+        // 3 grains logged, 8 stores each, plus 1 data store, 1 logFlag set,
+        // 1 logFlag clear.
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Store { .. })), 3 * 8 + 3);
+    }
+
+    #[test]
+    fn duplicate_hint_grains_logged_once() {
+        let layout = AddressLayout::default();
+        let mut p = Program::new(ThreadId::new(0));
+        let a = Addr::new(0x1000_0000);
+        p.tx_begin(vec![a, a.offset(8)]); // same grain twice
+        p.write(a, 1);
+        p.tx_end();
+        let t = expand(&p, &layout, &ExpandOptions::default(), false).unwrap();
+        // 1 grain logged: 8 log stores + 1 data + 2 logFlag.
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Store { .. })), 8 + 3);
+    }
+
+    #[test]
+    fn log_flag_protocol_sets_then_clears() {
+        let layout = AddressLayout::default();
+        let flag = layout.log_flag(ThreadId::new(0));
+        let p = one_tx_program(Addr::new(0x1000_0000));
+        let t = expand(&p, &layout, &ExpandOptions::default(), false).unwrap();
+        let flag_writes: Vec<u64> = t
+            .uops
+            .iter()
+            .filter_map(|u| match u {
+                Uop::Store { addr, value } if *addr == flag => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flag_writes, vec![1, 0]); // txID=1 then cleared
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based tests for the core library's data structures and the
+//! scheme compiler.
+
+use proptest::prelude::*;
+use proteus_core::entry::LogEntry;
+use proteus_core::isa::Uop;
+use proteus_core::layout::AddressLayout;
+use proteus_core::logarea::LogArea;
+use proteus_core::pmem::WordImage;
+use proteus_core::program::{Op, Program};
+use proteus_core::recovery::{recover, scan_log_area};
+use proteus_core::scheme::expand_program;
+use proteus_types::config::LoggingSchemeKind;
+use proteus_types::{Addr, ThreadId, TxId};
+use std::collections::HashMap;
+
+fn arb_entry() -> impl Strategy<Value = LogEntry> {
+    (
+        prop::array::uniform4(any::<u64>()),
+        0u64..0x4000_0000,
+        1u64..1_000_000,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(data, grain_idx, tx, marker, seq)| {
+            let e = LogEntry::new(data, Addr::new(grain_idx * 32), TxId::new(tx), seq);
+            if marker {
+                e.with_commit_marker()
+            } else {
+                e
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn log_entry_word_roundtrip(entry in arb_entry()) {
+        let words = entry.encode_words();
+        prop_assert_eq!(LogEntry::decode_words(&words), Some(entry));
+    }
+
+    #[test]
+    fn log_entry_byte_roundtrip(entry in arb_entry()) {
+        let bytes = entry.encode_bytes();
+        prop_assert_eq!(LogEntry::decode_bytes(&bytes), Some(entry));
+    }
+
+    #[test]
+    fn word_image_behaves_like_a_map(ops in prop::collection::vec(
+        (0u64..2048, any::<u64>(), any::<bool>()), 1..200))
+    {
+        let mut image = WordImage::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (word, value, is_write) in ops {
+            let addr = Addr::new(word * 8);
+            if is_write {
+                image.write_word(addr, value);
+                reference.insert(word, value);
+            } else {
+                let expected = reference.get(&word).copied().unwrap_or(0);
+                prop_assert_eq!(image.read_word(addr), expected);
+            }
+        }
+        for (word, value) in &reference {
+            prop_assert_eq!(image.read_word(Addr::new(word * 8)), *value);
+        }
+    }
+
+    #[test]
+    fn word_image_line_and_grain_views_agree(words in prop::array::uniform8(any::<u64>())) {
+        let mut image = WordImage::new();
+        let line = Addr::new(0x40_0000).line();
+        image.write_line(line, &words);
+        let g0 = image.read_grain(line.base());
+        let g1 = image.read_grain(line.base().offset(32));
+        prop_assert_eq!([g0[0], g0[1], g0[2], g0[3], g1[0], g1[1], g1[2], g1[3]], words);
+    }
+
+    #[test]
+    fn log_area_slots_stay_in_bounds_and_wrap(
+        txs in prop::collection::vec(1usize..20, 1..40))
+    {
+        let layout = AddressLayout { log_area_entries: 32, ..AddressLayout::default() };
+        let thread = ThreadId::new(3);
+        let region = layout.log_area(thread);
+        let mut area = LogArea::new(thread, &layout);
+        let mut tx_id = TxId::new(1);
+        let mut prev_seq = None;
+        for entries in txs {
+            area.begin_tx(tx_id).unwrap();
+            for _ in 0..entries.min(32) {
+                let (slot, seq) = area.alloc().unwrap();
+                prop_assert!(region.contains(slot), "slot {slot} outside area");
+                prop_assert!(slot.is_line_aligned());
+                if let Some(p) = prev_seq {
+                    prop_assert!(seq > p, "sequence must be monotonic");
+                }
+                prev_seq = Some(seq);
+            }
+            area.end_tx().unwrap();
+            tx_id = tx_id.next();
+        }
+    }
+}
+
+/// A random single-thread program with well-formed transactions.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let tx = (
+        prop::collection::vec((0u64..64, any::<u64>()), 1..8),
+        prop::collection::vec(0u64..64, 0..8),
+    );
+    prop::collection::vec(tx, 1..10).prop_map(|txs| {
+        let mut p = Program::new(ThreadId::new(0));
+        let base = Addr::new(0x1000_0000);
+        for (writes, reads) in txs {
+            let hint: Vec<Addr> = writes
+                .iter()
+                .flat_map(|(node, _)| {
+                    let a = base.offset(node * 64);
+                    [a, a.offset(32)]
+                })
+                .collect();
+            for r in &reads {
+                p.read(base.offset(r * 64));
+            }
+            p.tx_begin(hint);
+            for (node, value) in &writes {
+                p.write(base.offset(node * 64 + (value % 8) * 8), *value);
+            }
+            p.tx_end();
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every scheme expansion preserves the program's store sequence
+    /// (same addresses and values, same order).
+    #[test]
+    fn expansion_preserves_data_stores(program in arb_program()) {
+        let layout = AddressLayout::default();
+        let expected: Vec<(Addr, u64)> = program
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Write(a, v) => Some((*a, *v)),
+                _ => None,
+            })
+            .collect();
+        for scheme in LoggingSchemeKind::ALL {
+            let trace = expand_program(&program, scheme, &layout).unwrap();
+            let stores: Vec<(Addr, u64)> = trace
+                .uops
+                .iter()
+                .filter_map(|u| match u {
+                    Uop::Store { addr, value }
+                        if addr.raw() >= 0x1000_0000 && addr.raw() < 0x8000_0000 =>
+                    {
+                        Some((*addr, *value))
+                    }
+                    _ => None,
+                })
+                .filter(|(a, _)| *a != layout.log_flag(ThreadId::new(0)))
+                .collect();
+            prop_assert_eq!(&stores, &expected, "{:?}", scheme);
+        }
+    }
+
+    /// Proteus expansion: every transactional store is immediately
+    /// preceded by its log-load/log-flush pair.
+    #[test]
+    fn proteus_pairs_guard_every_store(program in arb_program()) {
+        let layout = AddressLayout::default();
+        let trace = expand_program(&program, LoggingSchemeKind::Proteus, &layout).unwrap();
+        let mut in_tx = false;
+        for (i, u) in trace.uops.iter().enumerate() {
+            match u {
+                Uop::TxBegin { .. } => in_tx = true,
+                Uop::TxEnd { .. } => in_tx = false,
+                Uop::Store { addr, .. } if in_tx => {
+                    prop_assert!(i >= 2, "store needs a preceding pair");
+                    let lf = &trace.uops[i - 1];
+                    let ll = &trace.uops[i - 2];
+                    prop_assert!(matches!(lf, Uop::LogFlush { .. }), "at {i}: {lf}");
+                    match ll {
+                        Uop::LogLoad { addr: la, .. } => {
+                            prop_assert_eq!(la.log_grain(), addr.log_grain());
+                        }
+                        other => prop_assert!(false, "at {}: {}", i, other),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Functional recovery invariant, schemes aside: writing entries for
+    /// a transaction and recovering always restores exactly the grains
+    /// the transaction logged, using the earliest entry per grain.
+    #[test]
+    fn recovery_applies_earliest_entry_per_grain(
+        entries in prop::collection::vec((0u64..16, any::<u64>()), 1..24))
+    {
+        let layout = AddressLayout { log_area_entries: 64, ..AddressLayout::default() };
+        let thread = ThreadId::new(0);
+        let tx = TxId::new(5);
+        let mut image = WordImage::new();
+        // Live data is "current" everywhere.
+        for g in 0u64..16 {
+            image.write_word(Addr::new(0x1000_0000 + g * 32), 0xFFFF);
+        }
+        let mut first_per_grain: HashMap<u64, u64> = HashMap::new();
+        for (slot, (grain, value)) in entries.iter().enumerate() {
+            let from = Addr::new(0x1000_0000 + grain * 32);
+            LogEntry::new([*value, 0, 0, 0], from, tx, slot as u64)
+                .write_to(&mut image, layout.log_slot(thread, slot));
+            first_per_grain.entry(*grain).or_insert(*value);
+        }
+        let report = recover(&mut image, &layout, LoggingSchemeKind::Proteus, &[thread]).unwrap();
+        prop_assert_eq!(report.entries_applied(), first_per_grain.len());
+        for (grain, value) in first_per_grain {
+            prop_assert_eq!(
+                image.read_word(Addr::new(0x1000_0000 + grain * 32)),
+                value,
+                "grain {} must hold its earliest logged value", grain
+            );
+        }
+        // Idempotence: the tx is now resolved.
+        let again = scan_log_area(&image, &layout, thread);
+        prop_assert!(again.iter().any(|(_, e)| e.tx == tx && e.commit_marker));
+    }
+}

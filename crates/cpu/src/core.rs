@@ -1,0 +1,1096 @@
+//! The cycle-level out-of-order core.
+//!
+//! The model reproduces the pipeline behaviours the paper's results hinge
+//! on, with the Table 1 structural limits:
+//!
+//! * in-order dispatch (5-wide) into a 224-entry ROB, out-of-order
+//!   completion, in-order retirement (5-wide);
+//! * load/store queues (72/56 entries) with store-to-load forwarding;
+//!   stores are *posted*: they retire into the store queue and release to
+//!   the cache in order, subject to the write-ahead constraint;
+//! * `clwb` executes after retirement, ordered behind older stores to the
+//!   same line, and completes when the WPQ acknowledges it (ADR);
+//! * `sfence`/`pcommit` gate retirement until all older persists are
+//!   durable, and block dispatch of younger stores and PMEM operations;
+//! * the Proteus structures: LR file, LogQ (program-order log-to
+//!   assignment, concurrent flushes), LLT elision, `tx-end` handshake with
+//!   the memory controller;
+//! * the ATOM engine: a transactional store at the ROB head creates a log
+//!   entry at the memory controller and *cannot retire* until the entry is
+//!   acknowledged — the serialisation that costs ATOM its 12% extra
+//!   front-end stalls (Fig. 7).
+
+use crate::llt::Llt;
+use crate::logq::{LogQ, LogRegFile};
+use proteus_cache::{CacheSystem, LookupResult};
+use proteus_core::entry::LogEntry;
+use proteus_core::isa::{Trace, Uop};
+use proteus_core::layout::AddressLayout;
+use proteus_core::logarea::LogArea;
+use proteus_core::pmem::LineData;
+use proteus_mem::{McEvent, McRequest};
+use proteus_types::addr::{LineAddr, LogGrainAddr};
+use proteus_types::clock::Cycle;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::stats::{CoreStats, StallCause};
+use proteus_types::{Addr, CoreId, ThreadId, TxId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// One-way latency from the L3 miss point to the memory controller.
+pub const MC_LINK_DELAY: Cycle = 10;
+/// Path latency of a request that traverses the cache hierarchy first
+/// (miss fetch, write-back, clwb flush): L3 lookup plus the link.
+pub const MISS_PATH_DELAY: Cycle = 42 + MC_LINK_DELAY;
+/// Path latency of an uncacheable request (log-flush, ATOM log, tx-end):
+/// straight from the core across the chip to the controller, bypassing
+/// the caches but not the interconnect (~25 cycles one way at the
+/// Table 1 L3-MC bandwidth). The round trip is what delays an ATOM
+/// store's retirement; Proteus overlaps it in the LogQ.
+pub const UNCACHED_DELAY: Cycle = 25;
+
+/// Encodes a per-core-unique correlation id into a globally unique one.
+pub fn encode_id(core: CoreId, local: u64) -> u64 {
+    ((core.raw() as u64) << 48) | (local & 0xFFFF_FFFF_FFFF)
+}
+
+/// Recovers the issuing core from a correlation id.
+pub fn decode_core(id: u64) -> CoreId {
+    CoreId::new((id >> 48) as u32)
+}
+
+/// Recovers the core-local part of a correlation id.
+pub fn decode_local(id: u64) -> u64 {
+    id & 0xFFFF_FFFF_FFFF
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FenceProgress {
+    Waiting,
+    Sent,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtomProgress {
+    NeedLine,
+    WaitAck,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+enum UopState {
+    None,
+    /// Load or log-load waiting on a memory fetch.
+    WaitMem,
+    /// Dependent load parked until all older loads complete (pointer
+    /// chasing).
+    WaitDeps,
+    /// sfence / pcommit / tx-end retirement gating.
+    Fence(FenceProgress),
+    /// ATOM store logging at the ROB head.
+    Atom(AtomProgress),
+    /// Proteus log-flush bookkeeping.
+    LogFlush { logq_id: Option<u64>, elided: bool },
+    /// Proteus log-load waiting on its grain fetch.
+    LogLoad,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    seq: u64,
+    uop: Uop,
+    completed: bool,
+    state: UopState,
+}
+
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    seq: u64,
+    addr: Addr,
+    value: u64,
+    retired: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingClwb {
+    addr: Addr,
+    performed: bool,
+    ack_id: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct MshrEntry {
+    load_waiters: Vec<u64>,
+    logload_waiters: Vec<(u64, usize)>, // (seq, lr)
+}
+
+/// A single out-of-order core executing one thread's trace.
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    thread: ThreadId,
+    scheme: LoggingSchemeKind,
+    width: usize,
+    rob_entries: usize,
+    issueq_entries: usize,
+    loadq_entries: usize,
+    storeq_entries: usize,
+    l1_latency: Cycle,
+
+    trace: Trace,
+    pc: usize,
+
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    completions: BinaryHeap<Reverse<(Cycle, u64)>>,
+    inflight_exec: usize,
+    loads_in_rob: usize,
+
+    storeq: VecDeque<StoreEntry>,
+    stores_retired_seq: u64,
+    /// Unreleased-store count per line (clwb ordering checks in O(1)).
+    storeq_lines: HashMap<u64, u32>,
+    /// Completion time of the most recent compute op: scalar application
+    /// code is a serial dependency chain.
+    last_compute_done: Cycle,
+
+    pending_clwbs: Vec<PendingClwb>,
+    fence_active: bool,
+
+    llt: Llt,
+    logq: LogQ,
+    lrs: LogRegFile,
+    logarea: LogArea,
+    current_tx: Option<TxId>,
+    flush_meta: HashMap<u64, (usize, u64, TxId)>, // logq_id -> (lr, entry seq, tx)
+
+    atom_logged: HashSet<u64>,
+    atom_acks_outstanding: usize,
+
+    mshr: HashMap<u64, MshrEntry>,
+    req_lines: HashMap<u64, LineAddr>,
+    incomplete_loads: std::collections::BTreeSet<u64>,
+    parked_loads: Vec<u64>,
+    next_local_id: u64,
+
+    out: Vec<(Cycle, McRequest)>,
+    stats: CoreStats,
+    done_at: Option<Cycle>,
+}
+
+impl Core {
+    /// Creates a core executing `trace` under `scheme`.
+    pub fn new(
+        id: CoreId,
+        cfg: &SystemConfig,
+        scheme: LoggingSchemeKind,
+        layout: &AddressLayout,
+        trace: Trace,
+    ) -> Self {
+        let thread = trace.thread;
+        Core {
+            id,
+            thread,
+            scheme,
+            width: cfg.cores.width,
+            rob_entries: cfg.cores.rob_entries,
+            issueq_entries: cfg.cores.issueq_entries,
+            loadq_entries: cfg.cores.loadq_entries,
+            storeq_entries: cfg.cores.storeq_entries,
+            l1_latency: cfg.caches.l1d.latency,
+            trace,
+            pc: 0,
+            rob: VecDeque::new(),
+            next_seq: 0,
+            completions: BinaryHeap::new(),
+            inflight_exec: 0,
+            loads_in_rob: 0,
+            storeq: VecDeque::new(),
+            stores_retired_seq: 0,
+            storeq_lines: HashMap::new(),
+            last_compute_done: 0,
+            pending_clwbs: Vec::new(),
+            fence_active: false,
+            llt: Llt::new(cfg.proteus.llt_entries, cfg.proteus.llt_ways),
+            logq: LogQ::new(cfg.proteus.logq_entries),
+            lrs: LogRegFile::new(cfg.proteus.log_registers),
+            logarea: LogArea::new(thread, layout),
+            current_tx: None,
+            flush_meta: HashMap::new(),
+            atom_logged: HashSet::new(),
+            atom_acks_outstanding: 0,
+            mshr: HashMap::new(),
+            req_lines: HashMap::new(),
+            incomplete_loads: std::collections::BTreeSet::new(),
+            parked_loads: Vec::new(),
+            next_local_id: 0,
+            out: Vec::new(),
+            stats: CoreStats::new(),
+            done_at: None,
+        }
+    }
+
+    /// The core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The thread whose trace this core executes.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Whether the trace has fully drained through the machine.
+    pub fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+
+    /// Collected statistics (valid once done, but readable any time).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Drains requests bound for the memory controller.
+    pub fn drain_requests(&mut self) -> Vec<(Cycle, McRequest)> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_local_id += 1;
+        encode_id(self.id, self.next_local_id)
+    }
+
+    /// Forwards the newest unreleased store value for `addr`'s word among
+    /// stores *older* than `before_seq` (program order matters: a reader
+    /// must never observe its own or a younger store).
+    fn forwarded_word(&self, addr: Addr, before_seq: u64) -> Option<u64> {
+        let word = addr.raw() / 8;
+        self.storeq
+            .iter()
+            .rev()
+            .find(|s| s.seq < before_seq && s.addr.raw() / 8 == word)
+            .map(|s| s.value)
+    }
+
+    /// Reads the architectural value of a grain as seen by the micro-op
+    /// with sequence `before_seq`: line data overlaid with older
+    /// unreleased stores.
+    fn grain_with_overlay(
+        &self,
+        line_data: &LineData,
+        grain: LogGrainAddr,
+        before_seq: u64,
+    ) -> [u64; 4] {
+        let base = grain.base();
+        std::array::from_fn(|i| {
+            let addr = base.offset(i as u64 * 8);
+            self.forwarded_word(addr, before_seq)
+                .unwrap_or(line_data[(addr.line_offset() / 8) as usize])
+        })
+    }
+
+    fn issue_fetch(&mut self, line: LineAddr, now: Cycle) {
+        if self.mshr.contains_key(&line.index()) {
+            return;
+        }
+        self.mshr.insert(line.index(), MshrEntry::default());
+        let req_id = self.fresh_id();
+        self.req_lines.insert(req_id, line);
+        self.out
+            .push((now + MISS_PATH_DELAY, McRequest::Read { line, req_id }));
+    }
+
+    /// Advances the core by one cycle. `now` must increase by exactly one
+    /// between calls.
+    pub fn tick(&mut self, now: Cycle, caches: &mut CacheSystem) {
+        if self.done_at.is_some() {
+            return;
+        }
+        self.process_completions(now);
+        self.issue_parked_loads(now, caches);
+        self.send_ready_flushes(now);
+        self.retire(now, caches);
+        self.release_stores(now, caches);
+        self.process_clwbs(now, caches);
+        self.dispatch(now, caches);
+        self.check_done(now);
+    }
+
+    /// Delivers a memory-controller event (the surrounding system applies
+    /// the response link latency before calling this).
+    pub fn handle_event(&mut self, event: &McEvent, now: Cycle, caches: &mut CacheSystem) {
+        match event {
+            McEvent::ReadDone { req_id, data, .. } => {
+                let Some(line) = self.req_lines.remove(req_id) else {
+                    return;
+                };
+                let mut writebacks = Vec::new();
+                caches.fill(self.id, line, *data, &mut writebacks);
+                for (wline, wdata) in writebacks {
+                    self.out.push((
+                        now + MISS_PATH_DELAY,
+                        McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
+                    ));
+                }
+                if let Some(waiters) = self.mshr.remove(&line.index()) {
+                    for seq in waiters.load_waiters {
+                        self.complete_at(seq, now + self.l1_latency);
+                    }
+                    for (seq, lr) in waiters.logload_waiters {
+                        let grain = self.lrs.grain(lr).expect("LR allocated");
+                        let value = self.grain_with_overlay(data, grain, seq);
+                        self.lrs.fill(lr, value);
+                        self.complete_at(seq, now + self.l1_latency);
+                    }
+                }
+            }
+            McEvent::WritebackAck { ack_id, .. } => {
+                self.pending_clwbs.retain(|c| c.ack_id != Some(*ack_id));
+            }
+            McEvent::LogFlushAck { flush_id, .. } => {
+                let local = decode_local(*flush_id);
+                self.logq.ack(local);
+                self.flush_meta.remove(&local);
+            }
+            McEvent::AtomLogAck { .. } => {
+                self.atom_acks_outstanding = self.atom_acks_outstanding.saturating_sub(1);
+                if let Some(head) = self.rob.front_mut() {
+                    if let UopState::Atom(p @ AtomProgress::WaitAck) = &mut head.state {
+                        *p = AtomProgress::Done;
+                    }
+                }
+            }
+            McEvent::TxEndDone { tx, .. } => {
+                if let Some(head) = self.rob.front_mut() {
+                    if let (Uop::TxEnd { tx: head_tx }, UopState::Fence(p)) =
+                        (&head.uop, &mut head.state)
+                    {
+                        if head_tx == tx && *p == FenceProgress::Sent {
+                            *p = FenceProgress::Done;
+                        }
+                    }
+                }
+            }
+            McEvent::PcommitDone { .. } => {
+                if let Some(head) = self.rob.front_mut() {
+                    if let (Uop::Pcommit, UopState::Fence(p)) = (&head.uop, &mut head.state) {
+                        if *p == FenceProgress::Sent {
+                            *p = FenceProgress::Done;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_at(&mut self, seq: u64, cycle: Cycle) {
+        self.completions.push(Reverse((cycle, seq)));
+    }
+
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let front = self.rob.front()?.seq;
+        let idx = seq.checked_sub(front)? as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    fn process_completions(&mut self, now: Cycle) {
+        while let Some(Reverse((cycle, seq))) = self.completions.peek().copied() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            if let Some(idx) = self.rob_index(seq) {
+                if !self.rob[idx].completed {
+                    self.rob[idx].completed = true;
+                    self.inflight_exec = self.inflight_exec.saturating_sub(1);
+                    if matches!(self.rob[idx].uop, Uop::Load { .. } | Uop::LogLoad { .. }) {
+                        self.incomplete_loads.remove(&seq);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues parked dependent loads whose older loads have all completed
+    /// (the pointer-chasing serialisation).
+    fn issue_parked_loads(&mut self, now: Cycle, caches: &mut CacheSystem) {
+        if self.parked_loads.is_empty() {
+            return;
+        }
+        let mut still_parked = Vec::new();
+        for seq in std::mem::take(&mut self.parked_loads) {
+            if self.incomplete_loads.range(..seq).next().is_some() {
+                still_parked.push(seq);
+                continue;
+            }
+            let Some(idx) = self.rob_index(seq) else { continue };
+            let mut writebacks = Vec::new();
+            match self.rob[idx].uop {
+                Uop::Load { addr, .. } => {
+                    if self.forwarded_word(addr, seq).is_some() {
+                        self.rob[idx].state = UopState::None;
+                        self.complete_at(seq, now + self.l1_latency);
+                    } else {
+                        match caches.load(self.id, addr, &mut writebacks) {
+                            LookupResult::Hit { latency, .. } => {
+                                self.rob[idx].state = UopState::None;
+                                self.complete_at(seq, now + latency);
+                            }
+                            LookupResult::Miss => {
+                                self.rob[idx].state = UopState::WaitMem;
+                                self.issue_fetch(addr.line(), now);
+                                self.mshr
+                                    .get_mut(&addr.line().index())
+                                    .expect("fetch registered")
+                                    .load_waiters
+                                    .push(seq);
+                            }
+                        }
+                    }
+                }
+                Uop::LogLoad { lr, addr } => {
+                    let lr = lr.0 as usize;
+                    let grain = addr.log_grain();
+                    match caches.load(self.id, addr, &mut writebacks) {
+                        LookupResult::Hit { latency, data } => {
+                            let value = self.grain_with_overlay(&data, grain, seq);
+                            self.lrs.fill(lr, value);
+                            self.rob[idx].state = UopState::LogLoad;
+                            self.complete_at(seq, now + latency);
+                        }
+                        LookupResult::Miss => {
+                            self.rob[idx].state = UopState::WaitMem;
+                            self.issue_fetch(addr.line(), now);
+                            self.mshr
+                                .get_mut(&addr.line().index())
+                                .expect("fetch registered")
+                                .logload_waiters
+                                .push((seq, lr));
+                        }
+                    }
+                }
+                _ => unreachable!("only loads park"),
+            }
+            for (wline, wdata) in writebacks {
+                self.out.push((
+                    now + MISS_PATH_DELAY,
+                    McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
+                ));
+            }
+        }
+        self.parked_loads = still_parked;
+    }
+
+    /// Sends log flushes whose log-load data has arrived. Flushes issue
+    /// concurrently — the paper's key advantage over ATOM.
+    fn send_ready_flushes(&mut self, now: Cycle) {
+        let ready: Vec<(u64, Addr)> = self
+            .logq
+            .unsent()
+            .filter_map(|e| {
+                let (lr, _, _) = self.flush_meta.get(&e.id)?;
+                self.lrs.data(*lr).map(|_| (e.id, e.slot))
+            })
+            .collect();
+        for (id, slot) in ready {
+            let (lr, entry_seq, tx) = self.flush_meta[&id];
+            let grain = self.lrs.grain(lr).expect("LR allocated");
+            let data = self.lrs.data(lr).expect("checked above");
+            // The flush has consumed the register value; the LR is "no
+            // longer needed for detecting register dependences" (§4.2)
+            // and recycles immediately — this is what makes 8 LRs enough.
+            self.lrs.free(lr);
+            let entry = LogEntry::new(data, grain.base(), tx, entry_seq);
+            self.out.push((
+                now + UNCACHED_DELAY,
+                McRequest::LogFlush {
+                    slot,
+                    words: entry.encode_words(),
+                    core: self.id,
+                    tx,
+                    flush_id: encode_id(self.id, id),
+                },
+            ));
+            self.logq.mark_sent(id);
+            // The flush micro-op has executed; it may now retire. The
+            // LogQ entry lives on until the ack.
+            if let Some(idx) = self.rob.iter().position(|e| {
+                matches!(&e.state, UopState::LogFlush { logq_id: Some(q), .. } if *q == id)
+            }) {
+                let seq = self.rob[idx].seq;
+                if !self.rob[idx].completed {
+                    self.complete_at(seq, now + 1);
+                }
+            }
+        }
+    }
+
+    fn persist_drained(&self) -> bool {
+        // Every retired store released, every clwb acked, every log flush
+        // acked, every ATOM log entry acked.
+        self.storeq.iter().all(|s| !s.retired)
+            && self.pending_clwbs.is_empty()
+            && self.logq.is_empty()
+            && self.atom_acks_outstanding == 0
+    }
+
+    fn retire(&mut self, now: Cycle, caches: &mut CacheSystem) {
+        for _ in 0..self.width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed {
+                break;
+            }
+            let seq = head.seq;
+            let uop = head.uop;
+            // Per-kind retirement gating.
+            match uop {
+                Uop::Store { addr, .. } => {
+                    if self.scheme == LoggingSchemeKind::Atom && self.current_tx.is_some() {
+                        if !self.atom_retire_ready(addr, now, caches) {
+                            break;
+                        }
+                    }
+                    if let Some(s) = self.storeq.iter_mut().find(|s| s.seq == seq) {
+                        s.retired = true;
+                    }
+                    self.stores_retired_seq = seq;
+                    self.stats.stores += 1;
+                }
+                Uop::Clwb { addr } => {
+                    self.pending_clwbs.push(PendingClwb {
+                        addr,
+                        performed: false,
+                        ack_id: None,
+                    });
+                    self.stats.clwbs += 1;
+                }
+                Uop::Sfence => {
+                    if !self.persist_drained() {
+                        break;
+                    }
+                    self.fence_active = false;
+                    self.stats.fences += 1;
+                }
+                Uop::Pcommit => {
+                    if !self.persist_drained() {
+                        break;
+                    }
+                    let head = self.rob.front_mut().expect("head exists");
+                    match &mut head.state {
+                        UopState::Fence(p @ FenceProgress::Waiting) => {
+                            *p = FenceProgress::Sent;
+                            let commit_id = self.fresh_id();
+                            self.out.push((
+                                now + UNCACHED_DELAY,
+                                McRequest::Pcommit { commit_id },
+                            ));
+                            break;
+                        }
+                        UopState::Fence(FenceProgress::Sent) => break,
+                        UopState::Fence(FenceProgress::Done) => {
+                            self.fence_active = false;
+                            self.stats.fences += 1;
+                        }
+                        _ => unreachable!("pcommit carries fence state"),
+                    }
+                }
+                Uop::TxEnd { tx } => {
+                    if !self.persist_drained() {
+                        break;
+                    }
+                    let head = self.rob.front_mut().expect("head exists");
+                    match &mut head.state {
+                        UopState::Fence(p @ FenceProgress::Waiting) => {
+                            *p = FenceProgress::Sent;
+                            self.out.push((
+                                now + UNCACHED_DELAY,
+                                McRequest::TxEnd { core: self.id, tx },
+                            ));
+                            break;
+                        }
+                        UopState::Fence(FenceProgress::Sent) => break,
+                        UopState::Fence(FenceProgress::Done) => {
+                            self.llt.clear();
+                            self.atom_logged.clear();
+                            self.current_tx = None;
+                            self.fence_active = false;
+                            self.stats.transactions += 1;
+                        }
+                        _ => unreachable!("tx-end carries fence state"),
+                    }
+                }
+                Uop::TxBegin { .. } => {}
+                Uop::Load { .. } => {
+                    self.loads_in_rob -= 1;
+                    self.stats.loads += 1;
+                }
+                Uop::LogLoad { .. } => {
+                    // Elided pairs (state None) never occupied the load
+                    // queue.
+                    let head = self.rob.front().expect("head exists");
+                    if matches!(head.state, UopState::LogLoad | UopState::WaitMem) {
+                        self.loads_in_rob -= 1;
+                    }
+                    self.stats.log_loads += 1;
+                }
+                Uop::LogFlush { .. } => {
+                    let head = self.rob.front().expect("head exists");
+                    if let UopState::LogFlush { elided, .. } = head.state {
+                        self.stats.log_flushes += 1;
+                        if elided {
+                            self.stats.log_flushes_elided += 1;
+                        }
+                    }
+                }
+                Uop::LogSave => {
+                    if !self.persist_drained() {
+                        break;
+                    }
+                    self.out.push((
+                        now + UNCACHED_DELAY,
+                        McRequest::DrainCoreLogs { core: self.id },
+                    ));
+                    self.llt.clear();
+                    self.fence_active = false;
+                }
+                Uop::Compute { .. } => {}
+            }
+            self.rob.pop_front();
+            self.stats.uops_retired += 1;
+        }
+    }
+
+    /// ATOM: a transactional store at the ROB head may retire only once
+    /// its grain's log entry is durable at the memory controller.
+    fn atom_retire_ready(&mut self, addr: Addr, now: Cycle, caches: &mut CacheSystem) -> bool {
+        let grain = addr.log_grain();
+        if self.atom_logged.contains(&grain.index()) {
+            return true;
+        }
+        let head = self.rob.front_mut().expect("caller checked");
+        let progress = match &mut head.state {
+            UopState::Atom(p) => p,
+            s @ UopState::None => {
+                *s = UopState::Atom(AtomProgress::NeedLine);
+                match s {
+                    UopState::Atom(p) => p,
+                    _ => unreachable!(),
+                }
+            }
+            _ => unreachable!("store carries Atom or None state"),
+        };
+        match *progress {
+            AtomProgress::NeedLine => {
+                let head_seq = self.rob.front().expect("caller checked").seq;
+                // Any older unreleased store to this grain must be folded
+                // into the pre-store value (it is architecturally older).
+                let grain_base = grain.base();
+                let overlay_needed = (0..4).any(|i| {
+                    self.forwarded_word(grain_base.offset(i * 8), head_seq).is_some()
+                });
+                let old_data = match caches.peek(self.id, addr) {
+                    Some(data) => Some(self.grain_with_overlay(&data, grain, head_seq)),
+                    None if overlay_needed => {
+                        // Rare: the MC cannot see the in-flight stores, so
+                        // fetch the line and retry next cycle.
+                        self.issue_fetch(addr.line(), now);
+                        return false;
+                    }
+                    // Source-log optimisation: the MC reads the grain from
+                    // its own WPQ/NVMM view — no core-side fetch.
+                    None => None,
+                };
+                let log_id = self.fresh_id();
+                let tx = self.current_tx.expect("in transaction");
+                self.out.push((
+                    now + UNCACHED_DELAY,
+                    McRequest::AtomLog {
+                        grain: grain_base,
+                        old_data,
+                        core: self.id,
+                        tx,
+                        log_id,
+                    },
+                ));
+                self.atom_acks_outstanding += 1;
+                self.atom_logged.insert(grain.index());
+                if let Some(h) = self.rob.front_mut() {
+                    h.state = UopState::Atom(AtomProgress::WaitAck);
+                }
+                self.stats.atom_log_entries += 1;
+                false
+            }
+            AtomProgress::WaitAck => false,
+            AtomProgress::Done => {
+                if let Some(h) = self.rob.front_mut() {
+                    h.state = UopState::None;
+                }
+                true
+            }
+        }
+    }
+
+    /// Releases retired stores from the store queue to the cache, in
+    /// order, one per cycle, subject to the write-ahead constraint. The
+    /// write-allocate fetch was prefetched at dispatch; the peek below is
+    /// a fallback for lines evicted in between.
+    fn release_stores(&mut self, now: Cycle, caches: &mut CacheSystem) {
+        let Some(head) = self.storeq.front().cloned() else { return };
+        if !head.retired {
+            return;
+        }
+        // Write-ahead ordering: an unacknowledged log flush for this grain
+        // blocks the release (Proteus §4.2). ATOM blocks at retirement
+        // instead; software schemes order via sfence.
+        if self.scheme.uses_proteus_hw() && self.logq.blocks_store_to(head.addr.log_grain()) {
+            return;
+        }
+        // Write-allocate: only attempt the store once the line is
+        // resident (the prefetch above fetched it); peeking avoids
+        // polluting LRU/statistics with per-cycle retries.
+        if caches.peek(self.id, head.addr).is_none() {
+            self.issue_fetch(head.addr.line(), now);
+            return;
+        }
+        let mut writebacks = Vec::new();
+        match caches.store(self.id, head.addr, head.value, &mut writebacks) {
+            LookupResult::Hit { .. } => {
+                self.storeq.pop_front();
+                let line = head.addr.line().index();
+                if let Some(count) = self.storeq_lines.get_mut(&line) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.storeq_lines.remove(&line);
+                    }
+                }
+            }
+            LookupResult::Miss => unreachable!("peek said the line is resident"),
+        }
+        for (wline, wdata) in writebacks {
+            self.out.push((
+                now + MISS_PATH_DELAY,
+                McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
+            ));
+        }
+    }
+
+    /// Performs retired clwbs whose same-line older stores have released.
+    fn process_clwbs(&mut self, now: Cycle, caches: &mut CacheSystem) {
+        let mut to_remove = Vec::new();
+        for i in 0..self.pending_clwbs.len() {
+            if self.pending_clwbs[i].performed {
+                continue;
+            }
+            let addr = self.pending_clwbs[i].addr;
+            let line = addr.line();
+            // Conservative O(1) check: any unreleased store to the same
+            // line blocks the flush (the precise rule is "older stores
+            // only"; unreleased younger same-line stores are rare and the
+            // extra delay is harmless — release is in order anyway).
+            if self.storeq_lines.contains_key(&line.index()) {
+                continue;
+            }
+            match caches.clwb(self.id, addr) {
+                Some(data) => {
+                    let ack_id = self.fresh_id();
+                    self.pending_clwbs[i].performed = true;
+                    self.pending_clwbs[i].ack_id = Some(ack_id);
+                    self.out.push((
+                        now + MISS_PATH_DELAY,
+                        McRequest::WriteBack { line, data, ack_id: Some(ack_id) },
+                    ));
+                }
+                None => to_remove.push(i),
+            }
+        }
+        for i in to_remove.into_iter().rev() {
+            self.pending_clwbs.remove(i);
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, caches: &mut CacheSystem) {
+        let mut dispatched = 0;
+        let mut stall: Option<StallCause> = None;
+        while dispatched < self.width && self.pc < self.trace.uops.len() {
+            let uop = self.trace.uops[self.pc];
+            if self.rob.len() >= self.rob_entries {
+                stall = Some(self.rob_full_cause());
+                break;
+            }
+            // Fence blocks younger stores and PMEM/logging operations.
+            if self.fence_active
+                && matches!(
+                    uop,
+                    Uop::Store { .. }
+                        | Uop::Clwb { .. }
+                        | Uop::Sfence
+                        | Uop::Pcommit
+                        | Uop::LogLoad { .. }
+                        | Uop::LogFlush { .. }
+                        | Uop::TxBegin { .. }
+                        | Uop::TxEnd { .. }
+                        | Uop::LogSave
+                )
+            {
+                stall = Some(StallCause::FenceDrain);
+                break;
+            }
+            match self.try_dispatch_one(uop, now, caches) {
+                Ok(()) => dispatched += 1,
+                Err(cause) => {
+                    stall = Some(cause);
+                    break;
+                }
+            }
+        }
+        if dispatched == 0 && self.pc < self.trace.uops.len() {
+            self.stats
+                .record_stall(stall.unwrap_or(StallCause::IssueQFull));
+        }
+    }
+
+    /// Attributes a ROB-full stall to ATOM's log wait when that is what is
+    /// actually clogging the head.
+    fn rob_full_cause(&self) -> StallCause {
+        match self.rob.front().map(|e| &e.state) {
+            Some(UopState::Atom(_)) => StallCause::AtomLogWait,
+            _ => StallCause::RobFull,
+        }
+    }
+
+    fn try_dispatch_one(
+        &mut self,
+        uop: Uop,
+        now: Cycle,
+        caches: &mut CacheSystem,
+    ) -> Result<(), StallCause> {
+        let seq = self.next_seq;
+        let mut state = UopState::None;
+        let mut completed = false;
+        let mut complete_at: Option<Cycle> = None;
+        match uop {
+            Uop::Compute { latency } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Err(StallCause::IssueQFull);
+                }
+                // Scalar application code is a serial dependency chain:
+                // consecutive computes execute back to back, not in
+                // parallel.
+                let done = self.last_compute_done.max(now) + latency.max(1) as Cycle;
+                self.last_compute_done = done;
+                complete_at = Some(done);
+            }
+            Uop::Load { addr, dependent } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Err(StallCause::IssueQFull);
+                }
+                if self.loads_in_rob >= self.loadq_entries {
+                    return Err(StallCause::LoadQFull);
+                }
+                self.loads_in_rob += 1;
+                self.incomplete_loads.insert(seq);
+                if dependent && self.incomplete_loads.range(..seq).next().is_some() {
+                    // Pointer chase: park until older loads complete.
+                    state = UopState::WaitDeps;
+                    self.parked_loads.push(seq);
+                } else if self.forwarded_word(addr, seq).is_some() {
+                    complete_at = Some(now + self.l1_latency);
+                } else {
+                    let mut writebacks = Vec::new();
+                    match caches.load(self.id, addr, &mut writebacks) {
+                        LookupResult::Hit { latency, .. } => {
+                            complete_at = Some(now + latency);
+                        }
+                        LookupResult::Miss => {
+                            state = UopState::WaitMem;
+                            self.issue_fetch(addr.line(), now);
+                            self.mshr
+                                .get_mut(&addr.line().index())
+                                .expect("just inserted")
+                                .load_waiters
+                                .push(seq);
+                        }
+                    }
+                    for (wline, wdata) in writebacks {
+                        self.out.push((
+                            now + MISS_PATH_DELAY,
+                            McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
+                        ));
+                    }
+                }
+            }
+            Uop::Store { addr, value } => {
+                if self.storeq.len() >= self.storeq_entries {
+                    return Err(StallCause::StoreQFull);
+                }
+                self.storeq.push_back(StoreEntry { seq, addr, value, retired: false });
+                *self.storeq_lines.entry(addr.line().index()).or_insert(0) += 1;
+                // RFO prefetch at execute: the write-allocate fetch
+                // overlaps with everything between dispatch and release.
+                if !self.mshr.contains_key(&addr.line().index())
+                    && caches.peek(self.id, addr).is_none()
+                {
+                    self.issue_fetch(addr.line(), now);
+                }
+                complete_at = Some(now + 1);
+            }
+            Uop::Clwb { .. } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Err(StallCause::IssueQFull);
+                }
+                complete_at = Some(now + 1);
+            }
+            Uop::Sfence => {
+                self.fence_active = true;
+                completed = true;
+            }
+            Uop::Pcommit | Uop::TxEnd { .. } => {
+                self.fence_active = true;
+                completed = true;
+                state = UopState::Fence(FenceProgress::Waiting);
+                if matches!(uop, Uop::TxEnd { .. }) && self.scheme.uses_proteus_hw() {
+                    self.logarea.end_tx().expect("balanced transactions");
+                }
+            }
+            Uop::TxBegin { tx } => {
+                completed = true;
+                self.current_tx = Some(tx);
+                if self.scheme.uses_proteus_hw() {
+                    self.logarea.begin_tx(tx).expect("balanced transactions");
+                }
+            }
+            Uop::LogLoad { lr, addr } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Err(StallCause::IssueQFull);
+                }
+                let lr = lr.0 as usize;
+                let grain = addr.log_grain();
+                // The LLT is consulted as soon as the log-from address is
+                // known: on a hit the whole pair completes immediately
+                // and no data is loaded (§4.2).
+                self.stats.llt_lookups += 1;
+                let elided = self.llt.lookup_insert(grain);
+                if elided {
+                    self.stats.llt_hits += 1;
+                    if !self.lrs.try_allocate(lr, grain, true) {
+                        self.llt.undo_insert(grain);
+                        self.stats.llt_lookups -= 1;
+                        self.stats.llt_hits -= 1;
+                        return Err(StallCause::LrFull);
+                    }
+                    complete_at = Some(now + 1);
+                } else {
+                    if self.loads_in_rob >= self.loadq_entries {
+                        self.llt.undo_insert(grain);
+                        self.stats.llt_lookups -= 1;
+                        return Err(StallCause::LoadQFull);
+                    }
+                    if !self.lrs.try_allocate(lr, grain, false) {
+                        self.llt.undo_insert(grain);
+                        self.stats.llt_lookups -= 1;
+                        return Err(StallCause::LrFull);
+                    }
+                    self.loads_in_rob += 1;
+                    self.incomplete_loads.insert(seq);
+                    // A log-load's data (and the value of the store it
+                    // guards) derives from earlier loads, so it issues
+                    // once older loads complete — by which time the grain
+                    // is normally cached and the LR recycles quickly.
+                    if self.incomplete_loads.range(..seq).next().is_some() {
+                        state = UopState::WaitDeps;
+                        self.parked_loads.push(seq);
+                    } else {
+                        state = UopState::LogLoad;
+                        let mut writebacks = Vec::new();
+                        match caches.load(self.id, addr, &mut writebacks) {
+                            LookupResult::Hit { latency, data } => {
+                                let value = self.grain_with_overlay(&data, grain, seq);
+                                self.lrs.fill(lr, value);
+                                complete_at = Some(now + latency);
+                            }
+                            LookupResult::Miss => {
+                                self.issue_fetch(addr.line(), now);
+                                self.mshr
+                                    .get_mut(&addr.line().index())
+                                    .expect("just inserted")
+                                    .logload_waiters
+                                    .push((seq, lr));
+                            }
+                        }
+                        for (wline, wdata) in writebacks {
+                            self.out.push((
+                                now + MISS_PATH_DELAY,
+                                McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
+                            ));
+                        }
+                    }
+                }
+            }
+            Uop::LogFlush { lr } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Err(StallCause::IssueQFull);
+                }
+                let lr = lr.0 as usize;
+                let grain = self
+                    .lrs
+                    .grain(lr)
+                    .expect("log-flush follows its log-load in program order");
+                if self.lrs.is_elided(lr) {
+                    // LLT hit recorded at the log-load: complete
+                    // immediately, no log-to address (§4.2). The LR
+                    // recycles now.
+                    self.lrs.free(lr);
+                    state = UopState::LogFlush { logq_id: None, elided: true };
+                    complete_at = Some(now + 1);
+                } else {
+                    if !self.logq.has_space() {
+                        return Err(StallCause::LogQFull);
+                    }
+                    let tx = self.current_tx.expect("logging inside a transaction");
+                    let (slot, entry_seq) =
+                        self.logarea.alloc().expect("log area sized for workload");
+                    let id = self.logq.alloc(grain, slot);
+                    self.flush_meta.insert(id, (lr, entry_seq, tx));
+                    state = UopState::LogFlush { logq_id: Some(id), elided: false };
+                    // Completion is scheduled by `send_ready_flushes` once
+                    // the log-load data lands in the LR.
+                }
+            }
+            Uop::LogSave => {
+                // Context switch support (§4.4): behaves like a fence —
+                // outstanding persists drain first, then the LPQ flush
+                // message goes out and the LLT clears (at retirement).
+                self.fence_active = true;
+                completed = true;
+            }
+        }
+        if let Some(c) = complete_at {
+            self.inflight_exec += 1;
+            self.complete_at(seq, c);
+        } else if matches!(state, UopState::WaitMem | UopState::WaitDeps | UopState::LogLoad)
+            || matches!(state, UopState::LogFlush { logq_id: Some(_), .. })
+        {
+            self.inflight_exec += 1;
+        }
+        self.rob.push_back(RobEntry { seq, uop, completed, state });
+        self.next_seq += 1;
+        self.pc += 1;
+        Ok(())
+    }
+
+    fn check_done(&mut self, now: Cycle) {
+        if self.done_at.is_none()
+            && self.pc >= self.trace.uops.len()
+            && self.rob.is_empty()
+            && self.storeq.is_empty()
+            && self.pending_clwbs.is_empty()
+            && self.logq.is_empty()
+            && self.atom_acks_outstanding == 0
+        {
+            self.done_at = Some(now);
+            self.stats.cycles = now;
+        }
+    }
+}
+

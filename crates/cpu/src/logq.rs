@@ -1,0 +1,253 @@
+//! The LogQ and log register file (paper §4.2, Fig. 5).
+//!
+//! A `log-flush` that misses in the LLT allocates a LogQ entry at
+//! dispatch; the entry holds the log-from grain, the program-order
+//! log-to address, and the entry payload once the `log-load` data
+//! arrives. The entry is deallocated when the memory controller
+//! acknowledges receipt. Two ordering rules are enforced here:
+//!
+//! * log-to addresses are assigned **in program order** (allocation
+//!   happens at in-order dispatch), so recovery can rely on the earliest
+//!   entry per grain;
+//! * a retired store may not be released to the cache while any LogQ
+//!   entry for the same grain is still unacknowledged — the write-ahead
+//!   invariant.
+
+use proteus_types::addr::LogGrainAddr;
+use proteus_types::Addr;
+
+/// State of one log register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LrState {
+    Free,
+    /// Allocated by a `log-load`; `data` is `None` until the load
+    /// completes. `elided` records an LLT hit at the log-load: the whole
+    /// pair completes immediately and no data is ever loaded (§4.2).
+    Pending { grain: LogGrainAddr, data: Option<[u64; 4]>, elided: bool },
+}
+
+/// The log register file (Table 1: 8 registers).
+#[derive(Debug)]
+pub struct LogRegFile {
+    regs: Vec<LrState>,
+}
+
+impl LogRegFile {
+    /// Creates `n` free registers.
+    pub fn new(n: usize) -> Self {
+        LogRegFile { regs: vec![LrState::Free; n] }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the file has no registers (never true for a real config).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Allocates register `lr` for a `log-load` of `grain`. Returns
+    /// `false` if the register is still busy with an earlier pair.
+    pub fn try_allocate(&mut self, lr: usize, grain: LogGrainAddr, elided: bool) -> bool {
+        if self.regs[lr] != LrState::Free {
+            return false;
+        }
+        self.regs[lr] = LrState::Pending { grain, data: None, elided };
+        true
+    }
+
+    /// Delivers the `log-load` data into register `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is free (a protocol violation).
+    pub fn fill(&mut self, lr: usize, value: [u64; 4]) {
+        match &mut self.regs[lr] {
+            LrState::Pending { data, .. } => *data = Some(value),
+            LrState::Free => panic!("fill of free log register LR{lr}"),
+        }
+    }
+
+    /// The grain register `lr` is logging, if allocated.
+    pub fn grain(&self, lr: usize) -> Option<LogGrainAddr> {
+        match self.regs[lr] {
+            LrState::Pending { grain, .. } => Some(grain),
+            LrState::Free => None,
+        }
+    }
+
+    /// Whether the pair in register `lr` was elided by an LLT hit.
+    pub fn is_elided(&self, lr: usize) -> bool {
+        matches!(self.regs[lr], LrState::Pending { elided: true, .. })
+    }
+
+    /// The loaded data, if it has arrived.
+    pub fn data(&self, lr: usize) -> Option<[u64; 4]> {
+        match self.regs[lr] {
+            LrState::Pending { data, .. } => data,
+            LrState::Free => None,
+        }
+    }
+
+    /// Frees register `lr` (its `log-flush` has been sent or elided).
+    pub fn free(&mut self, lr: usize) {
+        self.regs[lr] = LrState::Free;
+    }
+}
+
+/// One in-flight `log-flush`.
+#[derive(Debug, Clone)]
+pub struct LogQEntry {
+    /// Correlation id used in memory-controller messages.
+    pub id: u64,
+    /// Log-from grain (for store-ordering checks).
+    pub grain: LogGrainAddr,
+    /// Program-order log-to slot address.
+    pub slot: Addr,
+    /// Whether the flush has been sent to the memory controller.
+    pub sent: bool,
+}
+
+/// The LogQ (Table 1: 16 entries).
+#[derive(Debug)]
+pub struct LogQ {
+    entries: Vec<LogQEntry>,
+    capacity: usize,
+    next_id: u64,
+}
+
+impl LogQ {
+    /// Creates a LogQ with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LogQ { entries: Vec::with_capacity(capacity), capacity, next_id: 0 }
+    }
+
+    /// Whether a new `log-flush` can allocate an entry.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Allocates an entry at dispatch (program order). Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers must check
+    /// [`LogQ::has_space`] and stall dispatch otherwise, as the paper
+    /// requires).
+    pub fn alloc(&mut self, grain: LogGrainAddr, slot: Addr) -> u64 {
+        assert!(self.has_space(), "LogQ overflow: dispatch must stall");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push(LogQEntry { id, grain, slot, sent: false });
+        id
+    }
+
+    /// Marks entry `id` as sent to the memory controller.
+    pub fn mark_sent(&mut self, id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.sent = true;
+        }
+    }
+
+    /// Deallocates entry `id` on the controller's acknowledgement.
+    pub fn ack(&mut self, id: u64) {
+        self.entries.retain(|e| e.id != id);
+    }
+
+    /// Whether any unacknowledged entry targets `grain` — a retired store
+    /// to this grain must stay in the store queue.
+    pub fn blocks_store_to(&self, grain: LogGrainAddr) -> bool {
+        self.entries.iter().any(|e| e.grain == grain)
+    }
+
+    /// Entries not yet sent (waiting for their `log-load` data).
+    pub fn unsent(&self) -> impl Iterator<Item = &LogQEntry> {
+        self.entries.iter().filter(|e| !e.sent)
+    }
+
+    /// Whether the queue is completely empty (tx-end condition).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grain(i: u64) -> LogGrainAddr {
+        LogGrainAddr::from_index(i)
+    }
+
+    #[test]
+    fn lr_lifecycle() {
+        let mut lrs = LogRegFile::new(2);
+        assert!(lrs.try_allocate(0, grain(1), false));
+        assert!(!lrs.try_allocate(0, grain(2), false), "busy register");
+        assert_eq!(lrs.grain(0), Some(grain(1)));
+        assert_eq!(lrs.data(0), None);
+        lrs.fill(0, [1, 2, 3, 4]);
+        assert_eq!(lrs.data(0), Some([1, 2, 3, 4]));
+        lrs.free(0);
+        assert!(lrs.try_allocate(0, grain(2), true));
+        assert!(lrs.is_elided(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "free log register")]
+    fn fill_free_register_panics() {
+        let mut lrs = LogRegFile::new(1);
+        lrs.fill(0, [0; 4]);
+    }
+
+    #[test]
+    fn logq_capacity_and_ordering() {
+        let mut q = LogQ::new(2);
+        assert!(q.has_space());
+        let a = q.alloc(grain(1), Addr::new(0x8000_0000));
+        let b = q.alloc(grain(2), Addr::new(0x8000_0040));
+        assert!(!q.has_space());
+        assert_ne!(a, b);
+        q.ack(a);
+        assert!(q.has_space());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn store_blocking_follows_acks() {
+        let mut q = LogQ::new(4);
+        let id = q.alloc(grain(7), Addr::new(0x8000_0000));
+        assert!(q.blocks_store_to(grain(7)));
+        assert!(!q.blocks_store_to(grain(8)));
+        q.mark_sent(id);
+        assert!(q.blocks_store_to(grain(7)), "sent but unacked still blocks");
+        q.ack(id);
+        assert!(!q.blocks_store_to(grain(7)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "LogQ overflow")]
+    fn alloc_past_capacity_panics() {
+        let mut q = LogQ::new(1);
+        q.alloc(grain(0), Addr::new(0));
+        q.alloc(grain(1), Addr::new(64));
+    }
+
+    #[test]
+    fn unsent_iterator() {
+        let mut q = LogQ::new(4);
+        let a = q.alloc(grain(1), Addr::new(0));
+        let _b = q.alloc(grain(2), Addr::new(64));
+        q.mark_sent(a);
+        let unsent: Vec<_> = q.unsent().map(|e| e.grain).collect();
+        assert_eq!(unsent, vec![grain(2)]);
+    }
+}

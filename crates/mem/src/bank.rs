@@ -1,0 +1,150 @@
+//! Per-bank row-buffer state machines and address mapping.
+
+use crate::timing::{RowState, ServiceTiming};
+use proteus_types::addr::LineAddr;
+use proteus_types::clock::Cycle;
+
+/// Maps line addresses onto `(bank, row)` with row-granularity
+/// interleaving: consecutive lines share a row (preserving row-buffer
+/// locality) and consecutive rows stripe across banks.
+#[derive(Debug, Clone, Copy)]
+pub struct BankMap {
+    banks: usize,
+    lines_per_row: u64,
+}
+
+impl BankMap {
+    /// Creates a map for `banks` banks with `row_bytes`-sized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate.
+    pub fn new(banks: usize, row_bytes: u64) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        let lines_per_row = row_bytes / proteus_types::addr::CACHE_LINE_SIZE;
+        assert!(lines_per_row > 0, "row must hold at least one line");
+        BankMap { banks, lines_per_row }
+    }
+
+    /// The bank index servicing `line`.
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        ((line.index() / self.lines_per_row) % self.banks as u64) as usize
+    }
+
+    /// The row index (within its bank) holding `line`.
+    pub fn row_of(&self, line: LineAddr) -> u64 {
+        line.index() / self.lines_per_row / self.banks as u64
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+}
+
+/// One bank: an open-row tracker and a busy-until timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+impl Bank {
+    /// Whether the bank can accept a new command at `now`.
+    pub fn is_idle(&self, now: Cycle) -> bool {
+        self.busy_until <= now
+    }
+
+    /// The row-buffer state an access to `row` would see.
+    pub fn row_state(&self, row: u64) -> RowState {
+        match self.open_row {
+            Some(open) if open == row => RowState::Hit,
+            Some(_) => RowState::Conflict,
+            None => RowState::Closed,
+        }
+    }
+
+    /// Starts a read of `row` at `now`; returns the cycle data is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is busy (callers must check [`Bank::is_idle`]).
+    pub fn start_read(&mut self, row: u64, now: Cycle, timing: &ServiceTiming) -> Cycle {
+        assert!(self.is_idle(now), "bank busy until {}", self.busy_until);
+        let done = now + timing.read_latency(self.row_state(row));
+        self.open_row = Some(row);
+        self.busy_until = done;
+        done
+    }
+
+    /// Starts a write of `row` at `now`; returns the cycle the write is
+    /// durable in the array. The bank stays busy through write recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is busy.
+    pub fn start_write(&mut self, row: u64, now: Cycle, timing: &ServiceTiming) -> Cycle {
+        assert!(self.is_idle(now), "bank busy until {}", self.busy_until);
+        let done = now + timing.write_latency(self.row_state(row));
+        self.open_row = Some(row);
+        self.busy_until = done + timing.write_recovery();
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::clock::ClockRatio;
+    use proteus_types::config::DramTiming;
+
+    fn timing() -> ServiceTiming {
+        ServiceTiming::from_timing(&DramTiming::ddr3_1600(), ClockRatio::cpu_over_ddr3_1600())
+    }
+
+    #[test]
+    fn mapping_interleaves_rows_across_banks() {
+        let map = BankMap::new(16, 2048);
+        let l0 = LineAddr::from_index(0);
+        let l31 = LineAddr::from_index(31); // same 2 KB row
+        let l32 = LineAddr::from_index(32); // next row, next bank
+        assert_eq!(map.bank_of(l0), map.bank_of(l31));
+        assert_eq!(map.row_of(l0), map.row_of(l31));
+        assert_ne!(map.bank_of(l0), map.bank_of(l32));
+        // 16 banks later we return to bank 0 with the next row.
+        let l512 = LineAddr::from_index(32 * 16);
+        assert_eq!(map.bank_of(l512), 0);
+        assert_eq!(map.row_of(l512), 1);
+    }
+
+    #[test]
+    fn row_hit_sequence_faster_than_conflicts() {
+        let t = timing();
+        let mut hitter = Bank::default();
+        let first = hitter.start_read(5, 0, &t);
+        let hit = hitter.start_read(5, first, &t) - first;
+
+        let mut conflicter = Bank::default();
+        let first_c = conflicter.start_read(5, 0, &t);
+        let conflict = conflicter.start_read(6, first_c, &t) - first_c;
+        assert!(hit < conflict);
+    }
+
+    #[test]
+    fn write_recovery_keeps_bank_busy() {
+        let t = timing();
+        let mut bank = Bank::default();
+        let done = bank.start_write(1, 0, &t);
+        assert!(!bank.is_idle(done), "bank must stay busy during write recovery");
+        assert!(bank.is_idle(done + t.write_recovery()));
+    }
+
+    #[test]
+    #[should_panic(expected = "bank busy")]
+    fn busy_bank_rejects_commands() {
+        let t = timing();
+        let mut bank = Bank::default();
+        bank.start_read(0, 0, &t);
+        bank.start_read(0, 1, &t);
+    }
+}

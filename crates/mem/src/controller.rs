@@ -1,0 +1,1032 @@
+//! The memory controller: read queue, WPQ, LPQ, arbiter, and the
+//! persistency-domain machinery of §4.3.
+//!
+//! Key behaviours reproduced from the paper:
+//!
+//! * **ADR**: the WPQ and LPQ are inside the persistency domain. Writes
+//!   and log flushes are durable — and acknowledged — on queue acceptance,
+//!   not on NVMM writeback. [`MemoryController::crash_image`] accordingly
+//!   folds both queues into the durable image.
+//! * **LPQ**: log flushes go only to the LPQ; reads never check it. The
+//!   arbiter prioritises reads, then WPQ writes, and drains the LPQ only
+//!   under occupancy pressure (log entries are "kept as long as possible").
+//! * **Flash clear**: at `tx-end`, LPQ entries of the committed
+//!   transaction are discarded without ever being written to NVMM — except
+//!   the transaction's last entry, which carries the commit marker and is
+//!   retained until the next transaction's first log entry arrives from
+//!   the same core (and is then dropped too).
+//! * **ATOM source-log engine**: log entries are created *at the
+//!   controller* from [`McRequest::AtomLog`] messages, inserted into the
+//!   WPQ (ATOM has no LPQ), acknowledged immediately (posted log), and
+//!   truncated at commit with per-entry invalidation writes.
+
+use crate::bank::{Bank, BankMap};
+use crate::request::{McEvent, McRequest};
+use crate::timing::ServiceTiming;
+use proteus_core::entry::{FLAG_COMMIT_MARKER, FLAG_VALID};
+use proteus_core::layout::AddressLayout;
+use proteus_core::logarea::LogArea;
+use proteus_core::pmem::{LineData, WordImage};
+use proteus_types::addr::LineAddr;
+use proteus_types::clock::{ClockRatio, Cycle};
+use proteus_types::config::MemConfig;
+use proteus_types::stats::MemStats;
+use proteus_types::{CoreId, ThreadId, TxId};
+use std::collections::VecDeque;
+
+/// How the LPQ treats log entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogDrainMode {
+    /// Proteus log write removal: keep entries in the LPQ until their
+    /// transaction commits, then flash clear them.
+    KeepUntilCommit,
+    /// Proteus+NoLWR: entries drain to NVMM like ordinary writes.
+    DrainAlways,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteKind {
+    Data,
+    Log,
+    LogInvalidate,
+}
+
+#[derive(Debug, Clone)]
+struct WpqEntry {
+    line: LineAddr,
+    data: LineData,
+    kind: WriteKind,
+    in_service: bool,
+}
+
+impl WpqEntry {
+    /// ATOM log entries and their truncation writes must each reach the
+    /// NVMM individually (ATOM lacks log write removal); only ordinary
+    /// data write-backs coalesce.
+    fn coalescable(&self) -> bool {
+        self.kind == WriteKind::Data && !self.in_service
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LpqEntry {
+    slot_line: LineAddr,
+    words: [u64; 8],
+    core: CoreId,
+    tx: TxId,
+    seq: u64,
+    /// Commit marker retained until the next transaction's first entry.
+    retained_marker: bool,
+    /// Forced to NVMM (context switch).
+    must_drain: bool,
+    in_service: bool,
+}
+
+#[derive(Debug, Clone)]
+struct ReadEntry {
+    line: LineAddr,
+    req_id: u64,
+    arrived: Cycle,
+}
+
+/// Last log entry observed per core, used to guarantee commit-marker
+/// durability when the entry already left the LPQ.
+#[derive(Debug, Clone, Copy)]
+struct LastEntry {
+    tx: TxId,
+    slot_line: LineAddr,
+    words: [u64; 8],
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct AtomCoreState {
+    area: LogArea,
+    /// Slots written by the active transaction (for truncation writes).
+    tx_slots: Vec<LineAddr>,
+}
+
+/// The memory controller.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: MemConfig,
+    timing: ServiceTiming,
+    map: BankMap,
+    banks: Vec<Bank>,
+    nvmm: WordImage,
+    layout: AddressLayout,
+    drain_mode: LogDrainMode,
+
+    intake: VecDeque<(Cycle, McRequest)>,
+    read_queue: Vec<ReadEntry>,
+    wpq: Vec<WpqEntry>,
+    lpq: Vec<LpqEntry>,
+    /// Background truncation/marker writes waiting for WPQ space.
+    pending_writes: VecDeque<(LineAddr, [u64; 8], WriteKind)>,
+    pending_pcommits: Vec<u64>,
+    pending_tx_ends: Vec<(CoreId, TxId)>,
+    in_flight: Vec<(Cycle, InFlight)>,
+    events: Vec<McEvent>,
+
+    atom: Vec<AtomCoreState>,
+    last_entry: Vec<Option<LastEntry>>,
+    wpq_draining: bool,
+    mem_ticks: u64,
+    next_mem_tick: Cycle,
+    stats: MemStats,
+}
+
+#[derive(Debug)]
+enum InFlight {
+    Read { req_id: u64 },
+    WpqWrite { index_line: LineAddr },
+    LpqWrite { index_line: LineAddr, seq: u64 },
+}
+
+impl MemoryController {
+    /// Creates a controller for `cfg` over the given address layout, in
+    /// the given log-drain mode.
+    pub fn new(cfg: MemConfig, layout: AddressLayout, drain_mode: LogDrainMode) -> Self {
+        let ratio = ClockRatio::cpu_over_ddr3_1600();
+        let timing = ServiceTiming::from_timing(&cfg.tech.timing(), ratio);
+        let map = BankMap::new(cfg.banks, cfg.row_buffer_bytes);
+        let banks = vec![Bank::default(); cfg.banks];
+        let atom = (0..layout.max_threads)
+            .map(|i| AtomCoreState {
+                area: LogArea::new(ThreadId::new(i as u32), &layout),
+                tx_slots: Vec::new(),
+            })
+            .collect();
+        let last_entry = vec![None; layout.max_threads];
+        MemoryController {
+            cfg,
+            timing,
+            map,
+            banks,
+            nvmm: WordImage::new(),
+            layout,
+            drain_mode,
+            intake: VecDeque::new(),
+            read_queue: Vec::new(),
+            wpq: Vec::new(),
+            lpq: Vec::new(),
+            pending_writes: VecDeque::new(),
+            pending_pcommits: Vec::new(),
+            pending_tx_ends: Vec::new(),
+            in_flight: Vec::new(),
+            events: Vec::new(),
+            atom,
+            last_entry,
+            wpq_draining: false,
+            mem_ticks: 0,
+            next_mem_tick: 0,
+            stats: MemStats::new(),
+        }
+    }
+
+    /// Pre-loads the NVMM image (initialisation fast-forward).
+    pub fn load_image(&mut self, image: WordImage) {
+        self.nvmm = image;
+    }
+
+    /// Direct read access to the NVMM image (tests, recovery tooling).
+    pub fn nvmm(&self) -> &WordImage {
+        &self.nvmm
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Submits a request that arrives at the controller at `deliver_at`.
+    pub fn submit(&mut self, request: McRequest, deliver_at: Cycle) {
+        self.intake.push_back((deliver_at, request));
+    }
+
+    /// Whether the controller has no pending work that will ever make
+    /// progress on its own. Under [`LogDrainMode::KeepUntilCommit`],
+    /// LPQ-resident entries (including retained markers) are quiescent by
+    /// design — they wait for a commit or a crash.
+    pub fn is_quiescent(&self) -> bool {
+        let lpq_idle = match self.drain_mode {
+            LogDrainMode::KeepUntilCommit => self.lpq.iter().all(|e| !e.must_drain),
+            LogDrainMode::DrainAlways => self.lpq.is_empty(),
+        };
+        // Data write-backs below the low watermark are durable (ADR) and
+        // will never drain on their own — that is quiescent. Log-kind
+        // entries always drain.
+        let wpq_idle = self.wpq.iter().all(|e| e.kind == WriteKind::Data)
+            && (self.wpq_draining_would_stop());
+        self.intake.is_empty()
+            && self.read_queue.is_empty()
+            && self.in_flight.is_empty()
+            && self.pending_writes.is_empty()
+            && self.pending_pcommits.is_empty()
+            && self.pending_tx_ends.is_empty()
+            && wpq_idle
+            && lpq_idle
+    }
+
+    fn wpq_draining_would_stop(&self) -> bool {
+        let occ_pct = 100 * self.wpq.len() / self.cfg.wpq_entries.max(1);
+        !self.wpq_draining && occ_pct <= self.cfg.wpq_low_watermark_pct as usize
+    }
+
+    /// Drains accumulated events.
+    pub fn drain_events(&mut self) -> Vec<McEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The durable state at a crash: NVMM contents plus — under ADR — the
+    /// battery-drained WPQ and LPQ (including retained commit markers).
+    pub fn crash_image(&self) -> WordImage {
+        let mut image = self.nvmm.clone();
+        if self.cfg.adr {
+            for e in &self.wpq {
+                image.write_line(e.line, &e.data);
+            }
+            for e in &self.lpq {
+                image.write_line(e.slot_line, &e.words);
+            }
+        }
+        image
+    }
+
+    /// Advances the controller to CPU cycle `now`.
+    pub fn tick(&mut self, now: Cycle) {
+        self.process_intake(now);
+        self.feed_pending_writes();
+        self.resolve_tx_ends(now);
+        self.resolve_pcommits(now);
+        self.complete_in_flight(now);
+        while now >= self.next_mem_tick {
+            self.schedule_command(self.next_mem_tick.max(now));
+            self.mem_ticks += 1;
+            // Exact 17/4 CPU cycles per memory cycle.
+            self.next_mem_tick = (self.mem_ticks * 17).div_ceil(4);
+        }
+        self.stats.wpq_peak_occupancy = self.stats.wpq_peak_occupancy.max(self.wpq.len());
+        self.stats.lpq_peak_occupancy = self.stats.lpq_peak_occupancy.max(self.lpq.len());
+    }
+
+    fn process_intake(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.intake.len() {
+            if self.intake[i].0 > now {
+                i += 1;
+                continue;
+            }
+            let (_, req) = self.intake[i].clone();
+            if self.try_accept(req, now) {
+                self.intake.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn try_accept(&mut self, req: McRequest, now: Cycle) -> bool {
+        match req {
+            McRequest::Read { line, req_id } => {
+                // Forward from the WPQ: the newest matching entry wins.
+                if let Some(e) = self.wpq.iter().rev().find(|e| e.line == line) {
+                    self.events.push(McEvent::ReadDone {
+                        req_id,
+                        data: e.data,
+                        at: now + self.timing.burst(),
+                    });
+                    return true;
+                }
+                if self.read_queue.len() >= self.cfg.read_queue_entries {
+                    return false;
+                }
+                self.read_queue.push(ReadEntry { line, req_id, arrived: now });
+                true
+            }
+            McRequest::WriteBack { line, data, ack_id } => {
+                if !self.insert_wpq(line, data, self.classify(line)) {
+                    self.stats.wpq_full_rejections += 1;
+                    return false;
+                }
+                if let Some(id) = ack_id {
+                    self.events.push(McEvent::WritebackAck { ack_id: id, at: now });
+                }
+                true
+            }
+            McRequest::LogFlush { slot, words, core, tx, flush_id } => {
+                if self.lpq.len() >= self.cfg.lpq_entries {
+                    self.stats.lpq_full_rejections += 1;
+                    return false;
+                }
+                // A new transaction's first entry retires the previous
+                // transaction's retained commit marker (§4.3).
+                let dropped_before = self.lpq.len();
+                self.lpq.retain(|e| !(e.core == core && e.retained_marker && e.tx < tx));
+                self.stats.wpq_log_dropped += (dropped_before - self.lpq.len()) as u64;
+
+                let seq = words[7];
+                self.lpq.push(LpqEntry {
+                    slot_line: slot.line(),
+                    words,
+                    core,
+                    tx,
+                    seq,
+                    retained_marker: false,
+                    must_drain: false,
+                    in_service: false,
+                });
+                self.stats.lpq_inserts += 1;
+                self.last_entry[core.index()] =
+                    Some(LastEntry { tx, slot_line: slot.line(), words, seq });
+                self.events.push(McEvent::LogFlushAck { flush_id, at: now });
+                true
+            }
+            McRequest::AtomLog { grain, old_data, core, tx, log_id } => {
+                // Check WPQ space up front: log entries never coalesce,
+                // and a rejected request is retried, so the slot must
+                // only be allocated once acceptance is certain.
+                if self.wpq.len() >= self.cfg.wpq_entries {
+                    self.stats.wpq_full_rejections += 1;
+                    return false;
+                }
+                // Source-log optimisation: on a core-side cache miss the
+                // controller reads the pre-store grain from its own
+                // durable view (WPQ entries shadow the NVMM array).
+                let data = old_data.unwrap_or_else(|| {
+                    let line = grain.line();
+                    let line_data = self
+                        .wpq
+                        .iter()
+                        .rev()
+                        .find(|e| e.line == line)
+                        .map(|e| e.data)
+                        .unwrap_or_else(|| self.nvmm.read_line(line));
+                    let base = (grain.log_grain().index() % 2) as usize * 4;
+                    [line_data[base], line_data[base + 1], line_data[base + 2], line_data[base + 3]]
+                });
+                let state = &mut self.atom[core.index()];
+                if state.area.current_tx() != Some(tx) {
+                    if state.area.current_tx().is_some() {
+                        state.area.end_tx().expect("open tx");
+                    }
+                    state.area.begin_tx(tx).expect("fresh tx");
+                    state.tx_slots.clear();
+                }
+                let (slot, seq) = state
+                    .area
+                    .alloc()
+                    .expect("ATOM hardware log area overflow; enlarge layout");
+                let entry = proteus_core::entry::LogEntry::new(data, grain, tx, seq);
+                let words = entry.encode_words();
+                let accepted = self.insert_wpq(slot.line(), words, WriteKind::Log);
+                debug_assert!(accepted, "space was checked above");
+                let state = &mut self.atom[core.index()];
+                state.tx_slots.push(slot.line());
+                self.last_entry[core.index()] =
+                    Some(LastEntry { tx, slot_line: slot.line(), words, seq });
+                self.events.push(McEvent::AtomLogAck { log_id, at: now });
+                true
+            }
+            McRequest::TxEnd { core, tx } => {
+                self.pending_tx_ends.push((core, tx));
+                true
+            }
+            McRequest::Pcommit { commit_id } => {
+                self.pending_pcommits.push(commit_id);
+                self.stats.pcommits += 1;
+                true
+            }
+            McRequest::DrainCoreLogs { core } => {
+                for e in &mut self.lpq {
+                    if e.core == core {
+                        e.must_drain = true;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn classify(&self, line: LineAddr) -> WriteKind {
+        if self.layout.log_area_owner(line.base()).is_some() {
+            WriteKind::Log
+        } else {
+            WriteKind::Data
+        }
+    }
+
+    fn insert_wpq(&mut self, line: LineAddr, data: LineData, kind: WriteKind) -> bool {
+        // Coalesce onto an existing same-line data entry not yet in
+        // service (normal write-back coalescing).
+        if kind == WriteKind::Data {
+            if let Some(e) = self.wpq.iter_mut().find(|e| e.line == line && e.coalescable()) {
+                e.data = data;
+                self.stats.wpq_inserts += 1;
+                return true;
+            }
+        }
+        if self.wpq.len() >= self.cfg.wpq_entries {
+            return false;
+        }
+        self.wpq.push(WpqEntry { line, data, kind, in_service: false });
+        self.stats.wpq_inserts += 1;
+        true
+    }
+
+    fn feed_pending_writes(&mut self) {
+        while let Some((line, words, kind)) = self.pending_writes.front().copied() {
+            if self.insert_wpq(line, words, kind) {
+                self.pending_writes.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Commit-time work: flash clear, marker durability, ATOM truncation.
+    fn resolve_tx_ends(&mut self, now: Cycle) {
+        let pending = std::mem::take(&mut self.pending_tx_ends);
+        for (core, tx) in pending {
+            if self.finish_tx_end(core, tx) {
+                self.events.push(McEvent::TxEndDone { core, tx, at: now });
+            } else {
+                self.pending_tx_ends.push((core, tx));
+            }
+        }
+    }
+
+    fn finish_tx_end(&mut self, core: CoreId, tx: TxId) -> bool {
+        // ATOM: ensure marker durability and truncate the log with
+        // per-entry invalidation writes.
+        let atom_slots = {
+            let state = &mut self.atom[core.index()];
+            if state.area.current_tx() == Some(tx) {
+                state.area.end_tx().expect("open tx");
+                Some(std::mem::take(&mut state.tx_slots))
+            } else {
+                None
+            }
+        };
+        if let Some(slots) = atom_slots {
+            if let Some(last) = self.last_entry[core.index()] {
+                if last.tx == tx {
+                    // Commit marker must be durable before the commit
+                    // completes: stamp it onto the WPQ-resident last
+                    // entry, or write it out if the entry escaped.
+                    let stamped = self
+                        .wpq
+                        .iter_mut()
+                        .find(|e| {
+                            e.line == last.slot_line
+                                && e.kind == WriteKind::Log
+                                && !e.in_service
+                        })
+                        .map(|e| e.data[6] |= FLAG_COMMIT_MARKER)
+                        .is_some();
+                    if !stamped {
+                        let mut words = last.words;
+                        words[6] |= FLAG_COMMIT_MARKER;
+                        if !self.insert_wpq(last.slot_line, words, WriteKind::Log) {
+                            // Re-register the slots and retry next tick.
+                            self.atom[core.index()].area.begin_tx(tx).expect("reopen");
+                            self.atom[core.index()].tx_slots = slots;
+                            return false;
+                        }
+                    }
+                    // Truncation (§4.3): the MC's tracker clears entries
+                    // that are still buffered; entries that already
+                    // drained to NVMM must be invalidated manually one by
+                    // one (a read plus a write each).
+                    for slot in slots {
+                        if slot == last.slot_line {
+                            continue;
+                        }
+                        let before = self.wpq.len();
+                        self.wpq.retain(|e| {
+                            !(e.line == slot && e.kind == WriteKind::Log && !e.in_service)
+                        });
+                        if self.wpq.len() < before {
+                            self.stats.wpq_log_dropped += 1;
+                        } else {
+                            self.stats.nvmm_reads += 1; // read-modify-write
+                            let mut cleared = [0u64; 8];
+                            cleared[6] = 0; // valid bit off
+                            self.pending_writes.push_back((
+                                slot,
+                                cleared,
+                                WriteKind::LogInvalidate,
+                            ));
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+
+        // Proteus: flash clear this transaction's LPQ entries, retaining
+        // the commit marker on the last one.
+        let last = self.last_entry[core.index()];
+        match self.drain_mode {
+            LogDrainMode::KeepUntilCommit => {
+                let before = self.lpq.len();
+                let last_seq = last.filter(|l| l.tx == tx).map(|l| l.seq);
+                self.lpq.retain(|e| {
+                    !(e.core == core && e.tx == tx && !e.in_service && Some(e.seq) != last_seq)
+                });
+                self.stats.lpq_flash_cleared += (before - self.lpq.len()) as u64;
+                if let Some(l) = last.filter(|l| l.tx == tx) {
+                    if let Some(e) = self
+                        .lpq
+                        .iter_mut()
+                        .find(|e| e.core == core && e.tx == tx && e.seq == l.seq)
+                    {
+                        e.words[6] |= FLAG_COMMIT_MARKER;
+                        e.retained_marker = true;
+                    } else {
+                        // Last entry already escaped to NVMM: rewrite it
+                        // there with the marker set.
+                        let mut words = l.words;
+                        words[6] |= FLAG_COMMIT_MARKER | FLAG_VALID;
+                        self.pending_writes.push_back((
+                            l.slot_line,
+                            words,
+                            WriteKind::LogInvalidate,
+                        ));
+                    }
+                }
+                true
+            }
+            LogDrainMode::DrainAlways => {
+                // No removal; only set the marker on the last entry.
+                if let Some(l) = last.filter(|l| l.tx == tx) {
+                    if let Some(e) = self
+                        .lpq
+                        .iter_mut()
+                        .find(|e| e.core == core && e.tx == tx && e.seq == l.seq && !e.in_service)
+                    {
+                        e.words[6] |= FLAG_COMMIT_MARKER;
+                    } else {
+                        let mut words = l.words;
+                        words[6] |= FLAG_COMMIT_MARKER | FLAG_VALID;
+                        self.pending_writes.push_back((
+                            l.slot_line,
+                            words,
+                            WriteKind::LogInvalidate,
+                        ));
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn resolve_pcommits(&mut self, now: Cycle) {
+        if self.pending_pcommits.is_empty() {
+            return;
+        }
+        let drained = self.wpq.is_empty() && self.pending_writes.is_empty();
+        if drained {
+            for commit_id in std::mem::take(&mut self.pending_pcommits) {
+                self.events.push(McEvent::PcommitDone { commit_id, at: now });
+            }
+        }
+    }
+
+    fn complete_in_flight(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 > now {
+                i += 1;
+                continue;
+            }
+            let (_, action) = self.in_flight.remove(i);
+            match action {
+                InFlight::Read { req_id } => {
+                    // Data was captured at completion time from NVMM.
+                    // (Same-line writes serialise on the same bank.)
+                    let line = self
+                        .read_queue
+                        .iter()
+                        .position(|r| r.req_id == req_id)
+                        .map(|pos| self.read_queue.remove(pos))
+                        .expect("read completion without queue entry");
+                    self.stats.read_queue_wait_cycles +=
+                        now.saturating_sub(line.arrived);
+                    let data = self.nvmm.read_line(line.line);
+                    self.events.push(McEvent::ReadDone { req_id, data, at: now });
+                }
+                InFlight::WpqWrite { index_line } => {
+                    if let Some(pos) =
+                        self.wpq.iter().position(|e| e.line == index_line && e.in_service)
+                    {
+                        let e = self.wpq.remove(pos);
+                        self.nvmm.write_line(e.line, &e.data);
+                        match e.kind {
+                            WriteKind::Data => self.stats.nvmm_data_writes += 1,
+                            WriteKind::Log => self.stats.nvmm_log_writes += 1,
+                            WriteKind::LogInvalidate => {
+                                self.stats.nvmm_log_invalidation_writes += 1
+                            }
+                        }
+                    }
+                }
+                InFlight::LpqWrite { index_line, seq } => {
+                    if let Some(pos) = self
+                        .lpq
+                        .iter()
+                        .position(|e| e.slot_line == index_line && e.seq == seq && e.in_service)
+                    {
+                        let e = self.lpq.remove(pos);
+                        self.nvmm.write_line(e.slot_line, &e.words);
+                        self.stats.nvmm_log_writes += 1;
+                        self.stats.lpq_drained += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues at most one bank command per memory-clock edge:
+    /// reads first, then WPQ writes under the watermark policy, then LPQ
+    /// drains under the log policy.
+    fn schedule_command(&mut self, now: Cycle) {
+        // 1. Oldest read whose bank is idle.
+        let in_service: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter_map(|(_, f)| match f {
+                InFlight::Read { req_id } => Some(*req_id),
+                _ => None,
+            })
+            .collect();
+        if let Some(r) = self
+            .read_queue
+            .iter()
+            .filter(|r| !in_service.contains(&r.req_id))
+            .find(|r| self.banks[self.map.bank_of(r.line)].is_idle(now))
+            .map(|r| (r.line, r.req_id))
+        {
+            let bank = self.map.bank_of(r.0);
+            let row = self.map.row_of(r.0);
+            let done = self.banks[bank].start_read(row, now, &self.timing);
+            self.stats.nvmm_reads += 1;
+            self.in_flight.push((done, InFlight::Read { req_id: r.1 }));
+            return;
+        }
+
+        // 2. WPQ drain under watermark hysteresis (always drain during a
+        // pending pcommit or when the controller is otherwise idle).
+        let occ_pct = 100 * self.wpq.len() / self.cfg.wpq_entries.max(1);
+        if occ_pct >= self.cfg.wpq_high_watermark_pct as usize {
+            self.wpq_draining = true;
+        } else if occ_pct <= self.cfg.wpq_low_watermark_pct as usize {
+            self.wpq_draining = false;
+        }
+        // Opportunistic draining only once the queue holds a meaningful
+        // batch (above the low watermark): with ADR there is no urgency,
+        // and leaving small residues buffered is what gives ATOM's
+        // tracker its clearing window.
+        let drain_wpq = self.wpq_draining
+            || !self.pending_pcommits.is_empty()
+            || (self.read_queue.is_empty()
+                && occ_pct > self.cfg.wpq_low_watermark_pct as usize);
+        {
+            // Log-kind entries (ATOM entries, truncation writes, SW log
+            // write-backs) drain regardless of the watermark: ATOM's log
+            // lives in NVMM, not in the controller.
+            if let Some((line, bank, row)) = self
+                .wpq
+                .iter()
+                .filter(|e| !e.in_service && (drain_wpq || e.kind != WriteKind::Data))
+                .map(|e| (e.line, self.map.bank_of(e.line), self.map.row_of(e.line)))
+                .find(|(_, bank, _)| self.banks[*bank].is_idle(now))
+            {
+                let done = self.banks[bank].start_write(row, now, &self.timing);
+                if let Some(e) = self.wpq.iter_mut().find(|e| e.line == line && !e.in_service) {
+                    e.in_service = true;
+                }
+                self.in_flight.push((done, InFlight::WpqWrite { index_line: line }));
+                return;
+            }
+        }
+
+        // 3. LPQ drain: only under pressure (KeepUntilCommit) or under the
+        // same opportunistic policy as the WPQ (DrainAlways). Forced
+        // entries (context switch) always drain.
+        let lpq_occ_pct = 100 * self.lpq.len() / self.cfg.lpq_entries.max(1);
+        let wpq_has_eligible = self
+            .wpq
+            .iter()
+            .any(|e| !e.in_service && (drain_wpq || e.kind != WriteKind::Data));
+        let drain_lpq = match self.drain_mode {
+            LogDrainMode::KeepUntilCommit => lpq_occ_pct >= 90,
+            // NoLWR: log entries drain like ordinary writes. They already
+            // sit at the lowest arbiter priority (after reads and WPQ),
+            // so no further gating — gating on an idle read queue starves
+            // the LPQ under multicore read traffic and backpressures
+            // dispatch, which the paper's NoLWR does not exhibit.
+            LogDrainMode::DrainAlways => !wpq_has_eligible,
+        };
+        let forced = self.lpq.iter().any(|e| e.must_drain && !e.in_service);
+        if drain_lpq || forced {
+            if let Some((line, seq, bank, row)) = self
+                .lpq
+                .iter()
+                .filter(|e| !e.in_service && !e.retained_marker && (drain_lpq || e.must_drain))
+                .map(|e| {
+                    (e.slot_line, e.seq, self.map.bank_of(e.slot_line), self.map.row_of(e.slot_line))
+                })
+                .find(|(_, _, bank, _)| self.banks[*bank].is_idle(now))
+            {
+                let done = self.banks[bank].start_write(row, now, &self.timing);
+                if let Some(e) = self
+                    .lpq
+                    .iter_mut()
+                    .find(|e| e.slot_line == line && e.seq == seq && !e.in_service)
+                {
+                    e.in_service = true;
+                }
+                self.in_flight.push((done, InFlight::LpqWrite { index_line: line, seq }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_core::entry::LogEntry;
+    use proteus_types::Addr;
+
+    fn small_cfg() -> MemConfig {
+        MemConfig {
+            read_queue_entries: 8,
+            wpq_entries: 8,
+            lpq_entries: 8,
+            ..MemConfig::default()
+        }
+    }
+
+    fn layout() -> AddressLayout {
+        AddressLayout { log_area_entries: 64, ..AddressLayout::default() }
+    }
+
+    fn run_until_quiescent(mc: &mut MemoryController, mut now: Cycle) -> (Vec<McEvent>, Cycle) {
+        let mut events = Vec::new();
+        for _ in 0..200_000 {
+            mc.tick(now);
+            events.extend(mc.drain_events());
+            if mc.is_quiescent() {
+                break;
+            }
+            now += 1;
+        }
+        (events, now)
+    }
+
+    #[test]
+    fn read_returns_nvmm_data() {
+        let mut mc = MemoryController::new(small_cfg(), layout(), LogDrainMode::KeepUntilCommit);
+        let mut img = WordImage::new();
+        let addr = Addr::new(0x1000_0000);
+        img.write_word(addr, 42);
+        mc.load_image(img);
+        mc.submit(McRequest::Read { line: addr.line(), req_id: 1 }, 0);
+        let (events, _) = run_until_quiescent(&mut mc, 0);
+        let done = events
+            .iter()
+            .find_map(|e| match e {
+                McEvent::ReadDone { req_id: 1, data, at } => Some((*data, *at)),
+                _ => None,
+            })
+            .expect("read completion");
+        assert_eq!(done.0[0], 42);
+        assert!(done.1 > 100, "NVM read must take ~50ns ≈ 170 cycles, got {}", done.1);
+        assert_eq!(mc.stats().nvmm_reads, 1);
+    }
+
+    #[test]
+    fn writeback_acked_on_wpq_acceptance_under_adr() {
+        let mut mc = MemoryController::new(small_cfg(), layout(), LogDrainMode::KeepUntilCommit);
+        let addr = Addr::new(0x1000_0000);
+        let mut data = [0u64; 8];
+        data[0] = 7;
+        mc.submit(McRequest::WriteBack { line: addr.line(), data, ack_id: Some(9) }, 5);
+        mc.tick(5);
+        let events = mc.drain_events();
+        assert!(
+            matches!(events.as_slice(), [McEvent::WritebackAck { ack_id: 9, at: 5 }]),
+            "ADR must ack at acceptance, got {events:?}"
+        );
+        // Durable in the crash image immediately, before any NVMM write.
+        assert_eq!(mc.crash_image().read_word(addr), 7);
+        assert_eq!(mc.stats().nvmm_data_writes, 0);
+    }
+
+    #[test]
+    fn read_forwards_from_wpq() {
+        let mut mc = MemoryController::new(small_cfg(), layout(), LogDrainMode::KeepUntilCommit);
+        let addr = Addr::new(0x1000_0000);
+        let mut data = [0u64; 8];
+        data[0] = 99;
+        mc.submit(McRequest::WriteBack { line: addr.line(), data, ack_id: None }, 0);
+        mc.submit(McRequest::Read { line: addr.line(), req_id: 3 }, 1);
+        mc.tick(0);
+        mc.tick(1);
+        mc.tick(2);
+        let events = mc.drain_events();
+        let fwd = events.iter().find_map(|e| match e {
+            McEvent::ReadDone { req_id: 3, data, at } => Some((data[0], *at)),
+            _ => None,
+        });
+        let (val, at) = fwd.expect("forwarded read");
+        assert_eq!(val, 99);
+        assert!(at < 30, "WPQ forward must be fast, got {at}");
+    }
+
+    fn flush_entry(
+        mc: &mut MemoryController,
+        layout: &AddressLayout,
+        slot_idx: usize,
+        grain: Addr,
+        tx: u64,
+        seq: u64,
+        at: Cycle,
+    ) -> Addr {
+        let slot = layout.log_slot(ThreadId::new(0), slot_idx);
+        let entry = LogEntry::new([seq, 0, 0, 0], grain, TxId::new(tx), seq);
+        mc.submit(
+            McRequest::LogFlush {
+                slot,
+                words: entry.encode_words(),
+                core: CoreId::new(0),
+                tx: TxId::new(tx),
+                flush_id: seq,
+            },
+            at,
+        );
+        slot
+    }
+
+    #[test]
+    fn flash_clear_drops_log_writes() {
+        let lay = layout();
+        let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::KeepUntilCommit);
+        let grain = Addr::new(0x1000_0000);
+        for i in 0..3 {
+            flush_entry(&mut mc, &lay, i, grain.offset(i as u64 * 32), 1, i as u64, 0);
+        }
+        mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 10);
+        let (events, _) = run_until_quiescent(&mut mc, 0);
+        assert!(events.iter().any(|e| matches!(e, McEvent::TxEndDone { .. })));
+        // Two entries flash cleared, marker retained; NO log write ever
+        // reached the NVMM banks.
+        assert_eq!(mc.stats().lpq_flash_cleared, 2);
+        assert_eq!(mc.stats().nvmm_log_writes, 0);
+        // The retained marker is still durable via ADR.
+        let img = mc.crash_image();
+        let marker = LogEntry::read_from(&img, lay.log_slot(ThreadId::new(0), 2)).unwrap();
+        assert!(marker.commit_marker);
+    }
+
+    #[test]
+    fn next_tx_first_entry_drops_retained_marker() {
+        let lay = layout();
+        let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::KeepUntilCommit);
+        flush_entry(&mut mc, &lay, 0, Addr::new(0x1000_0000), 1, 0, 0);
+        mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 5);
+        mc.tick(5);
+        mc.tick(6);
+        // tx2's first entry arrives: tx1's marker is discarded unwritten.
+        flush_entry(&mut mc, &lay, 1, Addr::new(0x1000_0040), 2, 1, 7);
+        mc.tick(7);
+        let img = mc.crash_image();
+        assert!(
+            LogEntry::read_from(&img, lay.log_slot(ThreadId::new(0), 0)).is_none(),
+            "tx1 marker must be dropped once tx2's entry is durable"
+        );
+        assert!(LogEntry::read_from(&img, lay.log_slot(ThreadId::new(0), 1)).is_some());
+        assert_eq!(mc.stats().nvmm_log_writes, 0);
+    }
+
+    #[test]
+    fn drain_always_mode_writes_logs_to_nvmm() {
+        let lay = layout();
+        let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::DrainAlways);
+        for i in 0..3 {
+            flush_entry(&mut mc, &lay, i, Addr::new(0x1000_0000).offset(i as u64 * 32), 1, i as u64, 0);
+        }
+        mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 10);
+        let (_, _) = run_until_quiescent(&mut mc, 0);
+        assert_eq!(mc.stats().lpq_flash_cleared, 0);
+        assert_eq!(mc.stats().nvmm_log_writes, 3, "NoLWR must write all entries");
+    }
+
+    #[test]
+    fn atom_logs_written_and_truncated() {
+        let lay = layout();
+        let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::KeepUntilCommit);
+        for i in 0..3u64 {
+            mc.submit(
+                McRequest::AtomLog {
+                    grain: Addr::new(0x1000_0000 + i * 32),
+                    old_data: Some([i, 0, 0, 0]),
+                    core: CoreId::new(0),
+                    tx: TxId::new(1),
+                    log_id: i,
+                },
+                0,
+            );
+        }
+        mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 10);
+        let (events, _) = run_until_quiescent(&mut mc, 0);
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, McEvent::AtomLogAck { .. })).count(),
+            3
+        );
+        let s = mc.stats();
+        // Every non-marker entry is either cleared by the tracker while
+        // still buffered, or — having escaped to NVMM — invalidated
+        // manually (§4.3's description of ATOM).
+        assert_eq!(s.wpq_log_dropped + s.nvmm_log_invalidation_writes, 2, "{s:?}");
+        // The commit marker always reaches NVMM.
+        assert!(s.nvmm_log_writes >= 1, "{s:?}");
+        let img = mc.nvmm();
+        let marker = LogEntry::read_from(img, lay.log_slot(ThreadId::new(0), 2))
+            .expect("marker entry durable");
+        assert!(marker.commit_marker);
+    }
+
+    #[test]
+    fn pcommit_waits_for_wpq_drain() {
+        let mut mc = MemoryController::new(small_cfg(), layout(), LogDrainMode::KeepUntilCommit);
+        let addr = Addr::new(0x1000_0000);
+        let mut data = [0u64; 8];
+        data[0] = 1;
+        mc.submit(McRequest::WriteBack { line: addr.line(), data, ack_id: None }, 0);
+        mc.submit(McRequest::Pcommit { commit_id: 77 }, 1);
+        let (events, _) = run_until_quiescent(&mut mc, 0);
+        let done_at = events
+            .iter()
+            .find_map(|e| match e {
+                McEvent::PcommitDone { commit_id: 77, at } => Some(*at),
+                _ => None,
+            })
+            .expect("pcommit done");
+        // Must wait for the slow NVM write (~480 cycles), unlike the ADR ack.
+        assert!(done_at > 400, "pcommit completed too early at {done_at}");
+        assert_eq!(mc.nvmm().read_word(addr), 1);
+    }
+
+    #[test]
+    fn context_switch_forces_log_drain() {
+        let lay = layout();
+        let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::KeepUntilCommit);
+        flush_entry(&mut mc, &lay, 0, Addr::new(0x1000_0000), 1, 0, 0);
+        mc.submit(McRequest::DrainCoreLogs { core: CoreId::new(0) }, 5);
+        let (_, _) = run_until_quiescent(&mut mc, 0);
+        assert_eq!(mc.stats().nvmm_log_writes, 1, "log-save must force NVMM write");
+        assert!(LogEntry::read_from(mc.nvmm(), lay.log_slot(ThreadId::new(0), 0)).is_some());
+    }
+
+    #[test]
+    fn wpq_backpressure_rejects_then_accepts() {
+        let mut cfg = small_cfg();
+        cfg.wpq_entries = 2;
+        let mut mc = MemoryController::new(cfg, layout(), LogDrainMode::KeepUntilCommit);
+        for i in 0..4u64 {
+            let mut data = [0u64; 8];
+            data[0] = i + 1;
+            mc.submit(
+                McRequest::WriteBack {
+                    line: Addr::new(0x1000_0000 + i * 64).line(),
+                    data,
+                    ack_id: Some(i),
+                },
+                0,
+            );
+        }
+        let (events, _) = run_until_quiescent(&mut mc, 0);
+        // All four eventually accepted despite a 2-entry WPQ.
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, McEvent::WritebackAck { .. })).count(),
+            4
+        );
+        assert!(mc.stats().wpq_full_rejections > 0);
+        assert_eq!(mc.stats().nvmm_data_writes, 4);
+    }
+
+    #[test]
+    fn crash_image_without_adr_loses_queues() {
+        let mut cfg = small_cfg();
+        cfg.adr = false;
+        let mut mc = MemoryController::new(cfg, layout(), LogDrainMode::KeepUntilCommit);
+        let addr = Addr::new(0x1000_0000);
+        let mut data = [0u64; 8];
+        data[0] = 5;
+        mc.submit(McRequest::WriteBack { line: addr.line(), data, ack_id: None }, 0);
+        mc.tick(0);
+        assert_eq!(mc.crash_image().read_word(addr), 0, "non-ADR WPQ is volatile");
+    }
+}

@@ -1,0 +1,150 @@
+//! Messages into and events out of the memory controller.
+
+use proteus_core::pmem::LineData;
+use proteus_types::addr::LineAddr;
+use proteus_types::clock::Cycle;
+use proteus_types::{Addr, CoreId, TxId};
+
+/// A request delivered to the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McRequest {
+    /// Fetch a line (L3 miss). Answered by [`McEvent::ReadDone`].
+    Read {
+        /// Line to fetch.
+        line: LineAddr,
+        /// Requester-chosen correlation id.
+        req_id: u64,
+    },
+    /// A dirty-line write-back or `clwb` flush. With ADR the data is
+    /// durable once accepted into the WPQ; if `ack_id` is set the
+    /// acceptance is acknowledged with [`McEvent::WritebackAck`].
+    WriteBack {
+        /// Line being written.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+        /// Correlation id for the acceptance ack (used by `clwb`).
+        ack_id: Option<u64>,
+    },
+    /// A Proteus `log-flush`: a 64-byte log entry headed for the LPQ.
+    /// Acknowledged on acceptance by [`McEvent::LogFlushAck`] — this ack
+    /// is what completes the `log-flush` instruction (§3.2).
+    LogFlush {
+        /// Log-slot address (line aligned).
+        slot: Addr,
+        /// Encoded log entry.
+        words: [u64; 8],
+        /// Issuing core.
+        core: CoreId,
+        /// Transaction the entry belongs to.
+        tx: TxId,
+        /// Correlation id for the ack.
+        flush_id: u64,
+    },
+    /// An ATOM hardware log entry, created at the memory controller
+    /// (source-log optimisation): when the core has the line cached it
+    /// supplies the pre-store data; on a cache miss `old_data` is `None`
+    /// and the controller reads the grain from its own WPQ/NVMM view —
+    /// "on a cache miss with a logging operation, a log entry is created
+    /// in the MC before the data is sent to the cache" (§5.1).
+    /// Acknowledged by [`McEvent::AtomLogAck`] (posted-log optimisation:
+    /// the ack is what unblocks the store's retirement).
+    AtomLog {
+        /// Grain base address being logged.
+        grain: Addr,
+        /// Pre-store grain contents, if the core had the line cached.
+        old_data: Option<[u64; 4]>,
+        /// Issuing core.
+        core: CoreId,
+        /// Transaction the entry belongs to.
+        tx: TxId,
+        /// Correlation id for the ack.
+        log_id: u64,
+    },
+    /// Transaction commit notification: triggers flash clearing of the
+    /// transaction's LPQ entries (Proteus), commit-marker durability, and
+    /// ATOM's log truncation writes. Answered by [`McEvent::TxEndDone`].
+    TxEnd {
+        /// Committing core.
+        core: CoreId,
+        /// Committing transaction.
+        tx: TxId,
+    },
+    /// `pcommit`: drain the WPQ to NVMM. Answered by
+    /// [`McEvent::PcommitDone`].
+    Pcommit {
+        /// Correlation id.
+        commit_id: u64,
+    },
+    /// Context switch (`log-save`, §4.4): force the core's LPQ entries to
+    /// NVMM.
+    DrainCoreLogs {
+        /// Core being switched out.
+        core: CoreId,
+    },
+}
+
+/// An event produced by the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McEvent {
+    /// Read data available.
+    ReadDone {
+        /// Correlation id from the request.
+        req_id: u64,
+        /// Line contents.
+        data: LineData,
+        /// Controller-side completion cycle.
+        at: Cycle,
+    },
+    /// Write-back accepted into the WPQ (durable under ADR).
+    WritebackAck {
+        /// Correlation id from the request.
+        ack_id: u64,
+        /// Acceptance cycle.
+        at: Cycle,
+    },
+    /// Log flush accepted into the LPQ (durable under ADR).
+    LogFlushAck {
+        /// Correlation id from the request.
+        flush_id: u64,
+        /// Acceptance cycle.
+        at: Cycle,
+    },
+    /// ATOM log entry created and durable.
+    AtomLogAck {
+        /// Correlation id from the request.
+        log_id: u64,
+        /// Acceptance cycle.
+        at: Cycle,
+    },
+    /// All commit-time controller work for the transaction is durable.
+    TxEndDone {
+        /// Committing core.
+        core: CoreId,
+        /// Committed transaction.
+        tx: TxId,
+        /// Completion cycle.
+        at: Cycle,
+    },
+    /// WPQ fully drained to NVMM.
+    PcommitDone {
+        /// Correlation id from the request.
+        commit_id: u64,
+        /// Completion cycle.
+        at: Cycle,
+    },
+}
+
+impl McEvent {
+    /// The controller-side cycle at which the event fired.
+    pub fn at(&self) -> Cycle {
+        match self {
+            McEvent::ReadDone { at, .. }
+            | McEvent::WritebackAck { at, .. }
+            | McEvent::LogFlushAck { at, .. }
+            | McEvent::AtomLogAck { at, .. }
+            | McEvent::TxEndDone { at, .. }
+            | McEvent::PcommitDone { at, .. } => *at,
+        }
+    }
+}

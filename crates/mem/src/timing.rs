@@ -1,0 +1,150 @@
+//! Service-latency derivation from bank timing parameters.
+//!
+//! The bank model charges, per access, the JEDEC-style command sequence
+//! appropriate to the row-buffer state:
+//!
+//! * **read, row hit**: `tCAS + tBURST`
+//! * **read, row closed**: `tRCD(read) + tCAS + tBURST`
+//! * **read, row conflict**: `tRP + tRCD(read) + tCAS + tBURST`
+//! * **write, row hit**: `tCAS + tBURST` — writes into an open row buffer
+//!   are fast even on NVM;
+//! * **write, row closed/conflict**: `[tRP] + tRCD(write) + tCAS +
+//!   tBURST` — the paper models NVM by raising tRCD to 29 (read) and 109
+//!   (write) in DRAMSim2 (§5.1), i.e. the slow array access is paid on
+//!   *activation*, which is what makes its closed-row write ≈150 ns
+//!   (≈300 ns for the §7.1 slow preset) while sequential streams retain
+//!   row-buffer locality.
+//!
+//! All latencies are converted from memory-clock to CPU cycles with the
+//! exact 17/4 ratio of a 3.4 GHz core over an 800 MHz DDR3-1600 bus.
+
+use proteus_types::clock::{ClockRatio, Cycle};
+use proteus_types::config::DramTiming;
+
+/// Row-buffer state relative to an incoming access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowState {
+    /// The target row is open in the row buffer.
+    Hit,
+    /// No row is open.
+    Closed,
+    /// A different row is open and must be precharged first.
+    Conflict,
+}
+
+/// Pre-converted service latencies in CPU cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceTiming {
+    read_hit: Cycle,
+    read_closed: Cycle,
+    read_conflict: Cycle,
+    write_hit: Cycle,
+    write_closed: Cycle,
+    write_conflict: Cycle,
+    write_recovery: Cycle,
+    burst: Cycle,
+}
+
+impl ServiceTiming {
+    /// Derives CPU-cycle service latencies from memory-clock parameters.
+    pub fn from_timing(t: &DramTiming, ratio: ClockRatio) -> Self {
+        let c = |mem_cycles: u64| ratio.to_cpu_cycles(mem_cycles);
+        ServiceTiming {
+            read_hit: c(t.t_cas + t.t_burst),
+            read_closed: c(t.t_rcd_read + t.t_cas + t.t_burst),
+            read_conflict: c(t.t_rp + t.t_rcd_read + t.t_cas + t.t_burst),
+            write_hit: c(t.t_cas + t.t_burst),
+            write_closed: c(t.t_rcd_write + t.t_cas + t.t_burst),
+            write_conflict: c(t.t_rp + t.t_rcd_write + t.t_cas + t.t_burst),
+            write_recovery: c(t.t_wr),
+            burst: c(t.t_burst),
+        }
+    }
+
+    /// Latency until read data is available.
+    pub fn read_latency(&self, state: RowState) -> Cycle {
+        match state {
+            RowState::Hit => self.read_hit,
+            RowState::Closed => self.read_closed,
+            RowState::Conflict => self.read_conflict,
+        }
+    }
+
+    /// Latency until a write is committed to the array.
+    pub fn write_latency(&self, state: RowState) -> Cycle {
+        match state {
+            RowState::Hit => self.write_hit,
+            RowState::Closed => self.write_closed,
+            RowState::Conflict => self.write_conflict,
+        }
+    }
+
+    /// Additional bank-busy time after a write completes (write recovery).
+    pub fn write_recovery(&self) -> Cycle {
+        self.write_recovery
+    }
+
+    /// Data-bus occupancy of one transfer.
+    pub fn burst(&self) -> Cycle {
+        self.burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::config::DramTiming;
+
+    fn cpu(t: &DramTiming) -> ServiceTiming {
+        ServiceTiming::from_timing(t, ClockRatio::cpu_over_ddr3_1600())
+    }
+
+    #[test]
+    fn nvm_fast_read_is_about_50ns() {
+        let t = cpu(&DramTiming::nvm_fast());
+        // Closed-row read: (29 + 11 + 4) mem cycles = 44 * 4.25 = 187 CPU
+        // cycles = 55 ns at 3.4 GHz. Paper assumes ≈50 ns.
+        assert_eq!(t.read_latency(RowState::Closed), 187);
+        let ns = 187.0 / 3.4;
+        assert!((45.0..65.0).contains(&ns), "read latency {ns} ns out of band");
+    }
+
+    #[test]
+    fn nvm_fast_write_is_about_150ns() {
+        let t = cpu(&DramTiming::nvm_fast());
+        // (109 + 11 + 4) mem cycles = 124 * 4.25 = 527 CPU cycles ≈ 155 ns.
+        let cycles = t.write_latency(RowState::Closed);
+        let ns = cycles as f64 / 3.4;
+        assert!((130.0..170.0).contains(&ns), "write latency {ns} ns out of band");
+        // Row-buffer hits stay fast even on NVM (writes land in the
+        // buffer; the array cost is an activation cost).
+        assert!(t.write_latency(RowState::Hit) < cycles / 5);
+    }
+
+    #[test]
+    fn nvm_slow_write_is_about_300ns() {
+        let t = cpu(&DramTiming::nvm_slow());
+        let ns = t.write_latency(RowState::Closed) as f64 / 3.4;
+        assert!((280.0..320.0).contains(&ns), "slow write latency {ns} ns out of band");
+    }
+
+    #[test]
+    fn dram_write_much_faster_than_nvm() {
+        let dram = cpu(&DramTiming::ddr3_1600());
+        let nvm = cpu(&DramTiming::nvm_fast());
+        assert!(dram.write_latency(RowState::Closed) * 3 < nvm.write_latency(RowState::Closed));
+        // Reads differ less (NVM read ≈ 50ns vs DRAM ≈ 32ns closed-row).
+        assert!(dram.read_latency(RowState::Closed) < nvm.read_latency(RowState::Closed));
+    }
+
+    #[test]
+    fn row_hit_cheaper_than_conflict() {
+        for t in [DramTiming::ddr3_1600(), DramTiming::nvm_fast(), DramTiming::nvm_slow()] {
+            let s = cpu(&t);
+            assert!(s.read_latency(RowState::Hit) < s.read_latency(RowState::Closed));
+            assert!(s.read_latency(RowState::Closed) < s.read_latency(RowState::Conflict));
+            assert!(s.write_latency(RowState::Hit) <= s.write_latency(RowState::Closed));
+            assert!(s.write_latency(RowState::Closed) < s.write_latency(RowState::Conflict));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Experiment runner: single runs and parallel sweeps.
+
+use crate::system::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::stats::RunSummary;
+use proteus_types::SimError;
+use proteus_workloads::{generate, Benchmark, GeneratedWorkload, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+/// One experiment: a benchmark under a scheme on a configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Machine configuration.
+    pub config: SystemConfig,
+    /// Logging scheme under test.
+    pub scheme: LoggingSchemeKind,
+    /// Benchmark to run.
+    pub bench: Benchmark,
+    /// Workload generation parameters.
+    pub params: WorkloadParams,
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// `"<bench>/<scheme>"`.
+    pub name: String,
+    /// Run statistics.
+    pub summary: RunSummary,
+}
+
+/// Runs a single experiment, generating the workload internally.
+///
+/// # Errors
+///
+/// Propagates configuration, expansion, and simulation errors.
+pub fn run_one(spec: &ExperimentSpec) -> Result<ExperimentResult, SimError> {
+    let workload = generate(spec.bench, &spec.params);
+    run_workload(spec, &workload)
+}
+
+/// Runs a single experiment over a pre-generated workload (reuse the
+/// workload across schemes so every scheme sees identical operations —
+/// the paper's methodology).
+///
+/// # Errors
+///
+/// Propagates configuration, expansion, and simulation errors.
+pub fn run_workload(
+    spec: &ExperimentSpec,
+    workload: &GeneratedWorkload,
+) -> Result<ExperimentResult, SimError> {
+    let mut system = System::new(&spec.config, spec.scheme, workload)?;
+    let summary = system.run()?;
+    Ok(ExperimentResult {
+        name: format!("{}/{}", spec.bench.abbrev(), spec.scheme.label()),
+        summary,
+    })
+}
+
+/// Runs `specs` in parallel across host threads (one workload generation
+/// per spec), preserving input order in the output.
+///
+/// # Errors
+///
+/// Returns the first error encountered.
+pub fn run_many(specs: &[ExperimentSpec]) -> Result<Vec<ExperimentResult>, SimError> {
+    let mut results: Vec<Option<Result<ExperimentResult, SimError>>> =
+        (0..specs.len()).map(|_| None).collect();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_cell = parking_lot::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..parallelism {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let out = run_one(&specs[i]);
+                results_cell.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// A benchmark's results across all schemes, with paper-style derived
+/// metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeSweep {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// `(scheme label, summary)` per scheme in [`LoggingSchemeKind::ALL`]
+    /// order.
+    pub results: Vec<(String, RunSummary)>,
+}
+
+impl SchemeSweep {
+    /// Speedup of `scheme` over the software-logging baseline (Fig. 6
+    /// metric).
+    pub fn speedup(&self, scheme: LoggingSchemeKind) -> f64 {
+        let base = self.cycles_of(LoggingSchemeKind::SwPmem);
+        base as f64 / self.cycles_of(scheme) as f64
+    }
+
+    /// NVMM writes normalised to the no-logging ideal (Fig. 8 metric).
+    pub fn nvmm_writes_normalized(&self, scheme: LoggingSchemeKind) -> f64 {
+        let base = self.summary_of(LoggingSchemeKind::NoLog).mem.total_nvmm_writes();
+        let this = self.summary_of(scheme).mem.total_nvmm_writes();
+        this as f64 / base.max(1) as f64
+    }
+
+    /// Front-end stall cycles normalised to the no-logging ideal (Fig. 7
+    /// metric).
+    pub fn stalls_normalized(&self, scheme: LoggingSchemeKind) -> f64 {
+        let base = self
+            .summary_of(LoggingSchemeKind::NoLog)
+            .cores_merged()
+            .total_stall_cycles();
+        let this = self.summary_of(scheme).cores_merged().total_stall_cycles();
+        this as f64 / base.max(1) as f64
+    }
+
+    fn cycles_of(&self, scheme: LoggingSchemeKind) -> u64 {
+        self.summary_of(scheme).total_cycles
+    }
+
+    /// The summary for `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep did not include `scheme`.
+    pub fn summary_of(&self, scheme: LoggingSchemeKind) -> &RunSummary {
+        &self
+            .results
+            .iter()
+            .find(|(label, _)| label == scheme.label())
+            .unwrap_or_else(|| panic!("sweep missing scheme {}", scheme.label()))
+            .1
+    }
+}
+
+/// Runs one benchmark under every scheme (identical workload), in
+/// parallel.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn sweep_schemes(
+    config: &SystemConfig,
+    bench: Benchmark,
+    params: &WorkloadParams,
+    schemes: &[LoggingSchemeKind],
+) -> Result<SchemeSweep, SimError> {
+    let workload = generate(bench, params);
+    let mut results: Vec<Option<Result<(String, RunSummary), SimError>>> =
+        (0..schemes.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_cell = parking_lot::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..schemes.len().min(8).max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= schemes.len() {
+                    break;
+                }
+                let spec = ExperimentSpec {
+                    config: config.clone(),
+                    scheme: schemes[i],
+                    bench,
+                    params: params.clone(),
+                };
+                let out = run_workload(&spec, &workload)
+                    .map(|r| (schemes[i].label().to_string(), r.summary));
+                results_cell.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let results: Result<Vec<_>, _> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    Ok(SchemeSweep { bench: bench.abbrev().to_string(), results: results? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> WorkloadParams {
+        WorkloadParams { threads: 2, init_ops: 40, sim_ops: 12, seed: 9 }
+    }
+
+    #[test]
+    fn run_one_produces_cycles_and_stats() {
+        let spec = ExperimentSpec {
+            config: SystemConfig::skylake_like().with_num_cores(2),
+            scheme: LoggingSchemeKind::Proteus,
+            bench: Benchmark::Queue,
+            params: tiny_params(),
+        };
+        let r = run_one(&spec).unwrap();
+        assert!(r.summary.total_cycles > 0);
+        assert_eq!(r.summary.core.len(), 2);
+        assert!(r.summary.cores_merged().transactions >= 24);
+        assert_eq!(r.name, "QE/Proteus");
+    }
+
+    #[test]
+    fn sweep_compares_schemes_consistently() {
+        let sweep = sweep_schemes(
+            &SystemConfig::skylake_like().with_num_cores(2),
+            Benchmark::HashMap,
+            &tiny_params(),
+            &LoggingSchemeKind::ALL,
+        )
+        .unwrap();
+        assert_eq!(sweep.results.len(), 6);
+        // The baseline's speedup over itself is exactly 1.
+        assert!((sweep.speedup(LoggingSchemeKind::SwPmem) - 1.0).abs() < 1e-12);
+        // The ideal beats the baseline.
+        assert!(sweep.speedup(LoggingSchemeKind::NoLog) > 1.0);
+        // pcommit is slower than ADR.
+        assert!(sweep.speedup(LoggingSchemeKind::SwPmemPcommit) < 1.0);
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let specs: Vec<ExperimentSpec> = [Benchmark::Queue, Benchmark::HashMap]
+            .into_iter()
+            .map(|bench| ExperimentSpec {
+                config: SystemConfig::skylake_like().with_num_cores(2),
+                scheme: LoggingSchemeKind::NoLog,
+                bench,
+                params: tiny_params(),
+            })
+            .collect();
+        let results = run_many(&specs).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].name.starts_with("QE"));
+        assert!(results[1].name.starts_with("HM"));
+    }
+
+    #[test]
+    fn too_many_threads_rejected() {
+        let spec = ExperimentSpec {
+            config: SystemConfig::skylake_like().with_num_cores(1),
+            scheme: LoggingSchemeKind::NoLog,
+            bench: Benchmark::Queue,
+            params: tiny_params(), // 2 threads
+        };
+        assert!(matches!(run_one(&spec), Err(SimError::TooManyThreads { .. })));
+    }
+}

@@ -1,0 +1,284 @@
+//! The simulated machine: cores + caches + memory controller.
+
+use proteus_cache::CacheSystem;
+use proteus_core::layout::AddressLayout;
+use proteus_core::pmem::WordImage;
+use proteus_core::recovery::{recover, RecoveryReport};
+use proteus_core::scheme::{expand_program_with, ExpandOptions};
+use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY};
+use proteus_mem::{LogDrainMode, McEvent, MemoryController};
+use proteus_types::clock::Cycle;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::stats::RunSummary;
+use proteus_types::{SimError, ThreadId};
+use proteus_workloads::GeneratedWorkload;
+use std::collections::VecDeque;
+
+/// A complete simulated machine executing one workload under one logging
+/// scheme.
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Core>,
+    caches: CacheSystem,
+    mc: MemoryController,
+    inbox: VecDeque<(Cycle, usize, McEvent)>,
+    now: Cycle,
+    layout: AddressLayout,
+    scheme: LoggingSchemeKind,
+    threads: Vec<ThreadId>,
+    max_cycles: Cycle,
+}
+
+impl System {
+    /// Builds a machine for `workload` under `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid, the workload
+    /// needs more threads than cores, or trace expansion fails.
+    pub fn new(
+        cfg: &SystemConfig,
+        scheme: LoggingSchemeKind,
+        workload: &GeneratedWorkload,
+    ) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::InvalidConfig)?;
+        if workload.programs.len() > cfg.num_cores {
+            return Err(SimError::TooManyThreads {
+                requested: workload.programs.len(),
+                available: cfg.num_cores,
+            });
+        }
+        let layout = AddressLayout::default();
+        let drain_mode = if scheme.log_write_removal() {
+            LogDrainMode::KeepUntilCommit
+        } else {
+            LogDrainMode::DrainAlways
+        };
+        let mut mc = MemoryController::new(cfg.mem.clone(), layout.clone(), drain_mode);
+        mc.load_image(workload.initial_image.clone());
+        let caches = CacheSystem::new(cfg);
+        let mut cores = Vec::with_capacity(workload.programs.len());
+        let mut threads = Vec::new();
+        for (i, program) in workload.programs.iter().enumerate() {
+            let opts = ExpandOptions {
+                log_registers: cfg.proteus.log_registers,
+                initial_image: workload.initial_image.clone(),
+            };
+            let trace = expand_program_with(program, scheme, &layout, &opts)?;
+            threads.push(program.thread);
+            cores.push(Core::new(
+                proteus_types::CoreId::new(i as u32),
+                cfg,
+                scheme,
+                &layout,
+                trace,
+            ));
+        }
+        Ok(System {
+            cores,
+            caches,
+            mc,
+            inbox: VecDeque::new(),
+            now: 0,
+            layout,
+            scheme,
+            threads,
+            max_cycles: 20_000_000_000,
+        })
+    }
+
+    /// Sets the runaway guard (default 2×10¹⁰ cycles).
+    pub fn set_max_cycles(&mut self, max: Cycle) {
+        self.max_cycles = max;
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The logging scheme under test.
+    pub fn scheme(&self) -> LoggingSchemeKind {
+        self.scheme
+    }
+
+    /// The address layout in use.
+    pub fn layout(&self) -> &AddressLayout {
+        &self.layout
+    }
+
+    /// Whether every core has drained its trace.
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(Core::is_done)
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for core in &mut self.cores {
+            core.tick(now, &mut self.caches);
+            for (at, req) in core.drain_requests() {
+                self.mc.submit(req, at);
+            }
+        }
+        self.mc.tick(now);
+        for ev in self.mc.drain_events() {
+            let core_idx = match &ev {
+                McEvent::TxEndDone { core, .. } => core.index(),
+                McEvent::ReadDone { req_id: id, .. }
+                | McEvent::WritebackAck { ack_id: id, .. }
+                | McEvent::LogFlushAck { flush_id: id, .. }
+                | McEvent::AtomLogAck { log_id: id, .. }
+                | McEvent::PcommitDone { commit_id: id, .. } => decode_core(*id).index(),
+            };
+            self.inbox.push_back((ev.at() + MC_LINK_DELAY, core_idx, ev));
+        }
+        for _ in 0..self.inbox.len() {
+            let (at, idx, ev) = self.inbox.pop_front().expect("nonempty");
+            if at <= now {
+                self.cores[idx].handle_event(&ev, now, &mut self.caches);
+            } else {
+                self.inbox.push_back((at, idx, ev));
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs until every core finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the runaway guard trips.
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        while !self.is_done() {
+            if self.now >= self.max_cycles {
+                return Err(SimError::InvalidConfig(format!(
+                    "simulation exceeded {} cycles without finishing",
+                    self.max_cycles
+                )));
+            }
+            self.step();
+        }
+        Ok(self.summary())
+    }
+
+    /// Runs until `cycle` or completion, whichever comes first. Returns
+    /// whether the machine finished.
+    pub fn run_until(&mut self, cycle: Cycle) -> bool {
+        while !self.is_done() && self.now < cycle {
+            self.step();
+        }
+        self.is_done()
+    }
+
+    /// The durable state if power were lost right now (NVMM plus the
+    /// ADR-protected controller queues).
+    pub fn crash_image(&self) -> WordImage {
+        self.mc.crash_image()
+    }
+
+    /// Crashes the machine now and runs recovery over the durable image,
+    /// returning the recovered image and what recovery did.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::CorruptLog`] from recovery.
+    pub fn crash_and_recover(&self) -> Result<(WordImage, RecoveryReport), SimError> {
+        let mut image = self.crash_image();
+        let report = recover(&mut image, &self.layout, self.scheme, &self.threads)?;
+        Ok((image, report))
+    }
+
+    /// Statistics snapshot.
+    pub fn summary(&self) -> RunSummary {
+        let (l1d, l2, l3) = self.caches.stats();
+        RunSummary {
+            total_cycles: self
+                .cores
+                .iter()
+                .map(|c| c.stats().cycles)
+                .max()
+                .unwrap_or(self.now)
+                .max(if self.is_done() { 0 } else { self.now }),
+            core: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            mem: self.mc.stats().clone(),
+            l1d,
+            l2,
+            l3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_workloads::{generate, Benchmark, WorkloadParams};
+
+    fn workload() -> GeneratedWorkload {
+        generate(
+            Benchmark::Queue,
+            &WorkloadParams { threads: 1, init_ops: 20, sim_ops: 5, seed: 4 },
+        )
+    }
+
+    #[test]
+    fn run_until_stops_at_cycle_and_resumes() {
+        let cfg = SystemConfig::skylake_like().with_num_cores(1);
+        let mut sys = System::new(&cfg, LoggingSchemeKind::Proteus, &workload()).unwrap();
+        assert!(!sys.run_until(50), "five transactions take more than 50 cycles");
+        assert_eq!(sys.now(), 50);
+        assert!(sys.run_until(u64::MAX / 2), "must finish eventually");
+        let done_at = sys.now();
+        // Further stepping is a no-op for completed cores.
+        sys.step();
+        assert!(sys.is_done());
+        assert!(sys.summary().total_cycles <= done_at);
+    }
+
+    #[test]
+    fn max_cycles_guard_trips() {
+        let cfg = SystemConfig::skylake_like().with_num_cores(1);
+        let mut sys = System::new(&cfg, LoggingSchemeKind::SwPmem, &workload()).unwrap();
+        sys.set_max_cycles(10);
+        assert!(matches!(sys.run(), Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn invalid_config_rejected_up_front() {
+        let mut cfg = SystemConfig::skylake_like();
+        cfg.num_cores = 0;
+        assert!(matches!(
+            System::new(&cfg, LoggingSchemeKind::NoLog, &workload()),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn crash_image_before_first_step_is_initial_memory() {
+        let cfg = SystemConfig::skylake_like().with_num_cores(1);
+        let w = workload();
+        let sys = System::new(&cfg, LoggingSchemeKind::Proteus, &w).unwrap();
+        assert_eq!(sys.crash_image(), w.initial_image);
+        let (recovered, report) = sys.crash_and_recover().unwrap();
+        assert_eq!(recovered, w.initial_image);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, proteus_core::recovery::ThreadOutcome::Clean)));
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn system_is_send() {
+        // Experiment sweeps run systems on worker threads (C-SEND-SYNC).
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
+        assert_send::<proteus_mem::MemoryController>();
+        assert_send::<proteus_cache::CacheSystem>();
+        assert_send::<proteus_cpu::Core>();
+    }
+}

@@ -1,0 +1,311 @@
+//! Physical addresses and cache-line / log-grain arithmetic.
+//!
+//! The simulator uses a flat 64-bit physical address space. Two alignment
+//! granularities matter throughout the system:
+//!
+//! * the **cache line** (64 bytes), the unit moved between caches and the
+//!   memory controller, and
+//! * the **log grain** (32 bytes), the unit captured by a single
+//!   `log-load`/`log-flush` pair (the paper's logging data size, chosen so
+//!   that log data plus metadata fit in one cache line).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size in bytes of a cache line, the transfer unit of the memory hierarchy.
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// Size in bytes of the logging data captured by one `log-load` (paper §4.1:
+/// 32 B of data leaves room for the log-from address and metadata so a full
+/// log entry fits in a single 64 B cache line).
+pub const LOG_GRAIN_SIZE: u64 = 32;
+
+/// A byte-granularity physical address in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw physical byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / CACHE_LINE_SIZE)
+    }
+
+    /// Returns the 32-byte log grain containing this address.
+    pub const fn log_grain(self) -> LogGrainAddr {
+        LogGrainAddr(self.0 / LOG_GRAIN_SIZE)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address overflow, which indicates a simulator bug.
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0.checked_add(bytes).expect("address overflow"))
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 % CACHE_LINE_SIZE
+    }
+
+    /// Whether the address is aligned to a cache-line boundary.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0 % CACHE_LINE_SIZE == 0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-granularity address (the raw value is the line *index*, i.e.
+/// the byte address divided by [`CACHE_LINE_SIZE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line index.
+    pub const fn from_index(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index (byte address / 64).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * CACHE_LINE_SIZE)
+    }
+
+    /// The two log grains covered by this line.
+    pub const fn log_grains(self) -> [LogGrainAddr; 2] {
+        [LogGrainAddr(self.0 * 2), LogGrainAddr(self.0 * 2 + 1)]
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.base().raw())
+    }
+}
+
+/// A 32-byte log-grain address (raw value is the grain index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LogGrainAddr(u64);
+
+impl LogGrainAddr {
+    /// Creates a grain address from a grain index.
+    pub const fn from_index(index: u64) -> Self {
+        LogGrainAddr(index)
+    }
+
+    /// The grain index (byte address / 32).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the grain.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LOG_GRAIN_SIZE)
+    }
+
+    /// The cache line containing this grain.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / 2)
+    }
+}
+
+impl fmt::Display for LogGrainAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{:#x}", self.base().raw())
+    }
+}
+
+/// Kind of a physical memory region, used to route requests.
+///
+/// Log regions are marked uncacheable (paper §4.2: "To avoid a cache
+/// coherence issue, the log area is marked uncacheable"), so `log-flush`
+/// traffic bypasses the cache hierarchy entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Ordinary cacheable persistent data.
+    Data,
+    /// A per-thread log area: uncacheable, written by `log-flush`.
+    Log,
+}
+
+/// A contiguous physical region with a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: Addr,
+    /// One past the last byte of the region.
+    pub end: Addr,
+    /// What the region holds.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Creates a region covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: Addr, end: Addr, kind: RegionKind) -> Self {
+        assert!(start < end, "empty or inverted region {start}..{end}");
+        Region { start, end, kind }
+    }
+
+    /// Whether the region contains `addr`.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.raw() - self.start.raw()
+    }
+
+    /// Whether the region is empty (never true for a constructed region).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Maps physical addresses to region kinds.
+///
+/// The default map treats everything as cacheable data; log areas are
+/// registered by the log allocator when a thread attaches.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Creates an empty map (all addresses are [`RegionKind::Data`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a region. Later registrations take precedence on overlap.
+    pub fn add(&mut self, region: Region) {
+        self.regions.push(region);
+    }
+
+    /// The kind of the region containing `addr` ([`RegionKind::Data`] if no
+    /// registered region matches).
+    pub fn kind_of(&self, addr: Addr) -> RegionKind {
+        self.regions
+            .iter()
+            .rev()
+            .find(|r| r.contains(addr))
+            .map(|r| r.kind)
+            .unwrap_or(RegionKind::Data)
+    }
+
+    /// Whether `addr` may be cached.
+    pub fn is_cacheable(&self, addr: Addr) -> bool {
+        self.kind_of(addr) == RegionKind::Data
+    }
+
+    /// Iterates over registered regions.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_grain_arithmetic() {
+        let a = Addr::new(0x1050);
+        assert_eq!(a.line().base(), Addr::new(0x1040));
+        assert_eq!(a.line_offset(), 0x10);
+        assert_eq!(a.log_grain().base(), Addr::new(0x1040));
+        let b = Addr::new(0x1060);
+        assert_eq!(b.log_grain().base(), Addr::new(0x1060));
+        assert_eq!(b.line(), a.line());
+        assert_ne!(b.log_grain(), a.log_grain());
+    }
+
+    #[test]
+    fn grains_of_line() {
+        let line = Addr::new(0x2000).line();
+        let [g0, g1] = line.log_grains();
+        assert_eq!(g0.base(), Addr::new(0x2000));
+        assert_eq!(g1.base(), Addr::new(0x2020));
+        assert_eq!(g0.line(), line);
+        assert_eq!(g1.line(), line);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(Addr::new(0x40).is_line_aligned());
+        assert!(!Addr::new(0x41).is_line_aligned());
+        assert_eq!(Addr::new(0x40).offset(0x20).raw(), 0x60);
+    }
+
+    #[test]
+    fn region_map_lookup() {
+        let mut map = RegionMap::new();
+        map.add(Region::new(
+            Addr::new(0x8000_0000),
+            Addr::new(0x8001_0000),
+            RegionKind::Log,
+        ));
+        assert_eq!(map.kind_of(Addr::new(0x1000)), RegionKind::Data);
+        assert_eq!(map.kind_of(Addr::new(0x8000_0100)), RegionKind::Log);
+        assert!(!map.is_cacheable(Addr::new(0x8000_0100)));
+        assert!(map.is_cacheable(Addr::new(0x7fff_ffff)));
+    }
+
+    #[test]
+    fn overlapping_regions_last_wins() {
+        let mut map = RegionMap::new();
+        map.add(Region::new(Addr::new(0), Addr::new(0x1000), RegionKind::Log));
+        map.add(Region::new(Addr::new(0), Addr::new(0x1000), RegionKind::Data));
+        assert_eq!(map.kind_of(Addr::new(0x10)), RegionKind::Data);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted region")]
+    fn region_rejects_inverted_bounds() {
+        let _ = Region::new(Addr::new(0x10), Addr::new(0x10), RegionKind::Data);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(Addr::new(0x40).line().to_string(), "L0x40");
+        assert_eq!(Addr::new(0x60).log_grain().to_string(), "G0x60");
+    }
+}

@@ -1,0 +1,103 @@
+//! Cycle counting and clock-domain conversion.
+//!
+//! The core runs at 3.4 GHz while the DDR3-1600 memory clock runs at
+//! 800 MHz (paper Table 1), a ratio of 4.25 CPU cycles per memory cycle.
+//! The simulator is stepped in CPU cycles; [`ClockRatio`] converts between
+//! domains exactly using a rational accumulator so no drift accumulates
+//! over long runs.
+
+use serde::{Deserialize, Serialize};
+
+/// A simulation timestamp or duration in CPU cycles.
+pub type Cycle = u64;
+
+/// Exact rational clock ratio between the CPU domain and a slower domain.
+///
+/// `numer / denom` is the number of CPU cycles per slow-domain cycle
+/// (e.g. 17/4 = 4.25 for a 3.4 GHz core over an 800 MHz memory clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockRatio {
+    numer: u64,
+    denom: u64,
+}
+
+impl ClockRatio {
+    /// Creates a ratio of `numer / denom` CPU cycles per slow cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is zero.
+    pub fn new(numer: u64, denom: u64) -> Self {
+        assert!(numer > 0 && denom > 0, "clock ratio components must be nonzero");
+        ClockRatio { numer, denom }
+    }
+
+    /// The 3.4 GHz core over 800 MHz DDR3-1600 ratio from Table 1.
+    pub fn cpu_over_ddr3_1600() -> Self {
+        ClockRatio::new(17, 4)
+    }
+
+    /// Converts a duration in slow-domain cycles to CPU cycles, rounding up
+    /// (a transfer is not complete until the full slow cycle has elapsed).
+    pub fn to_cpu_cycles(&self, slow_cycles: u64) -> Cycle {
+        (slow_cycles * self.numer).div_ceil(self.denom)
+    }
+
+    /// Converts a duration in CPU cycles to whole elapsed slow-domain
+    /// cycles, rounding down.
+    pub fn to_slow_cycles(&self, cpu_cycles: Cycle) -> u64 {
+        cpu_cycles * self.denom / self.numer
+    }
+}
+
+/// Converts nanoseconds to CPU cycles at a given core frequency in MHz.
+///
+/// Used for NVM latencies specified in wall-clock time (50 ns read /
+/// 150 ns write fast; 300 ns write slow).
+pub fn ns_to_cycles(ns: u64, core_mhz: u64) -> Cycle {
+    (ns * core_mhz).div_ceil(1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_ratio_is_4_25() {
+        let r = ClockRatio::cpu_over_ddr3_1600();
+        assert_eq!(r.to_cpu_cycles(4), 17);
+        assert_eq!(r.to_cpu_cycles(1), 5); // 4.25 rounded up
+        assert_eq!(r.to_cpu_cycles(100), 425);
+    }
+
+    #[test]
+    fn slow_cycle_conversion_floors() {
+        let r = ClockRatio::cpu_over_ddr3_1600();
+        assert_eq!(r.to_slow_cycles(17), 4);
+        assert_eq!(r.to_slow_cycles(16), 3);
+        assert_eq!(r.to_slow_cycles(0), 0);
+    }
+
+    #[test]
+    fn conversion_roundtrip_is_monotone() {
+        let r = ClockRatio::cpu_over_ddr3_1600();
+        for slow in 0..1000 {
+            let cpu = r.to_cpu_cycles(slow);
+            assert!(r.to_slow_cycles(cpu) >= slow);
+        }
+    }
+
+    #[test]
+    fn ns_conversion_matches_paper_latencies() {
+        // 3.4 GHz core: 50 ns = 170 cycles, 150 ns = 510, 300 ns = 1020.
+        assert_eq!(ns_to_cycles(50, 3400), 170);
+        assert_eq!(ns_to_cycles(150, 3400), 510);
+        assert_eq!(ns_to_cycles(300, 3400), 1020);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_ratio_rejected() {
+        let _ = ClockRatio::new(0, 4);
+    }
+}

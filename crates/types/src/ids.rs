@@ -1,0 +1,124 @@
+//! Identifiers for cores, threads, and durable transactions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize`, for container indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A hardware core in the simulated multicore.
+    CoreId,
+    "core"
+);
+
+id_type!(
+    /// A software thread. In the headline experiments threads are pinned
+    /// one-to-one onto cores, but the types stay distinct because log areas
+    /// belong to threads (paper §4.1) while LogQ/LLT state belongs to cores.
+    ThreadId,
+    "thread"
+);
+
+/// A durable transaction identifier.
+///
+/// Each core tracks the transaction currently executing in its `txID`
+/// register (paper Fig. 5); the memory controller uses `(CoreId, TxId)` to
+/// flash-clear LPQ entries at `tx-end`. Transaction IDs increase
+/// monotonically per thread, which is what lets recovery identify the most
+/// recent transaction in a thread's log area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Creates a transaction ID from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        TxId(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next transaction ID in this thread's sequence.
+    pub const fn next(self) -> TxId {
+        TxId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let c = CoreId::new(3);
+        assert_eq!(c.raw(), 3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.to_string(), "core3");
+        assert_eq!(ThreadId::new(1).to_string(), "thread1");
+    }
+
+    #[test]
+    fn txid_sequence() {
+        let t = TxId::new(7);
+        assert_eq!(t.next().raw(), 8);
+        assert!(t.next() > t);
+        assert_eq!(t.to_string(), "tx7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(CoreId::new(0));
+        set.insert(CoreId::new(0));
+        set.insert(CoreId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(CoreId::new(0) < CoreId::new(1));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Common types for the Proteus NVM logging simulator.
+//!
+//! This crate hosts the vocabulary shared by every other crate in the
+//! workspace: physical addresses and cache-line arithmetic ([`addr`]),
+//! component identifiers ([`ids`]), clock-domain conversion ([`clock`]),
+//! the full system configuration including the paper's Table 1 preset
+//! ([`config`]), statistics counters ([`stats`]), and the simulator error
+//! type ([`error`]).
+//!
+//! # Example
+//!
+//! ```
+//! use proteus_types::config::SystemConfig;
+//! use proteus_types::addr::Addr;
+//!
+//! let cfg = SystemConfig::skylake_like();
+//! assert_eq!(cfg.cores.rob_entries, 224);
+//! let a = Addr::new(0x1040);
+//! assert_eq!(a.line().base().raw(), 0x1040 & !63);
+//! ```
+
+pub mod addr;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod stats;
+
+pub use addr::{Addr, LineAddr, LogGrainAddr, CACHE_LINE_SIZE, LOG_GRAIN_SIZE};
+pub use clock::{ClockRatio, Cycle};
+pub use config::{LoggingSchemeKind, MemTech, SystemConfig};
+pub use error::SimError;
+pub use ids::{CoreId, ThreadId, TxId};

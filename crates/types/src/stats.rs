@@ -1,0 +1,415 @@
+//! Statistics counters collected during simulation.
+//!
+//! The counters mirror the measurements the paper reports: execution cycles
+//! (Figs. 6, 9, 10, 11, 12, Table 3), front-end dispatch stalls (Fig. 7),
+//! NVMM write counts by type (Fig. 8), and LLT hit rates (Table 4).
+
+use crate::clock::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why dispatch could not proceed in a given cycle (front-end stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallCause {
+    /// Reorder buffer full.
+    RobFull,
+    /// Issue queue full.
+    IssueQFull,
+    /// Load queue full.
+    LoadQFull,
+    /// Store queue full.
+    StoreQFull,
+    /// Proteus LogQ full: a `log-flush` could not allocate an entry
+    /// (paper §4.2: dispatch stalls to preserve persist ordering).
+    LogQFull,
+    /// Proteus log register file exhausted.
+    LrFull,
+    /// An in-order constraint (sfence/pcommit/tx boundary) is draining.
+    FenceDrain,
+    /// ATOM: store retirement blocked on log durability backed up into
+    /// the pipeline.
+    AtomLogWait,
+}
+
+impl StallCause {
+    /// All causes, for iteration in reports.
+    pub const ALL: [StallCause; 8] = [
+        StallCause::RobFull,
+        StallCause::IssueQFull,
+        StallCause::LoadQFull,
+        StallCause::StoreQFull,
+        StallCause::LogQFull,
+        StallCause::LrFull,
+        StallCause::FenceDrain,
+        StallCause::AtomLogWait,
+    ];
+
+    fn slot(self) -> usize {
+        match self {
+            StallCause::RobFull => 0,
+            StallCause::IssueQFull => 1,
+            StallCause::LoadQFull => 2,
+            StallCause::StoreQFull => 3,
+            StallCause::LogQFull => 4,
+            StallCause::LrFull => 5,
+            StallCause::FenceDrain => 6,
+            StallCause::AtomLogWait => 7,
+        }
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallCause::RobFull => "rob-full",
+            StallCause::IssueQFull => "issueq-full",
+            StallCause::LoadQFull => "loadq-full",
+            StallCause::StoreQFull => "storeq-full",
+            StallCause::LogQFull => "logq-full",
+            StallCause::LrFull => "lr-full",
+            StallCause::FenceDrain => "fence-drain",
+            StallCause::AtomLogWait => "atom-log-wait",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-core pipeline statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles this core was active (until its trace finished).
+    pub cycles: Cycle,
+    /// Micro-ops retired.
+    pub uops_retired: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// `clwb` operations retired.
+    pub clwbs: u64,
+    /// `sfence`/`mfence` operations retired.
+    pub fences: u64,
+    /// `log-load` operations retired (Proteus).
+    pub log_loads: u64,
+    /// `log-flush` operations retired, including LLT-elided ones.
+    pub log_flushes: u64,
+    /// `log-flush` operations elided by an LLT hit.
+    pub log_flushes_elided: u64,
+    /// ATOM hardware log entries created at store retirement.
+    pub atom_log_entries: u64,
+    /// ATOM log entries elided by its per-transaction dedup table.
+    pub atom_log_elided: u64,
+    /// Transactions committed.
+    pub transactions: u64,
+    /// LLT lookups (equals `log_flushes` under Proteus).
+    pub llt_lookups: u64,
+    /// LLT hits.
+    pub llt_hits: u64,
+    /// Front-end dispatch stall cycles by cause (indexed via
+    /// [`StallCause::ALL`] order).
+    stall_cycles: [u64; 8],
+}
+
+impl CoreStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stalled dispatch cycle.
+    pub fn record_stall(&mut self, cause: StallCause) {
+        self.stall_cycles[cause.slot()] += 1;
+    }
+
+    /// Stall cycles attributed to `cause`.
+    pub fn stall(&self, cause: StallCause) -> u64 {
+        self.stall_cycles[cause.slot()]
+    }
+
+    /// Total front-end stall cycles across all causes.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+
+    /// LLT miss rate in percent (Table 4); `None` when no lookups occurred.
+    pub fn llt_miss_rate_pct(&self) -> Option<f64> {
+        if self.llt_lookups == 0 {
+            None
+        } else {
+            Some(100.0 * (self.llt_lookups - self.llt_hits) as f64 / self.llt_lookups as f64)
+        }
+    }
+
+    /// Accumulates another core's counters into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.uops_retired += other.uops_retired;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.clwbs += other.clwbs;
+        self.fences += other.fences;
+        self.log_loads += other.log_loads;
+        self.log_flushes += other.log_flushes;
+        self.log_flushes_elided += other.log_flushes_elided;
+        self.atom_log_entries += other.atom_log_entries;
+        self.atom_log_elided += other.atom_log_elided;
+        self.transactions += other.transactions;
+        self.llt_lookups += other.llt_lookups;
+        self.llt_hits += other.llt_hits;
+        for i in 0..self.stall_cycles.len() {
+            self.stall_cycles[i] += other.stall_cycles[i];
+        }
+    }
+}
+
+/// Memory-controller and NVMM statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Read requests serviced by the NVMM banks.
+    pub nvmm_reads: u64,
+    /// Data (non-log) writes performed at the NVMM banks.
+    pub nvmm_data_writes: u64,
+    /// Log writes that reached the NVMM banks (escaped removal).
+    pub nvmm_log_writes: u64,
+    /// Extra NVMM writes performed to invalidate log entries that had
+    /// already escaped to NVMM when their transaction committed.
+    pub nvmm_log_invalidation_writes: u64,
+    /// Writes accepted into the WPQ.
+    pub wpq_inserts: u64,
+    /// Log flushes accepted into the LPQ.
+    pub lpq_inserts: u64,
+    /// LPQ entries flash-cleared at tx-end (writes avoided).
+    pub lpq_flash_cleared: u64,
+    /// LPQ entries drained to NVMM before their transaction ended.
+    pub lpq_drained: u64,
+    /// WPQ-resident log entries dropped at commit (commit-marker rule).
+    pub wpq_log_dropped: u64,
+    /// `pcommit` drains executed.
+    pub pcommits: u64,
+    /// Cycles any read spent waiting in the read queue (for occupancy
+    /// diagnostics).
+    pub read_queue_wait_cycles: u64,
+    /// Peak WPQ occupancy observed.
+    pub wpq_peak_occupancy: usize,
+    /// Peak LPQ occupancy observed.
+    pub lpq_peak_occupancy: usize,
+    /// Requests rejected because the LPQ was full (backpressure events).
+    pub lpq_full_rejections: u64,
+    /// Requests rejected because the WPQ was full (backpressure events).
+    pub wpq_full_rejections: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total writes that physically reached the NVMM banks, the Fig. 8
+    /// metric (data + log + log invalidation).
+    pub fn total_nvmm_writes(&self) -> u64 {
+        self.nvmm_data_writes + self.nvmm_log_writes + self.nvmm_log_invalidation_writes
+    }
+
+    /// Accumulates another controller's counters into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.nvmm_reads += other.nvmm_reads;
+        self.nvmm_data_writes += other.nvmm_data_writes;
+        self.nvmm_log_writes += other.nvmm_log_writes;
+        self.nvmm_log_invalidation_writes += other.nvmm_log_invalidation_writes;
+        self.wpq_inserts += other.wpq_inserts;
+        self.lpq_inserts += other.lpq_inserts;
+        self.lpq_flash_cleared += other.lpq_flash_cleared;
+        self.lpq_drained += other.lpq_drained;
+        self.wpq_log_dropped += other.wpq_log_dropped;
+        self.pcommits += other.pcommits;
+        self.read_queue_wait_cycles += other.read_queue_wait_cycles;
+        self.wpq_peak_occupancy = self.wpq_peak_occupancy.max(other.wpq_peak_occupancy);
+        self.lpq_peak_occupancy = self.lpq_peak_occupancy.max(other.lpq_peak_occupancy);
+        self.lpq_full_rejections += other.lpq_full_rejections;
+        self.wpq_full_rejections += other.wpq_full_rejections;
+    }
+}
+
+/// Cache statistics for one level.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+    /// Lines flushed by `clwb`.
+    pub clwb_flushes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in percent; `None` when no accesses occurred.
+    pub fn hit_rate_pct(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(100.0 * self.hits as f64 / total as f64)
+        }
+    }
+
+    /// Accumulates another cache's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.clwb_flushes += other.clwb_flushes;
+    }
+}
+
+/// Full-run summary: everything a figure or table needs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Wall-clock of the simulated run: max cycles over all cores.
+    pub total_cycles: Cycle,
+    /// Per-core statistics, indexed by core.
+    pub core: Vec<CoreStats>,
+    /// Memory-controller statistics.
+    pub mem: MemStats,
+    /// L1 statistics aggregated over cores.
+    pub l1d: CacheStats,
+    /// L2 statistics aggregated over cores.
+    pub l2: CacheStats,
+    /// Shared L3 statistics.
+    pub l3: CacheStats,
+}
+
+impl RunSummary {
+    /// Aggregated core stats over all cores.
+    pub fn cores_merged(&self) -> CoreStats {
+        let mut total = CoreStats::new();
+        for c in &self.core {
+            total.merge(c);
+        }
+        total
+    }
+
+    /// Speedup of this run relative to a baseline run of the same work:
+    /// `baseline_cycles / self_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run recorded zero cycles.
+    pub fn speedup_over(&self, baseline: &RunSummary) -> f64 {
+        assert!(self.total_cycles > 0, "run recorded zero cycles");
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+///
+/// The paper reports geometric means across benchmarks; this helper keeps
+/// every report using the same definition.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|v| {
+            assert!(*v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_accounting() {
+        let mut s = CoreStats::new();
+        s.record_stall(StallCause::RobFull);
+        s.record_stall(StallCause::RobFull);
+        s.record_stall(StallCause::LogQFull);
+        assert_eq!(s.stall(StallCause::RobFull), 2);
+        assert_eq!(s.stall(StallCause::LogQFull), 1);
+        assert_eq!(s.stall(StallCause::LoadQFull), 0);
+        assert_eq!(s.total_stall_cycles(), 3);
+    }
+
+    #[test]
+    fn llt_miss_rate() {
+        let mut s = CoreStats::new();
+        assert_eq!(s.llt_miss_rate_pct(), None);
+        s.llt_lookups = 100;
+        s.llt_hits = 75;
+        assert_eq!(s.llt_miss_rate_pct(), Some(25.0));
+    }
+
+    #[test]
+    fn core_merge_accumulates() {
+        let mut a = CoreStats::new();
+        a.cycles = 100;
+        a.stores = 5;
+        a.record_stall(StallCause::FenceDrain);
+        let mut b = CoreStats::new();
+        b.cycles = 200;
+        b.stores = 7;
+        b.record_stall(StallCause::FenceDrain);
+        a.merge(&b);
+        assert_eq!(a.cycles, 200); // max, not sum: wall-clock semantics
+        assert_eq!(a.stores, 12);
+        assert_eq!(a.stall(StallCause::FenceDrain), 2);
+    }
+
+    #[test]
+    fn total_nvmm_writes_sums_components() {
+        let mut m = MemStats::new();
+        m.nvmm_data_writes = 10;
+        m.nvmm_log_writes = 4;
+        m.nvmm_log_invalidation_writes = 1;
+        assert_eq!(m.total_nvmm_writes(), 15);
+    }
+
+    #[test]
+    fn speedup_definition() {
+        let mut base = RunSummary::default();
+        base.total_cycles = 1500;
+        let mut fast = RunSummary::default();
+        fast.total_cycles = 1000;
+        assert!((fast.speedup_over(&base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_calc() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geometric_mean(&[2.0, 2.0, 2.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let mut c = CacheStats::default();
+        assert_eq!(c.hit_rate_pct(), None);
+        c.hits = 3;
+        c.misses = 1;
+        assert_eq!(c.hit_rate_pct(), Some(75.0));
+    }
+
+    #[test]
+    fn stall_causes_all_distinct_slots() {
+        let mut seen = std::collections::HashSet::new();
+        for c in StallCause::ALL {
+            assert!(seen.insert(c.slot()));
+        }
+    }
+}

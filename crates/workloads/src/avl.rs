@@ -1,0 +1,350 @@
+//! AT: insert/delete on AVL trees (Table 2).
+//!
+//! Nodes are 64 bytes: `[key, value, left, right, height]`. Rebalancing
+//! rotations write nodes along (and beside) the search path, which is why
+//! the paper's software undo logging must conservatively log the whole
+//! path — mirrored here through `hint_node` on every visited node.
+
+use crate::mem::{Mem, NodeAlloc};
+use proteus_types::Addr;
+
+const KEY: u64 = 0;
+const VALUE: u64 = 8;
+const LEFT: u64 = 16;
+const RIGHT: u64 = 24;
+const HEIGHT: u64 = 32;
+
+/// Handle to one AVL tree (meta node holds the root pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvlTree {
+    meta: Addr,
+}
+
+impl AvlTree {
+    /// Creates an empty tree.
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc) -> Self {
+        let meta = alloc.alloc_node();
+        mem.write(meta, 0);
+        AvlTree { meta }
+    }
+
+    fn root<M: Mem>(&self, mem: &mut M) -> u64 {
+        mem.hint_node(self.meta);
+        mem.read(self.meta)
+    }
+
+    fn set_root<M: Mem>(&self, mem: &mut M, root: u64) {
+        mem.write(self.meta, root);
+    }
+
+    fn height<M: Mem>(mem: &mut M, node: u64) -> u64 {
+        if node == 0 {
+            0
+        } else {
+            mem.read_dep(Addr::new(node).offset(HEIGHT))
+        }
+    }
+
+    fn update_height<M: Mem>(mem: &mut M, node: u64) {
+        let left = mem.read_dep(Addr::new(node).offset(LEFT));
+        let l = Self::height(mem, left);
+        let right = mem.read_dep(Addr::new(node).offset(RIGHT));
+        let r = Self::height(mem, right);
+        let h = 1 + l.max(r);
+        if mem.read_dep(Addr::new(node).offset(HEIGHT)) != h {
+            mem.write(Addr::new(node).offset(HEIGHT), h);
+        }
+    }
+
+    fn balance<M: Mem>(mem: &mut M, node: u64) -> i64 {
+        let left = mem.read_dep(Addr::new(node).offset(LEFT));
+        let l = Self::height(mem, left);
+        let right = mem.read_dep(Addr::new(node).offset(RIGHT));
+        let r = Self::height(mem, right);
+        l as i64 - r as i64
+    }
+
+    fn rotate_right<M: Mem>(mem: &mut M, y: u64) -> u64 {
+        let x = mem.read_dep(Addr::new(y).offset(LEFT));
+        mem.hint_node(Addr::new(x));
+        let t2 = mem.read_dep(Addr::new(x).offset(RIGHT));
+        mem.write(Addr::new(x).offset(RIGHT), y);
+        mem.write(Addr::new(y).offset(LEFT), t2);
+        Self::update_height(mem, y);
+        Self::update_height(mem, x);
+        x
+    }
+
+    fn rotate_left<M: Mem>(mem: &mut M, x: u64) -> u64 {
+        let y = mem.read_dep(Addr::new(x).offset(RIGHT));
+        mem.hint_node(Addr::new(y));
+        let t2 = mem.read_dep(Addr::new(y).offset(LEFT));
+        mem.write(Addr::new(y).offset(LEFT), x);
+        mem.write(Addr::new(x).offset(RIGHT), t2);
+        Self::update_height(mem, x);
+        Self::update_height(mem, y);
+        y
+    }
+
+    fn rebalance<M: Mem>(mem: &mut M, node: u64) -> u64 {
+        Self::update_height(mem, node);
+        let bf = Self::balance(mem, node);
+        if bf > 1 {
+            let left = mem.read_dep(Addr::new(node).offset(LEFT));
+            mem.hint_node(Addr::new(left));
+            if Self::balance(mem, left) < 0 {
+                let new_left = Self::rotate_left(mem, left);
+                mem.write(Addr::new(node).offset(LEFT), new_left);
+            }
+            Self::rotate_right(mem, node)
+        } else if bf < -1 {
+            let right = mem.read_dep(Addr::new(node).offset(RIGHT));
+            mem.hint_node(Addr::new(right));
+            if Self::balance(mem, right) > 0 {
+                let new_right = Self::rotate_right(mem, right);
+                mem.write(Addr::new(node).offset(RIGHT), new_right);
+            }
+            Self::rotate_left(mem, node)
+        } else {
+            node
+        }
+    }
+
+    fn insert_rec<M: Mem>(
+        mem: &mut M,
+        alloc: &mut NodeAlloc,
+        node: u64,
+        key: u64,
+        value: u64,
+    ) -> u64 {
+        if node == 0 {
+            let n = alloc.alloc_node();
+            mem.hint_node(n);
+            mem.write(n.offset(KEY), key);
+            mem.write(n.offset(VALUE), value);
+            mem.write(n.offset(LEFT), 0);
+            mem.write(n.offset(RIGHT), 0);
+            mem.write(n.offset(HEIGHT), 1);
+            return n.raw();
+        }
+        let a = Addr::new(node);
+        mem.hint_node(a);
+        mem.compute(1);
+        let k = mem.read_dep(a.offset(KEY));
+        if key < k {
+            let child = mem.read_dep(a.offset(LEFT));
+            let new_child = Self::insert_rec(mem, alloc, child, key, value);
+            if new_child != child {
+                mem.write(a.offset(LEFT), new_child);
+            }
+        } else if key > k {
+            let child = mem.read_dep(a.offset(RIGHT));
+            let new_child = Self::insert_rec(mem, alloc, child, key, value);
+            if new_child != child {
+                mem.write(a.offset(RIGHT), new_child);
+            }
+        } else {
+            mem.write(a.offset(VALUE), value);
+            return node;
+        }
+        Self::rebalance(mem, node)
+    }
+
+    /// Inserts or updates `key -> value`.
+    pub fn insert<M: Mem>(&self, mem: &mut M, alloc: &mut NodeAlloc, key: u64, value: u64) {
+        let root = self.root(mem);
+        let new_root = Self::insert_rec(mem, alloc, root, key, value);
+        if new_root != root {
+            self.set_root(mem, new_root);
+        }
+    }
+
+    fn min_key<M: Mem>(mem: &mut M, mut node: u64) -> (u64, u64) {
+        loop {
+            let a = Addr::new(node);
+            mem.hint_node(a);
+            let left = mem.read_dep(a.offset(LEFT));
+            if left == 0 {
+                return (mem.read_dep(a.offset(KEY)), mem.read_dep(a.offset(VALUE)));
+            }
+            node = left;
+        }
+    }
+
+    fn delete_rec<M: Mem>(mem: &mut M, node: u64, key: u64, found: &mut bool) -> u64 {
+        if node == 0 {
+            return 0;
+        }
+        let a = Addr::new(node);
+        mem.hint_node(a);
+        mem.compute(1);
+        let k = mem.read_dep(a.offset(KEY));
+        if key < k {
+            let child = mem.read_dep(a.offset(LEFT));
+            let new_child = Self::delete_rec(mem, child, key, found);
+            if new_child != child {
+                mem.write(a.offset(LEFT), new_child);
+            }
+        } else if key > k {
+            let child = mem.read_dep(a.offset(RIGHT));
+            let new_child = Self::delete_rec(mem, child, key, found);
+            if new_child != child {
+                mem.write(a.offset(RIGHT), new_child);
+            }
+        } else {
+            *found = true;
+            let left = mem.read_dep(a.offset(LEFT));
+            let right = mem.read_dep(a.offset(RIGHT));
+            if left == 0 || right == 0 {
+                // Node dropped (the allocator never reclaims; the paper
+                // assumes failure-safe allocation out of scope).
+                return if left == 0 { right } else { left };
+            }
+            // Two children: replace with the in-order successor.
+            let (succ_key, succ_value) = Self::min_key(mem, right);
+            mem.write(a.offset(KEY), succ_key);
+            mem.write(a.offset(VALUE), succ_value);
+            let mut f = false;
+            let new_right = Self::delete_rec(mem, right, succ_key, &mut f);
+            debug_assert!(f, "successor must exist");
+            if new_right != right {
+                mem.write(a.offset(RIGHT), new_right);
+            }
+        }
+        Self::rebalance(mem, node)
+    }
+
+    /// Deletes `key`, returning whether it was present.
+    pub fn delete<M: Mem>(&self, mem: &mut M, key: u64) -> bool {
+        let root = self.root(mem);
+        let mut found = false;
+        let new_root = Self::delete_rec(mem, root, key, &mut found);
+        if new_root != root {
+            self.set_root(mem, new_root);
+        }
+        found
+    }
+
+    /// Looks up `key`.
+    pub fn get<M: Mem>(&self, mem: &mut M, key: u64) -> Option<u64> {
+        let mut node = self.root(mem);
+        while node != 0 {
+            let a = Addr::new(node);
+            let k = mem.read_dep(a.offset(KEY));
+            node = if key < k {
+                mem.read_dep(a.offset(LEFT))
+            } else if key > k {
+                mem.read_dep(a.offset(RIGHT))
+            } else {
+                return Some(mem.read_dep(a.offset(VALUE)));
+            };
+        }
+        None
+    }
+
+    /// Validates AVL invariants (test helper): returns the tree height.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a BST-order or balance violation.
+    pub fn check_invariants<M: Mem>(&self, mem: &mut M) -> u64 {
+        fn rec<M: Mem>(mem: &mut M, node: u64, lo: Option<u64>, hi: Option<u64>) -> u64 {
+            if node == 0 {
+                return 0;
+            }
+            let a = Addr::new(node);
+            let k = mem.read_dep(a.offset(KEY));
+            if let Some(lo) = lo {
+                assert!(k > lo, "BST violation: {k} <= {lo}");
+            }
+            if let Some(hi) = hi {
+                assert!(k < hi, "BST violation: {k} >= {hi}");
+            }
+            let left = mem.read_dep(a.offset(LEFT));
+            let lh = rec(mem, left, lo, Some(k));
+            let right = mem.read_dep(a.offset(RIGHT));
+            let rh = rec(mem, right, Some(k), hi);
+            assert!(
+                (lh as i64 - rh as i64).abs() <= 1,
+                "AVL balance violation at key {k}"
+            );
+            let h = 1 + lh.max(rh);
+            assert_eq!(mem.read_dep(a.offset(HEIGHT)), h, "stale height at key {k}");
+            h
+        }
+        let root = {
+            let r = mem.read(self.meta);
+            r
+        };
+        rec(mem, root, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    fn setup() -> (WordImage, NodeAlloc) {
+        (WordImage::new(), NodeAlloc::new(Addr::new(0x1000_0000), 1 << 24))
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = AvlTree::create(&mut m, &mut alloc);
+        for k in 0..256u64 {
+            t.insert(&mut m, &mut alloc, k, k * 2);
+        }
+        let h = t.check_invariants(&mut m);
+        assert!(h <= 10, "256 sequential keys must stay shallow, height {h}");
+        for k in 0..256u64 {
+            assert_eq!(t.get(&mut m, k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn deletes_preserve_invariants() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = AvlTree::create(&mut m, &mut alloc);
+        for k in 0..128u64 {
+            t.insert(&mut m, &mut alloc, k.wrapping_mul(37) % 128, k);
+        }
+        for k in (0..128u64).step_by(2) {
+            assert!(t.delete(&mut m, k), "key {k} should exist");
+            t.check_invariants(&mut m);
+        }
+        for k in 0..128u64 {
+            assert_eq!(t.get(&mut m, k).is_some(), k % 2 == 1, "key {k}");
+        }
+        assert!(!t.delete(&mut m, 0), "double delete");
+    }
+
+    #[test]
+    fn mixed_random_ops_match_std_btreemap() {
+        use std::collections::BTreeMap;
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = AvlTree::create(&mut m, &mut alloc);
+        let mut reference = BTreeMap::new();
+        let mut x: u64 = 0x12345;
+        for i in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 300;
+            if x % 3 == 0 {
+                let was = t.delete(&mut m, key);
+                assert_eq!(was, reference.remove(&key).is_some(), "step {i} key {key}");
+            } else {
+                t.insert(&mut m, &mut alloc, key, i);
+                reference.insert(key, i);
+            }
+        }
+        t.check_invariants(&mut m);
+        for (k, v) in &reference {
+            assert_eq!(t.get(&mut m, *k), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! BT: insert/delete on B-trees (Table 2).
+//!
+//! A B-tree of minimum degree 2 (a 2-3-4 tree) whose nodes fill exactly
+//! one 64-byte cache line: `[meta, k0, k1, k2, c0, c1, c2, c3]` where
+//! `meta` packs the key count and a leaf flag. Splits on the way down
+//! during inserts; borrows/merges on the way down during deletes (CLRS
+//! single-pass algorithms), so a single operation can rewrite several
+//! nodes — the conservative-logging stress case the paper highlights.
+
+use crate::mem::{Mem, NodeAlloc};
+use proteus_types::Addr;
+
+/// Minimum degree `t`: nodes hold 1..=3 keys, 2..=4 children.
+const T: u64 = 2;
+const MAX_KEYS: u64 = 2 * T - 1;
+
+const META: u64 = 0;
+const LEAF_BIT: u64 = 1 << 8;
+
+fn key_off(i: u64) -> u64 {
+    8 + i * 8
+}
+
+fn child_off(i: u64) -> u64 {
+    8 + MAX_KEYS * 8 + i * 8
+}
+
+/// Handle to one B-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTree {
+    meta: Addr,
+}
+
+struct NodeRef(Addr);
+
+impl NodeRef {
+    fn count<M: Mem>(&self, mem: &mut M) -> u64 {
+        mem.read_dep(self.0.offset(META)) & 0xFF
+    }
+
+    fn is_leaf<M: Mem>(&self, mem: &mut M) -> bool {
+        mem.read_dep(self.0.offset(META)) & LEAF_BIT != 0
+    }
+
+    fn set_meta<M: Mem>(&self, mem: &mut M, count: u64, leaf: bool) {
+        debug_assert!(count <= MAX_KEYS);
+        mem.write(self.0.offset(META), count | if leaf { LEAF_BIT } else { 0 });
+    }
+
+    fn key<M: Mem>(&self, mem: &mut M, i: u64) -> u64 {
+        mem.read_dep(self.0.offset(key_off(i)))
+    }
+
+    fn set_key<M: Mem>(&self, mem: &mut M, i: u64, k: u64) {
+        mem.write(self.0.offset(key_off(i)), k);
+    }
+
+    fn child<M: Mem>(&self, mem: &mut M, i: u64) -> Addr {
+        Addr::new(mem.read_dep(self.0.offset(child_off(i))))
+    }
+
+    fn set_child<M: Mem>(&self, mem: &mut M, i: u64, c: Addr) {
+        mem.write(self.0.offset(child_off(i)), c.raw());
+    }
+}
+
+impl BTree {
+    /// Creates an empty tree.
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc) -> Self {
+        let meta = alloc.alloc_node();
+        let root = alloc.alloc_node();
+        NodeRef(root).set_meta(mem, 0, true);
+        mem.write(meta, root.raw());
+        BTree { meta }
+    }
+
+    fn root<M: Mem>(&self, mem: &mut M) -> Addr {
+        mem.hint_node(self.meta);
+        Addr::new(mem.read(self.meta))
+    }
+
+    /// Looks up `key`.
+    pub fn contains<M: Mem>(&self, mem: &mut M, key: u64) -> bool {
+        let mut node = self.root(mem);
+        loop {
+            let n = NodeRef(node);
+            mem.hint_node(node);
+            let count = n.count(mem);
+            let mut i = 0;
+            while i < count && key > n.key(mem, i) {
+                mem.compute(1);
+                i += 1;
+            }
+            if i < count && key == n.key(mem, i) {
+                return true;
+            }
+            if n.is_leaf(mem) {
+                return false;
+            }
+            node = n.child(mem, i);
+        }
+    }
+
+    /// Splits the full `i`-th child of `parent` (which must be non-full).
+    fn split_child<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, parent: Addr, i: u64) {
+        let p = NodeRef(parent);
+        let full = p.child(mem, i);
+        let f = NodeRef(full);
+        mem.hint_node(full);
+        let right = alloc.alloc_node();
+        mem.hint_node(right);
+        let r = NodeRef(right);
+        let leaf = f.is_leaf(mem);
+        // Right node takes the top t-1 keys (key index 2 for t=2).
+        r.set_meta(mem, T - 1, leaf);
+        for j in 0..(T - 1) {
+            let k = f.key(mem, T + j);
+            r.set_key(mem, j, k);
+        }
+        if !leaf {
+            for j in 0..T {
+                let c = f.child(mem, T + j);
+                r.set_child(mem, j, c);
+            }
+        }
+        let median = f.key(mem, T - 1);
+        f.set_meta(mem, T - 1, leaf);
+        // Shift parent's keys/children right to make room at i.
+        let pcount = p.count(mem);
+        let mut j = pcount;
+        while j > i {
+            let k = p.key(mem, j - 1);
+            p.set_key(mem, j, k);
+            let c = p.child(mem, j);
+            p.set_child(mem, j + 1, c);
+            j -= 1;
+        }
+        p.set_key(mem, i, median);
+        p.set_child(mem, i + 1, right);
+        let leaf_p = p.is_leaf(mem);
+        p.set_meta(mem, pcount + 1, leaf_p);
+    }
+
+    fn insert_nonfull<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, node: Addr, key: u64) {
+        let n = NodeRef(node);
+        mem.hint_node(node);
+        let count = n.count(mem);
+        if n.is_leaf(mem) {
+            // Shift larger keys right and insert.
+            let mut i = count;
+            while i > 0 && n.key(mem, i - 1) > key {
+                mem.compute(1);
+                let k = n.key(mem, i - 1);
+                n.set_key(mem, i, k);
+                i -= 1;
+            }
+            // Duplicates never reach here: `insert` pre-checks `contains`.
+            debug_assert!(i == 0 || n.key(mem, i - 1) != key, "duplicate key {key}");
+            n.set_key(mem, i, key);
+            n.set_meta(mem, count + 1, true);
+            return;
+        }
+        let mut i = 0;
+        while i < count && key > n.key(mem, i) {
+            mem.compute(1);
+            i += 1;
+        }
+        if i < count && key == n.key(mem, i) {
+            return; // set semantics: already present
+        }
+        let child = n.child(mem, i);
+        if NodeRef(child).count(mem) == MAX_KEYS {
+            Self::split_child(mem, alloc, node, i);
+            let median = n.key(mem, i);
+            if key == median {
+                return;
+            }
+            if key > median {
+                i += 1;
+            }
+        }
+        let child = n.child(mem, i);
+        Self::insert_nonfull(mem, alloc, child, key);
+    }
+
+    /// Inserts `key` (set semantics). Returns `true` if newly inserted.
+    pub fn insert<M: Mem>(&self, mem: &mut M, alloc: &mut NodeAlloc, key: u64) -> bool {
+        if self.contains(mem, key) {
+            return false;
+        }
+        let root = self.root(mem);
+        if NodeRef(root).count(mem) == MAX_KEYS {
+            let new_root = alloc.alloc_node();
+            mem.hint_node(new_root);
+            let nr = NodeRef(new_root);
+            nr.set_meta(mem, 0, false);
+            nr.set_child(mem, 0, root);
+            Self::split_child(mem, alloc, new_root, 0);
+            mem.write(self.meta, new_root.raw());
+            Self::insert_nonfull(mem, alloc, new_root, key);
+        } else {
+            Self::insert_nonfull(mem, alloc, root, key);
+        }
+        true
+    }
+
+    fn max_key<M: Mem>(mem: &mut M, mut node: Addr) -> u64 {
+        loop {
+            let n = NodeRef(node);
+            mem.hint_node(node);
+            let count = n.count(mem);
+            if n.is_leaf(mem) {
+                return n.key(mem, count - 1);
+            }
+            node = n.child(mem, count);
+        }
+    }
+
+    fn min_key<M: Mem>(mem: &mut M, mut node: Addr) -> u64 {
+        loop {
+            let n = NodeRef(node);
+            mem.hint_node(node);
+            if n.is_leaf(mem) {
+                return n.key(mem, 0);
+            }
+            node = n.child(mem, 0);
+        }
+    }
+
+    /// Merges child `i`, parent key `i`, and child `i+1` into child `i`.
+    fn merge_children<M: Mem>(mem: &mut M, parent: Addr, i: u64) {
+        let p = NodeRef(parent);
+        let left = p.child(mem, i);
+        let right = p.child(mem, i + 1);
+        mem.hint_node(left);
+        mem.hint_node(right);
+        let l = NodeRef(left);
+        let r = NodeRef(right);
+        let lc = l.count(mem);
+        let rc = r.count(mem);
+        let leaf = l.is_leaf(mem);
+        debug_assert_eq!(lc + rc + 1, MAX_KEYS + 0, "merge must fit");
+        let sep = p.key(mem, i);
+        l.set_key(mem, lc, sep);
+        for j in 0..rc {
+            let k = r.key(mem, j);
+            l.set_key(mem, lc + 1 + j, k);
+        }
+        if !leaf {
+            for j in 0..=rc {
+                let c = r.child(mem, j);
+                l.set_child(mem, lc + 1 + j, c);
+            }
+        }
+        l.set_meta(mem, lc + 1 + rc, leaf);
+        // Remove key i and child i+1 from the parent.
+        let pc = p.count(mem);
+        for j in i..(pc - 1) {
+            let k = p.key(mem, j + 1);
+            p.set_key(mem, j, k);
+            let c = p.child(mem, j + 2);
+            p.set_child(mem, j + 1, c);
+        }
+        let pleaf = p.is_leaf(mem);
+        p.set_meta(mem, pc - 1, pleaf);
+    }
+
+    /// Ensures child `i` of `parent` has at least `t` keys before the
+    /// descent, borrowing from a sibling or merging.
+    /// Returns the (possibly new) child index to descend into.
+    fn fill_child<M: Mem>(mem: &mut M, parent: Addr, i: u64) -> u64 {
+        let p = NodeRef(parent);
+        let pc = p.count(mem);
+        let child = p.child(mem, i);
+        mem.hint_node(child);
+        let c = NodeRef(child);
+        if c.count(mem) >= T {
+            return i;
+        }
+        // Borrow from the left sibling.
+        if i > 0 {
+            let left = p.child(mem, i - 1);
+            mem.hint_node(left);
+            let l = NodeRef(left);
+            let lc = l.count(mem);
+            if lc >= T {
+                let cc = c.count(mem);
+                let leaf = c.is_leaf(mem);
+                // Shift child's keys/children right.
+                let mut j = cc;
+                while j > 0 {
+                    let k = c.key(mem, j - 1);
+                    c.set_key(mem, j, k);
+                    j -= 1;
+                }
+                if !leaf {
+                    let mut j = cc + 1;
+                    while j > 0 {
+                        let ch = c.child(mem, j - 1);
+                        c.set_child(mem, j, ch);
+                        j -= 1;
+                    }
+                    let moved = l.child(mem, lc);
+                    c.set_child(mem, 0, moved);
+                }
+                let sep = p.key(mem, i - 1);
+                c.set_key(mem, 0, sep);
+                let lk = l.key(mem, lc - 1);
+                p.set_key(mem, i - 1, lk);
+                c.set_meta(mem, cc + 1, leaf);
+                let lleaf = l.is_leaf(mem);
+                l.set_meta(mem, lc - 1, lleaf);
+                return i;
+            }
+        }
+        // Borrow from the right sibling.
+        if i < pc {
+            let right = p.child(mem, i + 1);
+            mem.hint_node(right);
+            let r = NodeRef(right);
+            let rc = r.count(mem);
+            if rc >= T {
+                let cc = c.count(mem);
+                let leaf = c.is_leaf(mem);
+                let sep = p.key(mem, i);
+                c.set_key(mem, cc, sep);
+                let rk = r.key(mem, 0);
+                p.set_key(mem, i, rk);
+                if !leaf {
+                    let moved = r.child(mem, 0);
+                    c.set_child(mem, cc + 1, moved);
+                    for j in 0..rc {
+                        let ch = r.child(mem, j + 1);
+                        r.set_child(mem, j, ch);
+                    }
+                }
+                for j in 0..(rc - 1) {
+                    let k = r.key(mem, j + 1);
+                    r.set_key(mem, j, k);
+                }
+                c.set_meta(mem, cc + 1, leaf);
+                let rleaf = r.is_leaf(mem);
+                r.set_meta(mem, rc - 1, rleaf);
+                return i;
+            }
+        }
+        // Merge with a sibling.
+        if i < pc {
+            Self::merge_children(mem, parent, i);
+            i
+        } else {
+            Self::merge_children(mem, parent, i - 1);
+            i - 1
+        }
+    }
+
+    fn delete_rec<M: Mem>(mem: &mut M, node: Addr, key: u64) {
+        let n = NodeRef(node);
+        mem.hint_node(node);
+        let count = n.count(mem);
+        let mut i = 0;
+        while i < count && key > n.key(mem, i) {
+            mem.compute(1);
+            i += 1;
+        }
+        if n.is_leaf(mem) {
+            if i < count && key == n.key(mem, i) {
+                for j in i..(count - 1) {
+                    let k = n.key(mem, j + 1);
+                    n.set_key(mem, j, k);
+                }
+                n.set_meta(mem, count - 1, true);
+            }
+            return;
+        }
+        if i < count && key == n.key(mem, i) {
+            let left = n.child(mem, i);
+            mem.hint_node(left);
+            if NodeRef(left).count(mem) >= T {
+                let pred = Self::max_key(mem, left);
+                n.set_key(mem, i, pred);
+                Self::delete_rec(mem, left, pred);
+                return;
+            }
+            let right = n.child(mem, i + 1);
+            mem.hint_node(right);
+            if NodeRef(right).count(mem) >= T {
+                let succ = Self::min_key(mem, right);
+                n.set_key(mem, i, succ);
+                Self::delete_rec(mem, right, succ);
+                return;
+            }
+            Self::merge_children(mem, node, i);
+            let merged = n.child(mem, i);
+            Self::delete_rec(mem, merged, key);
+            return;
+        }
+        let i = Self::fill_child(mem, node, i);
+        let child = n.child(mem, i);
+        Self::delete_rec(mem, child, key);
+    }
+
+    /// Deletes `key`, returning whether it was present.
+    pub fn delete<M: Mem>(&self, mem: &mut M, key: u64) -> bool {
+        if !self.contains(mem, key) {
+            return false;
+        }
+        let root = self.root(mem);
+        Self::delete_rec(mem, root, key);
+        // Shrink the root if it emptied out.
+        let r = NodeRef(root);
+        if r.count(mem) == 0 && !r.is_leaf(mem) {
+            let new_root = r.child(mem, 0);
+            mem.write(self.meta, new_root.raw());
+        }
+        true
+    }
+
+    /// Validates B-tree invariants (test helper): returns tree height.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ordering, occupancy, or depth violations.
+    pub fn check_invariants<M: Mem>(&self, mem: &mut M) -> u64 {
+        fn rec<M: Mem>(
+            mem: &mut M,
+            node: Addr,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            is_root: bool,
+        ) -> u64 {
+            let n = NodeRef(node);
+            let count = n.count(mem);
+            assert!(count <= MAX_KEYS, "node overflow");
+            if !is_root {
+                assert!(count >= T - 1, "node underflow: {count}");
+            }
+            let mut prev = lo;
+            for i in 0..count {
+                let k = n.key(mem, i);
+                if let Some(p) = prev {
+                    assert!(k > p, "key order violation: {k} <= {p}");
+                }
+                if let Some(h) = hi {
+                    assert!(k < h, "key bound violation: {k} >= {h}");
+                }
+                prev = Some(k);
+            }
+            if n.is_leaf(mem) {
+                return 1;
+            }
+            let mut depth = None;
+            for i in 0..=count {
+                let child_lo = if i == 0 { lo } else { Some(n.key(mem, i - 1)) };
+                let child_hi = if i == count { hi } else { Some(n.key(mem, i)) };
+                let c = n.child(mem, i);
+                let d = rec(mem, c, child_lo, child_hi, false);
+                if let Some(prev_d) = depth {
+                    assert_eq!(prev_d, d, "uneven leaf depth");
+                }
+                depth = Some(d);
+            }
+            depth.unwrap() + 1
+        }
+        let root = Addr::new(mem.read(self.meta));
+        rec(mem, root, None, None, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    fn setup() -> (WordImage, NodeAlloc) {
+        (WordImage::new(), NodeAlloc::new(Addr::new(0x1000_0000), 1 << 24))
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = BTree::create(&mut m, &mut alloc);
+        for k in 0..300u64 {
+            assert!(t.insert(&mut m, &mut alloc, k));
+        }
+        t.check_invariants(&mut m);
+        for k in 0..300u64 {
+            assert!(t.contains(&mut m, k), "missing key {k}");
+        }
+        assert!(!t.contains(&mut m, 300));
+        assert!(!t.insert(&mut m, &mut alloc, 5), "duplicate insert");
+    }
+
+    #[test]
+    fn deletes_rebalance() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = BTree::create(&mut m, &mut alloc);
+        for k in 0..200u64 {
+            t.insert(&mut m, &mut alloc, (k * 7) % 200);
+        }
+        for k in 0..200u64 {
+            if k % 2 == 0 {
+                assert!(t.delete(&mut m, k), "key {k}");
+                t.check_invariants(&mut m);
+            }
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.contains(&mut m, k), k % 2 == 1, "key {k}");
+        }
+        assert!(!t.delete(&mut m, 0), "already gone");
+    }
+
+    #[test]
+    fn mixed_random_ops_match_std_btreeset() {
+        use std::collections::BTreeSet;
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = BTree::create(&mut m, &mut alloc);
+        let mut reference = BTreeSet::new();
+        let mut x: u64 = 99;
+        for i in 0..4000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 500;
+            if x % 2 == 0 {
+                assert_eq!(
+                    t.insert(&mut m, &mut alloc, key),
+                    reference.insert(key),
+                    "step {i} insert {key}"
+                );
+            } else {
+                assert_eq!(
+                    t.delete(&mut m, key),
+                    reference.remove(&key),
+                    "step {i} delete {key}"
+                );
+            }
+            if i % 500 == 0 {
+                t.check_invariants(&mut m);
+            }
+        }
+        t.check_invariants(&mut m);
+        for k in 0..500 {
+            assert_eq!(t.contains(&mut m, k), reference.contains(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn delete_shrinks_root() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = BTree::create(&mut m, &mut alloc);
+        for k in 0..10u64 {
+            t.insert(&mut m, &mut alloc, k);
+        }
+        for k in 0..10u64 {
+            assert!(t.delete(&mut m, k));
+            t.check_invariants(&mut m);
+        }
+        for k in 0..10u64 {
+            assert!(!t.contains(&mut m, k));
+        }
+        // Tree is reusable after emptying.
+        t.insert(&mut m, &mut alloc, 42);
+        assert!(t.contains(&mut m, 42));
+    }
+}

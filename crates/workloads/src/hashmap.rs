@@ -1,0 +1,164 @@
+//! HM: insert/delete on chained hash maps (Table 2).
+//!
+//! Each map owns a bucket array (one pointer per 8-byte word) and chains
+//! of `[key, value, next]` nodes. Insert prepends (or updates in place);
+//! delete unlinks. The transaction hint covers the bucket line and every
+//! chain node visited.
+
+use crate::mem::{Mem, NodeAlloc};
+use proteus_types::Addr;
+
+const NODE_KEY: u64 = 0;
+const NODE_VALUE: u64 = 8;
+const NODE_NEXT: u64 = 16;
+
+/// Handle to one hash map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashMapStruct {
+    buckets: Addr,
+    bucket_count: u64,
+}
+
+fn hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(23)
+}
+
+impl HashMapStruct {
+    /// Creates a map with `bucket_count` buckets (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` is not a power of two.
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, bucket_count: u64) -> Self {
+        assert!(bucket_count.is_power_of_two(), "bucket count must be a power of two");
+        let buckets = alloc.alloc_bytes(bucket_count * 8);
+        for b in 0..bucket_count {
+            mem.write(buckets.offset(b * 8), 0);
+        }
+        HashMapStruct { buckets, bucket_count }
+    }
+
+    fn bucket_addr(&self, key: u64) -> Addr {
+        let b = hash(key) & (self.bucket_count - 1);
+        self.buckets.offset(b * 8)
+    }
+
+    /// Inserts or updates `key -> value`. Returns `true` if a new node
+    /// was created.
+    pub fn insert<M: Mem>(&self, mem: &mut M, alloc: &mut NodeAlloc, key: u64, value: u64) -> bool {
+        mem.compute(2); // hash
+        let bucket = self.bucket_addr(key);
+        mem.hint_node(bucket);
+        let mut cur = mem.read(bucket);
+        while cur != 0 {
+            let node = Addr::new(cur);
+            mem.hint_node(node);
+            mem.compute(1);
+            if mem.read_dep(node.offset(NODE_KEY)) == key {
+                mem.write(node.offset(NODE_VALUE), value);
+                return false;
+            }
+            cur = mem.read_dep(node.offset(NODE_NEXT));
+        }
+        let node = alloc.alloc_node();
+        mem.hint_node(node);
+        let head = mem.read(bucket);
+        mem.write(node.offset(NODE_KEY), key);
+        mem.write(node.offset(NODE_VALUE), value);
+        mem.write(node.offset(NODE_NEXT), head);
+        mem.write(bucket, node.raw());
+        true
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn delete<M: Mem>(&self, mem: &mut M, key: u64) -> Option<u64> {
+        mem.compute(2);
+        let bucket = self.bucket_addr(key);
+        mem.hint_node(bucket);
+        let mut prev: Option<Addr> = None;
+        let mut cur = mem.read(bucket);
+        while cur != 0 {
+            let node = Addr::new(cur);
+            mem.hint_node(node);
+            mem.compute(1);
+            let next = mem.read_dep(node.offset(NODE_NEXT));
+            if mem.read_dep(node.offset(NODE_KEY)) == key {
+                let value = mem.read_dep(node.offset(NODE_VALUE));
+                match prev {
+                    Some(p) => mem.write(p.offset(NODE_NEXT), next),
+                    None => mem.write(bucket, next),
+                }
+                return Some(value);
+            }
+            prev = Some(node);
+            cur = next;
+        }
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get<M: Mem>(&self, mem: &mut M, key: u64) -> Option<u64> {
+        let mut cur = mem.read(self.bucket_addr(key));
+        while cur != 0 {
+            let node = Addr::new(cur);
+            if mem.read_dep(node.offset(NODE_KEY)) == key {
+                return Some(mem.read(node.offset(NODE_VALUE)));
+            }
+            cur = mem.read_dep(node.offset(NODE_NEXT));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    fn setup() -> (WordImage, NodeAlloc) {
+        (WordImage::new(), NodeAlloc::new(Addr::new(0x1000_0000), 1 << 22))
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let map = HashMapStruct::create(&mut m, &mut alloc, 16);
+        for k in 0..100u64 {
+            assert!(map.insert(&mut m, &mut alloc, k, k * 10));
+        }
+        for k in 0..100u64 {
+            assert_eq!(map.get(&mut m, k), Some(k * 10));
+        }
+        assert_eq!(map.delete(&mut m, 42), Some(420));
+        assert_eq!(map.get(&mut m, 42), None);
+        assert_eq!(map.delete(&mut m, 42), None);
+        assert_eq!(map.get(&mut m, 43), Some(430));
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let map = HashMapStruct::create(&mut m, &mut alloc, 16);
+        assert!(map.insert(&mut m, &mut alloc, 7, 1));
+        assert!(!map.insert(&mut m, &mut alloc, 7, 2));
+        assert_eq!(map.get(&mut m, 7), Some(2));
+    }
+
+    #[test]
+    fn chains_survive_middle_deletion() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        // One bucket forces a single chain.
+        let map = HashMapStruct::create(&mut m, &mut alloc, 1);
+        for k in 0..5u64 {
+            map.insert(&mut m, &mut alloc, k, k);
+        }
+        map.delete(&mut m, 2);
+        for k in [0, 1, 3, 4] {
+            assert_eq!(map.get(&mut m, k), Some(k), "key {k} lost");
+        }
+    }
+}

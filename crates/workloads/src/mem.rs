@@ -1,0 +1,360 @@
+//! Memory access abstraction for workload generation.
+//!
+//! Data-structure operations are written once against the [`Mem`] trait
+//! and executed in three modes:
+//!
+//! * [`DirectMem`] — initialization fast-forward: reads and writes apply
+//!   straight to the image, emitting nothing;
+//! * [`CollectMem`] — dry run: reads see the base image overlaid with the
+//!   run's own writes; written and hinted node addresses are collected to
+//!   form the transaction's conservative undo hint;
+//! * [`EmitMem`] — the real run: every access appends an [`Op`] to the
+//!   thread's program and applies to the image.
+//!
+//! An operation must behave identically in the collect and emit runs
+//! (they start from the same image and allocator state), which is what
+//! lets the generator compute the undo hint *before* emitting
+//! `tx_begin` — mirroring how a programmer writes the conservative
+//! logging code the paper describes.
+
+use proteus_core::pmem::WordImage;
+use proteus_core::program::{Op, Program};
+use proteus_types::Addr;
+use std::collections::{HashMap, HashSet};
+
+/// Word-level memory interface used by data-structure operations.
+pub trait Mem {
+    /// Reads the word at `addr`.
+    fn read(&mut self, addr: Addr) -> u64;
+    /// Reads a word whose address was produced by an earlier read
+    /// (pointer chasing). Emitting modes compile this to a dependent
+    /// load so traversals serialise like real hardware; other modes
+    /// treat it as [`Mem::read`].
+    fn read_dep(&mut self, addr: Addr) -> u64 {
+        self.read(addr)
+    }
+    /// Writes `value` at `addr`.
+    fn write(&mut self, addr: Addr, value: u64);
+    /// Declares that the 64-byte node at `base` is on the operation's
+    /// path and may be modified (conservative undo hint). A no-op outside
+    /// collect mode.
+    fn hint_node(&mut self, base: Addr);
+    /// Models `cycles` of non-memory work (key comparison, hashing).
+    fn compute(&mut self, cycles: u8);
+}
+
+/// Direct application to the image (initialization fast-forward).
+#[derive(Debug)]
+pub struct DirectMem<'a> {
+    image: &'a mut WordImage,
+}
+
+impl<'a> DirectMem<'a> {
+    /// Wraps `image`.
+    pub fn new(image: &'a mut WordImage) -> Self {
+        DirectMem { image }
+    }
+}
+
+impl Mem for DirectMem<'_> {
+    fn read(&mut self, addr: Addr) -> u64 {
+        self.image.read_word(addr)
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) {
+        self.image.write_word(addr, value);
+    }
+
+    fn hint_node(&mut self, _base: Addr) {}
+
+    fn compute(&mut self, _cycles: u8) {}
+}
+
+/// Dry run collecting the write set and hinted nodes without touching the
+/// base image.
+#[derive(Debug)]
+pub struct CollectMem<'a> {
+    base: &'a WordImage,
+    delta: HashMap<u64, u64>,
+    written_nodes: HashSet<u64>,
+    hinted_nodes: HashSet<u64>,
+    order: Vec<Addr>,
+}
+
+impl<'a> CollectMem<'a> {
+    /// Starts a dry run over `base`.
+    pub fn new(base: &'a WordImage) -> Self {
+        CollectMem {
+            base,
+            delta: HashMap::new(),
+            written_nodes: HashSet::new(),
+            hinted_nodes: HashSet::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// The undo hint: every hinted or written node, as 64-byte node base
+    /// addresses in first-touch order.
+    pub fn hint(&self) -> Vec<Addr> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for a in &self.order {
+            if seen.insert(a.raw()) {
+                out.push(*a);
+            }
+        }
+        // Written nodes that were never explicitly hinted.
+        let mut extra: Vec<u64> = self
+            .written_nodes
+            .union(&self.hinted_nodes)
+            .copied()
+            .filter(|n| !seen.contains(n))
+            .collect();
+        extra.sort_unstable();
+        out.extend(extra.into_iter().map(Addr::new));
+        out
+    }
+}
+
+impl Mem for CollectMem<'_> {
+    fn read(&mut self, addr: Addr) -> u64 {
+        let w = addr.raw() / 8;
+        self.delta
+            .get(&w)
+            .copied()
+            .unwrap_or_else(|| self.base.read_word(addr))
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) {
+        self.delta.insert(addr.raw() / 8, value);
+        let node = addr.raw() & !63;
+        if self.written_nodes.insert(node) && !self.hinted_nodes.contains(&node) {
+            self.order.push(Addr::new(node));
+        }
+    }
+
+    fn hint_node(&mut self, base: Addr) {
+        let node = base.raw() & !63;
+        if self.hinted_nodes.insert(node) && !self.written_nodes.contains(&node) {
+            self.order.push(Addr::new(node));
+        }
+    }
+
+    fn compute(&mut self, _cycles: u8) {}
+}
+
+/// Emits program operations and applies them to the image.
+#[derive(Debug)]
+pub struct EmitMem<'a> {
+    image: &'a mut WordImage,
+    program: &'a mut Program,
+}
+
+impl<'a> EmitMem<'a> {
+    /// Emits into `program`, applying to `image`.
+    pub fn new(image: &'a mut WordImage, program: &'a mut Program) -> Self {
+        EmitMem { image, program }
+    }
+}
+
+impl Mem for EmitMem<'_> {
+    fn read(&mut self, addr: Addr) -> u64 {
+        self.program.ops.push(Op::Read(addr));
+        self.image.read_word(addr)
+    }
+
+    fn read_dep(&mut self, addr: Addr) -> u64 {
+        self.program.ops.push(Op::ReadDep(addr));
+        self.image.read_word(addr)
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) {
+        self.program.ops.push(Op::Write(addr, value));
+        self.image.write_word(addr, value);
+    }
+
+    fn hint_node(&mut self, _base: Addr) {}
+
+    fn compute(&mut self, cycles: u8) {
+        self.program.ops.push(Op::Compute(cycles));
+    }
+}
+
+impl<'m> Mem for &mut (dyn Mem + 'm) {
+    fn read(&mut self, addr: Addr) -> u64 {
+        (**self).read(addr)
+    }
+
+    fn read_dep(&mut self, addr: Addr) -> u64 {
+        (**self).read_dep(addr)
+    }
+
+    fn write(&mut self, addr: Addr, value: u64) {
+        (**self).write(addr, value)
+    }
+
+    fn hint_node(&mut self, base: Addr) {
+        (**self).hint_node(base)
+    }
+
+    fn compute(&mut self, cycles: u8) {
+        (**self).compute(cycles)
+    }
+}
+
+/// Runs `op` as one durable transaction appended to `program`:
+/// a dry run over the current image computes the conservative undo hint,
+/// then the operation is emitted between `tx_begin`/`tx_end`.
+///
+/// The operation must be deterministic with respect to memory and
+/// allocator state (both runs start from identical state); all the data
+/// structures in this crate qualify.
+///
+/// ```
+/// use proteus_core::pmem::WordImage;
+/// use proteus_core::program::Program;
+/// use proteus_types::{Addr, ThreadId};
+/// use proteus_workloads::hashmap::HashMapStruct;
+/// use proteus_workloads::mem::{durable_transaction, DirectMem, NodeAlloc};
+///
+/// let mut image = WordImage::new();
+/// let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 20);
+/// let map = {
+///     let mut m = DirectMem::new(&mut image);
+///     HashMapStruct::create(&mut m, &mut alloc, 16)
+/// };
+/// let mut program = Program::new(ThreadId::new(0));
+/// durable_transaction(&mut image, &mut program, &mut alloc, |mut mem, alloc| {
+///     map.insert(&mut mem, alloc, 7, 700);
+/// });
+/// assert_eq!(program.transaction_count(), 1);
+/// program.validate().unwrap();
+/// ```
+pub fn durable_transaction(
+    image: &mut WordImage,
+    program: &mut Program,
+    alloc: &mut NodeAlloc,
+    op: impl Fn(&mut (dyn Mem + '_), &mut NodeAlloc),
+) {
+    let hint_nodes = {
+        let mut collect = CollectMem::new(image);
+        let mut scratch = alloc.clone();
+        op(&mut collect, &mut scratch);
+        collect.hint()
+    };
+    let hint: Vec<Addr> = hint_nodes.iter().flat_map(|n| [*n, n.offset(32)]).collect();
+    program.tx_begin(hint);
+    {
+        let mut emit = EmitMem::new(image, program);
+        op(&mut emit, alloc);
+    }
+    program.tx_end();
+}
+
+/// Deterministic bump allocator for 64-byte nodes. Cloned for the dry
+/// run so both passes see identical addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAlloc {
+    next: u64,
+    limit: u64,
+}
+
+impl NodeAlloc {
+    /// Allocates nodes from `[start, start + capacity_bytes)`.
+    pub fn new(start: Addr, capacity_bytes: u64) -> Self {
+        assert!(start.is_line_aligned(), "allocator base must be line aligned");
+        NodeAlloc { next: start.raw(), limit: start.raw() + capacity_bytes }
+    }
+
+    /// Allocates one 64-byte node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is exhausted — enlarge the workload's arena.
+    pub fn alloc_node(&mut self) -> Addr {
+        assert!(self.next + 64 <= self.limit, "node arena exhausted");
+        let a = self.next;
+        self.next += 64;
+        Addr::new(a)
+    }
+
+    /// Allocates `bytes` rounded up to a line multiple.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Addr {
+        let rounded = bytes.div_ceil(64) * 64;
+        assert!(self.next + rounded <= self.limit, "arena exhausted");
+        let a = self.next;
+        self.next += rounded;
+        Addr::new(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mem_applies() {
+        let mut img = WordImage::new();
+        let mut m = DirectMem::new(&mut img);
+        m.write(Addr::new(0x100), 5);
+        assert_eq!(m.read(Addr::new(0x100)), 5);
+        assert_eq!(img.read_word(Addr::new(0x100)), 5);
+    }
+
+    #[test]
+    fn collect_mem_overlays_without_mutating_base() {
+        let mut base = WordImage::new();
+        base.write_word(Addr::new(0x100), 1);
+        let mut c = CollectMem::new(&base);
+        assert_eq!(c.read(Addr::new(0x100)), 1);
+        c.write(Addr::new(0x100), 2);
+        assert_eq!(c.read(Addr::new(0x100)), 2, "read-your-writes");
+        assert_eq!(base.read_word(Addr::new(0x100)), 1, "base untouched");
+    }
+
+    #[test]
+    fn collect_hint_includes_writes_and_hints_in_order() {
+        let base = WordImage::new();
+        let mut c = CollectMem::new(&base);
+        c.hint_node(Addr::new(0x200));
+        c.write(Addr::new(0x148), 1); // node 0x140
+        c.write(Addr::new(0x208), 2); // node 0x200 already hinted
+        let hint = c.hint();
+        assert_eq!(hint, vec![Addr::new(0x200), Addr::new(0x140)]);
+    }
+
+    #[test]
+    fn emit_mem_appends_ops() {
+        let mut img = WordImage::new();
+        img.write_word(Addr::new(0x100), 7);
+        let mut p = Program::new(proteus_types::ThreadId::new(0));
+        let mut m = EmitMem::new(&mut img, &mut p);
+        assert_eq!(m.read(Addr::new(0x100)), 7);
+        m.write(Addr::new(0x108), 9);
+        m.compute(3);
+        assert_eq!(p.ops.len(), 3);
+        assert!(matches!(p.ops[0], Op::Read(_)));
+        assert!(matches!(p.ops[1], Op::Write(_, 9)));
+        assert!(matches!(p.ops[2], Op::Compute(3)));
+        assert_eq!(img.read_word(Addr::new(0x108)), 9);
+    }
+
+    #[test]
+    fn alloc_is_deterministic_under_clone() {
+        let mut a = NodeAlloc::new(Addr::new(0x1000), 4096);
+        let mut b = a.clone();
+        assert_eq!(a.alloc_node(), b.alloc_node());
+        assert_eq!(a.alloc_node(), b.alloc_node());
+        let s = a.alloc_bytes(100);
+        assert!(s.is_line_aligned());
+        assert_eq!(a.alloc_node().raw() - s.raw(), 128, "100 B rounds to 2 lines");
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn alloc_exhaustion_panics() {
+        let mut a = NodeAlloc::new(Addr::new(0x1000), 64);
+        a.alloc_node();
+        a.alloc_node();
+    }
+}

@@ -1,0 +1,114 @@
+//! QE: enqueue/dequeue on linked-list queues (Table 2).
+//!
+//! Each queue is a singly linked list with a 64-byte meta node holding
+//! `[head, tail, len]`. Nodes hold `[value, next]`. One operation —
+//! enqueue or dequeue — forms one durable transaction touching the meta
+//! node, one list node, and (for enqueue) the freshly allocated node.
+
+use crate::mem::{Mem, NodeAlloc};
+use proteus_types::Addr;
+
+const META_HEAD: u64 = 0;
+const META_TAIL: u64 = 8;
+const META_LEN: u64 = 16;
+const NODE_VALUE: u64 = 0;
+const NODE_NEXT: u64 = 8;
+
+/// Handle to one queue (its meta node address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queue {
+    meta: Addr,
+}
+
+impl Queue {
+    /// Creates an empty queue.
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc) -> Self {
+        let meta = alloc.alloc_node();
+        mem.write(meta.offset(META_HEAD), 0);
+        mem.write(meta.offset(META_TAIL), 0);
+        mem.write(meta.offset(META_LEN), 0);
+        Queue { meta }
+    }
+
+    /// Appends `value`.
+    pub fn enqueue<M: Mem>(&self, mem: &mut M, alloc: &mut NodeAlloc, value: u64) {
+        mem.hint_node(self.meta);
+        let node = alloc.alloc_node();
+        mem.hint_node(node);
+        mem.write(node.offset(NODE_VALUE), value);
+        mem.write(node.offset(NODE_NEXT), 0);
+        let tail = mem.read(self.meta.offset(META_TAIL));
+        if tail == 0 {
+            mem.write(self.meta.offset(META_HEAD), node.raw());
+        } else {
+            mem.hint_node(Addr::new(tail));
+            mem.write(Addr::new(tail).offset(NODE_NEXT), node.raw());
+        }
+        mem.write(self.meta.offset(META_TAIL), node.raw());
+        let len = mem.read(self.meta.offset(META_LEN));
+        mem.write(self.meta.offset(META_LEN), len + 1);
+    }
+
+    /// Removes and returns the head value, if any.
+    pub fn dequeue<M: Mem>(&self, mem: &mut M) -> Option<u64> {
+        mem.hint_node(self.meta);
+        let head = mem.read(self.meta.offset(META_HEAD));
+        if head == 0 {
+            return None;
+        }
+        let head = Addr::new(head);
+        mem.hint_node(head);
+        let value = mem.read_dep(head.offset(NODE_VALUE));
+        let next = mem.read_dep(head.offset(NODE_NEXT));
+        mem.write(self.meta.offset(META_HEAD), next);
+        if next == 0 {
+            mem.write(self.meta.offset(META_TAIL), 0);
+        }
+        let len = mem.read(self.meta.offset(META_LEN));
+        mem.write(self.meta.offset(META_LEN), len - 1);
+        Some(value)
+    }
+
+    /// Current length (reads memory).
+    pub fn len<M: Mem>(&self, mem: &mut M) -> u64 {
+        mem.read(self.meta.offset(META_LEN))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    #[test]
+    fn fifo_order() {
+        let mut img = WordImage::new();
+        let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 20);
+        let mut m = DirectMem::new(&mut img);
+        let q = Queue::create(&mut m, &mut alloc);
+        for v in 1..=5 {
+            q.enqueue(&mut m, &mut alloc, v);
+        }
+        assert_eq!(q.len(&mut m), 5);
+        for v in 1..=5 {
+            assert_eq!(q.dequeue(&mut m), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut m), None);
+        assert_eq!(q.len(&mut m), 0);
+    }
+
+    #[test]
+    fn refill_after_empty() {
+        let mut img = WordImage::new();
+        let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 20);
+        let mut m = DirectMem::new(&mut img);
+        let q = Queue::create(&mut m, &mut alloc);
+        q.enqueue(&mut m, &mut alloc, 1);
+        assert_eq!(q.dequeue(&mut m), Some(1));
+        q.enqueue(&mut m, &mut alloc, 2);
+        q.enqueue(&mut m, &mut alloc, 3);
+        assert_eq!(q.dequeue(&mut m), Some(2));
+        assert_eq!(q.dequeue(&mut m), Some(3));
+    }
+}

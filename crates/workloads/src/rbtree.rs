@@ -1,0 +1,418 @@
+//! RT: insert/delete on red-black trees (Table 2).
+//!
+//! Implemented as a left-leaning red-black tree (Sedgewick's LLRB), whose
+//! recursive insert and delete write rotations and colour flips along the
+//! search path. Nodes are 64 bytes: `[key, value, left, right, color]`.
+
+use crate::mem::{Mem, NodeAlloc};
+use proteus_types::Addr;
+
+const KEY: u64 = 0;
+const VALUE: u64 = 8;
+const LEFT: u64 = 16;
+const RIGHT: u64 = 24;
+const COLOR: u64 = 32;
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+/// Handle to one red-black tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbTree {
+    meta: Addr,
+}
+
+impl RbTree {
+    /// Creates an empty tree.
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc) -> Self {
+        let meta = alloc.alloc_node();
+        mem.write(meta, 0);
+        RbTree { meta }
+    }
+
+    fn is_red<M: Mem>(mem: &mut M, node: u64) -> bool {
+        node != 0 && mem.read_dep(Addr::new(node).offset(COLOR)) == RED
+    }
+
+    fn set_color<M: Mem>(mem: &mut M, node: u64, color: u64) {
+        if mem.read_dep(Addr::new(node).offset(COLOR)) != color {
+            mem.write(Addr::new(node).offset(COLOR), color);
+        }
+    }
+
+    fn left<M: Mem>(mem: &mut M, node: u64) -> u64 {
+        mem.read_dep(Addr::new(node).offset(LEFT))
+    }
+
+    fn right<M: Mem>(mem: &mut M, node: u64) -> u64 {
+        mem.read_dep(Addr::new(node).offset(RIGHT))
+    }
+
+    fn rotate_left<M: Mem>(mem: &mut M, h: u64) -> u64 {
+        let x = Self::right(mem, h);
+        mem.hint_node(Addr::new(x));
+        let __w = Self::left(mem, x);
+
+        mem.write(Addr::new(h).offset(RIGHT), __w);
+        mem.write(Addr::new(x).offset(LEFT), h);
+        let h_color = mem.read_dep(Addr::new(h).offset(COLOR));
+        Self::set_color(mem, x, h_color);
+        Self::set_color(mem, h, RED);
+        x
+    }
+
+    fn rotate_right<M: Mem>(mem: &mut M, h: u64) -> u64 {
+        let x = Self::left(mem, h);
+        mem.hint_node(Addr::new(x));
+        let __w = Self::right(mem, x);
+
+        mem.write(Addr::new(h).offset(LEFT), __w);
+        mem.write(Addr::new(x).offset(RIGHT), h);
+        let h_color = mem.read_dep(Addr::new(h).offset(COLOR));
+        Self::set_color(mem, x, h_color);
+        Self::set_color(mem, h, RED);
+        x
+    }
+
+    fn color_flip<M: Mem>(mem: &mut M, h: u64) {
+        let flip = |mem: &mut M, n: u64| {
+            if n != 0 {
+                mem.hint_node(Addr::new(n));
+                let c = mem.read_dep(Addr::new(n).offset(COLOR));
+                mem.write(Addr::new(n).offset(COLOR), c ^ 1);
+            }
+        };
+        flip(mem, h);
+        let l = Self::left(mem, h);
+        let r = Self::right(mem, h);
+        flip(mem, l);
+        flip(mem, r);
+    }
+
+    fn fix_up<M: Mem>(mem: &mut M, mut h: u64) -> u64 {
+        let r = Self::right(mem, h);
+        let l = Self::left(mem, h);
+        if Self::is_red(mem, r) && !Self::is_red(mem, l) {
+            h = Self::rotate_left(mem, h);
+        }
+        let l = Self::left(mem, h);
+        if Self::is_red(mem, l) {
+            let ll = Self::left(mem, l);
+            if Self::is_red(mem, ll) {
+                h = Self::rotate_right(mem, h);
+            }
+        }
+        let l = Self::left(mem, h);
+        let r = Self::right(mem, h);
+        if Self::is_red(mem, l) && Self::is_red(mem, r) {
+            Self::color_flip(mem, h);
+        }
+        h
+    }
+
+    fn insert_rec<M: Mem>(
+        mem: &mut M,
+        alloc: &mut NodeAlloc,
+        h: u64,
+        key: u64,
+        value: u64,
+    ) -> u64 {
+        if h == 0 {
+            let n = alloc.alloc_node();
+            mem.hint_node(n);
+            mem.write(n.offset(KEY), key);
+            mem.write(n.offset(VALUE), value);
+            mem.write(n.offset(LEFT), 0);
+            mem.write(n.offset(RIGHT), 0);
+            mem.write(n.offset(COLOR), RED);
+            return n.raw();
+        }
+        let a = Addr::new(h);
+        mem.hint_node(a);
+        mem.compute(1);
+        let k = mem.read_dep(a.offset(KEY));
+        if key < k {
+            let child = Self::left(mem, h);
+            let new_child = Self::insert_rec(mem, alloc, child, key, value);
+            if new_child != child {
+                mem.write(a.offset(LEFT), new_child);
+            }
+        } else if key > k {
+            let child = Self::right(mem, h);
+            let new_child = Self::insert_rec(mem, alloc, child, key, value);
+            if new_child != child {
+                mem.write(a.offset(RIGHT), new_child);
+            }
+        } else {
+            mem.write(a.offset(VALUE), value);
+        }
+        Self::fix_up(mem, h)
+    }
+
+    /// Inserts or updates `key -> value`.
+    pub fn insert<M: Mem>(&self, mem: &mut M, alloc: &mut NodeAlloc, key: u64, value: u64) {
+        mem.hint_node(self.meta);
+        let root = mem.read(self.meta);
+        let new_root = Self::insert_rec(mem, alloc, root, key, value);
+        if new_root != root {
+            mem.write(self.meta, new_root);
+        }
+        Self::set_color(mem, new_root, BLACK);
+    }
+
+    fn move_red_left<M: Mem>(mem: &mut M, mut h: u64) -> u64 {
+        Self::color_flip(mem, h);
+        let r = Self::right(mem, h);
+        let rl = if r != 0 { Self::left(mem, r) } else { 0 };
+        if r != 0 && Self::is_red(mem, rl) {
+            let new_r = Self::rotate_right(mem, r);
+            mem.write(Addr::new(h).offset(RIGHT), new_r);
+            h = Self::rotate_left(mem, h);
+            Self::color_flip(mem, h);
+        }
+        h
+    }
+
+    fn move_red_right<M: Mem>(mem: &mut M, mut h: u64) -> u64 {
+        Self::color_flip(mem, h);
+        let l = Self::left(mem, h);
+        let ll = if l != 0 { Self::left(mem, l) } else { 0 };
+        if l != 0 && Self::is_red(mem, ll) {
+            h = Self::rotate_right(mem, h);
+            Self::color_flip(mem, h);
+        }
+        h
+    }
+
+    fn min_entry<M: Mem>(mem: &mut M, mut h: u64) -> (u64, u64) {
+        loop {
+            mem.hint_node(Addr::new(h));
+            let l = mem.read_dep(Addr::new(h).offset(LEFT));
+            if l == 0 {
+                return (
+                    mem.read_dep(Addr::new(h).offset(KEY)),
+                    mem.read_dep(Addr::new(h).offset(VALUE)),
+                );
+            }
+            h = l;
+        }
+    }
+
+    fn delete_min_rec<M: Mem>(mem: &mut M, mut h: u64) -> u64 {
+        if Self::left(mem, h) == 0 {
+            return 0;
+        }
+        let l = Self::left(mem, h);
+        let ll = Self::left(mem, l);
+        if !Self::is_red(mem, l) && !Self::is_red(mem, ll) {
+            h = Self::move_red_left(mem, h);
+        }
+        let child = Self::left(mem, h);
+        let new_child = Self::delete_min_rec(mem, child);
+        if new_child != child {
+            mem.write(Addr::new(h).offset(LEFT), new_child);
+        }
+        Self::fix_up(mem, h)
+    }
+
+    fn delete_rec<M: Mem>(mem: &mut M, mut h: u64, key: u64) -> u64 {
+        let a = Addr::new(h);
+        mem.hint_node(a);
+        mem.compute(1);
+        if key < mem.read_dep(a.offset(KEY)) {
+            let l = Self::left(mem, h);
+            let ll = if l != 0 { Self::left(mem, l) } else { 0 };
+            if !Self::is_red(mem, l) && !Self::is_red(mem, ll) {
+                h = Self::move_red_left(mem, h);
+            }
+            let child = Self::left(mem, h);
+            let new_child = Self::delete_rec(mem, child, key);
+            if new_child != child {
+                mem.write(Addr::new(h).offset(LEFT), new_child);
+            }
+        } else {
+            let hl = Self::left(mem, h);
+            if Self::is_red(mem, hl) {
+                h = Self::rotate_right(mem, h);
+            }
+            if key == mem.read_dep(Addr::new(h).offset(KEY)) && Self::right(mem, h) == 0 {
+                return 0;
+            }
+            let r = Self::right(mem, h);
+            let rl = if r != 0 { Self::left(mem, r) } else { 0 };
+            if r != 0 && !Self::is_red(mem, r) && !Self::is_red(mem, rl) {
+                h = Self::move_red_right(mem, h);
+            }
+            if key == mem.read_dep(Addr::new(h).offset(KEY)) {
+                let r = Self::right(mem, h);
+                let (mk, mv) = Self::min_entry(mem, r);
+                mem.write(Addr::new(h).offset(KEY), mk);
+                mem.write(Addr::new(h).offset(VALUE), mv);
+                let new_r = Self::delete_min_rec(mem, r);
+                if new_r != r {
+                    mem.write(Addr::new(h).offset(RIGHT), new_r);
+                }
+            } else {
+                let child = Self::right(mem, h);
+                let new_child = Self::delete_rec(mem, child, key);
+                if new_child != child {
+                    mem.write(Addr::new(h).offset(RIGHT), new_child);
+                }
+            }
+        }
+        Self::fix_up(mem, h)
+    }
+
+    /// Deletes `key`, returning whether it was present.
+    pub fn delete<M: Mem>(&self, mem: &mut M, key: u64) -> bool {
+        if self.get(mem, key).is_none() {
+            return false;
+        }
+        mem.hint_node(self.meta);
+        let root = mem.read(self.meta);
+        let new_root = Self::delete_rec(mem, root, key);
+        if new_root != root {
+            mem.write(self.meta, new_root);
+        }
+        if new_root != 0 {
+            Self::set_color(mem, new_root, BLACK);
+        }
+        true
+    }
+
+    /// Looks up `key` (also hints the search path, since `delete` uses it
+    /// as its presence pre-check inside the transaction).
+    pub fn get<M: Mem>(&self, mem: &mut M, key: u64) -> Option<u64> {
+        mem.hint_node(self.meta);
+        let mut node = mem.read(self.meta);
+        while node != 0 {
+            let a = Addr::new(node);
+            mem.hint_node(a);
+            mem.compute(1);
+            let k = mem.read_dep(a.offset(KEY));
+            node = if key < k {
+                Self::left(mem, node)
+            } else if key > k {
+                Self::right(mem, node)
+            } else {
+                return Some(mem.read_dep(a.offset(VALUE)));
+            };
+        }
+        None
+    }
+
+    /// Validates red-black invariants (test helper): returns black height.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a BST, red-red, or black-height violation.
+    pub fn check_invariants<M: Mem>(&self, mem: &mut M) -> u64 {
+        fn rec<M: Mem>(mem: &mut M, node: u64, lo: Option<u64>, hi: Option<u64>) -> u64 {
+            if node == 0 {
+                return 1;
+            }
+            let a = Addr::new(node);
+            let k = mem.read_dep(a.offset(KEY));
+            if let Some(lo) = lo {
+                assert!(k > lo, "BST violation at {k}");
+            }
+            if let Some(hi) = hi {
+                assert!(k < hi, "BST violation at {k}");
+            }
+            let l = mem.read_dep(a.offset(LEFT));
+            let r = mem.read_dep(a.offset(RIGHT));
+            if RbTree::is_red(mem, node) {
+                assert!(!RbTree::is_red(mem, l), "red-red violation at {k}");
+                assert!(!RbTree::is_red(mem, r), "red-red violation at {k}");
+            }
+            let lb = rec(mem, l, lo, Some(k));
+            let rb = rec(mem, r, Some(k), hi);
+            assert_eq!(lb, rb, "black-height violation at {k}");
+            lb + if RbTree::is_red(mem, node) { 0 } else { 1 }
+        }
+        let root = mem.read(self.meta);
+        if root != 0 {
+            assert!(!Self::is_red(mem, root), "root must be black");
+        }
+        rec(mem, root, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    fn setup() -> (WordImage, NodeAlloc) {
+        (WordImage::new(), NodeAlloc::new(Addr::new(0x1000_0000), 1 << 24))
+    }
+
+    #[test]
+    fn inserts_keep_rb_invariants() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = RbTree::create(&mut m, &mut alloc);
+        for k in 0..512u64 {
+            t.insert(&mut m, &mut alloc, k, k + 1);
+            if k % 64 == 0 {
+                t.check_invariants(&mut m);
+            }
+        }
+        t.check_invariants(&mut m);
+        for k in 0..512u64 {
+            assert_eq!(t.get(&mut m, k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn deletes_keep_rb_invariants() {
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = RbTree::create(&mut m, &mut alloc);
+        for k in 0..256u64 {
+            t.insert(&mut m, &mut alloc, (k * 89) % 256, k);
+        }
+        for k in 0..256u64 {
+            if k % 3 != 0 {
+                assert!(t.delete(&mut m, k), "key {k}");
+                t.check_invariants(&mut m);
+            }
+        }
+        for k in 0..256u64 {
+            assert_eq!(t.get(&mut m, k).is_some(), k % 3 == 0, "key {k}");
+        }
+        assert!(!t.delete(&mut m, 1), "already deleted");
+    }
+
+    #[test]
+    fn mixed_random_ops_match_std_btreemap() {
+        use std::collections::BTreeMap;
+        let (mut img, mut alloc) = setup();
+        let mut m = DirectMem::new(&mut img);
+        let t = RbTree::create(&mut m, &mut alloc);
+        let mut reference = BTreeMap::new();
+        let mut x: u64 = 0xDEAD;
+        for i in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 400;
+            if x % 2 == 0 {
+                t.insert(&mut m, &mut alloc, key, i);
+                reference.insert(key, i);
+            } else {
+                assert_eq!(
+                    t.delete(&mut m, key),
+                    reference.remove(&key).is_some(),
+                    "step {i} key {key}"
+                );
+            }
+            if i % 250 == 0 {
+                t.check_invariants(&mut m);
+            }
+        }
+        t.check_invariants(&mut m);
+        for (k, v) in &reference {
+            assert_eq!(t.get(&mut m, *k), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Workload specification and trace generation.
+//!
+//! [`generate`] builds, for a chosen [`Benchmark`] and parameters, the
+//! initial memory image (the fast-forwarded `#InitOps`) and one
+//! scheme-independent [`Program`] per thread (the `#SimOps`), mirroring
+//! the paper's methodology: per-thread data structures behind locks, a
+//! random operation stream from a seeded generator, and conservative
+//! per-transaction undo hints computed by a dry run of each operation.
+
+use crate::avl::AvlTree;
+use crate::btree::BTree;
+use crate::hashmap::HashMapStruct;
+use crate::largetx::BigNodeList;
+use crate::mem::{CollectMem, DirectMem, EmitMem, Mem, NodeAlloc};
+use crate::queue::Queue;
+use crate::rbtree::RbTree;
+use crate::stringswap::StringArray;
+use proteus_core::pmem::WordImage;
+use proteus_core::program::Program;
+use proteus_types::{Addr, ThreadId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-thread arena size (64 MiB keeps 16 threads below the log region).
+const ARENA_BYTES: u64 = 0x0400_0000;
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Serial application work surrounding every operation, in cycles:
+/// reading the operation from the input stream, dispatching on it, and
+/// acquiring/releasing the structure's lock. The paper's benchmarks run
+/// as full programs ("each benchmark receives an operation type and a
+/// key for each operation from an input file", operations take locks),
+/// so this uniform cost exists in every scheme and is what keeps logging
+/// overhead a *fraction* of execution time rather than a multiple.
+const APP_OVERHEAD_CYCLES: u32 = 600;
+
+/// The data arena `[start, end)` owned by thread `t`. Threads touch only
+/// their own arena (the paper's share-nothing locking discipline), so
+/// per-thread crash-consistency can be checked independently.
+pub fn thread_arena(t: ThreadId) -> (Addr, Addr) {
+    let start = DATA_BASE + t.index() as u64 * ARENA_BYTES;
+    (Addr::new(start), Addr::new(start + ARENA_BYTES))
+}
+
+/// The benchmarks of Table 2 plus the §7.3 microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// QE: enqueue/dequeue in 8 queues.
+    Queue,
+    /// HM: insert/delete in 16 hash maps.
+    HashMap,
+    /// SS: swap strings in a 262144-item string array.
+    StringSwap,
+    /// AT: insert/delete in 16 AVL trees.
+    AvlTree,
+    /// BT: insert/delete in 16 B-trees.
+    BTree,
+    /// RT: insert/delete in 16 red-black trees.
+    RbTree,
+    /// §7.3 microbenchmark: large transactions updating `elements`
+    /// elements per node.
+    LargeTx {
+        /// Elements updated per transaction (1024-8192 in Table 3).
+        elements: u64,
+    },
+}
+
+impl Benchmark {
+    /// The six Table 2 benchmarks, in the paper's figure order.
+    pub const TABLE2: [Benchmark; 6] = [
+        Benchmark::Queue,
+        Benchmark::HashMap,
+        Benchmark::StringSwap,
+        Benchmark::AvlTree,
+        Benchmark::BTree,
+        Benchmark::RbTree,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Benchmark::Queue => "QE",
+            Benchmark::HashMap => "HM",
+            Benchmark::StringSwap => "SS",
+            Benchmark::AvlTree => "AT",
+            Benchmark::BTree => "BT",
+            Benchmark::RbTree => "RT",
+            Benchmark::LargeTx { .. } => "LT",
+        }
+    }
+
+    /// Table 2 `(#InitOps, #SimOps)` per thread.
+    pub fn table2_ops(&self) -> (usize, usize) {
+        match self {
+            Benchmark::Queue => (20_000, 50_000),
+            Benchmark::HashMap => (100_000, 20_000),
+            Benchmark::StringSwap => (20_000, 50_000),
+            Benchmark::AvlTree | Benchmark::BTree | Benchmark::RbTree => (100_000, 10_000),
+            Benchmark::LargeTx { .. } => (0, 200),
+        }
+    }
+
+    /// Structures per system (Table 2), partitioned across threads.
+    fn structure_count(&self) -> usize {
+        match self {
+            Benchmark::Queue => 8,
+            Benchmark::HashMap => 16,
+            Benchmark::StringSwap => 1,
+            Benchmark::AvlTree | Benchmark::BTree | Benchmark::RbTree => 16,
+            Benchmark::LargeTx { .. } => 4,
+        }
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of threads (= cores in the headline experiments).
+    pub threads: usize,
+    /// Initialisation operations per thread (fast-forwarded).
+    pub init_ops: usize,
+    /// Simulated operations (durable transactions) per thread.
+    pub sim_ops: usize,
+    /// RNG seed for the operation stream.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Table 2 parameters scaled by `scale` (e.g. 0.02 for quick runs).
+    pub fn table2(bench: Benchmark, threads: usize, scale: f64) -> Self {
+        let (init, sim) = bench.table2_ops();
+        WorkloadParams {
+            threads,
+            init_ops: ((init as f64 * scale) as usize).max(1),
+            sim_ops: ((sim as f64 * scale) as usize).max(1),
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+/// A generated workload: the initial image plus per-thread programs.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// Benchmark abbreviation plus parameters.
+    pub name: String,
+    /// One program per thread.
+    pub programs: Vec<Program>,
+    /// Memory contents after initialisation (fast-forward).
+    pub initial_image: WordImage,
+}
+
+impl GeneratedWorkload {
+    /// Total durable transactions across threads.
+    pub fn total_transactions(&self) -> u64 {
+        self.programs.iter().map(Program::transaction_count).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Structures {
+    Queues(Vec<Queue>),
+    Maps(Vec<HashMapStruct>),
+    Strings(StringArray),
+    Avls(Vec<AvlTree>),
+    BTrees(Vec<BTree>),
+    RbTrees(Vec<RbTree>),
+    BigList(BigNodeList),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OpSpec {
+    Enqueue { s: usize, value: u64 },
+    Dequeue { s: usize },
+    MapInsert { s: usize, key: u64, value: u64 },
+    MapDelete { s: usize, key: u64 },
+    Swap { i: u64, j: u64 },
+    TreeInsert { s: usize, key: u64, value: u64 },
+    TreeDelete { s: usize, key: u64 },
+    BigUpdate { node: u64, base: u64 },
+}
+
+fn run_op<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, structures: &Structures, op: OpSpec) {
+    match (structures, op) {
+        (Structures::Queues(qs), OpSpec::Enqueue { s, value }) => {
+            qs[s].enqueue(mem, alloc, value)
+        }
+        (Structures::Queues(qs), OpSpec::Dequeue { s }) => {
+            qs[s].dequeue(mem);
+        }
+        (Structures::Maps(ms), OpSpec::MapInsert { s, key, value }) => {
+            ms[s].insert(mem, alloc, key, value);
+        }
+        (Structures::Maps(ms), OpSpec::MapDelete { s, key }) => {
+            ms[s].delete(mem, key);
+        }
+        (Structures::Strings(arr), OpSpec::Swap { i, j }) => arr.swap(mem, i, j),
+        (Structures::Avls(ts), OpSpec::TreeInsert { s, key, value }) => {
+            ts[s].insert(mem, alloc, key, value)
+        }
+        (Structures::Avls(ts), OpSpec::TreeDelete { s, key }) => {
+            ts[s].delete(mem, key);
+        }
+        (Structures::BTrees(ts), OpSpec::TreeInsert { s, key, .. }) => {
+            ts[s].insert(mem, alloc, key);
+        }
+        (Structures::BTrees(ts), OpSpec::TreeDelete { s, key }) => {
+            ts[s].delete(mem, key);
+        }
+        (Structures::RbTrees(ts), OpSpec::TreeInsert { s, key, value }) => {
+            ts[s].insert(mem, alloc, key, value)
+        }
+        (Structures::RbTrees(ts), OpSpec::TreeDelete { s, key }) => {
+            ts[s].delete(mem, key);
+        }
+        (Structures::BigList(list), OpSpec::BigUpdate { node, base }) => {
+            list.update_node(mem, node, base)
+        }
+        _ => unreachable!("op does not match structure kind"),
+    }
+}
+
+fn op_struct_index(op: OpSpec) -> usize {
+    match op {
+        OpSpec::Enqueue { s, .. }
+        | OpSpec::Dequeue { s }
+        | OpSpec::MapInsert { s, .. }
+        | OpSpec::MapDelete { s, .. }
+        | OpSpec::TreeInsert { s, .. }
+        | OpSpec::TreeDelete { s, .. } => s,
+        OpSpec::Swap { .. } | OpSpec::BigUpdate { .. } => 0,
+    }
+}
+
+fn pick_op(
+    bench: Benchmark,
+    per_thread: usize,
+    key_range: u64,
+    items: u64,
+    big_nodes: u64,
+    rng: &mut StdRng,
+) -> OpSpec {
+    match bench {
+        Benchmark::Queue => {
+            let s = rng.random_range(0..per_thread);
+            if rng.random_bool(0.5) {
+                OpSpec::Enqueue { s, value: rng.random::<u32>() as u64 + 1 }
+            } else {
+                OpSpec::Dequeue { s }
+            }
+        }
+        Benchmark::HashMap => {
+            let s = rng.random_range(0..per_thread);
+            let key = rng.random_range(0..key_range);
+            if rng.random_bool(0.5) {
+                OpSpec::MapInsert { s, key, value: rng.random::<u32>() as u64 }
+            } else {
+                OpSpec::MapDelete { s, key }
+            }
+        }
+        Benchmark::StringSwap => {
+            let i = rng.random_range(0..items);
+            let mut j = rng.random_range(0..items);
+            if j == i {
+                j = (j + 1) % items;
+            }
+            OpSpec::Swap { i, j }
+        }
+        Benchmark::AvlTree | Benchmark::BTree | Benchmark::RbTree => {
+            let s = rng.random_range(0..per_thread);
+            let key = rng.random_range(0..key_range);
+            if rng.random_bool(0.5) {
+                OpSpec::TreeInsert { s, key, value: rng.random::<u32>() as u64 }
+            } else {
+                OpSpec::TreeDelete { s, key }
+            }
+        }
+        Benchmark::LargeTx { .. } => OpSpec::BigUpdate {
+            node: rng.random_range(0..big_nodes),
+            base: rng.random::<u32>() as u64,
+        },
+    }
+}
+
+/// Generates the workload.
+///
+/// # Panics
+///
+/// Panics if a thread's 64 MiB node arena is exhausted (reduce the op
+/// counts) or if generation produces an invalid program (a bug).
+pub fn generate(bench: Benchmark, params: &WorkloadParams) -> GeneratedWorkload {
+    assert!(params.threads > 0, "need at least one thread");
+    let mut image = WordImage::new();
+    let mut programs = Vec::with_capacity(params.threads);
+    let per_thread = (bench.structure_count() / params.threads).max(1);
+    let key_range = (params.init_ops as u64).max(16) * 2;
+
+    for t in 0..params.threads {
+        let arena = Addr::new(DATA_BASE + t as u64 * ARENA_BYTES);
+        let mut alloc = NodeAlloc::new(arena, ARENA_BYTES);
+        let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37));
+
+        // Build structures.
+        let (structures, items, big_nodes) = {
+            let mut m = DirectMem::new(&mut image);
+            match bench {
+                Benchmark::Queue => (
+                    Structures::Queues(
+                        (0..per_thread).map(|_| Queue::create(&mut m, &mut alloc)).collect(),
+                    ),
+                    0,
+                    0,
+                ),
+                Benchmark::HashMap => (
+                    Structures::Maps(
+                        (0..per_thread)
+                            .map(|_| HashMapStruct::create(&mut m, &mut alloc, 256))
+                            .collect(),
+                    ),
+                    0,
+                    0,
+                ),
+                Benchmark::StringSwap => {
+                    // 262144 items across threads, scaled with init_ops
+                    // (the array is the structure; init swaps shuffle it).
+                    let items = ((262_144 / params.threads) as u64)
+                        .min((params.init_ops as u64 + 1) * 4)
+                        .max(16);
+                    (
+                        Structures::Strings(StringArray::create(&mut m, &mut alloc, items)),
+                        items,
+                        0,
+                    )
+                }
+                Benchmark::AvlTree => (
+                    Structures::Avls(
+                        (0..per_thread).map(|_| AvlTree::create(&mut m, &mut alloc)).collect(),
+                    ),
+                    0,
+                    0,
+                ),
+                Benchmark::BTree => (
+                    Structures::BTrees(
+                        (0..per_thread).map(|_| BTree::create(&mut m, &mut alloc)).collect(),
+                    ),
+                    0,
+                    0,
+                ),
+                Benchmark::RbTree => (
+                    Structures::RbTrees(
+                        (0..per_thread).map(|_| RbTree::create(&mut m, &mut alloc)).collect(),
+                    ),
+                    0,
+                    0,
+                ),
+                Benchmark::LargeTx { elements } => {
+                    let nodes = 16;
+                    (
+                        Structures::BigList(BigNodeList::create(
+                            &mut m, &mut alloc, nodes, elements,
+                        )),
+                        0,
+                        nodes,
+                    )
+                }
+            }
+        };
+
+        // Fast-forwarded initialisation.
+        for _ in 0..params.init_ops {
+            let op = pick_op(bench, per_thread, key_range, items, big_nodes, &mut rng);
+            let mut m = DirectMem::new(&mut image);
+            run_op(&mut m, &mut alloc, &structures, op);
+        }
+
+        // Per-thread lock words (one per owned structure). Locks are
+        // volatile runtime state: they live outside the persistent data
+        // arena and take no undo logging — after a crash, lock state is
+        // meaningless (the paper's locking is for mutual exclusion only).
+        let lock_base = Addr::new(0x0E00_0000 + t as u64 * 64);
+
+        // Simulated operations: dry-run for the hint, then emit.
+        let mut program = Program::new(ThreadId::new(t as u32));
+        for _ in 0..params.sim_ops {
+            let op = pick_op(bench, per_thread, key_range, items, big_nodes, &mut rng);
+            let hint_nodes = {
+                let mut c = CollectMem::new(&image);
+                let mut scratch_alloc = alloc.clone();
+                run_op(&mut c, &mut scratch_alloc, &structures, op);
+                c.hint()
+            };
+            // Application preamble: parse the next operation from the
+            // input stream and take the structure's lock.
+            let lock = lock_base.offset((op_struct_index(op) % 8) as u64 * 8);
+            let mut remaining = APP_OVERHEAD_CYCLES;
+            while remaining > 0 {
+                let chunk = remaining.min(200) as u8;
+                program.compute(chunk);
+                remaining -= chunk as u32;
+            }
+            program.read(lock);
+            program.write(lock, 1);
+
+            // Cover both 32-byte grains of each 64-byte node.
+            let hint: Vec<Addr> =
+                hint_nodes.iter().flat_map(|n| [*n, n.offset(32)]).collect();
+            program.tx_begin(hint);
+            {
+                let mut e = EmitMem::new(&mut image, &mut program);
+                run_op(&mut e, &mut alloc, &structures, op);
+            }
+            program.tx_end();
+            program.write(lock, 0);
+        }
+        program.validate().expect("generated program must validate");
+        programs.push(program);
+    }
+
+    GeneratedWorkload {
+        name: format!("{}x{}", bench.abbrev(), params.threads),
+        programs,
+        initial_image: image,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_core::program::Op;
+
+    fn small(bench: Benchmark) -> GeneratedWorkload {
+        let params = WorkloadParams { threads: 2, init_ops: 200, sim_ops: 50, seed: 42 };
+        generate(bench, &params)
+    }
+
+    #[test]
+    fn every_benchmark_generates_valid_programs() {
+        for bench in Benchmark::TABLE2 {
+            let w = small(bench);
+            assert_eq!(w.programs.len(), 2, "{bench:?}");
+            assert_eq!(w.total_transactions(), 100, "{bench:?}");
+            for p in &w.programs {
+                p.validate().unwrap();
+                assert!(!p.ops.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small(Benchmark::RbTree);
+        let b = small(Benchmark::RbTree);
+        assert_eq!(a.programs, b.programs);
+        assert_eq!(a.initial_image, b.initial_image);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small(Benchmark::HashMap);
+        let params = WorkloadParams { threads: 2, init_ops: 200, sim_ops: 50, seed: 43 };
+        let b = generate(Benchmark::HashMap, &params);
+        assert_ne!(a.programs, b.programs);
+    }
+
+    #[test]
+    fn programs_replay_functionally() {
+        // Applying each program on the initial image must not panic and
+        // must end in a state consistent with validation (writes covered
+        // by hints implies recovery soundness tested elsewhere).
+        for bench in [Benchmark::Queue, Benchmark::AvlTree, Benchmark::BTree] {
+            let w = small(bench);
+            let mut img = w.initial_image.clone();
+            for p in &w.programs {
+                p.apply_functionally(&mut img);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_touch_disjoint_arenas() {
+        let w = small(Benchmark::HashMap);
+        let ranges: Vec<(u64, u64)> = (0..2u64)
+            .map(|t| (DATA_BASE + t * ARENA_BYTES, DATA_BASE + (t + 1) * ARENA_BYTES))
+            .collect();
+        for (t, p) in w.programs.iter().enumerate() {
+            for op in &p.ops {
+                if let Op::Write(addr, _) = op {
+                    // Volatile lock words live below the persistent heap,
+                    // one line per thread.
+                    if addr.raw() < DATA_BASE {
+                        assert_eq!(addr.raw() & !63, 0x0E00_0000 + t as u64 * 64);
+                        continue;
+                    }
+                    let (lo, hi) = ranges[t];
+                    assert!(
+                        addr.raw() >= lo && addr.raw() < hi,
+                        "thread {t} wrote outside its arena: {addr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn largetx_scales_write_set() {
+        let params = WorkloadParams { threads: 1, init_ops: 0, sim_ops: 3, seed: 7 };
+        let small = generate(Benchmark::LargeTx { elements: 256 }, &params);
+        let large = generate(Benchmark::LargeTx { elements: 1024 }, &params);
+        let writes = |w: &GeneratedWorkload| {
+            w.programs[0]
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::Write(..)))
+                .count()
+        };
+        assert!(writes(&large) >= writes(&small) * 3);
+    }
+
+    #[test]
+    fn table2_params_scale() {
+        let p = WorkloadParams::table2(Benchmark::AvlTree, 4, 0.01);
+        assert_eq!(p.init_ops, 1000);
+        assert_eq!(p.sim_ops, 100);
+        let p = WorkloadParams::table2(Benchmark::Queue, 4, 1.0);
+        assert_eq!(p.init_ops, 20_000);
+        assert_eq!(p.sim_ops, 50_000);
+    }
+}

@@ -1,0 +1,154 @@
+//! SS: swap strings in a string array (Table 2).
+//!
+//! The array holds 256-byte strings (4 cache lines each). A swap reads
+//! both strings and rewrites both — 64 words of reads and 64 of writes
+//! per transaction, the largest write set among the Table 2 benchmarks.
+
+use crate::mem::{Mem, NodeAlloc};
+use proteus_types::Addr;
+
+/// Bytes per string item (Table 2: 256).
+pub const STRING_BYTES: u64 = 256;
+/// Words per string.
+pub const WORDS_PER_STRING: u64 = STRING_BYTES / 8;
+
+/// Handle to a string array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StringArray {
+    base: Addr,
+    items: u64,
+}
+
+impl StringArray {
+    /// Allocates an array of `items` strings, initialising the first word
+    /// of each to its index (so swaps are observable).
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, items: u64) -> Self {
+        let base = alloc.alloc_bytes(items * STRING_BYTES);
+        for i in 0..items {
+            mem.write(base.offset(i * STRING_BYTES), i + 1);
+        }
+        StringArray { base, items }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Address of string `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn string_addr(&self, i: u64) -> Addr {
+        assert!(i < self.items, "string index {i} out of range");
+        self.base.offset(i * STRING_BYTES)
+    }
+
+    /// Swaps strings `i` and `j` word by word.
+    pub fn swap<M: Mem>(&self, mem: &mut M, i: u64, j: u64) {
+        let a = self.string_addr(i);
+        let b = self.string_addr(j);
+        for line in 0..(STRING_BYTES / 64) {
+            mem.hint_node(a.offset(line * 64));
+            mem.hint_node(b.offset(line * 64));
+        }
+        for w in 0..WORDS_PER_STRING {
+            let wa = a.offset(w * 8);
+            let wb = b.offset(w * 8);
+            let va = mem.read(wa);
+            let vb = mem.read(wb);
+            mem.write(wa, vb);
+            mem.write(wb, va);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let mut img = WordImage::new();
+        let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 22);
+        let mut m = DirectMem::new(&mut img);
+        let arr = StringArray::create(&mut m, &mut alloc, 8);
+        m.write(arr.string_addr(2).offset(8), 0xAA);
+        arr.swap(&mut m, 2, 5);
+        assert_eq!(m.read(arr.string_addr(5)), 3, "index word moved");
+        assert_eq!(m.read(arr.string_addr(5).offset(8)), 0xAA);
+        assert_eq!(m.read(arr.string_addr(2)), 6);
+        // Swap back restores.
+        arr.swap(&mut m, 2, 5);
+        assert_eq!(m.read(arr.string_addr(2)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let mut img = WordImage::new();
+        let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 20);
+        let mut m = DirectMem::new(&mut img);
+        let arr = StringArray::create(&mut m, &mut alloc, 4);
+        let _ = arr.string_addr(4);
+    }
+}
+
+#[cfg(test)]
+mod differential_tests {
+    use super::*;
+    use crate::mem::DirectMem;
+    use proteus_core::pmem::WordImage;
+
+    /// Random swap sequences against a reference Vec: the array's index
+    /// words must track the permutation exactly.
+    #[test]
+    fn random_swaps_match_reference_permutation() {
+        let mut img = WordImage::new();
+        let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 24);
+        let items = 64u64;
+        let arr = {
+            let mut m = DirectMem::new(&mut img);
+            StringArray::create(&mut m, &mut alloc, items)
+        };
+        let mut reference: Vec<u64> = (1..=items).collect();
+        let mut x: u64 = 0xABCDE;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (x >> 20) % items;
+            let j = (x >> 40) % items;
+            let mut m = DirectMem::new(&mut img);
+            arr.swap(&mut m, i, j);
+            reference.swap(i as usize, j as usize);
+        }
+        let mut m = DirectMem::new(&mut img);
+        for idx in 0..items {
+            assert_eq!(
+                m.read(arr.string_addr(idx)),
+                reference[idx as usize],
+                "string {idx} out of place"
+            );
+        }
+    }
+
+    /// Every word of both strings moves, not just the first.
+    #[test]
+    fn swap_moves_all_words() {
+        let mut img = WordImage::new();
+        let mut alloc = NodeAlloc::new(Addr::new(0x1000_0000), 1 << 22);
+        let mut m = DirectMem::new(&mut img);
+        let arr = StringArray::create(&mut m, &mut alloc, 4);
+        for w in 0..WORDS_PER_STRING {
+            m.write(arr.string_addr(0).offset(w * 8), 100 + w);
+            m.write(arr.string_addr(3).offset(w * 8), 200 + w);
+        }
+        arr.swap(&mut m, 0, 3);
+        for w in 0..WORDS_PER_STRING {
+            assert_eq!(m.read(arr.string_addr(0).offset(w * 8)), 200 + w);
+            assert_eq!(m.read(arr.string_addr(3).offset(w * 8)), 100 + w);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: run one benchmark under Proteus and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use proteus_sim::runner::{run_one, ExperimentSpec};
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A quad-core Skylake-like machine over fast NVM (the paper's
+    // Table 1 configuration).
+    let config = SystemConfig::skylake_like();
+
+    // The Table 2 hash-map benchmark at 5% of the paper's op counts:
+    // 4 threads, each running inserts/deletes in its own maps, every
+    // operation wrapped in a durable transaction.
+    let spec = ExperimentSpec {
+        config,
+        scheme: LoggingSchemeKind::Proteus,
+        bench: Benchmark::HashMap,
+        params: WorkloadParams::table2(Benchmark::HashMap, 4, 0.05),
+    };
+
+    let result = run_one(&spec)?;
+    let cores = result.summary.cores_merged();
+    println!("ran {}", result.name);
+    println!("  cycles              : {}", result.summary.total_cycles);
+    println!("  transactions        : {}", cores.transactions);
+    println!("  micro-ops retired   : {}", cores.uops_retired);
+    println!("  log flushes         : {}", cores.log_flushes);
+    println!(
+        "  LLT elided          : {} ({:.1}% hit rate)",
+        cores.log_flushes_elided,
+        100.0 - cores.llt_miss_rate_pct().unwrap_or(0.0)
+    );
+    println!("  NVMM writes (data)  : {}", result.summary.mem.nvmm_data_writes);
+    println!(
+        "  NVMM writes (log)   : {} — log write removal dropped {}",
+        result.summary.mem.nvmm_log_writes, result.summary.mem.lpq_flash_cleared
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Compare every logging scheme on one benchmark, paper style.
+//!
+//! ```sh
+//! cargo run --release --example scheme_shootout [qe|hm|ss|at|bt|rt] [scale]
+//! ```
+
+use proteus_sim::report::{f2, Table};
+use proteus_sim::runner::sweep_schemes;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = match std::env::args().nth(1).as_deref() {
+        Some("qe") | None => Benchmark::Queue,
+        Some("hm") => Benchmark::HashMap,
+        Some("ss") => Benchmark::StringSwap,
+        Some("at") => Benchmark::AvlTree,
+        Some("bt") => Benchmark::BTree,
+        Some("rt") => Benchmark::RbTree,
+        Some(other) => return Err(format!("unknown benchmark {other}").into()),
+    };
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let params = WorkloadParams::table2(bench, 4, scale);
+    let divisor = ((1.0 / scale) as u64).max(1).next_power_of_two().min(64);
+    let config = SystemConfig::skylake_like().with_cache_divisor(divisor);
+
+    println!(
+        "{} at {:.0}% of Table 2 size ({} txs/thread), 4 cores, fast NVM",
+        bench.abbrev(),
+        scale * 100.0,
+        params.sim_ops
+    );
+    let sweep = sweep_schemes(&config, bench, &params, &LoggingSchemeKind::ALL)?;
+
+    let mut table = Table::new(["scheme", "speedup", "norm. NVMM writes", "norm. stalls"]);
+    for scheme in LoggingSchemeKind::ALL {
+        table.row([
+            scheme.label().to_string(),
+            f2(sweep.speedup(scheme)),
+            f2(sweep.nvmm_writes_normalized(scheme)),
+            f2(sweep.stalls_normalized(scheme)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("speedups relative to PMEM software logging;");
+    println!("writes and stalls relative to PMEM+nolog (the unsafe ideal)");
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! Experiment-harness integration: tiny-scale versions of the paper's
+//! figures must reproduce the qualitative results (orderings and
+//! crossovers), guarding the benchmark harness against regressions.
+
+use proteus_sim::runner::sweep_schemes;
+use proteus_types::config::{LoggingSchemeKind, MemTech, SystemConfig};
+use proteus_types::stats::geometric_mean;
+use proteus_workloads::{Benchmark, WorkloadParams};
+
+fn params(bench: Benchmark) -> WorkloadParams {
+    WorkloadParams::table2(bench, 4, 0.01)
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::skylake_like()
+        .with_num_cores(4)
+        .with_cache_divisor(64)
+}
+
+#[test]
+fn fig6_shape_geomean_ordering() {
+    let mut speedups: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for bench in Benchmark::TABLE2 {
+        let sweep =
+            sweep_schemes(&config(), bench, &params(bench), &LoggingSchemeKind::ALL).unwrap();
+        speedups.push((
+            sweep.speedup(LoggingSchemeKind::SwPmemPcommit),
+            sweep.speedup(LoggingSchemeKind::Atom),
+            sweep.speedup(LoggingSchemeKind::Proteus),
+            sweep.speedup(LoggingSchemeKind::NoLog),
+        ));
+    }
+    let gm = |f: fn(&(f64, f64, f64, f64)) -> f64| {
+        geometric_mean(&speedups.iter().map(f).collect::<Vec<_>>())
+    };
+    let pcommit = gm(|s| s.0);
+    let atom = gm(|s| s.1);
+    let proteus = gm(|s| s.2);
+    let nolog = gm(|s| s.3);
+    // Paper Fig. 6: pcommit 0.79 < 1 < ATOM 1.33 < Proteus 1.46 ≤ nolog 1.51.
+    assert!(pcommit < 1.0, "pcommit geomean {pcommit} must be below baseline");
+    assert!(atom > 1.0, "ATOM geomean {atom} must beat the baseline");
+    assert!(proteus > atom, "Proteus {proteus} must beat ATOM {atom}");
+    assert!(nolog >= proteus * 0.95, "nothing meaningfully beats no logging");
+}
+
+#[test]
+fn fig8_shape_atom_writes_most() {
+    let mut atom_ratio = Vec::new();
+    let mut proteus_ratio = Vec::new();
+    for bench in [Benchmark::Queue, Benchmark::HashMap, Benchmark::AvlTree] {
+        let sweep = sweep_schemes(
+            &config(),
+            bench,
+            &params(bench),
+            &[
+                LoggingSchemeKind::SwPmem,
+                LoggingSchemeKind::Atom,
+                LoggingSchemeKind::Proteus,
+                LoggingSchemeKind::NoLog,
+            ],
+        )
+        .unwrap();
+        atom_ratio.push(sweep.nvmm_writes_normalized(LoggingSchemeKind::Atom));
+        proteus_ratio.push(sweep.nvmm_writes_normalized(LoggingSchemeKind::Proteus));
+    }
+    let atom = atom_ratio.iter().sum::<f64>() / atom_ratio.len() as f64;
+    let proteus = proteus_ratio.iter().sum::<f64>() / proteus_ratio.len() as f64;
+    // Paper: ATOM ≈ 3.4×, Proteus ≤ 1.06×.
+    assert!(atom > 1.5, "ATOM write amplification {atom} too low");
+    assert!(proteus < 1.5, "Proteus write amplification {proteus} too high");
+    assert!(atom > proteus * 1.5, "ATOM must write much more than Proteus");
+}
+
+#[test]
+fn fig9_slow_nvm_hurts_everyone_but_proteus_stays_ahead() {
+    let bench = Benchmark::HashMap;
+    let fast = sweep_schemes(
+        &config().with_mem_tech(MemTech::NvmFast),
+        bench,
+        &params(bench),
+        &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus],
+    )
+    .unwrap();
+    let slow = sweep_schemes(
+        &config().with_mem_tech(MemTech::NvmSlow),
+        bench,
+        &params(bench),
+        &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus],
+    )
+    .unwrap();
+    // Absolute time grows with slower writes.
+    assert!(
+        slow.summary_of(LoggingSchemeKind::Proteus).total_cycles
+            >= fast.summary_of(LoggingSchemeKind::Proteus).total_cycles
+    );
+    // Proteus still beats ATOM on slow NVM (paper: the gap grows).
+    assert!(slow.speedup(LoggingSchemeKind::Proteus) > slow.speedup(LoggingSchemeKind::Atom));
+}
+
+#[test]
+fn fig10_dram_is_faster_than_nvm() {
+    let bench = Benchmark::Queue;
+    let run = |tech| {
+        sweep_schemes(
+            &config().with_mem_tech(tech),
+            bench,
+            &params(bench),
+            &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+        )
+        .unwrap()
+    };
+    let nvm = run(MemTech::NvmFast);
+    let dram = run(MemTech::Dram);
+    assert!(
+        dram.summary_of(LoggingSchemeKind::Proteus).total_cycles
+            < nvm.summary_of(LoggingSchemeKind::Proteus).total_cycles,
+        "DRAM must be faster than NVM"
+    );
+    assert!(dram.speedup(LoggingSchemeKind::Proteus) > 1.0);
+}
+
+#[test]
+fn fig11_logq_size_1_hurts() {
+    let bench = Benchmark::StringSwap;
+    let speedup = |entries| {
+        sweep_schemes(
+            &config().with_logq_entries(entries),
+            bench,
+            &params(bench),
+            &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+        )
+        .unwrap()
+        .speedup(LoggingSchemeKind::Proteus)
+    };
+    let one = speedup(1);
+    let sixteen = speedup(16);
+    assert!(
+        sixteen > one,
+        "a 16-entry LogQ ({sixteen}) must beat a 1-entry LogQ ({one})"
+    );
+}
+
+#[test]
+fn table4_llt_miss_rates_in_band() {
+    for bench in [Benchmark::Queue, Benchmark::StringSwap] {
+        let sweep =
+            sweep_schemes(&config(), bench, &params(bench), &[LoggingSchemeKind::Proteus])
+                .unwrap();
+        let merged = sweep.summary_of(LoggingSchemeKind::Proteus).cores_merged();
+        let rate = merged.llt_miss_rate_pct().expect("lookups happened");
+        // Paper Table 4 band: 22.5% (QE) to 51.6% (RT).
+        assert!(
+            (5.0..95.0).contains(&rate),
+            "{bench:?} LLT miss rate {rate}% implausible"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-crate crash-recovery integration: crash the full system at many
+//! points during real workloads and verify transaction atomicity after
+//! recovery, for every failure-safe scheme.
+
+use proteus_core::pmem::WordImage;
+use proteus_core::program::Op;
+use proteus_sim::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, thread_arena, Benchmark, GeneratedWorkload, WorkloadParams};
+
+/// Functional snapshots of a thread's state after 0, 1, 2, ... committed
+/// transactions.
+fn snapshots(workload: &GeneratedWorkload) -> Vec<Vec<WordImage>> {
+    workload
+        .programs
+        .iter()
+        .map(|program| {
+            let mut states = vec![workload.initial_image.clone()];
+            let mut img = workload.initial_image.clone();
+            let mut tx = proteus_core::program::Program::new(program.thread);
+            for op in &program.ops {
+                tx.ops.push(op.clone());
+                if matches!(op, Op::TxEnd) {
+                    tx.apply_functionally(&mut img);
+                    states.push(img.clone());
+                    tx.ops.clear();
+                }
+            }
+            states
+        })
+        .collect()
+}
+
+/// Whether `image` matches some per-thread snapshot within every thread's
+/// arena.
+fn is_prefix_consistent(
+    image: &WordImage,
+    workload: &GeneratedWorkload,
+    snaps: &[Vec<WordImage>],
+) -> bool {
+    workload.programs.iter().enumerate().all(|(t, p)| {
+        let (lo, hi) = thread_arena(p.thread);
+        snaps[t]
+            .iter()
+            .any(|snap| image.diff(snap).iter().all(|a| *a < lo || *a >= hi))
+    })
+}
+
+fn crash_grid(bench: Benchmark, scheme: LoggingSchemeKind, probes: u64) {
+    let params = WorkloadParams { threads: 2, init_ops: 100, sim_ops: 15, seed: 31 };
+    let workload = generate(bench, &params);
+    let snaps = snapshots(&workload);
+    let config = SystemConfig::skylake_like().with_num_cores(2);
+    let total = {
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run().unwrap().total_cycles
+    };
+    for i in 0..probes {
+        let crash_at = total * (i + 1) / (probes + 1) + i; // stagger
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run_until(crash_at);
+        let (recovered, _report) = m.crash_and_recover().unwrap();
+        assert!(
+            is_prefix_consistent(&recovered, &workload, &snaps),
+            "{bench:?}/{scheme:?}: crash at {crash_at}/{total} not atomic"
+        );
+    }
+}
+
+#[test]
+fn proteus_recovery_is_atomic_on_trees() {
+    crash_grid(Benchmark::AvlTree, LoggingSchemeKind::Proteus, 10);
+    crash_grid(Benchmark::RbTree, LoggingSchemeKind::Proteus, 10);
+}
+
+#[test]
+fn proteus_recovery_is_atomic_on_queue_and_hashmap() {
+    crash_grid(Benchmark::Queue, LoggingSchemeKind::Proteus, 10);
+    crash_grid(Benchmark::HashMap, LoggingSchemeKind::Proteus, 10);
+}
+
+#[test]
+fn proteus_nolwr_recovery_is_atomic() {
+    crash_grid(Benchmark::BTree, LoggingSchemeKind::ProteusNoLwr, 8);
+}
+
+#[test]
+fn atom_recovery_is_atomic() {
+    crash_grid(Benchmark::HashMap, LoggingSchemeKind::Atom, 8);
+    crash_grid(Benchmark::BTree, LoggingSchemeKind::Atom, 8);
+}
+
+#[test]
+fn sw_recovery_is_atomic() {
+    crash_grid(Benchmark::Queue, LoggingSchemeKind::SwPmem, 8);
+    crash_grid(Benchmark::AvlTree, LoggingSchemeKind::SwPmem, 8);
+}
+
+#[test]
+fn sw_pcommit_recovery_is_atomic_without_adr() {
+    // Without ADR the WPQ is volatile: the pcommit variant must still
+    // recover because every persist point drains to NVMM.
+    let params = WorkloadParams { threads: 1, init_ops: 60, sim_ops: 8, seed: 5 };
+    let workload = generate(Benchmark::HashMap, &params);
+    let snaps = snapshots(&workload);
+    let mut config = SystemConfig::skylake_like().with_num_cores(1);
+    config.mem.adr = false;
+    let scheme = LoggingSchemeKind::SwPmemPcommit;
+    let total = {
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run().unwrap().total_cycles
+    };
+    for i in 0..8u64 {
+        let crash_at = total * (i + 1) / 9;
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run_until(crash_at);
+        let (recovered, _) = m.crash_and_recover().unwrap();
+        assert!(
+            is_prefix_consistent(&recovered, &workload, &snaps),
+            "pcommit without ADR: crash at {crash_at}/{total} not atomic"
+        );
+    }
+}
+
+/// Recovery right after completion finds committed transactions and
+/// changes nothing.
+#[test]
+fn recovery_after_clean_completion_is_a_noop() {
+    let params = WorkloadParams { threads: 2, init_ops: 80, sim_ops: 10, seed: 13 };
+    let workload = generate(Benchmark::RbTree, &params);
+    let config = SystemConfig::skylake_like().with_num_cores(2);
+    for scheme in [LoggingSchemeKind::Proteus, LoggingSchemeKind::Atom, LoggingSchemeKind::SwPmem]
+    {
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run().unwrap();
+        let before = m.crash_image();
+        let (after, report) = m.crash_and_recover().unwrap();
+        for (_, outcome) in &report.outcomes {
+            assert!(
+                !matches!(outcome, proteus_core::recovery::ThreadOutcome::RolledBack { .. }),
+                "{scheme:?}: clean completion must not roll back, got {outcome:?}"
+            );
+        }
+        // Data regions unchanged.
+        for p in &workload.programs {
+            let (lo, hi) = thread_arena(p.thread);
+            assert!(
+                after.diff(&before).iter().all(|a| *a < lo || *a >= hi),
+                "{scheme:?}: recovery mutated data after clean run"
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration: workload generation → trace expansion →
+//! full-system simulation → functional correctness of the durable state.
+
+use proteus_sim::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, thread_arena, Benchmark, GeneratedWorkload, WorkloadParams};
+
+fn small(bench: Benchmark) -> GeneratedWorkload {
+    generate(bench, &WorkloadParams { threads: 2, init_ops: 120, sim_ops: 25, seed: 77 })
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::skylake_like().with_num_cores(2)
+}
+
+/// The durable image after a completed run must equal the functional
+/// application of every program, across all benchmarks and all schemes.
+#[test]
+fn final_state_matches_functional_semantics_everywhere() {
+    for bench in Benchmark::TABLE2 {
+        let workload = small(bench);
+        let mut expected = workload.initial_image.clone();
+        for p in &workload.programs {
+            p.apply_functionally(&mut expected);
+        }
+        for scheme in LoggingSchemeKind::ALL {
+            let mut system = System::new(&config(), scheme, &workload).unwrap();
+            let summary = system.run().unwrap();
+            assert!(summary.total_cycles > 0);
+            let image = system.crash_image();
+            // Compare only data arenas (log areas and logFlag words are
+            // scheme-private).
+            for p in &workload.programs {
+                let (lo, hi) = thread_arena(p.thread);
+                let torn: Vec<_> = image
+                    .diff(&expected)
+                    .into_iter()
+                    .filter(|a| *a >= lo && *a < hi)
+                    .collect();
+                assert!(
+                    torn.is_empty(),
+                    "{bench:?}/{scheme:?}: final data mismatch at {torn:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The paper's headline ordering must hold on every benchmark, even at
+/// test scale: pcommit < baseline ≤ hardware schemes ≤ no logging.
+#[test]
+fn scheme_ordering_holds_per_benchmark() {
+    for bench in [Benchmark::Queue, Benchmark::AvlTree, Benchmark::StringSwap] {
+        let workload = small(bench);
+        let cycles = |scheme| {
+            let mut system = System::new(&config(), scheme, &workload).unwrap();
+            system.run().unwrap().total_cycles
+        };
+        let pcommit = cycles(LoggingSchemeKind::SwPmemPcommit);
+        let sw = cycles(LoggingSchemeKind::SwPmem);
+        let proteus = cycles(LoggingSchemeKind::Proteus);
+        assert!(pcommit > sw, "{bench:?}: ADR must beat pcommit ({pcommit} <= {sw})");
+        assert!(sw > proteus, "{bench:?}: Proteus must beat SW logging ({sw} <= {proteus})");
+    }
+}
+
+/// Transactions retired must equal transactions generated, per core.
+#[test]
+fn transaction_accounting() {
+    let workload = small(Benchmark::HashMap);
+    for scheme in [LoggingSchemeKind::Proteus, LoggingSchemeKind::Atom] {
+        let mut system = System::new(&config(), scheme, &workload).unwrap();
+        let summary = system.run().unwrap();
+        assert_eq!(
+            summary.cores_merged().transactions,
+            workload.total_transactions(),
+            "{scheme:?}"
+        );
+    }
+}
+
+/// Proteus must drop (flash clear) the overwhelming majority of its log
+/// writes; ATOM must not.
+#[test]
+fn log_write_removal_separates_proteus_from_atom() {
+    let workload = small(Benchmark::HashMap);
+    let run = |scheme| {
+        let mut system = System::new(&config(), scheme, &workload).unwrap();
+        system.run().unwrap()
+    };
+    let proteus = run(LoggingSchemeKind::Proteus);
+    assert!(proteus.mem.lpq_flash_cleared > 0, "flash clearing never fired");
+    assert!(
+        proteus.mem.nvmm_log_writes <= proteus.mem.lpq_flash_cleared / 4,
+        "most Proteus log entries must never reach NVMM: {:?}",
+        proteus.mem
+    );
+    let atom = run(LoggingSchemeKind::Atom);
+    let atom_log_traffic = atom.mem.nvmm_log_writes + atom.mem.nvmm_log_invalidation_writes;
+    assert!(
+        atom_log_traffic > proteus.mem.nvmm_log_writes,
+        "ATOM must write more log traffic: {atom_log_traffic} vs {}",
+        proteus.mem.nvmm_log_writes
+    );
+}
+
+/// The LLT must elide repeated grain logging in real workloads.
+#[test]
+fn llt_hits_on_real_workloads() {
+    let workload = small(Benchmark::StringSwap);
+    let mut system = System::new(&config(), LoggingSchemeKind::Proteus, &workload).unwrap();
+    let summary = system.run().unwrap();
+    let cores = summary.cores_merged();
+    assert!(cores.llt_lookups > 0);
+    assert!(
+        cores.llt_hits > 0,
+        "string swaps write 4 words per grain; the LLT must hit"
+    );
+    let miss_rate = cores.llt_miss_rate_pct().unwrap();
+    assert!(
+        (1.0..90.0).contains(&miss_rate),
+        "SS miss rate {miss_rate}% outside plausible band"
+    );
+}
+
+/// A five-scheme sweep on one workload must keep per-scheme uop counts
+/// consistent with the instruction-overhead story of Fig. 3.
+#[test]
+fn instruction_overhead_story() {
+    let workload = small(Benchmark::BTree);
+    let uops = |scheme| {
+        let mut system = System::new(&config(), scheme, &workload).unwrap();
+        system.run().unwrap().cores_merged().uops_retired
+    };
+    let sw = uops(LoggingSchemeKind::SwPmem);
+    let atom = uops(LoggingSchemeKind::Atom);
+    let proteus = uops(LoggingSchemeKind::Proteus);
+    let nolog = uops(LoggingSchemeKind::NoLog);
+    // ATOM adds no *logging* instructions — only the tx-begin/tx-end
+    // markers (one more per transaction than nolog's single sfence).
+    assert_eq!(
+        atom,
+        nolog + workload.total_transactions(),
+        "ATOM must add exactly the transaction markers"
+    );
+    assert!(proteus > nolog, "Proteus adds log-load/log-flush pairs");
+    assert!(sw > proteus, "software logging adds far more");
+}

@@ -1,0 +1,134 @@
+//! Property-based crash-consistency testing: for random workloads,
+//! schemes, and crash points, recovery must always land on a
+//! transaction-consistent state.
+
+use proptest::prelude::*;
+use proteus_core::pmem::WordImage;
+use proteus_core::program::Op;
+use proteus_sim::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, thread_arena, Benchmark, GeneratedWorkload, WorkloadParams};
+
+fn snapshots(workload: &GeneratedWorkload) -> Vec<Vec<WordImage>> {
+    workload
+        .programs
+        .iter()
+        .map(|program| {
+            let mut states = vec![workload.initial_image.clone()];
+            let mut img = workload.initial_image.clone();
+            let mut tx = proteus_core::program::Program::new(program.thread);
+            for op in &program.ops {
+                tx.ops.push(op.clone());
+                if matches!(op, Op::TxEnd) {
+                    tx.apply_functionally(&mut img);
+                    states.push(img.clone());
+                    tx.ops.clear();
+                }
+            }
+            states
+        })
+        .collect()
+}
+
+fn bench_strategy() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::Queue),
+        Just(Benchmark::HashMap),
+        Just(Benchmark::AvlTree),
+        Just(Benchmark::BTree),
+        Just(Benchmark::RbTree),
+    ]
+}
+
+fn scheme_strategy() -> impl Strategy<Value = LoggingSchemeKind> {
+    prop_oneof![
+        Just(LoggingSchemeKind::SwPmem),
+        Just(LoggingSchemeKind::Atom),
+        Just(LoggingSchemeKind::Proteus),
+        Just(LoggingSchemeKind::ProteusNoLwr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Crash anywhere, under any failure-safe scheme, on any benchmark:
+    /// after recovery every thread's data is a per-transaction prefix of
+    /// its program.
+    #[test]
+    fn recovery_always_lands_on_a_transaction_boundary(
+        bench in bench_strategy(),
+        scheme in scheme_strategy(),
+        seed in 0u64..1000,
+        crash_fraction in 1u64..99,
+    ) {
+        let params = WorkloadParams { threads: 2, init_ops: 60, sim_ops: 8, seed };
+        let workload = generate(bench, &params);
+        let snaps = snapshots(&workload);
+        let config = SystemConfig::skylake_like().with_num_cores(2);
+        let total = {
+            let mut m = System::new(&config, scheme, &workload).unwrap();
+            m.run().unwrap().total_cycles
+        };
+        let crash_at = (total * crash_fraction / 100).max(1);
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run_until(crash_at);
+        let (recovered, _) = m.crash_and_recover().unwrap();
+        for (t, p) in workload.programs.iter().enumerate() {
+            let (lo, hi) = thread_arena(p.thread);
+            let consistent = snaps[t].iter().any(|snap| {
+                recovered.diff(snap).iter().all(|a| *a < lo || *a >= hi)
+            });
+            prop_assert!(
+                consistent,
+                "{:?}/{:?} seed {} crash {}/{}: thread {} torn",
+                bench, scheme, seed, crash_at, total, t
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Double crashes: crash during the run, recover, then recover again
+    /// (modelling a crash during recovery). The second pass must be a
+    /// no-op on data.
+    #[test]
+    fn recovery_is_idempotent(
+        bench in bench_strategy(),
+        scheme in scheme_strategy(),
+        crash_fraction in 1u64..99,
+    ) {
+        let params = WorkloadParams { threads: 1, init_ops: 40, sim_ops: 6, seed: 11 };
+        let workload = generate(bench, &params);
+        let config = SystemConfig::skylake_like().with_num_cores(1);
+        let total = {
+            let mut m = System::new(&config, scheme, &workload).unwrap();
+            m.run().unwrap().total_cycles
+        };
+        let mut m = System::new(&config, scheme, &workload).unwrap();
+        m.run_until((total * crash_fraction / 100).max(1));
+        let (once, _) = m.crash_and_recover().unwrap();
+        let mut twice = once.clone();
+        proteus_core::recovery::recover(
+            &mut twice,
+            m.layout(),
+            scheme,
+            &[proteus_types::ThreadId::new(0)],
+        ).unwrap();
+        let (lo, hi) = thread_arena(proteus_types::ThreadId::new(0));
+        prop_assert!(
+            twice.diff(&once).iter().all(|a| *a < lo || *a >= hi),
+            "second recovery changed data"
+        );
+    }
+}
