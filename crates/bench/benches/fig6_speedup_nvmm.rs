@@ -11,9 +11,7 @@ fn bench_schemes(c: &mut Criterion) {
     let bench = Benchmark::HashMap;
     let params = WorkloadParams { threads: 2, init_ops: 200, sim_ops: 40, seed: 1 };
     let workload = generate(bench, &params);
-    let config = SystemConfig::skylake_like()
-        .with_num_cores(2)
-        .with_cache_divisor(64);
+    let config = SystemConfig::skylake_like().with_num_cores(2).with_cache_divisor(64);
     let mut group = c.benchmark_group("fig6_hm_tiny");
     group.sample_size(10);
     for scheme in [

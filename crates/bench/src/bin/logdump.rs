@@ -42,12 +42,7 @@ fn main() -> ExitCode {
     let crash_at = total * pct / 100;
     let mut machine = System::new(&config, scheme, &workload).expect("build");
     machine.run_until(crash_at);
-    println!(
-        "=== {} crashed at cycle {} of {} ({pct}%) ===",
-        scheme.label(),
-        machine.now(),
-        total
-    );
+    println!("=== {} crashed at cycle {} of {} ({pct}%) ===", scheme.label(), machine.now(), total);
 
     let image = machine.crash_image();
     for program in &workload.programs {

@@ -21,7 +21,12 @@ fn main() {
         &cfg,
         bench,
         &params,
-        &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog],
+        &[
+            LoggingSchemeKind::SwPmem,
+            LoggingSchemeKind::Atom,
+            LoggingSchemeKind::Proteus,
+            LoggingSchemeKind::NoLog,
+        ],
     )
     .unwrap();
     for (label, s) in &sweep.results {
@@ -37,10 +42,8 @@ fn main() {
             s.l3.hit_rate_pct().map(|p| p.round()),
         );
         use proteus_types::stats::StallCause;
-        let parts: Vec<String> = StallCause::ALL
-            .iter()
-            .map(|c| format!("{c}={}", m.stall(*c)))
-            .collect();
+        let parts: Vec<String> =
+            StallCause::ALL.iter().map(|c| format!("{c}={}", m.stall(*c))).collect();
         println!("              {}", parts.join(" "));
     }
 }

@@ -2,23 +2,36 @@
 //!
 //! ```text
 //! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|all>
-//!           [--scale S] [--threads N]
+//!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH]
 //! ```
 //!
 //! `--scale` scales the Table 2 op counts (default 0.1); `--threads`
 //! sets the core/thread count (default 4). Shapes are stable across
 //! scales; absolute speedups move slightly.
+//!
+//! The harness flags:
+//!
+//! * `--jobs J` — worker threads per scheme sweep (default: available
+//!   parallelism, clamped to the sweep size);
+//! * `--resume LEDGER` — JSONL checkpoint file. Experiments already
+//!   completed in the ledger are restored instead of re-run, so an
+//!   interrupted (or partially crashed) invocation picks up where it
+//!   left off when re-run with the same ledger;
+//! * `--events PATH` — append a structured JSONL telemetry stream
+//!   (job start/end, outcomes, simulated cycles, sim-cycles/s, queue
+//!   depth, worker occupancy) for offline analysis.
 
 use proteus_bench::experiments::{
     ablation_llt, ablation_threads, ablation_wpq, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
-    table1, table2, table3, table4, ExperimentScale,
+    table1, table2, table3, table4, ExperimentCtx,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|all> \
-         [--scale S] [--threads N]"
+         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH]"
     );
     ExitCode::FAILURE
 }
@@ -28,16 +41,29 @@ fn main() -> ExitCode {
     let Some(target) = args.first().cloned() else {
         return usage();
     };
-    let mut scale = ExperimentScale::default();
+    let mut ctx = ExperimentCtx::default();
+    ctx.opts.progress = true;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" if i + 1 < args.len() => {
-                scale.scale = args[i + 1].parse().unwrap_or(scale.scale);
+                ctx.scale.scale = args[i + 1].parse().unwrap_or(ctx.scale.scale);
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
-                scale.threads = args[i + 1].parse().unwrap_or(scale.threads);
+                ctx.scale.threads = args[i + 1].parse().unwrap_or(ctx.scale.threads);
+                i += 2;
+            }
+            "--jobs" if i + 1 < args.len() => {
+                ctx.opts.workers = args[i + 1].parse().unwrap_or(ctx.opts.workers);
+                i += 2;
+            }
+            "--resume" if i + 1 < args.len() => {
+                ctx.opts.ledger = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--events" if i + 1 < args.len() => {
+                ctx.opts.events = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
             other => {
@@ -47,7 +73,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let experiments: Vec<(&str, fn(&ExperimentScale) -> Result<String, proteus_types::SimError>)> = vec![
+    type Experiment = fn(&ExperimentCtx) -> Result<String, proteus_types::SimError>;
+    let experiments: Vec<(&str, Experiment)> = vec![
         ("fig6", fig6),
         ("fig7", fig7),
         ("fig8", fig8),
@@ -74,7 +101,7 @@ fn main() -> ExitCode {
     }
     for (name, run) in selected {
         let start = std::time::Instant::now();
-        match run(&scale) {
+        match run(&ctx) {
             Ok(report) => {
                 println!("{report}");
                 eprintln!("[{name} done in {:.1?}]", start.elapsed());

@@ -5,9 +5,16 @@
 //! paper. Workload sizes are Table 2 scaled by
 //! [`ExperimentScale::scale`]; the result *shapes* (orderings,
 //! crossovers, approximate ratios) are stable across scales.
+//!
+//! Every experiment runs its scheme sweeps through `proteus-harness`
+//! via the [`SweepOptions`] carried in [`ExperimentCtx`]: worker count,
+//! resume ledger, and telemetry event stream all apply uniformly, and a
+//! panic in one simulator run is isolated to that job instead of
+//! tearing down the whole figure.
 
+use proteus_harness::SweepOptions;
 use proteus_sim::report::{f2, pct1, Table};
-use proteus_sim::runner::{sweep_schemes, SchemeSweep};
+use proteus_sim::runner::{sweep_schemes_with, SchemeSweep};
 use proteus_types::config::{LoggingSchemeKind, MemTech, SystemConfig};
 use proteus_types::stats::geometric_mean;
 use proteus_types::SimError;
@@ -30,7 +37,11 @@ impl Default for ExperimentScale {
 
 impl ExperimentScale {
     fn params(&self, bench: Benchmark) -> WorkloadParams {
-        WorkloadParams::table2(bench, self.threads, self.scale)
+        // The seed is derived from the workload's structural identity,
+        // so every figure regenerates byte-identical traces for the
+        // same (bench, threads, ops) shape — resume ledgers stay valid
+        // across invocations.
+        WorkloadParams::table2(bench, self.threads, self.scale).with_derived_seed(bench)
     }
 
     /// Table 1 configuration with the L2/L3 scaled down by the workload
@@ -42,9 +53,32 @@ impl ExperimentScale {
         } else {
             ((1.0 / self.scale) as u64).next_power_of_two().min(64)
         };
-        SystemConfig::skylake_like()
-            .with_num_cores(self.threads)
-            .with_cache_divisor(divisor)
+        SystemConfig::skylake_like().with_num_cores(self.threads).with_cache_divisor(divisor)
+    }
+}
+
+/// Everything an experiment needs beyond its own definition: workload
+/// scale plus the harness orchestration knobs (`--jobs`, `--resume`,
+/// `--events` in the `reproduce` binary).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentCtx {
+    /// Workload scale/threads knobs.
+    pub scale: ExperimentScale,
+    /// Harness options threaded into every scheme sweep.
+    pub opts: SweepOptions,
+}
+
+impl ExperimentCtx {
+    /// Context with default orchestration (auto workers, no ledger or
+    /// event stream).
+    pub fn from_scale(scale: ExperimentScale) -> Self {
+        ExperimentCtx { scale, opts: SweepOptions::default() }
+    }
+}
+
+impl From<ExperimentScale> for ExperimentCtx {
+    fn from(scale: ExperimentScale) -> Self {
+        ExperimentCtx::from_scale(scale)
     }
 }
 
@@ -57,18 +91,16 @@ const FIG6_SCHEMES: [LoggingSchemeKind; 5] = [
     LoggingSchemeKind::NoLog,
 ];
 
-fn sweep_all_benchmarks(
-    scale: &ExperimentScale,
-    tech: MemTech,
-) -> Result<Vec<SchemeSweep>, SimError> {
+fn sweep_all_benchmarks(ctx: &ExperimentCtx, tech: MemTech) -> Result<Vec<SchemeSweep>, SimError> {
     Benchmark::TABLE2
         .iter()
         .map(|bench| {
-            sweep_schemes(
-                &scale.config().with_mem_tech(tech),
+            sweep_schemes_with(
+                &ctx.scale.config().with_mem_tech(tech),
                 *bench,
-                &scale.params(*bench),
+                &ctx.scale.params(*bench),
                 &LoggingSchemeKind::ALL,
+                &ctx.opts,
             )
         })
         .collect()
@@ -99,12 +131,9 @@ fn speedup_table(sweeps: &[SchemeSweep], title: &str) -> String {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig6(scale: &ExperimentScale) -> Result<String, SimError> {
-    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmFast)?;
-    Ok(speedup_table(
-        &sweeps,
-        "Figure 6: speedup on NVMM (baseline: PMEM software logging)",
-    ))
+pub fn fig6(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(ctx, MemTech::NvmFast)?;
+    Ok(speedup_table(&sweeps, "Figure 6: speedup on NVMM (baseline: PMEM software logging)"))
 }
 
 /// Figure 7: front-end stall cycles normalised to PMEM+nolog.
@@ -112,8 +141,8 @@ pub fn fig6(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig7(scale: &ExperimentScale) -> Result<String, SimError> {
-    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmFast)?;
+pub fn fig7(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(ctx, MemTech::NvmFast)?;
     let schemes = [LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog];
     let mut headers = vec!["bench".to_string()];
     headers.extend(schemes.iter().map(|s| s.label().to_string()));
@@ -131,10 +160,7 @@ pub fn fig7(scale: &ExperimentScale) -> Result<String, SimError> {
     let mut gm = vec!["geomean".to_string()];
     gm.extend(columns.iter().map(|c| f2(geometric_mean(c))));
     table.row(gm);
-    Ok(format!(
-        "Figure 7: front-end stall cycles, normalised to PMEM+nolog\n{}",
-        table.render()
-    ))
+    Ok(format!("Figure 7: front-end stall cycles, normalised to PMEM+nolog\n{}", table.render()))
 }
 
 /// Figure 8: NVMM writes normalised to PMEM+nolog.
@@ -142,8 +168,8 @@ pub fn fig7(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig8(scale: &ExperimentScale) -> Result<String, SimError> {
-    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmFast)?;
+pub fn fig8(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(ctx, MemTech::NvmFast)?;
     let schemes = [
         LoggingSchemeKind::SwPmem,
         LoggingSchemeKind::Atom,
@@ -166,10 +192,7 @@ pub fn fig8(scale: &ExperimentScale) -> Result<String, SimError> {
     let mut mean = vec!["mean".to_string()];
     mean.extend(columns.iter().map(|c| f2(c.iter().sum::<f64>() / c.len() as f64)));
     table.row(mean);
-    Ok(format!(
-        "Figure 8: NVMM writes, normalised to PMEM+nolog\n{}",
-        table.render()
-    ))
+    Ok(format!("Figure 8: NVMM writes, normalised to PMEM+nolog\n{}", table.render()))
 }
 
 /// Figure 9: speedup on slow NVM (300 ns writes).
@@ -177,12 +200,9 @@ pub fn fig8(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig9(scale: &ExperimentScale) -> Result<String, SimError> {
-    let sweeps = sweep_all_benchmarks(scale, MemTech::NvmSlow)?;
-    Ok(speedup_table(
-        &sweeps,
-        "Figure 9: speedup on slow NVMM, 300 ns writes (baseline: PMEM)",
-    ))
+pub fn fig9(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(ctx, MemTech::NvmSlow)?;
+    Ok(speedup_table(&sweeps, "Figure 9: speedup on slow NVMM, 300 ns writes (baseline: PMEM)"))
 }
 
 /// Figure 10: speedup on DRAM (battery-backed NVDIMM study).
@@ -190,12 +210,9 @@ pub fn fig9(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig10(scale: &ExperimentScale) -> Result<String, SimError> {
-    let sweeps = sweep_all_benchmarks(scale, MemTech::Dram)?;
-    Ok(speedup_table(
-        &sweeps,
-        "Figure 10: speedup on DRAM (baseline: PMEM)",
-    ))
+pub fn fig10(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    let sweeps = sweep_all_benchmarks(ctx, MemTech::Dram)?;
+    Ok(speedup_table(&sweeps, "Figure 10: speedup on DRAM (baseline: PMEM)"))
 }
 
 /// Figure 11: Proteus speedup with varying LogQ sizes.
@@ -203,21 +220,22 @@ pub fn fig10(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig11(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn fig11(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let sizes = [1usize, 2, 4, 8, 16, 32, 64];
     let mut headers = vec!["bench".to_string()];
     headers.extend(sizes.iter().map(|s| format!("LogQ={s}")));
     let mut table = Table::new(headers);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for bench in Benchmark::TABLE2 {
-        let params = scale.params(bench);
+        let params = ctx.scale.params(bench);
         let mut row = vec![bench.abbrev().to_string()];
         for (i, size) in sizes.iter().enumerate() {
-            let sweep = sweep_schemes(
-                &scale.config().with_logq_entries(*size),
+            let sweep = sweep_schemes_with(
+                &ctx.scale.config().with_logq_entries(*size),
                 bench,
                 &params,
                 &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+                &ctx.opts,
             )?;
             let v = sweep.speedup(LoggingSchemeKind::Proteus);
             columns[i].push(v);
@@ -228,10 +246,7 @@ pub fn fig11(scale: &ExperimentScale) -> Result<String, SimError> {
     let mut gm = vec!["geomean".to_string()];
     gm.extend(columns.iter().map(|c| f2(geometric_mean(c))));
     table.row(gm);
-    Ok(format!(
-        "Figure 11: Proteus speedup vs LogQ size (baseline: PMEM)\n{}",
-        table.render()
-    ))
+    Ok(format!("Figure 11: Proteus speedup vs LogQ size (baseline: PMEM)\n{}", table.render()))
 }
 
 /// Figure 12: Proteus speedup with varying LPQ sizes (LogQ = 16).
@@ -239,21 +254,22 @@ pub fn fig11(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn fig12(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn fig12(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let sizes = [16usize, 32, 64, 128, 256, 512];
     let mut headers = vec!["bench".to_string()];
     headers.extend(sizes.iter().map(|s| format!("LPQ={s}")));
     let mut table = Table::new(headers);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for bench in Benchmark::TABLE2 {
-        let params = scale.params(bench);
+        let params = ctx.scale.params(bench);
         let mut row = vec![bench.abbrev().to_string()];
         for (i, size) in sizes.iter().enumerate() {
-            let sweep = sweep_schemes(
-                &scale.config().with_logq_entries(16).with_lpq_entries(*size),
+            let sweep = sweep_schemes_with(
+                &ctx.scale.config().with_logq_entries(16).with_lpq_entries(*size),
                 bench,
                 &params,
                 &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+                &ctx.opts,
             )?;
             let v = sweep.speedup(LoggingSchemeKind::Proteus);
             columns[i].push(v);
@@ -275,7 +291,7 @@ pub fn fig12(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn table3(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn table3(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let sizes = [1024u64, 2048, 4096, 8192];
     let mut headers = vec!["scheme".to_string()];
     headers.extend(sizes.iter().map(|s| s.to_string()));
@@ -285,26 +301,25 @@ pub fn table3(scale: &ExperimentScale) -> Result<String, SimError> {
     for elements in sizes {
         let bench = Benchmark::LargeTx { elements };
         let params = WorkloadParams {
-            threads: scale.threads,
+            threads: ctx.scale.threads,
             init_ops: 0,
-            sim_ops: ((200.0 * scale.scale * 5.0) as usize).max(8),
-            seed: 0x7AB1E3,
-        };
-        let sweep = sweep_schemes(
-            &scale.config(),
+            sim_ops: ((200.0 * ctx.scale.scale * 5.0) as usize).max(8),
+            seed: 0,
+        }
+        .with_derived_seed(bench);
+        let sweep = sweep_schemes_with(
+            &ctx.scale.config(),
             bench,
             &params,
             &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog],
+            &ctx.opts,
         )?;
         proteus_row.push(f2(sweep.speedup(LoggingSchemeKind::Proteus)));
         ideal_row.push(f2(sweep.speedup(LoggingSchemeKind::NoLog)));
     }
     table.row(proteus_row);
     table.row(ideal_row);
-    Ok(format!(
-        "Table 3: speedups for large transactions (elements per node)\n{}",
-        table.render()
-    ))
+    Ok(format!("Table 3: speedups for large transactions (elements per node)\n{}", table.render()))
 }
 
 /// Table 4: LLT miss rates per benchmark under Proteus.
@@ -312,14 +327,15 @@ pub fn table3(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn table4(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn table4(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let mut table = Table::new(["bench", "LLT miss rate (%)"]);
     for bench in Benchmark::TABLE2 {
-        let sweep = sweep_schemes(
-            &scale.config(),
+        let sweep = sweep_schemes_with(
+            &ctx.scale.config(),
             bench,
-            &scale.params(bench),
+            &ctx.scale.params(bench),
             &[LoggingSchemeKind::Proteus],
+            &ctx.opts,
         )?;
         let merged = sweep.summary_of(LoggingSchemeKind::Proteus).cores_merged();
         let rate = merged.llt_miss_rate_pct().unwrap_or(0.0);
@@ -334,19 +350,78 @@ pub fn table4(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Never fails; the `Result` keeps the command table uniform.
-pub fn table1(scale: &ExperimentScale) -> Result<String, SimError> {
-    let cfg = scale.config();
+pub fn table1(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    let cfg = ctx.scale.config();
     let mut t = Table::new(["parameter", "value"]);
-    t.row(["cores".to_string(), format!("{} @ {} MHz, {}-wide OOO", cfg.num_cores, cfg.cores.freq_mhz, cfg.cores.width)]);
-    t.row(["ROB / fetchQ / issueQ".to_string(), format!("{} / {} / {}", cfg.cores.rob_entries, cfg.cores.fetchq_entries, cfg.cores.issueq_entries)]);
-    t.row(["loadQ / storeQ".to_string(), format!("{} / {}", cfg.cores.loadq_entries, cfg.cores.storeq_entries)]);
-    t.row(["L1D".to_string(), format!("{} KiB, {}-way, {} cycles", cfg.caches.l1d.size_bytes / 1024, cfg.caches.l1d.ways, cfg.caches.l1d.latency)]);
-    t.row(["L2".to_string(), format!("{} KiB, {}-way, {} cycles", cfg.caches.l2.size_bytes / 1024, cfg.caches.l2.ways, cfg.caches.l2.latency)]);
-    t.row(["L3 (shared)".to_string(), format!("{} KiB, {}-way, {} cycles", cfg.caches.l3.size_bytes / 1024, cfg.caches.l3.ways, cfg.caches.l3.latency)]);
-    t.row(["memory".to_string(), format!("{}: {} banks, {} B rows", cfg.mem.tech.label(), cfg.mem.banks, cfg.mem.row_buffer_bytes)]);
-    t.row(["WPQ / LPQ / readQ".to_string(), format!("{} / {} / {}", cfg.mem.wpq_entries, cfg.mem.lpq_entries, cfg.mem.read_queue_entries)]);
-    t.row(["Proteus LR / LogQ / LLT".to_string(), format!("{} / {} / {} ({}-way)", cfg.proteus.log_registers, cfg.proteus.logq_entries, cfg.proteus.llt_entries, cfg.proteus.llt_ways)]);
-    Ok(format!("Table 1: system configuration (scale {:.2})\n{}", scale.scale, t.render()))
+    t.row([
+        "cores".to_string(),
+        format!("{} @ {} MHz, {}-wide OOO", cfg.num_cores, cfg.cores.freq_mhz, cfg.cores.width),
+    ]);
+    t.row([
+        "ROB / fetchQ / issueQ".to_string(),
+        format!(
+            "{} / {} / {}",
+            cfg.cores.rob_entries, cfg.cores.fetchq_entries, cfg.cores.issueq_entries
+        ),
+    ]);
+    t.row([
+        "loadQ / storeQ".to_string(),
+        format!("{} / {}", cfg.cores.loadq_entries, cfg.cores.storeq_entries),
+    ]);
+    t.row([
+        "L1D".to_string(),
+        format!(
+            "{} KiB, {}-way, {} cycles",
+            cfg.caches.l1d.size_bytes / 1024,
+            cfg.caches.l1d.ways,
+            cfg.caches.l1d.latency
+        ),
+    ]);
+    t.row([
+        "L2".to_string(),
+        format!(
+            "{} KiB, {}-way, {} cycles",
+            cfg.caches.l2.size_bytes / 1024,
+            cfg.caches.l2.ways,
+            cfg.caches.l2.latency
+        ),
+    ]);
+    t.row([
+        "L3 (shared)".to_string(),
+        format!(
+            "{} KiB, {}-way, {} cycles",
+            cfg.caches.l3.size_bytes / 1024,
+            cfg.caches.l3.ways,
+            cfg.caches.l3.latency
+        ),
+    ]);
+    t.row([
+        "memory".to_string(),
+        format!(
+            "{}: {} banks, {} B rows",
+            cfg.mem.tech.label(),
+            cfg.mem.banks,
+            cfg.mem.row_buffer_bytes
+        ),
+    ]);
+    t.row([
+        "WPQ / LPQ / readQ".to_string(),
+        format!(
+            "{} / {} / {}",
+            cfg.mem.wpq_entries, cfg.mem.lpq_entries, cfg.mem.read_queue_entries
+        ),
+    ]);
+    t.row([
+        "Proteus LR / LogQ / LLT".to_string(),
+        format!(
+            "{} / {} / {} ({}-way)",
+            cfg.proteus.log_registers,
+            cfg.proteus.logq_entries,
+            cfg.proteus.llt_entries,
+            cfg.proteus.llt_ways
+        ),
+    ]);
+    Ok(format!("Table 1: system configuration (scale {:.2})\n{}", ctx.scale.scale, t.render()))
 }
 
 /// Table 2: the benchmark suite with the op counts these runs use.
@@ -354,7 +429,7 @@ pub fn table1(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Never fails; the `Result` keeps the command table uniform.
-pub fn table2(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn table2(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let mut t = Table::new(["bench", "description", "#InitOps", "#SimOps"]);
     let desc = |b: Benchmark| match b {
         Benchmark::Queue => "enqueue/dequeue in 8 queues",
@@ -366,7 +441,7 @@ pub fn table2(scale: &ExperimentScale) -> Result<String, SimError> {
         Benchmark::LargeTx { .. } => "large-tx linked list (§7.3)",
     };
     for bench in Benchmark::TABLE2 {
-        let p = scale.params(bench);
+        let p = ctx.scale.params(bench);
         t.row([
             bench.abbrev().to_string(),
             desc(bench).to_string(),
@@ -376,7 +451,7 @@ pub fn table2(scale: &ExperimentScale) -> Result<String, SimError> {
     }
     Ok(format!(
         "Table 2: benchmarks, per-thread op counts at scale {:.2}\n{}",
-        scale.scale,
+        ctx.scale.scale,
         t.render()
     ))
 }
@@ -387,13 +462,13 @@ pub fn table2(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn ablation_threads(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn ablation_threads(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let threads = [1usize, 2, 4];
     let bench = Benchmark::HashMap;
     let mut table = Table::new(["threads", "ATOM", "Proteus", "PMEM+nolog"]);
     for n in threads {
-        let sub = ExperimentScale { threads: n, ..*scale };
-        let sweep = sweep_schemes(
+        let sub = ExperimentScale { threads: n, ..ctx.scale };
+        let sweep = sweep_schemes_with(
             &sub.config(),
             bench,
             &sub.params(bench),
@@ -403,6 +478,7 @@ pub fn ablation_threads(scale: &ExperimentScale) -> Result<String, SimError> {
                 LoggingSchemeKind::Proteus,
                 LoggingSchemeKind::NoLog,
             ],
+            &ctx.opts,
         )?;
         table.row([
             n.to_string(),
@@ -424,27 +500,25 @@ pub fn ablation_threads(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn ablation_wpq(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn ablation_wpq(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let sizes = [16usize, 32, 64, 128];
     let bench = Benchmark::AvlTree;
-    let params = scale.params(bench);
+    let params = ctx.scale.params(bench);
     let mut table = Table::new(["WPQ", "Proteus speedup", "SW cycles (M)"]);
     for size in sizes {
-        let mut config = scale.config();
+        let mut config = ctx.scale.config();
         config.mem.wpq_entries = size;
-        let sweep = sweep_schemes(
+        let sweep = sweep_schemes_with(
             &config,
             bench,
             &params,
             &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+            &ctx.opts,
         )?;
         table.row([
             size.to_string(),
             f2(sweep.speedup(LoggingSchemeKind::Proteus)),
-            format!(
-                "{:.2}",
-                sweep.summary_of(LoggingSchemeKind::SwPmem).total_cycles as f64 / 1e6
-            ),
+            format!("{:.2}", sweep.summary_of(LoggingSchemeKind::SwPmem).total_cycles as f64 / 1e6),
         ]);
     }
     Ok(format!("Ablation: AT vs WPQ size\n{}", table.render()))
@@ -455,20 +529,21 @@ pub fn ablation_wpq(scale: &ExperimentScale) -> Result<String, SimError> {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn ablation_llt(scale: &ExperimentScale) -> Result<String, SimError> {
+pub fn ablation_llt(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let sizes = [8usize, 16, 32, 64, 128];
     let mut headers = vec!["bench".to_string()];
     headers.extend(sizes.iter().map(|s| format!("LLT={s}")));
     let mut table = Table::new(headers);
     for bench in [Benchmark::HashMap, Benchmark::RbTree, Benchmark::StringSwap] {
-        let params = scale.params(bench);
+        let params = ctx.scale.params(bench);
         let mut row = vec![bench.abbrev().to_string()];
         for size in sizes {
-            let sweep = sweep_schemes(
-                &scale.config().with_llt_entries(size, 8.min(size)),
+            let sweep = sweep_schemes_with(
+                &ctx.scale.config().with_llt_entries(size, 8.min(size)),
                 bench,
                 &params,
                 &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+                &ctx.opts,
             )?;
             row.push(f2(sweep.speedup(LoggingSchemeKind::Proteus)));
         }
@@ -480,9 +555,10 @@ pub fn ablation_llt(scale: &ExperimentScale) -> Result<String, SimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proteus_harness::json::{self, Json};
 
-    fn tiny() -> ExperimentScale {
-        ExperimentScale { scale: 0.001, threads: 2 }
+    fn tiny() -> ExperimentCtx {
+        ExperimentCtx::from_scale(ExperimentScale { scale: 0.001, threads: 2 })
     }
 
     #[test]
@@ -499,5 +575,44 @@ mod tests {
     fn table4_reports_all_benchmarks() {
         let out = table4(&tiny()).unwrap();
         assert_eq!(out.lines().count(), 2 + 1 + 6, "header+rule+6 rows:\n{out}");
+    }
+
+    /// Acceptance path for `reproduce fig6 --events <path>`: the figure
+    /// runs through the harness and narrates every job in the JSONL
+    /// event stream.
+    #[test]
+    fn fig6_streams_events_through_the_harness() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("proteus-bench-fig6-events-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut ctx = tiny();
+        ctx.opts.workers = 2;
+        ctx.opts.events = Some(path.clone());
+        let out = fig6(&ctx).unwrap();
+        assert!(out.contains("geomean"));
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<Json> =
+            text.lines().map(|l| json::parse(l).expect("event line parses")).collect();
+        let count = |k: &str| {
+            parsed.iter().filter(|v| v.get("event").and_then(Json::as_str) == Some(k)).count()
+        };
+        // One sweep per Table 2 benchmark, one job per scheme in each.
+        assert_eq!(count("sweep-start"), Benchmark::TABLE2.len());
+        assert_eq!(count("sweep-end"), Benchmark::TABLE2.len());
+        assert_eq!(count("job-end"), Benchmark::TABLE2.len() * LoggingSchemeKind::ALL.len());
+        assert!(parsed
+            .iter()
+            .filter(|v| v.get("event").and_then(Json::as_str) == Some("job-end"))
+            .all(|v| v.get("outcome").and_then(Json::as_str) == Some("completed")));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Identical contexts regenerate identical reports: the derived
+    /// workload seeds make whole figures reproducible end to end.
+    #[test]
+    fn fig6_is_deterministic_across_invocations() {
+        assert_eq!(fig6(&tiny()).unwrap(), fig6(&tiny()).unwrap());
     }
 }

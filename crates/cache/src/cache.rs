@@ -174,9 +174,7 @@ impl Cache {
     /// flush path: the copy stays valid but is no longer dirty).
     pub fn clean(&mut self, line: LineAddr) -> Option<LineData> {
         let set = self.set_index(line);
-        let w = self.sets[set]
-            .iter_mut()
-            .find(|w| w.tag == line.index() && w.dirty)?;
+        let w = self.sets[set].iter_mut().find(|w| w.tag == line.index() && w.dirty)?;
         w.dirty = false;
         self.stats.clwb_flushes += 1;
         Some(w.data)

@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn addresses() {
-        assert_eq!(
-            Uop::Load { addr: Addr::new(8), dependent: false }.addr(),
-            Some(Addr::new(8))
-        );
+        assert_eq!(Uop::Load { addr: Addr::new(8), dependent: false }.addr(), Some(Addr::new(8)));
         assert_eq!(Uop::Sfence.addr(), None);
         assert_eq!(
             Uop::LogLoad { lr: LogRegId(0), addr: Addr::new(0x20) }.addr(),

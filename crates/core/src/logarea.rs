@@ -110,9 +110,7 @@ impl LogArea {
         if self.entries_this_tx >= self.entries {
             return Err(SimError::LogAreaOverflow { thread: self.thread, capacity: self.entries });
         }
-        let slot = self
-            .base
-            .offset(self.head as u64 * proteus_types::addr::CACHE_LINE_SIZE);
+        let slot = self.base.offset(self.head as u64 * proteus_types::addr::CACHE_LINE_SIZE);
         self.head = (self.head + 1) % self.entries;
         let seq = self.seq;
         self.seq += 1;

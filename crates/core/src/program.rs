@@ -114,9 +114,7 @@ impl Program {
                             self.thread
                         )));
                     }
-                    hint_grains = Some(
-                        undo_hint.iter().map(|a| a.log_grain().index()).collect(),
-                    );
+                    hint_grains = Some(undo_hint.iter().map(|a| a.log_grain().index()).collect());
                 }
                 Op::TxEnd => {
                     if hint_grains.take().is_none() {

@@ -232,12 +232,7 @@ mod tests {
         ThreadId::new(0)
     }
 
-    fn put_entry(
-        image: &mut WordImage,
-        layout: &AddressLayout,
-        slot: usize,
-        entry: LogEntry,
-    ) {
+    fn put_entry(image: &mut WordImage, layout: &AddressLayout, slot: usize, entry: LogEntry) {
         entry.write_to(image, layout.log_slot(thread(), slot));
     }
 
@@ -256,12 +251,7 @@ mod tests {
         let data_addr = Addr::new(0x1000_0000);
         // Pre-tx value 7 in the log; crashed mid-update with 99 in place.
         img.write_word(data_addr, 99);
-        put_entry(
-            &mut img,
-            &layout,
-            0,
-            LogEntry::new([7, 0, 0, 0], data_addr, TxId::new(3), 0),
-        );
+        put_entry(&mut img, &layout, 0, LogEntry::new([7, 0, 0, 0], data_addr, TxId::new(3), 0));
         img.write_word(layout.log_flag(thread()), 3);
         let r = recover(&mut img, &layout, LoggingSchemeKind::SwPmem, &[thread()]).unwrap();
         assert_eq!(img.read_word(data_addr), 7);
@@ -321,8 +311,8 @@ mod tests {
         let b = Addr::new(0x1000_0100);
         img.write_word(a, 11); // committed by tx4 long ago
         img.write_word(b, 99); // in-flight update by tx5
-        // Stale escaped entry of committed tx4 (its marker was dropped
-        // when tx5's first entry arrived — the §4.3 protocol).
+                               // Stale escaped entry of committed tx4 (its marker was dropped
+                               // when tx5's first entry arrived — the §4.3 protocol).
         put_entry(&mut img, &layout, 0, LogEntry::new([1, 0, 0, 0], a, TxId::new(4), 0));
         // Live entry of crashed tx5.
         put_entry(&mut img, &layout, 1, LogEntry::new([60, 0, 0, 0], b, TxId::new(5), 1));

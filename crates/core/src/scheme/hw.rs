@@ -27,9 +27,7 @@ pub(super) fn expand_atom(program: &Program) -> Result<Trace, SimError> {
     for op in &program.ops {
         match op {
             Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
-            Op::ReadDep(addr) => {
-                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
-            }
+            Op::ReadDep(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: true }),
             Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
             Op::Write(addr, value) => {
                 trace.uops.push(Uop::Store { addr: *addr, value: *value });
@@ -56,10 +54,7 @@ pub(super) fn expand_atom(program: &Program) -> Result<Trace, SimError> {
     Ok(trace)
 }
 
-pub(super) fn expand_proteus(
-    program: &Program,
-    opts: &ExpandOptions,
-) -> Result<Trace, SimError> {
+pub(super) fn expand_proteus(program: &Program, opts: &ExpandOptions) -> Result<Trace, SimError> {
     if opts.log_registers == 0 {
         return Err(SimError::InvalidConfig("log_registers must be at least 1".into()));
     }
@@ -71,9 +66,7 @@ pub(super) fn expand_proteus(
     for op in &program.ops {
         match op {
             Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
-            Op::ReadDep(addr) => {
-                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
-            }
+            Op::ReadDep(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: true }),
             Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
             Op::Write(addr, value) => {
                 if current.is_some() {

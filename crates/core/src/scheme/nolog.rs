@@ -17,9 +17,7 @@ pub(super) fn expand(program: &Program) -> Result<Trace, SimError> {
     for op in &program.ops {
         match op {
             Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
-            Op::ReadDep(addr) => {
-                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
-            }
+            Op::ReadDep(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: true }),
             Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
             Op::Write(addr, value) => {
                 trace.uops.push(Uop::Store { addr: *addr, value: *value });

@@ -52,9 +52,7 @@ pub(super) fn expand(
     for op in &program.ops {
         match op {
             Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
-            Op::ReadDep(addr) => {
-                trace.uops.push(Uop::Load { addr: *addr, dependent: true })
-            }
+            Op::ReadDep(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: true }),
             Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
             Op::Write(addr, value) => {
                 trace.uops.push(Uop::Store { addr: *addr, value: *value });
@@ -79,17 +77,17 @@ pub(super) fn expand(
                     let grain_base = grain.base();
                     // Software reads the original data...
                     for w in 0..4u64 {
-                        trace.uops.push(Uop::Load { addr: grain_base.offset(w * 8), dependent: false });
+                        trace
+                            .uops
+                            .push(Uop::Load { addr: grain_base.offset(w * 8), dependent: false });
                     }
                     let (slot, seq) = area.alloc()?;
-                    let entry =
-                        LogEntry::new(image.read_grain(grain_base), grain_base, tx, seq);
+                    let entry = LogEntry::new(image.read_grain(grain_base), grain_base, tx, seq);
                     // ...then stores the 64 B entry word by word...
                     for (i, word) in entry.encode_words().iter().enumerate() {
-                        trace.uops.push(Uop::Store {
-                            addr: slot.offset(i as u64 * 8),
-                            value: *word,
-                        });
+                        trace
+                            .uops
+                            .push(Uop::Store { addr: slot.offset(i as u64 * 8), value: *word });
                     }
                     image.write_line(slot.line(), &entry.encode_words());
                     // ...and flushes the log line.

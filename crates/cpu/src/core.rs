@@ -91,7 +91,10 @@ enum UopState {
     /// ATOM store logging at the ROB head.
     Atom(AtomProgress),
     /// Proteus log-flush bookkeeping.
-    LogFlush { logq_id: Option<u64>, elided: bool },
+    LogFlush {
+        logq_id: Option<u64>,
+        elided: bool,
+    },
     /// Proteus log-load waiting on its grain fetch.
     LogLoad,
 }
@@ -297,8 +300,7 @@ impl Core {
         self.mshr.insert(line.index(), MshrEntry::default());
         let req_id = self.fresh_id();
         self.req_lines.insert(req_id, line);
-        self.out
-            .push((now + MISS_PATH_DELAY, McRequest::Read { line, req_id }));
+        self.out.push((now + MISS_PATH_DELAY, McRequest::Read { line, req_id }));
     }
 
     /// Advances the core by one cycle. `now` must increase by exactly one
@@ -515,9 +517,9 @@ impl Core {
             self.logq.mark_sent(id);
             // The flush micro-op has executed; it may now retire. The
             // LogQ entry lives on until the ack.
-            if let Some(idx) = self.rob.iter().position(|e| {
-                matches!(&e.state, UopState::LogFlush { logq_id: Some(q), .. } if *q == id)
-            }) {
+            if let Some(idx) = self.rob.iter().position(
+                |e| matches!(&e.state, UopState::LogFlush { logq_id: Some(q), .. } if *q == id),
+            ) {
                 let seq = self.rob[idx].seq;
                 if !self.rob[idx].completed {
                     self.complete_at(seq, now + 1);
@@ -546,10 +548,11 @@ impl Core {
             // Per-kind retirement gating.
             match uop {
                 Uop::Store { addr, .. } => {
-                    if self.scheme == LoggingSchemeKind::Atom && self.current_tx.is_some() {
-                        if !self.atom_retire_ready(addr, now, caches) {
-                            break;
-                        }
+                    if self.scheme == LoggingSchemeKind::Atom
+                        && self.current_tx.is_some()
+                        && !self.atom_retire_ready(addr, now, caches)
+                    {
+                        break;
                     }
                     if let Some(s) = self.storeq.iter_mut().find(|s| s.seq == seq) {
                         s.retired = true;
@@ -558,11 +561,7 @@ impl Core {
                     self.stats.stores += 1;
                 }
                 Uop::Clwb { addr } => {
-                    self.pending_clwbs.push(PendingClwb {
-                        addr,
-                        performed: false,
-                        ack_id: None,
-                    });
+                    self.pending_clwbs.push(PendingClwb { addr, performed: false, ack_id: None });
                     self.stats.clwbs += 1;
                 }
                 Uop::Sfence => {
@@ -581,10 +580,7 @@ impl Core {
                         UopState::Fence(p @ FenceProgress::Waiting) => {
                             *p = FenceProgress::Sent;
                             let commit_id = self.fresh_id();
-                            self.out.push((
-                                now + UNCACHED_DELAY,
-                                McRequest::Pcommit { commit_id },
-                            ));
+                            self.out.push((now + UNCACHED_DELAY, McRequest::Pcommit { commit_id }));
                             break;
                         }
                         UopState::Fence(FenceProgress::Sent) => break,
@@ -647,10 +643,8 @@ impl Core {
                     if !self.persist_drained() {
                         break;
                     }
-                    self.out.push((
-                        now + UNCACHED_DELAY,
-                        McRequest::DrainCoreLogs { core: self.id },
-                    ));
+                    self.out
+                        .push((now + UNCACHED_DELAY, McRequest::DrainCoreLogs { core: self.id }));
                     self.llt.clear();
                     self.fence_active = false;
                 }
@@ -686,9 +680,8 @@ impl Core {
                 // Any older unreleased store to this grain must be folded
                 // into the pre-store value (it is architecturally older).
                 let grain_base = grain.base();
-                let overlay_needed = (0..4).any(|i| {
-                    self.forwarded_word(grain_base.offset(i * 8), head_seq).is_some()
-                });
+                let overlay_needed = (0..4)
+                    .any(|i| self.forwarded_word(grain_base.offset(i * 8), head_seq).is_some());
                 let old_data = match caches.peek(self.id, addr) {
                     Some(data) => Some(self.grain_with_overlay(&data, grain, head_seq)),
                     None if overlay_needed => {
@@ -705,13 +698,7 @@ impl Core {
                 let tx = self.current_tx.expect("in transaction");
                 self.out.push((
                     now + UNCACHED_DELAY,
-                    McRequest::AtomLog {
-                        grain: grain_base,
-                        old_data,
-                        core: self.id,
-                        tx,
-                        log_id,
-                    },
+                    McRequest::AtomLog { grain: grain_base, old_data, core: self.id, tx, log_id },
                 ));
                 self.atom_acks_outstanding += 1;
                 self.atom_logged.insert(grain.index());
@@ -845,8 +832,7 @@ impl Core {
             }
         }
         if dispatched == 0 && self.pc < self.trace.uops.len() {
-            self.stats
-                .record_stall(stall.unwrap_or(StallCause::IssueQFull));
+            self.stats.record_stall(stall.unwrap_or(StallCause::IssueQFull));
         }
     }
 
@@ -1032,10 +1018,8 @@ impl Core {
                     return Err(StallCause::IssueQFull);
                 }
                 let lr = lr.0 as usize;
-                let grain = self
-                    .lrs
-                    .grain(lr)
-                    .expect("log-flush follows its log-load in program order");
+                let grain =
+                    self.lrs.grain(lr).expect("log-flush follows its log-load in program order");
                 if self.lrs.is_elided(lr) {
                     // LLT hit recorded at the log-load: complete
                     // immediately, no log-to address (§4.2). The LR
@@ -1093,4 +1077,3 @@ impl Core {
         }
     }
 }
-

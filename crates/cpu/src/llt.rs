@@ -65,11 +65,8 @@ impl Llt {
             return true;
         }
         if set.len() >= ways {
-            let (pos, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.lru)
-                .expect("full set nonempty");
+            let (pos, _) =
+                set.iter().enumerate().min_by_key(|(_, w)| w.lru).expect("full set nonempty");
             set.swap_remove(pos);
         }
         set.push(LltWay { grain: grain.index(), lru: clock });

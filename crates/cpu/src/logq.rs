@@ -23,7 +23,11 @@ enum LrState {
     /// Allocated by a `log-load`; `data` is `None` until the load
     /// completes. `elided` records an LLT hit at the log-load: the whole
     /// pair completes immediately and no data is ever loaded (§4.2).
-    Pending { grain: LogGrainAddr, data: Option<[u64; 4]>, elided: bool },
+    Pending {
+        grain: LogGrainAddr,
+        data: Option<[u64; 4]>,
+        elided: bool,
+    },
 }
 
 /// The log register file (Table 1: 8 registers).

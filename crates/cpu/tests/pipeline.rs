@@ -88,7 +88,8 @@ fn data_region_diff(a: &WordImage, b: &WordImage, layout: &AddressLayout) -> Vec
     a.diff(b)
         .into_iter()
         .filter(|addr| {
-            layout.log_area_owner(*addr).is_none() && *addr < layout.log_base
+            layout.log_area_owner(*addr).is_none()
+                && *addr < layout.log_base
                 && !(layout.log_header_base <= *addr
                     && *addr < layout.log_header_base.offset(64 * 16))
         })
@@ -171,10 +172,7 @@ fn proteus_drops_log_writes_atom_does_not() {
     let mut nolwr = build(LoggingSchemeKind::ProteusNoLwr, &program, &initial);
     nolwr.run_to_completion();
     nolwr.drain_mc();
-    assert!(
-        nolwr.mc.stats().nvmm_log_writes > 0,
-        "NoLWR drains log entries to NVMM"
-    );
+    assert!(nolwr.mc.stats().nvmm_log_writes > 0, "NoLWR drains log entries to NVMM");
 }
 
 #[test]
@@ -264,9 +262,7 @@ fn crash_recovery_is_atomic_at_every_probe_point() {
         for k in 0..24 {
             let crash_cycle = total * k / 23 + 1;
             let recovered = crash_and_recover(scheme, &program, &initial, crash_cycle);
-            let ok = states.iter().any(|s| {
-                data_region_diff(&recovered, s, &layout()).is_empty()
-            });
+            let ok = states.iter().any(|s| data_region_diff(&recovered, s, &layout()).is_empty());
             assert!(
                 ok,
                 "{scheme:?}: crash at {crash_cycle}/{total} recovered to a state \
@@ -300,10 +296,7 @@ fn front_end_stalls_higher_for_atom_than_proteus() {
     };
     let atom = stalls(LoggingSchemeKind::Atom);
     let proteus = stalls(LoggingSchemeKind::Proteus);
-    assert!(
-        atom > proteus,
-        "ATOM must stall the front-end more than Proteus: {atom} <= {proteus}"
-    );
+    assert!(atom > proteus, "ATOM must stall the front-end more than Proteus: {atom} <= {proteus}");
 }
 
 #[test]
@@ -317,10 +310,7 @@ fn id_encoding_roundtrips_across_cores() {
         }
     }
     // Distinct cores never collide even with equal locals.
-    assert_ne!(
-        encode_id(CoreId::new(0), 7),
-        encode_id(CoreId::new(1), 7)
-    );
+    assert_ne!(encode_id(CoreId::new(0), 7), encode_id(CoreId::new(1), 7));
 }
 
 #[test]
@@ -337,15 +327,11 @@ fn log_save_forces_log_entries_to_nvmm() {
     p.tx_end();
     let layout_v = layout();
     let opts = ExpandOptions { initial_image: initial.clone(), ..Default::default() };
-    let mut trace =
-        expand_program_with(&p, LoggingSchemeKind::Proteus, &layout_v, &opts).unwrap();
+    let mut trace = expand_program_with(&p, LoggingSchemeKind::Proteus, &layout_v, &opts).unwrap();
     // Splice a log-save between the flush and the commit: the entry must
     // hit NVMM even though the transaction later flash-clears.
-    let store_pos = trace
-        .uops
-        .iter()
-        .position(|u| matches!(u, proteus_core::isa::Uop::Store { .. }))
-        .unwrap();
+    let store_pos =
+        trace.uops.iter().position(|u| matches!(u, proteus_core::isa::Uop::Store { .. })).unwrap();
     trace.uops.insert(store_pos, proteus_core::isa::Uop::LogSave);
 
     let cfg = SystemConfig::skylake_like().with_num_cores(1);
@@ -356,7 +342,8 @@ fn log_save_forces_log_entries_to_nvmm() {
         proteus_mem::LogDrainMode::KeepUntilCommit,
     );
     mc.load_image(initial);
-    let core = proteus_cpu::Core::new(CoreId::new(0), &cfg, LoggingSchemeKind::Proteus, &layout_v, trace);
+    let core =
+        proteus_cpu::Core::new(CoreId::new(0), &cfg, LoggingSchemeKind::Proteus, &layout_v, trace);
     let mut rig = Rig { core, caches, mc, inbox: Vec::new(), now: 0 };
     rig.run_to_completion();
     rig.drain_mc();

@@ -1,0 +1,250 @@
+//! Structured telemetry event stream.
+//!
+//! When a sweep is given an events path, the harness appends one JSON
+//! Lines record per lifecycle transition: `sweep-start`, `job-start`,
+//! `job-retry`, `job-resumed`, `job-end`, `sweep-end`. Events carry
+//! monotonic timestamps (seconds since sweep start), queue depth and
+//! busy-worker gauges, and — for finished jobs — the job's progress
+//! metric (simulated cycles) plus the derived metric-per-wall-second
+//! rate, so throughput regressions show up directly in the stream.
+//!
+//! The stream is observability, not state: the resume ledger is the
+//! source of truth, and event-write failures surface as errors only at
+//! open time; per-event write failures are counted but do not abort a
+//! multi-hour sweep.
+
+use crate::json::Json;
+use proteus_types::{JobOutcome, SimError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Event stream format version.
+pub const EVENTS_VERSION: u64 = 1;
+
+/// Queue/worker occupancy attached to job events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Jobs not yet claimed by any worker.
+    pub queue_depth: usize,
+    /// Workers currently executing a job.
+    pub busy_workers: usize,
+}
+
+/// Append-side handle for a telemetry event stream.
+pub struct EventSink {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    start: Instant,
+    /// Events dropped because a write failed (reported at sweep end).
+    pub dropped: u64,
+}
+
+impl EventSink {
+    /// Opens `path` for appending, creating parents as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HarnessIo`] on any filesystem failure.
+    pub fn open(path: &Path) -> Result<EventSink, SimError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    SimError::HarnessIo(format!(
+                        "cannot create events directory {}: {e}",
+                        parent.display()
+                    ))
+                })?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path).map_err(|e| {
+            SimError::HarnessIo(format!("cannot open events file {}: {e}", path.display()))
+        })?;
+        Ok(EventSink {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+            start: Instant::now(),
+            dropped: 0,
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn emit(&mut self, event: &'static str, mut pairs: Vec<(&'static str, Json)>) {
+        let mut all = vec![
+            ("v", Json::U64(EVENTS_VERSION)),
+            ("event", Json::str(event)),
+            ("t", Json::F64(self.start.elapsed().as_secs_f64())),
+        ];
+        all.append(&mut pairs);
+        let line = Json::obj(all).to_line();
+        let ok = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .is_ok();
+        if !ok {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records the start of a sweep.
+    pub fn sweep_start(&mut self, total_jobs: usize, skipped: usize, workers: usize) {
+        self.emit(
+            "sweep-start",
+            vec![
+                ("total_jobs", Json::U64(total_jobs as u64)),
+                ("resumed_jobs", Json::U64(skipped as u64)),
+                ("workers", Json::U64(workers as u64)),
+            ],
+        );
+    }
+
+    /// Records a job being skipped because the resume ledger already
+    /// holds a completed record for its spec hash.
+    pub fn job_resumed(&mut self, name: &str, spec_hash: u64) {
+        self.emit(
+            "job-resumed",
+            vec![("job", Json::str(name)), ("spec_hash", Json::str(format!("{spec_hash:016x}")))],
+        );
+    }
+
+    /// Records a worker claiming a job.
+    pub fn job_start(&mut self, name: &str, spec_hash: u64, worker: usize, g: Gauges) {
+        self.emit(
+            "job-start",
+            vec![
+                ("job", Json::str(name)),
+                ("spec_hash", Json::str(format!("{spec_hash:016x}"))),
+                ("worker", Json::U64(worker as u64)),
+                ("queue_depth", Json::U64(g.queue_depth as u64)),
+                ("busy_workers", Json::U64(g.busy_workers as u64)),
+            ],
+        );
+    }
+
+    /// Records an attempt failing with retries remaining.
+    pub fn job_retry(&mut self, name: &str, attempt: u32, outcome: &JobOutcome) {
+        self.emit(
+            "job-retry",
+            vec![
+                ("job", Json::str(name)),
+                ("attempt", Json::U64(u64::from(attempt))),
+                ("outcome", Json::str(outcome.label())),
+                ("message", Json::str(outcome.message().unwrap_or(""))),
+            ],
+        );
+    }
+
+    /// Records a job reaching a terminal outcome. `metric` is the job's
+    /// progress measure (simulated cycles for experiment jobs); the
+    /// sink derives `metric_per_s` from it and the attempt wall time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn job_end(
+        &mut self,
+        name: &str,
+        spec_hash: u64,
+        outcome: &JobOutcome,
+        attempts: u32,
+        wall_seconds: f64,
+        metric: u64,
+        g: Gauges,
+    ) {
+        let rate = if wall_seconds > 0.0 { metric as f64 / wall_seconds } else { 0.0 };
+        let mut pairs = vec![
+            ("job", Json::str(name)),
+            ("spec_hash", Json::str(format!("{spec_hash:016x}"))),
+            ("outcome", Json::str(outcome.label())),
+        ];
+        if let Some(msg) = outcome.message() {
+            pairs.push(("message", Json::str(msg)));
+        }
+        pairs.extend([
+            ("attempts", Json::U64(u64::from(attempts))),
+            ("wall_seconds", Json::F64(wall_seconds)),
+            ("metric", Json::U64(metric)),
+            ("metric_per_s", Json::F64(rate)),
+            ("queue_depth", Json::U64(g.queue_depth as u64)),
+            ("busy_workers", Json::U64(g.busy_workers as u64)),
+        ]);
+        self.emit("job-end", pairs);
+    }
+
+    /// Records sweep completion with aggregate counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_end(
+        &mut self,
+        executed: usize,
+        resumed: usize,
+        completed: usize,
+        failed: usize,
+        crashed: usize,
+        wall_seconds: f64,
+        total_metric: u64,
+    ) {
+        let rate = if wall_seconds > 0.0 { total_metric as f64 / wall_seconds } else { 0.0 };
+        let dropped = self.dropped;
+        self.emit(
+            "sweep-end",
+            vec![
+                ("executed", Json::U64(executed as u64)),
+                ("resumed", Json::U64(resumed as u64)),
+                ("completed", Json::U64(completed as u64)),
+                ("failed", Json::U64(failed as u64)),
+                ("crashed", Json::U64(crashed as u64)),
+                ("wall_seconds", Json::F64(wall_seconds)),
+                ("metric", Json::U64(total_metric)),
+                ("metric_per_s", Json::F64(rate)),
+                ("dropped_events", Json::U64(dropped)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn events_are_valid_jsonl_in_lifecycle_order() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("proteus-events-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = EventSink::open(&path).unwrap();
+            let g = Gauges { queue_depth: 2, busy_workers: 1 };
+            sink.sweep_start(3, 1, 4);
+            sink.job_resumed("a/b", 0x11);
+            sink.job_start("c/d", 0x22, 0, g);
+            sink.job_retry("c/d", 1, &JobOutcome::Crashed { panic: "boom".into() });
+            sink.job_end("c/d", 0x22, &JobOutcome::Completed, 2, 0.5, 1000, g);
+            sink.sweep_end(2, 1, 2, 0, 0, 1.0, 2000);
+            assert_eq!(sink.dropped, 0);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<Json> =
+            text.lines().map(|l| json::parse(l).expect("each event parses")).collect();
+        let kinds: Vec<&str> =
+            lines.iter().map(|v| v.get("event").unwrap().as_str().unwrap()).collect();
+        assert_eq!(
+            kinds,
+            ["sweep-start", "job-resumed", "job-start", "job-retry", "job-end", "sweep-end"]
+        );
+        let end = &lines[4];
+        assert_eq!(end.get("metric").unwrap().as_u64(), Some(1000));
+        assert_eq!(end.get("metric_per_s").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(end.get("attempts").unwrap().as_u64(), Some(2));
+        let summary = &lines[5];
+        assert_eq!(summary.get("metric_per_s").unwrap().as_f64(), Some(2000.0));
+        // Timestamps are monotonic.
+        let ts: Vec<f64> = lines.iter().map(|v| v.get("t").unwrap().as_f64().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! Experiment orchestration for the Proteus NVM logging simulator.
+//!
+//! A full reproduction sweep is hundreds of simulator runs, each
+//! minutes long at paper scale. This crate owns the machinery that
+//! makes such sweeps practical:
+//!
+//! - **Scheduling** ([`scheduler`]): a shared-queue worker pool with a
+//!   configurable width and input-order result collection.
+//! - **Panic isolation**: each job attempt runs under `catch_unwind`;
+//!   a crashing experiment is recorded as
+//!   [`proteus_types::JobOutcome::Crashed`] (with bounded retry)
+//!   instead of killing its siblings.
+//! - **Resumable ledger** ([`ledger`]): a JSON Lines checkpoint keyed
+//!   by the experiment's stable spec hash
+//!   ([`proteus_types::StableHash`]), appended and flushed as each job
+//!   finishes. Re-running the sweep with the same ledger skips
+//!   already-completed jobs and restores their payloads.
+//! - **Telemetry** ([`events`]): a structured JSON Lines event stream
+//!   (job start/retry/end, simulated cycles, sim-cycles-per-second,
+//!   queue depth, busy workers) plus a human progress line.
+//!
+//! The crate depends only on `std` and `proteus-types`: it is the
+//! layer that must not fail, so it takes no dependencies that could
+//! be missing (offline builds) or could themselves panic.
+//!
+//! # Example
+//!
+//! ```
+//! use proteus_harness::{Harness, JobSpec, SweepOptions};
+//!
+//! let jobs: Vec<JobSpec> =
+//!     (0..4).map(|i| JobSpec::new(format!("double/{i}"), 0xC0FFEE + i)).collect();
+//! let report = Harness::<u64>::new()
+//!     .run(&jobs, &SweepOptions::default(), |i| Ok(i as u64 * 2))
+//!     .unwrap();
+//! assert!(report.is_all_completed());
+//! assert_eq!(report.results[3].payload, Some(6));
+//! ```
+
+pub mod events;
+pub mod json;
+pub mod ledger;
+pub mod report;
+pub mod scheduler;
+
+pub use events::{EventSink, Gauges};
+pub use json::Json;
+pub use ledger::{LedgerRecord, LedgerSnapshot, LedgerWriter};
+pub use report::human_rate;
+pub use scheduler::{Harness, JobResult, JobSpec, PayloadCodec, SweepOptions, SweepReport};

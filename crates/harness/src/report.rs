@@ -1,0 +1,32 @@
+//! Human-readable formatting helpers for progress and summary lines.
+
+/// Formats a rate with an SI suffix: `1234.0` → `"1.23k"`,
+/// `2_500_000.0` → `"2.50M"`. Values below 1000 keep one decimal.
+pub fn human_rate(rate: f64) -> String {
+    if !rate.is_finite() || rate < 0.0 {
+        return "0.0".to_string();
+    }
+    const STEPS: [(f64, &str); 3] = [(1e9, "G"), (1e6, "M"), (1e3, "k")];
+    for (scale, suffix) in STEPS {
+        if rate >= scale {
+            return format!("{:.2}{suffix}", rate / scale);
+        }
+    }
+    format!("{rate:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::human_rate;
+
+    #[test]
+    fn rates_pick_si_suffixes() {
+        assert_eq!(human_rate(0.0), "0.0");
+        assert_eq!(human_rate(999.4), "999.4");
+        assert_eq!(human_rate(1_234.0), "1.23k");
+        assert_eq!(human_rate(2_500_000.0), "2.50M");
+        assert_eq!(human_rate(7.5e9), "7.50G");
+        assert_eq!(human_rate(f64::NAN), "0.0");
+        assert_eq!(human_rate(-5.0), "0.0");
+    }
+}

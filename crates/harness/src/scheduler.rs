@@ -1,0 +1,741 @@
+//! Job scheduler: worker pool, panic isolation, retries, resume.
+//!
+//! A sweep is a list of [`JobSpec`]s plus a closure that executes one
+//! job by index. The harness runs jobs on a shared-queue worker pool
+//! (configurable width, default = available parallelism), catches
+//! panics per attempt so one crashing experiment cannot take down its
+//! siblings, retries crashed attempts up to a bounded budget, and —
+//! when given a ledger path — checkpoints every terminal outcome so an
+//! interrupted sweep can resume, skipping exactly the jobs whose spec
+//! hash already completed.
+//!
+//! The scheduler is deliberately free of third-party dependencies:
+//! `std::thread::scope` for the pool, a `Mutex<VecDeque>` for the
+//! queue, and an `mpsc` channel feeding a single coordinator (the
+//! calling thread) that owns all file I/O. Workers never touch the
+//! ledger or event stream, so output records are never interleaved.
+
+use crate::events::{EventSink, Gauges};
+use crate::json::Json;
+use crate::ledger::{LedgerRecord, LedgerSnapshot, LedgerWriter};
+use crate::report::human_rate;
+use proteus_types::{JobOutcome, SimError};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// Identity of one schedulable job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Human-readable name (`<bench>/<scheme>` for experiment jobs).
+    pub name: String,
+    /// Stable structural hash of the full experiment spec; the resume
+    /// key. Two jobs with equal hashes are the same experiment.
+    pub spec_hash: u64,
+}
+
+impl JobSpec {
+    /// Builds a job spec.
+    pub fn new(name: impl Into<String>, spec_hash: u64) -> JobSpec {
+        JobSpec { name: name.into(), spec_hash }
+    }
+}
+
+/// Serialisation bridge between a job's payload type and the ledger's
+/// JSON records. Plain function pointers so the codec is `Copy` and
+/// trivially shareable across threads.
+pub struct PayloadCodec<T> {
+    /// Encodes a payload for the ledger.
+    pub encode: fn(&T) -> Json,
+    /// Decodes a ledger payload; `None` marks an unreadable record,
+    /// which makes the job re-run instead of resuming.
+    pub decode: fn(&Json) -> Option<T>,
+}
+
+impl<T> Clone for PayloadCodec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PayloadCodec<T> {}
+
+/// Knobs for one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means available parallelism. Always clamped
+    /// to the job count.
+    pub workers: usize,
+    /// Extra attempts for a job whose attempt *panicked*. Clean `Err`
+    /// returns are deterministic simulator errors and never retried.
+    pub max_retries: u32,
+    /// Resume ledger path. Completed jobs found here are skipped;
+    /// every terminal outcome of this run is appended.
+    pub ledger: Option<PathBuf>,
+    /// Telemetry event stream path (JSON Lines, append).
+    pub events: Option<PathBuf>,
+    /// Emit a human progress line to stderr per finished job.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { workers: 0, max_retries: 1, ledger: None, events: None, progress: false }
+    }
+}
+
+/// Terminal state of one job after a sweep.
+#[derive(Debug, Clone)]
+pub struct JobResult<T> {
+    /// Job name, as given in the [`JobSpec`].
+    pub name: String,
+    /// Spec hash, as given in the [`JobSpec`].
+    pub spec_hash: u64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Payload for completed jobs.
+    pub payload: Option<T>,
+    /// Attempts consumed this run (0 when resumed from the ledger).
+    pub attempts: u32,
+    /// Wall-clock seconds across this run's attempts (0 when resumed).
+    pub wall_seconds: f64,
+    /// Whether the result was restored from the ledger rather than
+    /// executed.
+    pub resumed: bool,
+}
+
+/// Aggregate result of a sweep. `results` is in input-job order.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// Per-job results, index-aligned with the input jobs.
+    pub results: Vec<JobResult<T>>,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs actually executed this run.
+    pub executed: usize,
+    /// Jobs skipped via the resume ledger.
+    pub resumed: usize,
+    /// Jobs (executed or resumed) that completed.
+    pub completed: usize,
+    /// Jobs that ended failed.
+    pub failed: usize,
+    /// Jobs that ended crashed.
+    pub crashed: usize,
+    /// Sum of the progress metric over executed completed jobs.
+    pub total_metric: u64,
+    /// Sum of per-job wall seconds over executed jobs (for worker
+    /// utilisation: `busy_seconds / (workers * wall_seconds)`).
+    pub busy_seconds: f64,
+}
+
+impl<T> SweepReport<T> {
+    /// Whether every job completed.
+    pub fn is_all_completed(&self) -> bool {
+        self.failed == 0 && self.crashed == 0
+    }
+
+    /// The first non-completed job in input order, if any.
+    pub fn first_failure(&self) -> Option<&JobResult<T>> {
+        self.results.iter().find(|r| !r.outcome.is_completed())
+    }
+
+    /// Fraction of worker capacity spent executing jobs, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.workers as f64 * self.wall_seconds;
+        if capacity > 0.0 {
+            (self.busy_seconds / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human summary of the sweep.
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "{} jobs in {:.2}s on {} workers ({:.0}% util): {} completed",
+            self.results.len(),
+            self.wall_seconds,
+            self.workers,
+            self.utilization() * 100.0,
+            self.completed,
+        );
+        if self.resumed > 0 {
+            line.push_str(&format!(" ({} resumed)", self.resumed));
+        }
+        if self.failed > 0 {
+            line.push_str(&format!(", {} failed", self.failed));
+        }
+        if self.crashed > 0 {
+            line.push_str(&format!(", {} crashed", self.crashed));
+        }
+        if self.total_metric > 0 && self.wall_seconds > 0.0 {
+            line.push_str(&format!(
+                ", {} sim-cycles/s",
+                human_rate(self.total_metric as f64 / self.wall_seconds)
+            ));
+        }
+        line
+    }
+}
+
+/// A configured sweep executor for payloads of type `T`.
+pub struct Harness<T> {
+    codec: Option<PayloadCodec<T>>,
+    metric: fn(&T) -> u64,
+}
+
+impl<T> Default for Harness<T> {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+/// Messages from workers to the coordinator.
+enum Msg<T> {
+    Started {
+        index: usize,
+        worker: usize,
+        gauges: Gauges,
+    },
+    Retry {
+        index: usize,
+        attempt: u32,
+        outcome: JobOutcome,
+    },
+    Finished {
+        index: usize,
+        outcome: JobOutcome,
+        payload: Option<T>,
+        attempts: u32,
+        wall_seconds: f64,
+        gauges: Gauges,
+    },
+}
+
+impl<T> Harness<T> {
+    /// A harness with no codec (in-memory sweeps only) and a zero
+    /// metric.
+    pub fn new() -> Harness<T> {
+        Harness { codec: None, metric: |_| 0 }
+    }
+
+    /// Sets the payload codec, enabling ledger checkpoint/resume.
+    pub fn with_codec(mut self, codec: PayloadCodec<T>) -> Harness<T> {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// Sets the progress metric extracted from completed payloads
+    /// (simulated cycles for experiment jobs).
+    pub fn with_metric(mut self, metric: fn(&T) -> u64) -> Harness<T> {
+        self.metric = metric;
+        self
+    }
+}
+
+impl<T: Send> Harness<T> {
+    /// Runs `jobs` through `run_job` under `opts`.
+    ///
+    /// `run_job` receives the job's index into `jobs` and returns the
+    /// payload or a rendered error message. Panics inside `run_job` are
+    /// caught and recorded as [`JobOutcome::Crashed`]; they never
+    /// propagate.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures ([`SimError::HarnessIo`]) are
+    /// errors; job failures are reported in the returned
+    /// [`SweepReport`].
+    pub fn run<F>(
+        &self,
+        jobs: &[JobSpec],
+        opts: &SweepOptions,
+        run_job: F,
+    ) -> Result<SweepReport<T>, SimError>
+    where
+        F: Fn(usize) -> Result<T, String> + Sync,
+    {
+        let codec = match (&opts.ledger, self.codec) {
+            (Some(_), None) => {
+                return Err(SimError::HarnessIo(
+                    "a resume ledger requires a payload codec (Harness::with_codec)".to_string(),
+                ))
+            }
+            (_, codec) => codec,
+        };
+        let sweep_start = Instant::now();
+
+        // -- Resume: restore completed jobs from the ledger. ----------
+        let snapshot = match &opts.ledger {
+            Some(path) => LedgerSnapshot::load(path)?,
+            None => LedgerSnapshot::default(),
+        };
+        let mut slots: Vec<Option<JobResult<T>>> = Vec::with_capacity(jobs.len());
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let restored = snapshot.completed(job.spec_hash).and_then(|rec| {
+                let codec = codec?;
+                let payload = (codec.decode)(&rec.payload)?;
+                Some(JobResult {
+                    name: job.name.clone(),
+                    spec_hash: job.spec_hash,
+                    outcome: JobOutcome::Completed,
+                    payload: Some(payload),
+                    attempts: 0,
+                    wall_seconds: 0.0,
+                    resumed: true,
+                })
+            });
+            match restored {
+                Some(result) => slots.push(Some(result)),
+                None => {
+                    pending.push_back(i);
+                    slots.push(None);
+                }
+            }
+        }
+        let resumed = jobs.len() - pending.len();
+        let to_execute = pending.len();
+
+        let workers = resolve_workers(opts.workers, to_execute);
+
+        let mut ledger = match &opts.ledger {
+            Some(path) => Some(LedgerWriter::append(path)?),
+            None => None,
+        };
+        let mut events = match &opts.events {
+            Some(path) => Some(EventSink::open(path)?),
+            None => None,
+        };
+        if let Some(sink) = events.as_mut() {
+            sink.sweep_start(jobs.len(), resumed, workers);
+            for (i, job) in jobs.iter().enumerate() {
+                if slots[i].is_some() {
+                    sink.job_resumed(&job.name, job.spec_hash);
+                }
+            }
+        }
+
+        // -- Execute. -------------------------------------------------
+        let queue = Mutex::new(pending);
+        let busy = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Msg<T>>();
+        let max_attempts = opts.max_retries.saturating_add(1);
+        let mut io_error: Option<SimError> = None;
+        let mut report_counts = (0usize, 0u64, 0f64); // finished, metric, busy_seconds
+
+        std::thread::scope(|scope| {
+            for worker_id in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                let busy = &busy;
+                let run_job = &run_job;
+                scope.spawn(move || {
+                    loop {
+                        let Some(index) = queue.lock().expect("queue lock").pop_front() else {
+                            break;
+                        };
+                        let now_busy = busy.fetch_add(1, Ordering::SeqCst) + 1;
+                        let gauges = Gauges {
+                            queue_depth: queue.lock().expect("queue lock").len(),
+                            busy_workers: now_busy,
+                        };
+                        if tx.send(Msg::Started { index, worker: worker_id, gauges }).is_err() {
+                            break;
+                        }
+                        let started = Instant::now();
+                        let mut attempts = 0u32;
+                        let (outcome, payload) = loop {
+                            attempts += 1;
+                            match catch_unwind(AssertUnwindSafe(|| run_job(index))) {
+                                Ok(Ok(payload)) => break (JobOutcome::Completed, Some(payload)),
+                                Ok(Err(error)) => {
+                                    // Clean errors are deterministic;
+                                    // retrying cannot help.
+                                    break (JobOutcome::Failed { error }, None);
+                                }
+                                Err(panic_payload) => {
+                                    let outcome = JobOutcome::Crashed {
+                                        panic: panic_message(panic_payload.as_ref()),
+                                    };
+                                    if attempts < max_attempts {
+                                        let _ = tx.send(Msg::Retry {
+                                            index,
+                                            attempt: attempts,
+                                            outcome,
+                                        });
+                                        continue;
+                                    }
+                                    break (outcome, None);
+                                }
+                            }
+                        };
+                        let wall_seconds = started.elapsed().as_secs_f64();
+                        let now_busy = busy.fetch_sub(1, Ordering::SeqCst) - 1;
+                        let gauges = Gauges {
+                            queue_depth: queue.lock().expect("queue lock").len(),
+                            busy_workers: now_busy,
+                        };
+                        let _ = tx.send(Msg::Finished {
+                            index,
+                            outcome,
+                            payload,
+                            attempts,
+                            wall_seconds,
+                            gauges,
+                        });
+                    }
+                });
+            }
+            drop(tx);
+
+            // -- Coordinate: single owner of ledger/events/stderr. ----
+            let mut finished = 0usize;
+            while finished < to_execute {
+                let Ok(msg) = rx.recv() else { break };
+                match msg {
+                    Msg::Started { index, worker, gauges } => {
+                        let job = &jobs[index];
+                        if let Some(sink) = events.as_mut() {
+                            sink.job_start(&job.name, job.spec_hash, worker, gauges);
+                        }
+                    }
+                    Msg::Retry { index, attempt, outcome } => {
+                        let job = &jobs[index];
+                        if let Some(sink) = events.as_mut() {
+                            sink.job_retry(&job.name, attempt, &outcome);
+                        }
+                        if opts.progress {
+                            eprintln!(
+                                "[harness] retrying {} after attempt {attempt} {outcome}",
+                                job.name
+                            );
+                        }
+                    }
+                    Msg::Finished { index, outcome, payload, attempts, wall_seconds, gauges } => {
+                        finished += 1;
+                        let job = &jobs[index];
+                        let metric = payload.as_ref().map(self.metric).unwrap_or(0);
+                        if let Some(w) = ledger.as_mut() {
+                            let encoded = match (&payload, codec) {
+                                (Some(p), Some(c)) => (c.encode)(p),
+                                _ => Json::Null,
+                            };
+                            let record = LedgerRecord {
+                                spec_hash: job.spec_hash,
+                                name: job.name.clone(),
+                                outcome: outcome.clone(),
+                                attempts,
+                                wall_seconds,
+                                payload: encoded,
+                            };
+                            if let Err(e) = w.record(&record) {
+                                // Losing the checkpoint is fatal for the
+                                // sweep's contract. Stop dispatching new
+                                // jobs; in-flight ones drain.
+                                if io_error.is_none() {
+                                    io_error = Some(e);
+                                    queue.lock().expect("queue lock").clear();
+                                }
+                            }
+                        }
+                        if let Some(sink) = events.as_mut() {
+                            sink.job_end(
+                                &job.name,
+                                job.spec_hash,
+                                &outcome,
+                                attempts,
+                                wall_seconds,
+                                metric,
+                                gauges,
+                            );
+                        }
+                        if opts.progress {
+                            let done = finished + resumed;
+                            let rate = if wall_seconds > 0.0 && metric > 0 {
+                                format!(
+                                    ", {} sim-cycles/s",
+                                    human_rate(metric as f64 / wall_seconds)
+                                )
+                            } else {
+                                String::new()
+                            };
+                            eprintln!(
+                                "[harness {done}/{}] {} {} in {wall_seconds:.2}s{rate}",
+                                jobs.len(),
+                                outcome.label(),
+                                job.name,
+                            );
+                        }
+                        report_counts.0 += 1;
+                        report_counts.1 += metric;
+                        report_counts.2 += wall_seconds;
+                        slots[index] = Some(JobResult {
+                            name: job.name.clone(),
+                            spec_hash: job.spec_hash,
+                            outcome,
+                            payload,
+                            attempts,
+                            wall_seconds,
+                            resumed: false,
+                        });
+                    }
+                }
+            }
+        });
+
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+
+        // Every pending job sent exactly one `Finished`, every resumed
+        // slot was filled up front; a hole here is a scheduler bug.
+        let results: Vec<JobResult<T>> = slots
+            .into_iter()
+            .map(|slot| slot.expect("scheduler invariant: every job reaches a terminal outcome"))
+            .collect();
+
+        let wall_seconds = sweep_start.elapsed().as_secs_f64();
+        let completed = results.iter().filter(|r| r.outcome.is_completed()).count();
+        let failed =
+            results.iter().filter(|r| matches!(r.outcome, JobOutcome::Failed { .. })).count();
+        let crashed =
+            results.iter().filter(|r| matches!(r.outcome, JobOutcome::Crashed { .. })).count();
+        let report = SweepReport {
+            results,
+            wall_seconds,
+            workers,
+            executed: report_counts.0,
+            resumed,
+            completed,
+            failed,
+            crashed,
+            total_metric: report_counts.1,
+            busy_seconds: report_counts.2,
+        };
+        if let Some(sink) = events.as_mut() {
+            sink.sweep_end(
+                report.executed,
+                report.resumed,
+                report.completed,
+                report.failed,
+                report.crashed,
+                report.wall_seconds,
+                report.total_metric,
+            );
+        }
+        if opts.progress {
+            eprintln!("[harness] {}", report.summary_line());
+        }
+        Ok(report)
+    }
+}
+
+fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let auto =
+        || std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let width = if requested == 0 { auto() } else { requested };
+    width.clamp(1, jobs.max(1))
+}
+
+/// Renders a caught panic payload. `panic!("...")` yields `&str`,
+/// `panic!("{x}")` yields `String`; anything else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn u64_codec() -> PayloadCodec<u64> {
+        PayloadCodec { encode: |v| Json::U64(*v), decode: Json::as_u64 }
+    }
+
+    fn jobs(n: usize) -> Vec<JobSpec> {
+        (0..n).map(|i| JobSpec::new(format!("job-{i}"), 0x1000 + i as u64)).collect()
+    }
+
+    fn quiet(workers: usize) -> SweepOptions {
+        SweepOptions { workers, max_retries: 0, ..SweepOptions::default() }
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let harness = Harness::<u64>::new();
+        let report = harness.run(&jobs(16), &quiet(4), |i| Ok(i as u64 * 10)).unwrap();
+        assert_eq!(report.executed, 16);
+        assert!(report.is_all_completed());
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.payload, Some(i as u64 * 10));
+            assert_eq!(r.name, format!("job-{i}"));
+            assert!(!r.resumed);
+            assert_eq!(r.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_and_siblings_complete() {
+        let harness = Harness::<u64>::new();
+        let report = harness
+            .run(&jobs(8), &quiet(3), |i| {
+                if i == 5 {
+                    panic!("injected crash in job {i}");
+                }
+                Ok(i as u64)
+            })
+            .unwrap();
+        assert_eq!(report.completed, 7);
+        assert_eq!(report.crashed, 1);
+        let crashed = &report.results[5];
+        assert_eq!(crashed.outcome.label(), "crashed");
+        assert!(crashed.outcome.message().unwrap().contains("injected crash in job 5"));
+        assert!(crashed.payload.is_none());
+        let first = report.first_failure().unwrap();
+        assert_eq!(first.name, "job-5");
+    }
+
+    #[test]
+    fn crashed_attempts_retry_up_to_budget() {
+        let calls = AtomicU32::new(0);
+        let harness = Harness::<u64>::new();
+        let opts = SweepOptions { workers: 1, max_retries: 2, ..SweepOptions::default() };
+        let report = harness
+            .run(&jobs(1), &opts, |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                panic!("always");
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        assert_eq!(report.results[0].attempts, 3);
+        assert_eq!(report.crashed, 1);
+    }
+
+    #[test]
+    fn transient_panic_recovers_via_retry() {
+        let calls = AtomicU32::new(0);
+        let harness = Harness::<u64>::new();
+        let opts = SweepOptions { workers: 1, max_retries: 1, ..SweepOptions::default() };
+        let report = harness
+            .run(&jobs(1), &opts, |_| {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("flaky once");
+                }
+                Ok(99)
+            })
+            .unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.results[0].attempts, 2);
+        assert_eq!(report.results[0].payload, Some(99));
+    }
+
+    #[test]
+    fn clean_errors_fail_fast_without_retry() {
+        let calls = AtomicU32::new(0);
+        let harness = Harness::<u64>::new();
+        let opts = SweepOptions { workers: 1, max_retries: 5, ..SweepOptions::default() };
+        let report = harness
+            .run(&jobs(1), &opts, |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err("deterministic config error".to_string())
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "clean errors are not retried");
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.results[0].outcome.message(), Some("deterministic config error"));
+    }
+
+    #[test]
+    fn ledger_resume_skips_completed_jobs() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("proteus-sched-resume-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let harness = Harness::<u64>::new().with_codec(u64_codec()).with_metric(|v| *v);
+        let opts = SweepOptions {
+            workers: 2,
+            max_retries: 0,
+            ledger: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+
+        // First run: job 2 crashes, the rest complete.
+        let first = harness
+            .run(&jobs(5), &opts, |i| {
+                if i == 2 {
+                    panic!("crash on first run");
+                }
+                Ok(100 + i as u64)
+            })
+            .unwrap();
+        assert_eq!(first.completed, 4);
+        assert_eq!(first.crashed, 1);
+        assert_eq!(first.resumed, 0);
+
+        // Second run: only the crashed job re-executes.
+        let executed = AtomicU32::new(0);
+        let second = harness
+            .run(&jobs(5), &opts, |i| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                Ok(100 + i as u64)
+            })
+            .unwrap();
+        assert_eq!(executed.load(Ordering::SeqCst), 1, "exactly the crashed job re-runs");
+        assert_eq!(second.resumed, 4);
+        assert_eq!(second.executed, 1);
+        assert!(second.is_all_completed());
+        for (i, r) in second.results.iter().enumerate() {
+            assert_eq!(r.payload, Some(100 + i as u64), "payloads restored from ledger");
+            assert_eq!(r.resumed, i != 2);
+        }
+        assert_eq!(second.total_metric, 102, "metric counts executed jobs only");
+
+        // Third run: nothing left to do.
+        let third = harness
+            .run(&jobs(5), &opts, |_| -> Result<u64, String> {
+                panic!("must not execute anything")
+            })
+            .unwrap();
+        assert_eq!(third.executed, 0);
+        assert_eq!(third.resumed, 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ledger_without_codec_is_rejected() {
+        let harness = Harness::<u64>::new();
+        let opts = SweepOptions {
+            ledger: Some(std::env::temp_dir().join("unused.jsonl")),
+            ..SweepOptions::default()
+        };
+        let err = harness.run(&jobs(1), &opts, |_| Ok(0)).unwrap_err();
+        assert!(matches!(err, SimError::HarnessIo(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_report() {
+        let harness = Harness::<u64>::new();
+        let report = harness.run(&[], &quiet(4), |_| Ok(0)).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.executed + report.resumed, 0);
+        assert!(report.is_all_completed());
+    }
+
+    #[test]
+    fn worker_width_clamps_to_job_count() {
+        assert_eq!(resolve_workers(8, 3), 3);
+        assert_eq!(resolve_workers(2, 3), 2);
+        assert_eq!(resolve_workers(0, 1), 1);
+        assert!(resolve_workers(0, 64) >= 1);
+    }
+}

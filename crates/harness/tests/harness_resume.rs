@@ -1,0 +1,222 @@
+//! End-to-end harness behaviour: checkpointing, kill/resume, panic
+//! isolation, and the telemetry stream — exercised through real files,
+//! with each sweep standing in for one OS process.
+
+use proteus_harness::json::{self, Json};
+use proteus_harness::{Harness, JobSpec, PayloadCodec, SweepOptions};
+use proteus_types::JobOutcome;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_file(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("proteus-harness-it-{tag}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn u64_codec() -> PayloadCodec<u64> {
+    PayloadCodec { encode: |v| Json::U64(*v), decode: Json::as_u64 }
+}
+
+fn jobs(n: usize) -> Vec<JobSpec> {
+    (0..n).map(|i| JobSpec::new(format!("sweep/job-{i}"), 0xBEEF_0000 + i as u64)).collect()
+}
+
+/// A sweep killed after N jobs completed resumes with exactly
+/// `total - N` re-runs.
+#[test]
+fn kill_after_n_resume_reruns_exactly_the_remainder() {
+    const TOTAL: usize = 9;
+    const KILLED_AFTER: usize = 4;
+    let ledger = temp_file("kill");
+    let opts = SweepOptions {
+        workers: 2,
+        max_retries: 0,
+        ledger: Some(ledger.clone()),
+        ..SweepOptions::default()
+    };
+    let harness = Harness::<u64>::new().with_codec(u64_codec());
+
+    // "Process one": runs the first KILLED_AFTER jobs, then dies. The
+    // ledger was flushed per job, so those records survive the kill.
+    harness
+        .run(&jobs(TOTAL)[..KILLED_AFTER], &opts, |i| Ok(i as u64))
+        .expect("first partial sweep");
+
+    // "Process two": same sweep, same ledger.
+    let executed = AtomicU32::new(0);
+    let report = harness
+        .run(&jobs(TOTAL), &opts, |i| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(i as u64)
+        })
+        .expect("resumed sweep");
+    assert_eq!(
+        executed.load(Ordering::SeqCst) as usize,
+        TOTAL - KILLED_AFTER,
+        "resume must re-run exactly the jobs the kill lost"
+    );
+    assert_eq!(report.resumed, KILLED_AFTER);
+    assert_eq!(report.executed, TOTAL - KILLED_AFTER);
+    assert!(report.is_all_completed());
+    // Restored and freshly-run payloads are indistinguishable.
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r.payload, Some(i as u64));
+        assert_eq!(r.resumed, i < KILLED_AFTER);
+    }
+    std::fs::remove_file(&ledger).unwrap();
+}
+
+/// A panicking job is recorded as crashed in the ledger, its siblings
+/// complete, and a resumed sweep re-runs only the crashed job.
+#[test]
+fn crashed_job_is_ledgered_and_alone_in_rerunning() {
+    const TOTAL: usize = 6;
+    const BAD: usize = 3;
+    let ledger = temp_file("crash");
+    let opts = SweepOptions {
+        workers: 3,
+        max_retries: 0,
+        ledger: Some(ledger.clone()),
+        ..SweepOptions::default()
+    };
+    let harness = Harness::<u64>::new().with_codec(u64_codec());
+
+    let first = harness
+        .run(&jobs(TOTAL), &opts, |i| {
+            if i == BAD {
+                panic!("injected failure in job {i}");
+            }
+            Ok(i as u64)
+        })
+        .expect("sweep with injected panic");
+    assert_eq!(first.completed, TOTAL - 1, "siblings of the crash all completed");
+    assert_eq!(first.crashed, 1);
+    assert!(matches!(first.results[BAD].outcome, JobOutcome::Crashed { .. }));
+
+    // The crash outcome is durable: parse the ledger file directly.
+    let text = std::fs::read_to_string(&ledger).unwrap();
+    let crashed_lines: Vec<Json> = text
+        .lines()
+        .map(|l| json::parse(l).expect("ledger line parses"))
+        .filter(|v| v.get("outcome").and_then(Json::as_str) == Some("crashed"))
+        .collect();
+    assert_eq!(crashed_lines.len(), 1);
+    let rec = &crashed_lines[0];
+    assert_eq!(rec.get("name").unwrap().as_str(), Some("sweep/job-3"));
+    assert!(rec.get("message").unwrap().as_str().unwrap().contains("injected failure in job 3"));
+
+    // Resume: only the crashed job runs again, and this time succeeds.
+    let executed = AtomicU32::new(0);
+    let second = harness
+        .run(&jobs(TOTAL), &opts, |i| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(i, BAD, "completed jobs must not re-run");
+            Ok(i as u64)
+        })
+        .expect("resumed sweep");
+    assert_eq!(executed.load(Ordering::SeqCst), 1);
+    assert!(second.is_all_completed());
+    std::fs::remove_file(&ledger).unwrap();
+}
+
+/// The telemetry stream narrates the whole lifecycle, including
+/// resumed jobs and retries, as parseable JSON Lines.
+#[test]
+fn event_stream_narrates_resume_and_retry() {
+    let ledger = temp_file("ev-ledger");
+    let events = temp_file("ev-stream");
+    let harness = Harness::<u64>::new().with_codec(u64_codec()).with_metric(|v| *v);
+    let base = SweepOptions {
+        workers: 2,
+        max_retries: 1,
+        ledger: Some(ledger.clone()),
+        events: Some(events.clone()),
+        ..SweepOptions::default()
+    };
+
+    // First run: job 1 panics once, then succeeds on retry.
+    let flaky_calls = AtomicU32::new(0);
+    let first = harness
+        .run(&jobs(3), &base, |i| {
+            if i == 1 && flaky_calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient fault");
+            }
+            Ok(1000 + i as u64)
+        })
+        .expect("first sweep");
+    assert!(first.is_all_completed());
+    assert_eq!(first.results[1].attempts, 2);
+
+    // Second run resumes everything.
+    harness.run(&jobs(3), &base, |i| Ok(1000 + i as u64)).expect("resumed sweep");
+
+    let text = std::fs::read_to_string(&events).unwrap();
+    let parsed: Vec<Json> =
+        text.lines().map(|l| json::parse(l).expect("event line parses")).collect();
+    let kind = |v: &Json| v.get("event").unwrap().as_str().unwrap().to_string();
+    let count = |k: &str| parsed.iter().filter(|v| kind(v) == k).count();
+
+    assert_eq!(count("sweep-start"), 2);
+    assert_eq!(count("sweep-end"), 2);
+    assert_eq!(count("job-start"), 3, "three executions in run one, zero in run two");
+    assert_eq!(count("job-end"), 3);
+    assert_eq!(count("job-retry"), 1);
+    assert_eq!(count("job-resumed"), 3, "run two resumed all three jobs");
+
+    // job-end events carry the metric and its rate.
+    for v in parsed.iter().filter(|v| kind(v) == "job-end") {
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("completed"));
+        let metric = v.get("metric").unwrap().as_u64().unwrap();
+        assert!((1000..=1002).contains(&metric));
+        assert!(v.get("metric_per_s").unwrap().as_f64().is_some());
+        assert!(v.get("queue_depth").unwrap().as_u64().is_some());
+        assert!(v.get("busy_workers").unwrap().as_u64().is_some());
+    }
+    // The second sweep-end records 3 resumed / 0 executed.
+    let last_end = parsed.iter().rev().find(|v| kind(v) == "sweep-end").unwrap();
+    assert_eq!(last_end.get("resumed").unwrap().as_u64(), Some(3));
+    assert_eq!(last_end.get("executed").unwrap().as_u64(), Some(0));
+
+    std::fs::remove_file(&ledger).unwrap();
+    std::fs::remove_file(&events).unwrap();
+}
+
+/// Spec hashes — not names — key the ledger: renaming a job does not
+/// skip it, and an identical spec under a new name resumes.
+#[test]
+fn resume_keys_on_spec_hash_not_name() {
+    let ledger = temp_file("hashkey");
+    let opts = SweepOptions {
+        workers: 1,
+        max_retries: 0,
+        ledger: Some(ledger.clone()),
+        ..SweepOptions::default()
+    };
+    let harness = Harness::<u64>::new().with_codec(u64_codec());
+
+    harness.run(&[JobSpec::new("old-name", 0x1234)], &opts, |_| Ok(7)).expect("seed run");
+
+    // Same hash, different display name: resumes.
+    let executed = AtomicU32::new(0);
+    let report = harness
+        .run(&[JobSpec::new("new-name", 0x1234)], &opts, |_| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(8)
+        })
+        .expect("renamed run");
+    assert_eq!(executed.load(Ordering::SeqCst), 0);
+    assert_eq!(report.results[0].payload, Some(7), "payload comes from the ledger");
+
+    // Different hash, same name: runs.
+    let report = harness
+        .run(&[JobSpec::new("new-name", 0x9999)], &opts, |_| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(8)
+        })
+        .expect("changed-spec run");
+    assert_eq!(executed.load(Ordering::SeqCst), 1);
+    assert_eq!(report.results[0].payload, Some(8));
+    std::fs::remove_file(&ledger).unwrap();
+}

@@ -216,8 +216,8 @@ impl MemoryController {
         // Data write-backs below the low watermark are durable (ADR) and
         // will never drain on their own — that is quiescent. Log-kind
         // entries always drain.
-        let wpq_idle = self.wpq.iter().all(|e| e.kind == WriteKind::Data)
-            && (self.wpq_draining_would_stop());
+        let wpq_idle =
+            self.wpq.iter().all(|e| e.kind == WriteKind::Data) && (self.wpq_draining_would_stop());
         self.intake.is_empty()
             && self.read_queue.is_empty()
             && self.in_flight.is_empty()
@@ -373,10 +373,8 @@ impl MemoryController {
                     state.area.begin_tx(tx).expect("fresh tx");
                     state.tx_slots.clear();
                 }
-                let (slot, seq) = state
-                    .area
-                    .alloc()
-                    .expect("ATOM hardware log area overflow; enlarge layout");
+                let (slot, seq) =
+                    state.area.alloc().expect("ATOM hardware log area overflow; enlarge layout");
                 let entry = proteus_core::entry::LogEntry::new(data, grain, tx, seq);
                 let words = entry.encode_words();
                 let accepted = self.insert_wpq(slot.line(), words, WriteKind::Log);
@@ -478,9 +476,7 @@ impl MemoryController {
                         .wpq
                         .iter_mut()
                         .find(|e| {
-                            e.line == last.slot_line
-                                && e.kind == WriteKind::Log
-                                && !e.in_service
+                            e.line == last.slot_line && e.kind == WriteKind::Log && !e.in_service
                         })
                         .map(|e| e.data[6] |= FLAG_COMMIT_MARKER)
                         .is_some();
@@ -536,10 +532,8 @@ impl MemoryController {
                 });
                 self.stats.lpq_flash_cleared += (before - self.lpq.len()) as u64;
                 if let Some(l) = last.filter(|l| l.tx == tx) {
-                    if let Some(e) = self
-                        .lpq
-                        .iter_mut()
-                        .find(|e| e.core == core && e.tx == tx && e.seq == l.seq)
+                    if let Some(e) =
+                        self.lpq.iter_mut().find(|e| e.core == core && e.tx == tx && e.seq == l.seq)
                     {
                         e.words[6] |= FLAG_COMMIT_MARKER;
                         e.retained_marker = true;
@@ -611,8 +605,7 @@ impl MemoryController {
                         .position(|r| r.req_id == req_id)
                         .map(|pos| self.read_queue.remove(pos))
                         .expect("read completion without queue entry");
-                    self.stats.read_queue_wait_cycles +=
-                        now.saturating_sub(line.arrived);
+                    self.stats.read_queue_wait_cycles += now.saturating_sub(line.arrived);
                     let data = self.nvmm.read_line(line.line);
                     self.events.push(McEvent::ReadDone { req_id, data, at: now });
                 }
@@ -689,8 +682,7 @@ impl MemoryController {
         // tracker its clearing window.
         let drain_wpq = self.wpq_draining
             || !self.pending_pcommits.is_empty()
-            || (self.read_queue.is_empty()
-                && occ_pct > self.cfg.wpq_low_watermark_pct as usize);
+            || (self.read_queue.is_empty() && occ_pct > self.cfg.wpq_low_watermark_pct as usize);
         {
             // Log-kind entries (ATOM entries, truncation writes, SW log
             // write-backs) drain regardless of the watermark: ATOM's log
@@ -715,10 +707,8 @@ impl MemoryController {
         // same opportunistic policy as the WPQ (DrainAlways). Forced
         // entries (context switch) always drain.
         let lpq_occ_pct = 100 * self.lpq.len() / self.cfg.lpq_entries.max(1);
-        let wpq_has_eligible = self
-            .wpq
-            .iter()
-            .any(|e| !e.in_service && (drain_wpq || e.kind != WriteKind::Data));
+        let wpq_has_eligible =
+            self.wpq.iter().any(|e| !e.in_service && (drain_wpq || e.kind != WriteKind::Data));
         let drain_lpq = match self.drain_mode {
             LogDrainMode::KeepUntilCommit => lpq_occ_pct >= 90,
             // NoLWR: log entries drain like ordinary writes. They already
@@ -735,7 +725,12 @@ impl MemoryController {
                 .iter()
                 .filter(|e| !e.in_service && !e.retained_marker && (drain_lpq || e.must_drain))
                 .map(|e| {
-                    (e.slot_line, e.seq, self.map.bank_of(e.slot_line), self.map.row_of(e.slot_line))
+                    (
+                        e.slot_line,
+                        e.seq,
+                        self.map.bank_of(e.slot_line),
+                        self.map.row_of(e.slot_line),
+                    )
                 })
                 .find(|(_, _, bank, _)| self.banks[*bank].is_idle(now))
             {
@@ -760,12 +755,7 @@ mod tests {
     use proteus_types::Addr;
 
     fn small_cfg() -> MemConfig {
-        MemConfig {
-            read_queue_entries: 8,
-            wpq_entries: 8,
-            lpq_entries: 8,
-            ..MemConfig::default()
-        }
+        MemConfig { read_queue_entries: 8, wpq_entries: 8, lpq_entries: 8, ..MemConfig::default() }
     }
 
     fn layout() -> AddressLayout {
@@ -915,7 +905,15 @@ mod tests {
         let lay = layout();
         let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::DrainAlways);
         for i in 0..3 {
-            flush_entry(&mut mc, &lay, i, Addr::new(0x1000_0000).offset(i as u64 * 32), 1, i as u64, 0);
+            flush_entry(
+                &mut mc,
+                &lay,
+                i,
+                Addr::new(0x1000_0000).offset(i as u64 * 32),
+                1,
+                i as u64,
+                0,
+            );
         }
         mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 10);
         let (_, _) = run_until_quiescent(&mut mc, 0);
@@ -941,10 +939,7 @@ mod tests {
         }
         mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 10);
         let (events, _) = run_until_quiescent(&mut mc, 0);
-        assert_eq!(
-            events.iter().filter(|e| matches!(e, McEvent::AtomLogAck { .. })).count(),
-            3
-        );
+        assert_eq!(events.iter().filter(|e| matches!(e, McEvent::AtomLogAck { .. })).count(), 3);
         let s = mc.stats();
         // Every non-marker entry is either cleared by the tracker while
         // still buffered, or — having escaped to NVMM — invalidated
@@ -1009,10 +1004,7 @@ mod tests {
         }
         let (events, _) = run_until_quiescent(&mut mc, 0);
         // All four eventually accepted despite a 2-entry WPQ.
-        assert_eq!(
-            events.iter().filter(|e| matches!(e, McEvent::WritebackAck { .. })).count(),
-            4
-        );
+        assert_eq!(events.iter().filter(|e| matches!(e, McEvent::WritebackAck { .. })).count(), 4);
         assert!(mc.stats().wpq_full_rejections > 0);
         assert_eq!(mc.stats().nvmm_data_writes, 4);
     }

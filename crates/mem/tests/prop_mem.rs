@@ -24,10 +24,8 @@ fn arb_stims() -> impl Strategy<Value = Vec<Stim>> {
     prop::collection::vec(
         prop_oneof![
             (0u64..64).prop_map(|line_idx| Stim::Read { line_idx }),
-            ((0u64..64), any::<u64>()).prop_map(|(line_idx, value)| Stim::Write {
-                line_idx,
-                value
-            }),
+            ((0u64..64), any::<u64>())
+                .prop_map(|(line_idx, value)| Stim::Write { line_idx, value }),
             ((0u64..512), (0u64..64), any::<u64>()).prop_map(|(slot_idx, grain_idx, value)| {
                 Stim::LogFlush { slot_idx, grain_idx, value }
             }),
@@ -75,10 +73,7 @@ fn run(stims: Vec<Stim>, mode: LogDrainMode) -> Result<(), TestCaseError> {
                 data[0] = *value;
                 next_id += 1;
                 acked_writes.insert(next_id, (line.base(), *value));
-                mc.submit(
-                    McRequest::WriteBack { line, data, ack_id: Some(next_id) },
-                    now,
-                );
+                mc.submit(McRequest::WriteBack { line, data, ack_id: Some(next_id) }, now);
             }
             Stim::LogFlush { slot_idx, grain_idx, value } => {
                 let slot = lay.log_slot(ThreadId::new(0), (*slot_idx % 512) as usize);
@@ -141,7 +136,9 @@ fn run(stims: Vec<Stim>, mode: LogDrainMode) -> Result<(), TestCaseError> {
                     prop_assert!(
                         possible.contains(&data[0]),
                         "read of line {} returned {}, not one of {:?}",
-                        line_idx, data[0], possible
+                        line_idx,
+                        data[0],
+                        possible
                     );
                 }
             }
@@ -151,15 +148,9 @@ fn run(stims: Vec<Stim>, mode: LogDrainMode) -> Result<(), TestCaseError> {
     prop_assert_eq!(read_done, expected_reads.len(), "missing read completions");
 
     // Every ack'd writeback and flush occurred.
-    let wb_acks = events
-        .iter()
-        .filter(|e| matches!(e, McEvent::WritebackAck { .. }))
-        .count();
+    let wb_acks = events.iter().filter(|e| matches!(e, McEvent::WritebackAck { .. })).count();
     prop_assert_eq!(wb_acks, acked_writes.len());
-    let fl_acks = events
-        .iter()
-        .filter(|e| matches!(e, McEvent::LogFlushAck { .. }))
-        .count();
+    let fl_acks = events.iter().filter(|e| matches!(e, McEvent::LogFlushAck { .. })).count();
     prop_assert_eq!(fl_acks, acked_flushes.len());
 
     // ADR durability: the final crash image holds, for every written
@@ -176,7 +167,8 @@ fn run(stims: Vec<Stim>, mode: LogDrainMode) -> Result<(), TestCaseError> {
         prop_assert_eq!(
             image.read_word(Addr::new(0x1000_0000 + line_idx * 64)),
             value,
-            "acked write to line {} lost", line_idx
+            "acked write to line {} lost",
+            line_idx
         );
     }
     Ok(())

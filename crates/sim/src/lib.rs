@@ -11,7 +11,11 @@
 //!   one logging scheme, steps it cycle by cycle, and produces a
 //!   [`proteus_types::stats::RunSummary`];
 //! * [`runner`] — parameter sweeps across benchmarks, schemes, memory
-//!   technologies, and hardware sizes, parallelised across host threads;
+//!   technologies, and hardware sizes, orchestrated by
+//!   `proteus-harness` (worker pool, per-experiment panic isolation,
+//!   resume ledger, telemetry events);
+//! * [`persist`] — the JSON codec that lets the resume ledger carry
+//!   full run summaries across process restarts;
 //! * [`report`] — tabular output matching the paper's figure layouts.
 //!
 //! # Quickstart
@@ -32,9 +36,13 @@
 //! # Ok::<(), proteus_types::SimError>(())
 //! ```
 
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod system;
 
-pub use runner::{run_one, ExperimentResult, ExperimentSpec};
+pub use proteus_harness::SweepOptions;
+pub use runner::{
+    run_many, run_many_report, run_many_with, run_one, ExperimentResult, ExperimentSpec,
+};
 pub use system::System;

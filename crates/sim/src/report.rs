@@ -72,11 +72,7 @@ pub fn bar_chart(labels: &[&str], values: &[f64], width: usize) -> String {
     for (label, value) in labels.iter().zip(values) {
         assert!(*value >= 0.0, "bar values must be non-negative");
         let n = ((value / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:<label_w$}  {} {v}\n",
-            "█".repeat(n),
-            v = f2(*value)
-        ));
+        out.push_str(&format!("{label:<label_w$}  {} {v}\n", "█".repeat(n), v = f2(*value)));
     }
     out
 }

@@ -21,7 +21,9 @@ pub const CACHE_LINE_SIZE: u64 = 64;
 pub const LOG_GRAIN_SIZE: u64 = 32;
 
 /// A byte-granularity physical address in the simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -61,7 +63,7 @@ impl Addr {
 
     /// Whether the address is aligned to a cache-line boundary.
     pub const fn is_line_aligned(self) -> bool {
-        self.0 % CACHE_LINE_SIZE == 0
+        self.0.is_multiple_of(CACHE_LINE_SIZE)
     }
 }
 
@@ -85,7 +87,9 @@ impl From<u64> for Addr {
 
 /// A cache-line-granularity address (the raw value is the line *index*, i.e.
 /// the byte address divided by [`CACHE_LINE_SIZE`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -117,7 +121,9 @@ impl fmt::Display for LineAddr {
 }
 
 /// A 32-byte log-grain address (raw value is the grain index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LogGrainAddr(u64);
 
 impl LogGrainAddr {
@@ -277,11 +283,7 @@ mod tests {
     #[test]
     fn region_map_lookup() {
         let mut map = RegionMap::new();
-        map.add(Region::new(
-            Addr::new(0x8000_0000),
-            Addr::new(0x8001_0000),
-            RegionKind::Log,
-        ));
+        map.add(Region::new(Addr::new(0x8000_0000), Addr::new(0x8001_0000), RegionKind::Log));
         assert_eq!(map.kind_of(Addr::new(0x1000)), RegionKind::Data);
         assert_eq!(map.kind_of(Addr::new(0x8000_0100)), RegionKind::Log);
         assert!(!map.is_cacheable(Addr::new(0x8000_0100)));

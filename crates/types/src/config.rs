@@ -409,7 +409,9 @@ impl SystemConfig {
         if self.cores.width == 0 {
             return Err("core width must be at least 1".into());
         }
-        if self.proteus.llt_ways == 0 || self.proteus.llt_entries % self.proteus.llt_ways != 0 {
+        if self.proteus.llt_ways == 0
+            || !self.proteus.llt_entries.is_multiple_of(self.proteus.llt_ways)
+        {
             return Err(format!(
                 "LLT entries ({}) must divide evenly by ways ({})",
                 self.proteus.llt_entries, self.proteus.llt_ways
@@ -421,13 +423,11 @@ impl SystemConfig {
         if self.proteus.logq_entries == 0 || self.proteus.log_registers == 0 {
             return Err("LogQ and LR sizes must be at least 1".into());
         }
-        for (name, lvl) in [
-            ("l1d", &self.caches.l1d),
-            ("l2", &self.caches.l2),
-            ("l3", &self.caches.l3),
-        ] {
+        for (name, lvl) in
+            [("l1d", &self.caches.l1d), ("l2", &self.caches.l2), ("l3", &self.caches.l3)]
+        {
             let lines = lvl.size_bytes / crate::addr::CACHE_LINE_SIZE;
-            if lvl.ways == 0 || lines as usize % lvl.ways != 0 {
+            if lvl.ways == 0 || !(lines as usize).is_multiple_of(lvl.ways) {
                 return Err(format!("{name}: geometry does not divide evenly"));
             }
         }

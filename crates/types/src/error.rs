@@ -47,16 +47,27 @@ pub enum SimError {
         /// Available core count.
         available: usize,
     },
+    /// A harness worker caught a panic inside an experiment job. The
+    /// sweep's sibling jobs completed; this surfaces the first crash to
+    /// callers that asked for an all-or-nothing result.
+    WorkerPanic {
+        /// Human-readable job name (`<bench>/<scheme>/...`).
+        job: String,
+        /// Panic payload message.
+        message: String,
+    },
+    /// The experiment harness could not read or write its resume ledger
+    /// or event stream.
+    HarnessIo(String),
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            SimError::LogAreaOverflow { thread, capacity } => write!(
-                f,
-                "log area overflow on {thread}: transaction exceeded {capacity} entries"
-            ),
+            SimError::LogAreaOverflow { thread, capacity } => {
+                write!(f, "log area overflow on {thread}: transaction exceeded {capacity} entries")
+            }
             SimError::LoggingOutsideTransaction { core } => {
                 write!(f, "logging instruction outside a transaction on {core}")
             }
@@ -68,10 +79,13 @@ impl fmt::Display for SimError {
             }
             SimError::UnmappedAddress(addr) => write!(f, "access to unmapped address {addr}"),
             SimError::CorruptLog(msg) => write!(f, "corrupt log image: {msg}"),
-            SimError::TooManyThreads { requested, available } => write!(
-                f,
-                "workload requested {requested} threads but only {available} cores exist"
-            ),
+            SimError::TooManyThreads { requested, available } => {
+                write!(f, "workload requested {requested} threads but only {available} cores exist")
+            }
+            SimError::WorkerPanic { job, message } => {
+                write!(f, "experiment job '{job}' panicked: {message}")
+            }
+            SimError::HarnessIo(msg) => write!(f, "harness i/o failure: {msg}"),
         }
     }
 }
@@ -94,8 +108,7 @@ mod tests {
     fn error_trait_object_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
-        let boxed: Box<dyn Error + Send + Sync> =
-            Box::new(SimError::UnmappedAddress(Addr::new(4)));
+        let boxed: Box<dyn Error + Send + Sync> = Box::new(SimError::UnmappedAddress(Addr::new(4)));
         assert!(boxed.to_string().contains("0x4"));
     }
 

@@ -1,0 +1,407 @@
+//! Stable, structural hashing for experiment specifications.
+//!
+//! The experiment harness keys its resume ledger by a hash of the full
+//! experiment specification (configuration + scheme + benchmark +
+//! workload parameters). That hash must be *stable*: independent of the
+//! process, the platform's `DefaultHasher` seed, pointer layouts, and —
+//! so that adding or reordering struct fields in a refactor does not
+//! silently orphan every ledger on disk — independent of the order in
+//! which a type hashes its fields.
+//!
+//! Two pieces provide this:
+//!
+//! * [`StableHasher`] — a seedless FNV-1a 64-bit byte hasher with
+//!   length-prefixed, little-endian primitive encodings;
+//! * [`FieldHasher`] — hashes a struct as an unordered set of
+//!   `(field name, field hash)` pairs combined commutatively, so the
+//!   result depends on field *names and values* but not declaration
+//!   order.
+//!
+//! Derived seeds (e.g. per-spec workload RNG seeds) use the same
+//! machinery via [`stable_hash_value`].
+
+use crate::config::{
+    CacheConfig, CacheLevelConfig, CoreConfig, DramTiming, LoggingSchemeKind, MemConfig, MemTech,
+    ProteusHwConfig, SystemConfig,
+};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// splitmix64 finaliser: a strong 64-bit bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedless FNV-1a 64-bit hasher over an explicit byte encoding.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Hashes raw bytes (no length prefix — callers add their own
+    /// framing where ambiguity is possible).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Hashes a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `i64` as 8 little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `f64` by value bits, normalising `-0.0` to `0.0` so
+    /// numerically equal specs hash equally.
+    pub fn write_f64(&mut self, v: f64) {
+        let normalised = if v == 0.0 { 0.0f64 } else { v };
+        self.write_u64(normalised.to_bits());
+    }
+
+    /// Hashes a string, length-prefixed so adjacent strings cannot
+    /// collide by re-splitting.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finalises through a bit mixer (FNV-1a alone diffuses low bits
+    /// poorly).
+    pub fn finish(&self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Types with a process- and platform-independent structural hash.
+pub trait StableHash {
+    /// Feeds this value's canonical encoding into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+/// Hashes one value to a stable 64-bit digest.
+pub fn stable_hash_value<T: StableHash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish()
+}
+
+macro_rules! impl_stable_hash_uint {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+
+impl_stable_hash_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_stable_hash_int {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_i64(*self as i64);
+            }
+        }
+    )*};
+}
+
+impl_stable_hash_int!(i8, i16, i32, i64, isize);
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(u8::from(*self));
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.len() as u64);
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+/// Hashes a struct as a *set* of named fields, so the digest is
+/// independent of the order fields are fed in.
+///
+/// Each `(name, value)` pair is hashed independently and the per-field
+/// digests are combined by wrapping addition — a commutative,
+/// associative fold. The type tag and field count are folded in as
+/// additional terms, so `Foo { a }` and `Bar { a }` differ, as do
+/// structs where one field's name absorbed another's.
+#[derive(Debug, Clone)]
+pub struct FieldHasher {
+    acc: u64,
+    count: u64,
+}
+
+impl FieldHasher {
+    /// Starts a struct digest for the type named `type_tag`.
+    pub fn new(type_tag: &str) -> Self {
+        let mut h = StableHasher::new();
+        h.write_str("type");
+        h.write_str(type_tag);
+        FieldHasher { acc: mix64(h.finish()), count: 0 }
+    }
+
+    /// Folds in one named field.
+    pub fn field<T: StableHash + ?Sized>(&mut self, name: &str, value: &T) -> &mut Self {
+        let mut h = StableHasher::new();
+        h.write_str(name);
+        value.stable_hash(&mut h);
+        self.acc = self.acc.wrapping_add(mix64(h.finish()));
+        self.count += 1;
+        self
+    }
+
+    /// Finalises the struct digest.
+    pub fn finish(&self) -> u64 {
+        mix64(self.acc.wrapping_add(mix64(self.count)))
+    }
+}
+
+/// Implements [`StableHash`] for a struct by listing its fields once.
+macro_rules! impl_stable_hash_struct {
+    ($ty:ty, $tag:literal, $($field:ident),+ $(,)?) => {
+        impl StableHash for $ty {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                let mut f = FieldHasher::new($tag);
+                $( f.field(stringify!($field), &self.$field); )+
+                h.write_u64(f.finish());
+            }
+        }
+    };
+}
+
+impl StableHash for MemTech {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str("MemTech");
+        h.write_str(self.label());
+    }
+}
+
+impl StableHash for LoggingSchemeKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str("LoggingSchemeKind");
+        h.write_str(self.label());
+    }
+}
+
+impl_stable_hash_struct!(
+    CoreConfig,
+    "CoreConfig",
+    freq_mhz,
+    width,
+    rob_entries,
+    fetchq_entries,
+    issueq_entries,
+    loadq_entries,
+    storeq_entries,
+);
+
+impl_stable_hash_struct!(CacheLevelConfig, "CacheLevelConfig", size_bytes, ways, latency);
+
+impl_stable_hash_struct!(CacheConfig, "CacheConfig", l1d, l2, l3);
+
+impl_stable_hash_struct!(
+    DramTiming,
+    "DramTiming",
+    t_cas,
+    t_rcd_read,
+    t_rcd_write,
+    t_rp,
+    t_ras,
+    t_rc,
+    t_wr,
+    t_wtr,
+    t_rtp,
+    t_rrd,
+    t_faw,
+    t_burst,
+);
+
+impl_stable_hash_struct!(
+    MemConfig,
+    "MemConfig",
+    tech,
+    banks,
+    row_buffer_bytes,
+    read_queue_entries,
+    wpq_entries,
+    lpq_entries,
+    adr,
+    wpq_high_watermark_pct,
+    wpq_low_watermark_pct,
+);
+
+impl_stable_hash_struct!(
+    ProteusHwConfig,
+    "ProteusHwConfig",
+    log_registers,
+    logq_entries,
+    llt_entries,
+    llt_ways,
+);
+
+impl_stable_hash_struct!(SystemConfig, "SystemConfig", num_cores, cores, caches, mem, proteus);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let mut a = FieldHasher::new("Spec");
+        a.field("alpha", &1u64).field("beta", &2u64).field("gamma", &"x");
+        let mut b = FieldHasher::new("Spec");
+        b.field("gamma", &"x").field("alpha", &1u64).field("beta", &2u64);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn field_names_and_values_matter() {
+        let base = {
+            let mut f = FieldHasher::new("Spec");
+            f.field("alpha", &1u64).field("beta", &2u64);
+            f.finish()
+        };
+        let renamed = {
+            let mut f = FieldHasher::new("Spec");
+            f.field("alpha2", &1u64).field("beta", &2u64);
+            f.finish()
+        };
+        let revalued = {
+            let mut f = FieldHasher::new("Spec");
+            f.field("alpha", &3u64).field("beta", &2u64);
+            f.finish()
+        };
+        let retagged = {
+            let mut f = FieldHasher::new("OtherSpec");
+            f.field("alpha", &1u64).field("beta", &2u64);
+            f.finish()
+        };
+        assert_ne!(base, renamed);
+        assert_ne!(base, revalued);
+        assert_ne!(base, retagged);
+    }
+
+    #[test]
+    fn extra_field_changes_hash() {
+        let two = {
+            let mut f = FieldHasher::new("Spec");
+            f.field("a", &1u64).field("b", &2u64);
+            f.finish()
+        };
+        let three = {
+            let mut f = FieldHasher::new("Spec");
+            f.field("a", &1u64).field("b", &2u64).field("c", &0u64);
+            f.finish()
+        };
+        assert_ne!(two, three);
+    }
+
+    #[test]
+    fn primitive_encodings_are_framed() {
+        // Adjacent strings must not re-split.
+        let ab_c = stable_hash_value(&vec!["ab".to_string(), "c".to_string()]);
+        let a_bc = stable_hash_value(&vec!["a".to_string(), "bc".to_string()]);
+        assert_ne!(ab_c, a_bc);
+        // Width does not matter, value does.
+        assert_eq!(stable_hash_value(&7u8), stable_hash_value(&7u64));
+        assert_ne!(stable_hash_value(&7u64), stable_hash_value(&8u64));
+        // Negative zero normalises.
+        assert_eq!(stable_hash_value(&0.0f64), stable_hash_value(&(-0.0f64)));
+        // Option framing.
+        assert_ne!(stable_hash_value(&Some(0u64)), stable_hash_value(&Option::<u64>::None));
+    }
+
+    #[test]
+    fn config_hash_is_deterministic_and_value_sensitive() {
+        let a = stable_hash_value(&SystemConfig::skylake_like());
+        let b = stable_hash_value(&SystemConfig::skylake_like());
+        assert_eq!(a, b);
+        let c = stable_hash_value(&SystemConfig::skylake_like().with_num_cores(2));
+        assert_ne!(a, c);
+        let d = stable_hash_value(&SystemConfig::skylake_like().with_mem_tech(MemTech::Dram));
+        assert_ne!(a, d);
+        let e = stable_hash_value(&SystemConfig::skylake_like().with_logq_entries(32));
+        assert_ne!(a, e);
+    }
+
+    #[test]
+    fn scheme_hashes_distinct() {
+        let hashes: std::collections::HashSet<u64> =
+            LoggingSchemeKind::ALL.iter().map(|s| stable_hash_value(s)).collect();
+        assert_eq!(hashes.len(), LoggingSchemeKind::ALL.len());
+    }
+}

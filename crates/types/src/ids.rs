@@ -64,7 +64,9 @@ id_type!(
 /// flash-clear LPQ entries at `tx-end`. Transaction IDs increase
 /// monotonically per thread, which is what lets recovery identify the most
 /// recent transaction in a thread's log area.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TxId(u64);
 
 impl TxId {

@@ -5,8 +5,9 @@
 //! workspace: physical addresses and cache-line arithmetic ([`addr`]),
 //! component identifiers ([`ids`]), clock-domain conversion ([`clock`]),
 //! the full system configuration including the paper's Table 1 preset
-//! ([`config`]), statistics counters ([`stats`]), and the simulator error
-//! type ([`error`]).
+//! ([`config`]), statistics counters ([`stats`]), the simulator error
+//! type ([`error`]), and the experiment-harness vocabulary: stable
+//! structural spec hashing ([`hash`]) and job outcomes ([`outcome`]).
 //!
 //! # Example
 //!
@@ -24,11 +25,15 @@ pub mod addr;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod ids;
+pub mod outcome;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, LogGrainAddr, CACHE_LINE_SIZE, LOG_GRAIN_SIZE};
 pub use clock::{ClockRatio, Cycle};
 pub use config::{LoggingSchemeKind, MemTech, SystemConfig};
 pub use error::SimError;
+pub use hash::{stable_hash_value, FieldHasher, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxId};
+pub use outcome::JobOutcome;

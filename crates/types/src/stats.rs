@@ -121,6 +121,12 @@ impl CoreStats {
         self.stall_cycles[cause.slot()] += 1;
     }
 
+    /// Adds `n` stall cycles attributed to `cause` (bulk restore path,
+    /// used when decoding persisted summaries).
+    pub fn add_stall_cycles(&mut self, cause: StallCause, n: u64) {
+        self.stall_cycles[cause.slot()] += n;
+    }
+
     /// Stall cycles attributed to `cause`.
     pub fn stall(&self, cause: StallCause) -> u64 {
         self.stall_cycles[cause.slot()]
@@ -294,33 +300,38 @@ impl RunSummary {
     /// Speedup of this run relative to a baseline run of the same work:
     /// `baseline_cycles / self_cycles`.
     ///
-    /// # Panics
-    ///
-    /// Panics if this run recorded zero cycles.
+    /// Zero-cycle runs (degenerate empty workloads) are treated as one
+    /// cycle on either side, so the result is always finite and
+    /// NaN-free: two empty runs compare as exactly 1.0.
     pub fn speedup_over(&self, baseline: &RunSummary) -> f64 {
-        assert!(self.total_cycles > 0, "run recorded zero cycles");
-        baseline.total_cycles as f64 / self.total_cycles as f64
+        baseline.total_cycles.max(1) as f64 / self.total_cycles.max(1) as f64
     }
 }
 
-/// Geometric mean of a non-empty slice of positive values.
+/// Geometric mean of the positive, finite values in `values`.
 ///
 /// The paper reports geometric means across benchmarks; this helper keeps
 /// every report using the same definition.
 ///
-/// # Panics
-///
-/// Panics if `values` is empty or contains a non-positive value.
+/// Degenerate entries — zero, negative, infinite, or NaN ratios, which
+/// arise only from empty or crashed runs, never from a meaningful
+/// speedup — are ignored rather than poisoning the mean. An empty slice,
+/// or one with no usable values, yields `1.0` (the neutral speedup), so
+/// the result is always finite and NaN-free.
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geometric mean of empty slice");
-    let log_sum: f64 = values
-        .iter()
-        .map(|v| {
-            assert!(*v > 0.0, "geometric mean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+    let mut log_sum = 0.0f64;
+    let mut used = 0usize;
+    for &v in values {
+        if v > 0.0 && v.is_finite() {
+            log_sum += v.ln();
+            used += 1;
+        }
+    }
+    if used == 0 {
+        1.0
+    } else {
+        (log_sum / used as f64).exp()
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +394,18 @@ mod tests {
     }
 
     #[test]
+    fn speedup_guards_zero_cycle_runs() {
+        let empty = RunSummary::default();
+        let mut real = RunSummary::default();
+        real.total_cycles = 500;
+        // Empty vs empty is the neutral speedup; never NaN or infinite.
+        assert_eq!(empty.speedup_over(&empty), 1.0);
+        assert!(empty.speedup_over(&real).is_finite());
+        assert!(real.speedup_over(&empty).is_finite());
+        assert_eq!(real.speedup_over(&empty), 1.0 / 500.0);
+    }
+
+    #[test]
     fn geometric_mean_matches_hand_calc() {
         let g = geometric_mean(&[1.0, 4.0]);
         assert!((g - 2.0).abs() < 1e-12);
@@ -391,9 +414,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn geometric_mean_rejects_zero() {
-        let _ = geometric_mean(&[1.0, 0.0]);
+    fn geometric_mean_ignores_degenerate_values() {
+        // Zero / negative / non-finite entries come only from degenerate
+        // runs; they are skipped, not propagated as NaN.
+        let g = geometric_mean(&[1.0, 0.0, 4.0, -3.0, f64::INFINITY, f64::NAN]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_empty_is_neutral() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert_eq!(geometric_mean(&[0.0, -1.0]), 1.0);
+        assert!(geometric_mean(&[f64::NAN]).is_finite());
+    }
+
+    #[test]
+    fn add_stall_cycles_bulk_matches_recording() {
+        let mut a = CoreStats::new();
+        for _ in 0..5 {
+            a.record_stall(StallCause::LogQFull);
+        }
+        let mut b = CoreStats::new();
+        b.add_stall_cycles(StallCause::LogQFull, 5);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -264,18 +264,12 @@ impl AvlTree {
             let lh = rec(mem, left, lo, Some(k));
             let right = mem.read_dep(a.offset(RIGHT));
             let rh = rec(mem, right, Some(k), hi);
-            assert!(
-                (lh as i64 - rh as i64).abs() <= 1,
-                "AVL balance violation at key {k}"
-            );
+            assert!((lh as i64 - rh as i64).abs() <= 1, "AVL balance violation at key {k}");
             let h = 1 + lh.max(rh);
             assert_eq!(mem.read_dep(a.offset(HEIGHT)), h, "stale height at key {k}");
             h
         }
-        let root = {
-            let r = mem.read(self.meta);
-            r
-        };
+        let root = mem.read(self.meta);
         rec(mem, root, None, None)
     }
 }

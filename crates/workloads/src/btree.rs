@@ -239,7 +239,7 @@ impl BTree {
         let lc = l.count(mem);
         let rc = r.count(mem);
         let leaf = l.is_leaf(mem);
-        debug_assert_eq!(lc + rc + 1, MAX_KEYS + 0, "merge must fit");
+        debug_assert_eq!(lc + rc + 1, MAX_KEYS, "merge must fit");
         let sep = p.key(mem, i);
         l.set_key(mem, lc, sep);
         for j in 0..rc {
@@ -531,11 +531,7 @@ mod tests {
                     "step {i} insert {key}"
                 );
             } else {
-                assert_eq!(
-                    t.delete(&mut m, key),
-                    reference.remove(&key),
-                    "step {i} delete {key}"
-                );
+                assert_eq!(t.delete(&mut m, key), reference.remove(&key), "step {i} delete {key}");
             }
             if i % 500 == 0 {
                 t.check_invariants(&mut m);

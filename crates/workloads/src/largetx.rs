@@ -28,12 +28,7 @@ impl BigNodeList {
     /// # Panics
     ///
     /// Panics if `nodes` is zero.
-    pub fn create<M: Mem>(
-        mem: &mut M,
-        alloc: &mut NodeAlloc,
-        nodes: u64,
-        elements: u64,
-    ) -> Self {
+    pub fn create<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, nodes: u64, elements: u64) -> Self {
         assert!(nodes > 0, "list needs at least one node");
         let mut head = 0u64;
         // Build back to front so head links forward.

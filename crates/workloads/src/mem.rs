@@ -119,10 +119,7 @@ impl<'a> CollectMem<'a> {
 impl Mem for CollectMem<'_> {
     fn read(&mut self, addr: Addr) -> u64 {
         let w = addr.raw() / 8;
-        self.delta
-            .get(&w)
-            .copied()
-            .unwrap_or_else(|| self.base.read_word(addr))
+        self.delta.get(&w).copied().unwrap_or_else(|| self.base.read_word(addr))
     }
 
     fn write(&mut self, addr: Addr, value: u64) {

@@ -110,13 +110,7 @@ impl RbTree {
         h
     }
 
-    fn insert_rec<M: Mem>(
-        mem: &mut M,
-        alloc: &mut NodeAlloc,
-        h: u64,
-        key: u64,
-        value: u64,
-    ) -> u64 {
+    fn insert_rec<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, h: u64, key: u64, value: u64) -> u64 {
         if h == 0 {
             let n = alloc.alloc_node();
             mem.hint_node(n);

@@ -17,7 +17,7 @@ use crate::rbtree::RbTree;
 use crate::stringswap::StringArray;
 use proteus_core::pmem::WordImage;
 use proteus_core::program::Program;
-use proteus_types::{Addr, ThreadId};
+use proteus_types::{Addr, FieldHasher, StableHash, StableHasher, ThreadId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,6 +112,17 @@ impl Benchmark {
     }
 }
 
+impl StableHash for Benchmark {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let mut f = FieldHasher::new("Benchmark");
+        f.field("kind", self.abbrev());
+        if let Benchmark::LargeTx { elements } = self {
+            f.field("elements", elements);
+        }
+        h.write_u64(f.finish());
+    }
+}
+
 /// Generation parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadParams {
@@ -125,6 +136,17 @@ pub struct WorkloadParams {
     pub seed: u64,
 }
 
+impl StableHash for WorkloadParams {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let mut f = FieldHasher::new("WorkloadParams");
+        f.field("threads", &self.threads)
+            .field("init_ops", &self.init_ops)
+            .field("sim_ops", &self.sim_ops)
+            .field("seed", &self.seed);
+        h.write_u64(f.finish());
+    }
+}
+
 impl WorkloadParams {
     /// Table 2 parameters scaled by `scale` (e.g. 0.02 for quick runs).
     pub fn table2(bench: Benchmark, threads: usize, scale: f64) -> Self {
@@ -135,6 +157,24 @@ impl WorkloadParams {
             sim_ops: ((sim as f64 * scale) as usize).max(1),
             seed: 0x5EED_0001,
         }
+    }
+
+    /// Replaces the seed with one derived structurally from the
+    /// benchmark and the remaining (seed-independent) parameters.
+    ///
+    /// Every distinct experiment shape gets its own deterministic
+    /// stream — scaling a sweep up does not replay a prefix of another
+    /// configuration's operations — while the same shape always
+    /// regenerates bit-identical workloads, on any platform, which is
+    /// what makes resume ledgers and cross-run comparisons sound.
+    pub fn with_derived_seed(mut self, bench: Benchmark) -> Self {
+        let mut f = FieldHasher::new("WorkloadSeed");
+        f.field("bench", &bench)
+            .field("threads", &self.threads)
+            .field("init_ops", &self.init_ops)
+            .field("sim_ops", &self.sim_ops);
+        self.seed = f.finish();
+        self
     }
 }
 
@@ -181,9 +221,7 @@ enum OpSpec {
 
 fn run_op<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, structures: &Structures, op: OpSpec) {
     match (structures, op) {
-        (Structures::Queues(qs), OpSpec::Enqueue { s, value }) => {
-            qs[s].enqueue(mem, alloc, value)
-        }
+        (Structures::Queues(qs), OpSpec::Enqueue { s, value }) => qs[s].enqueue(mem, alloc, value),
         (Structures::Queues(qs), OpSpec::Dequeue { s }) => {
             qs[s].dequeue(mem);
         }
@@ -325,11 +363,7 @@ pub fn generate(bench: Benchmark, params: &WorkloadParams) -> GeneratedWorkload 
                     let items = ((262_144 / params.threads) as u64)
                         .min((params.init_ops as u64 + 1) * 4)
                         .max(16);
-                    (
-                        Structures::Strings(StringArray::create(&mut m, &mut alloc, items)),
-                        items,
-                        0,
-                    )
+                    (Structures::Strings(StringArray::create(&mut m, &mut alloc, items)), items, 0)
                 }
                 Benchmark::AvlTree => (
                     Structures::Avls(
@@ -401,8 +435,7 @@ pub fn generate(bench: Benchmark, params: &WorkloadParams) -> GeneratedWorkload 
             program.write(lock, 1);
 
             // Cover both 32-byte grains of each 64-byte node.
-            let hint: Vec<Addr> =
-                hint_nodes.iter().flat_map(|n| [*n, n.offset(32)]).collect();
+            let hint: Vec<Addr> = hint_nodes.iter().flat_map(|n| [*n, n.offset(32)]).collect();
             program.tx_begin(hint);
             {
                 let mut e = EmitMem::new(&mut image, &mut program);
@@ -506,13 +539,67 @@ mod tests {
         let small = generate(Benchmark::LargeTx { elements: 256 }, &params);
         let large = generate(Benchmark::LargeTx { elements: 1024 }, &params);
         let writes = |w: &GeneratedWorkload| {
-            w.programs[0]
-                .ops
-                .iter()
-                .filter(|o| matches!(o, Op::Write(..)))
-                .count()
+            w.programs[0].ops.iter().filter(|o| matches!(o, Op::Write(..))).count()
         };
         assert!(writes(&large) >= writes(&small) * 3);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_shape_sensitive() {
+        let base = WorkloadParams { threads: 2, init_ops: 200, sim_ops: 50, seed: 0 };
+        let a = base.clone().with_derived_seed(Benchmark::HashMap);
+        let b = base.clone().with_derived_seed(Benchmark::HashMap);
+        // Deterministic: shape alone decides the seed.
+        assert_eq!(a.seed, b.seed);
+        // The starting seed value does not leak into the derivation.
+        let c = WorkloadParams { seed: 999, ..base.clone() }.with_derived_seed(Benchmark::HashMap);
+        assert_eq!(a.seed, c.seed);
+        // Every shape dimension separates streams.
+        assert_ne!(a.seed, base.clone().with_derived_seed(Benchmark::Queue).seed);
+        assert_ne!(
+            a.seed,
+            WorkloadParams { threads: 4, ..base.clone() }
+                .with_derived_seed(Benchmark::HashMap)
+                .seed
+        );
+        assert_ne!(
+            a.seed,
+            WorkloadParams { sim_ops: 51, ..base.clone() }
+                .with_derived_seed(Benchmark::HashMap)
+                .seed
+        );
+        // LargeTx sizes are distinct shapes.
+        assert_ne!(
+            base.clone().with_derived_seed(Benchmark::LargeTx { elements: 1024 }).seed,
+            base.clone().with_derived_seed(Benchmark::LargeTx { elements: 2048 }).seed
+        );
+    }
+
+    #[test]
+    fn derived_seed_generates_identical_workloads() {
+        let params = WorkloadParams { threads: 2, init_ops: 100, sim_ops: 20, seed: 0 }
+            .with_derived_seed(Benchmark::RbTree);
+        let a = generate(Benchmark::RbTree, &params);
+        let b = generate(Benchmark::RbTree, &params);
+        assert_eq!(a.programs, b.programs);
+        assert_eq!(a.initial_image, b.initial_image);
+    }
+
+    #[test]
+    fn benchmark_stable_hashes_distinct() {
+        use proteus_types::stable_hash_value;
+        let all = [
+            Benchmark::Queue,
+            Benchmark::HashMap,
+            Benchmark::StringSwap,
+            Benchmark::AvlTree,
+            Benchmark::BTree,
+            Benchmark::RbTree,
+            Benchmark::LargeTx { elements: 1024 },
+            Benchmark::LargeTx { elements: 8192 },
+        ];
+        let hashes: std::collections::HashSet<u64> = all.iter().map(stable_hash_value).collect();
+        assert_eq!(hashes.len(), all.len());
     }
 
     #[test]

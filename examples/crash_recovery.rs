@@ -34,11 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshots.push(states);
     }
 
-    for scheme in [
-        LoggingSchemeKind::SwPmem,
-        LoggingSchemeKind::Atom,
-        LoggingSchemeKind::Proteus,
-    ] {
+    for scheme in [LoggingSchemeKind::SwPmem, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus] {
         let total = {
             let mut m = System::new(&config, scheme, &workload)?;
             m.run()?.total_cycles
@@ -51,12 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (recovered, _) = m.crash_and_recover()?;
             let ok = workload.programs.iter().enumerate().all(|(t, p)| {
                 let (lo, hi) = thread_arena(p.thread);
-                snapshots[t].iter().any(|snap| {
-                    recovered
-                        .diff(snap)
-                        .iter()
-                        .all(|a| *a < lo || *a >= hi)
-                })
+                snapshots[t]
+                    .iter()
+                    .any(|snap| recovered.diff(snap).iter().all(|a| *a < lo || *a >= hi))
             });
             if ok {
                 consistent += 1;

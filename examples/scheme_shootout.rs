@@ -19,10 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("rt") => Benchmark::RbTree,
         Some(other) => return Err(format!("unknown benchmark {other}").into()),
     };
-    let scale: f64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let params = WorkloadParams::table2(bench, 4, scale);
     let divisor = ((1.0 / scale) as u64).max(1).next_power_of_two().min(64);
     let config = SystemConfig::skylake_like().with_cache_divisor(divisor);

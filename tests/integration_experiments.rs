@@ -12,9 +12,7 @@ fn params(bench: Benchmark) -> WorkloadParams {
 }
 
 fn config() -> SystemConfig {
-    SystemConfig::skylake_like()
-        .with_num_cores(4)
-        .with_cache_divisor(64)
+    SystemConfig::skylake_like().with_num_cores(4).with_cache_divisor(64)
 }
 
 #[test]
@@ -135,24 +133,17 @@ fn fig11_logq_size_1_hurts() {
     };
     let one = speedup(1);
     let sixteen = speedup(16);
-    assert!(
-        sixteen > one,
-        "a 16-entry LogQ ({sixteen}) must beat a 1-entry LogQ ({one})"
-    );
+    assert!(sixteen > one, "a 16-entry LogQ ({sixteen}) must beat a 1-entry LogQ ({one})");
 }
 
 #[test]
 fn table4_llt_miss_rates_in_band() {
     for bench in [Benchmark::Queue, Benchmark::StringSwap] {
         let sweep =
-            sweep_schemes(&config(), bench, &params(bench), &[LoggingSchemeKind::Proteus])
-                .unwrap();
+            sweep_schemes(&config(), bench, &params(bench), &[LoggingSchemeKind::Proteus]).unwrap();
         let merged = sweep.summary_of(LoggingSchemeKind::Proteus).cores_merged();
         let rate = merged.llt_miss_rate_pct().expect("lookups happened");
         // Paper Table 4 band: 22.5% (QE) to 51.6% (RT).
-        assert!(
-            (5.0..95.0).contains(&rate),
-            "{bench:?} LLT miss rate {rate}% implausible"
-        );
+        assert!((5.0..95.0).contains(&rate), "{bench:?} LLT miss rate {rate}% implausible");
     }
 }

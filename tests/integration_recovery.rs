@@ -40,9 +40,7 @@ fn is_prefix_consistent(
 ) -> bool {
     workload.programs.iter().enumerate().all(|(t, p)| {
         let (lo, hi) = thread_arena(p.thread);
-        snaps[t]
-            .iter()
-            .any(|snap| image.diff(snap).iter().all(|a| *a < lo || *a >= hi))
+        snaps[t].iter().any(|snap| image.diff(snap).iter().all(|a| *a < lo || *a >= hi))
     })
 }
 
@@ -129,8 +127,7 @@ fn recovery_after_clean_completion_is_a_noop() {
     let params = WorkloadParams { threads: 2, init_ops: 80, sim_ops: 10, seed: 13 };
     let workload = generate(Benchmark::RbTree, &params);
     let config = SystemConfig::skylake_like().with_num_cores(2);
-    for scheme in [LoggingSchemeKind::Proteus, LoggingSchemeKind::Atom, LoggingSchemeKind::SwPmem]
-    {
+    for scheme in [LoggingSchemeKind::Proteus, LoggingSchemeKind::Atom, LoggingSchemeKind::SwPmem] {
         let mut m = System::new(&config, scheme, &workload).unwrap();
         m.run().unwrap();
         let before = m.crash_image();

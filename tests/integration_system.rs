@@ -32,15 +32,9 @@ fn final_state_matches_functional_semantics_everywhere() {
             // scheme-private).
             for p in &workload.programs {
                 let (lo, hi) = thread_arena(p.thread);
-                let torn: Vec<_> = image
-                    .diff(&expected)
-                    .into_iter()
-                    .filter(|a| *a >= lo && *a < hi)
-                    .collect();
-                assert!(
-                    torn.is_empty(),
-                    "{bench:?}/{scheme:?}: final data mismatch at {torn:?}"
-                );
+                let torn: Vec<_> =
+                    image.diff(&expected).into_iter().filter(|a| *a >= lo && *a < hi).collect();
+                assert!(torn.is_empty(), "{bench:?}/{scheme:?}: final data mismatch at {torn:?}");
             }
         }
     }
@@ -112,15 +106,9 @@ fn llt_hits_on_real_workloads() {
     let summary = system.run().unwrap();
     let cores = summary.cores_merged();
     assert!(cores.llt_lookups > 0);
-    assert!(
-        cores.llt_hits > 0,
-        "string swaps write 4 words per grain; the LLT must hit"
-    );
+    assert!(cores.llt_hits > 0, "string swaps write 4 words per grain; the LLT must hit");
     let miss_rate = cores.llt_miss_rate_pct().unwrap();
-    assert!(
-        (1.0..90.0).contains(&miss_rate),
-        "SS miss rate {miss_rate}% outside plausible band"
-    );
+    assert!((1.0..90.0).contains(&miss_rate), "SS miss rate {miss_rate}% outside plausible band");
 }
 
 /// A five-scheme sweep on one workload must keep per-scheme uop counts

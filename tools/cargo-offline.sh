@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run an arbitrary cargo command against the offline stubs, e.g.
+#   tools/cargo-offline.sh test -q -p proteus-harness
+# See tools/offline-check.sh for the full curated check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+STUBS=(serde serde_derive rand bytes proptest criterion)
+PATCH_ARGS=()
+for s in "${STUBS[@]}"; do
+    PATCH_ARGS+=(--config "patch.crates-io.${s}.path='${ROOT}/tools/stubs/${s}'")
+done
+export CARGO_TARGET_DIR="${ROOT}/target-offline"
+LOCK_BACKUP=""
+if [[ -f Cargo.lock ]]; then
+    LOCK_BACKUP="$(mktemp)"
+    cp Cargo.lock "$LOCK_BACKUP"
+fi
+restore_lock() {
+    if [[ -n "$LOCK_BACKUP" ]]; then mv "$LOCK_BACKUP" Cargo.lock; else rm -f Cargo.lock; fi
+}
+trap restore_lock EXIT
+# Patch flags go after the subcommand so external subcommands (clippy)
+# forward them to their inner cargo invocation.
+SUB="$1"; shift
+cargo "$SUB" "${PATCH_ARGS[@]}" "$@" --offline

@@ -1,0 +1,84 @@
+//! Offline stub of `bytes`: only `BytesMut::with_capacity`,
+//! `BufMut::put_u64_le`, and `Buf::get_u64_le` on `&[u8]`, which is all
+//! `proteus-core::entry` uses for the 64-byte log-entry wire format.
+
+use std::ops::Deref;
+
+/// Growable byte buffer (thin `Vec<u8>` wrapper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Stub of `bytes::BufMut` (write side).
+pub trait BufMut {
+    /// Appends `v` in little-endian byte order.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Stub of `bytes::Buf` (read side).
+pub trait Buf {
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(0xDEAD_BEEF_0BAD_F00D);
+        buf.put_u64_le(42);
+        assert_eq!(buf.len(), 16);
+        let mut r: &[u8] = buf.as_ref();
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(r.get_u64_le(), 42);
+        assert!(r.is_empty());
+    }
+}

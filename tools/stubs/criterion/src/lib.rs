@@ -1,0 +1,4 @@
+//! Offline stub of `criterion`: resolution-only placeholder.
+//!
+//! Criterion benches (`crates/bench/benches/`) need the real crate; the
+//! offline check does not build bench targets.

@@ -1,0 +1,5 @@
+//! Offline stub of `proptest`: resolution-only placeholder.
+//!
+//! Property tests (`tests/prop_*.rs`, `crates/*/tests/prop_*.rs`) need
+//! the real crate; the offline check skips those targets. Nothing in
+//! any library crate depends on proptest.

@@ -1,0 +1,160 @@
+//! Offline stub of `rand` 0.9 — functional, not just type-checking.
+//!
+//! The workspace draws randomness only through `StdRng::seed_from_u64`
+//! plus `Rng::{random, random_range, random_bool}`; this stub backs
+//! those with xoshiro256** seeded via splitmix64. Streams are
+//! deterministic per seed but *different* from the real `rand` crate,
+//! so absolute experiment numbers differ offline; every test in the
+//! workspace asserts shapes or self-consistency, not golden values.
+
+/// Concrete RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    /// xoshiro256** with a splitmix64 seeding sequence.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stub of `rand::SeedableRng` (only the `seed_from_u64` entry point).
+pub trait SeedableRng: Sized {
+    /// Seeds the generator from a single `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng { s: core::array::from_fn(|_| splitmix64(&mut sm)) }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// Types producible by [`Rng::random`] in this stub.
+pub trait FromRng {
+    /// Builds a value from one raw 64-bit draw.
+    fn from_raw(raw: u64) -> Self;
+}
+
+impl FromRng for u32 {
+    fn from_raw(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl FromRng for u64 {
+    fn from_raw(raw: u64) -> Self {
+        raw
+    }
+}
+
+/// Range types samplable by [`Rng::random_range`] in this stub.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Samples uniformly from the range given a raw 64-bit draw.
+    fn sample(self, raw: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift uniform mapping (Lemire, biased by at
+                // most span/2^64 — irrelevant for workload generation).
+                let hi = ((raw as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u64, u32, usize);
+
+/// Stub of `rand::Rng` covering the methods this workspace calls.
+pub trait Rng {
+    /// One raw 64-bit draw.
+    fn next_raw(&mut self) -> u64;
+
+    /// Uniform value of `T`.
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_raw(self.next_raw())
+    }
+
+    /// Uniform value in `range` (half-open).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_raw())
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_raw(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_raw(), c.next_raw());
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = r.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "got {hits}");
+    }
+}

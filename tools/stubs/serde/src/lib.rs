@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides just enough surface for this workspace to compile without
+//! the real crate: the `Serialize`/`Deserialize` trait *names* (nothing
+//! in the workspace calls serde serialisation at runtime) and the no-op
+//! derive macros under the same names.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stub of `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Stub of `serde::Deserialize`; never implemented or required.
+pub trait Deserialize<'de>: Sized {}

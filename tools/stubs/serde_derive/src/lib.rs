@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! annotations (no code serialises through serde), so empty expansions
+//! are enough to type-check and run everything that matters offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
