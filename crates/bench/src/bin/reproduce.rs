@@ -1,8 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|all>
-//!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH]
+//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|all>
+//!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]
 //! ```
 //!
 //! `--scale` scales the Table 2 op counts (default 0.1); `--threads`
@@ -20,18 +20,24 @@
 //! * `--events PATH` — append a structured JSONL telemetry stream
 //!   (job start/end, outcomes, simulated cycles, sim-cycles/s, queue
 //!   depth, worker occupancy) for offline analysis.
+//!
+//! `crashsweep` explores crash points across every failure-safe scheme
+//! and self-validates against the `disable_persist_ordering` fault
+//! knob, writing its shrunk repro artifact to `--file` (default: a
+//! fixed path under the system temp directory). `crashrepro` replays
+//! such an artifact.
 
 use proteus_bench::experiments::{
-    ablation_llt, ablation_threads, ablation_wpq, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
-    table1, table2, table3, table4, ExperimentCtx,
+    ablation_llt, ablation_threads, ablation_wpq, crashrepro, crashsweep, fig10, fig11, fig12,
+    fig6, fig7, fig8, fig9, table1, table2, table3, table4, ExperimentCtx,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|all> \
-         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH]"
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|all> \
+         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]"
     );
     ExitCode::FAILURE
 }
@@ -66,6 +72,10 @@ fn main() -> ExitCode {
                 ctx.opts.events = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
+            "--file" if i + 1 < args.len() => {
+                ctx.file = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return usage();
@@ -89,6 +99,8 @@ fn main() -> ExitCode {
         ("ablation-llt", ablation_llt),
         ("ablation-threads", ablation_threads),
         ("ablation-wpq", ablation_wpq),
+        ("crashsweep", crashsweep),
+        ("crashrepro", crashrepro),
     ];
 
     let selected: Vec<_> = if target == "all" {

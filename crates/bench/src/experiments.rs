@@ -66,13 +66,15 @@ pub struct ExperimentCtx {
     pub scale: ExperimentScale,
     /// Harness options threaded into every scheme sweep.
     pub opts: SweepOptions,
+    /// Artifact path for `crashsweep`/`crashrepro` (`--file`).
+    pub file: Option<std::path::PathBuf>,
 }
 
 impl ExperimentCtx {
     /// Context with default orchestration (auto workers, no ledger or
     /// event stream).
     pub fn from_scale(scale: ExperimentScale) -> Self {
-        ExperimentCtx { scale, opts: SweepOptions::default() }
+        ExperimentCtx { scale, opts: SweepOptions::default(), file: None }
     }
 }
 
@@ -550,6 +552,145 @@ pub fn ablation_llt(ctx: &ExperimentCtx) -> Result<String, SimError> {
         table.row(row);
     }
     Ok(format!("Ablation: Proteus speedup vs LLT size\n{}", table.render()))
+}
+
+/// The failure-safe scheme set `crashsweep` must hold to zero
+/// violations (NoLog is failure-*unsafe* by design; SwPmemPcommit is
+/// SwPmem plus a fence and adds nothing to crash coverage).
+const CRASH_SCHEMES: [LoggingSchemeKind; 4] = [
+    LoggingSchemeKind::SwPmem,
+    LoggingSchemeKind::Atom,
+    LoggingSchemeKind::Proteus,
+    LoggingSchemeKind::ProteusNoLwr,
+];
+
+/// Where `crashsweep` leaves its shrunk repro artifact and where
+/// `crashrepro` looks for it when `--file` is not given.
+fn default_repro_path() -> std::path::PathBuf {
+    std::env::temp_dir().join("proteus_crash_repro.json")
+}
+
+fn crash_params(ctx: &ExperimentCtx, bench: Benchmark) -> WorkloadParams {
+    // Sized so every (workload, scheme) cell clears 200 persist events
+    // at the default scale 0.1 — exploration then touches >= 200 crash
+    // points per cell. Two threads keep the oracle's cross-thread
+    // boundary matching in play without slowing the sweep down.
+    let ops = |full: f64| ((full * ctx.scale.scale).round() as usize).max(4);
+    WorkloadParams { threads: 2, init_ops: ops(800.0), sim_ops: ops(480.0), seed: 29 }
+        .with_derived_seed(bench)
+}
+
+/// Crash-point sweep: systematic crash/recover/check across the
+/// failure-safe schemes, then the seeded `disable_persist_ordering`
+/// self-test proving the checker has teeth.
+///
+/// # Errors
+///
+/// Fails on simulation errors, on any consistency violation in the
+/// failure-safe matrix, and if the deliberately broken core is *not*
+/// caught.
+pub fn crashsweep(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    use proteus_crash::{explore, shrink, ExploreSpec};
+
+    let benches = [Benchmark::Queue, Benchmark::HashMap, Benchmark::RbTree];
+    let specs: Vec<ExploreSpec> = benches
+        .iter()
+        .flat_map(|&bench| {
+            CRASH_SCHEMES
+                .iter()
+                .map(move |&scheme| ExploreSpec::new(bench, crash_params(ctx, bench), scheme, 512))
+        })
+        .collect();
+    let report = proteus_crash::sweep(&specs, &ctx.opts)?;
+
+    let mut table = Table::new(["bench", "scheme", "events", "points", "violations"]);
+    let mut violated = Vec::new();
+    for (spec, result) in specs.iter().zip(&report.results) {
+        let outcome = result.payload.as_ref().ok_or_else(|| {
+            SimError::HarnessIo(format!("exploration '{}' did not complete", result.name))
+        })?;
+        table.row([
+            spec.bench.abbrev().to_string(),
+            spec.scheme.label().to_string(),
+            outcome.total_events.to_string(),
+            outcome.points_explored.to_string(),
+            outcome.violations.len().to_string(),
+        ]);
+        if let Some(v) = outcome.violations.first() {
+            violated.push(format!("{} at event {}: {}", spec.name(), v.event, v.detail));
+        }
+    }
+    if let Some(first) = violated.first() {
+        return Err(SimError::ConsistencyViolation(first.clone()));
+    }
+
+    // Self-validation: the broken core must be caught, shrunk, and the
+    // artifact must replay the violation from scratch.
+    let broken = ExploreSpec {
+        broken_ordering: true,
+        ..ExploreSpec::new(
+            Benchmark::Queue,
+            WorkloadParams { threads: 1, init_ops: 40, sim_ops: 8, seed: 7 },
+            LoggingSchemeKind::Proteus,
+            512,
+        )
+    };
+    let outcome = explore(&broken)?;
+    if outcome.violations.is_empty() {
+        return Err(SimError::ConsistencyViolation(format!(
+            "self-test FAILED: disable_persist_ordering escaped {} crash points",
+            outcome.points_explored
+        )));
+    }
+    let repro = shrink(&broken)?.ok_or_else(|| {
+        SimError::ConsistencyViolation("self-test FAILED: violation did not shrink".into())
+    })?;
+    let path = ctx.file.clone().unwrap_or_else(default_repro_path);
+    repro.save(&path)?;
+    let replay = repro.replay()?;
+    if !replay.violated {
+        return Err(SimError::ConsistencyViolation(
+            "self-test FAILED: shrunk repro did not replay".into(),
+        ));
+    }
+
+    Ok(format!(
+        "Crash sweep: consistency checked at every sampled persist event\n{}\n\
+         self-test: disable_persist_ordering caught at {} of {} crash points,\n\
+         shrunk to {} (event {}), replayed from {}",
+        table.render(),
+        outcome.violations.len(),
+        outcome.points_explored,
+        repro.spec.name(),
+        repro.event,
+        path.display(),
+    ))
+}
+
+/// Replays a shrunk crash-repro artifact written by `crashsweep` (or by
+/// hand) and reports whether the violation still reproduces.
+///
+/// # Errors
+///
+/// Fails if the artifact cannot be read or the replay itself errors.
+pub fn crashrepro(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    use proteus_crash::CrashRepro;
+
+    let path = ctx.file.clone().unwrap_or_else(default_repro_path);
+    let repro = CrashRepro::load(&path)?;
+    let replay = repro.replay()?;
+    Ok(format!(
+        "Crash repro {}: {} crashing at persist event {}\n  expected: {}\n  replayed: {}",
+        path.display(),
+        repro.spec.name(),
+        repro.event,
+        repro.detail,
+        if replay.violated {
+            format!("VIOLATED — {}", replay.detail)
+        } else {
+            "consistent (did NOT reproduce)".to_string()
+        },
+    ))
 }
 
 #[cfg(test)]

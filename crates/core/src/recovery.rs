@@ -113,20 +113,80 @@ pub fn recover(
     kind: LoggingSchemeKind,
     threads: &[ThreadId],
 ) -> Result<RecoveryReport, SimError> {
+    recover_with_budget(image, layout, kind, threads, usize::MAX).map(|b| b.report)
+}
+
+/// Result of a budgeted (possibly truncated) recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedRecovery {
+    /// What recovery did up to the point the budget ran out. Outcomes for
+    /// work past the cut-off reflect the *attempt*, not durable state.
+    pub report: RecoveryReport,
+    /// Durable writes actually performed.
+    pub writes: usize,
+    /// Whether the budget ran out before recovery finished.
+    pub exhausted: bool,
+}
+
+/// Like [`recover`], but performs at most `budget` durable writes and then
+/// silently drops the rest — modelling a second crash *during* recovery.
+///
+/// Every durable write recovery makes (one undo-grain apply, one logFlag
+/// clear, one commit-marker stamp) costs one unit and happens in the same
+/// order as in an unbudgeted run, so "crash after k recovery writes" is
+/// exactly `budget == k`. Enumerating `k` from zero to the write count of
+/// a full pass visits every crash point inside recovery; re-running
+/// recovery on the truncated image must then converge to the same state
+/// (the idempotence the logFlag and commit-marker protocols promise).
+///
+/// # Errors
+///
+/// Returns [`SimError::CorruptLog`] as [`recover`] does; the check reads
+/// the log before any write, so it is unaffected by the budget.
+pub fn recover_with_budget(
+    image: &mut WordImage,
+    layout: &AddressLayout,
+    kind: LoggingSchemeKind,
+    threads: &[ThreadId],
+    budget: usize,
+) -> Result<BudgetedRecovery, SimError> {
+    let mut budget = WriteBudget { limit: budget, used: 0, denied: false };
     let mut report = RecoveryReport::default();
     for &thread in threads {
         let outcome = match kind {
             LoggingSchemeKind::SwPmem | LoggingSchemeKind::SwPmemPcommit => {
-                recover_sw_thread(image, layout, thread)?
+                recover_sw_thread(image, layout, thread, &mut budget)?
             }
             LoggingSchemeKind::Atom
             | LoggingSchemeKind::Proteus
-            | LoggingSchemeKind::ProteusNoLwr => recover_hw_thread(image, layout, thread)?,
+            | LoggingSchemeKind::ProteusNoLwr => {
+                recover_hw_thread(image, layout, thread, &mut budget)?
+            }
             LoggingSchemeKind::NoLog => ThreadOutcome::Clean,
         };
         report.outcomes.push((thread, outcome));
     }
-    Ok(report)
+    Ok(BudgetedRecovery { report, writes: budget.used, exhausted: budget.denied })
+}
+
+/// Durable-write allowance for a budgeted recovery pass. Once a write is
+/// denied, every later one is too — the machine is dead from that point.
+#[derive(Debug)]
+struct WriteBudget {
+    limit: usize,
+    used: usize,
+    denied: bool,
+}
+
+impl WriteBudget {
+    fn allow(&mut self) -> bool {
+        if self.denied || self.used >= self.limit {
+            self.denied = true;
+            return false;
+        }
+        self.used += 1;
+        true
+    }
 }
 
 /// Scans a thread's log area, returning `(slot_address, entry)` pairs for
@@ -164,8 +224,11 @@ fn earliest_per_grain(entries: &[(Addr, LogEntry)], tx: TxId) -> Vec<LogEntry> {
     list
 }
 
-fn apply_undo(image: &mut WordImage, entries: &[LogEntry]) {
+fn apply_undo(image: &mut WordImage, entries: &[LogEntry], budget: &mut WriteBudget) {
     for e in entries {
+        if !budget.allow() {
+            return;
+        }
         image.write_grain(e.log_from, &e.data);
     }
 }
@@ -174,6 +237,7 @@ fn recover_sw_thread(
     image: &mut WordImage,
     layout: &AddressLayout,
     thread: ThreadId,
+    budget: &mut WriteBudget,
 ) -> Result<ThreadOutcome, SimError> {
     let flag_addr = layout.log_flag(thread);
     let flag = image.read_word(flag_addr);
@@ -183,8 +247,10 @@ fn recover_sw_thread(
     let tx = TxId::new(flag);
     let entries = scan_log_area(image, layout, thread);
     let undo = earliest_per_grain(&entries, tx);
-    apply_undo(image, &undo);
-    image.write_word(flag_addr, 0);
+    apply_undo(image, &undo, budget);
+    if budget.allow() {
+        image.write_word(flag_addr, 0);
+    }
     Ok(ThreadOutcome::RolledBack { tx, entries_applied: undo.len() })
 }
 
@@ -192,6 +258,7 @@ fn recover_hw_thread(
     image: &mut WordImage,
     layout: &AddressLayout,
     thread: ThreadId,
+    budget: &mut WriteBudget,
 ) -> Result<ThreadOutcome, SimError> {
     let entries = scan_log_area(image, layout, thread);
     let Some(max_tx) = entries.iter().map(|(_, e)| e.tx).max() else {
@@ -207,7 +274,7 @@ fn recover_hw_thread(
             "{thread}: live transaction {max_tx} has no undo entries"
         )));
     }
-    apply_undo(image, &undo);
+    apply_undo(image, &undo, budget);
     // Stamp a commit marker on the transaction's latest entry so a repeat
     // recovery (crash during recovery) treats it as resolved.
     let (slot, latest) = entries
@@ -216,7 +283,9 @@ fn recover_hw_thread(
         .max_by_key(|(_, e)| e.seq)
         .copied()
         .expect("entries nonempty for max_tx");
-    latest.with_commit_marker().write_to(image, slot);
+    if budget.allow() {
+        latest.with_commit_marker().write_to(image, slot);
+    }
     Ok(ThreadOutcome::RolledBack { tx: max_tx, entries_applied: undo.len() })
 }
 
@@ -354,6 +423,38 @@ mod tests {
         assert_eq!(r.entries_applied(), 2);
         assert_eq!(img.read_grain(a), [1, 2, 3, 4]);
         assert_eq!(img.read_grain(b), [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn budgeted_recovery_truncates_then_second_pass_converges() {
+        let layout = layout();
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0020);
+        let mut pristine = WordImage::new();
+        pristine.write_word(a, 100);
+        pristine.write_word(b, 200);
+        put_entry(&mut pristine, &layout, 0, LogEntry::new([1, 2, 3, 4], a, TxId::new(2), 0));
+        put_entry(&mut pristine, &layout, 1, LogEntry::new([5, 6, 7, 8], b, TxId::new(2), 1));
+
+        // A full pass needs 3 writes: two undo applies plus the marker stamp.
+        let mut full = pristine.clone();
+        let done =
+            recover_with_budget(&mut full, &layout, LoggingSchemeKind::Proteus, &[thread()], 999)
+                .unwrap();
+        assert_eq!(done.writes, 3);
+        assert!(!done.exhausted);
+
+        for k in 0..done.writes {
+            let mut img = pristine.clone();
+            let partial =
+                recover_with_budget(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()], k)
+                    .unwrap();
+            assert_eq!(partial.writes, k);
+            assert!(partial.exhausted, "budget {k} of 3 must run out");
+            // The second (unbudgeted) recovery converges to the full result.
+            recover(&mut img, &layout, LoggingSchemeKind::Proteus, &[thread()]).unwrap();
+            assert_eq!(img, full, "double-crash at write {k} must still converge");
+        }
     }
 
     #[test]

@@ -128,6 +128,16 @@ struct MshrEntry {
     logload_waiters: Vec<(u64, usize)>, // (seq, lr)
 }
 
+/// A ready log flush buffered locally by the `disable_persist_ordering`
+/// fault knob instead of being sent to the memory controller.
+#[derive(Debug, Clone)]
+struct HeldFlush {
+    id: u64,
+    slot: Addr,
+    words: [u64; 8],
+    tx: TxId,
+}
+
 /// A single out-of-order core executing one thread's trace.
 #[derive(Debug)]
 pub struct Core {
@@ -167,6 +177,11 @@ pub struct Core {
     logarea: LogArea,
     current_tx: Option<TxId>,
     flush_meta: HashMap<u64, (usize, u64, TxId)>, // logq_id -> (lr, entry seq, tx)
+    /// Fault-injection knob (see `ProteusHwConfig::disable_persist_ordering`):
+    /// stores skip the write-ahead gate and ready flushes are buffered in
+    /// `held_flushes` until the commit fence instead of being sent.
+    persist_ordering_disabled: bool,
+    held_flushes: Vec<HeldFlush>,
 
     atom_logged: HashSet<u64>,
     atom_acks_outstanding: usize,
@@ -221,6 +236,9 @@ impl Core {
             logarea: LogArea::new(thread, layout),
             current_tx: None,
             flush_meta: HashMap::new(),
+            persist_ordering_disabled: cfg.proteus.disable_persist_ordering
+                && scheme.uses_proteus_hw(),
+            held_flushes: Vec::new(),
             atom_logged: HashSet::new(),
             atom_acks_outstanding: 0,
             mshr: HashMap::new(),
@@ -504,17 +522,28 @@ impl Core {
             // and recycles immediately — this is what makes 8 LRs enough.
             self.lrs.free(lr);
             let entry = LogEntry::new(data, grain.base(), tx, entry_seq);
-            self.out.push((
-                now + UNCACHED_DELAY,
-                McRequest::LogFlush {
-                    slot,
-                    words: entry.encode_words(),
-                    core: self.id,
-                    tx,
-                    flush_id: encode_id(self.id, id),
-                },
-            ));
-            self.logq.mark_sent(id);
+            let words = entry.encode_words();
+            if self.persist_ordering_disabled {
+                // Broken-ordering knob: buffer the ready entry locally
+                // ("defer the log to commit") instead of sending it. The
+                // LogQ entry is marked sent but stays unacknowledged, so
+                // the commit fence still waits for the eventual ack.
+                self.flush_meta.remove(&id);
+                self.logq.mark_sent(id);
+                self.held_flushes.push(HeldFlush { id, slot, words, tx });
+            } else {
+                self.out.push((
+                    now + UNCACHED_DELAY,
+                    McRequest::LogFlush {
+                        slot,
+                        words,
+                        core: self.id,
+                        tx,
+                        flush_id: encode_id(self.id, id),
+                    },
+                ));
+                self.logq.mark_sent(id);
+            }
             // The flush micro-op has executed; it may now retire. The
             // LogQ entry lives on until the ack.
             if let Some(idx) = self.rob.iter().position(
@@ -526,6 +555,45 @@ impl Core {
                 }
             }
         }
+        self.release_held_flushes(now);
+    }
+
+    /// With `disable_persist_ordering` set, buffered log flushes go out
+    /// only once the transaction's commit fence is at the ROB head and
+    /// every data write-back has been acknowledged durable — i.e. strictly
+    /// *after* the stores they were supposed to precede, the classic
+    /// write-ahead-logging violation. A full LogQ spills the oldest
+    /// buffered flush early so oversized transactions still drain.
+    fn release_held_flushes(&mut self, now: Cycle) {
+        if self.held_flushes.is_empty() {
+            return;
+        }
+        let fence_at_head = matches!(
+            self.rob.front().map(|e| e.uop),
+            Some(Uop::TxEnd { .. } | Uop::Sfence | Uop::Pcommit | Uop::LogSave)
+        );
+        let data_durable = self.pending_clwbs.is_empty() && self.storeq.iter().all(|s| !s.retired);
+        if fence_at_head && data_durable {
+            for h in std::mem::take(&mut self.held_flushes) {
+                self.send_held_flush(h, now);
+            }
+        } else if !self.logq.has_space() {
+            let h = self.held_flushes.remove(0);
+            self.send_held_flush(h, now);
+        }
+    }
+
+    fn send_held_flush(&mut self, h: HeldFlush, now: Cycle) {
+        self.out.push((
+            now + UNCACHED_DELAY,
+            McRequest::LogFlush {
+                slot: h.slot,
+                words: h.words,
+                core: self.id,
+                tx: h.tx,
+                flush_id: encode_id(self.id, h.id),
+            },
+        ));
     }
 
     fn persist_drained(&self) -> bool {
@@ -729,8 +797,12 @@ impl Core {
         }
         // Write-ahead ordering: an unacknowledged log flush for this grain
         // blocks the release (Proteus §4.2). ATOM blocks at retirement
-        // instead; software schemes order via sfence.
-        if self.scheme.uses_proteus_hw() && self.logq.blocks_store_to(head.addr.log_grain()) {
+        // instead; software schemes order via sfence. The fault knob
+        // removes exactly this gate.
+        if self.scheme.uses_proteus_hw()
+            && !self.persist_ordering_disabled
+            && self.logq.blocks_store_to(head.addr.log_grain())
+        {
             return;
         }
         // Write-allocate: only attempt the store once the line is

@@ -1,0 +1,89 @@
+//! Parallel crash sweeps through the experiment harness.
+//!
+//! Each [`ExploreSpec`] becomes one harness job named
+//! `crash/<bench>/<scheme>/<fault>`, keyed by its stable spec hash, so
+//! sweeps inherit everything `proteus-harness` provides: a worker pool
+//! with panic isolation, a resumable JSON Lines ledger (re-running an
+//! interrupted sweep skips completed explorations and restores their
+//! outcomes), and the structured telemetry stream.
+
+use crate::explore::{explore, ExploreOutcome, ExploreSpec, ViolationPoint};
+use proteus_harness::{Harness, JobSpec, Json, PayloadCodec, SweepOptions, SweepReport};
+use proteus_types::SimError;
+
+/// Runs every spec through the harness worker pool.
+///
+/// # Errors
+///
+/// Only harness infrastructure failures ([`SimError::HarnessIo`]) are
+/// errors; per-job simulator errors surface as failed jobs in the
+/// report, and consistency violations are *data* in each job's
+/// [`ExploreOutcome`] payload.
+pub fn sweep(
+    specs: &[ExploreSpec],
+    opts: &SweepOptions,
+) -> Result<SweepReport<ExploreOutcome>, SimError> {
+    let jobs: Vec<JobSpec> = specs.iter().map(|s| JobSpec::new(s.name(), s.spec_hash())).collect();
+    Harness::<ExploreOutcome>::new()
+        .with_codec(outcome_codec())
+        .with_metric(|o| o.points_explored as u64)
+        .run(&jobs, opts, |i| explore(&specs[i]).map_err(|e| e.to_string()))
+}
+
+/// Ledger codec for [`ExploreOutcome`] payloads.
+pub fn outcome_codec() -> PayloadCodec<ExploreOutcome> {
+    PayloadCodec { encode: encode_outcome, decode: decode_outcome }
+}
+
+fn encode_outcome(o: &ExploreOutcome) -> Json {
+    Json::obj([
+        ("total_events", Json::U64(o.total_events)),
+        ("points_explored", Json::U64(o.points_explored as u64)),
+        (
+            "violations",
+            Json::Arr(
+                o.violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([("event", Json::U64(v.event)), ("detail", Json::str(&v.detail))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_outcome(v: &Json) -> Option<ExploreOutcome> {
+    Some(ExploreOutcome {
+        total_events: v.get("total_events")?.as_u64()?,
+        points_explored: v.get("points_explored")?.as_usize()?,
+        violations: v
+            .get("violations")?
+            .as_arr()?
+            .iter()
+            .map(|p| {
+                Some(ViolationPoint {
+                    event: p.get("event")?.as_u64()?,
+                    detail: p.get("detail")?.as_str()?.to_string(),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_codec_round_trips() {
+        let outcome = ExploreOutcome {
+            total_events: 512,
+            points_explored: 64,
+            violations: vec![ViolationPoint { event: 17, detail: "torn".to_string() }],
+        };
+        let json = encode_outcome(&outcome);
+        assert_eq!(decode_outcome(&json), Some(outcome));
+        assert_eq!(decode_outcome(&Json::Null), None);
+    }
+}

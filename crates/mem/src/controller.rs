@@ -21,6 +21,7 @@
 //!   truncated at commit with per-entry invalidation writes.
 
 use crate::bank::{Bank, BankMap};
+use crate::persist_event::{CrashFaults, PersistEvent, PersistEventKind};
 use crate::request::{McEvent, McRequest};
 use crate::timing::ServiceTiming;
 use proteus_core::entry::{FLAG_COMMIT_MARKER, FLAG_VALID};
@@ -134,6 +135,13 @@ pub struct MemoryController {
     mem_ticks: u64,
     next_mem_tick: Cycle,
     stats: MemStats,
+
+    /// Monotonic count of durable-state transitions (crash-point index).
+    persist_seq: u64,
+    /// Cycle of the current tick, for timestamping persist events.
+    clock: Cycle,
+    record_persist: bool,
+    timeline: Vec<PersistEvent>,
 }
 
 #[derive(Debug)]
@@ -181,6 +189,10 @@ impl MemoryController {
             mem_ticks: 0,
             next_mem_tick: 0,
             stats: MemStats::new(),
+            persist_seq: 0,
+            clock: 0,
+            record_persist: false,
+            timeline: Vec::new(),
         }
     }
 
@@ -241,20 +253,77 @@ impl MemoryController {
     /// The durable state at a crash: NVMM contents plus — under ADR — the
     /// battery-drained WPQ and LPQ (including retained commit markers).
     pub fn crash_image(&self) -> WordImage {
+        self.crash_image_with(&CrashFaults::clean())
+    }
+
+    /// The durable state at a crash under the given fault model (see
+    /// [`CrashFaults`] for the semantics of each knob). Requests still in
+    /// the intake were never acknowledged and are always lost.
+    pub fn crash_image_with(&self, faults: &CrashFaults) -> WordImage {
         let mut image = self.nvmm.clone();
+        if let Some(mask) = faults.torn_word_mask {
+            // In-service bank writes landed partially. Entries stay
+            // queue-resident until the bank write completes, so a full
+            // ADR drain below overwrites the torn lines again.
+            for e in self.wpq.iter().filter(|e| e.in_service) {
+                Self::write_torn_line(&mut image, e.line, &e.data, mask);
+            }
+            for e in self.lpq.iter().filter(|e| e.in_service) {
+                Self::write_torn_line(&mut image, e.slot_line, &e.words, mask);
+            }
+        }
         if self.cfg.adr {
-            for e in &self.wpq {
+            let wpq_keep = faults.wpq_survivors.unwrap_or(self.wpq.len());
+            for e in self.wpq.iter().take(wpq_keep) {
                 image.write_line(e.line, &e.data);
             }
-            for e in &self.lpq {
+            let lpq_keep = faults.lpq_survivors.unwrap_or(self.lpq.len());
+            for e in self.lpq.iter().take(lpq_keep) {
                 image.write_line(e.slot_line, &e.words);
             }
         }
         image
     }
 
+    fn write_torn_line(image: &mut WordImage, line: LineAddr, data: &LineData, mask: u8) {
+        for (i, word) in data.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                image.write_word(line.base().offset(i as u64 * 8), *word);
+            }
+        }
+    }
+
+    /// Total durable-state transitions so far (the crash-point index
+    /// space: "crash at event k" = the state right after `persist_seq`
+    /// first reached k).
+    pub fn persist_seq(&self) -> u64 {
+        self.persist_seq
+    }
+
+    /// Enables or disables persist-event recording. The sequence counter
+    /// always runs; recording additionally keeps the per-event timeline.
+    pub fn set_record_persist_events(&mut self, on: bool) {
+        self.record_persist = on;
+        if !on {
+            self.timeline.clear();
+        }
+    }
+
+    /// The recorded timeline (empty unless recording is enabled).
+    pub fn persist_timeline(&self) -> &[PersistEvent] {
+        &self.timeline
+    }
+
+    fn persist_event(&mut self, kind: PersistEventKind) {
+        self.persist_seq += 1;
+        if self.record_persist {
+            self.timeline.push(PersistEvent { seq: self.persist_seq, at: self.clock, kind });
+        }
+    }
+
     /// Advances the controller to CPU cycle `now`.
     pub fn tick(&mut self, now: Cycle) {
+        self.clock = now;
         self.process_intake(now);
         self.feed_pending_writes();
         self.resolve_tx_ends(now);
@@ -323,7 +392,11 @@ impl MemoryController {
                 // transaction's retained commit marker (§4.3).
                 let dropped_before = self.lpq.len();
                 self.lpq.retain(|e| !(e.core == core && e.retained_marker && e.tx < tx));
-                self.stats.wpq_log_dropped += (dropped_before - self.lpq.len()) as u64;
+                let dropped = dropped_before - self.lpq.len();
+                self.stats.wpq_log_dropped += dropped as u64;
+                if dropped > 0 {
+                    self.persist_event(PersistEventKind::MarkerDrop { entries: dropped as u32 });
+                }
 
                 let seq = words[7];
                 self.lpq.push(LpqEntry {
@@ -337,6 +410,7 @@ impl MemoryController {
                     in_service: false,
                 });
                 self.stats.lpq_inserts += 1;
+                self.persist_event(PersistEventKind::LpqAccept { slot_line: slot.line() });
                 self.last_entry[core.index()] =
                     Some(LastEntry { tx, slot_line: slot.line(), words, seq });
                 self.events.push(McEvent::LogFlushAck { flush_id, at: now });
@@ -421,6 +495,7 @@ impl MemoryController {
             if let Some(e) = self.wpq.iter_mut().find(|e| e.line == line && e.coalescable()) {
                 e.data = data;
                 self.stats.wpq_inserts += 1;
+                self.persist_event(PersistEventKind::WpqAccept { line });
                 return true;
             }
         }
@@ -429,6 +504,7 @@ impl MemoryController {
         }
         self.wpq.push(WpqEntry { line, data, kind, in_service: false });
         self.stats.wpq_inserts += 1;
+        self.persist_event(PersistEventKind::WpqAccept { line });
         true
     }
 
@@ -480,6 +556,11 @@ impl MemoryController {
                         })
                         .map(|e| e.data[6] |= FLAG_COMMIT_MARKER)
                         .is_some();
+                    if stamped {
+                        self.persist_event(PersistEventKind::MarkerStamp {
+                            slot_line: last.slot_line,
+                        });
+                    }
                     if !stamped {
                         let mut words = last.words;
                         words[6] |= FLAG_COMMIT_MARKER;
@@ -504,6 +585,7 @@ impl MemoryController {
                         });
                         if self.wpq.len() < before {
                             self.stats.wpq_log_dropped += 1;
+                            self.persist_event(PersistEventKind::LogClear { entries: 1 });
                         } else {
                             self.stats.nvmm_reads += 1; // read-modify-write
                             let mut cleared = [0u64; 8];
@@ -530,13 +612,19 @@ impl MemoryController {
                 self.lpq.retain(|e| {
                     !(e.core == core && e.tx == tx && !e.in_service && Some(e.seq) != last_seq)
                 });
-                self.stats.lpq_flash_cleared += (before - self.lpq.len()) as u64;
+                let cleared = before - self.lpq.len();
+                self.stats.lpq_flash_cleared += cleared as u64;
+                if cleared > 0 {
+                    self.persist_event(PersistEventKind::LogClear { entries: cleared as u32 });
+                }
                 if let Some(l) = last.filter(|l| l.tx == tx) {
                     if let Some(e) =
                         self.lpq.iter_mut().find(|e| e.core == core && e.tx == tx && e.seq == l.seq)
                     {
                         e.words[6] |= FLAG_COMMIT_MARKER;
                         e.retained_marker = true;
+                        let slot_line = e.slot_line;
+                        self.persist_event(PersistEventKind::MarkerStamp { slot_line });
                     } else {
                         // Last entry already escaped to NVMM: rewrite it
                         // there with the marker set.
@@ -560,6 +648,8 @@ impl MemoryController {
                         .find(|e| e.core == core && e.tx == tx && e.seq == l.seq && !e.in_service)
                     {
                         e.words[6] |= FLAG_COMMIT_MARKER;
+                        let slot_line = e.slot_line;
+                        self.persist_event(PersistEventKind::MarkerStamp { slot_line });
                     } else {
                         let mut words = l.words;
                         words[6] |= FLAG_COMMIT_MARKER | FLAG_VALID;
@@ -615,6 +705,7 @@ impl MemoryController {
                     {
                         let e = self.wpq.remove(pos);
                         self.nvmm.write_line(e.line, &e.data);
+                        self.persist_event(PersistEventKind::WpqDrain { line: e.line });
                         match e.kind {
                             WriteKind::Data => self.stats.nvmm_data_writes += 1,
                             WriteKind::Log => self.stats.nvmm_log_writes += 1,
@@ -632,6 +723,7 @@ impl MemoryController {
                     {
                         let e = self.lpq.remove(pos);
                         self.nvmm.write_line(e.slot_line, &e.words);
+                        self.persist_event(PersistEventKind::LpqDrain { slot_line: e.slot_line });
                         self.stats.nvmm_log_writes += 1;
                         self.stats.lpq_drained += 1;
                     }
@@ -1007,6 +1099,85 @@ mod tests {
         assert_eq!(events.iter().filter(|e| matches!(e, McEvent::WritebackAck { .. })).count(), 4);
         assert!(mc.stats().wpq_full_rejections > 0);
         assert_eq!(mc.stats().nvmm_data_writes, 4);
+    }
+
+    #[test]
+    fn persist_events_number_durable_transitions() {
+        let lay = layout();
+        let mut mc = MemoryController::new(small_cfg(), lay.clone(), LogDrainMode::KeepUntilCommit);
+        mc.set_record_persist_events(true);
+        assert_eq!(mc.persist_seq(), 0);
+        let addr = Addr::new(0x1000_0000);
+        let mut data = [0u64; 8];
+        data[0] = 7;
+        mc.submit(McRequest::WriteBack { line: addr.line(), data, ack_id: None }, 0);
+        flush_entry(&mut mc, &lay, 0, addr, 1, 0, 0);
+        mc.submit(McRequest::TxEnd { core: CoreId::new(0), tx: TxId::new(1) }, 5);
+        let (_, _) = run_until_quiescent(&mut mc, 0);
+        let timeline = mc.persist_timeline();
+        assert_eq!(mc.persist_seq(), timeline.len() as u64);
+        assert!(timeline.iter().any(|e| matches!(e.kind, PersistEventKind::WpqAccept { .. })));
+        assert!(timeline.iter().any(|e| matches!(e.kind, PersistEventKind::LpqAccept { .. })));
+        assert!(timeline.iter().any(|e| matches!(e.kind, PersistEventKind::MarkerStamp { .. })));
+        assert_eq!(timeline.first().map(|e| e.seq), Some(1), "indices are 1-based");
+        assert!(timeline.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn partial_adr_drain_loses_the_queue_suffix() {
+        let mut mc = MemoryController::new(small_cfg(), layout(), LogDrainMode::KeepUntilCommit);
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0040);
+        for (i, addr) in [a, b].iter().enumerate() {
+            let mut data = [0u64; 8];
+            data[0] = i as u64 + 1;
+            mc.submit(McRequest::WriteBack { line: addr.line(), data, ack_id: None }, 0);
+        }
+        mc.tick(0);
+        assert_eq!(mc.crash_image().read_word(b), 2, "clean drain folds everything");
+        let faults = CrashFaults { wpq_survivors: Some(1), ..CrashFaults::clean() };
+        let img = mc.crash_image_with(&faults);
+        assert_eq!(img.read_word(a), 1);
+        assert_eq!(img.read_word(b), 0, "second WPQ entry must be lost");
+    }
+
+    #[test]
+    fn torn_in_service_writes_are_masked_by_a_full_adr_drain() {
+        let mut mc = MemoryController::new(small_cfg(), layout(), LogDrainMode::KeepUntilCommit);
+        for i in 0..3u64 {
+            let data = [i + 1; 8];
+            mc.submit(
+                McRequest::WriteBack {
+                    line: Addr::new(0x1000_0000 + i * 64).line(),
+                    data,
+                    ack_id: None,
+                },
+                0,
+            );
+        }
+        for now in 0..10_000 {
+            mc.tick(now);
+            mc.drain_events();
+            if mc.wpq.iter().any(|e| e.in_service) {
+                break;
+            }
+        }
+        let e = mc.wpq.iter().find(|e| e.in_service).expect("a bank write in flight").clone();
+        let torn = CrashFaults { torn_word_mask: Some(0b0000_0001), ..CrashFaults::clean() };
+        assert_eq!(
+            mc.crash_image_with(&torn),
+            mc.crash_image(),
+            "queue-resident entries must paper over torn bank writes"
+        );
+        // Without the fold (battery dead), the torn line shows through.
+        let bare = CrashFaults {
+            torn_word_mask: Some(0b0000_0001),
+            wpq_survivors: Some(0),
+            lpq_survivors: Some(0),
+        };
+        let img = mc.crash_image_with(&bare);
+        assert_eq!(img.read_word(e.line.base()), e.data[0], "masked word landed");
+        assert_eq!(img.read_word(e.line.base().offset(8)), 0, "unmasked word must not land");
     }
 
     #[test]

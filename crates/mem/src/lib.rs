@@ -19,9 +19,11 @@
 
 pub mod bank;
 pub mod controller;
+pub mod persist_event;
 pub mod request;
 pub mod timing;
 
 pub use controller::{LogDrainMode, MemoryController};
+pub use persist_event::{CrashFaults, PersistEvent, PersistEventKind};
 pub use request::{McEvent, McRequest};
 pub use timing::ServiceTiming;

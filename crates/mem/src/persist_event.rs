@@ -1,0 +1,127 @@
+//! The persist-event timeline and crash fault models.
+//!
+//! Every transition of the controller's *durable* state — the NVMM array
+//! plus, under ADR, the WPQ and LPQ — is a persist event. The controller
+//! numbers them with a monotonic sequence counter so a crash point can be
+//! named as "immediately after the k-th durable transition", independent
+//! of cycle counts. `proteus-crash` enumerates these indices to explore
+//! crash states systematically.
+//!
+//! [`CrashFaults`] describes how the dying machine deviates from a clean
+//! ADR drain when the crash image is built. The clean model (everything
+//! queue-resident survives, everything unaccepted is lost) is exactly what
+//! the acknowledgement protocol promises software; the fault knobs let the
+//! checker probe both sides of that contract.
+
+use proteus_types::addr::LineAddr;
+use proteus_types::clock::Cycle;
+
+/// What kind of durable-state transition occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistEventKind {
+    /// A write became durable by acceptance into the ADR-protected WPQ
+    /// (fresh insert or coalesce onto a pending entry).
+    WpqAccept {
+        /// Line that became (or re-became) durable.
+        line: LineAddr,
+    },
+    /// A WPQ entry finished its NVMM bank write and left the queue.
+    WpqDrain {
+        /// Line written to the NVMM array.
+        line: LineAddr,
+    },
+    /// A log flush became durable by acceptance into the LPQ.
+    LpqAccept {
+        /// Log slot line that became durable.
+        slot_line: LineAddr,
+    },
+    /// An LPQ entry finished its NVMM bank write and left the queue.
+    LpqDrain {
+        /// Log slot line written to the NVMM array.
+        slot_line: LineAddr,
+    },
+    /// Commit-time truncation dropped durable log entries (Proteus flash
+    /// clear, or one ATOM tracker clear).
+    LogClear {
+        /// Entries discarded from the durable image.
+        entries: u32,
+    },
+    /// A commit marker was stamped onto a queue-resident log entry.
+    MarkerStamp {
+        /// Slot line of the entry that gained the marker.
+        slot_line: LineAddr,
+    },
+    /// A retained commit marker was dropped by the next transaction's
+    /// first log entry (§4.3).
+    MarkerDrop {
+        /// Retained entries discarded.
+        entries: u32,
+    },
+}
+
+/// One durable-state transition, as recorded on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistEvent {
+    /// Monotonic index (1-based: the first transition has `seq == 1`).
+    pub seq: u64,
+    /// CPU cycle at which the transition happened.
+    pub at: Cycle,
+    /// What happened.
+    pub kind: PersistEventKind,
+}
+
+/// How a crash deviates from a clean ADR drain when the durable image is
+/// built. `CrashFaults::default()` is the clean crash.
+///
+/// Semantics of each knob:
+///
+/// * `torn_word_mask` — every queue entry whose NVMM bank write is *in
+///   service* at the crash first lands partially: only the words selected
+///   by the mask (bit i ⇒ word i of the 8-word line) reach the array.
+///   Because the controller keeps in-service entries queue-resident until
+///   the bank write completes, a correct ADR drain then overwrites the
+///   torn line with the full entry — so with ADR enabled this fault must
+///   be invisible. It exists to catch a future controller that frees
+///   entries before bank-write completion (an "ack early" bug), where the
+///   torn line would suddenly show through.
+/// * `wpq_survivors` / `lpq_survivors` — the dying battery drains only the
+///   first N entries of the respective queue (the rest are lost). This
+///   *exceeds* the ADR guarantee, so consistency is not expected; the
+///   checker reports such violations separately as expected detections.
+/// * Requests still in the controller intake (submitted but never
+///   accepted, hence never acknowledged) are always lost — that is the
+///   clean model already, not a fault knob: no scheme may depend on
+///   unacknowledged requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashFaults {
+    /// Bit i set ⇒ word i of each in-service line write landed.
+    pub torn_word_mask: Option<u8>,
+    /// Drain only the first N WPQ entries (`None` = all, the guarantee).
+    pub wpq_survivors: Option<usize>,
+    /// Drain only the first N LPQ entries (`None` = all, the guarantee).
+    pub lpq_survivors: Option<usize>,
+}
+
+impl CrashFaults {
+    /// The clean crash: full ADR drain, nothing torn.
+    pub fn clean() -> Self {
+        CrashFaults::default()
+    }
+
+    /// Whether this is the clean model (no deviation).
+    pub fn is_clean(&self) -> bool {
+        *self == CrashFaults::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_faults_are_default() {
+        assert!(CrashFaults::clean().is_clean());
+        assert!(!CrashFaults { torn_word_mask: Some(0x0F), ..CrashFaults::clean() }.is_clean());
+        assert!(!CrashFaults { wpq_survivors: Some(0), ..CrashFaults::clean() }.is_clean());
+    }
+}

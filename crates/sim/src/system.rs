@@ -6,7 +6,7 @@ use proteus_core::pmem::WordImage;
 use proteus_core::recovery::{recover, RecoveryReport};
 use proteus_core::scheme::{expand_program_with, ExpandOptions};
 use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY};
-use proteus_mem::{LogDrainMode, McEvent, MemoryController};
+use proteus_mem::{CrashFaults, LogDrainMode, McEvent, MemoryController, PersistEvent};
 use proteus_types::clock::Cycle;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
 use proteus_types::stats::RunSummary;
@@ -171,10 +171,58 @@ impl System {
         self.is_done()
     }
 
+    /// The threads this machine is running, in core order.
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+
+    /// How many persist events (durable-state transitions in the memory
+    /// controller) have occurred so far. See
+    /// [`proteus_mem::PersistEventKind`].
+    pub fn persist_seq(&self) -> u64 {
+        self.mc.persist_seq()
+    }
+
+    /// Turns recording of the persist-event timeline on or off. Turning
+    /// it off discards any recorded events; the sequence counter itself
+    /// always runs.
+    pub fn set_record_persist_events(&mut self, on: bool) {
+        self.mc.set_record_persist_events(on);
+    }
+
+    /// The recorded persist-event timeline (empty unless recording was
+    /// enabled via [`System::set_record_persist_events`]).
+    pub fn persist_timeline(&self) -> &[PersistEvent] {
+        self.mc.persist_timeline()
+    }
+
+    /// Steps until at least `seq` persist events have occurred, the trace
+    /// drains, or the runaway guard trips. Returns `true` if the target
+    /// was reached.
+    ///
+    /// Crash points are named by persist-event index, so "crash at event
+    /// k" means "stop stepping as soon as the counter reaches k and take
+    /// the crash image". The machine stops on the cycle boundary after
+    /// the event; if several events land in the same cycle the image is
+    /// the same for all of them.
+    pub fn run_until_persist_event(&mut self, seq: u64) -> bool {
+        while self.persist_seq() < seq && !self.is_done() && self.now < self.max_cycles {
+            self.step();
+        }
+        self.persist_seq() >= seq
+    }
+
     /// The durable state if power were lost right now (NVMM plus the
     /// ADR-protected controller queues).
     pub fn crash_image(&self) -> WordImage {
         self.mc.crash_image()
+    }
+
+    /// The durable state under a faulty crash: `faults` selects how the
+    /// dying machine deviates from the clean ADR drain (torn in-service
+    /// line writes, partial queue drain). See [`proteus_mem::CrashFaults`].
+    pub fn crash_image_with(&self, faults: &CrashFaults) -> WordImage {
+        self.mc.crash_image_with(faults)
     }
 
     /// Crashes the machine now and runs recovery over the durable image,
@@ -184,7 +232,20 @@ impl System {
     ///
     /// Propagates [`SimError::CorruptLog`] from recovery.
     pub fn crash_and_recover(&self) -> Result<(WordImage, RecoveryReport), SimError> {
-        let mut image = self.crash_image();
+        self.crash_and_recover_with(&CrashFaults::clean())
+    }
+
+    /// Like [`System::crash_and_recover`] but with an injected fault
+    /// model applied while building the durable image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::CorruptLog`] from recovery.
+    pub fn crash_and_recover_with(
+        &self,
+        faults: &CrashFaults,
+    ) -> Result<(WordImage, RecoveryReport), SimError> {
+        let mut image = self.crash_image_with(faults);
         let report = recover(&mut image, &self.layout, self.scheme, &self.threads)?;
         Ok((image, report))
     }
@@ -251,6 +312,23 @@ mod tests {
             System::new(&cfg, LoggingSchemeKind::NoLog, &workload()),
             Err(SimError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn run_until_persist_event_stops_at_the_requested_index() {
+        let cfg = SystemConfig::skylake_like().with_num_cores(1);
+        let mut sys = System::new(&cfg, LoggingSchemeKind::Proteus, &workload()).unwrap();
+        sys.set_record_persist_events(true);
+        assert!(sys.run_until_persist_event(3), "a queue workload persists plenty");
+        assert!(sys.persist_seq() >= 3);
+        assert_eq!(sys.persist_timeline().len() as u64, sys.persist_seq());
+        let at_three = sys.persist_seq();
+        // Running to completion keeps counting past the stop point.
+        assert!(sys.run_until(u64::MAX / 2));
+        assert!(sys.persist_seq() > at_three);
+        // An index beyond the final count is unreachable once done.
+        let total = sys.persist_seq();
+        assert!(!sys.run_until_persist_event(total + 1));
     }
 
     #[test]

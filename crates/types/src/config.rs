@@ -246,11 +246,25 @@ pub struct ProteusHwConfig {
     pub llt_entries: usize,
     /// LLT associativity.
     pub llt_ways: usize,
+    /// Test-only fault-injection knob: a Proteus core with this flag set
+    /// releases retired stores without waiting for their undo log entries
+    /// to be acknowledged, and buffers ready log flushes locally until the
+    /// transaction's commit fence — the classic write-ahead-logging
+    /// violation ("defer the log to commit"). `proteus-crash` uses it to
+    /// prove the consistency checker detects broken persist ordering.
+    /// Never enable it for performance experiments.
+    pub disable_persist_ordering: bool,
 }
 
 impl Default for ProteusHwConfig {
     fn default() -> Self {
-        ProteusHwConfig { log_registers: 8, logq_entries: 16, llt_entries: 64, llt_ways: 8 }
+        ProteusHwConfig {
+            log_registers: 8,
+            logq_entries: 16,
+            llt_entries: 64,
+            llt_ways: 8,
+            disable_persist_ordering: false,
+        }
     }
 }
 
@@ -369,6 +383,13 @@ impl SystemConfig {
     /// Returns the configuration with a different core count.
     pub fn with_num_cores(mut self, n: usize) -> Self {
         self.num_cores = n;
+        self
+    }
+
+    /// Returns the configuration with the Proteus write-ahead gate broken
+    /// (see [`ProteusHwConfig::disable_persist_ordering`]). Test-only.
+    pub fn with_disable_persist_ordering(mut self, broken: bool) -> Self {
+        self.proteus.disable_persist_ordering = broken;
         self
     }
 

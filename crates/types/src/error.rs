@@ -59,6 +59,9 @@ pub enum SimError {
     /// The experiment harness could not read or write its resume ledger
     /// or event stream.
     HarnessIo(String),
+    /// The crash-consistency checker found a recovered image that matches
+    /// no transaction boundary of its workload (`proteus-crash`).
+    ConsistencyViolation(String),
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +89,9 @@ impl fmt::Display for SimError {
                 write!(f, "experiment job '{job}' panicked: {message}")
             }
             SimError::HarnessIo(msg) => write!(f, "harness i/o failure: {msg}"),
+            SimError::ConsistencyViolation(msg) => {
+                write!(f, "crash-consistency violation: {msg}")
+            }
         }
     }
 }

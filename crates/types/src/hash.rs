@@ -311,6 +311,7 @@ impl_stable_hash_struct!(
     logq_entries,
     llt_entries,
     llt_ways,
+    disable_persist_ordering,
 );
 
 impl_stable_hash_struct!(SystemConfig, "SystemConfig", num_cores, cores, caches, mem, proteus);

@@ -1,66 +1,80 @@
-//! Crash-consistency demonstration: pull the plug at many points during a
-//! red-black-tree workload and show that every failure-safe scheme
-//! recovers to a transaction boundary — while PMEM+nolog (the paper's
-//! ideal-but-unsafe case) can be left torn.
+//! Crash-consistency demonstration: systematically pull the plug at
+//! persist-event crash points during a red-black-tree workload and show
+//! that every failure-safe scheme recovers to a transaction boundary —
+//! then flip the `disable_persist_ordering` fault knob and watch the
+//! same exploration *catch* a core that releases stores before their
+//! undo log entries are durable.
 //!
 //! ```sh
 //! cargo run --release --example crash_recovery
 //! ```
 
-use proteus_sim::System;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
-use proteus_workloads::{generate, thread_arena, Benchmark, WorkloadParams};
+use proteus_crash::{explore, ExploreSpec, FaultSpec};
+use proteus_types::config::LoggingSchemeKind;
+use proteus_workloads::{Benchmark, WorkloadParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = WorkloadParams { threads: 2, init_ops: 300, sim_ops: 40, seed: 2026 };
-    let workload = generate(Benchmark::RbTree, &params);
-    let config = SystemConfig::skylake_like().with_num_cores(2);
+    let params = WorkloadParams { threads: 2, init_ops: 120, sim_ops: 12, seed: 2026 };
 
-    // Per-thread functional snapshots after each transaction: the states
-    // a correct recovery may land on.
-    let mut snapshots: Vec<Vec<proteus_core::pmem::WordImage>> = Vec::new();
-    for program in &workload.programs {
-        let mut states = vec![workload.initial_image.clone()];
-        let mut img = workload.initial_image.clone();
-        let mut cursor = proteus_core::program::Program::new(program.thread);
-        for op in &program.ops {
-            cursor.ops.push(op.clone());
-            if matches!(op, proteus_core::program::Op::TxEnd) {
-                cursor.apply_functionally(&mut img);
-                states.push(img.clone());
-                cursor.ops.clear();
-            }
+    println!("clean crashes (full ADR drain) + torn in-service line writes:");
+    for scheme in [
+        LoggingSchemeKind::SwPmem,
+        LoggingSchemeKind::Atom,
+        LoggingSchemeKind::Proteus,
+        LoggingSchemeKind::ProteusNoLwr,
+    ] {
+        for fault in [FaultSpec::Clean, FaultSpec::TornLine { mask: 0x0F }] {
+            let spec = ExploreSpec {
+                fault,
+                ..ExploreSpec::new(Benchmark::RbTree, params.clone(), scheme, 64)
+            };
+            let outcome = explore(&spec)?;
+            println!(
+                "  {:<14} {:<9} {:>4} crash points over {:>5} persist events: {}",
+                scheme.label(),
+                fault.label(),
+                outcome.points_explored,
+                outcome.total_events,
+                if outcome.is_consistent() { "all consistent" } else { "VIOLATED" },
+            );
+            assert!(outcome.is_consistent(), "{} must be failure-safe", scheme.label());
         }
-        snapshots.push(states);
     }
 
-    for scheme in [LoggingSchemeKind::SwPmem, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus] {
-        let total = {
-            let mut m = System::new(&config, scheme, &workload)?;
-            m.run()?.total_cycles
-        };
-        let mut consistent = 0;
-        let probes = 12;
-        for i in 1..=probes {
-            let mut m = System::new(&config, scheme, &workload)?;
-            m.run_until(total * i / (probes + 1));
-            let (recovered, _) = m.crash_and_recover()?;
-            let ok = workload.programs.iter().enumerate().all(|(t, p)| {
-                let (lo, hi) = thread_arena(p.thread);
-                snapshots[t]
-                    .iter()
-                    .any(|snap| recovered.diff(snap).iter().all(|a| *a < lo || *a >= hi))
-            });
-            if ok {
-                consistent += 1;
-            }
-        }
+    println!("\nbroken write-ahead ordering (disable_persist_ordering):");
+    let broken = ExploreSpec {
+        broken_ordering: true,
+        ..ExploreSpec::new(
+            Benchmark::Queue,
+            WorkloadParams { threads: 1, init_ops: 40, sim_ops: 8, seed: 7 },
+            LoggingSchemeKind::Proteus,
+            256,
+        )
+    };
+    let outcome = explore(&broken)?;
+    println!(
+        "  {} of {} crash points torn — first violation: {}",
+        outcome.violations.len(),
+        outcome.points_explored,
+        outcome.violations.first().map(|v| v.detail.as_str()).unwrap_or("none"),
+    );
+    assert!(!outcome.violations.is_empty(), "the broken core must be caught");
+
+    if let Some(repro) = proteus_crash::shrink(&broken)? {
         println!(
-            "{:<14} {consistent}/{probes} crash points recovered to a transaction boundary",
-            scheme.label()
+            "  shrunk to {} (sim_ops {}, init_ops {}) crashing at persist event {}",
+            repro.spec.name(),
+            repro.spec.params.sim_ops,
+            repro.spec.params.init_ops,
+            repro.event,
         );
-        assert_eq!(consistent, probes, "{} must be failure-safe", scheme.label());
+        let replay = repro.replay()?;
+        assert!(replay.violated, "shrunk repro must replay");
+        println!("  repro replays: {}", replay.detail);
     }
-    println!("all failure-safe schemes recovered correctly at every probe point");
+
+    println!(
+        "\nall failure-safe schemes recovered at every crash point; the broken core was caught"
+    );
     Ok(())
 }

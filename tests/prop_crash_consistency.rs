@@ -1,34 +1,17 @@
 //! Property-based crash-consistency testing: for random workloads,
 //! schemes, and crash points, recovery must always land on a
 //! transaction-consistent state.
+//!
+//! The systematic explorer (`integration_crash.rs`) walks persist-event
+//! indices; these properties attack from the other side with randomised
+//! cycle-fraction crash points and randomised workload seeds, both
+//! judged by the shared [`ConsistencyOracle`].
 
 use proptest::prelude::*;
-use proteus_core::pmem::WordImage;
-use proteus_core::program::Op;
+use proteus_crash::{ConsistencyOracle, ExploreSpec, FaultSpec};
 use proteus_sim::System;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
-use proteus_workloads::{generate, thread_arena, Benchmark, GeneratedWorkload, WorkloadParams};
-
-fn snapshots(workload: &GeneratedWorkload) -> Vec<Vec<WordImage>> {
-    workload
-        .programs
-        .iter()
-        .map(|program| {
-            let mut states = vec![workload.initial_image.clone()];
-            let mut img = workload.initial_image.clone();
-            let mut tx = proteus_core::program::Program::new(program.thread);
-            for op in &program.ops {
-                tx.ops.push(op.clone());
-                if matches!(op, Op::TxEnd) {
-                    tx.apply_functionally(&mut img);
-                    states.push(img.clone());
-                    tx.ops.clear();
-                }
-            }
-            states
-        })
-        .collect()
-}
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
 
 fn bench_strategy() -> impl Strategy<Value = Benchmark> {
     prop_oneof![
@@ -49,6 +32,17 @@ fn scheme_strategy() -> impl Strategy<Value = LoggingSchemeKind> {
     ]
 }
 
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    // Only consistency-preserving faults: torn in-service lines are
+    // masked by the ADR drain, dropped in-flight requests are the clean
+    // model by construction.
+    prop_oneof![
+        Just(FaultSpec::Clean),
+        (1u8..=255).prop_map(|mask| FaultSpec::TornLine { mask }),
+        Just(FaultSpec::DroppedInFlight),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
@@ -56,19 +50,21 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
-    /// Crash anywhere, under any failure-safe scheme, on any benchmark:
-    /// after recovery every thread's data is a per-transaction prefix of
-    /// its program.
+    /// Crash anywhere, under any failure-safe scheme and any
+    /// consistency-preserving fault model, on any benchmark: after
+    /// recovery every thread's data is a per-transaction prefix of its
+    /// program.
     #[test]
     fn recovery_always_lands_on_a_transaction_boundary(
         bench in bench_strategy(),
         scheme in scheme_strategy(),
+        fault in fault_strategy(),
         seed in 0u64..1000,
         crash_fraction in 1u64..99,
     ) {
         let params = WorkloadParams { threads: 2, init_ops: 60, sim_ops: 8, seed };
         let workload = generate(bench, &params);
-        let snaps = snapshots(&workload);
+        let oracle = ConsistencyOracle::new(&workload);
         let config = SystemConfig::skylake_like().with_num_cores(2);
         let total = {
             let mut m = System::new(&config, scheme, &workload).unwrap();
@@ -77,16 +73,12 @@ proptest! {
         let crash_at = (total * crash_fraction / 100).max(1);
         let mut m = System::new(&config, scheme, &workload).unwrap();
         m.run_until(crash_at);
-        let (recovered, _) = m.crash_and_recover().unwrap();
-        for (t, p) in workload.programs.iter().enumerate() {
-            let (lo, hi) = thread_arena(p.thread);
-            let consistent = snaps[t].iter().any(|snap| {
-                recovered.diff(snap).iter().all(|a| *a < lo || *a >= hi)
-            });
+        let (recovered, _) = m.crash_and_recover_with(&fault.to_crash_faults()).unwrap();
+        if let Err(v) = oracle.check(&recovered) {
             prop_assert!(
-                consistent,
-                "{:?}/{:?} seed {} crash {}/{}: thread {} torn",
-                bench, scheme, seed, crash_at, total, t
+                false,
+                "{:?}/{:?}/{} seed {} crash {}/{}: {}",
+                bench, scheme, fault, seed, crash_at, total, v
             );
         }
     }
@@ -110,6 +102,7 @@ proptest! {
     ) {
         let params = WorkloadParams { threads: 1, init_ops: 40, sim_ops: 6, seed: 11 };
         let workload = generate(bench, &params);
+        let oracle = ConsistencyOracle::new(&workload);
         let config = SystemConfig::skylake_like().with_num_cores(1);
         let total = {
             let mut m = System::new(&config, scheme, &workload).unwrap();
@@ -118,17 +111,40 @@ proptest! {
         let mut m = System::new(&config, scheme, &workload).unwrap();
         m.run_until((total * crash_fraction / 100).max(1));
         let (once, _) = m.crash_and_recover().unwrap();
+        prop_assert!(oracle.check(&once).is_ok());
         let mut twice = once.clone();
-        proteus_core::recovery::recover(
-            &mut twice,
-            m.layout(),
-            scheme,
-            &[proteus_types::ThreadId::new(0)],
-        ).unwrap();
-        let (lo, hi) = thread_arena(proteus_types::ThreadId::new(0));
+        proteus_core::recovery::recover(&mut twice, m.layout(), scheme, m.threads()).unwrap();
+        prop_assert!(oracle.check(&twice).is_ok());
+        let (lo, hi) = proteus_workloads::thread_arena(proteus_types::ThreadId::new(0));
         prop_assert!(
             twice.diff(&once).iter().all(|a| *a < lo || *a >= hi),
             "second recovery changed data"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random small specs explore without violations through the
+    /// persist-event engine (the systematic front door).
+    #[test]
+    fn random_specs_explore_cleanly(
+        bench in bench_strategy(),
+        scheme in scheme_strategy(),
+        seed in 0u64..500,
+    ) {
+        let params = WorkloadParams { threads: 1, init_ops: 30, sim_ops: 4, seed };
+        let spec = ExploreSpec::new(bench, params, scheme, 16);
+        let outcome = proteus_crash::explore(&spec).unwrap();
+        prop_assert!(outcome.points_explored > 0);
+        prop_assert!(
+            outcome.is_consistent(),
+            "{}: {:?}", spec.name(), outcome.violations.first()
         );
     }
 }

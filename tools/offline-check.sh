@@ -61,6 +61,14 @@ do_test() {
     done
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-harness --test harness_resume
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-cpu --test pipeline
+    run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-crash --test integration_crash
+    # Smoke the crash-point sweep end to end (bounded workload sizes):
+    # explores every failure-safe scheme and self-validates the checker
+    # against the disable_persist_ordering fault knob.
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        crashsweep --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        crashrepro --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
 }
 
 do_clippy() {
