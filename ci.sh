@@ -13,6 +13,10 @@
 #   cargo test  -q        --offline --workspace  (lib/bin/example tests
 #       plus the non-property integration tests; proptest suites and
 #       Criterion benches need the real crates and are skipped offline)
+#   end-to-end smokes: a bounded crashsweep/crashrepro round trip and a
+#       tracedump run (self-validating: trace must reconcile with the
+#       RunSummary and the Chrome JSON must parse with all tracks
+#       populated)
 #   cargo fmt --check
 #   cargo clippy --offline --workspace --lib --bins -- -D warnings
 #

@@ -1,10 +1,22 @@
 //! Ad-hoc cycle-breakdown probe used while calibrating the model.
+//!
+//! ```text
+//! probe [scale] [qe|hm|ss|bt|rt|at]
+//! ```
+//!
+//! Sweeps the headline schemes over one benchmark and prints the
+//! aggregate cycle/stall/write breakdown per scheme, then re-runs the
+//! Proteus configuration with cycle-level tracing for the deep dive:
+//! the per-transaction persist critical path and the queue-occupancy
+//! distributions behind the aggregates.
 
-use proteus_sim::runner::sweep_schemes;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
-use proteus_workloads::{Benchmark, WorkloadParams};
+use proteus_sim::runner::{run_workload_traced, sweep_schemes, ExperimentSpec};
+use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
+use proteus_types::stats::StallCause;
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
     let bench = match std::env::args().nth(2).as_deref() {
         Some("qe") => Benchmark::Queue,
@@ -17,7 +29,7 @@ fn main() {
     let params = WorkloadParams::table2(bench, 4, scale);
     let divisor = ((1.0 / scale) as u64).max(1).next_power_of_two().min(64);
     let cfg = SystemConfig::skylake_like().with_cache_divisor(divisor);
-    let sweep = sweep_schemes(
+    let sweep = match sweep_schemes(
         &cfg,
         bench,
         &params,
@@ -27,23 +39,60 @@ fn main() {
             LoggingSchemeKind::Proteus,
             LoggingSchemeKind::NoLog,
         ],
-    )
-    .unwrap();
+    ) {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            eprintln!("probe sweep failed ({} at scale {scale}): {e}", bench.abbrev());
+            return ExitCode::FAILURE;
+        }
+    };
     for (label, s) in &sweep.results {
         let m = s.cores_merged();
+        // A degenerate run can finish in 0 recorded cycles; keep the
+        // probe printable instead of dividing by zero.
+        let ipc =
+            if s.total_cycles == 0 { 0.0 } else { m.uops_retired as f64 / s.total_cycles as f64 };
         println!(
-            "{label:>12}: cycles={} uops={} ipc={:.2} stalls={} nvmm_r={} nvmm_w={} l3hit%={:?}",
+            "{label:>12}: cycles={} uops={} ipc={ipc:.2} stalls={} nvmm_r={} nvmm_w={} l3hit%={:?}",
             s.total_cycles,
             m.uops_retired,
-            m.uops_retired as f64 / s.total_cycles as f64,
             m.total_stall_cycles(),
             s.mem.nvmm_reads,
             s.mem.total_nvmm_writes(),
             s.l3.hit_rate_pct().map(|p| p.round()),
         );
-        use proteus_types::stats::StallCause;
         let parts: Vec<String> =
             StallCause::ALL.iter().map(|c| format!("{c}={}", m.stall(*c))).collect();
         println!("              {}", parts.join(" "));
     }
+
+    // Deep dive: where do Proteus commit cycles actually go?
+    let spec = ExperimentSpec {
+        config: cfg,
+        scheme: LoggingSchemeKind::Proteus,
+        bench,
+        params: params.clone(),
+    };
+    let workload = generate(bench, &params);
+    match run_workload_traced(&spec, &workload, &TraceConfig::enabled()) {
+        Ok((result, Some(report))) => {
+            if let Err(e) = report.check_against(&result.summary) {
+                eprintln!("trace/summary mismatch: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("\nProteus persist critical path:");
+            print!("{}", report.critical_path_table(10));
+            println!("\nqueue occupancy (log2 buckets):");
+            print!("{}", report.occupancy_table());
+        }
+        Ok((_, None)) => {
+            eprintln!("internal error: tracing was enabled but no report came back");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("traced probe run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|all>
+//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|trace|all>
 //!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]
 //! ```
 //!
@@ -29,14 +29,14 @@
 
 use proteus_bench::experiments::{
     ablation_llt, ablation_threads, ablation_wpq, crashrepro, crashsweep, fig10, fig11, fig12,
-    fig6, fig7, fig8, fig9, table1, table2, table3, table4, ExperimentCtx,
+    fig6, fig7, fig8, fig9, table1, table2, table3, table4, trace, ExperimentCtx,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|all> \
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|trace|all> \
          [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]"
     );
     ExitCode::FAILURE
@@ -101,6 +101,7 @@ fn main() -> ExitCode {
         ("ablation-wpq", ablation_wpq),
         ("crashsweep", crashsweep),
         ("crashrepro", crashrepro),
+        ("trace", trace),
     ];
 
     let selected: Vec<_> = if target == "all" {

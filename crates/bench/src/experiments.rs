@@ -554,6 +554,43 @@ pub fn ablation_llt(ctx: &ExperimentCtx) -> Result<String, SimError> {
     Ok(format!("Ablation: Proteus speedup vs LLT size\n{}", table.render()))
 }
 
+/// Observability deep-dive behind Fig. 7: a traced Proteus-vs-ATOM run
+/// on the Queue benchmark, reporting the per-transaction persist
+/// critical path and the queue-occupancy distributions the end-of-run
+/// aggregates can only hint at. Every trace is cross-checked (±0)
+/// against the authoritative `RunSummary` before it is printed.
+///
+/// # Errors
+///
+/// Propagates simulation errors; a trace that disagrees with the run
+/// summary surfaces as [`SimError::ConsistencyViolation`].
+pub fn trace(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    use proteus_sim::runner::{run_workload_traced, ExperimentSpec};
+    use proteus_types::TraceConfig;
+
+    let bench = Benchmark::Queue;
+    let params = ctx.scale.params(bench);
+    let workload = proteus_workloads::generate(bench, &params);
+    let mut out = String::from("Trace: persist critical path and queue occupancy (QE)\n");
+    for scheme in [LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus] {
+        let spec =
+            ExperimentSpec { config: ctx.scale.config(), scheme, bench, params: params.clone() };
+        let (result, report) = run_workload_traced(&spec, &workload, &TraceConfig::enabled())?;
+        let report = report.expect("tracing was enabled");
+        report.check_against(&result.summary).map_err(SimError::ConsistencyViolation)?;
+        out.push_str(&format!(
+            "\n== {} ({} cycles, {} events, {} dropped) ==\n",
+            result.name,
+            result.summary.total_cycles,
+            report.total_events(),
+            report.total_dropped()
+        ));
+        out.push_str(&report.critical_path_table(10));
+        out.push_str(&report.occupancy_table());
+    }
+    Ok(out)
+}
+
 /// The failure-safe scheme set `crashsweep` must hold to zero
 /// violations (NoLog is failure-*unsafe* by design; SwPmemPcommit is
 /// SwPmem plus a fence and adds nothing to crash coverage).

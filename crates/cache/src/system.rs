@@ -9,6 +9,7 @@
 
 use crate::cache::Cache;
 use proteus_core::pmem::LineData;
+use proteus_trace::{CacheLevel, Tracer};
 use proteus_types::addr::LineAddr;
 use proteus_types::clock::Cycle;
 use proteus_types::config::{CacheConfig, SystemConfig};
@@ -208,6 +209,24 @@ impl CacheSystem {
                 writebacks.push((ev.line, ev.data));
             }
         }
+    }
+
+    /// Feeds `tracer` a periodic cumulative hit/miss sample per level.
+    /// The (relatively expensive) cross-core aggregation only runs on
+    /// cycles where a sample is actually due.
+    pub fn trace_sample(&self, tracer: &mut Tracer, now: Cycle) {
+        if !tracer.sample_due(now) {
+            return;
+        }
+        let (l1, l2, l3) = self.stats();
+        tracer.maybe_sample_cache(
+            now,
+            &[
+                (CacheLevel::L1d, l1.hits, l1.misses),
+                (CacheLevel::L2, l2.hits, l2.misses),
+                (CacheLevel::L3, l3.hits, l3.misses),
+            ],
+        );
     }
 
     /// Aggregated statistics: (L1 over all cores, L2 over all cores, L3).

@@ -29,6 +29,7 @@ use proteus_core::layout::AddressLayout;
 use proteus_core::logarea::LogArea;
 use proteus_core::pmem::LineData;
 use proteus_mem::{McEvent, McRequest};
+use proteus_trace::{CommitWait, QueueId, TraceEventKind, Tracer, TrackDump, TxRecord};
 use proteus_types::addr::{LineAddr, LogGrainAddr};
 use proteus_types::clock::Cycle;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
@@ -138,6 +139,19 @@ struct HeldFlush {
     tx: TxId,
 }
 
+/// Trace-only bookkeeping for the transaction currently in flight:
+/// the raw material of its persist critical-path record. Maintained
+/// only while a tracer is attached — pure observation, never consulted
+/// by the pipeline.
+#[derive(Debug)]
+struct TxPath {
+    tx: TxId,
+    begin: Cycle,
+    last_store: Option<Cycle>,
+    commit_request: Option<Cycle>,
+    wait: CommitWait,
+}
+
 /// A single out-of-order core executing one thread's trace.
 #[derive(Debug)]
 pub struct Core {
@@ -195,6 +209,9 @@ pub struct Core {
     out: Vec<(Cycle, McRequest)>,
     stats: CoreStats,
     done_at: Option<Cycle>,
+
+    tracer: Tracer,
+    tx_path: Option<TxPath>,
 }
 
 impl Core {
@@ -249,7 +266,27 @@ impl Core {
             out: Vec::new(),
             stats: CoreStats::new(),
             done_at: None,
+            tracer: Tracer::disabled(),
+            tx_path: None,
         }
+    }
+
+    /// Attaches a tracer (the system installs one per core when tracing
+    /// is enabled; the default is the free disabled tracer).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Ring capacity of the attached tracer (0 when tracing is off) —
+    /// lets tests assert the disabled path allocates nothing.
+    pub fn trace_capacity(&self) -> usize {
+        self.tracer.capacity()
+    }
+
+    /// Detaches everything the core's tracer captured (`None` when
+    /// tracing is off).
+    pub fn take_trace(&mut self) -> Option<TrackDump> {
+        self.tracer.take_dump()
     }
 
     /// The core's id.
@@ -327,6 +364,19 @@ impl Core {
         if self.done_at.is_some() {
             return;
         }
+        if self.tracer.is_enabled() {
+            self.tracer.maybe_sample(
+                now,
+                &[
+                    (QueueId::Rob, self.rob.len() as u32),
+                    (QueueId::LoadQ, self.loads_in_rob as u32),
+                    (QueueId::StoreQ, self.storeq.len() as u32),
+                    (QueueId::LogQ, self.logq.len() as u32),
+                    (QueueId::LogRegs, self.lrs.in_use() as u32),
+                    (QueueId::Llt, self.llt.len() as u32),
+                ],
+            );
+        }
         self.process_completions(now);
         self.issue_parked_loads(now, caches);
         self.send_ready_flushes(now);
@@ -372,6 +422,13 @@ impl Core {
                 let local = decode_local(*flush_id);
                 self.logq.ack(local);
                 self.flush_meta.remove(&local);
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::Dequeue {
+                        queue: QueueId::LogQ,
+                        occupancy: self.logq.len() as u32,
+                    },
+                );
             }
             McEvent::AtomLogAck { .. } => {
                 self.atom_acks_outstanding = self.atom_acks_outstanding.saturating_sub(1);
@@ -605,6 +662,47 @@ impl Core {
             && self.atom_acks_outstanding == 0
     }
 
+    /// Attributes one blocked `tx-end` cycle to the first undrained
+    /// persist category, mirroring [`Core::persist_drained`]'s clauses in
+    /// the order the pipeline drains them. Trace-only.
+    fn trace_commit_wait(&mut self) {
+        let Some(path) = self.tx_path.as_mut() else { return };
+        let w = &mut path.wait;
+        if self.storeq.iter().any(|s| s.retired) {
+            w.store_release += 1;
+        } else if !self.pending_clwbs.is_empty() {
+            w.clwb += 1;
+        } else if !self.logq.is_empty() {
+            w.logq += 1;
+        } else if self.atom_acks_outstanding > 0 {
+            w.atom += 1;
+        } else {
+            w.mc_commit += 1;
+        }
+    }
+
+    /// Finalises the transaction's critical-path record at the durable
+    /// point. Trace-only (`tx_path` is `None` unless a tracer is
+    /// attached).
+    fn trace_tx_durable(&mut self, tx: TxId, now: Cycle) {
+        self.tracer.emit(now, TraceEventKind::Dequeue { queue: QueueId::Llt, occupancy: 0 });
+        let Some(path) = self.tx_path.take() else { return };
+        debug_assert_eq!(path.tx, tx, "tx path must belong to the committing transaction");
+        self.tracer.emit(now, TraceEventKind::TxDurable { tx: tx.raw() });
+        let begin = path.begin;
+        let last_store = path.last_store.unwrap_or(begin);
+        let commit_request = path.commit_request.unwrap_or(now);
+        self.tracer.record_tx(TxRecord {
+            tx: path.tx.raw(),
+            core: self.id.raw(),
+            begin,
+            last_store,
+            commit_request,
+            durable: now,
+            wait: path.wait,
+        });
+    }
+
     fn retire(&mut self, now: Cycle, caches: &mut CacheSystem) {
         for _ in 0..self.width {
             let Some(head) = self.rob.front() else { break };
@@ -627,6 +725,9 @@ impl Core {
                     }
                     self.stores_retired_seq = seq;
                     self.stats.stores += 1;
+                    if let Some(path) = self.tx_path.as_mut() {
+                        path.last_store = Some(now);
+                    }
                 }
                 Uop::Clwb { addr } => {
                     self.pending_clwbs.push(PendingClwb { addr, performed: false, ack_id: None });
@@ -661,6 +762,7 @@ impl Core {
                 }
                 Uop::TxEnd { tx } => {
                     if !self.persist_drained() {
+                        self.trace_commit_wait();
                         break;
                     }
                     let head = self.rob.front_mut().expect("head exists");
@@ -671,15 +773,26 @@ impl Core {
                                 now + UNCACHED_DELAY,
                                 McRequest::TxEnd { core: self.id, tx },
                             ));
+                            if let Some(path) = self.tx_path.as_mut() {
+                                path.commit_request = Some(now);
+                                self.tracer
+                                    .emit(now, TraceEventKind::TxCommitRequest { tx: tx.raw() });
+                            }
                             break;
                         }
-                        UopState::Fence(FenceProgress::Sent) => break,
+                        UopState::Fence(FenceProgress::Sent) => {
+                            if let Some(path) = self.tx_path.as_mut() {
+                                path.wait.mc_commit += 1;
+                            }
+                            break;
+                        }
                         UopState::Fence(FenceProgress::Done) => {
                             self.llt.clear();
                             self.atom_logged.clear();
                             self.current_tx = None;
                             self.fence_active = false;
                             self.stats.transactions += 1;
+                            self.trace_tx_durable(tx, now);
                         }
                         _ => unreachable!("tx-end carries fence state"),
                     }
@@ -816,6 +929,13 @@ impl Core {
         match caches.store(self.id, head.addr, head.value, &mut writebacks) {
             LookupResult::Hit { .. } => {
                 self.storeq.pop_front();
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::Dequeue {
+                        queue: QueueId::StoreQ,
+                        occupancy: self.storeq.len() as u32,
+                    },
+                );
                 let line = head.addr.line().index();
                 if let Some(count) = self.storeq_lines.get_mut(&line) {
                     *count -= 1;
@@ -904,7 +1024,9 @@ impl Core {
             }
         }
         if dispatched == 0 && self.pc < self.trace.uops.len() {
-            self.stats.record_stall(stall.unwrap_or(StallCause::IssueQFull));
+            let cause = stall.unwrap_or(StallCause::IssueQFull);
+            self.stats.record_stall(cause);
+            self.tracer.emit(now, TraceEventKind::Stall(cause));
         }
     }
 
@@ -983,6 +1105,13 @@ impl Core {
                     return Err(StallCause::StoreQFull);
                 }
                 self.storeq.push_back(StoreEntry { seq, addr, value, retired: false });
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::Enqueue {
+                        queue: QueueId::StoreQ,
+                        occupancy: self.storeq.len() as u32,
+                    },
+                );
                 *self.storeq_lines.entry(addr.line().index()).or_insert(0) += 1;
                 // RFO prefetch at execute: the write-allocate fetch
                 // overlaps with everything between dispatch and release.
@@ -1017,6 +1146,16 @@ impl Core {
                 if self.scheme.uses_proteus_hw() {
                     self.logarea.begin_tx(tx).expect("balanced transactions");
                 }
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(now, TraceEventKind::TxBegin { tx: tx.raw() });
+                    self.tx_path = Some(TxPath {
+                        tx,
+                        begin: now,
+                        last_store: None,
+                        commit_request: None,
+                        wait: CommitWait::default(),
+                    });
+                }
             }
             Uop::LogLoad { lr, addr } => {
                 if self.inflight_exec >= self.issueq_entries {
@@ -1035,6 +1174,7 @@ impl Core {
                         self.llt.undo_insert(grain);
                         self.stats.llt_lookups -= 1;
                         self.stats.llt_hits -= 1;
+                        self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::LogRegs });
                         return Err(StallCause::LrFull);
                     }
                     complete_at = Some(now + 1);
@@ -1047,10 +1187,18 @@ impl Core {
                     if !self.lrs.try_allocate(lr, grain, false) {
                         self.llt.undo_insert(grain);
                         self.stats.llt_lookups -= 1;
+                        self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::LogRegs });
                         return Err(StallCause::LrFull);
                     }
                     self.loads_in_rob += 1;
                     self.incomplete_loads.insert(seq);
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::Enqueue {
+                            queue: QueueId::Llt,
+                            occupancy: self.llt.len() as u32,
+                        },
+                    );
                     // A log-load's data (and the value of the store it
                     // guards) derives from earlier loads, so it issues
                     // once older loads complete — by which time the grain
@@ -1101,6 +1249,7 @@ impl Core {
                     complete_at = Some(now + 1);
                 } else {
                     if !self.logq.has_space() {
+                        self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::LogQ });
                         return Err(StallCause::LogQFull);
                     }
                     let tx = self.current_tx.expect("logging inside a transaction");
@@ -1108,6 +1257,13 @@ impl Core {
                         self.logarea.alloc().expect("log area sized for workload");
                     let id = self.logq.alloc(grain, slot);
                     self.flush_meta.insert(id, (lr, entry_seq, tx));
+                    self.tracer.emit(
+                        now,
+                        TraceEventKind::Enqueue {
+                            queue: QueueId::LogQ,
+                            occupancy: self.logq.len() as u32,
+                        },
+                    );
                     state = UopState::LogFlush { logq_id: Some(id), elided: false };
                     // Completion is scheduled by `send_ready_flushes` once
                     // the log-load data lands in the LR.

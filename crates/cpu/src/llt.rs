@@ -97,6 +97,16 @@ impl Llt {
     pub fn counters(&self) -> (u64, u64) {
         (self.lookups, self.hits)
     }
+
+    /// Resident entries across all sets (occupancy tracing).
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,12 @@ impl LogRegFile {
         self.regs.is_empty()
     }
 
+    /// Registers currently allocated to a pending pair (occupancy
+    /// tracing).
+    pub fn in_use(&self) -> usize {
+        self.regs.iter().filter(|r| !matches!(r, LrState::Free)).count()
+    }
+
     /// Allocates register `lr` for a `log-load` of `grain`. Returns
     /// `false` if the register is still busy with an earlier pair.
     pub fn try_allocate(&mut self, lr: usize, grain: LogGrainAddr, elided: bool) -> bool {

@@ -14,6 +14,7 @@
 //! multi-hour sweep.
 
 use crate::json::Json;
+use proteus_types::stats::Log2Histogram;
 use proteus_types::{JobOutcome, SimError};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
@@ -39,6 +40,9 @@ pub struct EventSink {
     start: Instant,
     /// Events dropped because a write failed (reported at sweep end).
     pub dropped: u64,
+    /// Per-job wall-time distribution (milliseconds), reported at sweep
+    /// end so stragglers are visible without post-processing the stream.
+    wall_ms: Log2Histogram,
 }
 
 impl EventSink {
@@ -66,6 +70,7 @@ impl EventSink {
             writer: BufWriter::new(file),
             start: Instant::now(),
             dropped: 0,
+            wall_ms: Log2Histogram::new(),
         })
     }
 
@@ -156,6 +161,7 @@ impl EventSink {
         g: Gauges,
     ) {
         let rate = if wall_seconds > 0.0 { metric as f64 / wall_seconds } else { 0.0 };
+        self.wall_ms.record((wall_seconds * 1000.0).max(0.0) as u64);
         let mut pairs = vec![
             ("job", Json::str(name)),
             ("spec_hash", Json::str(format!("{spec_hash:016x}"))),
@@ -189,6 +195,7 @@ impl EventSink {
     ) {
         let rate = if wall_seconds > 0.0 { total_metric as f64 / wall_seconds } else { 0.0 };
         let dropped = self.dropped;
+        let wall_hist = std::mem::take(&mut self.wall_ms);
         self.emit(
             "sweep-end",
             vec![
@@ -201,6 +208,8 @@ impl EventSink {
                 ("metric", Json::U64(total_metric)),
                 ("metric_per_s", Json::F64(rate)),
                 ("dropped_events", Json::U64(dropped)),
+                ("job_wall_ms_max", Json::U64(wall_hist.max())),
+                ("job_wall_ms_hist", Json::str(wall_hist.render())),
             ],
         );
     }
@@ -242,6 +251,11 @@ mod tests {
         assert_eq!(end.get("attempts").unwrap().as_u64(), Some(2));
         let summary = &lines[5];
         assert_eq!(summary.get("metric_per_s").unwrap().as_f64(), Some(2000.0));
+        // The 0.5 s job lands in the [256-511] ms bucket of the wall-time
+        // histogram.
+        assert_eq!(summary.get("job_wall_ms_max").unwrap().as_u64(), Some(500));
+        let hist = summary.get("job_wall_ms_hist").unwrap().as_str().unwrap();
+        assert!(hist.contains("[256-511]:1"), "{hist}");
         // Timestamps are monotonic.
         let ts: Vec<f64> = lines.iter().map(|v| v.get("t").unwrap().as_f64().unwrap()).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");

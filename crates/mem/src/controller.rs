@@ -28,6 +28,7 @@ use proteus_core::entry::{FLAG_COMMIT_MARKER, FLAG_VALID};
 use proteus_core::layout::AddressLayout;
 use proteus_core::logarea::LogArea;
 use proteus_core::pmem::{LineData, WordImage};
+use proteus_trace::{PersistKind, QueueId, TraceEventKind, Tracer, TrackDump};
 use proteus_types::addr::LineAddr;
 use proteus_types::clock::{ClockRatio, Cycle};
 use proteus_types::config::MemConfig;
@@ -142,6 +143,7 @@ pub struct MemoryController {
     clock: Cycle,
     record_persist: bool,
     timeline: Vec<PersistEvent>,
+    tracer: Tracer,
 }
 
 #[derive(Debug)]
@@ -193,7 +195,24 @@ impl MemoryController {
             clock: 0,
             record_persist: false,
             timeline: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer for the controller's event stream (disabled by
+    /// default; the simulator installs one when tracing is configured).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Ring capacity of the installed tracer (0 when disabled).
+    pub fn trace_capacity(&self) -> usize {
+        self.tracer.capacity()
+    }
+
+    /// Detaches the tracer's collected data, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<TrackDump> {
+        self.tracer.take_dump()
     }
 
     /// Pre-loads the NVMM image (initialisation fast-forward).
@@ -316,6 +335,18 @@ impl MemoryController {
 
     fn persist_event(&mut self, kind: PersistEventKind) {
         self.persist_seq += 1;
+        if self.tracer.is_enabled() {
+            let mapped = match kind {
+                PersistEventKind::WpqAccept { .. } => PersistKind::WpqAccept,
+                PersistEventKind::WpqDrain { .. } => PersistKind::WpqDrain,
+                PersistEventKind::LpqAccept { .. } => PersistKind::LpqAccept,
+                PersistEventKind::LpqDrain { .. } => PersistKind::LpqDrain,
+                PersistEventKind::LogClear { .. } => PersistKind::LogClear,
+                PersistEventKind::MarkerStamp { .. } => PersistKind::MarkerStamp,
+                PersistEventKind::MarkerDrop { .. } => PersistKind::MarkerDrop,
+            };
+            self.tracer.emit(self.clock, TraceEventKind::Persist(mapped));
+        }
         if self.record_persist {
             self.timeline.push(PersistEvent { seq: self.persist_seq, at: self.clock, kind });
         }
@@ -324,6 +355,16 @@ impl MemoryController {
     /// Advances the controller to CPU cycle `now`.
     pub fn tick(&mut self, now: Cycle) {
         self.clock = now;
+        if self.tracer.is_enabled() {
+            self.tracer.maybe_sample(
+                now,
+                &[
+                    (QueueId::ReadQ, self.read_queue.len() as u32),
+                    (QueueId::Wpq, self.wpq.len() as u32),
+                    (QueueId::Lpq, self.lpq.len() as u32),
+                ],
+            );
+        }
         self.process_intake(now);
         self.feed_pending_writes();
         self.resolve_tx_ends(now);
@@ -368,14 +409,23 @@ impl MemoryController {
                     return true;
                 }
                 if self.read_queue.len() >= self.cfg.read_queue_entries {
+                    self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::ReadQ });
                     return false;
                 }
                 self.read_queue.push(ReadEntry { line, req_id, arrived: now });
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::Enqueue {
+                        queue: QueueId::ReadQ,
+                        occupancy: self.read_queue.len() as u32,
+                    },
+                );
                 true
             }
             McRequest::WriteBack { line, data, ack_id } => {
                 if !self.insert_wpq(line, data, self.classify(line)) {
                     self.stats.wpq_full_rejections += 1;
+                    self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Wpq });
                     return false;
                 }
                 if let Some(id) = ack_id {
@@ -386,6 +436,7 @@ impl MemoryController {
             McRequest::LogFlush { slot, words, core, tx, flush_id } => {
                 if self.lpq.len() >= self.cfg.lpq_entries {
                     self.stats.lpq_full_rejections += 1;
+                    self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Lpq });
                     return false;
                 }
                 // A new transaction's first entry retires the previous
@@ -411,6 +462,13 @@ impl MemoryController {
                 });
                 self.stats.lpq_inserts += 1;
                 self.persist_event(PersistEventKind::LpqAccept { slot_line: slot.line() });
+                self.tracer.emit(
+                    now,
+                    TraceEventKind::Enqueue {
+                        queue: QueueId::Lpq,
+                        occupancy: self.lpq.len() as u32,
+                    },
+                );
                 self.last_entry[core.index()] =
                     Some(LastEntry { tx, slot_line: slot.line(), words, seq });
                 self.events.push(McEvent::LogFlushAck { flush_id, at: now });
@@ -422,6 +480,7 @@ impl MemoryController {
                 // only be allocated once acceptance is certain.
                 if self.wpq.len() >= self.cfg.wpq_entries {
                     self.stats.wpq_full_rejections += 1;
+                    self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Wpq });
                     return false;
                 }
                 // Source-log optimisation: on a core-side cache miss the
@@ -505,6 +564,10 @@ impl MemoryController {
         self.wpq.push(WpqEntry { line, data, kind, in_service: false });
         self.stats.wpq_inserts += 1;
         self.persist_event(PersistEventKind::WpqAccept { line });
+        self.tracer.emit(
+            self.clock,
+            TraceEventKind::Enqueue { queue: QueueId::Wpq, occupancy: self.wpq.len() as u32 },
+        );
         true
     }
 
@@ -616,6 +679,13 @@ impl MemoryController {
                 self.stats.lpq_flash_cleared += cleared as u64;
                 if cleared > 0 {
                     self.persist_event(PersistEventKind::LogClear { entries: cleared as u32 });
+                    self.tracer.emit(
+                        self.clock,
+                        TraceEventKind::Dequeue {
+                            queue: QueueId::Lpq,
+                            occupancy: self.lpq.len() as u32,
+                        },
+                    );
                 }
                 if let Some(l) = last.filter(|l| l.tx == tx) {
                     if let Some(e) =
@@ -695,7 +765,18 @@ impl MemoryController {
                         .position(|r| r.req_id == req_id)
                         .map(|pos| self.read_queue.remove(pos))
                         .expect("read completion without queue entry");
-                    self.stats.read_queue_wait_cycles += now.saturating_sub(line.arrived);
+                    let waited = now.saturating_sub(line.arrived);
+                    self.stats.read_queue_wait_cycles += waited;
+                    if self.tracer.is_enabled() {
+                        self.tracer.record_wait(QueueId::ReadQ, waited);
+                        self.tracer.emit(
+                            now,
+                            TraceEventKind::Dequeue {
+                                queue: QueueId::ReadQ,
+                                occupancy: self.read_queue.len() as u32,
+                            },
+                        );
+                    }
                     let data = self.nvmm.read_line(line.line);
                     self.events.push(McEvent::ReadDone { req_id, data, at: now });
                 }
@@ -706,6 +787,13 @@ impl MemoryController {
                         let e = self.wpq.remove(pos);
                         self.nvmm.write_line(e.line, &e.data);
                         self.persist_event(PersistEventKind::WpqDrain { line: e.line });
+                        self.tracer.emit(
+                            now,
+                            TraceEventKind::Dequeue {
+                                queue: QueueId::Wpq,
+                                occupancy: self.wpq.len() as u32,
+                            },
+                        );
                         match e.kind {
                             WriteKind::Data => self.stats.nvmm_data_writes += 1,
                             WriteKind::Log => self.stats.nvmm_log_writes += 1,
@@ -724,6 +812,13 @@ impl MemoryController {
                         let e = self.lpq.remove(pos);
                         self.nvmm.write_line(e.slot_line, &e.words);
                         self.persist_event(PersistEventKind::LpqDrain { slot_line: e.slot_line });
+                        self.tracer.emit(
+                            now,
+                            TraceEventKind::Dequeue {
+                                queue: QueueId::Lpq,
+                                occupancy: self.lpq.len() as u32,
+                            },
+                        );
                         self.stats.nvmm_log_writes += 1;
                         self.stats.lpq_drained += 1;
                     }

@@ -43,6 +43,7 @@ pub mod system;
 
 pub use proteus_harness::SweepOptions;
 pub use runner::{
-    run_many, run_many_report, run_many_with, run_one, ExperimentResult, ExperimentSpec,
+    run_many, run_many_report, run_many_with, run_one, run_one_traced, run_workload_traced,
+    ExperimentResult, ExperimentSpec,
 };
 pub use system::System;

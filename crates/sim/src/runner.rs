@@ -13,7 +13,8 @@
 use crate::persist;
 use crate::system::System;
 use proteus_harness::{Harness, JobSpec, PayloadCodec, SweepOptions, SweepReport};
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_trace::TraceReport;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
 use proteus_types::stats::RunSummary;
 use proteus_types::{
     stable_hash_value, FieldHasher, JobOutcome, SimError, StableHash, StableHasher,
@@ -106,9 +107,39 @@ pub fn run_workload(
     spec: &ExperimentSpec,
     workload: &GeneratedWorkload,
 ) -> Result<ExperimentResult, SimError> {
-    let mut system = System::new(&spec.config, spec.scheme, workload)?;
+    let (result, _) = run_workload_traced(spec, workload, &TraceConfig::disabled())?;
+    Ok(result)
+}
+
+/// Runs a single experiment with cycle-level tracing, generating the
+/// workload internally. The trace report is `None` when `trace` is
+/// disabled.
+///
+/// # Errors
+///
+/// Propagates configuration, expansion, and simulation errors.
+pub fn run_one_traced(
+    spec: &ExperimentSpec,
+    trace: &TraceConfig,
+) -> Result<(ExperimentResult, Option<TraceReport>), SimError> {
+    let workload = generate(spec.bench, &spec.params);
+    run_workload_traced(spec, &workload, trace)
+}
+
+/// [`run_workload`] with cycle-level tracing attached to the machine.
+///
+/// # Errors
+///
+/// Propagates configuration, expansion, and simulation errors.
+pub fn run_workload_traced(
+    spec: &ExperimentSpec,
+    workload: &GeneratedWorkload,
+    trace: &TraceConfig,
+) -> Result<(ExperimentResult, Option<TraceReport>), SimError> {
+    let mut system = System::new_with_trace(&spec.config, spec.scheme, workload, trace)?;
     let summary = system.run()?;
-    Ok(ExperimentResult { name: spec.display_name(), summary })
+    let report = system.take_trace_report();
+    Ok((ExperimentResult { name: spec.display_name(), summary }, report))
 }
 
 /// Shared sweep core: runs `run_job` for each spec through the harness,

@@ -7,8 +7,9 @@ use proteus_core::recovery::{recover, RecoveryReport};
 use proteus_core::scheme::{expand_program_with, ExpandOptions};
 use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY};
 use proteus_mem::{CrashFaults, LogDrainMode, McEvent, MemoryController, PersistEvent};
+use proteus_trace::{TraceReport, Tracer, TrackKind};
 use proteus_types::clock::Cycle;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
 use proteus_types::stats::RunSummary;
 use proteus_types::{SimError, ThreadId};
 use proteus_workloads::GeneratedWorkload;
@@ -27,6 +28,8 @@ pub struct System {
     scheme: LoggingSchemeKind,
     threads: Vec<ThreadId>,
     max_cycles: Cycle,
+    cache_tracer: Tracer,
+    trace_sample_interval: Cycle,
 }
 
 impl System {
@@ -41,7 +44,26 @@ impl System {
         scheme: LoggingSchemeKind,
         workload: &GeneratedWorkload,
     ) -> Result<Self, SimError> {
+        Self::new_with_trace(cfg, scheme, workload, &TraceConfig::disabled())
+    }
+
+    /// Builds a machine like [`System::new`] but with cycle-level tracing
+    /// per `trace`. With `trace.enabled == false` this is exactly
+    /// [`System::new`]: no trace buffers are allocated and the run is
+    /// bit-identical to an untraced one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either configuration is invalid, the workload
+    /// needs more threads than cores, or trace expansion fails.
+    pub fn new_with_trace(
+        cfg: &SystemConfig,
+        scheme: LoggingSchemeKind,
+        workload: &GeneratedWorkload,
+        trace: &TraceConfig,
+    ) -> Result<Self, SimError> {
         cfg.validate().map_err(SimError::InvalidConfig)?;
+        trace.validate().map_err(SimError::InvalidConfig)?;
         if workload.programs.len() > cfg.num_cores {
             return Err(SimError::TooManyThreads {
                 requested: workload.programs.len(),
@@ -55,6 +77,7 @@ impl System {
             LogDrainMode::DrainAlways
         };
         let mut mc = MemoryController::new(cfg.mem.clone(), layout.clone(), drain_mode);
+        mc.set_tracer(Tracer::new(TrackKind::Mc, trace));
         mc.load_image(workload.initial_image.clone());
         let caches = CacheSystem::new(cfg);
         let mut cores = Vec::with_capacity(workload.programs.len());
@@ -64,15 +87,12 @@ impl System {
                 log_registers: cfg.proteus.log_registers,
                 initial_image: workload.initial_image.clone(),
             };
-            let trace = expand_program_with(program, scheme, &layout, &opts)?;
+            let expanded = expand_program_with(program, scheme, &layout, &opts)?;
             threads.push(program.thread);
-            cores.push(Core::new(
-                proteus_types::CoreId::new(i as u32),
-                cfg,
-                scheme,
-                &layout,
-                trace,
-            ));
+            let mut core =
+                Core::new(proteus_types::CoreId::new(i as u32), cfg, scheme, &layout, expanded);
+            core.set_tracer(Tracer::new(TrackKind::Core(i as u32), trace));
+            cores.push(core);
         }
         Ok(System {
             cores,
@@ -84,6 +104,8 @@ impl System {
             scheme,
             threads,
             max_cycles: 20_000_000_000,
+            cache_tracer: Tracer::new(TrackKind::Cache, trace),
+            trace_sample_interval: trace.sample_interval,
         })
     }
 
@@ -122,6 +144,7 @@ impl System {
             }
         }
         self.mc.tick(now);
+        self.caches.trace_sample(&mut self.cache_tracer, now);
         for ev in self.mc.drain_events() {
             let core_idx = match &ev {
                 McEvent::TxEndDone { core, .. } => core.index(),
@@ -248,6 +271,31 @@ impl System {
         let mut image = self.crash_image_with(faults);
         let report = recover(&mut image, &self.layout, self.scheme, &self.threads)?;
         Ok((image, report))
+    }
+
+    /// Total trace-ring capacity across all components (0 when the
+    /// machine was built without tracing — the "no buffers" guard).
+    pub fn trace_capacity(&self) -> usize {
+        self.cores.iter().map(Core::trace_capacity).sum::<usize>()
+            + self.mc.trace_capacity()
+            + self.cache_tracer.capacity()
+    }
+
+    /// Detaches everything the tracers captured. Returns `None` when the
+    /// machine was built without tracing. Call after [`System::run`];
+    /// tracing stops once the dumps are taken.
+    pub fn take_trace_report(&mut self) -> Option<TraceReport> {
+        let mut tracks = Vec::new();
+        for core in &mut self.cores {
+            tracks.extend(core.take_trace());
+        }
+        tracks.extend(self.mc.take_trace());
+        tracks.extend(self.cache_tracer.take_dump());
+        if tracks.is_empty() {
+            None
+        } else {
+            Some(TraceReport { tracks, sample_interval: self.trace_sample_interval })
+        }
     }
 
     /// Statistics snapshot.

@@ -1,0 +1,123 @@
+//! Per-transaction persist critical-path records.
+//!
+//! The paper's Fig. 7 argues about *where* commit latency goes: software
+//! schemes burn it in fence drains, ATOM in retirement serialisation,
+//! Proteus in (small) LogQ waits. A [`TxRecord`] captures exactly that for
+//! one transaction: the cycle of the last store's retirement, the commit
+//! handshake, the durable point, and a per-cause breakdown of every cycle
+//! the `tx-end` sat blocked at the head of the ROB.
+
+use proteus_types::Cycle;
+
+/// Where the blocked `tx-end` cycles went, one counter per wait reason.
+///
+/// Each cycle the transaction's `tx-end` could not retire is attributed to
+/// exactly one category (checked in priority order, matching the order the
+/// pipeline drains them), so the counters sum to the total blocked cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitWait {
+    /// Retired stores still waiting to leave the store queue (write-back
+    /// release path into the caches / WPQ).
+    pub store_release: u64,
+    /// Outstanding `clwb` acknowledgements (lines still on their way to
+    /// the WPQ's ADR domain).
+    pub clwb: u64,
+    /// Unacknowledged Proteus log flushes (LogQ entries not yet durable in
+    /// the LPQ).
+    pub logq: u64,
+    /// Outstanding ATOM log-entry acknowledgements.
+    pub atom: u64,
+    /// Commit handshake round trip at the memory controller (flash clear /
+    /// marker stamping).
+    pub mc_commit: u64,
+}
+
+impl CommitWait {
+    /// Total blocked cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.store_release + self.clwb + self.logq + self.atom + self.mc_commit
+    }
+
+    /// `(label, cycles)` pairs in attribution priority order.
+    pub fn parts(&self) -> [(&'static str, u64); 5] {
+        [
+            ("storeq-release", self.store_release),
+            ("wpq-clwb", self.clwb),
+            ("logq-flush", self.logq),
+            ("atom-log", self.atom),
+            ("mc-commit", self.mc_commit),
+        ]
+    }
+
+    /// Label of the dominant wait category — "which queue the laggard
+    /// entry waited in" — or `"none"` when nothing blocked.
+    pub fn laggard(&self) -> &'static str {
+        let mut best = ("none", 0u64);
+        for (label, n) in self.parts() {
+            if n > best.1 {
+                best = (label, n);
+            }
+        }
+        best.0
+    }
+}
+
+/// The persist critical path of one committed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxRecord {
+    /// Raw transaction ID.
+    pub tx: u64,
+    /// Core that ran it.
+    pub core: u32,
+    /// Cycle its `tx-begin` dispatched.
+    pub begin: Cycle,
+    /// Retirement cycle of its last store (== `begin` for storeless txs).
+    pub last_store: Cycle,
+    /// Cycle the commit handshake was sent to the memory controller.
+    pub commit_request: Cycle,
+    /// Cycle the commit became durable (`tx-end` retired).
+    pub durable: Cycle,
+    /// Breakdown of the cycles `tx-end` sat blocked.
+    pub wait: CommitWait,
+}
+
+impl TxRecord {
+    /// The headline metric: cycles from the last store's retirement to the
+    /// durable commit.
+    pub fn commit_latency(&self) -> Cycle {
+        self.durable.saturating_sub(self.last_store)
+    }
+
+    /// Whole-transaction span in cycles.
+    pub fn span(&self) -> Cycle {
+        self.durable.saturating_sub(self.begin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_total_and_laggard() {
+        let w = CommitWait { store_release: 3, clwb: 0, logq: 10, atom: 0, mc_commit: 4 };
+        assert_eq!(w.total(), 17);
+        assert_eq!(w.laggard(), "logq-flush");
+        assert_eq!(CommitWait::default().laggard(), "none");
+    }
+
+    #[test]
+    fn record_latencies() {
+        let r = TxRecord {
+            tx: 5,
+            core: 1,
+            begin: 100,
+            last_store: 140,
+            commit_request: 150,
+            durable: 190,
+            wait: CommitWait::default(),
+        };
+        assert_eq!(r.commit_latency(), 50);
+        assert_eq!(r.span(), 90);
+    }
+}

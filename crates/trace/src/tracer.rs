@@ -1,0 +1,271 @@
+//! The per-component tracer handle.
+//!
+//! Every traced component (each core, the memory controller, the cache
+//! sampler) owns one [`Tracer`]. Disabled, it is a single `None` — no
+//! buffers, no samples, one branch per emission site. Enabled, it owns a
+//! bounded [`EventRing`], per-queue occupancy and wait histograms, and the
+//! component's transaction records. Ownership (no sharing, no locks) keeps
+//! the simulator `Send` and the hot path branch-predictable.
+
+use crate::event::{CacheLevel, QueueId, TraceEvent, TraceEventKind};
+use crate::record::TxRecord;
+use crate::ring::EventRing;
+use proteus_types::stats::Log2Histogram;
+use proteus_types::{Cycle, TraceConfig};
+
+/// Which timeline a tracer's events belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackKind {
+    /// One out-of-order core.
+    Core(u32),
+    /// The memory controller and its queues.
+    Mc,
+    /// The cache hierarchy (sampled counters).
+    Cache,
+}
+
+impl TrackKind {
+    /// Stable track name used in exports ("core0", "mc", "cache").
+    pub fn name(self) -> String {
+        match self {
+            TrackKind::Core(i) => format!("core{i}"),
+            TrackKind::Mc => "mc".to_string(),
+            TrackKind::Cache => "cache".to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    kind: TrackKind,
+    ring: EventRing,
+    sample_interval: Cycle,
+    next_sample: Cycle,
+    occupancy: [Log2Histogram; QueueId::COUNT],
+    wait: [Log2Histogram; QueueId::COUNT],
+    tx_records: Vec<TxRecord>,
+}
+
+/// Everything one tracer captured, detached from the component.
+#[derive(Debug, Clone)]
+pub struct TrackDump {
+    /// Which timeline this is.
+    pub kind: TrackKind,
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring to make room (0 = lossless).
+    pub dropped_oldest: u64,
+    /// Ring capacity the track ran with.
+    pub capacity: usize,
+    /// Occupancy histograms for queues that were sampled at least once.
+    pub occupancy: Vec<(QueueId, Log2Histogram)>,
+    /// Wait-cycle histograms for queues that recorded at least one wait.
+    pub wait: Vec<(QueueId, Log2Histogram)>,
+    /// Persist critical-path records for transactions this track committed.
+    pub tx_records: Vec<TxRecord>,
+}
+
+impl TrackDump {
+    /// Stable track name ("core0", "mc", "cache").
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+}
+
+/// A component's handle into the trace subsystem.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Option<Box<TracerInner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer: allocates nothing, records nothing.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Creates a tracer for `kind`, or a disabled one if `cfg` says off.
+    pub fn new(kind: TrackKind, cfg: &TraceConfig) -> Self {
+        if !cfg.enabled {
+            return Tracer::disabled();
+        }
+        Tracer {
+            inner: Some(Box::new(TracerInner {
+                kind,
+                ring: EventRing::new(cfg.ring_capacity),
+                sample_interval: cfg.sample_interval.max(1),
+                next_sample: 0,
+                occupancy: std::array::from_fn(|_| Log2Histogram::new()),
+                wait: std::array::from_fn(|_| Log2Histogram::new()),
+                tx_records: Vec::new(),
+            })),
+        }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Ring capacity (0 when disabled) — the "no buffers when off" guard.
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |t| t.ring.capacity())
+    }
+
+    /// Appends a cycle-stamped event. No-op when disabled.
+    pub fn emit(&mut self, at: Cycle, kind: TraceEventKind) {
+        if let Some(t) = self.inner.as_mut() {
+            t.ring.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// Whether the periodic sampler wants a sample at `now`. Lets callers
+    /// skip computing sample values (e.g. aggregating cache stats) on the
+    /// overwhelming majority of cycles.
+    pub fn sample_due(&self, now: Cycle) -> bool {
+        self.inner.as_ref().is_some_and(|t| now >= t.next_sample)
+    }
+
+    /// Records a periodic occupancy sample of each `(queue, occupancy)`
+    /// pair if one is due, feeding both the log2 histograms and the event
+    /// ring. No-op when disabled or not yet due.
+    pub fn maybe_sample(&mut self, now: Cycle, queues: &[(QueueId, u32)]) {
+        let Some(t) = self.inner.as_mut() else { return };
+        if now < t.next_sample {
+            return;
+        }
+        t.next_sample = now + t.sample_interval;
+        for &(queue, occupancy) in queues {
+            t.occupancy[queue.slot()].record(u64::from(occupancy));
+            t.ring.push(TraceEvent {
+                at: now,
+                kind: TraceEventKind::OccupancySample { queue, occupancy },
+            });
+        }
+    }
+
+    /// Records a periodic cumulative cache-counter sample if one is due.
+    /// Callers should gate the (relatively expensive) stat aggregation on
+    /// [`Tracer::sample_due`].
+    pub fn maybe_sample_cache(&mut self, now: Cycle, levels: &[(CacheLevel, u64, u64)]) {
+        let Some(t) = self.inner.as_mut() else { return };
+        if now < t.next_sample {
+            return;
+        }
+        t.next_sample = now + t.sample_interval;
+        for &(level, hits, misses) in levels {
+            t.ring.push(TraceEvent {
+                at: now,
+                kind: TraceEventKind::CacheSample { level, hits, misses },
+            });
+        }
+    }
+
+    /// Records that an entry spent `cycles` waiting in `queue` before
+    /// service (fed into the per-queue wait histogram).
+    pub fn record_wait(&mut self, queue: QueueId, cycles: u64) {
+        if let Some(t) = self.inner.as_mut() {
+            t.wait[queue.slot()].record(cycles);
+        }
+    }
+
+    /// Appends a committed transaction's critical-path record.
+    pub fn record_tx(&mut self, rec: TxRecord) {
+        if let Some(t) = self.inner.as_mut() {
+            t.tx_records.push(rec);
+        }
+    }
+
+    /// Detaches everything captured so far, leaving the tracer disabled.
+    /// Returns `None` if the tracer was disabled.
+    pub fn take_dump(&mut self) -> Option<TrackDump> {
+        let t = self.inner.take()?;
+        let TracerInner { kind, ring, occupancy, wait, tx_records, .. } = *t;
+        let capacity = ring.capacity();
+        let (events, dropped_oldest) = ring.into_parts();
+        let keep = |hists: [Log2Histogram; QueueId::COUNT]| {
+            QueueId::ALL
+                .into_iter()
+                .zip(hists)
+                .filter(|(_, h)| h.count() > 0)
+                .collect::<Vec<(QueueId, Log2Histogram)>>()
+        };
+        Some(TrackDump {
+            kind,
+            events,
+            dropped_oldest,
+            capacity,
+            occupancy: keep(occupancy),
+            wait: keep(wait),
+            tx_records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CommitWait;
+
+    fn on() -> TraceConfig {
+        TraceConfig { enabled: true, ring_capacity: 16, sample_interval: 10 }
+    }
+
+    #[test]
+    fn disabled_tracer_is_free_and_inert() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.capacity(), 0);
+        assert!(!t.sample_due(0));
+        t.emit(1, TraceEventKind::Reject { queue: QueueId::Wpq });
+        t.maybe_sample(1, &[(QueueId::Rob, 4)]);
+        t.record_wait(QueueId::ReadQ, 9);
+        assert!(t.take_dump().is_none());
+        // A config with enabled=false behaves identically.
+        assert!(!Tracer::new(TrackKind::Mc, &TraceConfig::disabled()).is_enabled());
+    }
+
+    #[test]
+    fn sampling_respects_interval() {
+        let mut t = Tracer::new(TrackKind::Core(0), &on());
+        for now in 0..25 {
+            t.maybe_sample(now, &[(QueueId::Rob, now as u32)]);
+        }
+        let d = t.take_dump().unwrap();
+        // Due at 0, 10, 20 — three samples.
+        assert_eq!(d.events.len(), 3);
+        let (q, h) = &d.occupancy[0];
+        assert_eq!(*q, QueueId::Rob);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 20);
+    }
+
+    #[test]
+    fn dump_carries_records_waits_and_drops() {
+        let cfg = TraceConfig { enabled: true, ring_capacity: 4, sample_interval: 1 };
+        let mut t = Tracer::new(TrackKind::Mc, &cfg);
+        for at in 0..9 {
+            t.emit(at, TraceEventKind::Persist(crate::event::PersistKind::WpqAccept));
+        }
+        t.record_wait(QueueId::ReadQ, 100);
+        t.record_tx(TxRecord {
+            tx: 1,
+            core: 0,
+            begin: 0,
+            last_store: 5,
+            commit_request: 6,
+            durable: 9,
+            wait: CommitWait::default(),
+        });
+        let d = t.take_dump().unwrap();
+        assert_eq!(d.name(), "mc");
+        assert_eq!(d.events.len(), 4);
+        assert_eq!(d.dropped_oldest, 5);
+        assert_eq!(d.capacity, 4);
+        assert_eq!(d.wait.len(), 1);
+        assert_eq!(d.wait[0].0, QueueId::ReadQ);
+        assert_eq!(d.tx_records.len(), 1);
+        assert!(d.occupancy.is_empty()); // never sampled
+        assert!(!t.is_enabled()); // dump detaches
+    }
+}

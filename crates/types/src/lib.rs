@@ -32,7 +32,7 @@ pub mod stats;
 
 pub use addr::{Addr, LineAddr, LogGrainAddr, CACHE_LINE_SIZE, LOG_GRAIN_SIZE};
 pub use clock::{ClockRatio, Cycle};
-pub use config::{LoggingSchemeKind, MemTech, SystemConfig};
+pub use config::{LoggingSchemeKind, MemTech, SystemConfig, TraceConfig};
 pub use error::SimError;
 pub use hash::{stable_hash_value, FieldHasher, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxId};

@@ -147,23 +147,28 @@ impl CoreStats {
     }
 
     /// Accumulates another core's counters into this one.
+    ///
+    /// Counter sums saturate rather than wrap: merged aggregates can span
+    /// arbitrarily many resumed shards, and a pinned-at-max counter is a
+    /// visible anomaly where a wrapped one silently corrupts every ratio
+    /// derived from it.
     pub fn merge(&mut self, other: &CoreStats) {
         self.cycles = self.cycles.max(other.cycles);
-        self.uops_retired += other.uops_retired;
-        self.loads += other.loads;
-        self.stores += other.stores;
-        self.clwbs += other.clwbs;
-        self.fences += other.fences;
-        self.log_loads += other.log_loads;
-        self.log_flushes += other.log_flushes;
-        self.log_flushes_elided += other.log_flushes_elided;
-        self.atom_log_entries += other.atom_log_entries;
-        self.atom_log_elided += other.atom_log_elided;
-        self.transactions += other.transactions;
-        self.llt_lookups += other.llt_lookups;
-        self.llt_hits += other.llt_hits;
+        self.uops_retired = self.uops_retired.saturating_add(other.uops_retired);
+        self.loads = self.loads.saturating_add(other.loads);
+        self.stores = self.stores.saturating_add(other.stores);
+        self.clwbs = self.clwbs.saturating_add(other.clwbs);
+        self.fences = self.fences.saturating_add(other.fences);
+        self.log_loads = self.log_loads.saturating_add(other.log_loads);
+        self.log_flushes = self.log_flushes.saturating_add(other.log_flushes);
+        self.log_flushes_elided = self.log_flushes_elided.saturating_add(other.log_flushes_elided);
+        self.atom_log_entries = self.atom_log_entries.saturating_add(other.atom_log_entries);
+        self.atom_log_elided = self.atom_log_elided.saturating_add(other.atom_log_elided);
+        self.transactions = self.transactions.saturating_add(other.transactions);
+        self.llt_lookups = self.llt_lookups.saturating_add(other.llt_lookups);
+        self.llt_hits = self.llt_hits.saturating_add(other.llt_hits);
         for i in 0..self.stall_cycles.len() {
-            self.stall_cycles[i] += other.stall_cycles[i];
+            self.stall_cycles[i] = self.stall_cycles[i].saturating_add(other.stall_cycles[i]);
         }
     }
 }
@@ -218,22 +223,28 @@ impl MemStats {
     }
 
     /// Accumulates another controller's counters into this one.
+    ///
+    /// Saturating, for the same reason as [`CoreStats::merge`].
     pub fn merge(&mut self, other: &MemStats) {
-        self.nvmm_reads += other.nvmm_reads;
-        self.nvmm_data_writes += other.nvmm_data_writes;
-        self.nvmm_log_writes += other.nvmm_log_writes;
-        self.nvmm_log_invalidation_writes += other.nvmm_log_invalidation_writes;
-        self.wpq_inserts += other.wpq_inserts;
-        self.lpq_inserts += other.lpq_inserts;
-        self.lpq_flash_cleared += other.lpq_flash_cleared;
-        self.lpq_drained += other.lpq_drained;
-        self.wpq_log_dropped += other.wpq_log_dropped;
-        self.pcommits += other.pcommits;
-        self.read_queue_wait_cycles += other.read_queue_wait_cycles;
+        self.nvmm_reads = self.nvmm_reads.saturating_add(other.nvmm_reads);
+        self.nvmm_data_writes = self.nvmm_data_writes.saturating_add(other.nvmm_data_writes);
+        self.nvmm_log_writes = self.nvmm_log_writes.saturating_add(other.nvmm_log_writes);
+        self.nvmm_log_invalidation_writes =
+            self.nvmm_log_invalidation_writes.saturating_add(other.nvmm_log_invalidation_writes);
+        self.wpq_inserts = self.wpq_inserts.saturating_add(other.wpq_inserts);
+        self.lpq_inserts = self.lpq_inserts.saturating_add(other.lpq_inserts);
+        self.lpq_flash_cleared = self.lpq_flash_cleared.saturating_add(other.lpq_flash_cleared);
+        self.lpq_drained = self.lpq_drained.saturating_add(other.lpq_drained);
+        self.wpq_log_dropped = self.wpq_log_dropped.saturating_add(other.wpq_log_dropped);
+        self.pcommits = self.pcommits.saturating_add(other.pcommits);
+        self.read_queue_wait_cycles =
+            self.read_queue_wait_cycles.saturating_add(other.read_queue_wait_cycles);
         self.wpq_peak_occupancy = self.wpq_peak_occupancy.max(other.wpq_peak_occupancy);
         self.lpq_peak_occupancy = self.lpq_peak_occupancy.max(other.lpq_peak_occupancy);
-        self.lpq_full_rejections += other.lpq_full_rejections;
-        self.wpq_full_rejections += other.wpq_full_rejections;
+        self.lpq_full_rejections =
+            self.lpq_full_rejections.saturating_add(other.lpq_full_rejections);
+        self.wpq_full_rejections =
+            self.wpq_full_rejections.saturating_add(other.wpq_full_rejections);
     }
 }
 
@@ -305,6 +316,128 @@ impl RunSummary {
     /// NaN-free: two empty runs compare as exactly 1.0.
     pub fn speedup_over(&self, baseline: &RunSummary) -> f64 {
         baseline.total_cycles.max(1) as f64 / self.total_cycles.max(1) as f64
+    }
+}
+
+/// A fixed-size log2-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `floor(log2(v)) == i - 1`; bucket 0
+/// counts zeros, and the last bucket absorbs everything at or beyond its
+/// lower bound. This is the one shared histogram used for trace queue
+/// occupancies, memory-controller wait times, and harness per-job wall
+/// times — every log2 breakdown in the repo renders identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: [u64; Log2Histogram::BUCKETS],
+    count: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl Log2Histogram {
+    /// Number of buckets: zeros plus `floor(log2(v))` in `0..=30`, with
+    /// the last bucket open-ended (covers u64 values `>= 2^30`).
+    pub const BUCKETS: usize = 32;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(Self::BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample. Totals saturate rather than wrap.
+    pub fn record(&mut self, value: u64) {
+        let slot = Self::slot(value);
+        self.buckets[slot] = self.buckets[slot].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Raw bucket counts, lowest bucket first.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Accumulates another histogram into this one (saturating).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Compact one-line rendering of the non-empty buckets, e.g.
+    /// `[0]:3 [1]:1 [4-7]:12`, or `empty` for a histogram with no samples.
+    pub fn render(&self) -> String {
+        if self.count == 0 {
+            return "empty".to_string();
+        }
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let lo = Self::bucket_floor(i);
+            if i == 0 {
+                out.push_str(&format!("[0]:{n}"));
+            } else if i == Self::BUCKETS - 1 {
+                out.push_str(&format!("[{lo}+]:{n}"));
+            } else {
+                let hi = Self::bucket_floor(i + 1) - 1;
+                if lo == hi {
+                    out.push_str(&format!("[{lo}]:{n}"));
+                } else {
+                    out.push_str(&format!("[{lo}-{hi}]:{n}"));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -446,6 +579,85 @@ mod tests {
         c.hits = 3;
         c.misses = 1;
         assert_eq!(c.hit_rate_pct(), Some(75.0));
+    }
+
+    #[test]
+    fn core_merge_saturates_instead_of_wrapping() {
+        let mut a = CoreStats::new();
+        a.uops_retired = u64::MAX - 1;
+        a.transactions = u64::MAX;
+        a.add_stall_cycles(StallCause::RobFull, u64::MAX);
+        let mut b = CoreStats::new();
+        b.uops_retired = 10;
+        b.transactions = 3;
+        b.add_stall_cycles(StallCause::RobFull, 7);
+        a.merge(&b);
+        assert_eq!(a.uops_retired, u64::MAX);
+        assert_eq!(a.transactions, u64::MAX);
+        assert_eq!(a.stall(StallCause::RobFull), u64::MAX);
+        assert_eq!(a.total_stall_cycles(), u64::MAX); // sum over slots is itself a plain sum
+    }
+
+    #[test]
+    fn mem_merge_saturates_instead_of_wrapping() {
+        let mut a = MemStats::new();
+        a.nvmm_reads = u64::MAX;
+        a.read_queue_wait_cycles = u64::MAX - 5;
+        a.wpq_peak_occupancy = 9;
+        let mut b = MemStats::new();
+        b.nvmm_reads = 1;
+        b.read_queue_wait_cycles = 100;
+        b.wpq_peak_occupancy = 4;
+        a.merge(&b);
+        assert_eq!(a.nvmm_reads, u64::MAX);
+        assert_eq!(a.read_queue_wait_cycles, u64::MAX);
+        assert_eq!(a.wpq_peak_occupancy, 9); // peaks still take the max
+    }
+
+    #[test]
+    fn log2_histogram_bucketing() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.buckets()[0], 2); // zeros
+        assert_eq!(h.buckets()[1], 1); // v == 1
+        assert_eq!(h.buckets()[2], 2); // 2..=3
+        assert_eq!(h.buckets()[3], 2); // 4..=7
+        assert_eq!(h.buckets()[4], 1); // 8..=15
+        assert_eq!(h.buckets()[Log2Histogram::BUCKETS - 1], 1); // open-ended tail
+    }
+
+    #[test]
+    fn log2_histogram_floors_and_render() {
+        assert_eq!(Log2Histogram::bucket_floor(0), 0);
+        assert_eq!(Log2Histogram::bucket_floor(1), 1);
+        assert_eq!(Log2Histogram::bucket_floor(2), 2);
+        assert_eq!(Log2Histogram::bucket_floor(5), 16);
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.render(), "empty");
+        assert_eq!(h.mean(), None);
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.render(), "[0]:1 [4-7]:2");
+        assert!((h.mean().unwrap() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_histogram_merge_and_saturation() {
+        let mut a = Log2Histogram::new();
+        a.record(u64::MAX);
+        a.record(u64::MAX); // sum saturates
+        assert_eq!(a.sum(), u64::MAX);
+        let mut b = Log2Histogram::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.buckets()[2], 1);
     }
 
     #[test]

@@ -56,7 +56,7 @@ do_test() {
     # proptest) and Criterion benches (need the real criterion):
     # unit tests, bins, examples, and the non-property integration tests.
     run cargo "${PATCH_ARGS[@]}" test -q --offline --workspace --lib --bins --examples
-    for t in integration_system integration_recovery integration_experiments integration_harness; do
+    for t in integration_system integration_recovery integration_experiments integration_harness integration_trace; do
         run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-sim --test "$t"
     done
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-harness --test harness_resume
@@ -69,6 +69,16 @@ do_test() {
         crashsweep --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
     run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
         crashrepro --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
+    # Smoke the cycle-level tracer end to end: tracedump exits non-zero
+    # unless the trace reconciles (±0) with the RunSummary, the emitted
+    # Chrome JSON parses, and every core and MC queue track carries at
+    # least one event. Independently require a non-trivial artifact.
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin tracedump -- \
+        qe --scale 0.02 --out "${CARGO_TARGET_DIR}/smoke_trace.json"
+    [[ -s "${CARGO_TARGET_DIR}/smoke_trace.json" ]] || {
+        echo "tracedump smoke produced an empty Chrome trace" >&2
+        exit 1
+    }
 }
 
 do_clippy() {
