@@ -13,10 +13,14 @@
 #   cargo test  -q        --offline --workspace  (lib/bin/example tests
 #       plus the non-property integration tests; proptest suites and
 #       Criterion benches need the real crates and are skipped offline)
-#   end-to-end smokes: a bounded crashsweep/crashrepro round trip and a
+#   end-to-end smokes: a bounded crashsweep/crashrepro round trip, a
 #       tracedump run (self-validating: trace must reconcile with the
 #       RunSummary and the Chrome JSON must parse with all tracks
-#       populated)
+#       populated), and a `reproduce bench` run timing the cycle engine
+#       with fast-forwarding on and off (fails on any output divergence)
+#   the fast-forward determinism suite twice: once normally and once
+#       with --features paranoid, which single-steps every would-be
+#       skip and asserts the machine state fingerprint never moves
 #   cargo fmt --check
 #   cargo clippy --offline --workspace --lib --bins -- -D warnings
 #

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|trace|all>
+//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|crashrepro|trace|all>
 //!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]
 //! ```
 //!
@@ -21,6 +21,11 @@
 //!   (job start/end, outcomes, simulated cycles, sim-cycles/s, queue
 //!   depth, worker occupancy) for offline analysis.
 //!
+//! `bench` times the cycle engine on a fixed workload basket with
+//! event-driven fast-forwarding on and off, cross-checking that both
+//! modes produce identical results, and writes a JSON report to
+//! `--file` (default `BENCH_cycle_engine.json`).
+//!
 //! `crashsweep` explores crash points across every failure-safe scheme
 //! and self-validates against the `disable_persist_ordering` fault
 //! knob, writing its shrunk repro artifact to `--file` (default: a
@@ -28,15 +33,15 @@
 //! such an artifact.
 
 use proteus_bench::experiments::{
-    ablation_llt, ablation_threads, ablation_wpq, crashrepro, crashsweep, fig10, fig11, fig12,
-    fig6, fig7, fig8, fig9, table1, table2, table3, table4, trace, ExperimentCtx,
+    ablation_llt, ablation_threads, ablation_wpq, bench, crashrepro, crashsweep, fig10, fig11,
+    fig12, fig6, fig7, fig8, fig9, table1, table2, table3, table4, trace, ExperimentCtx,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|crashsweep|crashrepro|trace|all> \
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|crashrepro|trace|all> \
          [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]"
     );
     ExitCode::FAILURE
@@ -99,6 +104,7 @@ fn main() -> ExitCode {
         ("ablation-llt", ablation_llt),
         ("ablation-threads", ablation_threads),
         ("ablation-wpq", ablation_wpq),
+        ("bench", bench),
         ("crashsweep", crashsweep),
         ("crashrepro", crashrepro),
         ("trace", trace),

@@ -704,6 +704,123 @@ pub fn crashsweep(ctx: &ExperimentCtx) -> Result<String, SimError> {
     ))
 }
 
+/// Peak resident set size of this process in KiB (Linux `VmHWM`; 0 when
+/// unavailable).
+fn peak_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// Cycle-engine benchmark: times a fixed workload basket with the
+/// event-driven fast-forward engine on and off, reporting wall time,
+/// simulated cycles per wall-second, the speedup, and peak RSS. Every
+/// pair of runs is cross-checked — any divergence in the `RunSummary`
+/// or the final cycle is an error, so the benchmark doubles as a
+/// determinism gate. Writes a JSON report to `--file` (default
+/// `BENCH_cycle_engine.json` in the working directory).
+///
+/// # Errors
+///
+/// Fails on simulation errors and on any engine-mode divergence.
+pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    use proteus_sim::System;
+    use std::fmt::Write as _;
+
+    let basket = [Benchmark::Queue, Benchmark::HashMap, Benchmark::StringSwap];
+    let schemes =
+        [LoggingSchemeKind::SwPmemPcommit, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus];
+
+    let mut table = Table::new(["bench", "scheme", "Mcycles", "ff (s)", "step (s)", "speedup"]);
+    let mut json_entries = Vec::new();
+    let (mut ff_total, mut ss_total) = (0.0f64, 0.0f64);
+    let mut total_cycles = 0u64;
+    for bench in basket {
+        let params = ctx.scale.params(bench);
+        let workload = proteus_workloads::generate(bench, &params);
+        for scheme in schemes {
+            let run = |fast: bool| -> Result<_, SimError> {
+                let mut system = System::new(&ctx.scale.config(), scheme, &workload)?;
+                system.set_fast_forward(fast);
+                let start = std::time::Instant::now();
+                let summary = system.run()?;
+                Ok((start.elapsed().as_secs_f64(), summary, system.now()))
+            };
+            let (ff_wall, ff_sum, ff_now) = run(true)?;
+            let (ss_wall, ss_sum, ss_now) = run(false)?;
+            if ff_sum != ss_sum || ff_now != ss_now {
+                return Err(SimError::ConsistencyViolation(format!(
+                    "{}/{}: fast-forward diverged from single-stepping",
+                    bench.abbrev(),
+                    scheme.label()
+                )));
+            }
+            let cycles = ff_sum.total_cycles;
+            ff_total += ff_wall;
+            ss_total += ss_wall;
+            total_cycles += cycles;
+            table.row([
+                bench.abbrev().to_string(),
+                scheme.label().to_string(),
+                format!("{:.2}", cycles as f64 / 1e6),
+                format!("{ff_wall:.3}"),
+                format!("{ss_wall:.3}"),
+                f2(ss_wall / ff_wall.max(1e-9)),
+            ]);
+            json_entries.push(format!(
+                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \
+                 \"ff_wall_s\": {:.6}, \"step_wall_s\": {:.6}, \
+                 \"ff_mcycles_per_s\": {:.3}, \"step_mcycles_per_s\": {:.3}, \
+                 \"speedup\": {:.3}}}",
+                bench.abbrev(),
+                scheme.label(),
+                cycles,
+                ff_wall,
+                ss_wall,
+                cycles as f64 / 1e6 / ff_wall.max(1e-9),
+                cycles as f64 / 1e6 / ss_wall.max(1e-9),
+                ss_wall / ff_wall.max(1e-9),
+            ));
+        }
+    }
+    let speedup = ss_total / ff_total.max(1e-9);
+    let rss = peak_rss_kib();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {:.4},", ctx.scale.scale);
+    let _ = writeln!(json, "  \"threads\": {},", ctx.scale.threads);
+    let _ = writeln!(json, "  \"entries\": [\n{}\n  ],", json_entries.join(",\n"));
+    let _ = writeln!(json, "  \"total_cycles\": {total_cycles},");
+    let _ = writeln!(json, "  \"ff_wall_s\": {ff_total:.6},");
+    let _ = writeln!(json, "  \"step_wall_s\": {ss_total:.6},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"peak_rss_kib\": {rss}");
+    json.push('}');
+    let path =
+        ctx.file.clone().unwrap_or_else(|| std::path::PathBuf::from("BENCH_cycle_engine.json"));
+    std::fs::write(&path, &json).map_err(|e| SimError::HarnessIo(e.to_string()))?;
+
+    Ok(format!(
+        "Cycle-engine benchmark (scale {:.2}, {} threads)\n{}\n\
+         total: {:.2} Mcycles; fast-forward {:.3} s vs single-step {:.3} s \
+         ({:.2}x); peak RSS {} KiB; report: {}",
+        ctx.scale.scale,
+        ctx.scale.threads,
+        table.render(),
+        total_cycles as f64 / 1e6,
+        ff_total,
+        ss_total,
+        speedup,
+        rss,
+        path.display(),
+    ))
+}
+
 /// Replays a shrunk crash-repro artifact written by `crashsweep` (or by
 /// hand) and reports whether the violation still reproduces.
 ///

@@ -243,6 +243,15 @@ impl CacheSystem {
     }
 }
 
+impl proteus_types::NextEvent for CacheSystem {
+    /// The hierarchy is entirely reactive: every access is performed
+    /// synchronously on behalf of a core and latencies are charged to the
+    /// requester, so the caches never need to be woken on their own.
+    fn next_event_cycle(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,7 @@ use crate::pmem::WordImage;
 use crate::program::Program;
 use proteus_types::config::LoggingSchemeKind;
 use proteus_types::SimError;
+use std::sync::Arc;
 
 /// Options controlling expansion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,13 +37,15 @@ pub struct ExpandOptions {
     /// Initial memory contents, used by the software expansion to
     /// materialise undo-log values (software reads the data it logs; the
     /// expansion pre-executes those reads so store micro-ops carry literal
-    /// values).
-    pub initial_image: WordImage,
+    /// values). Shared via [`Arc`] so per-core expansion never deep-copies
+    /// the image; the software expansion clones the contents only when it
+    /// actually needs a mutable pre-execution scratch copy.
+    pub initial_image: Arc<WordImage>,
 }
 
 impl Default for ExpandOptions {
     fn default() -> Self {
-        ExpandOptions { log_registers: 8, initial_image: WordImage::new() }
+        ExpandOptions { log_registers: 8, initial_image: Arc::new(WordImage::new()) }
     }
 }
 

@@ -35,7 +35,7 @@ pub(super) fn expand(
     pcommit: bool,
 ) -> Result<Trace, SimError> {
     let mut trace = Trace::new(program.thread);
-    let mut image = opts.initial_image.clone();
+    let mut image = (*opts.initial_image).clone();
     let mut area = LogArea::new(program.thread, layout);
     let mut dirty = DirtyLines::new();
     let log_flag = layout.log_flag(program.thread);
@@ -130,7 +130,7 @@ pub(crate) fn expand_with_final_image(
     opts: &ExpandOptions,
 ) -> (Trace, crate::pmem::WordImage) {
     let trace = expand(program, layout, opts, false).unwrap();
-    let mut image = opts.initial_image.clone();
+    let mut image = (*opts.initial_image).clone();
     for u in &trace.uops {
         if let Uop::Store { addr, value } = u {
             image.write_word(*addr, *value);
@@ -177,7 +177,7 @@ mod tests {
         let node = Addr::new(0x1000_0000);
         let mut initial = WordImage::new();
         initial.write_word(node, 0x11);
-        let opts = ExpandOptions { initial_image: initial, ..Default::default() };
+        let opts = ExpandOptions { initial_image: initial.into(), ..Default::default() };
         let p = one_tx_program(node);
         let (_, final_image) = expand_with_final_image(&p, &layout, &opts);
         // The log entry at slot 0 must hold the OLD value 0x11, while the

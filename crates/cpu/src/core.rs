@@ -207,6 +207,8 @@ pub struct Core {
     next_local_id: u64,
 
     out: Vec<(Cycle, McRequest)>,
+    /// Reusable eviction buffer for cache calls (no per-cycle allocation).
+    wb_scratch: Vec<(LineAddr, LineData)>,
     stats: CoreStats,
     done_at: Option<Cycle>,
 
@@ -264,6 +266,7 @@ impl Core {
             parked_loads: Vec::new(),
             next_local_id: 0,
             out: Vec::new(),
+            wb_scratch: Vec::new(),
             stats: CoreStats::new(),
             done_at: None,
             tracer: Tracer::disabled(),
@@ -314,6 +317,25 @@ impl Core {
         std::mem::take(&mut self.out)
     }
 
+    /// Moves requests bound for the memory controller into `sink`,
+    /// preserving order. Reuses `sink`'s allocation — the per-cycle hot
+    /// path, unlike [`Core::drain_requests`].
+    pub fn drain_requests_into(&mut self, sink: &mut Vec<(Cycle, McRequest)>) {
+        sink.append(&mut self.out);
+    }
+
+    /// Forwards scratch-buffered cache evictions to the memory
+    /// controller, in eviction order, and leaves the buffer empty (its
+    /// allocation is retained for the next cache call).
+    fn flush_writebacks(&mut self, now: Cycle) {
+        for (wline, wdata) in self.wb_scratch.drain(..) {
+            self.out.push((
+                now + MISS_PATH_DELAY,
+                McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
+            ));
+        }
+    }
+
     fn fresh_id(&mut self) -> u64 {
         self.next_local_id += 1;
         encode_id(self.id, self.next_local_id)
@@ -358,8 +380,10 @@ impl Core {
         self.out.push((now + MISS_PATH_DELAY, McRequest::Read { line, req_id }));
     }
 
-    /// Advances the core by one cycle. `now` must increase by exactly one
-    /// between calls.
+    /// Advances the core by one cycle. Consecutive calls may jump `now`
+    /// forward past a window in which [`Core::next_event_cycle`] reported
+    /// no possible progress; such skipped cycles must be credited through
+    /// [`Core::account_skipped_cycles`] to keep statistics exact.
     pub fn tick(&mut self, now: Cycle, caches: &mut CacheSystem) {
         if self.done_at.is_some() {
             return;
@@ -395,14 +419,8 @@ impl Core {
                 let Some(line) = self.req_lines.remove(req_id) else {
                     return;
                 };
-                let mut writebacks = Vec::new();
-                caches.fill(self.id, line, *data, &mut writebacks);
-                for (wline, wdata) in writebacks {
-                    self.out.push((
-                        now + MISS_PATH_DELAY,
-                        McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
-                    ));
-                }
+                caches.fill(self.id, line, *data, &mut self.wb_scratch);
+                self.flush_writebacks(now);
                 if let Some(waiters) = self.mshr.remove(&line.index()) {
                     for seq in waiters.load_waiters {
                         self.complete_at(seq, now + self.l1_latency);
@@ -502,14 +520,13 @@ impl Core {
                 continue;
             }
             let Some(idx) = self.rob_index(seq) else { continue };
-            let mut writebacks = Vec::new();
             match self.rob[idx].uop {
                 Uop::Load { addr, .. } => {
                     if self.forwarded_word(addr, seq).is_some() {
                         self.rob[idx].state = UopState::None;
                         self.complete_at(seq, now + self.l1_latency);
                     } else {
-                        match caches.load(self.id, addr, &mut writebacks) {
+                        match caches.load(self.id, addr, &mut self.wb_scratch) {
                             LookupResult::Hit { latency, .. } => {
                                 self.rob[idx].state = UopState::None;
                                 self.complete_at(seq, now + latency);
@@ -529,7 +546,7 @@ impl Core {
                 Uop::LogLoad { lr, addr } => {
                     let lr = lr.0 as usize;
                     let grain = addr.log_grain();
-                    match caches.load(self.id, addr, &mut writebacks) {
+                    match caches.load(self.id, addr, &mut self.wb_scratch) {
                         LookupResult::Hit { latency, data } => {
                             let value = self.grain_with_overlay(&data, grain, seq);
                             self.lrs.fill(lr, value);
@@ -549,12 +566,7 @@ impl Core {
                 }
                 _ => unreachable!("only loads park"),
             }
-            for (wline, wdata) in writebacks {
-                self.out.push((
-                    now + MISS_PATH_DELAY,
-                    McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
-                ));
-            }
+            self.flush_writebacks(now);
         }
         self.parked_loads = still_parked;
     }
@@ -925,8 +937,7 @@ impl Core {
             self.issue_fetch(head.addr.line(), now);
             return;
         }
-        let mut writebacks = Vec::new();
-        match caches.store(self.id, head.addr, head.value, &mut writebacks) {
+        match caches.store(self.id, head.addr, head.value, &mut self.wb_scratch) {
             LookupResult::Hit { .. } => {
                 self.storeq.pop_front();
                 self.tracer.emit(
@@ -946,12 +957,7 @@ impl Core {
             }
             LookupResult::Miss => unreachable!("peek said the line is resident"),
         }
-        for (wline, wdata) in writebacks {
-            self.out.push((
-                now + MISS_PATH_DELAY,
-                McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
-            ));
-        }
+        self.flush_writebacks(now);
     }
 
     /// Performs retired clwbs whose same-line older stores have released.
@@ -1077,8 +1083,7 @@ impl Core {
                 } else if self.forwarded_word(addr, seq).is_some() {
                     complete_at = Some(now + self.l1_latency);
                 } else {
-                    let mut writebacks = Vec::new();
-                    match caches.load(self.id, addr, &mut writebacks) {
+                    match caches.load(self.id, addr, &mut self.wb_scratch) {
                         LookupResult::Hit { latency, .. } => {
                             complete_at = Some(now + latency);
                         }
@@ -1092,12 +1097,7 @@ impl Core {
                                 .push(seq);
                         }
                     }
-                    for (wline, wdata) in writebacks {
-                        self.out.push((
-                            now + MISS_PATH_DELAY,
-                            McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
-                        ));
-                    }
+                    self.flush_writebacks(now);
                 }
             }
             Uop::Store { addr, value } => {
@@ -1208,8 +1208,7 @@ impl Core {
                         self.parked_loads.push(seq);
                     } else {
                         state = UopState::LogLoad;
-                        let mut writebacks = Vec::new();
-                        match caches.load(self.id, addr, &mut writebacks) {
+                        match caches.load(self.id, addr, &mut self.wb_scratch) {
                             LookupResult::Hit { latency, data } => {
                                 let value = self.grain_with_overlay(&data, grain, seq);
                                 self.lrs.fill(lr, value);
@@ -1224,12 +1223,7 @@ impl Core {
                                     .push((seq, lr));
                             }
                         }
-                        for (wline, wdata) in writebacks {
-                            self.out.push((
-                                now + MISS_PATH_DELAY,
-                                McRequest::WriteBack { line: wline, data: wdata, ack_id: None },
-                            ));
-                        }
+                        self.flush_writebacks(now);
                     }
                 }
             }
@@ -1303,5 +1297,259 @@ impl Core {
             self.done_at = Some(now);
             self.stats.cycles = now;
         }
+    }
+
+    /// Why dispatch of the next trace uop would stall this cycle, or
+    /// `None` if it would succeed. A read-only mirror of
+    /// [`Core::dispatch`] / `try_dispatch_one`'s gating checks, applied
+    /// in exactly the order the dispatch path applies them — used both to
+    /// predict wakeups and to attribute stall cycles across skipped
+    /// windows.
+    fn dispatch_stall_cause(&self) -> Option<StallCause> {
+        debug_assert!(self.pc < self.trace.uops.len(), "caller checks for remaining uops");
+        let uop = self.trace.uops[self.pc];
+        if self.rob.len() >= self.rob_entries {
+            return Some(self.rob_full_cause());
+        }
+        if self.fence_active
+            && matches!(
+                uop,
+                Uop::Store { .. }
+                    | Uop::Clwb { .. }
+                    | Uop::Sfence
+                    | Uop::Pcommit
+                    | Uop::LogLoad { .. }
+                    | Uop::LogFlush { .. }
+                    | Uop::TxBegin { .. }
+                    | Uop::TxEnd { .. }
+                    | Uop::LogSave
+            )
+        {
+            return Some(StallCause::FenceDrain);
+        }
+        match uop {
+            Uop::Compute { .. } | Uop::Clwb { .. } => {
+                (self.inflight_exec >= self.issueq_entries).then_some(StallCause::IssueQFull)
+            }
+            Uop::Load { .. } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    Some(StallCause::IssueQFull)
+                } else if self.loads_in_rob >= self.loadq_entries {
+                    Some(StallCause::LoadQFull)
+                } else {
+                    None
+                }
+            }
+            Uop::Store { .. } => {
+                (self.storeq.len() >= self.storeq_entries).then_some(StallCause::StoreQFull)
+            }
+            Uop::Sfence | Uop::Pcommit | Uop::TxBegin { .. } | Uop::TxEnd { .. } | Uop::LogSave => {
+                None
+            }
+            Uop::LogLoad { lr, addr } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Some(StallCause::IssueQFull);
+                }
+                let lr_busy = self.lrs.grain(lr.0 as usize).is_some();
+                if self.llt.would_hit(addr.log_grain()) {
+                    lr_busy.then_some(StallCause::LrFull)
+                } else if self.loads_in_rob >= self.loadq_entries {
+                    Some(StallCause::LoadQFull)
+                } else if lr_busy {
+                    Some(StallCause::LrFull)
+                } else {
+                    None
+                }
+            }
+            Uop::LogFlush { lr } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    Some(StallCause::IssueQFull)
+                } else if self.lrs.is_elided(lr.0 as usize) {
+                    None
+                } else if !self.logq.has_space() {
+                    Some(StallCause::LogQFull)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether the completed uop at the ROB head cannot retire this cycle
+    /// for a reason no core-local ticking will fix — i.e. retirement is
+    /// waiting on an external event (a memory response, a controller
+    /// ack). Mirrors [`Core::retire`]'s gating exactly; anything this
+    /// cannot cheaply rule out counts as unblocked (a wasted step is
+    /// safe, a missed wake is not).
+    fn head_blocked(&self, head: &RobEntry, caches: &CacheSystem) -> bool {
+        match (&head.uop, &head.state) {
+            // A sent fence waits for the controller's completion event.
+            (_, UopState::Fence(FenceProgress::Sent)) => true,
+            (Uop::Pcommit | Uop::TxEnd { .. }, UopState::Fence(FenceProgress::Waiting)) => {
+                !self.persist_drained()
+            }
+            (Uop::Sfence | Uop::LogSave, _) => !self.persist_drained(),
+            (Uop::Store { addr, .. }, state)
+                if self.scheme == LoggingSchemeKind::Atom && self.current_tx.is_some() =>
+            {
+                let grain = addr.log_grain();
+                if self.atom_logged.contains(&grain.index()) {
+                    return false; // retires via the already-logged fast path
+                }
+                match state {
+                    UopState::Atom(AtomProgress::WaitAck) => true,
+                    UopState::Atom(AtomProgress::NeedLine) | UopState::None => {
+                        // The retry makes progress unless it is waiting
+                        // for an in-flight overlay fetch: a resident line
+                        // (or no overlay requirement) sends the log
+                        // entry, and an absent MSHR entry means the retry
+                        // issues the fetch itself.
+                        let grain_base = grain.base();
+                        let overlay_needed = (0..4).any(|i| {
+                            self.forwarded_word(grain_base.offset(i * 8), head.seq).is_some()
+                        });
+                        overlay_needed
+                            && caches.peek(self.id, *addr).is_none()
+                            && self.mshr.contains_key(&addr.line().index())
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Earliest cycle at or after `now` at which ticking this core could
+    /// change simulated state, or `None` if the core is finished or
+    /// waiting purely on external input. Follows the
+    /// [`proteus_types::NextEvent`] contract; it is an inherent method
+    /// because store-release and ATOM-logging progress depend on cache
+    /// residency, so the hierarchy must be consulted.
+    pub fn next_event_cycle(&self, now: Cycle, caches: &CacheSystem) -> Option<Cycle> {
+        if self.done_at.is_some() {
+            return None;
+        }
+        // Outgoing requests must reach the system's routing loop.
+        if !self.out.is_empty() {
+            return Some(now);
+        }
+        // `check_done` fires on the tick *after* the final drain.
+        if self.pc >= self.trace.uops.len()
+            && self.rob.is_empty()
+            && self.storeq.is_empty()
+            && self.pending_clwbs.is_empty()
+            && self.logq.is_empty()
+            && self.atom_acks_outstanding == 0
+        {
+            return Some(now);
+        }
+        let wake = |at: Cycle, best: &mut Option<Cycle>| {
+            let at = at.max(now);
+            *best = Some(best.map_or(at, |b: Cycle| b.min(at)));
+        };
+        let mut best: Option<Cycle> = None;
+        if let Some(&Reverse((at, _))) = self.completions.peek() {
+            wake(at, &mut best);
+        }
+        // Retirement progress at the ROB head.
+        if let Some(head) = self.rob.front() {
+            if head.completed && !self.head_blocked(head, caches) {
+                wake(now, &mut best);
+            }
+        }
+        // The head store releases (or issues its write-allocate fetch).
+        if let Some(s) = self.storeq.front() {
+            if s.retired
+                && !(self.scheme.uses_proteus_hw()
+                    && !self.persist_ordering_disabled
+                    && self.logq.blocks_store_to(s.addr.log_grain()))
+                && (caches.peek(self.id, s.addr).is_some()
+                    || !self.mshr.contains_key(&s.addr.line().index()))
+            {
+                wake(now, &mut best);
+            }
+        }
+        // A clwb with no unreleased same-line store performs next tick.
+        if self
+            .pending_clwbs
+            .iter()
+            .any(|c| !c.performed && !self.storeq_lines.contains_key(&c.addr.line().index()))
+        {
+            wake(now, &mut best);
+        }
+        // A log flush whose log-load data has arrived sends next tick.
+        if self.logq.unsent().any(|e| {
+            self.flush_meta.get(&e.id).is_some_and(|(lr, _, _)| self.lrs.data(*lr).is_some())
+        }) {
+            wake(now, &mut best);
+        }
+        if !self.held_flushes.is_empty() {
+            wake(now, &mut best);
+        }
+        if self.pc < self.trace.uops.len() {
+            match self.dispatch_stall_cause() {
+                None => wake(now, &mut best),
+                // A log-load rejected by the load queue or LR file has
+                // already probed — and mutated — the LLT by the time the
+                // reject is known, so those retry windows must be
+                // single-stepped to stay cycle-exact.
+                Some(StallCause::LoadQFull | StallCause::LrFull)
+                    if matches!(self.trace.uops[self.pc], Uop::LogLoad { .. }) =>
+                {
+                    wake(now, &mut best);
+                }
+                Some(_) => {}
+            }
+        }
+        best
+    }
+
+    /// Credits `n` skipped cycles to the dispatch-stall statistics.
+    ///
+    /// During a skipped window the core's state is frozen, so the
+    /// dispatch path would have recorded the same stall cause on every
+    /// one of those cycles; crediting them in bulk keeps `RunSummary`
+    /// byte-identical with single-stepping.
+    pub fn account_skipped_cycles(&mut self, n: u64) {
+        if n == 0 || self.done_at.is_some() || self.pc >= self.trace.uops.len() {
+            return;
+        }
+        let cause = self.dispatch_stall_cause().unwrap_or(StallCause::IssueQFull);
+        self.stats.add_stall_cycles(cause, n);
+    }
+
+    /// Hashes the externally observable simulation state — not stats, not
+    /// trace bookkeeping. Used by the paranoid engine cross-check to
+    /// prove skipped windows were genuinely quiescent.
+    #[doc(hidden)]
+    pub fn debug_fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.pc.hash(h);
+        self.next_seq.hash(h);
+        self.rob.len().hash(h);
+        self.rob.iter().filter(|e| e.completed).count().hash(h);
+        self.completions.len().hash(h);
+        self.inflight_exec.hash(h);
+        self.loads_in_rob.hash(h);
+        self.storeq.len().hash(h);
+        self.storeq.iter().filter(|s| s.retired).count().hash(h);
+        self.storeq_lines.len().hash(h);
+        self.pending_clwbs.len().hash(h);
+        self.pending_clwbs.iter().filter(|c| c.performed).count().hash(h);
+        self.fence_active.hash(h);
+        self.logq.len().hash(h);
+        self.lrs.in_use().hash(h);
+        self.llt.len().hash(h);
+        self.llt.lru_clock().hash(h);
+        self.current_tx.is_some().hash(h);
+        self.held_flushes.len().hash(h);
+        self.atom_logged.len().hash(h);
+        self.atom_acks_outstanding.hash(h);
+        self.mshr.len().hash(h);
+        self.parked_loads.len().hash(h);
+        self.incomplete_loads.len().hash(h);
+        self.next_local_id.hash(h);
+        self.out.len().hash(h);
+        self.done_at.hash(h);
     }
 }

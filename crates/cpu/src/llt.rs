@@ -73,6 +73,15 @@ impl Llt {
         false
     }
 
+    /// Whether a [`Llt::lookup_insert`] of `grain` would hit, without
+    /// touching the table: no LRU refresh, no insertion, no counter
+    /// movement. Used by the event engine to predict dispatch outcomes —
+    /// a real lookup mutates state even on the failure paths, so stalled
+    /// `log-load` dispatch retries can never be skipped over.
+    pub fn would_hit(&self, grain: LogGrainAddr) -> bool {
+        self.sets[self.set_of(grain)].iter().any(|w| w.grain == grain.index())
+    }
+
     /// Removes `grain`, undoing a just-performed miss-insert when the
     /// pipeline could not actually queue the flush (LogQ full) and must
     /// retry the dispatch. Also decrements the lookup counter so retries
@@ -106,6 +115,14 @@ impl Llt {
     /// Whether the table holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Internal LRU clock. Exposed only so the engine cross-check can
+    /// detect wrongly-skipped `log-load` retry windows (which refresh
+    /// LRU state even when the dispatch ultimately fails).
+    #[doc(hidden)]
+    pub fn lru_clock(&self) -> u64 {
+        self.clock
     }
 }
 

@@ -13,6 +13,7 @@ use proteus_mem::{LogDrainMode, McEvent, MemoryController};
 use proteus_types::clock::Cycle;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
 use proteus_types::{Addr, CoreId, ThreadId};
+use std::sync::Arc;
 
 struct Rig {
     core: Core,
@@ -29,7 +30,7 @@ fn layout() -> AddressLayout {
 fn build(scheme: LoggingSchemeKind, program: &Program, initial: &WordImage) -> Rig {
     let cfg = SystemConfig::skylake_like().with_num_cores(1);
     let layout = layout();
-    let opts = ExpandOptions { initial_image: initial.clone(), ..Default::default() };
+    let opts = ExpandOptions { initial_image: Arc::new(initial.clone()), ..Default::default() };
     let trace = expand_program_with(program, scheme, &layout, &opts).expect("expansion");
     let caches = CacheSystem::new(&cfg);
     let drain_mode = if scheme.log_write_removal() {
@@ -326,7 +327,7 @@ fn log_save_forces_log_entries_to_nvmm() {
     p.write(node, 6);
     p.tx_end();
     let layout_v = layout();
-    let opts = ExpandOptions { initial_image: initial.clone(), ..Default::default() };
+    let opts = ExpandOptions { initial_image: Arc::new(initial.clone()), ..Default::default() };
     let mut trace = expand_program_with(&p, LoggingSchemeKind::Proteus, &layout_v, &opts).unwrap();
     // Splice a log-save between the flush and the commit: the entry must
     // hit NVMM even though the transaction later flash-clears.

@@ -55,6 +55,11 @@ impl Bank {
         self.busy_until <= now
     }
 
+    /// The first cycle at which the bank is idle again (event scheduling).
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
     /// The row-buffer state an access to `row` would see.
     pub fn row_state(&self, row: u64) -> RowState {
         match self.open_row {

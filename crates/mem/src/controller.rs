@@ -30,7 +30,7 @@ use proteus_core::logarea::LogArea;
 use proteus_core::pmem::{LineData, WordImage};
 use proteus_trace::{PersistKind, QueueId, TraceEventKind, Tracer, TrackDump};
 use proteus_types::addr::LineAddr;
-use proteus_types::clock::{ClockRatio, Cycle};
+use proteus_types::clock::{ClockRatio, Cycle, NextEvent};
 use proteus_types::config::MemConfig;
 use proteus_types::stats::MemStats;
 use proteus_types::{CoreId, ThreadId, TxId};
@@ -353,6 +353,11 @@ impl MemoryController {
     }
 
     /// Advances the controller to CPU cycle `now`.
+    ///
+    /// `now` need not increase by exactly one between calls: when the
+    /// engine fast-forwards over a quiescent window, the first tick after
+    /// the jump first replays the skipped memory-clock edges against the
+    /// window's (frozen) state, then runs this cycle's phases as usual.
     pub fn tick(&mut self, now: Cycle) {
         self.clock = now;
         if self.tracer.is_enabled() {
@@ -365,38 +370,173 @@ impl MemoryController {
                 ],
             );
         }
+        self.catch_up_edges(now);
         self.process_intake(now);
         self.feed_pending_writes();
         self.resolve_tx_ends(now);
         self.resolve_pcommits(now);
         self.complete_in_flight(now);
         while now >= self.next_mem_tick {
-            self.schedule_command(self.next_mem_tick.max(now));
-            self.mem_ticks += 1;
-            // Exact 17/4 CPU cycles per memory cycle.
-            self.next_mem_tick = (self.mem_ticks * 17).div_ceil(4);
+            self.schedule_command(self.next_mem_tick);
+            self.advance_mem_tick();
         }
         self.stats.wpq_peak_occupancy = self.stats.wpq_peak_occupancy.max(self.wpq.len());
         self.stats.lpq_peak_occupancy = self.stats.lpq_peak_occupancy.max(self.lpq.len());
     }
 
-    fn process_intake(&mut self, now: Cycle) {
-        let mut i = 0;
-        while i < self.intake.len() {
-            if self.intake[i].0 > now {
-                i += 1;
-                continue;
+    fn advance_mem_tick(&mut self) {
+        self.mem_ticks += 1;
+        // Exact 17/4 CPU cycles per memory cycle.
+        self.next_mem_tick = Self::edge_of(self.mem_ticks);
+    }
+
+    /// The CPU cycle of memory-clock edge `k` (exact 17/4 ratio).
+    fn edge_of(k: u64) -> Cycle {
+        (k * 17).div_ceil(4)
+    }
+
+    /// The smallest memory-tick index whose CPU-cycle edge is `>= x`.
+    fn mem_tick_at_or_after(x: Cycle) -> u64 {
+        // ceil(17k/4) >= x  ⇔  k >= (4x - 3) / 17, rounded up.
+        (4 * x).saturating_sub(3).div_ceil(17)
+    }
+
+    /// Re-aims the edge loop at the first edge at or after `x` (never
+    /// moving backwards).
+    fn jump_to_edge(&mut self, x: Cycle) {
+        let k = Self::mem_tick_at_or_after(x).max(self.mem_ticks);
+        self.mem_ticks = k;
+        self.next_mem_tick = Self::edge_of(k);
+    }
+
+    /// Replays memory-clock edges that fell strictly before `now`.
+    ///
+    /// In single-step mode this never fires: each edge is an integer
+    /// cycle and is processed by the tick of that exact cycle, so
+    /// `next_mem_tick` can never lag `now`. After a fast-forward jump the
+    /// skipped window's state is frozen by construction (the [`NextEvent`]
+    /// contract wakes the engine for any phase activity or command
+    /// issue), so replaying the stale edges against the current pre-phase
+    /// state does exactly what per-cycle ticking would have done — and
+    /// edges at which provably no command can issue are hopped in O(1)
+    /// instead of scanned one by one.
+    fn catch_up_edges(&mut self, now: Cycle) {
+        while self.next_mem_tick < now {
+            self.schedule_command(self.next_mem_tick);
+            self.advance_mem_tick();
+            if self.next_mem_tick >= now {
+                break;
             }
-            let (_, req) = self.intake[i].clone();
-            if self.try_accept(req, now) {
-                self.intake.remove(i);
-            } else {
-                i += 1;
+            match self.next_issue_boundary() {
+                Some(t) if t < now => self.jump_to_edge(t),
+                // Nothing can issue before `now`: land on the first edge
+                // at or after it and let the post-phase loop take over.
+                _ => self.jump_to_edge(now),
             }
         }
     }
 
-    fn try_accept(&mut self, req: McRequest, now: Cycle) -> bool {
+    /// The earliest memory-clock edge at or after `next_mem_tick` at
+    /// which the arbiter could issue a command, or `None` if nothing is
+    /// currently eligible. Exact while the queues are frozen: eligibility
+    /// only changes through the per-cycle phases (which wake the engine)
+    /// or through command issue itself (which happens no earlier than the
+    /// returned edge).
+    fn next_issue_boundary(&self) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let consider = |busy_until: Cycle, best: &mut Option<Cycle>| {
+            *best = Some(best.map_or(busy_until, |b: Cycle| b.min(busy_until)));
+        };
+        // 1. Reads not yet dispatched to a bank.
+        for r in self.read_queue.iter().filter(|r| {
+            !self
+                .in_flight
+                .iter()
+                .any(|(_, f)| matches!(f, InFlight::Read { req_id } if *req_id == r.req_id))
+        }) {
+            consider(self.banks[self.map.bank_of(r.line)].busy_until(), &mut best);
+        }
+        // 2. WPQ entries, under the hysteresis state the next arbiter
+        // call will compute from the current occupancy.
+        let occ_pct = 100 * self.wpq.len() / self.cfg.wpq_entries.max(1);
+        let draining = if occ_pct >= self.cfg.wpq_high_watermark_pct as usize {
+            true
+        } else if occ_pct <= self.cfg.wpq_low_watermark_pct as usize {
+            false
+        } else {
+            self.wpq_draining
+        };
+        let drain_wpq = draining
+            || !self.pending_pcommits.is_empty()
+            || (self.read_queue.is_empty() && occ_pct > self.cfg.wpq_low_watermark_pct as usize);
+        let mut wpq_has_eligible = false;
+        for e in
+            self.wpq.iter().filter(|e| !e.in_service && (drain_wpq || e.kind != WriteKind::Data))
+        {
+            wpq_has_eligible = true;
+            consider(self.banks[self.map.bank_of(e.line)].busy_until(), &mut best);
+        }
+        // 3. LPQ entries under the log-drain policy.
+        let lpq_occ_pct = 100 * self.lpq.len() / self.cfg.lpq_entries.max(1);
+        let drain_lpq = match self.drain_mode {
+            LogDrainMode::KeepUntilCommit => lpq_occ_pct >= 90,
+            LogDrainMode::DrainAlways => !wpq_has_eligible,
+        };
+        for e in self
+            .lpq
+            .iter()
+            .filter(|e| !e.in_service && !e.retained_marker && (drain_lpq || e.must_drain))
+        {
+            consider(self.banks[self.map.bank_of(e.slot_line)].busy_until(), &mut best);
+        }
+        best.map(|b| Self::edge_of(Self::mem_tick_at_or_after(b).max(self.mem_ticks)))
+    }
+
+    /// Hashes the externally observable simulation state — not stats, not
+    /// clock bookkeeping. Used by the paranoid engine cross-check to
+    /// prove that skipped windows were genuinely quiescent.
+    #[doc(hidden)]
+    pub fn debug_fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.persist_seq.hash(h);
+        self.intake.len().hash(h);
+        self.read_queue.len().hash(h);
+        self.wpq.len().hash(h);
+        self.wpq.iter().filter(|e| e.in_service).count().hash(h);
+        self.lpq.len().hash(h);
+        self.lpq.iter().filter(|e| e.in_service).count().hash(h);
+        self.lpq.iter().filter(|e| e.retained_marker).count().hash(h);
+        self.pending_writes.len().hash(h);
+        self.pending_pcommits.len().hash(h);
+        self.pending_tx_ends.len().hash(h);
+        self.in_flight.len().hash(h);
+        self.events.len().hash(h);
+        // `wpq_draining` is deliberately excluded: the hysteresis flag is
+        // recomputed at every memory-clock edge and may settle to its
+        // fixpoint one edge into a quiescent window. The flip is pure
+        // bookkeeping (its observable consequence — a newly eligible
+        // write — is what `next_issue_boundary` wakes on) and is replayed
+        // bit-exactly by `catch_up_edges`.
+        for b in &self.banks {
+            b.busy_until().hash(h);
+        }
+    }
+
+    fn process_intake(&mut self, now: Cycle) {
+        // Rotate the deque once: pop each entry, accept it (dropping it)
+        // or push it back. Relative order is preserved and no request is
+        // ever cloned on the per-cycle retry path.
+        for _ in 0..self.intake.len() {
+            let (at, req) = self.intake.pop_front().expect("length checked");
+            if at > now {
+                self.intake.push_back((at, req));
+            } else if let Err(req) = self.try_accept(req, now) {
+                self.intake.push_back((at, req));
+            }
+        }
+    }
+
+    fn try_accept(&mut self, req: McRequest, now: Cycle) -> Result<(), McRequest> {
         match req {
             McRequest::Read { line, req_id } => {
                 // Forward from the WPQ: the newest matching entry wins.
@@ -406,11 +546,11 @@ impl MemoryController {
                         data: e.data,
                         at: now + self.timing.burst(),
                     });
-                    return true;
+                    return Ok(());
                 }
                 if self.read_queue.len() >= self.cfg.read_queue_entries {
                     self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::ReadQ });
-                    return false;
+                    return Err(McRequest::Read { line, req_id });
                 }
                 self.read_queue.push(ReadEntry { line, req_id, arrived: now });
                 self.tracer.emit(
@@ -420,24 +560,24 @@ impl MemoryController {
                         occupancy: self.read_queue.len() as u32,
                     },
                 );
-                true
+                Ok(())
             }
             McRequest::WriteBack { line, data, ack_id } => {
                 if !self.insert_wpq(line, data, self.classify(line)) {
                     self.stats.wpq_full_rejections += 1;
                     self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Wpq });
-                    return false;
+                    return Err(McRequest::WriteBack { line, data, ack_id });
                 }
                 if let Some(id) = ack_id {
                     self.events.push(McEvent::WritebackAck { ack_id: id, at: now });
                 }
-                true
+                Ok(())
             }
             McRequest::LogFlush { slot, words, core, tx, flush_id } => {
                 if self.lpq.len() >= self.cfg.lpq_entries {
                     self.stats.lpq_full_rejections += 1;
                     self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Lpq });
-                    return false;
+                    return Err(McRequest::LogFlush { slot, words, core, tx, flush_id });
                 }
                 // A new transaction's first entry retires the previous
                 // transaction's retained commit marker (§4.3).
@@ -472,7 +612,7 @@ impl MemoryController {
                 self.last_entry[core.index()] =
                     Some(LastEntry { tx, slot_line: slot.line(), words, seq });
                 self.events.push(McEvent::LogFlushAck { flush_id, at: now });
-                true
+                Ok(())
             }
             McRequest::AtomLog { grain, old_data, core, tx, log_id } => {
                 // Check WPQ space up front: log entries never coalesce,
@@ -481,7 +621,7 @@ impl MemoryController {
                 if self.wpq.len() >= self.cfg.wpq_entries {
                     self.stats.wpq_full_rejections += 1;
                     self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Wpq });
-                    return false;
+                    return Err(McRequest::AtomLog { grain, old_data, core, tx, log_id });
                 }
                 // Source-log optimisation: on a core-side cache miss the
                 // controller reads the pre-store grain from its own
@@ -517,16 +657,16 @@ impl MemoryController {
                 self.last_entry[core.index()] =
                     Some(LastEntry { tx, slot_line: slot.line(), words, seq });
                 self.events.push(McEvent::AtomLogAck { log_id, at: now });
-                true
+                Ok(())
             }
             McRequest::TxEnd { core, tx } => {
                 self.pending_tx_ends.push((core, tx));
-                true
+                Ok(())
             }
             McRequest::Pcommit { commit_id } => {
                 self.pending_pcommits.push(commit_id);
                 self.stats.pcommits += 1;
-                true
+                Ok(())
             }
             McRequest::DrainCoreLogs { core } => {
                 for e in &mut self.lpq {
@@ -534,7 +674,7 @@ impl MemoryController {
                         e.must_drain = true;
                     }
                 }
-                true
+                Ok(())
             }
         }
     }
@@ -932,6 +1072,58 @@ impl MemoryController {
                 self.in_flight.push((done, InFlight::LpqWrite { index_line: line, seq }));
             }
         }
+    }
+}
+
+impl NextEvent for MemoryController {
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        // The cheap immediate-wake checks come first and return early:
+        // `now` is already the floor, so nothing later can beat it, and
+        // skipping the queue scans matters — this runs on every engine
+        // probe.
+        //
+        // Undelivered events must reach the cores (normally drained by
+        // the system right after each tick — this is a safety net).
+        // Commit resolution retries mutate the ATOM log area, so pending
+        // tx-ends are never skipped over either.
+        if !self.events.is_empty() || !self.pending_tx_ends.is_empty() {
+            return Some(now);
+        }
+        if !self.pending_pcommits.is_empty()
+            && self.wpq.is_empty()
+            && self.pending_writes.is_empty()
+        {
+            return Some(now);
+        }
+        if let Some((line, _, kind)) = self.pending_writes.front() {
+            let fits = self.wpq.len() < self.cfg.wpq_entries
+                || (*kind == WriteKind::Data
+                    && self.wpq.iter().any(|e| e.line == *line && e.coalescable()));
+            if fits {
+                return Some(now);
+            }
+        }
+        let mut best: Option<Cycle> = None;
+        let wake = |at: Cycle, best: &mut Option<Cycle>| {
+            let at = at.max(now);
+            *best = Some(best.map_or(at, |b: Cycle| b.min(at)));
+        };
+        // Intake entries retry — and count their per-cycle rejection
+        // stats — every cycle once due, so a due entry forces
+        // single-stepping; a future one wakes us at its delivery.
+        for (deliver_at, _) in &self.intake {
+            wake(*deliver_at, &mut best);
+        }
+        for (done, _) in &self.in_flight {
+            wake(*done, &mut best);
+        }
+        if best == Some(now) {
+            return best;
+        }
+        if let Some(t) = self.next_issue_boundary() {
+            wake(t, &mut best);
+        }
+        best
     }
 }
 

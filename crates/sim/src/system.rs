@@ -6,14 +6,15 @@ use proteus_core::pmem::WordImage;
 use proteus_core::recovery::{recover, RecoveryReport};
 use proteus_core::scheme::{expand_program_with, ExpandOptions};
 use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY};
-use proteus_mem::{CrashFaults, LogDrainMode, McEvent, MemoryController, PersistEvent};
+use proteus_mem::{CrashFaults, LogDrainMode, McEvent, McRequest, MemoryController, PersistEvent};
 use proteus_trace::{TraceReport, Tracer, TrackKind};
-use proteus_types::clock::Cycle;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
+use proteus_types::clock::{Cycle, NextEvent};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig, TraceConfig};
 use proteus_types::stats::RunSummary;
 use proteus_types::{SimError, ThreadId};
 use proteus_workloads::GeneratedWorkload;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A complete simulated machine executing one workload under one logging
 /// scheme.
@@ -30,7 +31,39 @@ pub struct System {
     max_cycles: Cycle,
     cache_tracer: Tracer,
     trace_sample_interval: Cycle,
+    /// Event-driven fast-forwarding (see `DESIGN.md` §6). Forced off when
+    /// cycle tracing is enabled — tracers sample per cycle.
+    fast_forward: bool,
+    /// Tracing needs every cycle ticked, so it pins the engine to
+    /// single-stepping regardless of [`System::set_fast_forward`].
+    single_step_forced: bool,
+    /// Cross-validate every skip by single-stepping it and asserting the
+    /// state fingerprint never moves (also enabled by the `paranoid`
+    /// cargo feature).
+    validate_skips: bool,
+    /// Reusable buffer for core→controller requests (no per-cycle
+    /// allocation).
+    req_buf: Vec<(Cycle, McRequest)>,
+    /// Cycles left before the engine probes [`System::next_wake`] again.
+    /// Non-zero only after a probe found nothing to skip: during busy
+    /// stretches the probe itself is the dominant cost, so it backs off
+    /// and the engine single-steps in the meantime. Purely a wall-clock
+    /// policy — skipped windows are state-neutral by contract, so *when*
+    /// the engine looks for them cannot change simulated outcomes.
+    probe_delay: u32,
+    /// Current backoff step: starts at 1 after every productive skip (the
+    /// next idle window often follows a burst of only a few cycles) and
+    /// doubles on each unproductive probe up to [`MAX_PROBE_BACKOFF`], so
+    /// long busy stretches pay for almost no probes at all.
+    probe_backoff: u32,
 }
+
+/// Ceiling for the exponential probe backoff. Probing costs a scan of
+/// every queue in the machine — about as much as simulating one cycle —
+/// while real idle windows (DRAM reads, pcommit drains) last hundreds of
+/// cycles, so a few dozen cycles of blindness costs little and caps
+/// probe overhead in fully busy runs at ~3%.
+const MAX_PROBE_BACKOFF: u32 = 32;
 
 impl System {
     /// Builds a machine for `workload` under `scheme`.
@@ -82,10 +115,13 @@ impl System {
         let caches = CacheSystem::new(cfg);
         let mut cores = Vec::with_capacity(workload.programs.len());
         let mut threads = Vec::new();
+        // One shared handle for every core's expansion instead of a deep
+        // image clone per core.
+        let shared_image = Arc::new(workload.initial_image.clone());
         for (i, program) in workload.programs.iter().enumerate() {
             let opts = ExpandOptions {
                 log_registers: cfg.proteus.log_registers,
-                initial_image: workload.initial_image.clone(),
+                initial_image: Arc::clone(&shared_image),
             };
             let expanded = expand_program_with(program, scheme, &layout, &opts)?;
             threads.push(program.thread);
@@ -106,12 +142,41 @@ impl System {
             max_cycles: 20_000_000_000,
             cache_tracer: Tracer::new(TrackKind::Cache, trace),
             trace_sample_interval: trace.sample_interval,
+            fast_forward: EngineConfig::default().fast_forward && !trace.enabled,
+            single_step_forced: trace.enabled,
+            validate_skips: false,
+            req_buf: Vec::new(),
+            probe_delay: 0,
+            probe_backoff: 1,
         })
     }
 
     /// Sets the runaway guard (default 2×10¹⁰ cycles).
     pub fn set_max_cycles(&mut self, max: Cycle) {
         self.max_cycles = max;
+    }
+
+    /// Applies an [`EngineConfig`]. Engine settings change wall-clock
+    /// behaviour only — every simulated outcome is identical in either
+    /// mode.
+    pub fn set_engine(&mut self, engine: &EngineConfig) {
+        self.set_fast_forward(engine.fast_forward);
+    }
+
+    /// Enables or disables event-driven fast-forwarding. A no-op (stays
+    /// off) when the machine was built with cycle tracing, which samples
+    /// per cycle.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on && !self.single_step_forced;
+    }
+
+    /// Single-steps every would-be skip and asserts the machine
+    /// fingerprint never moves inside it. Testing hook for the
+    /// `next_event_cycle` contract; also forced on by the `paranoid`
+    /// cargo feature.
+    #[doc(hidden)]
+    pub fn set_validate_skips(&mut self, on: bool) {
+        self.validate_skips = on;
     }
 
     /// The current cycle.
@@ -139,7 +204,8 @@ impl System {
         let now = self.now;
         for core in &mut self.cores {
             core.tick(now, &mut self.caches);
-            for (at, req) in core.drain_requests() {
+            core.drain_requests_into(&mut self.req_buf);
+            for (at, req) in self.req_buf.drain(..) {
                 self.mc.submit(req, at);
             }
         }
@@ -167,6 +233,113 @@ impl System {
         self.now += 1;
     }
 
+    /// The earliest cycle at or after `now` at which any component could
+    /// make progress, or `None` if nothing ever will (all cores done).
+    /// Public so tests and tools can observe the event engine's
+    /// scheduling decisions.
+    pub fn next_wake(&self) -> Option<Cycle> {
+        let now = self.now;
+        fn wake(at: Cycle, now: Cycle, best: &mut Option<Cycle>) {
+            let at = at.max(now);
+            *best = Some(best.map_or(at, |b| b.min(at)));
+        }
+        let mut best: Option<Cycle> = None;
+        // Sources are ordered cheapest-first with an early out at `now`:
+        // once anything wants the current cycle no later source can beat
+        // it, and in busy phases that spares the queue scans below.
+        for (at, _, _) in &self.inbox {
+            wake(*at, now, &mut best);
+        }
+        if best == Some(now) {
+            return best;
+        }
+        for core in &self.cores {
+            if let Some(at) = core.next_event_cycle(now, &self.caches) {
+                wake(at, now, &mut best);
+            }
+            if best == Some(now) {
+                return best;
+            }
+        }
+        if let Some(at) = self.mc.next_event_cycle(now) {
+            wake(at, now, &mut best);
+        }
+        if let Some(at) = self.caches.next_event_cycle(now) {
+            wake(at, now, &mut best);
+        }
+        best
+    }
+
+    /// Advances the machine one event: in fast-forward mode, jumps `now`
+    /// to the next wake point (capped at `limit`) before ticking; in
+    /// single-step mode, ticks the next cycle.
+    fn advance(&mut self, limit: Cycle) {
+        if self.fast_forward {
+            if self.probe_delay > 0 {
+                self.probe_delay -= 1;
+            } else {
+                let wake = self.next_wake().unwrap_or(limit).min(limit);
+                if wake > self.now + 1 {
+                    self.skip_to(wake);
+                    self.probe_backoff = 1;
+                } else {
+                    // Nothing worth skipping: the machine is busy. Back
+                    // off the probes until the burst has had a chance to
+                    // drain.
+                    self.probe_delay = self.probe_backoff;
+                    self.probe_backoff = (self.probe_backoff * 2).min(MAX_PROBE_BACKOFF);
+                }
+            }
+        }
+        if self.now < limit {
+            self.step();
+        }
+    }
+
+    /// Jumps `now` to `target`, crediting the skipped cycles to each
+    /// core's stall accounting. In validating mode the skip is instead
+    /// single-stepped for real, asserting the state fingerprint never
+    /// moves — proving the engine's claim that the window was quiescent.
+    fn skip_to(&mut self, target: Cycle) {
+        if self.validate_skips || cfg!(feature = "paranoid") {
+            self.skip_to_checked(target);
+            return;
+        }
+        let n = target - self.now;
+        for core in &mut self.cores {
+            core.account_skipped_cycles(n);
+        }
+        self.now = target;
+    }
+
+    fn skip_to_checked(&mut self, target: Cycle) {
+        use std::hash::Hasher;
+        while self.now < target {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.fingerprint(&mut h);
+            let before = h.finish();
+            self.step();
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.fingerprint(&mut h);
+            assert_eq!(
+                before,
+                h.finish(),
+                "fast-forward would have skipped cycle {} in which state changed \
+                 (a next_event_cycle impl over-reported)",
+                self.now - 1
+            );
+        }
+    }
+
+    fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        for core in &self.cores {
+            core.debug_fingerprint(h);
+        }
+        self.mc.debug_fingerprint(h);
+        self.inbox.len().hash(h);
+    }
+
     /// Runs until every core finishes.
     ///
     /// # Errors
@@ -180,7 +353,7 @@ impl System {
                     self.max_cycles
                 )));
             }
-            self.step();
+            self.advance(self.max_cycles);
         }
         Ok(self.summary())
     }
@@ -189,7 +362,7 @@ impl System {
     /// whether the machine finished.
     pub fn run_until(&mut self, cycle: Cycle) -> bool {
         while !self.is_done() && self.now < cycle {
-            self.step();
+            self.advance(cycle);
         }
         self.is_done()
     }
@@ -230,7 +403,7 @@ impl System {
     /// the same for all of them.
     pub fn run_until_persist_event(&mut self, seq: u64) -> bool {
         while self.persist_seq() < seq && !self.is_done() && self.now < self.max_cycles {
-            self.step();
+            self.advance(self.max_cycles);
         }
         self.persist_seq() >= seq
     }

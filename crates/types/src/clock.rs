@@ -50,6 +50,26 @@ impl ClockRatio {
     }
 }
 
+/// A component that can report when it next needs to be ticked.
+///
+/// `next_event_cycle(now)` returns the earliest cycle `>= now` at which
+/// ticking the component could change simulated state, assuming no new
+/// inputs arrive before then, or `None` if the component is passive
+/// until external input (or finished). `now` is the next cycle *to be
+/// executed*, so the method is evaluated on post-tick state.
+///
+/// The contract is asymmetric: **under-reporting** (returning a cycle
+/// earlier than the true next event) only costs a wasted tick, while
+/// **over-reporting** (returning a cycle later than the true next
+/// event) lets the engine skip past a wakeup and silently diverges the
+/// simulation. Implementations must therefore round down to `now`
+/// whenever progress cannot be ruled out cheaply.
+pub trait NextEvent {
+    /// Earliest cycle `>= now` at which this component can make
+    /// progress, or `None` if it never will without external input.
+    fn next_event_cycle(&self, now: Cycle) -> Option<Cycle>;
+}
+
 /// Converts nanoseconds to CPU cycles at a given core frequency in MHz.
 ///
 /// Used for NVM latencies specified in wall-clock time (50 ns read /

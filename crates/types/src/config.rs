@@ -376,6 +376,38 @@ impl Default for TraceConfig {
     }
 }
 
+/// Cycle-engine execution knobs.
+///
+/// Like [`TraceConfig`], deliberately **not** a [`SystemConfig`] field:
+/// the engine mode changes how fast wall-clock time passes, never what
+/// is simulated, so keeping it out of `SystemConfig` guarantees spec
+/// hashes and `RunSummary` outputs are byte-identical across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Skip quiescent windows by advancing `now` straight to the next
+    /// component wakeup instead of spinning empty ticks. Cycle-exact by
+    /// construction (see DESIGN.md §6); disable only to cross-validate.
+    pub fast_forward: bool,
+}
+
+impl EngineConfig {
+    /// Fast-forward on — the default engine.
+    pub fn fast() -> Self {
+        EngineConfig { fast_forward: true }
+    }
+
+    /// Single-step every cycle, as the pre-event-driven engine did.
+    pub fn single_step() -> Self {
+        EngineConfig { fast_forward: false }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::fast()
+    }
+}
+
 /// Complete system configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SystemConfig {

@@ -31,8 +31,8 @@ pub mod outcome;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, LogGrainAddr, CACHE_LINE_SIZE, LOG_GRAIN_SIZE};
-pub use clock::{ClockRatio, Cycle};
-pub use config::{LoggingSchemeKind, MemTech, SystemConfig, TraceConfig};
+pub use clock::{ClockRatio, Cycle, NextEvent};
+pub use config::{EngineConfig, LoggingSchemeKind, MemTech, SystemConfig, TraceConfig};
 pub use error::SimError;
 pub use hash::{stable_hash_value, FieldHasher, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxId};

@@ -1,0 +1,124 @@
+//! The event-driven engine contract: fast-forwarding changes wall-clock
+//! time only. Every simulated outcome — the full `RunSummary` (cycles,
+//! per-queue stalls, cache and memory counters) and the cycle-stamped
+//! persist-event timeline — must be byte-identical with skipping on and
+//! off, for every workload × scheme pair.
+
+use proteus_sim::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::stats::RunSummary;
+use proteus_workloads::{generate, Benchmark, GeneratedWorkload, WorkloadParams};
+
+fn small(bench: Benchmark) -> GeneratedWorkload {
+    generate(bench, &WorkloadParams { threads: 2, init_ops: 100, sim_ops: 20, seed: 11 })
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::skylake_like().with_num_cores(2)
+}
+
+/// Runs `workload` under `scheme` with the requested engine mode and
+/// returns everything externally observable about the run.
+fn observe(
+    workload: &GeneratedWorkload,
+    scheme: LoggingSchemeKind,
+    fast_forward: bool,
+) -> (RunSummary, Vec<proteus_mem::PersistEvent>, u64) {
+    let mut system = System::new(&config(), scheme, workload).unwrap();
+    system.set_fast_forward(fast_forward);
+    system.set_record_persist_events(true);
+    let summary = system.run().unwrap();
+    let timeline = system.persist_timeline().to_vec();
+    let now = system.now();
+    (summary, timeline, now)
+}
+
+/// The headline determinism pin: identical summaries and identical
+/// persist timelines (same events, same cycle stamps, same order) across
+/// the whole workload table for both hardware schemes and the software
+/// baseline.
+#[test]
+fn fast_forward_is_invisible_to_simulated_state() {
+    for bench in Benchmark::TABLE2 {
+        let workload = small(bench);
+        for scheme in
+            [LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus, LoggingSchemeKind::SwPmemPcommit]
+        {
+            let (sum_ff, tl_ff, _) = observe(&workload, scheme, true);
+            let (sum_ss, tl_ss, _) = observe(&workload, scheme, false);
+            assert_eq!(
+                sum_ff, sum_ss,
+                "{bench:?}/{scheme:?}: RunSummary diverged between engine modes"
+            );
+            assert_eq!(
+                tl_ff, tl_ss,
+                "{bench:?}/{scheme:?}: persist timeline diverged between engine modes"
+            );
+        }
+    }
+}
+
+/// Fast-forwarding must not change where `run_until` lands or what the
+/// crash image holds at an intermediate persist event.
+#[test]
+fn fast_forward_preserves_crash_points() {
+    let workload = small(Benchmark::Queue);
+    for scheme in [LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus] {
+        let image = |ff: bool| {
+            let mut system = System::new(&config(), scheme, &workload).unwrap();
+            system.set_fast_forward(ff);
+            assert!(system.run_until_persist_event(5), "queue workload persists plenty");
+            (system.now(), system.persist_seq(), system.crash_image())
+        };
+        assert_eq!(image(true), image(false), "{scheme:?}: crash point diverged");
+    }
+}
+
+/// The `next_event_cycle` contract — no component may report a wake
+/// later than its first actual state change. Validation mode
+/// single-steps through every would-be skip and asserts the machine
+/// fingerprint holds still, so an over-report panics the run.
+#[test]
+fn next_event_cycle_never_over_reports() {
+    let workload = generate(
+        Benchmark::Queue,
+        &WorkloadParams { threads: 2, init_ops: 60, sim_ops: 12, seed: 3 },
+    );
+    for scheme in
+        [LoggingSchemeKind::Proteus, LoggingSchemeKind::Atom, LoggingSchemeKind::SwPmemPcommit]
+    {
+        let mut system = System::new(&config(), scheme, &workload).unwrap();
+        system.set_fast_forward(true);
+        system.set_validate_skips(true);
+        system.run().unwrap();
+    }
+}
+
+/// The engine must actually skip: on a quiescent stretch the next wake
+/// point is strictly in the future, and a fast-forwarded run reaches the
+/// same completion cycle as a single-stepped one.
+#[test]
+fn engine_skips_and_lands_on_the_same_final_cycle() {
+    let workload = small(Benchmark::Queue);
+    let (_, _, now_ff) = observe(&workload, LoggingSchemeKind::Proteus, true);
+    let (_, _, now_ss) = observe(&workload, LoggingSchemeKind::Proteus, false);
+    assert_eq!(now_ff, now_ss, "completion cycle must not depend on the engine");
+
+    // Wake points are monotone and honoured: from a fresh machine,
+    // repeatedly jumping to next_wake() must make progress and never
+    // schedule into the past.
+    let mut system = System::new(&config(), LoggingSchemeKind::Proteus, &workload).unwrap();
+    system.set_fast_forward(true);
+    let mut skipped_any = false;
+    for _ in 0..10_000 {
+        if system.is_done() {
+            break;
+        }
+        let before = system.now();
+        let wake = system.next_wake().expect("unfinished machine must have a wake point");
+        assert!(wake >= before, "wake point scheduled into the past");
+        skipped_any |= wake > before + 1;
+        system.run_until(wake.max(before + 1));
+    }
+    assert!(skipped_any, "a queue workload must contain at least one skippable window");
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Times the cycle engine on the fixed workload basket (QE/HM/SS under
+# PMEM+pcommit, ATOM, and Proteus) with event-driven fast-forwarding on
+# and off, writing BENCH_cycle_engine.json at the repo root.
+#
+# The underlying `reproduce bench` command cross-checks every pair of
+# runs: if fast-forwarding changes any simulated outcome, the benchmark
+# fails. Numbers from this script are recorded in EXPERIMENTS.md.
+#
+# Usage: tools/bench.sh [--scale S] [--threads N] [--file PATH]
+#   (defaults: scale 0.1, threads 4, file BENCH_cycle_engine.json)
+#
+# Builds offline via the stub registry (tools/offline-check.sh
+# conventions); with crates.io access a plain
+#   cargo run --release -p proteus-bench --bin reproduce -- bench
+# is equivalent.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+STUBS=(serde serde_derive rand bytes proptest criterion)
+PATCH_ARGS=()
+for s in "${STUBS[@]}"; do
+    PATCH_ARGS+=(--config "patch.crates-io.${s}.path='${ROOT}/tools/stubs/${s}'")
+done
+
+export CARGO_TARGET_DIR="${ROOT}/target-offline"
+LOCK_BACKUP=""
+if [[ -f Cargo.lock ]]; then
+    LOCK_BACKUP="$(mktemp)"
+    cp Cargo.lock "$LOCK_BACKUP"
+fi
+restore_lock() {
+    if [[ -n "$LOCK_BACKUP" ]]; then
+        mv "$LOCK_BACKUP" Cargo.lock
+    else
+        rm -f Cargo.lock
+    fi
+}
+trap restore_lock EXIT
+
+cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+    bench "$@"

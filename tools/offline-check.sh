@@ -56,12 +56,15 @@ do_test() {
     # proptest) and Criterion benches (need the real criterion):
     # unit tests, bins, examples, and the non-property integration tests.
     run cargo "${PATCH_ARGS[@]}" test -q --offline --workspace --lib --bins --examples
-    for t in integration_system integration_recovery integration_experiments integration_harness integration_trace; do
+    for t in integration_system integration_recovery integration_experiments integration_harness integration_trace integration_fastforward; do
         run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-sim --test "$t"
     done
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-harness --test harness_resume
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-cpu --test pipeline
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-crash --test integration_crash
+    # Paranoid engine cross-check: re-run the fast-forward determinism
+    # suite with every skip single-stepped under fingerprint assertions.
+    run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-sim --features paranoid --test integration_fastforward
     # Smoke the crash-point sweep end to end (bounded workload sizes):
     # explores every failure-safe scheme and self-validates the checker
     # against the disable_persist_ordering fault knob.
@@ -77,6 +80,14 @@ do_test() {
         qe --scale 0.02 --out "${CARGO_TARGET_DIR}/smoke_trace.json"
     [[ -s "${CARGO_TARGET_DIR}/smoke_trace.json" ]] || {
         echo "tracedump smoke produced an empty Chrome trace" >&2
+        exit 1
+    }
+    # Smoke the cycle-engine benchmark: times the fixed basket with
+    # fast-forwarding on and off and fails if the outputs diverge.
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        bench --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_bench.json"
+    [[ -s "${CARGO_TARGET_DIR}/smoke_bench.json" ]] || {
+        echo "bench smoke produced an empty report" >&2
         exit 1
     }
 }
