@@ -16,8 +16,13 @@
 #   end-to-end smokes: a bounded crashsweep/crashrepro round trip, a
 #       tracedump run (self-validating: trace must reconcile with the
 #       RunSummary and the Chrome JSON must parse with all tracks
-#       populated), and a `reproduce bench` run timing the cycle engine
-#       with fast-forwarding on and off (fails on any output divergence)
+#       populated), a `reproduce bench` run timing the cycle engine
+#       with fast-forwarding on and off (fails on any output
+#       divergence), and a timeout-guarded `reproduce loadgen` run that
+#       boots the distributed sweep service (coordinator + two loopback
+#       workers + HTTP front-end) in-process, submits a sweep over
+#       HTTP, scrapes /metrics, and byte-compares the distributed
+#       results ledger against a single-process Harness run
 #   the fast-forward determinism suite twice: once normally and once
 #       with --features paranoid, which single-steps every would-be
 #       skip and asserts the machine state fingerprint never moves

@@ -31,6 +31,23 @@
 //! knob, writing its shrunk repro artifact to `--file` (default: a
 //! fixed path under the system temp directory). `crashrepro` replays
 //! such an artifact.
+//!
+//! Three service subcommands sit outside the experiment table:
+//!
+//! ```text
+//! reproduce serve   [--listen A] [--http A] [--ledger PATH]
+//!                   [--lease-ms N] [--max-assignments N] [--no-steal]
+//! reproduce worker  --connect ADDR [--name NAME] [--retries N]
+//! reproduce loadgen [--submissions N] [--clients C] [--workers W]
+//!                   [--basket B] [--verify] [--file PATH]
+//! ```
+//!
+//! `serve` runs a coordinator plus HTTP front-end until killed;
+//! `worker` connects to a coordinator and executes jobs until told to
+//! shut down; `loadgen` boots the whole stack in-process, fires
+//! concurrent duplicate-heavy submissions at it, and writes
+//! `BENCH_service.json` — exiting nonzero if any job is lost or
+//! duplicated or the verify pass diverges.
 
 use proteus_bench::experiments::{
     ablation_llt, ablation_threads, ablation_wpq, bench, crashrepro, crashsweep, fig10, fig11,
@@ -52,6 +69,13 @@ fn main() -> ExitCode {
     let Some(target) = args.first().cloned() else {
         return usage();
     };
+    // Service subcommands have their own flag sets and lifecycles.
+    match target.as_str() {
+        "serve" => return serve(&args[1..]),
+        "worker" => return worker(&args[1..]),
+        "loadgen" => return loadgen(&args[1..]),
+        _ => {}
+    }
     let mut ctx = ExperimentCtx::default();
     ctx.opts.progress = true;
     let mut i = 1;
@@ -132,4 +156,107 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Pulls `--flag value` out of a raw arg slice.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    use proteus_service::{Coordinator, CoordinatorConfig, HttpServer};
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:7700");
+    let http_addr = flag_value(args, "--http").unwrap_or("127.0.0.1:7780");
+    let mut cfg = CoordinatorConfig {
+        ledger: flag_value(args, "--ledger").map(PathBuf::from),
+        steal: !args.iter().any(|a| a == "--no-steal"),
+        ..CoordinatorConfig::default()
+    };
+    if let Some(v) = flag_value(args, "--lease-ms").and_then(|v| v.parse().ok()) {
+        cfg.lease_ms = v;
+    }
+    if let Some(v) = flag_value(args, "--max-assignments").and_then(|v| v.parse().ok()) {
+        cfg.max_assignments = v;
+    }
+    let coord = match Coordinator::start(listen, cfg) {
+        Ok(c) => std::sync::Arc::new(c),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let http = match HttpServer::start(http_addr, std::sync::Arc::clone(&coord)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "coordinator on {} — workers connect here\nhttp on {} — POST /api/sweeps, GET /metrics",
+        coord.local_addr(),
+        http.local_addr()
+    );
+    // Runs until killed; the ledger makes restarts resumable.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn worker(args: &[String]) -> ExitCode {
+    use proteus_service::{run_worker, WorkerOptions};
+    let Some(addr) = flag_value(args, "--connect") else {
+        eprintln!("worker: --connect ADDR is required");
+        return ExitCode::FAILURE;
+    };
+    let opts = WorkerOptions {
+        name: flag_value(args, "--name").unwrap_or("worker").to_string(),
+        max_retries: flag_value(args, "--retries").and_then(|v| v.parse().ok()).unwrap_or(1),
+    };
+    match run_worker(addr, &opts) {
+        Ok(report) => {
+            eprintln!(
+                "worker {}: {} completed, {} failed, {} crashed",
+                opts.name, report.completed, report.failed, report.crashed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("worker {}: {e}", opts.name);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn loadgen(args: &[String]) -> ExitCode {
+    use proteus_service::{run_loadgen, LoadgenOptions};
+    let mut opts = LoadgenOptions {
+        out: Some(PathBuf::from(flag_value(args, "--file").unwrap_or("BENCH_service.json"))),
+        verify: args.iter().any(|a| a == "--verify"),
+        ..LoadgenOptions::default()
+    };
+    if let Some(v) = flag_value(args, "--submissions").and_then(|v| v.parse().ok()) {
+        opts.submissions = v;
+    }
+    if let Some(v) = flag_value(args, "--clients").and_then(|v| v.parse().ok()) {
+        opts.clients = v;
+    }
+    if let Some(v) = flag_value(args, "--workers").and_then(|v| v.parse().ok()) {
+        opts.workers = v;
+    }
+    if let Some(v) = flag_value(args, "--basket").and_then(|v| v.parse().ok()) {
+        opts.basket = v;
+    }
+    match run_loadgen(&opts) {
+        Ok(bench) => {
+            println!("{}", bench.to_line());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // Lost/duplicated jobs, HTTP failures, and verify
+            // divergence all land here: nonzero exit, no silent pass.
+            eprintln!("loadgen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

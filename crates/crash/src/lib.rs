@@ -38,5 +38,8 @@ pub mod sweep;
 pub use explore::{choose_points, explore, ExploreOutcome, ExploreSpec, ViolationPoint};
 pub use fault::FaultSpec;
 pub use oracle::{ConsistencyOracle, Violation};
-pub use repro::{shrink, CrashRepro, ReplayOutcome, REPRO_VERSION};
+pub use repro::{
+    explore_spec_from_json, explore_spec_to_json, fault_from_json, fault_to_json, shrink,
+    CrashRepro, ReplayOutcome, REPRO_VERSION,
+};
 pub use sweep::{outcome_codec, sweep};

@@ -17,9 +17,11 @@
 use crate::explore::{explore, ExploreSpec, ViolationPoint};
 use crate::fault::FaultSpec;
 use proteus_harness::{json, Json};
-use proteus_types::config::LoggingSchemeKind;
+use proteus_sim::persist::{
+    bench_from_json, bench_to_json, params_from_json, params_to_json, scheme_from_label,
+};
 use proteus_types::SimError;
-use proteus_workloads::{Benchmark, WorkloadParams};
+use proteus_workloads::WorkloadParams;
 
 /// Artifact format version, bumped on any incompatible change.
 pub const REPRO_VERSION: u64 = 1;
@@ -81,27 +83,18 @@ impl CrashRepro {
         }
     }
 
-    /// Serialises to the JSON artifact.
+    /// Serialises to the JSON artifact: a version header, the flattened
+    /// exploration spec ([`explore_spec_to_json`]), and the violation
+    /// coordinates.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("version", Json::U64(REPRO_VERSION)),
-            ("bench", bench_to_json(self.spec.bench)),
-            (
-                "params",
-                Json::obj([
-                    ("threads", Json::U64(self.spec.params.threads as u64)),
-                    ("init_ops", Json::U64(self.spec.params.init_ops as u64)),
-                    ("sim_ops", Json::U64(self.spec.params.sim_ops as u64)),
-                    ("seed", Json::U64(self.spec.params.seed)),
-                ]),
-            ),
-            ("scheme", Json::str(self.spec.scheme.label())),
-            ("fault", fault_to_json(self.spec.fault)),
-            ("broken_ordering", Json::Bool(self.spec.broken_ordering)),
-            ("max_points", Json::U64(self.spec.max_points as u64)),
-            ("event", Json::U64(self.event)),
-            ("detail", Json::str(&self.detail)),
-        ])
+        let Json::Obj(spec_pairs) = explore_spec_to_json(&self.spec) else {
+            unreachable!("explore_spec_to_json always returns an object");
+        };
+        let mut pairs = vec![("version".to_string(), Json::U64(REPRO_VERSION))];
+        pairs.extend(spec_pairs);
+        pairs.push(("event".to_string(), Json::U64(self.event)));
+        pairs.push(("detail".to_string(), Json::str(&self.detail)));
+        Json::Obj(pairs)
     }
 
     /// Deserialises the JSON artifact; `None` on shape or version
@@ -110,21 +103,8 @@ impl CrashRepro {
         if v.get("version")?.as_u64()? != REPRO_VERSION {
             return None;
         }
-        let params = v.get("params")?;
         Some(CrashRepro {
-            spec: ExploreSpec {
-                bench: bench_from_json(v.get("bench")?)?,
-                params: WorkloadParams {
-                    threads: params.get("threads")?.as_usize()?,
-                    init_ops: params.get("init_ops")?.as_usize()?,
-                    sim_ops: params.get("sim_ops")?.as_usize()?,
-                    seed: params.get("seed")?.as_u64()?,
-                },
-                scheme: scheme_from_label(v.get("scheme")?.as_str()?)?,
-                fault: fault_from_json(v.get("fault")?)?,
-                broken_ordering: v.get("broken_ordering")?.as_bool()?,
-                max_points: v.get("max_points")?.as_usize()?,
-            },
+            spec: explore_spec_from_json(v)?,
             event: v.get("event")?.as_u64()?,
             detail: v.get("detail")?.as_str()?.to_string(),
         })
@@ -245,42 +225,37 @@ impl ShrinkField {
     }
 }
 
-fn bench_to_json(bench: Benchmark) -> Json {
-    match bench {
-        Benchmark::LargeTx { elements } => {
-            Json::obj([("kind", Json::str("LT")), ("elements", Json::U64(elements))])
-        }
-        other => Json::obj([("kind", Json::str(other.abbrev()))]),
-    }
+/// Encodes an exploration spec as a flat JSON object — the crash-job
+/// wire form for `proteus-service` and the body of [`CrashRepro`]
+/// artifacts. Benchmark/params/scheme reuse the shared
+/// `proteus_sim::persist` codec.
+pub fn explore_spec_to_json(spec: &ExploreSpec) -> Json {
+    Json::obj([
+        ("bench", bench_to_json(spec.bench)),
+        ("params", params_to_json(&spec.params)),
+        ("scheme", Json::str(spec.scheme.label())),
+        ("fault", fault_to_json(spec.fault)),
+        ("broken_ordering", Json::Bool(spec.broken_ordering)),
+        ("max_points", Json::U64(spec.max_points as u64)),
+    ])
 }
 
-fn bench_from_json(v: &Json) -> Option<Benchmark> {
-    match v.get("kind")?.as_str()? {
-        "QE" => Some(Benchmark::Queue),
-        "HM" => Some(Benchmark::HashMap),
-        "SS" => Some(Benchmark::StringSwap),
-        "AT" => Some(Benchmark::AvlTree),
-        "BT" => Some(Benchmark::BTree),
-        "RT" => Some(Benchmark::RbTree),
-        "LT" => Some(Benchmark::LargeTx { elements: v.get("elements")?.as_u64()? }),
-        _ => None,
-    }
+/// Decodes an exploration spec; `None` on malformed input. Accepts any
+/// object carrying the [`explore_spec_to_json`] fields, so it also
+/// reads them out of the flattened [`CrashRepro`] artifact.
+pub fn explore_spec_from_json(v: &Json) -> Option<ExploreSpec> {
+    Some(ExploreSpec {
+        bench: bench_from_json(v.get("bench")?)?,
+        params: params_from_json(v.get("params")?)?,
+        scheme: scheme_from_label(v.get("scheme")?.as_str()?)?,
+        fault: fault_from_json(v.get("fault")?)?,
+        broken_ordering: v.get("broken_ordering")?.as_bool()?,
+        max_points: v.get("max_points")?.as_usize()?,
+    })
 }
 
-fn scheme_from_label(label: &str) -> Option<LoggingSchemeKind> {
-    [
-        LoggingSchemeKind::SwPmem,
-        LoggingSchemeKind::SwPmemPcommit,
-        LoggingSchemeKind::NoLog,
-        LoggingSchemeKind::Atom,
-        LoggingSchemeKind::Proteus,
-        LoggingSchemeKind::ProteusNoLwr,
-    ]
-    .into_iter()
-    .find(|s| s.label() == label)
-}
-
-fn fault_to_json(fault: FaultSpec) -> Json {
+/// Encodes a fault model selector.
+pub fn fault_to_json(fault: FaultSpec) -> Json {
     match fault {
         FaultSpec::Clean => Json::obj([("kind", Json::str("clean"))]),
         FaultSpec::TornLine { mask } => {
@@ -295,7 +270,8 @@ fn fault_to_json(fault: FaultSpec) -> Json {
     }
 }
 
-fn fault_from_json(v: &Json) -> Option<FaultSpec> {
+/// Decodes a fault model selector; `None` on unknown kinds.
+pub fn fault_from_json(v: &Json) -> Option<FaultSpec> {
     match v.get("kind")?.as_str()? {
         "clean" => Some(FaultSpec::Clean),
         "torn" => Some(FaultSpec::TornLine { mask: u8::try_from(v.get("mask")?.as_u64()?).ok()? }),
@@ -311,6 +287,8 @@ fn fault_from_json(v: &Json) -> Option<FaultSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proteus_types::config::LoggingSchemeKind;
+    use proteus_workloads::Benchmark;
 
     fn sample_repro() -> CrashRepro {
         CrashRepro {

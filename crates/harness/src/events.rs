@@ -38,6 +38,7 @@ pub struct EventSink {
     path: PathBuf,
     writer: BufWriter<File>,
     start: Instant,
+    fsync: bool,
     /// Events dropped because a write failed (reported at sweep end).
     pub dropped: u64,
     /// Per-job wall-time distribution (milliseconds), reported at sweep
@@ -46,12 +47,27 @@ pub struct EventSink {
 }
 
 impl EventSink {
-    /// Opens `path` for appending, creating parents as needed.
+    /// Opens `path` for appending, creating parents as needed. Every
+    /// event is flushed to the OS; pass `fsync: true` via
+    /// [`EventSink::open_with_fsync`] to additionally force it to
+    /// stable storage per event.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::HarnessIo`] on any filesystem failure.
     pub fn open(path: &Path) -> Result<EventSink, SimError> {
+        EventSink::open_with_fsync(path, false)
+    }
+
+    /// [`EventSink::open`] with a per-event durability choice: when
+    /// `fsync` is true every emitted event is `fdatasync`ed, so even a
+    /// machine crash (not just a killed process) preserves the full
+    /// stream at the cost of one sync per event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::HarnessIo`] on any filesystem failure.
+    pub fn open_with_fsync(path: &Path, fsync: bool) -> Result<EventSink, SimError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).map_err(|e| {
@@ -69,6 +85,7 @@ impl EventSink {
             path: path.to_path_buf(),
             writer: BufWriter::new(file),
             start: Instant::now(),
+            fsync,
             dropped: 0,
             wall_ms: Log2Histogram::new(),
         })
@@ -92,6 +109,7 @@ impl EventSink {
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush())
+            .and_then(|()| if self.fsync { self.writer.get_ref().sync_data() } else { Ok(()) })
             .is_ok();
         if !ok {
             self.dropped += 1;
@@ -215,6 +233,40 @@ impl EventSink {
     }
 }
 
+/// Loads an event stream back, skipping anything a killed process may
+/// have left behind: blank lines, torn (unparseable) lines, and records
+/// from other format versions. Mirrors the resume ledger's tolerance —
+/// telemetry damage is data loss we recover from, never an error.
+///
+/// # Errors
+///
+/// Returns [`SimError::HarnessIo`] only if the file itself cannot be
+/// opened or read; a missing file yields an empty stream.
+pub fn load_events(path: &Path) -> Result<Vec<Json>, SimError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(SimError::HarnessIo(format!("cannot read events {}: {e}", path.display())))
+        }
+    };
+    Ok(text
+        .lines()
+        .filter_map(|line| {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                return None;
+            }
+            let v = crate::json::parse(trimmed).ok()?;
+            if v.get("v").and_then(Json::as_u64) != Some(EVENTS_VERSION) {
+                return None;
+            }
+            v.get("event")?.as_str()?;
+            Some(v)
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +311,39 @@ mod tests {
         // Timestamps are monotonic.
         let ts: Vec<f64> = lines.iter().map(|v| v.get("t").unwrap().as_f64().unwrap()).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn killed_writer_leaves_a_parseable_stream() {
+        // Mirrors the ledger's truncated-tail test: each event is
+        // flushed on emit, so a process killed mid-write can tear at
+        // most the line it was writing — everything before it must
+        // load back intact.
+        let mut path = std::env::temp_dir();
+        path.push(format!("proteus-events-torn-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = EventSink::open_with_fsync(&path, true).unwrap();
+            sink.sweep_start(2, 0, 1);
+            sink.job_start("a/b", 0x1, 0, Gauges::default());
+            sink.job_end("a/b", 0x1, &JobOutcome::Completed, 1, 0.1, 10, Gauges::default());
+            assert_eq!(sink.dropped, 0);
+        }
+        {
+            // Simulate the kill: raw junk and a torn, newline-less tail
+            // appended after the flushed events.
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "garbage not json").unwrap();
+            writeln!(f, "{}", r#"{"v":999,"event":"from-the-future"}"#).unwrap();
+            write!(f, "{}", r#"{"v":1,"event":"job-sta"#).unwrap();
+        }
+        let events = load_events(&path).unwrap();
+        let kinds: Vec<&str> =
+            events.iter().map(|v| v.get("event").unwrap().as_str().unwrap()).collect();
+        assert_eq!(kinds, ["sweep-start", "job-start", "job-end"]);
+        assert!(load_events(Path::new("/nonexistent/x.jsonl")).unwrap().is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -42,7 +42,29 @@ pub struct LedgerRecord {
 }
 
 impl LedgerRecord {
-    fn to_json(&self) -> Json {
+    /// Renders the record's *deterministic* fields as one JSON line:
+    /// spec hash, name, outcome (plus message), and payload — but not
+    /// `attempts` or `wall_seconds`, which depend on scheduling luck.
+    /// Two runs of the same sweep produce identical canonical lines per
+    /// job no matter how the jobs were distributed, retried, or
+    /// reassigned; the distributed-determinism check is built on this.
+    pub fn canonical_line(&self) -> String {
+        let mut pairs = vec![
+            ("spec_hash", Json::str(format!("{:016x}", self.spec_hash))),
+            ("name", Json::str(self.name.clone())),
+            ("outcome", Json::str(self.outcome.label())),
+        ];
+        if let Some(msg) = self.outcome.message() {
+            pairs.push(("message", Json::str(msg)));
+        }
+        pairs.push(("payload", self.payload.clone()));
+        Json::obj(pairs).to_line()
+    }
+
+    /// Full record encoding, exactly as written to the ledger file
+    /// (public so the service streams ledger-shaped result lines
+    /// without a second codec).
+    pub fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("v", Json::U64(LEDGER_VERSION)),
             ("spec_hash", Json::str(format!("{:016x}", self.spec_hash))),
@@ -58,7 +80,10 @@ impl LedgerRecord {
         Json::obj(pairs)
     }
 
-    fn from_json(v: &Json) -> Option<LedgerRecord> {
+    /// Decodes one ledger line; `None` on malformed or foreign shapes
+    /// (public so clients of the service can parse streamed result
+    /// lines with the ledger's own codec).
+    pub fn from_json(v: &Json) -> Option<LedgerRecord> {
         let spec_hash = u64::from_str_radix(v.get("spec_hash")?.as_str()?, 16).ok()?;
         let name = v.get("name")?.as_str()?.to_string();
         let label = v.get("outcome")?.as_str()?;
@@ -145,6 +170,23 @@ impl LedgerSnapshot {
     /// Whether the snapshot holds no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// The whole snapshot as canonical JSONL: one
+    /// [`LedgerRecord::canonical_line`] per record, sorted by spec
+    /// hash. Byte-identical across runs that produced the same results,
+    /// regardless of execution order, worker count, retries, or which
+    /// process (local sweep or distributed coordinator) wrote the
+    /// underlying file.
+    pub fn canonical_export(&self) -> String {
+        let mut hashes: Vec<u64> = self.records.keys().copied().collect();
+        hashes.sort_unstable();
+        let mut out = String::new();
+        for h in hashes {
+            out.push_str(&self.records[&h].canonical_line());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -258,6 +300,38 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert!(snap.completed(7).is_some());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn canonical_export_is_order_independent_and_drops_timing() {
+        let path_a = temp_path("canon-a");
+        let path_b = temp_path("canon-b");
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+        {
+            let mut w = LedgerWriter::append(&path_a).unwrap();
+            w.record(&sample(2, JobOutcome::Completed)).unwrap();
+            w.record(&sample(1, JobOutcome::Failed { error: "nope".into() })).unwrap();
+        }
+        {
+            // Same results, opposite completion order, different timing.
+            let mut w = LedgerWriter::append(&path_b).unwrap();
+            let mut r1 = sample(1, JobOutcome::Failed { error: "nope".into() });
+            r1.attempts = 3;
+            r1.wall_seconds = 99.0;
+            w.record(&r1).unwrap();
+            w.record(&sample(2, JobOutcome::Completed)).unwrap();
+        }
+        let a = LedgerSnapshot::load(&path_a).unwrap().canonical_export();
+        let b = LedgerSnapshot::load(&path_b).unwrap().canonical_export();
+        assert_eq!(a, b, "canonical form is independent of order and timing");
+        assert!(!a.contains("wall_seconds"));
+        assert!(!a.contains("attempts"));
+        assert!(a.contains(r#""message":"nope""#));
+        let first = a.lines().next().unwrap();
+        assert!(first.contains("0000000000000001"), "sorted by spec hash: {first}");
+        std::fs::remove_file(&path_a).unwrap();
+        std::fs::remove_file(&path_b).unwrap();
     }
 
     #[test]

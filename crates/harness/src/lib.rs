@@ -44,8 +44,10 @@ pub mod ledger;
 pub mod report;
 pub mod scheduler;
 
-pub use events::{EventSink, Gauges};
+pub use events::{load_events, EventSink, Gauges};
 pub use json::Json;
 pub use ledger::{LedgerRecord, LedgerSnapshot, LedgerWriter};
 pub use report::human_rate;
-pub use scheduler::{Harness, JobResult, JobSpec, PayloadCodec, SweepOptions, SweepReport};
+pub use scheduler::{
+    panic_message, Harness, JobResult, JobSpec, PayloadCodec, SweepOptions, SweepReport,
+};

@@ -76,13 +76,24 @@ pub struct SweepOptions {
     pub ledger: Option<PathBuf>,
     /// Telemetry event stream path (JSON Lines, append).
     pub events: Option<PathBuf>,
+    /// Force every telemetry event to stable storage (`fdatasync` per
+    /// event) instead of just flushing to the OS. Survives machine
+    /// crashes, not merely killed processes; costs one sync per event.
+    pub events_fsync: bool,
     /// Emit a human progress line to stderr per finished job.
     pub progress: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { workers: 0, max_retries: 1, ledger: None, events: None, progress: false }
+        SweepOptions {
+            workers: 0,
+            max_retries: 1,
+            ledger: None,
+            events: None,
+            events_fsync: false,
+            progress: false,
+        }
     }
 }
 
@@ -308,7 +319,7 @@ impl<T: Send> Harness<T> {
             None => None,
         };
         let mut events = match &opts.events {
-            Some(path) => Some(EventSink::open(path)?),
+            Some(path) => Some(EventSink::open_with_fsync(path, opts.events_fsync)?),
             None => None,
         };
         if let Some(sink) = events.as_mut() {
@@ -544,7 +555,9 @@ fn resolve_workers(requested: usize, jobs: usize) -> usize {
 
 /// Renders a caught panic payload. `panic!("...")` yields `&str`,
 /// `panic!("{x}")` yields `String`; anything else gets a placeholder.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Public so other executors (the distributed service's workers) render
+/// panics identically to the local scheduler.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

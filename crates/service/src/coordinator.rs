@@ -1,0 +1,670 @@
+//! The coordinator: job queue, leases, reassignment, result dedup.
+//!
+//! One coordinator process owns the spec-hash-keyed job queue and is
+//! the only writer of the results ledger — the same resumable JSONL
+//! ledger local sweeps use, so a coordinator restarted onto an existing
+//! ledger resumes exactly like `Harness::run` does (completed records
+//! short-circuit, anything else re-runs).
+//!
+//! # Failure model
+//!
+//! Two distinct mechanisms cover the two ways a worker disappears:
+//!
+//! * **Connection drop** (killed process): the per-connection handler
+//!   notices EOF/error and immediately releases every lease that
+//!   connection's workers held — no waiting for a timeout.
+//! * **Lease expiry** (zombie: connection open, heartbeats stopped): a
+//!   sweeper thread requeues any job whose lease deadline passed.
+//!   Heartbeats extend the leases of everything their worker holds.
+//!
+//! Either path increments the job's assignment count; a job that
+//! exhausts [`CoordinatorConfig::max_assignments`] is recorded as
+//! failed in the ledger (with a note naming the exhaustion) instead of
+//! looping forever — a sweep can therefore never silently stall on a
+//! poison job.
+//!
+//! **Work stealing**: an idle worker with an empty queue may receive a
+//! bounded speculative duplicate (one per job) of the longest-running
+//! single-leased job. Whichever copy reports first wins; the result
+//! table is keyed by spec hash and records exactly one terminal record
+//! per job, so duplicates and late zombies can never double-count.
+
+use crate::frame::{read_frame, write_frame};
+use crate::job::{ServiceJob, WireResult};
+use crate::proto::{ToCoordinator, ToWorker};
+use crate::registry::MetricsRegistry;
+use proteus_harness::{Json, LedgerRecord, LedgerSnapshot, LedgerWriter};
+use proteus_types::JobOutcome;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coordinator knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Lease duration per assignment; heartbeats refresh it.
+    pub lease_ms: u64,
+    /// Total assignment budget per job (first assignment + every
+    /// reassignment or steal). Exhaustion records a failed outcome.
+    pub max_assignments: u32,
+    /// Allow idle workers to speculatively duplicate the
+    /// longest-running single-leased job.
+    pub steal: bool,
+    /// Results ledger path; enables restart-resume when set.
+    pub ledger: Option<PathBuf>,
+    /// How long an empty `Request` parks on the queue before the
+    /// worker is told to idle.
+    pub idle_wait_ms: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            lease_ms: 30_000,
+            max_assignments: 3,
+            steal: true,
+            ledger: None,
+            idle_wait_ms: 200,
+        }
+    }
+}
+
+/// What happened to a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitStatus {
+    /// New job, queued for execution.
+    Queued,
+    /// Same spec hash already queued or running — not enqueued again.
+    Deduped,
+    /// Same spec hash already has a terminal result (this run or a
+    /// prior ledger) — nothing to do.
+    Done,
+}
+
+struct JobState {
+    job: ServiceJob,
+    encoded: Json,
+    name: String,
+    queued_at: Instant,
+    assignments: u32,
+    /// worker_id -> lease deadline.
+    leases: HashMap<u64, Instant>,
+    stolen: bool,
+}
+
+#[derive(Debug, Clone)]
+struct WorkerInfo {
+    name: String,
+    connected: bool,
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobState>,
+    /// Every spec ever accepted, kept past completion so the trace
+    /// endpoint can deterministically re-run a finished job.
+    specs: HashMap<u64, ServiceJob>,
+    results: HashMap<u64, LedgerRecord>,
+    /// Submission order of every hash ever accepted (for status pages).
+    order: Vec<u64>,
+    sweeps: Vec<Vec<u64>>,
+    next_worker_id: u64,
+    workers: HashMap<u64, WorkerInfo>,
+    ledger: Option<LedgerWriter>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    metrics: Arc<MetricsRegistry>,
+    cfg: CoordinatorConfig,
+    snapshot: LedgerSnapshot,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running coordinator (accept + lease-sweeper threads).
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the accept and
+    /// lease-sweeper threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error if the ledger cannot be opened or the
+    /// address cannot be bound.
+    pub fn start(addr: &str, cfg: CoordinatorConfig) -> Result<Coordinator, String> {
+        let snapshot = match &cfg.ledger {
+            Some(path) => LedgerSnapshot::load(path).map_err(|e| e.to_string())?,
+            None => LedgerSnapshot::default(),
+        };
+        let ledger = match &cfg.ledger {
+            Some(path) => Some(LedgerWriter::append(path).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        listener.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                specs: HashMap::new(),
+                results: HashMap::new(),
+                order: Vec::new(),
+                sweeps: Vec::new(),
+                next_worker_id: 1,
+                workers: HashMap::new(),
+                ledger,
+            }),
+            cv: Condvar::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            cfg,
+            snapshot,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+        let sweep_inner = Arc::clone(&inner);
+        std::thread::spawn(move || lease_sweeper(&sweep_inner));
+
+        Ok(Coordinator { inner, addr: local })
+    }
+
+    /// The bound worker-protocol address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Submits one job, deduplicating by spec hash against queued,
+    /// running, and terminal jobs — and against completed records of a
+    /// resumed ledger.
+    pub fn submit(&self, job: ServiceJob) -> (u64, SubmitStatus) {
+        let hash = job.spec_hash();
+        let m = &self.inner.metrics;
+        m.counter_add("service_submissions_total", 1);
+        let mut st = self.lock();
+        if st.results.contains_key(&hash) {
+            m.counter_add("service_submissions_deduped_total", 1);
+            return (hash, SubmitStatus::Done);
+        }
+        if st.jobs.contains_key(&hash) {
+            m.counter_add("service_submissions_deduped_total", 1);
+            return (hash, SubmitStatus::Deduped);
+        }
+        // Ledger resume: a completed, decodable record satisfies the
+        // job without execution — the same predicate Harness::run uses.
+        if let Some(rec) = self.inner.snapshot.completed(hash) {
+            if job.payload_is_decodable(&rec.payload) {
+                st.results.insert(hash, rec.clone());
+                st.specs.insert(hash, job);
+                st.order.push(hash);
+                m.counter_add("service_jobs_resumed_total", 1);
+                self.inner.cv.notify_all();
+                return (hash, SubmitStatus::Done);
+            }
+        }
+        let name = job.name();
+        let encoded = job.to_json();
+        st.specs.insert(hash, job.clone());
+        st.jobs.insert(
+            hash,
+            JobState {
+                job,
+                encoded,
+                name,
+                queued_at: Instant::now(),
+                assignments: 0,
+                leases: HashMap::new(),
+                stolen: false,
+            },
+        );
+        st.order.push(hash);
+        st.queue.push_back(hash);
+        m.gauge_set("service_queue_depth", st.queue.len() as i64);
+        self.inner.cv.notify_all();
+        (hash, SubmitStatus::Queued)
+    }
+
+    /// Submits a batch as one sweep; returns the sweep id and per-job
+    /// submission statuses.
+    pub fn submit_sweep(&self, jobs: Vec<ServiceJob>) -> (usize, Vec<(u64, SubmitStatus)>) {
+        let statuses: Vec<(u64, SubmitStatus)> = jobs.into_iter().map(|j| self.submit(j)).collect();
+        let mut st = self.lock();
+        st.sweeps.push(statuses.iter().map(|(h, _)| *h).collect());
+        (st.sweeps.len() - 1, statuses)
+    }
+
+    /// Jobs not yet terminal.
+    pub fn pending(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Blocks until every submitted job is terminal or `timeout`
+    /// passes; true when drained.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        while !st.jobs.is_empty() {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self.inner.cv.wait_timeout(st, left).expect("coordinator lock");
+            st = guard;
+        }
+        true
+    }
+
+    /// The terminal record for `hash`, if any.
+    pub fn result(&self, hash: u64) -> Option<LedgerRecord> {
+        self.lock().results.get(&hash).cloned()
+    }
+
+    /// Canonical JSONL export of every terminal result, sorted by spec
+    /// hash — byte-comparable with
+    /// `LedgerSnapshot::canonical_export()` of a single-process run.
+    pub fn canonical_export(&self) -> String {
+        let st = self.lock();
+        let mut hashes: Vec<u64> = st.results.keys().copied().collect();
+        hashes.sort_unstable();
+        let mut out = String::new();
+        for h in hashes {
+            out.push_str(&st.results[&h].canonical_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Service-wide status object.
+    pub fn status_json(&self) -> Json {
+        let st = self.lock();
+        let connected = st.workers.values().filter(|w| w.connected).count();
+        let mut names: Vec<&str> =
+            st.workers.values().filter(|w| w.connected).map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        let workers = Json::Arr(names.into_iter().map(Json::str).collect());
+        Json::obj([
+            ("jobs_total", Json::U64(st.order.len() as u64)),
+            ("jobs_pending", Json::U64(st.jobs.len() as u64)),
+            ("jobs_queued", Json::U64(st.queue.len() as u64)),
+            ("jobs_done", Json::U64(st.results.len() as u64)),
+            ("sweeps", Json::U64(st.sweeps.len() as u64)),
+            ("workers_connected", Json::U64(connected as u64)),
+            ("workers", workers),
+        ])
+    }
+
+    /// Status of one sweep, or `None` for an unknown id.
+    pub fn sweep_status_json(&self, sweep: usize) -> Option<Json> {
+        let st = self.lock();
+        let hashes = st.sweeps.get(sweep)?;
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let mut crashed = 0u64;
+        let mut pending = 0u64;
+        for h in hashes {
+            match st.results.get(h).map(|r| &r.outcome) {
+                Some(JobOutcome::Completed) => completed += 1,
+                Some(JobOutcome::Failed { .. }) => failed += 1,
+                Some(JobOutcome::Crashed { .. }) => crashed += 1,
+                None => pending += 1,
+            }
+        }
+        Some(Json::obj([
+            ("sweep", Json::U64(sweep as u64)),
+            ("total", Json::U64(hashes.len() as u64)),
+            ("completed", Json::U64(completed)),
+            ("failed", Json::U64(failed)),
+            ("crashed", Json::U64(crashed)),
+            ("pending", Json::U64(pending)),
+            ("done", Json::Bool(pending == 0)),
+        ]))
+    }
+
+    /// Terminal results of one sweep as ledger-record JSONL, or `None`
+    /// for an unknown id. Pending jobs are simply absent; poll the
+    /// status endpoint for completion.
+    pub fn sweep_results_jsonl(&self, sweep: usize) -> Option<String> {
+        let st = self.lock();
+        let hashes = st.sweeps.get(sweep)?;
+        let mut out = String::new();
+        for h in hashes {
+            if let Some(rec) = st.results.get(h) {
+                out.push_str(&rec.to_json().to_line());
+                out.push('\n');
+            }
+        }
+        Some(out)
+    }
+
+    /// The job status for one spec hash, or `None` if never submitted.
+    pub fn job_status_json(&self, hash: u64) -> Option<Json> {
+        let st = self.lock();
+        if let Some(rec) = st.results.get(&hash) {
+            return Some(Json::obj([
+                ("spec_hash", Json::str(format!("{hash:016x}"))),
+                ("name", Json::str(rec.name.clone())),
+                ("state", Json::str("done")),
+                ("outcome", Json::str(rec.outcome.label())),
+            ]));
+        }
+        let js = st.jobs.get(&hash)?;
+        let state = if js.leases.is_empty() { "queued" } else { "running" };
+        Some(Json::obj([
+            ("spec_hash", Json::str(format!("{hash:016x}"))),
+            ("name", Json::str(js.name.clone())),
+            ("state", Json::str(state)),
+            ("assignments", Json::U64(u64::from(js.assignments))),
+        ]))
+    }
+
+    /// The submitted job for `hash` — available for active and
+    /// finished jobs alike, so a finished job can be deterministically
+    /// re-run (the trace endpoint relies on this).
+    pub fn job_for(&self, hash: u64) -> Option<ServiceJob> {
+        self.lock().specs.get(&hash).cloned()
+    }
+
+    /// Signals shutdown: workers get `Shutdown` on their next request,
+    /// handler threads drain, the accept loop stops.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().expect("coordinator lock")
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || handle_connection(stream, &inner));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    // Worker ids registered over THIS connection: a dropped connection
+    // releases exactly these workers' leases.
+    let mut local_workers: Vec<u64> = Vec::new();
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(msg)) => {
+                inner.metrics.counter_add("service_frames_rx_total", 1);
+                inner.metrics.observe("service_frame_bytes", msg.to_line().len() as u64);
+                let Some(msg) = ToCoordinator::from_json(&msg) else {
+                    // An unintelligible peer gets disconnected; its
+                    // leases are released below.
+                    break;
+                };
+                if let Some(reply) = handle_message(msg, inner, &mut local_workers) {
+                    let frame = reply.to_json();
+                    inner.metrics.counter_add("service_frames_tx_total", 1);
+                    inner.metrics.observe("service_frame_bytes", frame.to_line().len() as u64);
+                    if write_frame(&mut stream, &frame).is_err() {
+                        break;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) if e.is_timeout() => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Crash detection path 1: the connection is gone, so every lease
+    // its workers held is released immediately.
+    let mut st = inner.state.lock().expect("coordinator lock");
+    for wid in local_workers {
+        if let Some(w) = st.workers.get_mut(&wid) {
+            w.connected = false;
+        }
+        release_worker_leases(&mut st, inner, wid);
+    }
+    let connected = st.workers.values().filter(|w| w.connected).count();
+    inner.metrics.gauge_set("service_workers_connected", connected as i64);
+    inner.cv.notify_all();
+}
+
+fn handle_message(
+    msg: ToCoordinator,
+    inner: &Arc<Inner>,
+    local_workers: &mut Vec<u64>,
+) -> Option<ToWorker> {
+    match msg {
+        ToCoordinator::Hello { name } => {
+            let mut st = inner.state.lock().expect("coordinator lock");
+            let wid = st.next_worker_id;
+            st.next_worker_id += 1;
+            st.workers.insert(wid, WorkerInfo { name, connected: true });
+            local_workers.push(wid);
+            let connected = st.workers.values().filter(|w| w.connected).count();
+            inner.metrics.gauge_set("service_workers_connected", connected as i64);
+            let lease_ms = inner.cfg.lease_ms;
+            Some(ToWorker::Welcome {
+                worker_id: wid,
+                lease_ms,
+                heartbeat_ms: (lease_ms / 3).max(10),
+            })
+        }
+        ToCoordinator::Request { worker_id } => Some(assign_or_idle(inner, worker_id)),
+        ToCoordinator::Heartbeat { worker_id } => {
+            let mut st = inner.state.lock().expect("coordinator lock");
+            let deadline = Instant::now() + Duration::from_millis(inner.cfg.lease_ms);
+            for js in st.jobs.values_mut() {
+                if let Some(lease) = js.leases.get_mut(&worker_id) {
+                    *lease = deadline;
+                }
+            }
+            None
+        }
+        ToCoordinator::Done { worker_id, result } => {
+            record_result(inner, worker_id, result);
+            None
+        }
+    }
+}
+
+fn assign_or_idle(inner: &Arc<Inner>, worker_id: u64) -> ToWorker {
+    let deadline = Instant::now() + Duration::from_millis(inner.cfg.idle_wait_ms);
+    let mut st = inner.state.lock().expect("coordinator lock");
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return ToWorker::Shutdown;
+        }
+        // Queued work first.
+        while let Some(hash) = st.queue.pop_front() {
+            let Some(js) = st.jobs.get_mut(&hash) else { continue };
+            js.assignments += 1;
+            js.leases.insert(worker_id, Instant::now() + Duration::from_millis(inner.cfg.lease_ms));
+            let waited = js.queued_at.elapsed().as_millis() as u64;
+            let job = js.encoded.clone();
+            inner.metrics.observe("service_queue_wait_ms", waited);
+            inner.metrics.gauge_set("service_queue_depth", st.queue.len() as i64);
+            return ToWorker::Assign { job };
+        }
+        // Work stealing: duplicate the longest-running job that has
+        // exactly one lease (held by someone else), was never stolen,
+        // and still has assignment budget for the duplicate.
+        if inner.cfg.steal {
+            let candidate = st
+                .jobs
+                .iter()
+                .filter(|(_, js)| {
+                    js.leases.len() == 1
+                        && !js.stolen
+                        && !js.leases.contains_key(&worker_id)
+                        && js.assignments < inner.cfg.max_assignments
+                })
+                // Earliest lease deadline == longest-running (leases
+                // share one duration).
+                .min_by_key(|(_, js)| js.leases.values().min().copied())
+                .map(|(h, _)| *h);
+            if let Some(hash) = candidate {
+                let js = st.jobs.get_mut(&hash).expect("candidate exists");
+                js.stolen = true;
+                js.assignments += 1;
+                js.leases
+                    .insert(worker_id, Instant::now() + Duration::from_millis(inner.cfg.lease_ms));
+                inner.metrics.counter_add("service_jobs_stolen_total", 1);
+                return ToWorker::Assign { job: js.encoded.clone() };
+            }
+        }
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+            return ToWorker::Idle { wait_ms: inner.cfg.idle_wait_ms };
+        };
+        let (guard, _) = inner.cv.wait_timeout(st, left).expect("coordinator lock");
+        st = guard;
+    }
+}
+
+fn record_result(inner: &Arc<Inner>, worker_id: u64, result: WireResult) {
+    let mut st = inner.state.lock().expect("coordinator lock");
+    let hash = result.spec_hash;
+    let Some(js) = st.jobs.get_mut(&hash) else {
+        // Reassignment race: the job already reached a terminal state
+        // via another worker (or a zombie reported after expiry).
+        // First result won; this one is counted and dropped.
+        inner.metrics.counter_add("service_duplicate_results_total", 1);
+        return;
+    };
+    js.leases.remove(&worker_id);
+    // A "completed" result whose payload the job's own codec cannot
+    // read would poison the ledger; demote it to a failure.
+    let outcome = match result.outcome {
+        JobOutcome::Completed if !js.job.payload_is_decodable(&result.payload) => {
+            JobOutcome::Failed { error: "worker returned an undecodable payload".to_string() }
+        }
+        o => o,
+    };
+    let payload = if outcome.is_completed() { result.payload } else { Json::Null };
+    let record = LedgerRecord {
+        spec_hash: hash,
+        name: js.name.clone(),
+        outcome,
+        attempts: result.attempts,
+        wall_seconds: result.wall_seconds,
+        payload,
+    };
+    finish_job(&mut st, inner, record);
+    inner.cv.notify_all();
+}
+
+/// Moves a job to its terminal record: results table, ledger, metrics.
+fn finish_job(st: &mut State, inner: &Arc<Inner>, record: LedgerRecord) {
+    let hash = record.spec_hash;
+    st.jobs.remove(&hash);
+    match &record.outcome {
+        JobOutcome::Completed => inner.metrics.counter_add("service_jobs_completed_total", 1),
+        JobOutcome::Failed { .. } => inner.metrics.counter_add("service_jobs_failed_total", 1),
+        JobOutcome::Crashed { .. } => inner.metrics.counter_add("service_jobs_crashed_total", 1),
+    }
+    inner.metrics.observe("service_job_wall_ms", (record.wall_seconds * 1000.0).max(0.0) as u64);
+    if let Some(w) = st.ledger.as_mut() {
+        if w.record(&record).is_err() {
+            inner.metrics.counter_add("service_ledger_write_errors_total", 1);
+        }
+    }
+    st.results.insert(hash, record);
+}
+
+fn release_worker_leases(st: &mut State, inner: &Arc<Inner>, worker_id: u64) {
+    let held: Vec<u64> = st
+        .jobs
+        .iter()
+        .filter(|(_, js)| js.leases.contains_key(&worker_id))
+        .map(|(h, _)| *h)
+        .collect();
+    for hash in held {
+        let js = st.jobs.get_mut(&hash).expect("held job exists");
+        js.leases.remove(&worker_id);
+        requeue_or_exhaust(st, inner, hash);
+    }
+}
+
+/// After a lease was released: requeue if the job has no other lease,
+/// or record exhaustion if its assignment budget is spent.
+fn requeue_or_exhaust(st: &mut State, inner: &Arc<Inner>, hash: u64) {
+    let Some(js) = st.jobs.get_mut(&hash) else { return };
+    if !js.leases.is_empty() {
+        return; // a duplicate (steal) is still running it
+    }
+    if js.assignments >= inner.cfg.max_assignments {
+        let record = LedgerRecord {
+            spec_hash: hash,
+            name: js.name.clone(),
+            outcome: JobOutcome::Failed {
+                error: format!(
+                    "exhausted {} assignments (workers lost or leases expired)",
+                    js.assignments
+                ),
+            },
+            attempts: js.assignments,
+            wall_seconds: 0.0,
+            payload: Json::Null,
+        };
+        inner.metrics.counter_add("service_jobs_exhausted_total", 1);
+        finish_job(st, inner, record);
+        return;
+    }
+    js.queued_at = Instant::now();
+    st.queue.push_back(hash);
+    inner.metrics.counter_add("service_jobs_reassigned_total", 1);
+    inner.metrics.gauge_set("service_queue_depth", st.queue.len() as i64);
+}
+
+fn lease_sweeper(inner: &Arc<Inner>) {
+    let period = Duration::from_millis((inner.cfg.lease_ms / 4).clamp(10, 250));
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(period);
+        let now = Instant::now();
+        let mut st = inner.state.lock().expect("coordinator lock");
+        let expired: Vec<u64> = st
+            .jobs
+            .iter()
+            .filter(|(_, js)| js.leases.values().any(|d| *d <= now))
+            .map(|(h, _)| *h)
+            .collect();
+        if expired.is_empty() {
+            continue;
+        }
+        for hash in expired {
+            let js = st.jobs.get_mut(&hash).expect("expired job exists");
+            js.leases.retain(|_, d| *d > now);
+            requeue_or_exhaust(&mut st, inner, hash);
+        }
+        inner.cv.notify_all();
+    }
+}

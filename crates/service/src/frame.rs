@@ -1,0 +1,194 @@
+//! Length-prefixed JSON frame codec — the entire wire format.
+//!
+//! Every message between coordinator and worker is one frame: a 4-byte
+//! big-endian length followed by that many bytes of UTF-8 JSON (one
+//! [`Json`] value, no trailing newline). The length prefix makes
+//! framing unambiguous over TCP's byte stream; the 32 MiB cap bounds
+//! memory per connection and rejects garbage prefixes (a peer speaking
+//! HTTP at the worker port reads as an oversized frame, not an
+//! allocation bomb).
+//!
+//! [`read_frame`] distinguishes the three ways a stream can disappoint:
+//! a clean EOF **between** frames is `Ok(None)` (the peer closed — for
+//! a worker connection that is the crash-detection signal), an EOF
+//! **inside** a frame is [`FrameError::Truncated`], and bytes that are
+//! not valid JSON are [`FrameError::Malformed`].
+
+use proteus_harness::{json, Json};
+use std::io::{Read, Write};
+
+/// Maximum frame body size. Large enough for any sweep submission or
+/// result payload this workspace produces; small enough that a corrupt
+/// length prefix cannot balloon a connection's memory.
+pub const MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport failure (including read timeouts).
+    Io(std::io::Error),
+    /// The stream ended inside a frame — the peer died mid-write.
+    Truncated,
+    /// Declared length exceeds [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+    /// Frame bytes are not one valid JSON value.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::Truncated => write!(f, "frame truncated mid-body"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds cap of {MAX_FRAME_BYTES}")
+            }
+            FrameError::Malformed(e) => write!(f, "frame is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl FrameError {
+    /// Whether this error is a read timeout (the peer is merely quiet,
+    /// not gone) — callers poll with timeouts to stay interruptible.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Writes one frame and flushes it.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] if the encoded value exceeds the cap,
+/// [`FrameError::Io`] on transport failure.
+pub fn write_frame<W: Write>(w: &mut W, value: &Json) -> Result<(), FrameError> {
+    let body = value.to_line().into_bytes();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(body.len()));
+    }
+    let len = (body.len() as u32).to_be_bytes();
+    w.write_all(&len)
+        .and_then(|()| w.write_all(&body))
+        .and_then(|()| w.flush())
+        .map_err(FrameError::Io)
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF between frames.
+///
+/// # Errors
+///
+/// See [`FrameError`]; timeouts surface as `Io` with
+/// [`FrameError::is_timeout`] true.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| FrameError::Malformed(format!("invalid utf-8: {e}")))?;
+    json::parse(text).map(Some).map_err(FrameError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, v).unwrap();
+        read_frame(&mut buf.as_slice()).unwrap().unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for v in [
+            Json::Null,
+            Json::U64(u64::MAX),
+            Json::str("héllo \"quoted\" \n"),
+            Json::obj([
+                ("a", Json::Arr(vec![Json::U64(1), Json::Bool(false)])),
+                ("b", Json::F64(0.5)),
+            ]),
+        ] {
+            assert_eq!(roundtrip(&v).to_line(), v.to_line());
+        }
+    }
+
+    #[test]
+    fn multiple_frames_then_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::U64(1)).unwrap();
+        write_frame(&mut buf, &Json::U64(2)).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().as_u64(), Some(1));
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().as_u64(), Some(2));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::str("a somewhat long payload")).unwrap();
+        // Cut inside the body.
+        let cut = &buf[..buf.len() - 3];
+        assert!(matches!(read_frame(&mut &cut[..]), Err(FrameError::Truncated)));
+        // Cut inside the length prefix itself.
+        let cut = &buf[..2];
+        assert!(matches!(read_frame(&mut &cut[..]), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        // An HTTP peer that connected to the wrong port: "GET " reads
+        // as a 1.2 GB length prefix.
+        let bytes = b"GET /metrics HTTP/1.1\r\n";
+        match read_frame(&mut &bytes[..]) {
+            Err(FrameError::Oversized(n)) => assert!(n > MAX_FRAME_BYTES),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        let mut buf = Vec::new();
+        let huge = Json::str("x".repeat(MAX_FRAME_BYTES + 1));
+        assert!(matches!(write_frame(&mut buf, &huge), Err(FrameError::Oversized(_))));
+        assert!(buf.is_empty(), "nothing written for rejected frames");
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        for body in [&b"not json"[..], &b"{\"a\":"[..], &[0xFF, 0xFE][..]] {
+            let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(body);
+            assert!(
+                matches!(read_frame(&mut buf.as_slice()), Err(FrameError::Malformed(_))),
+                "{body:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Minimal HTTP/1.1 front-end over the coordinator.
+//!
+//! Std-only by design: a polling `TcpListener`, one thread per
+//! connection, `Connection: close` on every response. That is entirely
+//! adequate for a sweep-control plane — requests are small, responses
+//! are JSON/JSONL, and the heavy lifting happens on the worker
+//! protocol, not here.
+//!
+//! Routes:
+//!
+//! | Method | Path | Body / reply |
+//! |---|---|---|
+//! | GET  | `/healthz`                 | `ok` |
+//! | GET  | `/metrics`                 | text exposition format |
+//! | GET  | `/api/status`              | service-wide counts |
+//! | POST | `/api/sweeps`              | `{"jobs":[envelope…]}` → sweep id |
+//! | GET  | `/api/sweeps/<id>`         | sweep status |
+//! | GET  | `/api/sweeps/<id>/results` | terminal results, ledger JSONL |
+//! | GET  | `/api/export`              | canonical export (sorted JSONL) |
+//! | GET  | `/api/jobs/<hash16>`       | one job's status |
+//! | GET  | `/api/jobs/<hash16>/trace` | deterministic traced re-run, JSONL |
+
+use crate::coordinator::{Coordinator, SubmitStatus};
+use crate::job::ServiceJob;
+use proteus_harness::{json, Json};
+use proteus_sim::runner::run_one_traced;
+use proteus_types::TraceConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request body the server accepts (same cap as the frame
+/// protocol; a sweep of thousands of specs fits comfortably).
+pub const MAX_BODY_BYTES: usize = 32 * 1024 * 1024;
+
+/// Handle to the running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Binds `addr` and serves the coordinator until [`HttpServer::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered error if the address cannot be bound.
+    pub fn start(addr: &str, coord: Arc<Coordinator>) -> Result<HttpServer, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        listener.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let coord = Arc::clone(&coord);
+                        std::thread::spawn(move || handle_http(stream, &coord));
+                    }
+                    // A tight poll: submit latency is bounded below by
+                    // this sleep, so it is much shorter than the
+                    // worker-protocol accept poll (workers connect
+                    // once; HTTP clients connect per request).
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        });
+        Ok(HttpServer { addr: local, shutdown })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_http(mut stream: TcpStream, coord: &Arc<Coordinator>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Some((method, path, body)) = read_request(&mut stream) else {
+        let _ = respond(&mut stream, 400, "text/plain", "bad request\n");
+        return;
+    };
+    let (status, ctype, body) = route(coord, &method, &path, &body);
+    let _ = respond(&mut stream, status, ctype, &body);
+}
+
+/// Parses one request: request line, headers (only `Content-Length`
+/// matters), then exactly that many body bytes.
+fn read_request(stream: &mut TcpStream) -> Option<(String, String, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 * 1024 {
+            return None; // header flood
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((k, v)) = line.split_once(':') else { continue };
+        if k.trim().eq_ignore_ascii_case("content-length") {
+            content_length = v.trim().parse().ok()?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Some((method, path, String::from_utf8(body).ok()?))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn respond(stream: &mut TcpStream, status: u16, ctype: &str, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(
+    coord: &Arc<Coordinator>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, &'static str, String) {
+    match (method, path) {
+        ("GET", "/healthz") => (200, "text/plain", "ok\n".to_string()),
+        ("GET", "/metrics") => (200, "text/plain", coord.metrics().render()),
+        ("GET", "/api/status") => (200, "application/json", coord.status_json().to_line()),
+        ("POST", "/api/sweeps") => submit_sweep(coord, body),
+        ("GET", "/api/export") => (200, "application/jsonl", coord.canonical_export()),
+        ("GET", p) => route_get(coord, p),
+        _ => (405, "text/plain", "method not allowed\n".to_string()),
+    }
+}
+
+fn route_get(coord: &Arc<Coordinator>, path: &str) -> (u16, &'static str, String) {
+    if let Some(rest) = path.strip_prefix("/api/sweeps/") {
+        if let Some(id) = rest.strip_suffix("/results") {
+            let Ok(id) = id.parse::<usize>() else {
+                return (400, "text/plain", "bad sweep id\n".to_string());
+            };
+            return match coord.sweep_results_jsonl(id) {
+                Some(body) => (200, "application/jsonl", body),
+                None => (404, "text/plain", "unknown sweep\n".to_string()),
+            };
+        }
+        let Ok(id) = rest.parse::<usize>() else {
+            return (400, "text/plain", "bad sweep id\n".to_string());
+        };
+        return match coord.sweep_status_json(id) {
+            Some(v) => (200, "application/json", v.to_line()),
+            None => (404, "text/plain", "unknown sweep\n".to_string()),
+        };
+    }
+    if let Some(rest) = path.strip_prefix("/api/jobs/") {
+        if let Some(hex) = rest.strip_suffix("/trace") {
+            return trace_job(coord, hex);
+        }
+        let Ok(hash) = u64::from_str_radix(rest, 16) else {
+            return (400, "text/plain", "bad spec hash\n".to_string());
+        };
+        return match coord.job_status_json(hash) {
+            Some(v) => (200, "application/json", v.to_line()),
+            None => (404, "text/plain", "unknown job\n".to_string()),
+        };
+    }
+    (404, "text/plain", "not found\n".to_string())
+}
+
+/// Re-runs a known experiment job with tracing on and streams the
+/// trace JSONL. Determinism makes this sound: the traced re-run
+/// reproduces exactly the run the worker executed.
+fn trace_job(coord: &Arc<Coordinator>, hex: &str) -> (u16, &'static str, String) {
+    let Ok(hash) = u64::from_str_radix(hex, 16) else {
+        return (400, "text/plain", "bad spec hash\n".to_string());
+    };
+    match coord.job_for(hash) {
+        Some(ServiceJob::Experiment(spec)) => {
+            match run_one_traced(&spec, &TraceConfig::enabled()) {
+                Ok((_, Some(report))) => (200, "application/jsonl", report.to_jsonl_summary()),
+                Ok((_, None)) => (404, "text/plain", "no trace produced\n".to_string()),
+                Err(e) => (400, "text/plain", format!("trace failed: {e}\n")),
+            }
+        }
+        Some(ServiceJob::Crash(_)) => {
+            (400, "text/plain", "crash jobs have no cycle trace\n".to_string())
+        }
+        None => (404, "text/plain", "unknown job\n".to_string()),
+    }
+}
+
+fn submit_sweep(coord: &Arc<Coordinator>, body: &str) -> (u16, &'static str, String) {
+    let Ok(v) = json::parse(body) else {
+        return (400, "text/plain", "body is not json\n".to_string());
+    };
+    let Some(envelopes) = v.get("jobs").and_then(Json::as_arr) else {
+        return (400, "text/plain", "body needs a jobs array\n".to_string());
+    };
+    let mut jobs = Vec::with_capacity(envelopes.len());
+    for env in envelopes {
+        let Some(job) = ServiceJob::from_json(env) else {
+            return (400, "text/plain", "undecodable job envelope\n".to_string());
+        };
+        jobs.push(job);
+    }
+    let (sweep, statuses) = coord.submit_sweep(jobs);
+    let mut queued = 0u64;
+    let mut deduped = 0u64;
+    let mut done = 0u64;
+    for (_, s) in &statuses {
+        match s {
+            SubmitStatus::Queued => queued += 1,
+            SubmitStatus::Deduped => deduped += 1,
+            SubmitStatus::Done => done += 1,
+        }
+    }
+    let reply = Json::obj([
+        ("sweep", Json::U64(sweep as u64)),
+        ("submitted", Json::U64(statuses.len() as u64)),
+        ("queued", Json::U64(queued)),
+        ("deduped", Json::U64(deduped)),
+        ("done", Json::U64(done)),
+    ]);
+    (200, "application/json", reply.to_line())
+}
+
+/// Tiny blocking HTTP client for tests, the load generator, and the
+/// CLI: one request, `Connection: close`, returns (status, body).
+///
+/// # Errors
+///
+/// Returns a rendered error on connect/send/parse failures.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).map_err(|e| format!("recv: {e}"))?;
+    let text = String::from_utf8(buf).map_err(|e| format!("utf8: {e}"))?;
+    let (head, rest) = text.split_once("\r\n\r\n").ok_or("no header terminator")?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {status_line}"))?;
+    Ok((status, rest.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

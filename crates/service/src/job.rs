@@ -1,0 +1,175 @@
+//! The job envelope: what a sweep submission actually carries.
+//!
+//! A [`ServiceJob`] is either a cycle-accurate experiment
+//! ([`ExperimentSpec`]) or a crash-point exploration ([`ExploreSpec`])
+//! — the two long-running job families the workspace already runs
+//! through `proteus-harness`. The envelope reuses their existing spec
+//! hashes as the distributed identity (dedup key, lease key, ledger
+//! key) and their existing payload codecs for results, so a job
+//! executed remotely writes byte-identical ledger payloads to the same
+//! job executed by a local `Harness` sweep.
+
+use proteus_crash::{explore, explore_spec_from_json, explore_spec_to_json, ExploreSpec};
+use proteus_harness::Json;
+use proteus_sim::persist::{spec_from_json, spec_to_json};
+use proteus_sim::runner::{experiment_codec, run_one, ExperimentSpec};
+use proteus_types::JobOutcome;
+
+/// One distributable unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceJob {
+    /// A full simulator run producing an `ExperimentResult`.
+    Experiment(ExperimentSpec),
+    /// A crash-point exploration producing an `ExploreOutcome`.
+    Crash(ExploreSpec),
+}
+
+impl ServiceJob {
+    /// The stable spec hash — dedup/lease/ledger identity. Experiment
+    /// and crash hashes live in different `FieldHasher` domains, so the
+    /// two families can never collide on the same queue.
+    pub fn spec_hash(&self) -> u64 {
+        match self {
+            ServiceJob::Experiment(s) => s.spec_hash(),
+            ServiceJob::Crash(s) => s.spec_hash(),
+        }
+    }
+
+    /// Human-readable job name, matching what local sweeps emit.
+    pub fn name(&self) -> String {
+        match self {
+            ServiceJob::Experiment(s) => s.display_name(),
+            ServiceJob::Crash(s) => s.name(),
+        }
+    }
+
+    /// Wire/ledger encoding: a kind tag plus the shared spec codec.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ServiceJob::Experiment(s) => {
+                Json::obj([("kind", Json::str("experiment")), ("spec", spec_to_json(s))])
+            }
+            ServiceJob::Crash(s) => {
+                Json::obj([("kind", Json::str("crash")), ("spec", explore_spec_to_json(s))])
+            }
+        }
+    }
+
+    /// Decodes a job envelope; `None` on unknown kinds or malformed
+    /// specs.
+    pub fn from_json(v: &Json) -> Option<ServiceJob> {
+        match v.get("kind")?.as_str()? {
+            "experiment" => Some(ServiceJob::Experiment(spec_from_json(v.get("spec")?)?)),
+            "crash" => Some(ServiceJob::Crash(explore_spec_from_json(v.get("spec")?)?)),
+            _ => None,
+        }
+    }
+
+    /// Executes the job in-process and encodes the payload with the
+    /// family's ledger codec. Panics propagate to the caller (workers
+    /// wrap this in `catch_unwind`, exactly as the local scheduler
+    /// does); clean simulator errors come back as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered simulator error for deterministic failures
+    /// (bad configs and the like), which are never retried.
+    pub fn execute(&self) -> Result<Json, String> {
+        match self {
+            ServiceJob::Experiment(spec) => {
+                let result = run_one(spec).map_err(|e| e.to_string())?;
+                Ok((experiment_codec().encode)(&result))
+            }
+            ServiceJob::Crash(spec) => {
+                let outcome = explore(spec).map_err(|e| e.to_string())?;
+                Ok((proteus_crash::outcome_codec().encode)(&outcome))
+            }
+        }
+    }
+
+    /// Decodes a ledger payload for this job's family, used to check
+    /// that a remote result is readable before accepting it.
+    pub fn payload_is_decodable(&self, payload: &Json) -> bool {
+        match self {
+            ServiceJob::Experiment(_) => (experiment_codec().decode)(payload).is_some(),
+            ServiceJob::Crash(_) => (proteus_crash::outcome_codec().decode)(payload).is_some(),
+        }
+    }
+}
+
+/// A terminal job result as carried on the wire and stored in the
+/// coordinator's ledger — the same fields as a harness
+/// `LedgerRecord`, because it becomes one.
+#[derive(Debug, Clone)]
+pub struct WireResult {
+    /// Job identity.
+    pub spec_hash: u64,
+    /// Job display name.
+    pub name: String,
+    /// Terminal outcome.
+    pub outcome: JobOutcome,
+    /// Encoded payload (`Json::Null` unless completed).
+    pub payload: Json,
+    /// Attempts the executing worker consumed.
+    pub attempts: u32,
+    /// Wall seconds the executing worker spent.
+    pub wall_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_crash::FaultSpec;
+    use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+    use proteus_workloads::{Benchmark, WorkloadParams};
+
+    fn tiny_experiment(seed: u64) -> ServiceJob {
+        ServiceJob::Experiment(ExperimentSpec {
+            config: SystemConfig::skylake_like().with_num_cores(1),
+            scheme: LoggingSchemeKind::Proteus,
+            bench: Benchmark::Queue,
+            params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
+        })
+    }
+
+    fn tiny_crash() -> ServiceJob {
+        ServiceJob::Crash(ExploreSpec {
+            bench: Benchmark::Queue,
+            params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed: 3 },
+            scheme: LoggingSchemeKind::Proteus,
+            fault: FaultSpec::Clean,
+            broken_ordering: false,
+            max_points: 4,
+        })
+    }
+
+    #[test]
+    fn envelopes_round_trip_and_keep_identity() {
+        for job in [tiny_experiment(1), tiny_crash()] {
+            let line = job.to_json().to_line();
+            let parsed = proteus_harness::json::parse(&line).unwrap();
+            let back = ServiceJob::from_json(&parsed).unwrap();
+            assert_eq!(back, job);
+            assert_eq!(back.spec_hash(), job.spec_hash());
+            assert_eq!(back.name(), job.name());
+        }
+        assert_eq!(ServiceJob::from_json(&Json::obj([("kind", Json::str("nope"))])), None);
+    }
+
+    #[test]
+    fn execute_produces_decodable_ledger_payloads() {
+        for job in [tiny_experiment(2), tiny_crash()] {
+            let payload = job.execute().unwrap();
+            assert!(job.payload_is_decodable(&payload), "{}", job.name());
+            assert!(!job.payload_is_decodable(&Json::str("garbage")));
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_calls() {
+        let job = tiny_experiment(7);
+        let a = job.execute().unwrap().to_line();
+        let b = job.execute().unwrap().to_line();
+        assert_eq!(a, b, "same spec, same bytes — the distributed determinism base case");
+    }
+}

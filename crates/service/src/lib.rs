@@ -1,0 +1,40 @@
+//! proteus-service: distributed sweep coordination for the Proteus
+//! workspace.
+//!
+//! Three layers, std-only (no async runtime, no HTTP library):
+//!
+//! * **Coordinator** ([`coordinator`]): owns a spec-hash-keyed job
+//!   queue backed by the same resumable JSONL ledger local sweeps use.
+//!   Talks to workers over a tiny length-prefixed JSON frame protocol
+//!   ([`frame`], [`proto`]) with heartbeats, per-job lease timeouts,
+//!   crash detection with reassignment, bounded work-stealing, and
+//!   first-result-wins dedup so a reassigned job can never be counted
+//!   twice.
+//! * **HTTP front-end** ([`http`]): submit sweeps, poll status, stream
+//!   results and traces as JSONL, scrape `/metrics` backed by the
+//!   [`registry::MetricsRegistry`].
+//! * **Load generator** ([`loadgen`]): boots the whole stack
+//!   in-process and hammers it with concurrent duplicate-heavy
+//!   submissions, asserting zero lost and zero duplicated jobs and —
+//!   the property the rest of the workspace is built around —
+//!   byte-identical results to a single-process `Harness` run.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod frame;
+pub mod http;
+pub mod job;
+pub mod loadgen;
+pub mod proto;
+pub mod registry;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, SubmitStatus};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use http::{http_request, HttpServer};
+pub use job::{ServiceJob, WireResult};
+pub use loadgen::{build_basket, run_loadgen, LoadgenOptions};
+pub use proto::{ToCoordinator, ToWorker};
+pub use registry::MetricsRegistry;
+pub use worker::{run_worker, WorkerOptions, WorkerReport};

@@ -1,0 +1,375 @@
+//! The load generator: hammer the service, prove nothing is lost.
+//!
+//! Boots a full service in-process (coordinator + worker threads +
+//! HTTP front-end on loopback), then fires thousands of concurrent
+//! HTTP submissions at it — a small basket of distinct jobs submitted
+//! over and over, so the run deliberately exercises the spec-hash
+//! dedup path far more often than the happy path. At the end it
+//! asserts the two invariants the service exists to provide:
+//!
+//! * **zero lost jobs** — every distinct job reached a completed
+//!   terminal record;
+//! * **zero duplicated jobs** — exactly one terminal record per
+//!   distinct spec hash, no matter how many times it was submitted.
+//!
+//! With `verify` set, the same basket is also run through the local
+//! `Harness` scheduler and the two canonical ledger exports are
+//! compared byte-for-byte — the distributed-determinism acceptance
+//! check, exercised under load.
+
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::http::{http_request, HttpServer};
+use crate::job::ServiceJob;
+use crate::worker::{run_worker, WorkerOptions};
+use proteus_crash::{ExploreSpec, FaultSpec};
+use proteus_harness::{Harness, JobSpec, Json, LedgerSnapshot, PayloadCodec, SweepOptions};
+use proteus_sim::runner::ExperimentSpec;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::stats::Log2Histogram;
+use proteus_workloads::{Benchmark, WorkloadParams};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Total HTTP submissions to fire (each one a `POST /api/sweeps`).
+    pub submissions: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Distinct jobs in the basket; submissions cycle through it, so
+    /// `submissions - basket` submissions are deliberate duplicates.
+    pub basket: usize,
+    /// Also run the basket through the local `Harness` and require the
+    /// canonical ledger exports to match byte-for-byte.
+    pub verify: bool,
+    /// Where to write the benchmark JSON (`None` = don't write).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            submissions: 1000,
+            clients: 8,
+            workers: 4,
+            basket: 24,
+            verify: false,
+            out: None,
+        }
+    }
+}
+
+/// Builds `n` distinct tiny jobs: three experiment variants for every
+/// crash-exploration job, seeds varied so every spec hash is unique.
+pub fn build_basket(n: usize) -> Vec<ServiceJob> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let seed = 1000 + i as u64;
+        if i % 4 == 3 {
+            out.push(ServiceJob::Crash(ExploreSpec {
+                bench: Benchmark::Queue,
+                params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
+                scheme: LoggingSchemeKind::Proteus,
+                fault: FaultSpec::Clean,
+                broken_ordering: false,
+                max_points: 4,
+            }));
+        } else {
+            let schemes = LoggingSchemeKind::ALL;
+            out.push(ServiceJob::Experiment(ExperimentSpec {
+                config: SystemConfig::skylake_like().with_num_cores(1),
+                scheme: schemes[i % schemes.len()],
+                bench: Benchmark::Queue,
+                params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
+            }));
+        }
+    }
+    out
+}
+
+/// Runs the load test and returns the benchmark JSON.
+///
+/// # Errors
+///
+/// Returns a rendered error when the service fails to boot, the sweep
+/// fails to drain, a job is lost or duplicated, the `/metrics` scrape
+/// fails, or the verify pass diverges — all of which the CLI maps to a
+/// nonzero exit status.
+pub fn run_loadgen(opts: &LoadgenOptions) -> Result<Json, String> {
+    if opts.submissions == 0 || opts.clients == 0 || opts.workers == 0 || opts.basket == 0 {
+        return Err("submissions, clients, workers, and basket must be nonzero".to_string());
+    }
+    let basket = build_basket(opts.basket);
+
+    let coord = Arc::new(Coordinator::start(
+        "127.0.0.1:0",
+        CoordinatorConfig { lease_ms: 10_000, ..CoordinatorConfig::default() },
+    )?);
+    let http = HttpServer::start("127.0.0.1:0", Arc::clone(&coord))?;
+    let coord_addr = coord.local_addr().to_string();
+    let http_addr = http.local_addr().to_string();
+
+    let worker_handles: Vec<_> = (0..opts.workers)
+        .map(|i| {
+            let addr = coord_addr.clone();
+            let wopts = WorkerOptions { name: format!("loadgen-{i}"), max_retries: 1 };
+            std::thread::spawn(move || run_worker(&addr, &wopts))
+        })
+        .collect();
+
+    // Pre-encode one request body per basket entry; clients cycle
+    // through them by a shared atomic counter.
+    let bodies: Vec<String> = basket
+        .iter()
+        .map(|job| Json::obj([("jobs", Json::Arr(vec![job.to_json()]))]).to_line())
+        .collect();
+    let bodies = Arc::new(bodies);
+    let next = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let latency = Arc::new(Mutex::new(Log2Histogram::default()));
+
+    let started = Instant::now();
+    let clients: Vec<_> = (0..opts.clients)
+        .map(|_| {
+            let bodies = Arc::clone(&bodies);
+            let next = Arc::clone(&next);
+            let errors = Arc::clone(&errors);
+            let latency = Arc::clone(&latency);
+            let addr = http_addr.clone();
+            let total = opts.submissions;
+            std::thread::spawn(move || {
+                let mut local = Log2Histogram::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= total {
+                        break;
+                    }
+                    let body = &bodies[i % bodies.len()];
+                    let t0 = Instant::now();
+                    match http_request(&addr, "POST", "/api/sweeps", Some(body)) {
+                        Ok((200, _)) => {}
+                        _ => {
+                            errors.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    local.record(t0.elapsed().as_micros() as u64);
+                }
+                latency.lock().expect("latency lock").merge(&local);
+            })
+        })
+        .collect();
+    for c in clients {
+        let _ = c.join();
+    }
+    let submit_wall = started.elapsed().as_secs_f64();
+
+    if !coord.wait_idle(Duration::from_secs(300)) {
+        return Err(format!("sweep did not drain: {} jobs still pending", coord.pending()));
+    }
+    let total_wall = started.elapsed().as_secs_f64();
+
+    // Invariant: zero lost jobs — every basket entry has a completed
+    // terminal record.
+    for job in &basket {
+        let hash = job.spec_hash();
+        match coord.result(hash) {
+            Some(rec) if rec.outcome.is_completed() => {}
+            Some(rec) => {
+                return Err(format!(
+                    "job {:016x} ({}) ended {} instead of completing",
+                    hash,
+                    job.name(),
+                    rec.outcome.label()
+                ));
+            }
+            None => return Err(format!("job {:016x} ({}) was lost", hash, job.name())),
+        }
+    }
+    // Invariant: zero duplicated jobs — exactly one completion per
+    // distinct spec hash regardless of resubmissions.
+    let metrics = coord.metrics();
+    let completed = metrics.counter("service_jobs_completed_total");
+    if completed != basket.len() as u64 {
+        return Err(format!(
+            "expected exactly {} completions, counted {completed} — duplicate or phantom work",
+            basket.len()
+        ));
+    }
+
+    // The front-end must expose the registry under load.
+    let (status, metrics_page) = http_request(&http_addr, "GET", "/metrics", None)?;
+    if status != 200 || !metrics_page.contains("service_jobs_completed_total") {
+        return Err(format!("/metrics scrape failed: status {status}"));
+    }
+
+    let http_errors = errors.load(Ordering::SeqCst);
+    if http_errors > 0 {
+        return Err(format!("{http_errors} HTTP submissions failed"));
+    }
+
+    let verify_export =
+        if opts.verify { Some(verify_against_local_harness(&basket, &coord)?) } else { None };
+
+    coord.shutdown();
+    for h in worker_handles {
+        let _ = h.join();
+    }
+    http.shutdown();
+
+    let hist = latency.lock().expect("latency lock").clone();
+    let q = |p: f64| Json::U64(hist.quantile_bound(p).unwrap_or(0));
+    let mut pairs = vec![
+        ("submissions", Json::U64(opts.submissions as u64)),
+        ("clients", Json::U64(opts.clients as u64)),
+        ("workers", Json::U64(opts.workers as u64)),
+        ("basket", Json::U64(opts.basket as u64)),
+        (
+            "duplicate_submissions",
+            Json::U64((opts.submissions - opts.basket.min(opts.submissions)) as u64),
+        ),
+        ("http_errors", Json::U64(http_errors as u64)),
+        ("submit_wall_seconds", Json::F64(submit_wall)),
+        ("total_wall_seconds", Json::F64(total_wall)),
+        ("submissions_per_second", Json::F64(opts.submissions as f64 / submit_wall.max(1e-9))),
+        (
+            "submit_latency_us",
+            Json::obj([
+                ("p50", q(0.50)),
+                ("p90", q(0.90)),
+                ("p99", q(0.99)),
+                ("max", Json::U64(hist.max())),
+                ("mean", Json::F64(hist.mean().unwrap_or(0.0))),
+                ("count", Json::U64(hist.count())),
+            ]),
+        ),
+        (
+            "counters",
+            Json::obj([
+                ("submissions_total", Json::U64(metrics.counter("service_submissions_total"))),
+                (
+                    "submissions_deduped_total",
+                    Json::U64(metrics.counter("service_submissions_deduped_total")),
+                ),
+                (
+                    "jobs_completed_total",
+                    Json::U64(metrics.counter("service_jobs_completed_total")),
+                ),
+                ("jobs_failed_total", Json::U64(metrics.counter("service_jobs_failed_total"))),
+                ("jobs_crashed_total", Json::U64(metrics.counter("service_jobs_crashed_total"))),
+                (
+                    "jobs_reassigned_total",
+                    Json::U64(metrics.counter("service_jobs_reassigned_total")),
+                ),
+                ("jobs_stolen_total", Json::U64(metrics.counter("service_jobs_stolen_total"))),
+                (
+                    "duplicate_results_total",
+                    Json::U64(metrics.counter("service_duplicate_results_total")),
+                ),
+            ]),
+        ),
+    ];
+    if let Some(matched) = verify_export {
+        pairs.push(("verified_against_local_harness", Json::Bool(matched)));
+    }
+    if let Some(kib) = peak_rss_kib() {
+        pairs.push(("peak_rss_kib", Json::U64(kib)));
+    }
+    let bench = Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect());
+
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{}\n", bench.to_line()))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(bench)
+}
+
+/// Runs the basket through the local `Harness` scheduler on a private
+/// ledger and byte-compares the canonical exports. `Ok(true)` on a
+/// match; an error (never `Ok(false)`) on divergence so callers can't
+/// ignore it.
+fn verify_against_local_harness(
+    basket: &[ServiceJob],
+    coord: &Coordinator,
+) -> Result<bool, String> {
+    let dir = std::env::temp_dir().join(format!("proteus-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let ledger = dir.join("verify-ledger.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+
+    let jobs: Vec<JobSpec> = basket.iter().map(|j| JobSpec::new(j.name(), j.spec_hash())).collect();
+    let harness = Harness::<Json>::new()
+        .with_codec(PayloadCodec { encode: Json::clone, decode: |v| Some(v.clone()) });
+    let opts = SweepOptions { workers: 2, ledger: Some(ledger.clone()), ..SweepOptions::default() };
+    harness
+        .run(&jobs, &opts, |i| basket[i].execute())
+        .map_err(|e| format!("local verify sweep: {e}"))?;
+
+    let local = LedgerSnapshot::load(&ledger).map_err(|e| e.to_string())?.canonical_export();
+    let distributed = coord.canonical_export();
+    let _ = std::fs::remove_file(&ledger);
+    let _ = std::fs::remove_dir(&dir);
+    if local.is_empty() {
+        return Err("local verify sweep produced an empty export".to_string());
+    }
+    if local != distributed {
+        return Err(format!(
+            "distributed export diverges from local harness export ({} vs {} bytes)",
+            distributed.len(),
+            local.len()
+        ));
+    }
+    Ok(true)
+}
+
+/// Peak resident set size from `/proc/self/status` (Linux only).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basket_jobs_are_distinct_and_mixed() {
+        let basket = build_basket(12);
+        let mut hashes: Vec<u64> = basket.iter().map(ServiceJob::spec_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 12, "spec hashes must be unique");
+        assert!(basket.iter().any(|j| matches!(j, ServiceJob::Experiment(_))));
+        assert!(basket.iter().any(|j| matches!(j, ServiceJob::Crash(_))));
+    }
+
+    #[test]
+    fn tiny_loadgen_end_to_end() {
+        // Small but real: full boot, concurrent HTTP submissions with
+        // duplicates, drain, dedup/loss assertions, verify pass.
+        let opts = LoadgenOptions {
+            submissions: 40,
+            clients: 4,
+            workers: 2,
+            basket: 6,
+            verify: true,
+            out: None,
+        };
+        let bench = run_loadgen(&opts).expect("loadgen must pass");
+        assert_eq!(
+            bench.get("counters").unwrap().get("jobs_completed_total").unwrap().as_u64(),
+            Some(6)
+        );
+        assert_eq!(bench.get("verified_against_local_harness").unwrap().as_bool(), Some(true));
+        assert_eq!(bench.get("http_errors").unwrap().as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,224 @@
+//! Coordinator/worker message vocabulary.
+//!
+//! Strict request/reply discipline keeps the framing trivial: only
+//! [`ToCoordinator::Hello`] and [`ToCoordinator::Request`] are ever
+//! answered, and the coordinator never sends an unsolicited frame. The
+//! per-connection handler thread is therefore the sole writer on its
+//! stream, and a worker always knows exactly one reply frame follows
+//! each request — no multiplexing, no sequence numbers.
+//!
+//! `Heartbeat` and `Done` are fire-and-forget by design: a heartbeat's
+//! only job is to refresh leases, and a `Done` for a job the
+//! coordinator already recorded (the reassignment race) is simply
+//! ignored, so neither needs an acknowledgement.
+
+use crate::job::WireResult;
+use proteus_harness::Json;
+use proteus_types::JobOutcome;
+
+fn hash_str(h: u64) -> Json {
+    Json::str(format!("{h:016x}"))
+}
+
+fn hash_from(v: &Json, key: &str) -> Option<u64> {
+    u64::from_str_radix(v.get(key)?.as_str()?, 16).ok()
+}
+
+/// Frames a worker sends.
+#[derive(Debug, Clone)]
+pub enum ToCoordinator {
+    /// Introduce this worker; answered by [`ToWorker::Welcome`].
+    Hello {
+        /// Free-form worker name for logs and status pages.
+        name: String,
+    },
+    /// Ask for work; answered by `Assign`, `Idle`, or `Shutdown`.
+    Request {
+        /// Identity from the `Welcome`.
+        worker_id: u64,
+    },
+    /// Keep leases on this worker's assigned jobs alive. No reply.
+    Heartbeat {
+        /// Identity from the `Welcome`.
+        worker_id: u64,
+    },
+    /// Report a terminal job result. No reply.
+    Done {
+        /// Identity from the `Welcome`.
+        worker_id: u64,
+        /// The result being reported.
+        result: WireResult,
+    },
+}
+
+impl ToCoordinator {
+    /// Wire encoding.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ToCoordinator::Hello { name } => {
+                Json::obj([("type", Json::str("hello")), ("name", Json::str(name.clone()))])
+            }
+            ToCoordinator::Request { worker_id } => {
+                Json::obj([("type", Json::str("request")), ("worker_id", Json::U64(*worker_id))])
+            }
+            ToCoordinator::Heartbeat { worker_id } => {
+                Json::obj([("type", Json::str("heartbeat")), ("worker_id", Json::U64(*worker_id))])
+            }
+            ToCoordinator::Done { worker_id, result } => {
+                let mut pairs = vec![
+                    ("type", Json::str("done")),
+                    ("worker_id", Json::U64(*worker_id)),
+                    ("spec_hash", hash_str(result.spec_hash)),
+                    ("name", Json::str(result.name.clone())),
+                    ("outcome", Json::str(result.outcome.label())),
+                ];
+                if let Some(msg) = result.outcome.message() {
+                    pairs.push(("message", Json::str(msg)));
+                }
+                pairs.push(("attempts", Json::U64(u64::from(result.attempts))));
+                pairs.push(("wall_seconds", Json::F64(result.wall_seconds)));
+                pairs.push(("payload", result.payload.clone()));
+                Json::obj(pairs)
+            }
+        }
+    }
+
+    /// Wire decoding; `None` on unknown or malformed messages.
+    pub fn from_json(v: &Json) -> Option<ToCoordinator> {
+        match v.get("type")?.as_str()? {
+            "hello" => Some(ToCoordinator::Hello { name: v.get("name")?.as_str()?.to_string() }),
+            "request" => Some(ToCoordinator::Request { worker_id: v.get("worker_id")?.as_u64()? }),
+            "heartbeat" => {
+                Some(ToCoordinator::Heartbeat { worker_id: v.get("worker_id")?.as_u64()? })
+            }
+            "done" => Some(ToCoordinator::Done {
+                worker_id: v.get("worker_id")?.as_u64()?,
+                result: WireResult {
+                    spec_hash: hash_from(v, "spec_hash")?,
+                    name: v.get("name")?.as_str()?.to_string(),
+                    outcome: JobOutcome::from_parts(
+                        v.get("outcome")?.as_str()?,
+                        v.get("message").and_then(Json::as_str),
+                    )?,
+                    attempts: u32::try_from(v.get("attempts")?.as_u64()?).ok()?,
+                    wall_seconds: v.get("wall_seconds")?.as_f64()?,
+                    payload: v.get("payload").cloned().unwrap_or(Json::Null),
+                },
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Frames the coordinator sends (always as a reply).
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// Reply to `Hello`: identity plus the timing contract.
+    Welcome {
+        /// Identity the worker must present from now on.
+        worker_id: u64,
+        /// Lease duration: a job unheard-of for this long is requeued.
+        lease_ms: u64,
+        /// How often the worker must heartbeat (well under the lease).
+        heartbeat_ms: u64,
+    },
+    /// Reply to `Request`: here is a job (encoded [`crate::ServiceJob`]).
+    Assign {
+        /// The encoded job envelope.
+        job: Json,
+    },
+    /// Reply to `Request`: nothing queued; ask again after `wait_ms`.
+    Idle {
+        /// Suggested client-side wait before the next request.
+        wait_ms: u64,
+    },
+    /// Reply to `Request`: the service is draining; disconnect.
+    Shutdown,
+}
+
+impl ToWorker {
+    /// Wire encoding.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ToWorker::Welcome { worker_id, lease_ms, heartbeat_ms } => Json::obj([
+                ("type", Json::str("welcome")),
+                ("worker_id", Json::U64(*worker_id)),
+                ("lease_ms", Json::U64(*lease_ms)),
+                ("heartbeat_ms", Json::U64(*heartbeat_ms)),
+            ]),
+            ToWorker::Assign { job } => {
+                Json::obj([("type", Json::str("assign")), ("job", job.clone())])
+            }
+            ToWorker::Idle { wait_ms } => {
+                Json::obj([("type", Json::str("idle")), ("wait_ms", Json::U64(*wait_ms))])
+            }
+            ToWorker::Shutdown => Json::obj([("type", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Wire decoding; `None` on unknown or malformed messages.
+    pub fn from_json(v: &Json) -> Option<ToWorker> {
+        match v.get("type")?.as_str()? {
+            "welcome" => Some(ToWorker::Welcome {
+                worker_id: v.get("worker_id")?.as_u64()?,
+                lease_ms: v.get("lease_ms")?.as_u64()?,
+                heartbeat_ms: v.get("heartbeat_ms")?.as_u64()?,
+            }),
+            "assign" => Some(ToWorker::Assign { job: v.get("job")?.clone() }),
+            "idle" => Some(ToWorker::Idle { wait_ms: v.get("wait_ms")?.as_u64()? }),
+            "shutdown" => Some(ToWorker::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_messages_round_trip() {
+        let msgs = [
+            ToCoordinator::Hello { name: "w0".into() },
+            ToCoordinator::Request { worker_id: 7 },
+            ToCoordinator::Heartbeat { worker_id: 7 },
+            ToCoordinator::Done {
+                worker_id: 7,
+                result: WireResult {
+                    spec_hash: 0xABCD,
+                    name: "QE/Proteus".into(),
+                    outcome: JobOutcome::Crashed { panic: "boom".into() },
+                    payload: Json::Null,
+                    attempts: 2,
+                    wall_seconds: 0.5,
+                },
+            },
+        ];
+        for m in msgs {
+            let back = ToCoordinator::from_json(&m.to_json()).unwrap();
+            assert_eq!(back.to_json().to_line(), m.to_json().to_line());
+        }
+    }
+
+    #[test]
+    fn coordinator_messages_round_trip() {
+        let msgs = [
+            ToWorker::Welcome { worker_id: 3, lease_ms: 30_000, heartbeat_ms: 10_000 },
+            ToWorker::Assign { job: Json::obj([("kind", Json::str("experiment"))]) },
+            ToWorker::Idle { wait_ms: 200 },
+            ToWorker::Shutdown,
+        ];
+        for m in msgs {
+            let back = ToWorker::from_json(&m.to_json()).unwrap();
+            assert_eq!(back.to_json().to_line(), m.to_json().to_line());
+        }
+    }
+
+    #[test]
+    fn unknown_messages_decode_to_none() {
+        let v = Json::obj([("type", Json::str("gossip"))]);
+        assert!(ToCoordinator::from_json(&v).is_none());
+        assert!(ToWorker::from_json(&v).is_none());
+        assert!(ToCoordinator::from_json(&Json::Null).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Counter/gauge/histogram registry behind the `/metrics` endpoint.
+//!
+//! A single process-wide registry shared by the coordinator, the HTTP
+//! front-end, and the load generator. Histograms reuse
+//! [`Log2Histogram`] — the same power-of-two bucketing the harness
+//! already reports for job wall times — rendered in the conventional
+//! cumulative `_bucket{le="..."}` text form so any scraper that speaks
+//! the exposition format can read queue-wait, job-latency, and
+//! frame-size distributions.
+//!
+//! Names are kept in `BTreeMap`s so the rendered page is stable and
+//! diffable; all methods take `&self` (one mutex inside) so the
+//! registry can be shared as a plain `Arc` across every thread of the
+//! service.
+
+use proteus_types::stats::Log2Histogram;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Log2Histogram>,
+}
+
+/// Shared metrics registry.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let c = inner.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().expect("metrics lock").counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.inner.lock().expect("metrics lock").gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds `delta` (possibly negative) to gauge `name`.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let g = inner.gauges.entry(name.to_string()).or_insert(0);
+        *g = g.saturating_add(delta);
+    }
+
+    /// Current value of gauge `name` (0 if never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.inner.lock().expect("metrics lock").gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`, creating it if needed.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// A copy of histogram `name`, if it has ever been observed.
+    pub fn histogram(&self, name: &str) -> Option<Log2Histogram> {
+        self.inner.lock().expect("metrics lock").histograms.get(name).cloned()
+    }
+
+    /// Renders the whole registry in the text exposition format:
+    /// `# TYPE` headers, plain counter/gauge samples, and cumulative
+    /// `_bucket{le="..."}`/`_sum`/`_count` series per histogram.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &inner.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, hist) in &inner.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in hist.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                if i == Log2Histogram::BUCKETS - 1 {
+                    // Open-ended top bucket folds into +Inf below.
+                    continue;
+                }
+                let le = Log2Histogram::bucket_floor(i + 1) - 1;
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+            out.push_str(&format!("{name}_sum {}\n", hist.sum()));
+            out.push_str(&format!("{name}_count {}\n", hist.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("requests_total", 1);
+        reg.counter_add("requests_total", 2);
+        reg.gauge_set("queue_depth", 5);
+        reg.gauge_add("queue_depth", -2);
+        assert_eq!(reg.counter("requests_total"), 3);
+        assert_eq!(reg.gauge("queue_depth"), 3);
+        assert_eq!(reg.counter("never_touched"), 0);
+        assert_eq!(reg.gauge("never_touched"), 0);
+    }
+
+    #[test]
+    fn render_emits_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("jobs_total", 7);
+        reg.gauge_set("workers", 2);
+        for v in [0, 3, 3, 100] {
+            reg.observe("wait_ms", v);
+        }
+        let text = reg.render();
+        assert!(text.contains("# TYPE jobs_total counter\njobs_total 7\n"), "{text}");
+        assert!(text.contains("# TYPE workers gauge\nworkers 2\n"), "{text}");
+        // 0 lands in [0], the 3s in [2-3], 100 in [64-127]; buckets are
+        // cumulative.
+        assert!(text.contains("wait_ms_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("wait_ms_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("wait_ms_bucket{le=\"127\"} 4\n"), "{text}");
+        assert!(text.contains("wait_ms_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("wait_ms_sum 106\n"), "{text}");
+        assert!(text.contains("wait_ms_count 4\n"), "{text}");
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("zeta", 1);
+        reg.counter_add("alpha", 1);
+        let text = reg.render();
+        let a = text.find("alpha").unwrap();
+        let z = text.find("zeta").unwrap();
+        assert!(a < z, "BTreeMap ordering: {text}");
+        assert_eq!(text, reg.render());
+    }
+}

@@ -1,0 +1,197 @@
+//! The worker: connect, heartbeat, execute, report.
+//!
+//! A worker is deliberately stateless: it holds no queue and no ledger.
+//! Everything durable lives on the coordinator, so killing a worker at
+//! any instant loses at most the in-flight attempt — the coordinator's
+//! connection-drop and lease-expiry paths requeue the job, and the
+//! spec-hash-keyed result table guarantees the rerun cannot
+//! double-count.
+//!
+//! Retry semantics mirror the local `Harness` scheduler exactly: a
+//! clean executor `Err` is deterministic and never retried, while a
+//! panic is retried up to [`WorkerOptions::max_retries`] times before
+//! being reported as crashed (rendered with the same
+//! [`panic_message`] the scheduler uses).
+
+use crate::frame::{read_frame, write_frame};
+use crate::job::{ServiceJob, WireResult};
+use crate::proto::{ToCoordinator, ToWorker};
+use proteus_harness::{panic_message, Json};
+use proteus_types::JobOutcome;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Worker knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Name presented in `Hello` (shows up in coordinator status).
+    pub name: String,
+    /// Extra attempts after a panic, matching `SweepOptions::max_retries`.
+    pub max_retries: u32,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions { name: "worker".to_string(), max_retries: 1 }
+    }
+}
+
+/// What one worker did before the coordinator shut it down.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Jobs executed to completion.
+    pub completed: usize,
+    /// Jobs that ended in a clean error.
+    pub failed: usize,
+    /// Jobs that exhausted panic retries.
+    pub crashed: usize,
+}
+
+impl WorkerReport {
+    /// Jobs this worker reported in total.
+    pub fn total(&self) -> usize {
+        self.completed + self.failed + self.crashed
+    }
+}
+
+/// Runs one worker against `addr` until the coordinator says
+/// `Shutdown` or the connection fails.
+///
+/// # Errors
+///
+/// Returns a rendered error when the connection cannot be established,
+/// the handshake fails, or the stream dies mid-protocol.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    // The handler thread on the coordinator is the sole writer of its
+    // side; on ours, the main loop and the heartbeat thread share the
+    // write half through one mutex, and only the main loop reads.
+    let writer =
+        Arc::new(Mutex::new(stream.try_clone().map_err(|e| format!("clone stream: {e}"))?));
+    let mut reader = stream;
+
+    send(&writer, &ToCoordinator::Hello { name: opts.name.clone() })?;
+    let welcome = read_reply(&mut reader)?;
+    let ToWorker::Welcome { worker_id, heartbeat_ms, .. } = welcome else {
+        return Err("expected welcome".to_string());
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb_writer = Arc::clone(&writer);
+    let hb_stop = Arc::clone(&stop);
+    let heartbeat = std::thread::spawn(move || {
+        let period = Duration::from_millis(heartbeat_ms.max(1));
+        let msg = ToCoordinator::Heartbeat { worker_id }.to_json();
+        loop {
+            // Sleep in small slices so shutdown is prompt even with
+            // long heartbeat intervals.
+            let deadline = Instant::now() + period;
+            while Instant::now() < deadline {
+                if hb_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if hb_stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut w = hb_writer.lock().expect("worker writer lock");
+            if write_frame(&mut *w, &msg).is_err() {
+                return;
+            }
+        }
+    });
+
+    let result = work_loop(&writer, &mut reader, worker_id, opts);
+    stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    result
+}
+
+fn work_loop(
+    writer: &Arc<Mutex<TcpStream>>,
+    reader: &mut TcpStream,
+    worker_id: u64,
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, String> {
+    let mut report = WorkerReport::default();
+    loop {
+        send(writer, &ToCoordinator::Request { worker_id })?;
+        match read_reply(reader)? {
+            ToWorker::Assign { job } => {
+                let result = execute_assignment(&job, opts);
+                match &result.outcome {
+                    JobOutcome::Completed => report.completed += 1,
+                    JobOutcome::Failed { .. } => report.failed += 1,
+                    JobOutcome::Crashed { .. } => report.crashed += 1,
+                }
+                send(writer, &ToCoordinator::Done { worker_id, result })?;
+            }
+            ToWorker::Idle { wait_ms } => {
+                std::thread::sleep(Duration::from_millis(wait_ms.clamp(1, 1000)));
+            }
+            ToWorker::Shutdown => return Ok(report),
+            ToWorker::Welcome { .. } => return Err("unexpected welcome".to_string()),
+        }
+    }
+}
+
+/// Decodes and runs one assignment with scheduler-identical retry
+/// semantics, always producing a reportable result (an undecodable
+/// envelope is itself a clean failure).
+fn execute_assignment(envelope: &Json, opts: &WorkerOptions) -> WireResult {
+    let started = Instant::now();
+    let Some(job) = ServiceJob::from_json(envelope) else {
+        return WireResult {
+            spec_hash: 0,
+            name: "malformed".to_string(),
+            outcome: JobOutcome::Failed { error: "undecodable job envelope".to_string() },
+            payload: Json::Null,
+            attempts: 1,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        };
+    };
+    let max_attempts = opts.max_retries.saturating_add(1);
+    let mut attempts = 0u32;
+    let (outcome, payload) = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| job.execute())) {
+            Ok(Ok(payload)) => break (JobOutcome::Completed, payload),
+            Ok(Err(error)) => {
+                // Clean errors are deterministic; retrying cannot help.
+                break (JobOutcome::Failed { error }, Json::Null);
+            }
+            Err(panic_payload) => {
+                let outcome = JobOutcome::Crashed { panic: panic_message(panic_payload.as_ref()) };
+                if attempts >= max_attempts {
+                    break (outcome, Json::Null);
+                }
+            }
+        }
+    };
+    WireResult {
+        spec_hash: job.spec_hash(),
+        name: job.name(),
+        outcome,
+        payload,
+        attempts,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, msg: &ToCoordinator) -> Result<(), String> {
+    let mut w = writer.lock().expect("worker writer lock");
+    write_frame(&mut *w, &msg.to_json()).map_err(|e| format!("send: {e}"))
+}
+
+fn read_reply(reader: &mut TcpStream) -> Result<ToWorker, String> {
+    match read_frame(reader) {
+        Ok(Some(v)) => ToWorker::from_json(&v).ok_or_else(|| "unintelligible reply".to_string()),
+        Ok(None) => Err("coordinator closed the connection".to_string()),
+        Err(e) => Err(format!("read: {e}")),
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the frame codec: arbitrary JSON documents
+//! must survive a write/read round trip byte-for-byte, and arbitrary
+//! byte mutilations of a valid frame stream must be rejected cleanly
+//! (an error or clean EOF — never a panic, never a wrong document).
+//!
+//! Only runs online: the offline stub of proptest is resolution-only,
+//! and `tools/offline-check.sh` skips this suite.
+
+use proptest::prelude::*;
+use proteus_harness::{json, Json};
+use proteus_service::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+
+/// A small recursive JSON strategy: scalars at the leaves, arrays and
+/// objects above, strings drawn from a charset that exercises escapes.
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<u64>().prop_map(Json::U64),
+        any::<i64>().prop_filter("negative lane", |v| *v < 0).prop_map(Json::I64),
+        "[ -~]{0,24}".prop_map(Json::str),
+        "[\\x00-\\x1f\"\\\\]{0,8}".prop_map(Json::str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            prop::collection::vec(("[a-z_]{1,8}", inner), 0..6)
+                .prop_map(|pairs| { Json::Obj(pairs.into_iter().collect()) }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip_byte_identically(doc in json_strategy()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        let mut cursor = &buf[..];
+        let back = read_frame(&mut cursor).unwrap().expect("one frame");
+        prop_assert_eq!(back.to_line(), doc.to_line());
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after the frame");
+    }
+
+    #[test]
+    fn multi_frame_streams_preserve_order(docs in prop::collection::vec(json_strategy(), 1..8)) {
+        let mut buf = Vec::new();
+        for d in &docs {
+            write_frame(&mut buf, d).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for d in &docs {
+            let back = read_frame(&mut cursor).unwrap().expect("frame present");
+            prop_assert_eq!(back.to_line(), d.to_line());
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_misread(doc in json_strategy(), cut_frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc).unwrap();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        // Anything short of the full frame is either a clean EOF (cut
+        // at 0) or a truncation error — never a parsed document.
+        if cut < buf.len() {
+            let mut cursor = &buf[..cut];
+            match read_frame(&mut cursor) {
+                Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+                Ok(Some(_)) => prop_assert!(false, "misread a truncated frame as complete"),
+                Err(FrameError::Truncated) => {}
+                Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_never_panic(prefix in prop::array::uniform4(any::<u8>()),
+                                           body in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = prefix.to_vec();
+        buf.extend_from_slice(&body);
+        let mut cursor = &buf[..];
+        // Whatever the bytes, the reader must return: a frame (if the
+        // prefix happens to describe valid JSON), an error, or EOF —
+        // and oversized claims must be refused before allocation.
+        let declared = u32::from_be_bytes(prefix) as usize;
+        match read_frame(&mut cursor) {
+            Ok(_) => {}
+            Err(FrameError::Oversized(n)) => {
+                prop_assert_eq!(n, declared);
+                prop_assert!(n > MAX_FRAME_BYTES);
+            }
+            Err(_) => {}
+        }
+    }
+}

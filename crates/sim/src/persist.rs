@@ -8,9 +8,14 @@
 //! [`result_from_json`] returns `Option` and the harness treats `None`
 //! as an unreadable record.
 
-use crate::runner::ExperimentResult;
+use crate::runner::{ExperimentResult, ExperimentSpec};
 use proteus_harness::Json;
+use proteus_types::config::{
+    CacheConfig, CacheLevelConfig, CoreConfig, LoggingSchemeKind, MemConfig, MemTech,
+    ProteusHwConfig, SystemConfig,
+};
 use proteus_types::stats::{CacheStats, CoreStats, MemStats, RunSummary, StallCause};
+use proteus_workloads::{Benchmark, WorkloadParams};
 
 fn u(v: &Json, key: &str) -> Option<u64> {
     v.get(key)?.as_u64()
@@ -156,6 +161,212 @@ pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
     })
 }
 
+/// Encodes a benchmark selector. `LargeTx` carries its element count;
+/// every other variant is identified by its stable abbreviation.
+pub fn bench_to_json(bench: Benchmark) -> Json {
+    match bench {
+        Benchmark::LargeTx { elements } => {
+            Json::obj([("kind", Json::str("LT")), ("elements", Json::U64(elements))])
+        }
+        other => Json::obj([("kind", Json::str(other.abbrev()))]),
+    }
+}
+
+/// Decodes a benchmark selector; `None` on unknown kinds.
+pub fn bench_from_json(v: &Json) -> Option<Benchmark> {
+    match v.get("kind")?.as_str()? {
+        "QE" => Some(Benchmark::Queue),
+        "HM" => Some(Benchmark::HashMap),
+        "SS" => Some(Benchmark::StringSwap),
+        "AT" => Some(Benchmark::AvlTree),
+        "BT" => Some(Benchmark::BTree),
+        "RT" => Some(Benchmark::RbTree),
+        "LT" => Some(Benchmark::LargeTx { elements: v.get("elements")?.as_u64()? }),
+        _ => None,
+    }
+}
+
+/// Encodes workload parameters.
+pub fn params_to_json(p: &WorkloadParams) -> Json {
+    Json::obj([
+        ("threads", Json::U64(p.threads as u64)),
+        ("init_ops", Json::U64(p.init_ops as u64)),
+        ("sim_ops", Json::U64(p.sim_ops as u64)),
+        ("seed", Json::U64(p.seed)),
+    ])
+}
+
+/// Decodes workload parameters; `None` on any missing or mistyped field.
+pub fn params_from_json(v: &Json) -> Option<WorkloadParams> {
+    Some(WorkloadParams {
+        threads: v.get("threads")?.as_usize()?,
+        init_ops: v.get("init_ops")?.as_usize()?,
+        sim_ops: v.get("sim_ops")?.as_usize()?,
+        seed: v.get("seed")?.as_u64()?,
+    })
+}
+
+/// Encodes a logging scheme as its stable report label.
+pub fn scheme_to_json(s: LoggingSchemeKind) -> Json {
+    Json::str(s.label())
+}
+
+/// Resolves a scheme from its report label; `None` on unknown labels.
+pub fn scheme_from_label(label: &str) -> Option<LoggingSchemeKind> {
+    LoggingSchemeKind::ALL.into_iter().find(|s| s.label() == label)
+}
+
+fn core_cfg_to_json(c: &CoreConfig) -> Json {
+    Json::obj([
+        ("freq_mhz", Json::U64(c.freq_mhz)),
+        ("width", Json::U64(c.width as u64)),
+        ("rob_entries", Json::U64(c.rob_entries as u64)),
+        ("fetchq_entries", Json::U64(c.fetchq_entries as u64)),
+        ("issueq_entries", Json::U64(c.issueq_entries as u64)),
+        ("loadq_entries", Json::U64(c.loadq_entries as u64)),
+        ("storeq_entries", Json::U64(c.storeq_entries as u64)),
+    ])
+}
+
+fn core_cfg_from_json(v: &Json) -> Option<CoreConfig> {
+    Some(CoreConfig {
+        freq_mhz: u(v, "freq_mhz")?,
+        width: v.get("width")?.as_usize()?,
+        rob_entries: v.get("rob_entries")?.as_usize()?,
+        fetchq_entries: v.get("fetchq_entries")?.as_usize()?,
+        issueq_entries: v.get("issueq_entries")?.as_usize()?,
+        loadq_entries: v.get("loadq_entries")?.as_usize()?,
+        storeq_entries: v.get("storeq_entries")?.as_usize()?,
+    })
+}
+
+fn cache_level_to_json(c: &CacheLevelConfig) -> Json {
+    Json::obj([
+        ("size_bytes", Json::U64(c.size_bytes)),
+        ("ways", Json::U64(c.ways as u64)),
+        ("latency", Json::U64(c.latency)),
+    ])
+}
+
+fn cache_level_from_json(v: &Json) -> Option<CacheLevelConfig> {
+    Some(CacheLevelConfig {
+        size_bytes: u(v, "size_bytes")?,
+        ways: v.get("ways")?.as_usize()?,
+        latency: u(v, "latency")?,
+    })
+}
+
+fn mem_cfg_to_json(m: &MemConfig) -> Json {
+    Json::obj([
+        ("tech", Json::str(m.tech.label())),
+        ("banks", Json::U64(m.banks as u64)),
+        ("row_buffer_bytes", Json::U64(m.row_buffer_bytes)),
+        ("read_queue_entries", Json::U64(m.read_queue_entries as u64)),
+        ("wpq_entries", Json::U64(m.wpq_entries as u64)),
+        ("lpq_entries", Json::U64(m.lpq_entries as u64)),
+        ("adr", Json::Bool(m.adr)),
+        ("wpq_high_watermark_pct", Json::U64(m.wpq_high_watermark_pct as u64)),
+        ("wpq_low_watermark_pct", Json::U64(m.wpq_low_watermark_pct as u64)),
+    ])
+}
+
+fn mem_cfg_from_json(v: &Json) -> Option<MemConfig> {
+    let tech = match v.get("tech")?.as_str()? {
+        "dram" => MemTech::Dram,
+        "nvm-fast" => MemTech::NvmFast,
+        "nvm-slow" => MemTech::NvmSlow,
+        _ => return None,
+    };
+    Some(MemConfig {
+        tech,
+        banks: v.get("banks")?.as_usize()?,
+        row_buffer_bytes: u(v, "row_buffer_bytes")?,
+        read_queue_entries: v.get("read_queue_entries")?.as_usize()?,
+        wpq_entries: v.get("wpq_entries")?.as_usize()?,
+        lpq_entries: v.get("lpq_entries")?.as_usize()?,
+        adr: v.get("adr")?.as_bool()?,
+        wpq_high_watermark_pct: u8::try_from(u(v, "wpq_high_watermark_pct")?).ok()?,
+        wpq_low_watermark_pct: u8::try_from(u(v, "wpq_low_watermark_pct")?).ok()?,
+    })
+}
+
+fn proteus_cfg_to_json(p: &ProteusHwConfig) -> Json {
+    Json::obj([
+        ("log_registers", Json::U64(p.log_registers as u64)),
+        ("logq_entries", Json::U64(p.logq_entries as u64)),
+        ("llt_entries", Json::U64(p.llt_entries as u64)),
+        ("llt_ways", Json::U64(p.llt_ways as u64)),
+        ("disable_persist_ordering", Json::Bool(p.disable_persist_ordering)),
+    ])
+}
+
+fn proteus_cfg_from_json(v: &Json) -> Option<ProteusHwConfig> {
+    Some(ProteusHwConfig {
+        log_registers: v.get("log_registers")?.as_usize()?,
+        logq_entries: v.get("logq_entries")?.as_usize()?,
+        llt_entries: v.get("llt_entries")?.as_usize()?,
+        llt_ways: v.get("llt_ways")?.as_usize()?,
+        disable_persist_ordering: v.get("disable_persist_ordering")?.as_bool()?,
+    })
+}
+
+/// Encodes a full system configuration (every field, no defaults
+/// assumed): a decoded config must behave identically on a worker built
+/// from a different checkout of the same version.
+pub fn config_to_json(c: &SystemConfig) -> Json {
+    Json::obj([
+        ("num_cores", Json::U64(c.num_cores as u64)),
+        ("cores", core_cfg_to_json(&c.cores)),
+        (
+            "caches",
+            Json::obj([
+                ("l1d", cache_level_to_json(&c.caches.l1d)),
+                ("l2", cache_level_to_json(&c.caches.l2)),
+                ("l3", cache_level_to_json(&c.caches.l3)),
+            ]),
+        ),
+        ("mem", mem_cfg_to_json(&c.mem)),
+        ("proteus", proteus_cfg_to_json(&c.proteus)),
+    ])
+}
+
+/// Decodes a system configuration; `None` on any missing field.
+pub fn config_from_json(v: &Json) -> Option<SystemConfig> {
+    let caches = v.get("caches")?;
+    Some(SystemConfig {
+        num_cores: v.get("num_cores")?.as_usize()?,
+        cores: core_cfg_from_json(v.get("cores")?)?,
+        caches: CacheConfig {
+            l1d: cache_level_from_json(caches.get("l1d")?)?,
+            l2: cache_level_from_json(caches.get("l2")?)?,
+            l3: cache_level_from_json(caches.get("l3")?)?,
+        },
+        mem: mem_cfg_from_json(v.get("mem")?)?,
+        proteus: proteus_cfg_from_json(v.get("proteus")?)?,
+    })
+}
+
+/// Encodes a complete experiment spec (the distributed-sweep wire form).
+/// Field order mirrors the spec's stable-hash field order.
+pub fn spec_to_json(s: &ExperimentSpec) -> Json {
+    Json::obj([
+        ("config", config_to_json(&s.config)),
+        ("scheme", scheme_to_json(s.scheme)),
+        ("bench", bench_to_json(s.bench)),
+        ("params", params_to_json(&s.params)),
+    ])
+}
+
+/// Decodes an experiment spec; `None` on malformed input.
+pub fn spec_from_json(v: &Json) -> Option<ExperimentSpec> {
+    Some(ExperimentSpec {
+        config: config_from_json(v.get("config")?)?,
+        scheme: scheme_from_label(v.get("scheme")?.as_str()?)?,
+        bench: bench_from_json(v.get("bench")?)?,
+        params: params_from_json(v.get("params")?)?,
+    })
+}
+
 /// Encodes an experiment result for the ledger.
 pub fn result_to_json(r: &ExperimentResult) -> Json {
     Json::obj([("name", Json::str(r.name.clone())), ("summary", summary_to_json(&r.summary))])
@@ -251,5 +462,104 @@ mod tests {
         v = v.replace("rob-full", "weird-new-cause");
         let parsed = proteus_harness::json::parse(&v).unwrap();
         assert!(result_from_json(&parsed).is_none());
+    }
+
+    #[test]
+    fn bench_params_scheme_round_trip_all_variants() {
+        for b in [
+            Benchmark::Queue,
+            Benchmark::HashMap,
+            Benchmark::StringSwap,
+            Benchmark::AvlTree,
+            Benchmark::BTree,
+            Benchmark::RbTree,
+            Benchmark::LargeTx { elements: 2048 },
+        ] {
+            assert_eq!(bench_from_json(&bench_to_json(b)), Some(b));
+        }
+        let p = WorkloadParams { threads: 3, init_ops: 1234, sim_ops: 567, seed: 0xDEAD_BEEF };
+        assert_eq!(params_from_json(&params_to_json(&p)), Some(p));
+        for s in LoggingSchemeKind::ALL {
+            assert_eq!(scheme_from_label(scheme_to_json(s).as_str().unwrap()), Some(s));
+        }
+        assert_eq!(scheme_from_label("NotAScheme"), None);
+        assert_eq!(bench_from_json(&Json::obj([("kind", Json::str("??"))])), None);
+    }
+
+    #[test]
+    fn spec_round_trips_exactly_and_preserves_hash() {
+        let spec = ExperimentSpec {
+            config: SystemConfig::skylake_like()
+                .with_num_cores(2)
+                .with_mem_tech(MemTech::NvmSlow)
+                .with_logq_entries(8)
+                .with_cache_divisor(4),
+            scheme: LoggingSchemeKind::Proteus,
+            bench: Benchmark::HashMap,
+            params: WorkloadParams { threads: 2, init_ops: 500, sim_ops: 100, seed: 7 },
+        };
+        let line = spec_to_json(&spec).to_line();
+        let parsed = proteus_harness::json::parse(&line).unwrap();
+        let back = spec_from_json(&parsed).unwrap();
+        assert_eq!(back, spec);
+        // The spec hash is the distributed dedup/resume identity: a
+        // wire round trip must never move it.
+        assert_eq!(back.spec_hash(), spec.spec_hash());
+        // Re-encoding is byte-identical (field order is pinned).
+        assert_eq!(spec_to_json(&back).to_line(), line);
+    }
+
+    #[test]
+    fn spec_encoding_is_byte_pinned() {
+        // The wire encoding doubles as an on-disk format; this pins the
+        // exact bytes so accidental field reorders or renames fail here
+        // rather than silently orphaning ledgers.
+        let spec = ExperimentSpec {
+            config: SystemConfig::skylake_like(),
+            scheme: LoggingSchemeKind::Atom,
+            bench: Benchmark::LargeTx { elements: 64 },
+            params: WorkloadParams { threads: 1, init_ops: 10, sim_ops: 5, seed: 42 },
+        };
+        let line = spec_to_json(&spec).to_line();
+        assert_eq!(
+            line,
+            concat!(
+                r#"{"config":{"num_cores":4,"cores":{"freq_mhz":3400,"width":5,"#,
+                r#""rob_entries":224,"fetchq_entries":48,"issueq_entries":64,"#,
+                r#""loadq_entries":72,"storeq_entries":56},"caches":{"#,
+                r#""l1d":{"size_bytes":32768,"ways":8,"latency":4},"#,
+                r#""l2":{"size_bytes":262144,"ways":8,"latency":12},"#,
+                r#""l3":{"size_bytes":8388608,"ways":16,"latency":42}},"#,
+                r#""mem":{"tech":"nvm-fast","banks":16,"row_buffer_bytes":2048,"#,
+                r#""read_queue_entries":64,"wpq_entries":64,"lpq_entries":256,"#,
+                r#""adr":true,"wpq_high_watermark_pct":75,"wpq_low_watermark_pct":25},"#,
+                r#""proteus":{"log_registers":8,"logq_entries":16,"llt_entries":64,"#,
+                r#""llt_ways":8,"disable_persist_ordering":false}},"#,
+                r#""scheme":"ATOM","bench":{"kind":"LT","elements":64},"#,
+                r#""params":{"threads":1,"init_ops":10,"sim_ops":5,"seed":42}}"#,
+            )
+        );
+    }
+
+    #[test]
+    fn malformed_specs_decode_to_none_not_panic() {
+        for text in [
+            r#"{}"#,
+            r#"{"config":{},"scheme":"ATOM","bench":{"kind":"QE"},"params":{}}"#,
+            r#"{"config":null,"scheme":"NotAScheme","bench":{"kind":"QE"},"params":{"threads":1,"init_ops":1,"sim_ops":1,"seed":1}}"#,
+        ] {
+            let v = proteus_harness::json::parse(text).unwrap();
+            assert!(spec_from_json(&v).is_none(), "{text}");
+        }
+        // A config missing one nested field is rejected whole.
+        let spec = ExperimentSpec {
+            config: SystemConfig::skylake_like(),
+            scheme: LoggingSchemeKind::Proteus,
+            bench: Benchmark::Queue,
+            params: WorkloadParams { threads: 1, init_ops: 1, sim_ops: 1, seed: 1 },
+        };
+        let line = spec_to_json(&spec).to_line().replace(r#""llt_ways":8,"#, "");
+        let parsed = proteus_harness::json::parse(&line).unwrap();
+        assert!(spec_from_json(&parsed).is_none());
     }
 }

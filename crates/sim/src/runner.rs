@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, OnceLock};
 
 /// One experiment: a benchmark under a scheme on a configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Machine configuration.
     pub config: SystemConfig,

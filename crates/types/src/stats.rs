@@ -409,6 +409,30 @@ impl Log2Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Upper bound of the bucket where the cumulative sample count first
+    /// reaches `q` (clamped to `[0, 1]`) of all samples, or `None` for an
+    /// empty histogram. Because buckets are log2-sized this is a bound on
+    /// the true quantile, not its exact value — good enough for p50/p99
+    /// latency reporting, which is what it exists for.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= target {
+                return Some(if i == Self::BUCKETS - 1 {
+                    self.max
+                } else {
+                    Self::bucket_floor(i + 1) - 1
+                });
+            }
+        }
+        Some(self.max)
+    }
+
     /// Compact one-line rendering of the non-empty buckets, e.g.
     /// `[0]:3 [1]:1 [4-7]:12`, or `empty` for a histogram with no samples.
     pub fn render(&self) -> String {
@@ -644,6 +668,29 @@ mod tests {
         h.record(6);
         assert_eq!(h.render(), "[0]:1 [4-7]:2");
         assert!((h.mean().unwrap() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_histogram_quantile_bounds() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.quantile_bound(0.5), None);
+        for v in [0, 0, 0, 0, 0, 0, 0, 0, 0, 100] {
+            h.record(v);
+        }
+        // Nine of ten samples are zero: every quantile up to 0.9 resolves
+        // to the zero bucket, whose upper bound is 0.
+        assert_eq!(h.quantile_bound(0.0), Some(0));
+        assert_eq!(h.quantile_bound(0.5), Some(0));
+        assert_eq!(h.quantile_bound(0.9), Some(0));
+        // The tail sample (100) lives in bucket [64-127].
+        assert_eq!(h.quantile_bound(0.99), Some(127));
+        assert_eq!(h.quantile_bound(1.0), Some(127));
+        // Out-of-range q is clamped.
+        assert_eq!(h.quantile_bound(7.0), Some(127));
+        // A sample in the open-ended top bucket bounds at the observed max.
+        let mut t = Log2Histogram::new();
+        t.record(u64::MAX - 17);
+        assert_eq!(t.quantile_bound(1.0), Some(u64::MAX - 17));
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! End-to-end tests of the distributed sweep service over real
+//! loopback sockets: worker crashes, zombie leases, HTTP round trips,
+//! dedup, assignment exhaustion, and ledger resume.
+//!
+//! The headline property — the acceptance criterion of the service —
+//! is that a distributed sweep with failures injected produces a
+//! results ledger **byte-identical** to the same sweep run
+//! single-process through the local `Harness` scheduler.
+
+use proteus_harness::{
+    Harness, JobSpec, Json, LedgerRecord, LedgerSnapshot, PayloadCodec, SweepOptions,
+};
+use proteus_service::{
+    build_basket, http_request, read_frame, write_frame, Coordinator, CoordinatorConfig,
+    HttpServer, ServiceJob, SubmitStatus, ToCoordinator, ToWorker, WorkerOptions,
+};
+use proteus_types::JobOutcome;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("proteus-it-{}-{name}", std::process::id()))
+}
+
+fn start(cfg: CoordinatorConfig) -> Arc<Coordinator> {
+    Arc::new(Coordinator::start("127.0.0.1:0", cfg).expect("coordinator boots"))
+}
+
+fn spawn_worker(coord: &Coordinator, name: &str) -> std::thread::JoinHandle<()> {
+    let addr = coord.local_addr().to_string();
+    let opts = WorkerOptions { name: name.to_string(), max_retries: 1 };
+    std::thread::spawn(move || {
+        proteus_service::run_worker(&addr, &opts).expect("worker runs to shutdown");
+    })
+}
+
+/// Speaks the worker protocol by hand: Hello, Request, and returns the
+/// live stream plus identity once an assignment arrives.
+fn raw_take_assignment(coord: &Coordinator) -> (TcpStream, u64, Json) {
+    let mut s = TcpStream::connect(coord.local_addr()).expect("connect");
+    write_frame(&mut s, &ToCoordinator::Hello { name: "raw".into() }.to_json()).unwrap();
+    let welcome = read_frame(&mut s).unwrap().expect("welcome frame");
+    let Some(ToWorker::Welcome { worker_id, .. }) = ToWorker::from_json(&welcome) else {
+        panic!("expected welcome, got {welcome:?}");
+    };
+    loop {
+        write_frame(&mut s, &ToCoordinator::Request { worker_id }.to_json()).unwrap();
+        let reply = read_frame(&mut s).unwrap().expect("reply frame");
+        match ToWorker::from_json(&reply) {
+            Some(ToWorker::Assign { job }) => return (s, worker_id, job),
+            Some(ToWorker::Idle { wait_ms }) => {
+                std::thread::sleep(Duration::from_millis(wait_ms.min(50)));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+}
+
+/// The single-process reference: the same jobs through the local
+/// `Harness` scheduler onto a private ledger, exported canonically.
+fn single_process_export(jobs: &[ServiceJob], tag: &str) -> String {
+    let ledger = temp_path(&format!("{tag}.jsonl"));
+    let _ = std::fs::remove_file(&ledger);
+    let specs: Vec<JobSpec> = jobs.iter().map(|j| JobSpec::new(j.name(), j.spec_hash())).collect();
+    let harness = Harness::<Json>::new()
+        .with_codec(PayloadCodec { encode: Json::clone, decode: |v| Some(v.clone()) });
+    let opts = SweepOptions { workers: 2, ledger: Some(ledger.clone()), ..SweepOptions::default() };
+    harness.run(&specs, &opts, |i| jobs[i].execute()).expect("local sweep");
+    let export = LedgerSnapshot::load(&ledger).expect("load ledger").canonical_export();
+    let _ = std::fs::remove_file(&ledger);
+    export
+}
+
+#[test]
+fn distributed_matches_single_process_even_with_a_killed_worker() {
+    let jobs = build_basket(8);
+    let coord = start(CoordinatorConfig::default());
+    let (_, statuses) = coord.submit_sweep(jobs.clone());
+    assert!(statuses.iter().all(|(_, s)| *s == SubmitStatus::Queued));
+
+    // A worker takes an assignment and dies (socket drop) — the
+    // connection-drop path must requeue its job immediately.
+    let (stream, _, stolen_job) = raw_take_assignment(&coord);
+    drop(stream);
+    assert!(ServiceJob::from_json(&stolen_job).is_some(), "assignment carries a real job");
+
+    let w1 = spawn_worker(&coord, "honest-1");
+    let w2 = spawn_worker(&coord, "honest-2");
+    assert!(coord.wait_idle(Duration::from_secs(120)), "sweep drains despite the kill");
+
+    let distributed = coord.canonical_export();
+    let local = single_process_export(&jobs, "killed-worker");
+    assert!(!distributed.is_empty());
+    assert_eq!(distributed, local, "distributed results must be byte-identical");
+    assert!(coord.metrics().counter("service_jobs_reassigned_total") >= 1);
+
+    coord.shutdown();
+    w1.join().unwrap();
+    w2.join().unwrap();
+}
+
+#[test]
+fn lease_expiry_reassigns_and_late_result_is_ignored() {
+    let jobs = build_basket(2);
+    let coord = start(CoordinatorConfig {
+        lease_ms: 300, // sweeper period = 75ms
+        // Stealing off: otherwise the idle honest worker duplicates
+        // the zombie's job before its lease ever expires, and the
+        // expiry path under test is never exercised.
+        steal: false,
+        ..CoordinatorConfig::default()
+    });
+    coord.submit_sweep(jobs.clone());
+
+    // Zombie: takes a job, keeps the connection open, never heartbeats.
+    let (mut zombie, zombie_id, envelope) = raw_take_assignment(&coord);
+    let job = ServiceJob::from_json(&envelope).unwrap();
+    let hash = job.spec_hash();
+
+    let w = spawn_worker(&coord, "honest");
+    assert!(coord.wait_idle(Duration::from_secs(120)), "lease expiry must unblock the sweep");
+    let settled = coord.result(hash).expect("job finished via reassignment");
+    assert!(settled.outcome.is_completed());
+    assert!(coord.metrics().counter("service_jobs_reassigned_total") >= 1);
+
+    // The zombie wakes up and reports a bogus result for the job it
+    // lost; first-result-wins means it is counted and discarded.
+    let before = coord.metrics().counter("service_duplicate_results_total");
+    let late = ToCoordinator::Done {
+        worker_id: zombie_id,
+        result: proteus_service::WireResult {
+            spec_hash: hash,
+            name: job.name(),
+            outcome: JobOutcome::Completed,
+            payload: Json::str("bogus-late-payload"),
+            attempts: 1,
+            wall_seconds: 0.0,
+        },
+    };
+    write_frame(&mut zombie, &late.to_json()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while coord.metrics().counter("service_duplicate_results_total") == before {
+        assert!(std::time::Instant::now() < deadline, "late Done never counted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let kept = coord.result(hash).unwrap();
+    assert_eq!(kept.payload.to_line(), settled.payload.to_line(), "late result must not win");
+
+    coord.shutdown();
+    w.join().unwrap();
+}
+
+#[test]
+fn http_endpoints_round_trip() {
+    let jobs = build_basket(4);
+    let coord = start(CoordinatorConfig::default());
+    let http = HttpServer::start("127.0.0.1:0", Arc::clone(&coord)).expect("http boots");
+    let addr = http.local_addr().to_string();
+    let w = spawn_worker(&coord, "http-worker");
+
+    let (status, body) = http_request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let envelopes: Vec<Json> = jobs.iter().map(ServiceJob::to_json).collect();
+    let body = Json::obj([("jobs", Json::Arr(envelopes))]).to_line();
+    let (status, reply) = http_request(&addr, "POST", "/api/sweeps", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let reply = proteus_harness::json::parse(&reply).unwrap();
+    assert_eq!(reply.get("submitted").unwrap().as_u64(), Some(4));
+    let sweep = reply.get("sweep").unwrap().as_u64().unwrap();
+
+    // Poll the status endpoint until the sweep reports done.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) =
+            http_request(&addr, "GET", &format!("/api/sweeps/{sweep}"), None).unwrap();
+        assert_eq!(status, 200);
+        let v = proteus_harness::json::parse(&body).unwrap();
+        if v.get("done").unwrap().as_bool() == Some(true) {
+            assert_eq!(v.get("completed").unwrap().as_u64(), Some(4));
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "sweep never finished: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (status, results) =
+        http_request(&addr, "GET", &format!("/api/sweeps/{sweep}/results"), None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(results.lines().count(), 4);
+    assert!(results.lines().all(|l| l.contains("\"outcome\":\"completed\"")));
+
+    let (status, export) = http_request(&addr, "GET", "/api/export", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(export, coord.canonical_export());
+
+    let (status, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("# TYPE service_jobs_completed_total counter"));
+    assert!(metrics.contains("# TYPE service_job_wall_ms histogram"));
+
+    // Per-job status and the deterministic traced re-run for an
+    // experiment job.
+    let exp = jobs.iter().find(|j| matches!(j, ServiceJob::Experiment(_))).unwrap();
+    let hex = format!("{:016x}", exp.spec_hash());
+    let (status, body) = http_request(&addr, "GET", &format!("/api/jobs/{hex}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"state\":\"done\""), "{body}");
+    let (status, trace) =
+        http_request(&addr, "GET", &format!("/api/jobs/{hex}/trace"), None).unwrap();
+    assert_eq!(status, 200, "{trace}");
+    assert!(trace.contains("\"event\":\"trace-summary\""), "{trace}");
+
+    let (status, _) = http_request(&addr, "GET", "/api/jobs/zzzz/trace", None).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = http_request(&addr, "GET", "/api/sweeps/999", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "DELETE", "/api/export", None).unwrap();
+    assert_eq!(status, 405);
+
+    coord.shutdown();
+    w.join().unwrap();
+}
+
+#[test]
+fn resubmission_dedupes_by_spec_hash() {
+    let jobs = build_basket(1);
+    let coord = start(CoordinatorConfig::default());
+    let (hash, first) = coord.submit(jobs[0].clone());
+    assert_eq!(first, SubmitStatus::Queued);
+    assert_eq!(coord.submit(jobs[0].clone()), (hash, SubmitStatus::Deduped));
+
+    let w = spawn_worker(&coord, "dedup-worker");
+    assert!(coord.wait_idle(Duration::from_secs(120)));
+    assert_eq!(coord.submit(jobs[0].clone()), (hash, SubmitStatus::Done));
+    assert_eq!(coord.metrics().counter("service_jobs_completed_total"), 1);
+    assert_eq!(coord.metrics().counter("service_submissions_deduped_total"), 2);
+
+    coord.shutdown();
+    w.join().unwrap();
+}
+
+#[test]
+fn exhausted_assignments_yield_a_failed_ledger_record() {
+    let ledger = temp_path("exhaust.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+    let jobs = build_basket(1);
+    let hash = jobs[0].spec_hash();
+    let coord = start(CoordinatorConfig {
+        max_assignments: 2,
+        steal: false,
+        ledger: Some(ledger.clone()),
+        ..CoordinatorConfig::default()
+    });
+    coord.submit_sweep(jobs);
+
+    // Two raw workers each take the job and die; the second drop
+    // exhausts the assignment budget.
+    for _ in 0..2 {
+        let (stream, _, _) = raw_take_assignment(&coord);
+        drop(stream);
+        // Wait for the drop to be processed before reconnecting.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while coord.metrics().gauge("service_workers_connected") != 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    assert!(coord.wait_idle(Duration::from_secs(30)), "exhaustion must terminate the job");
+    let rec = coord.result(hash).expect("terminal record exists");
+    let JobOutcome::Failed { error } = &rec.outcome else {
+        panic!("expected failure, got {:?}", rec.outcome);
+    };
+    assert!(error.contains("exhausted 2 assignments"), "{error}");
+    assert_eq!(coord.metrics().counter("service_jobs_exhausted_total"), 1);
+
+    // The exhaustion note is durable: it reached the ledger.
+    let snap = LedgerSnapshot::load(&ledger).expect("ledger readable");
+    let on_disk = snap.get(hash).expect("record persisted");
+    assert_eq!(&rec.outcome, &on_disk.outcome);
+    assert!(snap.completed(hash).is_none(), "a failed job must not satisfy resume");
+    let _ = std::fs::remove_file(&ledger);
+    coord.shutdown();
+}
+
+#[test]
+fn coordinator_resumes_completed_jobs_from_its_ledger() {
+    let ledger = temp_path("resume.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+    let jobs = build_basket(3);
+
+    let first = start(CoordinatorConfig { ledger: Some(ledger.clone()), ..Default::default() });
+    first.submit_sweep(jobs.clone());
+    let w = spawn_worker(&first, "resume-worker");
+    assert!(first.wait_idle(Duration::from_secs(120)));
+    let export = first.canonical_export();
+    first.shutdown();
+    w.join().unwrap();
+
+    // A fresh coordinator on the same ledger resolves the same
+    // submissions without any worker at all.
+    let second = start(CoordinatorConfig { ledger: Some(ledger.clone()), ..Default::default() });
+    let (_, statuses) = second.submit_sweep(jobs);
+    assert!(statuses.iter().all(|(_, s)| *s == SubmitStatus::Done), "{statuses:?}");
+    assert_eq!(second.metrics().counter("service_jobs_resumed_total"), 3);
+    assert_eq!(second.pending(), 0);
+    assert_eq!(second.canonical_export(), export, "resumed results identical");
+    let _ = std::fs::remove_file(&ledger);
+    second.shutdown();
+}
+
+/// Exercises the demotion path: a wire-completed result whose payload
+/// the job's codec cannot decode must be recorded as failed, never as
+/// a completed record with a poison payload.
+#[test]
+fn undecodable_completed_payload_is_demoted_to_failure() {
+    let jobs = build_basket(1);
+    let hash = jobs[0].spec_hash();
+    let coord = start(CoordinatorConfig { steal: false, ..CoordinatorConfig::default() });
+    coord.submit_sweep(jobs.clone());
+
+    let (mut s, worker_id, _) = raw_take_assignment(&coord);
+    let done = ToCoordinator::Done {
+        worker_id,
+        result: proteus_service::WireResult {
+            spec_hash: hash,
+            name: jobs[0].name(),
+            outcome: JobOutcome::Completed,
+            payload: Json::str("not a real payload"),
+            attempts: 1,
+            wall_seconds: 0.1,
+        },
+    };
+    write_frame(&mut s, &done.to_json()).unwrap();
+    assert!(coord.wait_idle(Duration::from_secs(30)));
+    let rec = coord.result(hash).unwrap();
+    let JobOutcome::Failed { error } = &rec.outcome else {
+        panic!("expected demotion to failure, got {:?}", rec.outcome);
+    };
+    assert!(error.contains("undecodable"), "{error}");
+    assert_eq!(rec.payload, Json::Null, "poison payload must not be stored");
+    coord.shutdown();
+}
+
+/// The same ledger record shape flows over the wire and into the
+/// ledger: what `sweep_results_jsonl` streams parses back as ledger
+/// records with the shared codec.
+#[test]
+fn streamed_results_are_ledger_shaped() {
+    let jobs = build_basket(2);
+    let coord = start(CoordinatorConfig::default());
+    let (sweep, _) = coord.submit_sweep(jobs);
+    let w = spawn_worker(&coord, "shape-worker");
+    assert!(coord.wait_idle(Duration::from_secs(120)));
+    let lines = coord.sweep_results_jsonl(sweep).unwrap();
+    assert_eq!(lines.lines().count(), 2);
+    for line in lines.lines() {
+        let v = proteus_harness::json::parse(line).expect("valid json");
+        let rec = LedgerRecord::from_json(&v).expect("ledger-shaped line");
+        assert!(rec.outcome.is_completed());
+    }
+    coord.shutdown();
+    w.join().unwrap();
+}

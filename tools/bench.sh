@@ -10,6 +10,18 @@
 # Usage: tools/bench.sh [--scale S] [--threads N] [--file PATH]
 #   (defaults: scale 0.1, threads 4, file BENCH_cycle_engine.json)
 #
+# A second mode benchmarks the distributed sweep service instead:
+#
+#   tools/bench.sh service [--submissions N] [--clients C] [--workers W]
+#                          [--basket B] [--verify] [--file PATH]
+#
+# which boots coordinator + workers + HTTP front-end in-process, fires
+# the submissions concurrently over loopback HTTP, and writes
+# BENCH_service.json (throughput, submit-latency quantiles, dedup and
+# reassignment counters). It exits non-zero if any job is lost or
+# duplicated, or — with --verify — if the distributed results ledger
+# differs by even one byte from a single-process Harness run.
+#
 # Builds offline via the stub registry (tools/offline-check.sh
 # conventions); with crates.io access a plain
 #   cargo run --release -p proteus-bench --bin reproduce -- bench
@@ -40,5 +52,15 @@ restore_lock() {
 }
 trap restore_lock EXIT
 
+MODE="bench"
+if [[ "${1:-}" == "service" ]]; then
+    MODE="loadgen"
+    shift
+    # Defaults sized for a real measurement run; override freely.
+    if [[ "$*" != *--submissions* ]]; then
+        set -- --submissions 2000 --clients 16 --workers 4 --basket 32 --verify "$@"
+    fi
+fi
+
 cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
-    bench "$@"
+    "$MODE" "$@"

@@ -62,6 +62,7 @@ do_test() {
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-harness --test harness_resume
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-cpu --test pipeline
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-crash --test integration_crash
+    run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-service --test integration_service
     # Paranoid engine cross-check: re-run the fast-forward determinism
     # suite with every skip single-stepped under fingerprint assertions.
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-sim --features paranoid --test integration_fastforward
@@ -88,6 +89,20 @@ do_test() {
         bench --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_bench.json"
     [[ -s "${CARGO_TARGET_DIR}/smoke_bench.json" ]] || {
         echo "bench smoke produced an empty report" >&2
+        exit 1
+    }
+    # Smoke the distributed sweep service end to end: boots a
+    # coordinator, an HTTP front-end, and two loopback workers
+    # in-process, submits a duplicate-heavy sweep over HTTP, scrapes
+    # /metrics, and (--verify) byte-compares the distributed results
+    # ledger against the same sweep run through the local Harness.
+    # Exits non-zero on any lost/duplicated job or export divergence;
+    # the timeout guards against a wedged coordinator hanging CI.
+    run timeout 300 cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        loadgen --submissions 200 --clients 8 --workers 2 --basket 12 --verify \
+        --file "${CARGO_TARGET_DIR}/smoke_service.json"
+    [[ -s "${CARGO_TARGET_DIR}/smoke_service.json" ]] || {
+        echo "service smoke produced an empty report" >&2
         exit 1
     }
 }
