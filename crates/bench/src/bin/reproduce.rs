@@ -37,7 +37,7 @@
 //! ```text
 //! reproduce serve   [--listen A] [--http A] [--ledger PATH]
 //!                   [--lease-ms N] [--max-assignments N] [--no-steal]
-//! reproduce worker  --connect ADDR [--name NAME] [--retries N]
+//! reproduce worker  --connect ADDR [--name NAME] [--retries N] [--job-deadline-ms MS]
 //! reproduce loadgen [--submissions N] [--clients C] [--workers W]
 //!                   [--basket B] [--verify] [--file PATH]
 //! ```
@@ -209,9 +209,13 @@ fn worker(args: &[String]) -> ExitCode {
         eprintln!("worker: --connect ADDR is required");
         return ExitCode::FAILURE;
     };
+    let defaults = WorkerOptions::default();
     let opts = WorkerOptions {
         name: flag_value(args, "--name").unwrap_or("worker").to_string(),
         max_retries: flag_value(args, "--retries").and_then(|v| v.parse().ok()).unwrap_or(1),
+        job_deadline_ms: flag_value(args, "--job-deadline-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.job_deadline_ms),
     };
     match run_worker(addr, &opts) {
         Ok(report) => {

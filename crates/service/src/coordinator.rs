@@ -29,7 +29,7 @@
 //! table is keyed by spec hash and records exactly one terminal record
 //! per job, so duplicates and late zombies can never double-count.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{write_frame, FrameReader};
 use crate::job::{ServiceJob, WireResult};
 use crate::proto::{ToCoordinator, ToWorker};
 use crate::registry::MetricsRegistry;
@@ -411,13 +411,22 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
 }
 
 fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
+    // The listener is nonblocking; on some platforms (Windows)
+    // accepted sockets inherit that, so force blocking mode before the
+    // timeout-polled read loop below.
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     // Worker ids registered over THIS connection: a dropped connection
     // releases exactly these workers' leases.
     let mut local_workers: Vec<u64> = Vec::new();
+    // Resumable reader: a read timeout mid-frame (network stall inside
+    // a large Done payload) keeps the partial frame buffered, so the
+    // retry below resumes the same frame instead of desyncing the
+    // stream.
+    let mut reader = FrameReader::new();
     loop {
-        match read_frame(&mut stream) {
+        match reader.read(&mut stream) {
             Ok(Some(msg)) => {
                 inner.metrics.counter_add("service_frames_rx_total", 1);
                 inner.metrics.observe("service_frame_bytes", msg.to_line().len() as u64);
@@ -554,10 +563,22 @@ fn record_result(inner: &Arc<Inner>, worker_id: u64, result: WireResult) {
     let mut st = inner.state.lock().expect("coordinator lock");
     let hash = result.spec_hash;
     let Some(js) = st.jobs.get_mut(&hash) else {
-        // Reassignment race: the job already reached a terminal state
-        // via another worker (or a zombie reported after expiry).
-        // First result won; this one is counted and dropped.
-        inner.metrics.counter_add("service_duplicate_results_total", 1);
+        if st.results.contains_key(&hash) {
+            // Reassignment race: the job already reached a terminal
+            // state via another worker (or a zombie reported after
+            // expiry). First result won; this one is counted and
+            // dropped.
+            inner.metrics.counter_add("service_duplicate_results_total", 1);
+        } else {
+            // A result for a hash never submitted — e.g. a worker that
+            // could not decode its envelope reports spec_hash 0. The
+            // worker has clearly abandoned whatever it was leased, so
+            // release its leases now; waiting out the lease would only
+            // delay the requeue.
+            inner.metrics.counter_add("service_unmatched_results_total", 1);
+            release_worker_leases(&mut st, inner, worker_id);
+            inner.cv.notify_all();
+        }
         return;
     };
     js.leases.remove(&worker_id);

@@ -13,6 +13,13 @@
 //! a worker connection that is the crash-detection signal), an EOF
 //! **inside** a frame is [`FrameError::Truncated`], and bytes that are
 //! not valid JSON are [`FrameError::Malformed`].
+//!
+//! Connections polled with a read **timeout** must use [`FrameReader`],
+//! which keeps partial progress across timeouts: a stall mid-frame
+//! (slow network, large payload) surfaces as a retriable timeout and
+//! the next call resumes exactly where the stream left off. The
+//! stateless [`read_frame`] discards partial progress on timeout and
+//! is only sound on blocking streams and in-memory buffers.
 
 use proteus_harness::{json, Json};
 use std::io::{Read, Write};
@@ -80,41 +87,99 @@ pub fn write_frame<W: Write>(w: &mut W, value: &Json) -> Result<(), FrameError> 
         .map_err(FrameError::Io)
 }
 
-/// Reads one frame. `Ok(None)` is a clean EOF between frames.
+/// Reads one frame from a blocking stream or in-memory buffer.
+/// `Ok(None)` is a clean EOF between frames.
+///
+/// A timeout mid-frame **discards** the bytes already consumed — on a
+/// stream with a read timeout, use a per-connection [`FrameReader`]
+/// instead so a stall can be retried without desyncing the stream.
 ///
 /// # Errors
 ///
 /// See [`FrameError`]; timeouts surface as `Io` with
 /// [`FrameError::is_timeout`] true.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Json>, FrameError> {
-    let mut len_buf = [0u8; 4];
-    let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => return Err(FrameError::Truncated),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
+    FrameReader::new().read(r)
+}
+
+/// Resumable frame reader for timeout-polled connections.
+///
+/// Holds the partial length prefix and partial body across calls: when
+/// a read times out mid-frame, the error is retriable
+/// ([`FrameError::is_timeout`]) and the next [`FrameReader::read`]
+/// call resumes at the exact byte the stream stalled on. Without this,
+/// a >timeout network stall inside a frame would desync the stream —
+/// the retried read would misparse body bytes as a fresh length
+/// prefix.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_buf: [u8; 4],
+    filled: usize,
+    body: Vec<u8>,
+    got: usize,
+    in_body: bool,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether a partial frame is buffered (a previous read stalled
+    /// mid-frame and should be resumed).
+    pub fn mid_frame(&self) -> bool {
+        self.filled > 0 || self.in_body
+    }
+
+    /// Reads (or resumes reading) one frame. `Ok(None)` is a clean EOF
+    /// **between** frames; an EOF mid-frame is
+    /// [`FrameError::Truncated`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameError`]. On a timeout (`Io` with
+    /// [`FrameError::is_timeout`] true) the partial frame stays
+    /// buffered and the call can simply be retried; every other error
+    /// leaves the stream unsynchronized and the connection should be
+    /// dropped.
+    pub fn read<R: Read>(&mut self, r: &mut R) -> Result<Option<Json>, FrameError> {
+        while !self.in_body {
+            match r.read(&mut self.len_buf[self.filled..]) {
+                Ok(0) if self.filled == 0 => return Ok(None),
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => {
+                    self.filled += n;
+                    if self.filled == 4 {
+                        let len = u32::from_be_bytes(self.len_buf) as usize;
+                        if len > MAX_FRAME_BYTES {
+                            return Err(FrameError::Oversized(len));
+                        }
+                        self.body = vec![0u8; len];
+                        self.got = 0;
+                        self.in_body = true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
         }
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(FrameError::Oversized(len));
-    }
-    let mut body = vec![0u8; len];
-    let mut got = 0;
-    while got < len {
-        match r.read(&mut body[got..]) {
-            Ok(0) => return Err(FrameError::Truncated),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
+        while self.got < self.body.len() {
+            match r.read(&mut self.body[self.got..]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
         }
+        let body = std::mem::take(&mut self.body);
+        self.filled = 0;
+        self.got = 0;
+        self.in_body = false;
+        let text = std::str::from_utf8(&body)
+            .map_err(|e| FrameError::Malformed(format!("invalid utf-8: {e}")))?;
+        json::parse(text).map(Some).map_err(FrameError::Malformed)
     }
-    let text = std::str::from_utf8(&body)
-        .map_err(|e| FrameError::Malformed(format!("invalid utf-8: {e}")))?;
-    json::parse(text).map(Some).map_err(FrameError::Malformed)
 }
 
 #[cfg(test)]
@@ -178,6 +243,90 @@ mod tests {
         let huge = Json::str("x".repeat(MAX_FRAME_BYTES + 1));
         assert!(matches!(write_frame(&mut buf, &huge), Err(FrameError::Oversized(_))));
         assert!(buf.is_empty(), "nothing written for rejected frames");
+    }
+
+    /// A reader that yields scripted chunks, interleaving a timeout
+    /// error before every chunk — the shape of a timeout-polled socket
+    /// stalling mid-frame.
+    struct StallingReader {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        stall_pending: bool,
+    }
+
+    impl StallingReader {
+        fn new(bytes: &[u8], split_at: &[usize]) -> StallingReader {
+            let mut chunks = Vec::new();
+            let mut prev = 0;
+            for &s in split_at {
+                chunks.push(bytes[prev..s].to_vec());
+                prev = s;
+            }
+            chunks.push(bytes[prev..].to_vec());
+            StallingReader { chunks, next: 0, stall_pending: false }
+        }
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.stall_pending {
+                self.stall_pending = false;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            let Some(chunk) = self.chunks.get_mut(self.next) else {
+                return Ok(0);
+            };
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            chunk.drain(..n);
+            if chunk.is_empty() {
+                self.next += 1;
+                self.stall_pending = true;
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_after_a_timeout_at_every_split_point() {
+        let mut bytes = Vec::new();
+        let first = Json::obj([("seq", Json::U64(1)), ("body", Json::str("payload one"))]);
+        let second = Json::obj([("seq", Json::U64(2))]);
+        write_frame(&mut bytes, &first).unwrap();
+        let first_len = bytes.len();
+        write_frame(&mut bytes, &second).unwrap();
+        // Stall once at every possible byte boundary of the first
+        // frame: mid-length-prefix, at the prefix/body seam, mid-body.
+        for split in 1..first_len {
+            let mut r = StallingReader::new(&bytes, &[split]);
+            let mut reader = FrameReader::new();
+            let mut frames = Vec::new();
+            loop {
+                match reader.read(&mut r) {
+                    Ok(Some(v)) => frames.push(v),
+                    Ok(None) => break,
+                    Err(e) if e.is_timeout() => {
+                        assert!(
+                            reader.mid_frame() || !frames.is_empty(),
+                            "split {split}: timeout with no progress buffered"
+                        );
+                    }
+                    Err(e) => panic!("split {split}: unexpected error {e}"),
+                }
+            }
+            assert_eq!(frames.len(), 2, "split {split}");
+            assert_eq!(frames[0].to_line(), first.to_line(), "split {split}");
+            assert_eq!(frames[1].to_line(), second.to_line(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn stateless_read_frame_surfaces_timeouts_without_consuming_frames() {
+        // The stateless helper still reports the timeout; FrameReader
+        // is what makes retrying sound.
+        let mut r = StallingReader::new(&[0, 0], &[1]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(err.is_timeout());
     }
 
     #[test]

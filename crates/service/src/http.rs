@@ -4,7 +4,10 @@
 //! connection, `Connection: close` on every response. That is entirely
 //! adequate for a sweep-control plane — requests are small, responses
 //! are JSON/JSONL, and the heavy lifting happens on the worker
-//! protocol, not here.
+//! protocol, not here. Each request must arrive in full within a
+//! fixed deadline of accept (`REQUEST_DEADLINE`, 10 s), so a slow or
+//! stalled client cannot hold a handler thread (and its body buffer)
+//! open indefinitely.
 //!
 //! Routes:
 //!
@@ -29,11 +32,21 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest request body the server accepts (same cap as the frame
 /// protocol; a sweep of thousands of specs fits comfortably).
 pub const MAX_BODY_BYTES: usize = 32 * 1024 * 1024;
+
+/// Overall budget for reading one request, measured from accept. A
+/// per-read timeout alone resets on every byte, so a client trickling
+/// one header byte at a time could hold a thread (and its body buffer)
+/// indefinitely; this caps the whole request instead.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-read slice; short so the overall deadline is checked between
+/// reads even against a silent peer.
+const READ_SLICE: Duration = Duration::from_secs(1);
 
 /// Handle to the running HTTP server.
 pub struct HttpServer {
@@ -92,8 +105,13 @@ impl Drop for HttpServer {
 }
 
 fn handle_http(mut stream: TcpStream, coord: &Arc<Coordinator>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let Some((method, path, body)) = read_request(&mut stream) else {
+    // The listener is nonblocking; force the accepted socket back to
+    // blocking mode (inherited nonblocking on some platforms) before
+    // the timed reads below.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let Some((method, path, body)) = read_request(&mut stream, deadline) else {
         let _ = respond(&mut stream, 400, "text/plain", "bad request\n");
         return;
     };
@@ -101,9 +119,31 @@ fn handle_http(mut stream: TcpStream, coord: &Arc<Coordinator>) {
     let _ = respond(&mut stream, status, ctype, &body);
 }
 
+/// One read against the overall request deadline: retries read-timeout
+/// slices until bytes arrive or the deadline passes. `None` means the
+/// request should be abandoned (deadline hit or transport error).
+fn read_some(stream: &mut TcpStream, chunk: &mut [u8], deadline: Instant) -> Option<usize> {
+    loop {
+        if Instant::now() >= deadline {
+            return None;
+        }
+        match stream.read(chunk) {
+            Ok(n) => return Some(n),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
 /// Parses one request: request line, headers (only `Content-Length`
-/// matters), then exactly that many body bytes.
-fn read_request(stream: &mut TcpStream) -> Option<(String, String, String)> {
+/// matters), then exactly that many body bytes — all within `deadline`.
+fn read_request(stream: &mut TcpStream, deadline: Instant) -> Option<(String, String, String)> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 4096];
     let header_end = loop {
@@ -113,7 +153,7 @@ fn read_request(stream: &mut TcpStream) -> Option<(String, String, String)> {
         if buf.len() > 64 * 1024 {
             return None; // header flood
         }
-        let n = stream.read(&mut chunk).ok()?;
+        let n = read_some(stream, &mut chunk, deadline)?;
         if n == 0 {
             return None;
         }
@@ -137,7 +177,7 @@ fn read_request(stream: &mut TcpStream) -> Option<(String, String, String)> {
     }
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).ok()?;
+        let n = read_some(stream, &mut chunk, deadline)?;
         if n == 0 {
             return None;
         }
@@ -317,5 +357,24 @@ mod tests {
     fn header_end_detection() {
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
         assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn slow_clients_hit_the_request_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        let _ = server.set_read_timeout(Some(Duration::from_millis(25)));
+        // A header that never completes: without the overall deadline
+        // the per-read timeout would reset forever as bytes trickle.
+        client.write_all(b"GET / HT").unwrap();
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(200);
+        assert!(read_request(&mut server, deadline).is_none());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "abandoned by the deadline, not held open by the peer"
+        );
     }
 }

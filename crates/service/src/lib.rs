@@ -31,7 +31,7 @@ pub mod registry;
 pub mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorConfig, SubmitStatus};
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use frame::{read_frame, write_frame, FrameError, FrameReader, MAX_FRAME_BYTES};
 pub use http::{http_request, HttpServer};
 pub use job::{ServiceJob, WireResult};
 pub use loadgen::{build_basket, run_loadgen, LoadgenOptions};

@@ -117,7 +117,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> Result<Json, String> {
     let worker_handles: Vec<_> = (0..opts.workers)
         .map(|i| {
             let addr = coord_addr.clone();
-            let wopts = WorkerOptions { name: format!("loadgen-{i}"), max_retries: 1 };
+            let wopts = WorkerOptions { name: format!("loadgen-{i}"), ..WorkerOptions::default() };
             std::thread::spawn(move || run_worker(&addr, &wopts))
         })
         .collect();

@@ -7,6 +7,13 @@
 //! spec-hash-keyed result table guarantees the rerun cannot
 //! double-count.
 //!
+//! Heartbeats vouch for executor liveness, not just process liveness:
+//! once the in-flight job overruns [`WorkerOptions::job_deadline_ms`]
+//! the heartbeat thread stops beating, so a hung `execute()` (an
+//! infinite loop in the simulator) lets its lease expire and the
+//! coordinator reclaims the job instead of the sweep wedging behind a
+//! forever-refreshed lease.
+//!
 //! Retry semantics mirror the local `Harness` scheduler exactly: a
 //! clean executor `Err` is deterministic and never retried, while a
 //! panic is retried up to [`WorkerOptions::max_retries`] times before
@@ -31,11 +38,30 @@ pub struct WorkerOptions {
     pub name: String,
     /// Extra attempts after a panic, matching `SweepOptions::max_retries`.
     pub max_retries: u32,
+    /// Upper bound on one assignment's execution time. Once the
+    /// in-flight job has run longer than this, the heartbeat thread
+    /// stops refreshing leases so the coordinator's lease expiry can
+    /// reclaim the job — otherwise a simulator hang would keep its
+    /// lease alive forever and wedge the sweep. `0` disables the bound.
+    pub job_deadline_ms: u64,
 }
 
 impl Default for WorkerOptions {
     fn default() -> Self {
-        WorkerOptions { name: "worker".to_string(), max_retries: 1 }
+        WorkerOptions { name: "worker".to_string(), max_retries: 1, job_deadline_ms: 600_000 }
+    }
+}
+
+/// Whether a heartbeat should be sent: always while idle or under the
+/// deadline, never once the in-flight job has overrun it. A worker
+/// that stops beating lets lease expiry reclaim its job — the exact
+/// bound leases exist to provide.
+fn heartbeat_due(busy_since: Option<Instant>, job_deadline_ms: u64) -> bool {
+    match busy_since {
+        Some(started) if job_deadline_ms > 0 => {
+            started.elapsed() < Duration::from_millis(job_deadline_ms)
+        }
+        _ => true,
     }
 }
 
@@ -81,8 +107,14 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Stri
     };
 
     let stop = Arc::new(AtomicBool::new(false));
+    // When the executor is inside `job.execute()`, this holds the
+    // instant the job started; the heartbeat thread uses it to stop
+    // vouching for an executor that has overrun its deadline.
+    let busy_since: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
     let hb_writer = Arc::clone(&writer);
     let hb_stop = Arc::clone(&stop);
+    let hb_busy = Arc::clone(&busy_since);
+    let job_deadline_ms = opts.job_deadline_ms;
     let heartbeat = std::thread::spawn(move || {
         let period = Duration::from_millis(heartbeat_ms.max(1));
         let msg = ToCoordinator::Heartbeat { worker_id }.to_json();
@@ -99,6 +131,13 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Stri
             if hb_stop.load(Ordering::SeqCst) {
                 return;
             }
+            let busy = *hb_busy.lock().expect("worker busy lock");
+            if !heartbeat_due(busy, job_deadline_ms) {
+                // Executor overran its deadline: skip the beat (do not
+                // exit — if the job eventually finishes, beating
+                // resumes for the next assignment).
+                continue;
+            }
             let mut w = hb_writer.lock().expect("worker writer lock");
             if write_frame(&mut *w, &msg).is_err() {
                 return;
@@ -106,7 +145,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Stri
         }
     });
 
-    let result = work_loop(&writer, &mut reader, worker_id, opts);
+    let result = work_loop(&writer, &mut reader, worker_id, opts, &busy_since);
     stop.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
     result
@@ -117,13 +156,16 @@ fn work_loop(
     reader: &mut TcpStream,
     worker_id: u64,
     opts: &WorkerOptions,
+    busy_since: &Arc<Mutex<Option<Instant>>>,
 ) -> Result<WorkerReport, String> {
     let mut report = WorkerReport::default();
     loop {
         send(writer, &ToCoordinator::Request { worker_id })?;
         match read_reply(reader)? {
             ToWorker::Assign { job } => {
+                *busy_since.lock().expect("worker busy lock") = Some(Instant::now());
                 let result = execute_assignment(&job, opts);
+                *busy_since.lock().expect("worker busy lock") = None;
                 match &result.outcome {
                     JobOutcome::Completed => report.completed += 1,
                     JobOutcome::Failed { .. } => report.failed += 1,
@@ -193,5 +235,23 @@ fn read_reply(reader: &mut TcpStream) -> Result<ToWorker, String> {
         Ok(Some(v)) => ToWorker::from_json(&v).ok_or_else(|| "unintelligible reply".to_string()),
         Ok(None) => Err("coordinator closed the connection".to_string()),
         Err(e) => Err(format!("read: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeats_flow_while_idle_or_under_deadline() {
+        assert!(heartbeat_due(None, 100), "idle workers always beat");
+        assert!(heartbeat_due(Some(Instant::now()), 60_000), "fresh job beats");
+    }
+
+    #[test]
+    fn heartbeats_stop_once_the_job_overruns_its_deadline() {
+        let started = Instant::now() - Duration::from_millis(50);
+        assert!(!heartbeat_due(Some(started), 10), "overrun job must not beat");
+        assert!(heartbeat_due(Some(started), 0), "0 disables the deadline");
     }
 }

@@ -8,7 +8,42 @@
 
 use proptest::prelude::*;
 use proteus_harness::{json, Json};
-use proteus_service::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use proteus_service::{read_frame, write_frame, FrameError, FrameReader, MAX_FRAME_BYTES};
+use std::io::Read;
+
+/// Yields a scripted byte stream in pieces, returning a `WouldBlock`
+/// timeout at every chunk boundary — the shape of a timeout-polled
+/// socket stalling mid-frame.
+struct StallingReader {
+    bytes: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+    stall_pending: bool,
+}
+
+impl Read for StallingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.stall_pending {
+            self.stall_pending = false;
+            return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+        }
+        if self.pos >= self.bytes.len() {
+            return Ok(0);
+        }
+        let limit = self
+            .cuts
+            .iter()
+            .copied()
+            .find(|&c| c > self.pos)
+            .unwrap_or(self.bytes.len())
+            .min(self.pos + buf.len());
+        let n = limit - self.pos;
+        buf[..n].copy_from_slice(&self.bytes[self.pos..limit]);
+        self.pos = limit;
+        self.stall_pending = self.cuts.contains(&self.pos) || self.pos == self.bytes.len();
+        Ok(n)
+    }
+}
 
 /// A small recursive JSON strategy: scalars at the leaves, arrays and
 /// objects above, strings drawn from a charset that exercises escapes.
@@ -70,6 +105,39 @@ proptest! {
                 Err(FrameError::Truncated) => {}
                 Err(e) => prop_assert!(false, "unexpected error class: {e}"),
             }
+        }
+    }
+
+    #[test]
+    fn resumable_reader_survives_stalls_at_arbitrary_boundaries(
+        docs in prop::collection::vec(json_strategy(), 1..5),
+        cut_fracs in prop::collection::vec(0.0f64..1.0, 0..8),
+    ) {
+        let mut bytes = Vec::new();
+        for d in &docs {
+            write_frame(&mut bytes, d).unwrap();
+        }
+        let mut cuts: Vec<usize> = cut_fracs
+            .iter()
+            .map(|f| ((bytes.len() as f64) * f) as usize)
+            .filter(|&c| c > 0 && c < bytes.len())
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut r = StallingReader { bytes, cuts, pos: 0, stall_pending: false };
+        let mut reader = FrameReader::new();
+        let mut back = Vec::new();
+        loop {
+            match reader.read(&mut r) {
+                Ok(Some(v)) => back.push(v),
+                Ok(None) => break,
+                Err(e) if e.is_timeout() => {}
+                Err(e) => prop_assert!(false, "stall desynced the stream: {e}"),
+            }
+        }
+        prop_assert_eq!(back.len(), docs.len());
+        for (b, d) in back.iter().zip(&docs) {
+            prop_assert_eq!(b.to_line(), d.to_line());
         }
     }
 

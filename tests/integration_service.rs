@@ -15,6 +15,7 @@ use proteus_service::{
     HttpServer, ServiceJob, SubmitStatus, ToCoordinator, ToWorker, WorkerOptions,
 };
 use proteus_types::JobOutcome;
+use std::io::Write;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -30,7 +31,7 @@ fn start(cfg: CoordinatorConfig) -> Arc<Coordinator> {
 
 fn spawn_worker(coord: &Coordinator, name: &str) -> std::thread::JoinHandle<()> {
     let addr = coord.local_addr().to_string();
-    let opts = WorkerOptions { name: name.to_string(), max_retries: 1 };
+    let opts = WorkerOptions { name: name.to_string(), ..WorkerOptions::default() };
     std::thread::spawn(move || {
         proteus_service::run_worker(&addr, &opts).expect("worker runs to shutdown");
     })
@@ -342,6 +343,99 @@ fn undecodable_completed_payload_is_demoted_to_failure() {
     assert!(error.contains("undecodable"), "{error}");
     assert_eq!(rec.payload, Json::Null, "poison payload must not be stored");
     coord.shutdown();
+}
+
+/// A network stall mid-frame must not desync the stream: the
+/// coordinator polls reads with a 250 ms timeout, so a Done frame
+/// delivered in slow pieces (stalls well over the timeout, splitting
+/// both the length prefix and the body) exercises the resumable
+/// per-connection reader. Without it, the retried read would misparse
+/// body bytes as a fresh length prefix and disconnect the worker.
+#[test]
+fn mid_frame_stall_does_not_desync_the_stream() {
+    let jobs = build_basket(1);
+    let hash = jobs[0].spec_hash();
+    let coord = start(CoordinatorConfig { steal: false, ..CoordinatorConfig::default() });
+    coord.submit_sweep(jobs);
+
+    let (mut s, worker_id, envelope) = raw_take_assignment(&coord);
+    let job = ServiceJob::from_json(&envelope).unwrap();
+    let payload = job.execute().expect("basket job completes");
+    let done = ToCoordinator::Done {
+        worker_id,
+        result: proteus_service::WireResult {
+            spec_hash: hash,
+            name: job.name(),
+            outcome: JobOutcome::Completed,
+            payload,
+            attempts: 1,
+            wall_seconds: 0.1,
+        },
+    };
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &done.to_json()).unwrap();
+    assert!(bytes.len() > 10, "Done frames are comfortably larger than the splits");
+    // Trickle the frame: 2 bytes (mid length prefix) … stall … 8 more
+    // (mid body) … stall … the rest. Each stall spans several read
+    // timeouts on the coordinator side.
+    for part in [&bytes[..2], &bytes[2..10], &bytes[10..]] {
+        s.write_all(part).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(600));
+    }
+    assert!(coord.wait_idle(Duration::from_secs(30)), "stalled frame must still land");
+    let rec = coord.result(hash).expect("job finished via the trickled frame");
+    assert!(rec.outcome.is_completed(), "{:?}", rec.outcome);
+    assert_eq!(coord.metrics().counter("service_jobs_reassigned_total"), 0);
+    coord.shutdown();
+}
+
+/// A result for a spec hash the coordinator never issued (a worker
+/// that could not decode its envelope reports spec_hash 0) must
+/// release that worker's leases immediately — requeue happens now, not
+/// a full lease period later — and be counted under its own metric,
+/// not as a duplicate.
+#[test]
+fn unmatched_result_releases_the_workers_leases_immediately() {
+    let jobs = build_basket(1);
+    let hash = jobs[0].spec_hash();
+    // Default 30 s lease: if the test drains quickly, it proved the
+    // release did not wait for lease expiry.
+    let coord = start(CoordinatorConfig { steal: false, ..CoordinatorConfig::default() });
+    coord.submit_sweep(jobs.clone());
+
+    let (mut s, worker_id, _) = raw_take_assignment(&coord);
+    let bogus = ToCoordinator::Done {
+        worker_id,
+        result: proteus_service::WireResult {
+            spec_hash: 0,
+            name: "malformed".to_string(),
+            outcome: JobOutcome::Failed { error: "undecodable job envelope".to_string() },
+            payload: Json::Null,
+            attempts: 1,
+            wall_seconds: 0.0,
+        },
+    };
+    write_frame(&mut s, &bogus.to_json()).unwrap();
+
+    // The job must return to the queue promptly (well under the lease).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = coord.job_status_json(hash).expect("job still tracked");
+        if status.get("state").and_then(Json::as_str) == Some("queued") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "lease never released: {status:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(coord.metrics().counter("service_unmatched_results_total"), 1);
+    assert_eq!(coord.metrics().counter("service_duplicate_results_total"), 0);
+
+    let w = spawn_worker(&coord, "honest");
+    assert!(coord.wait_idle(Duration::from_secs(120)), "requeued job must complete");
+    assert!(coord.result(hash).unwrap().outcome.is_completed());
+    coord.shutdown();
+    w.join().unwrap();
 }
 
 /// The same ledger record shape flows over the wire and into the
