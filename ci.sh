@@ -26,6 +26,13 @@
 #   the fast-forward determinism suite twice: once normally and once
 #       with --features paranoid, which single-steps every would-be
 #       skip and asserts the machine state fingerprint never moves
+#   scheme-registry gates: tools/lint-scheme-dispatch.sh (no per-scheme
+#       dispatch outside crates/core/src/scheme/registry.rs), the
+#       registry completeness suite (every registered scheme
+#       round-trips the codec, runs all Table 2 workloads, recovers,
+#       and survives a stratified crashsweep smoke), and the golden
+#       pin (six seed schemes byte-identical against
+#       crates/bench/tests/golden/fig6_seed_schemes.jsonl)
 #   cargo fmt --check
 #   cargo clippy --offline --workspace --lib --bins -- -D warnings
 #

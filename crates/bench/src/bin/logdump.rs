@@ -4,24 +4,24 @@
 //!
 //! ```text
 //! logdump [scheme] [crash-percent]
-//!   scheme: sw | atom | proteus | nolwr   (default proteus)
+//!   scheme: any registry CLI name         (default proteus)
 //!   crash-percent: 1..99                  (default 50)
 //! ```
 
 use proteus_core::recovery::scan_log_area;
+use proteus_core::scheme::registry;
 use proteus_sim::System;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::SystemConfig;
 use proteus_workloads::{generate, Benchmark, WorkloadParams};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let scheme = match std::env::args().nth(1).as_deref() {
-        None | Some("proteus") => LoggingSchemeKind::Proteus,
-        Some("sw") => LoggingSchemeKind::SwPmem,
-        Some("atom") => LoggingSchemeKind::Atom,
-        Some("nolwr") => LoggingSchemeKind::ProteusNoLwr,
-        Some(other) => {
-            eprintln!("unknown scheme {other} (sw|atom|proteus|nolwr)");
+    let name = std::env::args().nth(1).unwrap_or_else(|| "proteus".to_string());
+    let scheme = match registry::by_cli_name(&name) {
+        Some(d) => d.kind,
+        None => {
+            let known: Vec<&str> = registry::all().iter().map(|d| d.cli_name).collect();
+            eprintln!("unknown scheme {name} ({})", known.join("|"));
             return ExitCode::FAILURE;
         }
     };

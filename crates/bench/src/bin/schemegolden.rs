@@ -1,0 +1,122 @@
+//! Dumps per-(bench, scheme) spec hashes and RunSummary JSON for the
+//! fig6 configuration — the byte-identity golden used to pin scheme
+//! refactors (see `proteus_bench::golden`).
+//!
+//! ```text
+//! schemegolden [--scale S] [--threads N] [--tiny-scale S] [--tiny-threads N] [--out PATH]
+//! ```
+//!
+//! The first JSONL line records the capture environment's workload
+//! fingerprint; each following line is one (Table 2 benchmark, scheme)
+//! cell:
+//!
+//! ```json
+//! {"bench":"QE","scheme":"PMEM","spec_hash":"...","summary":{...},
+//!  "tiny_spec_hash":"...","tiny_summary":{...}}
+//! ```
+//!
+//! `spec_hash`/`summary` are at the headline scale (default 0.05 / 4
+//! threads — the acceptance configuration for behaviour-preserving
+//! refactors); `tiny_*` at a small scale cheap enough for CI to
+//! re-simulate on every run (`crates/bench/tests/golden_pin.rs`).
+//! Regenerate the committed golden with:
+//!
+//! ```text
+//! tools/offline-check.sh build   # or any working build
+//! schemegolden --out crates/bench/tests/golden/fig6_seed_schemes.jsonl
+//! ```
+
+use proteus_bench::experiments::ExperimentScale;
+use proteus_bench::golden::{fig6_cell_spec, workload_fingerprint};
+use proteus_harness::Json;
+use proteus_sim::persist::summary_to_json;
+use proteus_sim::runner::sweep_schemes;
+use proteus_types::config::{LoggingSchemeKind, MemTech};
+use proteus_workloads::Benchmark;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = ExperimentScale {
+        scale: flag(&args, "--scale", 0.05),
+        threads: flag(&args, "--threads", 4),
+    };
+    let tiny = ExperimentScale {
+        scale: flag(&args, "--tiny-scale", 0.02),
+        threads: flag(&args, "--tiny-threads", 2),
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "schemegolden.jsonl".to_string());
+
+    let schemes = LoggingSchemeKind::ALL;
+    let mut lines: Vec<String> = vec![Json::obj([(
+        "workload_fingerprint",
+        Json::str(format!("{:016x}", workload_fingerprint())),
+    )])
+    .to_line()];
+    for bench in Benchmark::TABLE2 {
+        let mut sweeps = Vec::new();
+        for scale in [&full, &tiny] {
+            match sweep_schemes(
+                &scale.config().with_mem_tech(MemTech::NvmFast),
+                bench,
+                &scale.params(bench),
+                &schemes,
+            ) {
+                Ok(s) => sweeps.push(s),
+                Err(e) => {
+                    eprintln!("schemegolden: {}/{:?} failed: {e}", bench.abbrev(), scale);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        for scheme in schemes {
+            let line = Json::obj([
+                ("bench", Json::str(bench.abbrev())),
+                ("scheme", Json::str(scheme.label())),
+                (
+                    "spec_hash",
+                    Json::str(format!("{:016x}", fig6_cell_spec(&full, bench, scheme).spec_hash())),
+                ),
+                ("summary", summary_to_json(sweeps[0].summary_of(scheme))),
+                (
+                    "tiny_spec_hash",
+                    Json::str(format!("{:016x}", fig6_cell_spec(&tiny, bench, scheme).spec_hash())),
+                ),
+                ("tiny_summary", summary_to_json(sweeps[1].summary_of(scheme))),
+            ])
+            .to_line();
+            lines.push(line);
+        }
+        eprintln!("[schemegolden] {} done", bench.abbrev());
+    }
+
+    let mut f = match std::fs::File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("schemegolden: cannot create {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for line in &lines {
+        if let Err(e) = writeln!(f, "{line}") {
+            eprintln!("schemegolden: write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[schemegolden] wrote {} cells to {out}", lines.len() - 1);
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@
 //! panic in one simulator run is isolated to that job instead of
 //! tearing down the whole figure.
 
+use proteus_core::scheme::registry;
 use proteus_harness::SweepOptions;
 use proteus_sim::report::{f2, pct1, Table};
 use proteus_sim::runner::{sweep_schemes_with, SchemeSweep};
@@ -36,18 +37,19 @@ impl Default for ExperimentScale {
 }
 
 impl ExperimentScale {
-    fn params(&self, bench: Benchmark) -> WorkloadParams {
-        // The seed is derived from the workload's structural identity,
-        // so every figure regenerates byte-identical traces for the
-        // same (bench, threads, ops) shape — resume ledgers stay valid
-        // across invocations.
+    /// Table 2 op counts scaled by [`ExperimentScale::scale`], with the
+    /// seed derived from the workload's structural identity, so every
+    /// figure regenerates byte-identical traces for the same
+    /// (bench, threads, ops) shape — resume ledgers stay valid across
+    /// invocations.
+    pub fn params(&self, bench: Benchmark) -> WorkloadParams {
         WorkloadParams::table2(bench, self.threads, self.scale).with_derived_seed(bench)
     }
 
     /// Table 1 configuration with the L2/L3 scaled down by the workload
     /// scale factor (power-of-two divisor), keeping the working-set /
     /// cache ratio — and thus the paper's DRAM-bound behaviour — intact.
-    fn config(&self) -> SystemConfig {
+    pub fn config(&self) -> SystemConfig {
         let divisor = if self.scale >= 1.0 {
             1
         } else {
@@ -84,14 +86,11 @@ impl From<ExperimentScale> for ExperimentCtx {
     }
 }
 
-/// The figure-6/9/10 scheme set, in presentation order.
-const FIG6_SCHEMES: [LoggingSchemeKind; 5] = [
-    LoggingSchemeKind::SwPmemPcommit,
-    LoggingSchemeKind::Atom,
-    LoggingSchemeKind::ProteusNoLwr,
-    LoggingSchemeKind::Proteus,
-    LoggingSchemeKind::NoLog,
-];
+/// The figure-6/9/10 scheme set, in presentation order: every
+/// registered scheme except the speedup baseline.
+fn fig6_schemes() -> Vec<LoggingSchemeKind> {
+    registry::figure_columns()
+}
 
 fn sweep_all_benchmarks(ctx: &ExperimentCtx, tech: MemTech) -> Result<Vec<SchemeSweep>, SimError> {
     Benchmark::TABLE2
@@ -109,13 +108,14 @@ fn sweep_all_benchmarks(ctx: &ExperimentCtx, tech: MemTech) -> Result<Vec<Scheme
 }
 
 fn speedup_table(sweeps: &[SchemeSweep], title: &str) -> String {
+    let schemes = fig6_schemes();
     let mut headers = vec!["bench".to_string()];
-    headers.extend(FIG6_SCHEMES.iter().map(|s| s.label().to_string()));
+    headers.extend(schemes.iter().map(|s| s.label().to_string()));
     let mut table = Table::new(headers);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); FIG6_SCHEMES.len()];
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for sweep in sweeps {
         let mut row = vec![sweep.bench.clone()];
-        for (i, scheme) in FIG6_SCHEMES.iter().enumerate() {
+        for (i, scheme) in schemes.iter().enumerate() {
             let v = sweep.speedup(*scheme);
             columns[i].push(v);
             row.push(f2(v));
@@ -592,14 +592,12 @@ pub fn trace(ctx: &ExperimentCtx) -> Result<String, SimError> {
 }
 
 /// The failure-safe scheme set `crashsweep` must hold to zero
-/// violations (NoLog is failure-*unsafe* by design; SwPmemPcommit is
-/// SwPmem plus a fence and adds nothing to crash coverage).
-const CRASH_SCHEMES: [LoggingSchemeKind; 4] = [
-    LoggingSchemeKind::SwPmem,
-    LoggingSchemeKind::Atom,
-    LoggingSchemeKind::Proteus,
-    LoggingSchemeKind::ProteusNoLwr,
-];
+/// violations — the registry's `crash_sweep` roster (NoLog is
+/// failure-*unsafe* by design; SwPmemPcommit is SwPmem plus a fence and
+/// adds nothing to crash coverage).
+fn crash_schemes() -> Vec<LoggingSchemeKind> {
+    registry::crash_sweep_roster()
+}
 
 /// Where `crashsweep` leaves its shrunk repro artifact and where
 /// `crashrepro` looks for it when `--file` is not given.
@@ -630,10 +628,11 @@ pub fn crashsweep(ctx: &ExperimentCtx) -> Result<String, SimError> {
     use proteus_crash::{explore, shrink, ExploreSpec};
 
     let benches = [Benchmark::Queue, Benchmark::HashMap, Benchmark::RbTree];
+    let schemes = crash_schemes();
     let specs: Vec<ExploreSpec> = benches
         .iter()
         .flat_map(|&bench| {
-            CRASH_SCHEMES
+            schemes
                 .iter()
                 .map(move |&scheme| ExploreSpec::new(bench, crash_params(ctx, bench), scheme, 512))
         })
@@ -733,8 +732,7 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
     use std::fmt::Write as _;
 
     let basket = [Benchmark::Queue, Benchmark::HashMap, Benchmark::StringSwap];
-    let schemes =
-        [LoggingSchemeKind::SwPmemPcommit, LoggingSchemeKind::Atom, LoggingSchemeKind::Proteus];
+    let schemes = registry::bench_basket();
 
     let mut table = Table::new(["bench", "scheme", "Mcycles", "ff (s)", "step (s)", "speedup"]);
     let mut json_entries = Vec::new();
@@ -743,7 +741,7 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
     for bench in basket {
         let params = ctx.scale.params(bench);
         let workload = proteus_workloads::generate(bench, &params);
-        for scheme in schemes {
+        for &scheme in &schemes {
             let run = |fast: bool| -> Result<_, SimError> {
                 let mut system = System::new(&ctx.scale.config(), scheme, &workload)?;
                 system.set_fast_forward(fast);

@@ -8,5 +8,6 @@
 //! wrap the same entry points for performance tracking.
 
 pub mod experiments;
+pub mod golden;
 
 pub use experiments::*;

@@ -1,0 +1,142 @@
+//! Registry completeness: every scheme in [`registry::DESCRIPTORS`]
+//! must be a *complete* citizen of the toolchain, not just an enum
+//! variant — resolvable by label and CLI name, round-trippable through
+//! the report codec, executable on every Table 2 workload, and (when
+//! it claims failure safety) recoverable and crash-consistent.
+//!
+//! This is the test a new scheme (like InCLL) has to pass by merely
+//! registering a descriptor: nothing here names a scheme explicitly,
+//! so a registry entry that lies about its capabilities fails loudly.
+
+use proteus_bench::experiments::ExperimentScale;
+use proteus_core::scheme::registry;
+use proteus_crash::{explore, ExploreSpec};
+use proteus_sim::persist::{scheme_from_label, scheme_to_json};
+use proteus_sim::System;
+use proteus_types::config::LoggingSchemeKind;
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
+
+/// Tiny-but-real workload: multiple transactions per thread, enough
+/// persist traffic for stratified sampling to have strata to sample.
+fn smoke_params() -> WorkloadParams {
+    WorkloadParams { threads: 2, init_ops: 200, sim_ops: 30, seed: 99 }
+}
+
+#[test]
+fn registry_enumerates_the_enum_exactly() {
+    let kinds: Vec<LoggingSchemeKind> = registry::all().iter().map(|d| d.kind).collect();
+    assert_eq!(kinds, LoggingSchemeKind::ALL.to_vec(), "registry order must mirror ALL");
+}
+
+#[test]
+fn every_scheme_round_trips_label_and_cli_name() {
+    for d in registry::all() {
+        assert_eq!(scheme_from_label(scheme_to_json(d.kind).as_str().unwrap()), Some(d.kind));
+        assert_eq!(registry::by_label(d.label).map(|r| r.kind), Some(d.kind));
+        assert_eq!(registry::by_cli_name(d.cli_name).map(|r| r.kind), Some(d.kind));
+    }
+    assert_eq!(scheme_from_label("NotAScheme"), None);
+    assert!(registry::by_cli_name("not-a-scheme").is_none());
+}
+
+/// Every scheme must expand and execute every Table 2 workload at the
+/// smoke scale — a descriptor whose expander rejects a workload shape
+/// the others accept is not a drop-in column.
+#[test]
+fn every_scheme_executes_every_table2_workload() {
+    let scale = ExperimentScale { scale: 0.02, threads: 2 };
+    let cfg = scale.config();
+    for bench in Benchmark::TABLE2 {
+        let workload = generate(bench, &scale.params(bench));
+        for d in registry::all() {
+            let mut sys = System::new(&cfg, d.kind, &workload)
+                .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", bench.abbrev(), d.label));
+            let summary = sys
+                .run()
+                .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", bench.abbrev(), d.label));
+            assert!(summary.total_cycles > 0, "{}/{}: empty run", bench.abbrev(), d.label);
+        }
+    }
+}
+
+/// Every failure-safe scheme must survive a mid-run crash and produce
+/// a recovery report; non-failure-safe schemes are exempt (NoLog has
+/// nothing to recover from).
+#[test]
+fn every_failure_safe_scheme_recovers_from_a_midpoint_crash() {
+    let params = smoke_params();
+    let workload = generate(Benchmark::Queue, &params);
+    let cfg = proteus_types::config::SystemConfig::skylake_like().with_num_cores(2);
+    for d in registry::all().iter().filter(|d| d.failure_safe) {
+        let total = {
+            let mut m = System::new(&cfg, d.kind, &workload).expect("build");
+            m.run().expect("run").total_cycles
+        };
+        let mut m = System::new(&cfg, d.kind, &workload).expect("build");
+        m.run_until(total / 2);
+        let (_, report) =
+            m.crash_and_recover().unwrap_or_else(|e| panic!("{}: recovery failed: {e}", d.label));
+        assert_eq!(report.outcomes.len(), params.threads, "{}: missing threads", d.label);
+    }
+}
+
+/// Full InCLL acceptance sweep: every Table 2 workload, >= 200 crash
+/// points per cell, zero oracle violations. Too heavy for every CI
+/// run, so it is `#[ignore]`d; run it explicitly when touching the
+/// InCLL expander or recovery:
+///
+/// ```text
+/// cargo test -p proteus-bench --release --test registry_completeness -- --ignored
+/// ```
+#[test]
+#[ignore = "acceptance-scale sweep; run with -- --ignored"]
+fn incll_sweeps_every_table2_workload_at_acceptance_scale() {
+    let incll = registry::by_cli_name("incll").expect("InCLL registered").kind;
+    for bench in Benchmark::TABLE2 {
+        let params = WorkloadParams { threads: 2, init_ops: 80, sim_ops: 48, seed: 0 }
+            .with_derived_seed(bench);
+        let spec = ExploreSpec::new(bench, params, incll, 512);
+        let outcome =
+            explore(&spec).unwrap_or_else(|e| panic!("{}: explore failed: {e}", bench.abbrev()));
+        assert!(
+            outcome.points_explored >= 200,
+            "{}: only {} crash points (total events {})",
+            bench.abbrev(),
+            outcome.points_explored,
+            outcome.total_events
+        );
+        assert!(
+            outcome.is_consistent(),
+            "{}: {} violations, first: {:?}",
+            bench.abbrev(),
+            outcome.violations.len(),
+            outcome.violations.first()
+        );
+        eprintln!(
+            "[incll-acceptance] {}: {} events, {} points, 0 violations",
+            bench.abbrev(),
+            outcome.total_events,
+            outcome.points_explored
+        );
+    }
+}
+
+/// Stratified crashsweep smoke over the registry's own crash roster:
+/// every scheme that advertises `crash_sweep` must recover to a
+/// transaction boundary at every sampled crash point.
+#[test]
+fn crash_sweep_roster_is_consistent_under_stratified_smoke() {
+    for kind in registry::crash_sweep_roster() {
+        let spec = ExploreSpec::new(Benchmark::Queue, smoke_params(), kind, 24);
+        let outcome =
+            explore(&spec).unwrap_or_else(|e| panic!("{}: explore failed: {e}", kind.label()));
+        assert!(outcome.points_explored > 0, "{}: no crash points", kind.label());
+        assert!(
+            outcome.is_consistent(),
+            "{}: {} violations, first: {:?}",
+            kind.label(),
+            outcome.violations.len(),
+            outcome.violations.first()
+        );
+    }
+}

@@ -97,9 +97,11 @@ impl RecoveryReport {
 
 /// Runs crash recovery over `image` for every thread in `threads`.
 ///
-/// The scheme kind selects the protocol: the software schemes use the
-/// logFlag protocol, the hardware schemes the txID/commit-marker protocol,
-/// and [`LoggingSchemeKind::NoLog`] performs no recovery (it is not
+/// The scheme kind selects the protocol through the descriptor registry
+/// (`crate::scheme::registry`): the software schemes use the logFlag
+/// protocol, the hardware schemes the txID/commit-marker protocol, InCLL
+/// its directory-driven embedded/external hybrid, and
+/// [`LoggingSchemeKind::NoLog`] performs no recovery (it is not
 /// failure-safe — this is exactly the paper's "ideal but unsafe" point).
 ///
 /// # Errors
@@ -151,19 +153,10 @@ pub fn recover_with_budget(
     budget: usize,
 ) -> Result<BudgetedRecovery, SimError> {
     let mut budget = WriteBudget { limit: budget, used: 0, denied: false };
+    let recover_thread = crate::scheme::registry::descriptor(kind).recover_thread;
     let mut report = RecoveryReport::default();
     for &thread in threads {
-        let outcome = match kind {
-            LoggingSchemeKind::SwPmem | LoggingSchemeKind::SwPmemPcommit => {
-                recover_sw_thread(image, layout, thread, &mut budget)?
-            }
-            LoggingSchemeKind::Atom
-            | LoggingSchemeKind::Proteus
-            | LoggingSchemeKind::ProteusNoLwr => {
-                recover_hw_thread(image, layout, thread, &mut budget)?
-            }
-            LoggingSchemeKind::NoLog => ThreadOutcome::Clean,
-        };
+        let outcome = recover_thread(image, layout, thread, &mut budget)?;
         report.outcomes.push((thread, outcome));
     }
     Ok(BudgetedRecovery { report, writes: budget.used, exhausted: budget.denied })
@@ -171,15 +164,17 @@ pub fn recover_with_budget(
 
 /// Durable-write allowance for a budgeted recovery pass. Once a write is
 /// denied, every later one is too — the machine is dead from that point.
+/// (Public because the registry's per-scheme recovery hooks thread it
+/// through; construction and accounting stay in this module.)
 #[derive(Debug)]
-struct WriteBudget {
+pub struct WriteBudget {
     limit: usize,
     used: usize,
     denied: bool,
 }
 
 impl WriteBudget {
-    fn allow(&mut self) -> bool {
+    pub(crate) fn allow(&mut self) -> bool {
         if self.denied || self.used >= self.limit {
             self.denied = true;
             return false;
@@ -205,7 +200,7 @@ pub fn scan_log_area(
 }
 
 /// Selects, per grain, the earliest-sequence entry among `entries`.
-fn earliest_per_grain(entries: &[(Addr, LogEntry)], tx: TxId) -> Vec<LogEntry> {
+pub(crate) fn earliest_per_grain(entries: &[(Addr, LogEntry)], tx: TxId) -> Vec<LogEntry> {
     let mut best: HashMap<u64, LogEntry> = HashMap::new();
     for (_, e) in entries {
         if e.tx != tx {
@@ -224,7 +219,7 @@ fn earliest_per_grain(entries: &[(Addr, LogEntry)], tx: TxId) -> Vec<LogEntry> {
     list
 }
 
-fn apply_undo(image: &mut WordImage, entries: &[LogEntry], budget: &mut WriteBudget) {
+pub(crate) fn apply_undo(image: &mut WordImage, entries: &[LogEntry], budget: &mut WriteBudget) {
     for e in entries {
         if !budget.allow() {
             return;
@@ -233,7 +228,7 @@ fn apply_undo(image: &mut WordImage, entries: &[LogEntry], budget: &mut WriteBud
     }
 }
 
-fn recover_sw_thread(
+pub(crate) fn recover_sw_thread(
     image: &mut WordImage,
     layout: &AddressLayout,
     thread: ThreadId,
@@ -254,7 +249,7 @@ fn recover_sw_thread(
     Ok(ThreadOutcome::RolledBack { tx, entries_applied: undo.len() })
 }
 
-fn recover_hw_thread(
+pub(crate) fn recover_hw_thread(
     image: &mut WordImage,
     layout: &AddressLayout,
     thread: ThreadId,

@@ -1,0 +1,709 @@
+//! In-cache-line logging (InCLL).
+//!
+//! Cohen et al. (ASPLOS'19, arXiv:1902.00660) observe that when a
+//! transaction modifies a single word of a cache line, the undo
+//! information can live *inside the mutated line itself*: one spare word
+//! of the line holds `(txid, word-index, old value)`, so logging adds no
+//! separate log-area write — the line carrying data and log entry is
+//! written back atomically (under the ADR contract a queued line lands
+//! whole; see `proteus_crash::fault`). Lines that do not qualify fall
+//! back to ordinary external undo entries, mirroring the paper's hybrid
+//! of in-line and external ("redo-log") paths.
+//!
+//! InCLL is structure-integrated: the original work reserves the log
+//! word in the node layout at design time and recovery walks the
+//! structure to find embedded entries. The expansion mirrors both
+//! choices statically:
+//!
+//! * a **classification pre-pass** decides, per cache line, whether the
+//!   line may ever embed (its word 6 is never program data and starts
+//!   zero) and, per transaction, whether it does embed (the transaction
+//!   writes exactly one distinct word of the line, and the overwritten
+//!   value fits the 40-bit old-value field);
+//! * a **directory** — the stand-in for "recovery walks the structure" —
+//!   lists every line that may carry an embedded entry. It is written
+//!   once into the tail of the thread's log area and made durable by a
+//!   fenced prologue before any transaction runs, so recovery always
+//!   knows where to look.
+//!
+//! Per transaction the protocol is two persist barriers (software undo
+//! logging needs four):
+//!
+//! 1. external undo entries for the non-embeddable written grains,
+//!    `clwb` + `sfence` (skipped entirely when everything embeds);
+//! 2. the body: the first store to an embeddable line is preceded by the
+//!    packed entry store into word 6 of the *same line*;
+//! 3. commit: `clwb` every dirty line, `sfence`, then publish the commit
+//!    record `logFlag = txID`, `clwb`, `sfence`.
+//!
+//! The fenced commit record is what keeps recovery to a single
+//! in-flight transaction: transaction `T` starts only after `T-1`'s
+//! record is durable, so at a crash every entry (embedded or external)
+//! with `txid > logFlag` belongs to exactly one transaction, and rolling
+//! it back lands on the last recorded commit boundary.
+//!
+//! Recovery runs the external undo pass first and the embedded pass
+//! second: an external grain restore may resurrect a *stale* embedded
+//! entry captured inside the grain image, and the embedded pass zeroes
+//! every entry word it visits, live or stale, restoring the program's
+//! view that word 6 of an embeddable line is always zero.
+//!
+//! A fenced **epilogue** after the last transaction zeroes every line's
+//! embedded entry (the paper's epoch-close cleanup), so a run that
+//! completes leaves the data region byte-identical to the functional
+//! result; a crash inside the epilogue is covered by recovery's
+//! zeroing pass.
+
+use super::DirtyLines;
+use crate::entry::LogEntry;
+use crate::isa::{Trace, Uop};
+use crate::layout::AddressLayout;
+use crate::pmem::WordImage;
+use crate::program::{Op, Program};
+use crate::recovery::{apply_undo, earliest_per_grain, ThreadOutcome, WriteBudget};
+use crate::scheme::ExpandOptions;
+use proteus_types::addr::LineAddr;
+use proteus_types::{Addr, SimError, ThreadId, TxId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Word index within a line reserved for the embedded entry.
+const ENTRY_WORD: u64 = 6;
+/// Valid bit of a packed embedded entry.
+const VALID: u64 = 1 << 63;
+/// Shift/width of the mutated word index (3 bits, 0-7, never 6).
+const IDX_SHIFT: u32 = 60;
+/// Shift of the transaction id field (20 bits).
+const TX_SHIFT: u32 = 40;
+/// Maximum transaction id an embedded entry can name.
+const TX_LIMIT: u64 = 1 << 20;
+/// Maximum old value an embedded entry can hold (40 bits — covers the
+/// workloads' pointers, u32 payloads, and counters).
+const OLD_LIMIT: u64 = 1 << TX_SHIFT;
+/// Directory header magic ("InCLLv01" truncated to what fits the eye).
+const MAGIC: u64 = 0x496E_434C_4C76_3031;
+/// Line addresses packed per directory slot.
+const ADDRS_PER_SLOT: usize = 8;
+
+/// Packs an embedded entry word.
+fn pack(idx: u64, tx: TxId, old: u64) -> u64 {
+    debug_assert!(idx < 8 && idx != ENTRY_WORD && tx.raw() < TX_LIMIT && old < OLD_LIMIT);
+    VALID | (idx << IDX_SHIFT) | (tx.raw() << TX_SHIFT) | old
+}
+
+/// Unpacks `(word index, txid, old value)`; `None` if the valid bit is
+/// clear.
+fn unpack(word: u64) -> Option<(u64, TxId, u64)> {
+    if word & VALID == 0 {
+        return None;
+    }
+    let idx = (word >> IDX_SHIFT) & 0x7;
+    let tx = (word >> TX_SHIFT) & (TX_LIMIT - 1);
+    Some((idx, TxId::new(tx), word & (OLD_LIMIT - 1)))
+}
+
+/// The most embeddable lines a layout's directory can index: a quarter
+/// of the log area is ceded to the directory, the rest stays a circular
+/// external-entry buffer.
+fn max_directory_lines(layout: &AddressLayout) -> usize {
+    (layout.log_area_entries / 4).max(1) * ADDRS_PER_SLOT
+}
+
+/// Directory geometry for `count` embeddable lines: number of list
+/// slots and the first slot index *past* the external-entry region.
+/// Slot `N-1` is the header; list slots grow downward from `N-2`.
+fn directory_slots(count: usize) -> usize {
+    count.div_ceil(ADDRS_PER_SLOT)
+}
+
+/// External (fallback) region capacity given the embeddable-line count.
+fn fallback_slots(layout: &AddressLayout, count: usize) -> usize {
+    layout.log_area_entries.saturating_sub(1 + directory_slots(count))
+}
+
+/// Per-transaction write footprint: distinct word indices per line.
+type TxFootprint = BTreeMap<LineAddr, BTreeSet<u64>>;
+
+/// Static classification of one thread's program.
+struct Classified {
+    /// Per-transaction (in program order) line write footprints.
+    txs: Vec<TxFootprint>,
+    /// Lines allowed to carry embedded entries, in first-qualifying
+    /// order (the directory contents).
+    directory: Vec<LineAddr>,
+    dir_set: HashSet<LineAddr>,
+}
+
+fn classify(program: &Program, layout: &AddressLayout, initial: &WordImage) -> Classified {
+    let mut word6_data: HashSet<LineAddr> = HashSet::new();
+    let mut txs: Vec<TxFootprint> = Vec::new();
+    let mut current: Option<TxFootprint> = None;
+    for op in &program.ops {
+        match op {
+            Op::Write(addr, _) => {
+                let idx = (addr.raw() % 64) / 8;
+                if idx == ENTRY_WORD {
+                    word6_data.insert(addr.line());
+                }
+                if let Some(tx) = current.as_mut() {
+                    tx.entry(addr.line()).or_default().insert(idx);
+                }
+            }
+            Op::TxBegin { .. } => current = Some(TxFootprint::new()),
+            Op::TxEnd => txs.push(current.take().unwrap_or_default()),
+            _ => {}
+        }
+    }
+
+    let cap = max_directory_lines(layout);
+    let mut directory = Vec::new();
+    let mut dir_set = HashSet::new();
+    for (t, tx) in txs.iter().enumerate() {
+        let txid = t as u64 + 1;
+        if txid >= TX_LIMIT {
+            break;
+        }
+        for (line, words) in tx {
+            if words.len() == 1
+                && !words.contains(&ENTRY_WORD)
+                && !word6_data.contains(line)
+                && initial.read_word(line.base().offset(ENTRY_WORD * 8)) == 0
+                && !dir_set.contains(line)
+                && directory.len() < cap
+            {
+                directory.push(*line);
+                dir_set.insert(*line);
+            }
+        }
+    }
+    Classified { txs, directory, dir_set }
+}
+
+/// Expands `program` into the InCLL trace (see the module docs for the
+/// protocol). Matches the registry's `ExpandFn` signature.
+///
+/// # Errors
+///
+/// Returns [`SimError::LogAreaOverflow`] if one transaction's external
+/// entries exceed the fallback region.
+pub(super) fn expand(
+    program: &Program,
+    layout: &AddressLayout,
+    opts: &ExpandOptions,
+) -> Result<Trace, SimError> {
+    let cls = classify(program, layout, &opts.initial_image);
+    let mut trace = Trace::new(program.thread);
+    let mut image = (*opts.initial_image).clone();
+    let mut dirty = DirtyLines::new();
+    let log_flag = layout.log_flag(program.thread);
+    let fb_slots = fallback_slots(layout, cls.directory.len());
+
+    // Fenced prologue: persist the embeddable-line directory into the
+    // tail of the log area before any transaction runs.
+    {
+        let header = layout.log_slot(program.thread, layout.log_area_entries - 1);
+        let mut dir_lines: Vec<(Addr, Vec<u64>)> =
+            vec![(header, vec![MAGIC, cls.directory.len() as u64])];
+        for (chunk_no, chunk) in cls.directory.chunks(ADDRS_PER_SLOT).enumerate() {
+            let slot = layout.log_slot(program.thread, layout.log_area_entries - 2 - chunk_no);
+            dir_lines.push((slot, chunk.iter().map(|l| l.base().raw()).collect()));
+        }
+        for (base, words) in dir_lines {
+            for (i, w) in words.iter().enumerate() {
+                let addr = base.offset(i as u64 * 8);
+                trace.uops.push(Uop::Store { addr, value: *w });
+                image.write_word(addr, *w);
+            }
+            trace.uops.push(Uop::Clwb { addr: base });
+        }
+        trace.uops.push(Uop::Sfence);
+    }
+
+    // External-entry cursor over the fallback region (the directory owns
+    // the tail, so `LogArea` with its full-area stride cannot be used).
+    let mut fb_head = 0usize;
+    let mut fb_seq = 0u64;
+    let mut next_tx = TxId::new(1);
+    // Embeddable lines of the open transaction that have not yet
+    // received their entry store, with `(word index, old value)`.
+    let mut pending_embed: BTreeMap<LineAddr, (u64, u64)> = BTreeMap::new();
+    let mut in_tx: Option<TxId> = None;
+    let mut embedded_ever: HashSet<LineAddr> = HashSet::new();
+
+    for op in &program.ops {
+        match op {
+            Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
+            Op::ReadDep(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: true }),
+            Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
+            Op::TxBegin { .. } => {
+                let tx = next_tx;
+                next_tx = next_tx.next();
+                in_tx = Some(tx);
+                let footprint = &cls.txs[(tx.raw() - 1) as usize];
+
+                // Split the written lines: embed where permitted, log the
+                // touched grains of the rest externally.
+                pending_embed.clear();
+                let mut fallback_grains: BTreeSet<Addr> = BTreeSet::new();
+                for (line, words) in footprint {
+                    let idx = *words.iter().next().expect("nonempty write set");
+                    let old = image.read_word(line.base().offset(idx * 8));
+                    if words.len() == 1
+                        && cls.dir_set.contains(line)
+                        && tx.raw() < TX_LIMIT
+                        && old < OLD_LIMIT
+                    {
+                        pending_embed.insert(*line, (idx, old));
+                    } else {
+                        for idx in words {
+                            let grain = if *idx < 4 { 0 } else { 32 };
+                            fallback_grains.insert(line.base().offset(grain));
+                        }
+                    }
+                }
+
+                let mut tx_entries = 0usize;
+                for grain_base in &fallback_grains {
+                    tx_entries += 1;
+                    if tx_entries > fb_slots {
+                        return Err(SimError::LogAreaOverflow {
+                            thread: program.thread,
+                            capacity: fb_slots,
+                        });
+                    }
+                    // Software reads the original grain...
+                    for w in 0..4u64 {
+                        trace
+                            .uops
+                            .push(Uop::Load { addr: grain_base.offset(w * 8), dependent: false });
+                    }
+                    let slot = layout.log_slot(program.thread, fb_head);
+                    fb_head = (fb_head + 1) % fb_slots.max(1);
+                    let entry =
+                        LogEntry::new(image.read_grain(*grain_base), *grain_base, tx, fb_seq);
+                    fb_seq += 1;
+                    // ...stores the entry, and flushes the log line.
+                    for (i, word) in entry.encode_words().iter().enumerate() {
+                        trace
+                            .uops
+                            .push(Uop::Store { addr: slot.offset(i as u64 * 8), value: *word });
+                    }
+                    image.write_line(slot.line(), &entry.encode_words());
+                    trace.uops.push(Uop::Clwb { addr: slot });
+                }
+                if !fallback_grains.is_empty() {
+                    trace.uops.push(Uop::Sfence);
+                }
+            }
+            Op::Write(addr, value) => {
+                if let Some(tx) = in_tx {
+                    if let Some((idx, old)) = pending_embed.remove(&addr.line()) {
+                        // First store to an embeddable line: read the old
+                        // word and drop the packed entry into word 6 of
+                        // the same line, directly ahead of the data store.
+                        let entry_addr = addr.line().base().offset(ENTRY_WORD * 8);
+                        trace.uops.push(Uop::Load {
+                            addr: addr.line().base().offset(idx * 8),
+                            dependent: false,
+                        });
+                        let packed = pack(idx, tx, old);
+                        trace.uops.push(Uop::Store { addr: entry_addr, value: packed });
+                        image.write_word(entry_addr, packed);
+                        embedded_ever.insert(addr.line());
+                    }
+                    dirty.record(*addr);
+                }
+                trace.uops.push(Uop::Store { addr: *addr, value: *value });
+                image.write_word(*addr, *value);
+            }
+            Op::TxEnd => {
+                let tx = in_tx.take().expect("validated program brackets transactions");
+                // Persist the data (and embedded-entry) lines...
+                for line in dirty.drain() {
+                    trace.uops.push(Uop::Clwb { addr: line.base() });
+                }
+                trace.uops.push(Uop::Sfence);
+                // ...then publish the durable commit record. The fence
+                // keeps recovery single-transaction: T+1 cannot start
+                // logging before T's record is durable.
+                trace.uops.push(Uop::Store { addr: log_flag, value: tx.raw() });
+                image.write_word(log_flag, tx.raw());
+                trace.uops.push(Uop::Clwb { addr: log_flag });
+                trace.uops.push(Uop::Sfence);
+                trace.transactions += 1;
+            }
+        }
+    }
+
+    // Epoch-close epilogue: zero every line's embedded entry so the
+    // data region of a completed run is byte-identical to the
+    // functional result. A crash in here is benign — the entries being
+    // zeroed all belong to committed transactions, and recovery's
+    // embedded pass zeroes whatever the crash left behind.
+    let cleanup: Vec<LineAddr> =
+        cls.directory.iter().copied().filter(|l| embedded_ever.contains(l)).collect();
+    if !cleanup.is_empty() {
+        for line in cleanup {
+            let entry_addr = line.base().offset(ENTRY_WORD * 8);
+            trace.uops.push(Uop::Store { addr: entry_addr, value: 0 });
+            image.write_word(entry_addr, 0);
+            trace.uops.push(Uop::Clwb { addr: line.base() });
+        }
+        trace.uops.push(Uop::Sfence);
+    }
+    Ok(trace)
+}
+
+/// InCLL crash recovery for one thread. Matches the registry's
+/// `RecoverFn` signature.
+///
+/// `logFlag` holds the last durably committed transaction id `F`; the
+/// single possibly-in-flight transaction is `F+1`. External entries with
+/// `tx > F` are undone (earliest per grain), then every directory line's
+/// embedded entry is visited: live entries restore their old word, and
+/// the entry word is zeroed either way (word 6 of an embeddable line is
+/// zero in every program-visible state).
+///
+/// # Errors
+///
+/// Never fails structurally: an absent directory header means the crash
+/// predates the fenced prologue, so no log state can exist.
+pub(super) fn recover_thread(
+    image: &mut WordImage,
+    layout: &AddressLayout,
+    thread: ThreadId,
+    budget: &mut WriteBudget,
+) -> Result<ThreadOutcome, SimError> {
+    let committed = image.read_word(layout.log_flag(thread));
+    let header = layout.log_slot(thread, layout.log_area_entries - 1);
+    let hwords = image.read_line(header.line());
+    if hwords[0] != MAGIC {
+        return Ok(ThreadOutcome::Clean);
+    }
+    let count = (hwords[1] as usize).min(max_directory_lines(layout));
+    let fb_slots = fallback_slots(layout, count);
+
+    // Pass 1: external entries of the in-flight transaction.
+    let entries: Vec<(Addr, LogEntry)> = (0..fb_slots)
+        .filter_map(|slot| {
+            let addr = layout.log_slot(thread, slot);
+            LogEntry::read_from(image, addr).map(|e| (addr, e))
+        })
+        .collect();
+    let mut live_txs: Vec<TxId> =
+        entries.iter().map(|(_, e)| e.tx).filter(|tx| tx.raw() > committed).collect();
+    live_txs.sort_unstable();
+    live_txs.dedup();
+    let mut applied = 0usize;
+    let mut rolled: Option<TxId> = None;
+    for tx in live_txs.into_iter().rev() {
+        let undo = earliest_per_grain(&entries, tx);
+        apply_undo(image, &undo, budget);
+        applied += undo.len();
+        rolled = Some(rolled.map_or(tx, |r| r.max(tx)));
+    }
+
+    // Pass 2: embedded entries, after the external pass so that a grain
+    // restore resurrecting a stale entry image is re-zeroed here.
+    for i in 0..count {
+        let slot = layout.log_slot(thread, layout.log_area_entries - 2 - i / ADDRS_PER_SLOT);
+        let line_base = Addr::new(image.read_word(slot.offset((i % ADDRS_PER_SLOT) as u64 * 8)));
+        if line_base.raw() == 0 {
+            continue; // torn prologue: unreached list words are empty
+        }
+        let entry_addr = line_base.offset(ENTRY_WORD * 8);
+        let Some((idx, tx, old)) = unpack(image.read_word(entry_addr)) else {
+            continue;
+        };
+        if tx.raw() > committed {
+            if budget.allow() {
+                image.write_word(line_base.offset(idx * 8), old);
+            }
+            applied += 1;
+            rolled = Some(rolled.map_or(tx, |r| r.max(tx)));
+        }
+        if budget.allow() {
+            image.write_word(entry_addr, 0);
+        }
+    }
+
+    Ok(match rolled {
+        Some(tx) => ThreadOutcome::RolledBack { tx, entries_applied: applied },
+        None if committed > 0 => ThreadOutcome::Committed { tx: TxId::new(committed) },
+        None => ThreadOutcome::Clean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::{recover, recover_with_budget};
+    use proteus_types::config::LoggingSchemeKind;
+
+    fn layout() -> AddressLayout {
+        AddressLayout { log_area_entries: 64, ..AddressLayout::default() }
+    }
+
+    fn expand_one(p: &Program, layout: &AddressLayout, initial: &WordImage) -> Trace {
+        let opts = ExpandOptions {
+            initial_image: std::sync::Arc::new(initial.clone()),
+            ..Default::default()
+        };
+        expand(p, layout, &opts).unwrap()
+    }
+
+    /// Replays the trace's stores into `initial`, stopping (exclusive)
+    /// at the first store `cut` matches — a line-atomic crash image at
+    /// that durability point. `|_, _| false` replays to completion.
+    fn replay(trace: &Trace, initial: &WordImage, cut: impl Fn(Addr, u64) -> bool) -> WordImage {
+        let mut image = initial.clone();
+        for u in &trace.uops {
+            if let Uop::Store { addr, value } = u {
+                if cut(*addr, *value) {
+                    break;
+                }
+                image.write_word(*addr, *value);
+            }
+        }
+        image
+    }
+
+    /// Cut matching the durable commit record of transaction `txid` —
+    /// "crashed with `txid` fully written back but not yet committed".
+    fn before_commit_record(layout: &AddressLayout, txid: u64) -> impl Fn(Addr, u64) -> bool {
+        let flag = layout.log_flag(ThreadId::new(0));
+        move |addr, value| addr == flag && value == txid
+    }
+
+    fn expand_and_final(
+        p: &Program,
+        layout: &AddressLayout,
+        initial: &WordImage,
+    ) -> (Trace, WordImage) {
+        let t = expand_one(p, layout, initial);
+        let img = replay(&t, initial, |_, _| false);
+        (t, img)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let w = pack(3, TxId::new(77), 0xAB_CDEF);
+        assert_eq!(unpack(w), Some((3, TxId::new(77), 0xAB_CDEF)));
+        assert_eq!(unpack(0), None);
+        assert_eq!(unpack(0x1234), None, "program data lacks the valid bit");
+    }
+
+    #[test]
+    fn single_word_tx_embeds_and_skips_the_log_area() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 0xAB);
+        p.tx_end();
+        let t = expand_one(&p, &layout, &WordImage::new());
+        // Just before the commit record, the entry sits in word 6 of the
+        // mutated line; the external region (slot 0) stays empty.
+        let img = replay(&t, &WordImage::new(), before_commit_record(&layout, 1));
+        let packed = img.read_word(node.offset(ENTRY_WORD * 8));
+        assert_eq!(unpack(packed), Some((0, TxId::new(1), 0)));
+        assert_eq!(LogEntry::read_from(&img, layout.log_slot(ThreadId::new(0), 0)), None);
+        // The epilogue scrubs the entry from the completed run.
+        let done = replay(&t, &WordImage::new(), |_, _| false);
+        assert_eq!(done.read_word(node.offset(ENTRY_WORD * 8)), 0);
+        // Two persist barriers per transaction (commit data, commit
+        // record) plus the one-time prologue and epilogue fences.
+        assert_eq!(t.count_matching(|u| matches!(u, Uop::Sfence)), 4);
+    }
+
+    #[test]
+    fn multi_word_line_falls_back_to_external_entries() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 1);
+        p.write(node.offset(8), 2);
+        p.tx_end();
+        let (_, img) = expand_and_final(&p, &layout, &WordImage::new());
+        assert_eq!(img.read_word(node.offset(ENTRY_WORD * 8)), 0, "no embedded entry");
+        let e = LogEntry::read_from(&img, layout.log_slot(ThreadId::new(0), 0)).unwrap();
+        assert_eq!(e.log_from, node);
+        assert_eq!(e.tx, TxId::new(1));
+    }
+
+    #[test]
+    fn commit_record_tracks_committed_txids() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut p = Program::new(ThreadId::new(0));
+        for v in 1..=3u64 {
+            p.tx_begin(vec![node, node.offset(32)]);
+            p.write(node, v);
+            p.tx_end();
+        }
+        let (_, img) = expand_and_final(&p, &layout, &WordImage::new());
+        assert_eq!(img.read_word(layout.log_flag(ThreadId::new(0))), 3);
+    }
+
+    #[test]
+    fn directory_lists_embeddable_lines_at_the_area_tail() {
+        let layout = layout();
+        let a = Addr::new(0x1000_0000);
+        let b = Addr::new(0x1000_0040);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![a, a.offset(32), b, b.offset(32)]);
+        p.write(a, 1);
+        p.write(b, 2);
+        p.tx_end();
+        let (_, img) = expand_and_final(&p, &layout, &WordImage::new());
+        let header = layout.log_slot(ThreadId::new(0), layout.log_area_entries - 1);
+        assert_eq!(img.read_word(header), MAGIC);
+        assert_eq!(img.read_word(header.offset(8)), 2);
+        let list = layout.log_slot(ThreadId::new(0), layout.log_area_entries - 2);
+        let listed: HashSet<u64> = (0..2).map(|i| img.read_word(list.offset(i * 8))).collect();
+        assert_eq!(listed, HashSet::from([a.raw(), b.raw()]));
+    }
+
+    #[test]
+    fn word6_data_lines_never_embed() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut p = Program::new(ThreadId::new(0));
+        // Tx 1 writes only word 0; tx 2 writes word 6 as data. The line
+        // must be classified out entirely — embedding in tx 1 would let
+        // recovery zero tx 2's data.
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 1);
+        p.tx_end();
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node.offset(ENTRY_WORD * 8), 7);
+        p.tx_end();
+        let (_, img) = expand_and_final(&p, &layout, &WordImage::new());
+        let header = layout.log_slot(ThreadId::new(0), layout.log_area_entries - 1);
+        assert_eq!(img.read_word(header.offset(8)), 0, "no embeddable lines");
+        assert_eq!(img.read_word(node.offset(ENTRY_WORD * 8)), 7);
+    }
+
+    #[test]
+    fn recovery_rolls_back_in_flight_embedded_tx() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut initial = WordImage::new();
+        initial.write_word(node, 0x11);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 0xAB);
+        p.tx_end();
+        // Crash after the data line but before the commit record became
+        // durable.
+        let t = expand_one(&p, &layout, &initial);
+        let mut img = replay(&t, &initial, before_commit_record(&layout, 1));
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Incll, &[ThreadId::new(0)]).unwrap();
+        assert_eq!(
+            r.outcomes[0].1,
+            ThreadOutcome::RolledBack { tx: TxId::new(1), entries_applied: 1 }
+        );
+        assert_eq!(img.read_word(node), 0x11, "old value restored");
+        assert_eq!(img.read_word(node.offset(ENTRY_WORD * 8)), 0, "entry zeroed");
+    }
+
+    #[test]
+    fn recovery_clears_committed_entries_without_restoring() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 0xAB);
+        p.tx_end();
+        let (_, mut img) = expand_and_final(&p, &layout, &WordImage::new());
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Incll, &[ThreadId::new(0)]).unwrap();
+        assert_eq!(r.outcomes[0].1, ThreadOutcome::Committed { tx: TxId::new(1) });
+        assert_eq!(img.read_word(node), 0xAB, "committed data kept");
+        assert_eq!(img.read_word(node.offset(ENTRY_WORD * 8)), 0, "entry zeroed");
+    }
+
+    #[test]
+    fn recovery_is_clean_before_the_prologue() {
+        let layout = layout();
+        let mut img = WordImage::new();
+        let r = recover(&mut img, &layout, LoggingSchemeKind::Incll, &[ThreadId::new(0)]).unwrap();
+        assert_eq!(r.outcomes[0].1, ThreadOutcome::Clean);
+    }
+
+    #[test]
+    fn external_restore_resurrecting_stale_entry_is_rezeroed() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut p = Program::new(ThreadId::new(0));
+        // Tx 1 embeds in word 0 (single-word); tx 2 writes two words of
+        // the same line — one in the entry-carrying grain (word 5) — so
+        // it external-logs both grains, capturing the stale embedded
+        // entry image inside the word-4..7 grain.
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 1);
+        p.tx_end();
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 2);
+        p.write(node.offset(40), 3);
+        p.tx_end();
+        // Crash with tx 2 in flight: its record not yet durable.
+        let t = expand_one(&p, &layout, &WordImage::new());
+        let mut img = replay(&t, &WordImage::new(), before_commit_record(&layout, 2));
+        recover(&mut img, &layout, LoggingSchemeKind::Incll, &[ThreadId::new(0)]).unwrap();
+        assert_eq!(img.read_word(node), 1, "tx 2 undone to tx 1's value");
+        assert_eq!(img.read_word(node.offset(40)), 0);
+        assert_eq!(
+            img.read_word(node.offset(ENTRY_WORD * 8)),
+            0,
+            "resurrected stale entry must be re-zeroed"
+        );
+    }
+
+    #[test]
+    fn budgeted_recovery_converges_after_double_crash() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let other = Addr::new(0x1000_0080);
+        let mut initial = WordImage::new();
+        initial.write_word(node, 5);
+        initial.write_word(other, 6);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node, node.offset(32), other, other.offset(32)]);
+        p.write(node, 50);
+        p.write(other, 60);
+        p.write(other.offset(8), 61);
+        p.tx_end();
+        // Crash with the commit record not yet durable.
+        let t = expand_one(&p, &layout, &initial);
+        let pristine = replay(&t, &initial, before_commit_record(&layout, 1));
+        let kind = LoggingSchemeKind::Incll;
+        let threads = [ThreadId::new(0)];
+        let mut full = pristine.clone();
+        let done = recover_with_budget(&mut full, &layout, kind, &threads, usize::MAX).unwrap();
+        assert!(done.writes >= 3, "grain undo + embedded restore + zero");
+        for k in 0..done.writes {
+            let mut img = pristine.clone();
+            let partial = recover_with_budget(&mut img, &layout, kind, &threads, k).unwrap();
+            assert!(partial.exhausted);
+            recover(&mut img, &layout, kind, &threads).unwrap();
+            assert_eq!(img, full, "double-crash at write {k} must converge");
+        }
+    }
+
+    #[test]
+    fn old_values_beyond_forty_bits_fall_back() {
+        let layout = layout();
+        let node = Addr::new(0x1000_0000);
+        let mut initial = WordImage::new();
+        initial.write_word(node, OLD_LIMIT + 5);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![node, node.offset(32)]);
+        p.write(node, 1);
+        p.tx_end();
+        let t = expand_one(&p, &layout, &initial);
+        let mut img = replay(&t, &initial, before_commit_record(&layout, 1));
+        assert_eq!(img.read_word(node.offset(ENTRY_WORD * 8)), 0, "no embedded entry");
+        recover(&mut img, &layout, LoggingSchemeKind::Incll, &[ThreadId::new(0)]).unwrap();
+        assert_eq!(img.read_word(node), OLD_LIMIT + 5, "external entry restored the wide value");
+    }
+}

@@ -15,9 +15,18 @@
 //! * [`LoggingSchemeKind::Proteus`] / [`LoggingSchemeKind::ProteusNoLwr`] —
 //!   each transactional store expands into `log-load; log-flush; st`
 //!   exactly as in Fig. 4.
+//! * [`LoggingSchemeKind::Incll`] — in-cache-line logging: the undo
+//!   entry is co-located in the mutated line, with an external-entry
+//!   fallback (see [`mod@incll`]'s module docs).
+//!
+//! Dispatch is table-driven: every per-scheme behaviour lives in one
+//! [`registry::SchemeDescriptor`] row, and [`expand_program_with`] simply
+//! calls the descriptor's expansion hook.
 
 mod hw;
+mod incll;
 mod nolog;
+pub mod registry;
 mod sw;
 
 use crate::isa::Trace;
@@ -77,15 +86,7 @@ pub fn expand_program_with(
     opts: &ExpandOptions,
 ) -> Result<Trace, SimError> {
     program.validate()?;
-    match kind {
-        LoggingSchemeKind::SwPmem => sw::expand(program, layout, opts, false),
-        LoggingSchemeKind::SwPmemPcommit => sw::expand(program, layout, opts, true),
-        LoggingSchemeKind::NoLog => nolog::expand(program),
-        LoggingSchemeKind::Atom => hw::expand_atom(program),
-        LoggingSchemeKind::Proteus | LoggingSchemeKind::ProteusNoLwr => {
-            hw::expand_proteus(program, opts)
-        }
-    }
+    (registry::descriptor(kind).expand)(program, layout, opts)
 }
 
 /// An ordered set of cache lines dirtied within a transaction, used to

@@ -28,6 +28,7 @@ use proteus_core::isa::{Trace, Uop};
 use proteus_core::layout::AddressLayout;
 use proteus_core::logarea::LogArea;
 use proteus_core::pmem::LineData;
+use proteus_core::scheme::registry::{self, CorePolicy};
 use proteus_mem::{McEvent, McRequest};
 use proteus_trace::{CommitWait, QueueId, TraceEventKind, Tracer, TrackDump, TxRecord};
 use proteus_types::addr::{LineAddr, LogGrainAddr};
@@ -157,7 +158,8 @@ struct TxPath {
 pub struct Core {
     id: CoreId,
     thread: ThreadId,
-    scheme: LoggingSchemeKind,
+    /// Retirement/ordering gates from the scheme's registry descriptor.
+    policy: CorePolicy,
     width: usize,
     rob_entries: usize,
     issueq_entries: usize,
@@ -226,10 +228,11 @@ impl Core {
         trace: Trace,
     ) -> Self {
         let thread = trace.thread;
+        let policy = registry::descriptor(scheme).core;
         Core {
             id,
             thread,
-            scheme,
+            policy,
             width: cfg.cores.width,
             rob_entries: cfg.cores.rob_entries,
             issueq_entries: cfg.cores.issueq_entries,
@@ -255,8 +258,7 @@ impl Core {
             logarea: LogArea::new(thread, layout),
             current_tx: None,
             flush_meta: HashMap::new(),
-            persist_ordering_disabled: cfg.proteus.disable_persist_ordering
-                && scheme.uses_proteus_hw(),
+            persist_ordering_disabled: cfg.proteus.disable_persist_ordering && policy.proteus_hw,
             held_flushes: Vec::new(),
             atom_logged: HashSet::new(),
             atom_acks_outstanding: 0,
@@ -726,7 +728,7 @@ impl Core {
             // Per-kind retirement gating.
             match uop {
                 Uop::Store { addr, .. } => {
-                    if self.scheme == LoggingSchemeKind::Atom
+                    if self.policy.atom_retirement
                         && self.current_tx.is_some()
                         && !self.atom_retire_ready(addr, now, caches)
                     {
@@ -924,7 +926,7 @@ impl Core {
         // blocks the release (Proteus §4.2). ATOM blocks at retirement
         // instead; software schemes order via sfence. The fault knob
         // removes exactly this gate.
-        if self.scheme.uses_proteus_hw()
+        if self.policy.proteus_hw
             && !self.persist_ordering_disabled
             && self.logq.blocks_store_to(head.addr.log_grain())
         {
@@ -1136,14 +1138,14 @@ impl Core {
                 self.fence_active = true;
                 completed = true;
                 state = UopState::Fence(FenceProgress::Waiting);
-                if matches!(uop, Uop::TxEnd { .. }) && self.scheme.uses_proteus_hw() {
+                if matches!(uop, Uop::TxEnd { .. }) && self.policy.proteus_hw {
                     self.logarea.end_tx().expect("balanced transactions");
                 }
             }
             Uop::TxBegin { tx } => {
                 completed = true;
                 self.current_tx = Some(tx);
-                if self.scheme.uses_proteus_hw() {
+                if self.policy.proteus_hw {
                     self.logarea.begin_tx(tx).expect("balanced transactions");
                 }
                 if self.tracer.is_enabled() {
@@ -1390,7 +1392,7 @@ impl Core {
             }
             (Uop::Sfence | Uop::LogSave, _) => !self.persist_drained(),
             (Uop::Store { addr, .. }, state)
-                if self.scheme == LoggingSchemeKind::Atom && self.current_tx.is_some() =>
+                if self.policy.atom_retirement && self.current_tx.is_some() =>
             {
                 let grain = addr.log_grain();
                 if self.atom_logged.contains(&grain.index()) {
@@ -1460,7 +1462,7 @@ impl Core {
         // The head store releases (or issues its write-allocate fetch).
         if let Some(s) = self.storeq.front() {
             if s.retired
-                && !(self.scheme.uses_proteus_hw()
+                && !(self.policy.proteus_hw
                     && !self.persist_ordering_disabled
                     && self.logq.blocks_store_to(s.addr.log_grain()))
                 && (caches.peek(self.id, s.addr).is_some()

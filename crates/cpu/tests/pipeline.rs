@@ -7,7 +7,7 @@ use proteus_core::layout::AddressLayout;
 use proteus_core::pmem::WordImage;
 use proteus_core::program::Program;
 use proteus_core::recovery::recover;
-use proteus_core::scheme::{expand_program_with, ExpandOptions};
+use proteus_core::scheme::{expand_program_with, registry, ExpandOptions};
 use proteus_cpu::core::{Core, MC_LINK_DELAY};
 use proteus_mem::{LogDrainMode, McEvent, MemoryController};
 use proteus_types::clock::Cycle;
@@ -33,10 +33,9 @@ fn build(scheme: LoggingSchemeKind, program: &Program, initial: &WordImage) -> R
     let opts = ExpandOptions { initial_image: Arc::new(initial.clone()), ..Default::default() };
     let trace = expand_program_with(program, scheme, &layout, &opts).expect("expansion");
     let caches = CacheSystem::new(&cfg);
-    let drain_mode = if scheme.log_write_removal() {
-        LogDrainMode::KeepUntilCommit
-    } else {
-        LogDrainMode::DrainAlways
+    let drain_mode = match registry::descriptor(scheme).drain {
+        registry::DrainPolicy::KeepUntilCommit => LogDrainMode::KeepUntilCommit,
+        registry::DrainPolicy::DrainAlways => LogDrainMode::DrainAlways,
     };
     let mut mc = MemoryController::new(cfg.mem.clone(), layout.clone(), drain_mode);
     mc.load_image(initial.clone());

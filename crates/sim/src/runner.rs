@@ -386,7 +386,7 @@ mod tests {
             &LoggingSchemeKind::ALL,
         )
         .unwrap();
-        assert_eq!(sweep.results.len(), 6);
+        assert_eq!(sweep.results.len(), LoggingSchemeKind::ALL.len());
         // The baseline's speedup over itself is exactly 1.
         assert!((sweep.speedup(LoggingSchemeKind::SwPmem) - 1.0).abs() < 1e-12);
         // The ideal beats the baseline.

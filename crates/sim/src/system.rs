@@ -4,7 +4,7 @@ use proteus_cache::CacheSystem;
 use proteus_core::layout::AddressLayout;
 use proteus_core::pmem::WordImage;
 use proteus_core::recovery::{recover, RecoveryReport};
-use proteus_core::scheme::{expand_program_with, ExpandOptions};
+use proteus_core::scheme::{expand_program_with, registry, ExpandOptions};
 use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY};
 use proteus_mem::{CrashFaults, LogDrainMode, McEvent, McRequest, MemoryController, PersistEvent};
 use proteus_trace::{TraceReport, Tracer, TrackKind};
@@ -104,10 +104,9 @@ impl System {
             });
         }
         let layout = AddressLayout::default();
-        let drain_mode = if scheme.log_write_removal() {
-            LogDrainMode::KeepUntilCommit
-        } else {
-            LogDrainMode::DrainAlways
+        let drain_mode = match registry::descriptor(scheme).drain {
+            registry::DrainPolicy::KeepUntilCommit => LogDrainMode::KeepUntilCommit,
+            registry::DrainPolicy::DrainAlways => LogDrainMode::DrainAlways,
         };
         let mut mc = MemoryController::new(cfg.mem.clone(), layout.clone(), drain_mode);
         mc.set_tracer(Tracer::new(TrackKind::Mc, trace));

@@ -289,20 +289,33 @@ pub enum LoggingSchemeKind {
     /// Proteus with log write removal disabled: log flushes drain to NVMM
     /// like ordinary writes.
     ProteusNoLwr,
+    /// In-cache-line logging (Cohen et al., ASPLOS'19): the undo entry
+    /// for a single-word line mutation lives in a reserved word of the
+    /// mutated line itself, with an external-entry fallback for wider
+    /// updates.
+    Incll,
 }
 
 impl LoggingSchemeKind {
-    /// All schemes in the order the paper's figures present them.
-    pub const ALL: [LoggingSchemeKind; 6] = [
+    /// All schemes in the order the figures present them.
+    ///
+    /// Behavioural properties of each scheme (expansion, recovery, core
+    /// policy, drain mode, rosters) live in the descriptor registry,
+    /// `proteus_core::scheme::registry` — this enum stays a pure
+    /// identifier plus its presentation label.
+    pub const ALL: [LoggingSchemeKind; 7] = [
         LoggingSchemeKind::SwPmem,
         LoggingSchemeKind::SwPmemPcommit,
         LoggingSchemeKind::Atom,
         LoggingSchemeKind::ProteusNoLwr,
         LoggingSchemeKind::Proteus,
+        LoggingSchemeKind::Incll,
         LoggingSchemeKind::NoLog,
     ];
 
-    /// Label used in reports (matches the paper's legend).
+    /// Label used in reports (matches the paper's legend). Also the
+    /// stable-hash identity of the scheme (see `crate::hash`), so adding
+    /// schemes never perturbs existing spec hashes.
     pub fn label(self) -> &'static str {
         match self {
             LoggingSchemeKind::SwPmem => "PMEM",
@@ -311,19 +324,8 @@ impl LoggingSchemeKind {
             LoggingSchemeKind::Atom => "ATOM",
             LoggingSchemeKind::Proteus => "Proteus",
             LoggingSchemeKind::ProteusNoLwr => "Proteus+NoLWR",
+            LoggingSchemeKind::Incll => "InCLL",
         }
-    }
-
-    /// Whether this scheme uses the Proteus core-side hardware
-    /// (LR/LogQ/LLT).
-    pub fn uses_proteus_hw(self) -> bool {
-        matches!(self, LoggingSchemeKind::Proteus | LoggingSchemeKind::ProteusNoLwr)
-    }
-
-    /// Whether log writes may be dropped at the memory controller once the
-    /// transaction is durable.
-    pub fn log_write_removal(self) -> bool {
-        matches!(self, LoggingSchemeKind::Proteus)
     }
 }
 
@@ -656,12 +658,12 @@ mod tests {
     }
 
     #[test]
-    fn scheme_labels_and_flags() {
+    fn scheme_labels_are_unique() {
         assert_eq!(LoggingSchemeKind::Proteus.label(), "Proteus");
-        assert!(LoggingSchemeKind::Proteus.log_write_removal());
-        assert!(!LoggingSchemeKind::ProteusNoLwr.log_write_removal());
-        assert!(LoggingSchemeKind::ProteusNoLwr.uses_proteus_hw());
-        assert!(!LoggingSchemeKind::Atom.uses_proteus_hw());
-        assert_eq!(LoggingSchemeKind::ALL.len(), 6);
+        assert_eq!(LoggingSchemeKind::Incll.label(), "InCLL");
+        assert_eq!(LoggingSchemeKind::ALL.len(), 7);
+        let labels: std::collections::HashSet<_> =
+            LoggingSchemeKind::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), LoggingSchemeKind::ALL.len());
     }
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Times the cycle engine on the fixed workload basket (QE/HM/SS under
-# PMEM+pcommit, ATOM, and Proteus) with event-driven fast-forwarding on
-# and off, writing BENCH_cycle_engine.json at the repo root.
+# the registry's bench basket — PMEM+pcommit, ATOM, Proteus, InCLL)
+# with event-driven fast-forwarding on and off, writing
+# BENCH_cycle_engine.json at the repo root. The scheme list comes from
+# `registry::bench_basket()`; registering a new scheme with
+# `bench_basket: true` adds its rows here with no script change.
 #
 # The underlying `reproduce bench` command cross-checks every pair of
 # runs: if fast-forwarding changes any simulated outcome, the benchmark

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Forbid per-scheme dispatch outside the scheme registry.
+#
+# Behavioural differences between logging schemes live in exactly one
+# place: crates/core/src/scheme/registry.rs (the SchemeDescriptor
+# table). Everything else — bench, sim, cpu, service, trace tooling —
+# must consume descriptors (registry::descriptor / rosters) instead of
+# re-matching LoggingSchemeKind. The only other sanctioned site is the
+# enum's own identity impl in crates/types/src/config.rs (`label()`),
+# which defines the stable report label the registry keys off.
+#
+# The check is grep-based on purpose: it catches `Variant =>` match
+# arms, `== Variant` comparisons, and `matches!` probes in any file,
+# including ones that do not compile yet. Adding a new scheme must not
+# add a hit anywhere but the two sanctioned files.
+#
+# Usage: tools/lint-scheme-dispatch.sh   (exits non-zero on violations)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWED=(
+    "crates/core/src/scheme/registry.rs"
+    "crates/types/src/config.rs"
+)
+
+# Variant uses that *dispatch* on the enum: match arms, equality
+# probes, matches! macros. Plain constructor mentions
+# (`LoggingSchemeKind::Proteus` as a value) are fine — passing a kind
+# around is the whole point; branching on it is not.
+PATTERN='LoggingSchemeKind::[A-Za-z_]+[[:space:]]*(=>|==)|==[[:space:]]*LoggingSchemeKind::|matches!\([^)]*LoggingSchemeKind::'
+
+hits="$(grep -rnE --include='*.rs' "$PATTERN" crates/ tests/ 2>/dev/null || true)"
+for allow in "${ALLOWED[@]}"; do
+    hits="$(printf '%s' "$hits" | grep -v "^${allow}:" || true)"
+done
+
+if [[ -n "$hits" ]]; then
+    echo "scheme-dispatch lint: per-scheme branching outside the registry:" >&2
+    printf '%s\n' "$hits" >&2
+    echo >&2
+    echo "Move the behaviour into a SchemeDescriptor field/hook in" >&2
+    echo "crates/core/src/scheme/registry.rs and consume it from there." >&2
+    exit 1
+fi
+echo "scheme-dispatch lint passed (dispatch confined to the registry)" >&2

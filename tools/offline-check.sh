@@ -15,7 +15,7 @@
 # removed afterwards (or the pre-existing one restored) so it can never
 # leak into a networked build.
 #
-# Usage: tools/offline-check.sh [build|test|clippy|fmt|all]   (default: all)
+# Usage: tools/offline-check.sh [build|test|clippy|fmt|lint|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,6 +60,8 @@ do_test() {
         run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-sim --test "$t"
     done
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-harness --test harness_resume
+    run cargo "${PATCH_ARGS[@]}" test -q --offline --release -p proteus-bench --test golden_pin
+    run cargo "${PATCH_ARGS[@]}" test -q --offline --release -p proteus-bench --test registry_completeness
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-cpu --test pipeline
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-crash --test integration_crash
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-service --test integration_service
@@ -126,12 +128,18 @@ do_fmt() {
     fi
 }
 
+do_lint() {
+    # Scheme dispatch must stay confined to the registry (DESIGN.md §8).
+    run tools/lint-scheme-dispatch.sh
+}
+
 case "$MODE" in
     build)  do_build ;;
     test)   do_test ;;
     clippy) do_clippy ;;
     fmt)    do_fmt ;;
-    all)    do_build; do_test; do_clippy; do_fmt ;;
-    *) echo "usage: $0 [build|test|clippy|fmt|all]" >&2; exit 2 ;;
+    lint)   do_lint ;;
+    all)    do_lint; do_build; do_test; do_clippy; do_fmt ;;
+    *) echo "usage: $0 [build|test|clippy|fmt|lint|all]" >&2; exit 2 ;;
 esac
 echo "offline check ($MODE) passed" >&2
