@@ -13,7 +13,13 @@
 #   cargo test  -q        --offline --workspace  (lib/bin/example tests
 #       plus the non-property integration tests; proptest suites and
 #       Criterion benches need the real crates and are skipped offline)
-#   end-to-end smokes: a bounded crashsweep/crashrepro round trip, a
+#   end-to-end smokes: a bounded crashsweep/crashrepro round trip
+#       (the roster's crash workloads: Table 2 rows plus the generated
+#       ycsb-a/indexer presets), a record->replay op-trace round trip
+#       (`reproduce gen --workload indexer --file` then `reproduce
+#       replay --file`, which fails unless the replayed workload and
+#       every scheme's RunSummary are byte-identical to regenerating
+#       from the trace header), a
 #       tracedump run (self-validating: trace must reconcile with the
 #       RunSummary and the Chrome JSON must parse with all tracks
 #       populated), a `reproduce bench` run timing the cycle engine
@@ -32,7 +38,11 @@
 #       round-trips the codec, runs all Table 2 workloads, recovers,
 #       and survives a stratified crashsweep smoke), and the golden
 #       pin (six seed schemes byte-identical against
-#       crates/bench/tests/golden/fig6_seed_schemes.jsonl)
+#       crates/bench/tests/golden/fig6_seed_schemes.jsonl), and the
+#       workgen pin (preset selector/content hashes, every preset on
+#       every scheme, record->replay RunSummary byte-identity with
+#       fast-forwarding on and off, a generated-preset crashsweep
+#       smoke)
 #   cargo fmt --check
 #   cargo clippy --offline --workspace --lib --bins -- -D warnings
 #

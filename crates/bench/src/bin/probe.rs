@@ -70,7 +70,7 @@ fn main() -> ExitCode {
     let spec = ExperimentSpec {
         config: cfg,
         scheme: LoggingSchemeKind::Proteus,
-        bench,
+        bench: bench.into(),
         params: params.clone(),
     };
     let workload = generate(bench, &params);

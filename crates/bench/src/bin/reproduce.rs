@@ -26,11 +26,17 @@
 //! modes produce identical results, and writes a JSON report to
 //! `--file` (default `BENCH_cycle_engine.json`).
 //!
-//! `crashsweep` explores crash points across every failure-safe scheme
-//! and self-validates against the `disable_persist_ordering` fault
-//! knob, writing its shrunk repro artifact to `--file` (default: a
-//! fixed path under the system temp directory). `crashrepro` replays
-//! such an artifact.
+//! `crashsweep` explores crash points across the roster's crash
+//! workloads and every failure-safe scheme, self-validating against
+//! the `disable_persist_ordering` fault knob and writing its shrunk
+//! repro artifact to `--file` (default: a fixed path under the system
+//! temp directory). `crashrepro` replays such an artifact.
+//!
+//! The workgen targets: `workloads` lists the roster (Table 2 rows and
+//! generated presets); `gen --workload NAME` records a roster workload
+//! to an op trace (written to `--file` when given) and sweeps every
+//! scheme over it; `replay --file PATH` verifies and replays a trace,
+//! cross-checking byte-identity against regeneration.
 //!
 //! Three service subcommands sit outside the experiment table:
 //!
@@ -51,15 +57,16 @@
 
 use proteus_bench::experiments::{
     ablation_llt, ablation_threads, ablation_wpq, bench, crashrepro, crashsweep, fig10, fig11,
-    fig12, fig6, fig7, fig8, fig9, table1, table2, table3, table4, trace, ExperimentCtx,
+    fig12, fig6, fig7, fig8, fig9, gen, replay, table1, table2, table3, table4, trace, workloads,
+    ExperimentCtx,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|crashrepro|trace|all> \
-         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]"
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|crashrepro|trace|workloads|gen|replay|all> \
+         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH] [--workload NAME]"
     );
     ExitCode::FAILURE
 }
@@ -105,6 +112,10 @@ fn main() -> ExitCode {
                 ctx.file = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
+            "--workload" if i + 1 < args.len() => {
+                ctx.workload = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return usage();
@@ -132,6 +143,9 @@ fn main() -> ExitCode {
         ("crashsweep", crashsweep),
         ("crashrepro", crashrepro),
         ("trace", trace),
+        ("workloads", workloads),
+        ("gen", gen),
+        ("replay", replay),
     ];
 
     let selected: Vec<_> = if target == "all" {

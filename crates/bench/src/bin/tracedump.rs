@@ -131,7 +131,7 @@ fn main() -> ExitCode {
     let spec = ExperimentSpec {
         config: SystemConfig::skylake_like().with_num_cores(threads).with_cache_divisor(divisor),
         scheme,
-        bench,
+        bench: bench.into(),
         params,
     };
     let workload = generate(bench, &spec.params);

@@ -98,6 +98,11 @@ pub struct SchemeDescriptor {
     /// Member of the cycle-engine benchmark basket
     /// (`reproduce bench`, BENCH_cycle_engine.json).
     pub bench_basket: bool,
+    /// The paper's Figure 6 geomean speedup over the PMEM baseline,
+    /// for the `reproduce fig6` fidelity guard. `None` for the
+    /// baseline itself (1.0 by construction) and for schemes the
+    /// paper did not evaluate (InCLL).
+    pub fig6_paper_geomean: Option<f64>,
 }
 
 fn expand_sw(p: &Program, layout: &AddressLayout, opts: &ExpandOptions) -> Result<Trace, SimError> {
@@ -149,6 +154,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: true,
         baseline: true,
         bench_basket: false,
+        fig6_paper_geomean: None,
     },
     SchemeDescriptor {
         kind: LoggingSchemeKind::SwPmemPcommit,
@@ -163,6 +169,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: false,
         baseline: false,
         bench_basket: true,
+        fig6_paper_geomean: Some(0.79),
     },
     SchemeDescriptor {
         kind: LoggingSchemeKind::Atom,
@@ -177,6 +184,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: true,
         baseline: false,
         bench_basket: true,
+        fig6_paper_geomean: Some(1.33),
     },
     SchemeDescriptor {
         kind: LoggingSchemeKind::ProteusNoLwr,
@@ -191,6 +199,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: true,
         baseline: false,
         bench_basket: false,
+        fig6_paper_geomean: Some(1.44),
     },
     SchemeDescriptor {
         kind: LoggingSchemeKind::Proteus,
@@ -205,6 +214,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: true,
         baseline: false,
         bench_basket: true,
+        fig6_paper_geomean: Some(1.46),
     },
     SchemeDescriptor {
         kind: LoggingSchemeKind::Incll,
@@ -219,6 +229,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: true,
         baseline: false,
         bench_basket: true,
+        fig6_paper_geomean: None,
     },
     SchemeDescriptor {
         kind: LoggingSchemeKind::NoLog,
@@ -233,6 +244,7 @@ pub static DESCRIPTORS: [SchemeDescriptor; 7] = [
         crash_sweep: false,
         baseline: false,
         bench_basket: false,
+        fig6_paper_geomean: Some(1.51),
     },
 ];
 

@@ -23,13 +23,14 @@ use crate::oracle::ConsistencyOracle;
 use proteus_sim::System;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
 use proteus_types::{stable_hash_value, FieldHasher, SimError, StableHash, StableHasher};
-use proteus_workloads::{generate, Benchmark, WorkloadParams};
+use proteus_workgen::WorkloadSel;
+use proteus_workloads::WorkloadParams;
 
 /// One exploration job: workload shape, scheme, fault model, budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExploreSpec {
-    /// Benchmark to generate.
-    pub bench: Benchmark,
+    /// Workload to generate: a paper benchmark or a generated spec.
+    pub bench: WorkloadSel,
     /// Workload generation parameters.
     pub params: WorkloadParams,
     /// Logging scheme under test.
@@ -46,13 +47,13 @@ pub struct ExploreSpec {
 impl ExploreSpec {
     /// A spec with the clean fault model and the given point budget.
     pub fn new(
-        bench: Benchmark,
+        bench: impl Into<WorkloadSel>,
         params: WorkloadParams,
         scheme: LoggingSchemeKind,
         max_points: usize,
     ) -> Self {
         ExploreSpec {
-            bench,
+            bench: bench.into(),
             params,
             scheme,
             fault: FaultSpec::Clean,
@@ -130,7 +131,7 @@ impl ExploreOutcome {
 /// log image recovery cannot even parse is the strongest possible
 /// consistency failure.
 pub fn explore(spec: &ExploreSpec) -> Result<ExploreOutcome, SimError> {
-    let workload = generate(spec.bench, &spec.params);
+    let workload = spec.bench.generate(&spec.params);
     let oracle = ConsistencyOracle::new(&workload);
     let cfg = SystemConfig::skylake_like()
         .with_num_cores(spec.params.threads.max(1))
@@ -219,6 +220,7 @@ impl XorShift {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proteus_workloads::Benchmark;
 
     #[test]
     fn exhaustive_below_budget_stratified_above() {

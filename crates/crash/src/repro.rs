@@ -59,7 +59,7 @@ impl CrashRepro {
         use proteus_sim::System;
         use proteus_types::config::SystemConfig;
 
-        let workload = proteus_workloads::generate(self.spec.bench, &self.spec.params);
+        let workload = self.spec.bench.generate(&self.spec.params);
         let oracle = crate::oracle::ConsistencyOracle::new(&workload);
         let cfg = SystemConfig::skylake_like()
             .with_num_cores(self.spec.params.threads.max(1))
@@ -231,7 +231,7 @@ impl ShrinkField {
 /// `proteus_sim::persist` codec.
 pub fn explore_spec_to_json(spec: &ExploreSpec) -> Json {
     Json::obj([
-        ("bench", bench_to_json(spec.bench)),
+        ("bench", bench_to_json(&spec.bench)),
         ("params", params_to_json(&spec.params)),
         ("scheme", Json::str(spec.scheme.label())),
         ("fault", fault_to_json(spec.fault)),
@@ -293,7 +293,7 @@ mod tests {
     fn sample_repro() -> CrashRepro {
         CrashRepro {
             spec: ExploreSpec {
-                bench: Benchmark::RbTree,
+                bench: Benchmark::RbTree.into(),
                 params: WorkloadParams { threads: 2, init_ops: 30, sim_ops: 4, seed: 99 },
                 scheme: LoggingSchemeKind::Proteus,
                 fault: FaultSpec::PartialAdr { wpq_keep: 1, lpq_keep: 0 },
@@ -345,7 +345,8 @@ mod tests {
             Benchmark::RbTree,
             Benchmark::LargeTx { elements: 2048 },
         ] {
-            assert_eq!(bench_from_json(&bench_to_json(b)), Some(b));
+            let sel = proteus_workgen::WorkloadSel::from(b);
+            assert_eq!(bench_from_json(&bench_to_json(&sel)), Some(sel));
         }
         for f in [
             FaultSpec::Clean,

@@ -127,14 +127,14 @@ mod tests {
         ServiceJob::Experiment(ExperimentSpec {
             config: SystemConfig::skylake_like().with_num_cores(1),
             scheme: LoggingSchemeKind::Proteus,
-            bench: Benchmark::Queue,
+            bench: Benchmark::Queue.into(),
             params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
         })
     }
 
     fn tiny_crash() -> ServiceJob {
         ServiceJob::Crash(ExploreSpec {
-            bench: Benchmark::Queue,
+            bench: Benchmark::Queue.into(),
             params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed: 3 },
             scheme: LoggingSchemeKind::Proteus,
             fault: FaultSpec::Clean,

@@ -64,16 +64,21 @@ impl Default for LoadgenOptions {
     }
 }
 
-/// Builds `n` distinct tiny jobs: three experiment variants for every
-/// crash-exploration job, seeds varied so every spec hash is unique.
+/// Builds `n` distinct tiny jobs: experiment variants (one of them a
+/// generated workload, so the `GEN` selector exercises the wire codec
+/// end-to-end) plus a crash-exploration job, seeds varied so every
+/// spec hash is unique.
 pub fn build_basket(n: usize) -> Vec<ServiceJob> {
+    let ycsb =
+        proteus_workgen::roster::by_cli_name("ycsb-a").expect("ycsb-a preset is registered").sel();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let seed = 1000 + i as u64;
+        let params = WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed };
         if i % 4 == 3 {
             out.push(ServiceJob::Crash(ExploreSpec {
-                bench: Benchmark::Queue,
-                params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
+                bench: Benchmark::Queue.into(),
+                params,
                 scheme: LoggingSchemeKind::Proteus,
                 fault: FaultSpec::Clean,
                 broken_ordering: false,
@@ -84,8 +89,8 @@ pub fn build_basket(n: usize) -> Vec<ServiceJob> {
             out.push(ServiceJob::Experiment(ExperimentSpec {
                 config: SystemConfig::skylake_like().with_num_cores(1),
                 scheme: schemes[i % schemes.len()],
-                bench: Benchmark::Queue,
-                params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
+                bench: if i % 4 == 1 { ycsb.clone() } else { Benchmark::Queue.into() },
+                params,
             }));
         }
     }
@@ -350,6 +355,12 @@ mod tests {
         assert_eq!(hashes.len(), 12, "spec hashes must be unique");
         assert!(basket.iter().any(|j| matches!(j, ServiceJob::Experiment(_))));
         assert!(basket.iter().any(|j| matches!(j, ServiceJob::Crash(_))));
+        // At least one generated workload rides the wire codec.
+        assert!(basket.iter().any(|j| matches!(
+            j,
+            ServiceJob::Experiment(spec)
+                if matches!(spec.bench, proteus_workgen::WorkloadSel::Gen(_))
+        )));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! let spec = ExperimentSpec {
 //!     config: SystemConfig::skylake_like().with_num_cores(1),
 //!     scheme: LoggingSchemeKind::Proteus,
-//!     bench: Benchmark::Queue,
+//!     bench: Benchmark::Queue.into(),
 //!     params: WorkloadParams { threads: 1, init_ops: 50, sim_ops: 20, seed: 1 },
 //! };
 //! let result = run_one(&spec)?;

@@ -15,7 +15,8 @@ use proteus_types::config::{
     ProteusHwConfig, SystemConfig,
 };
 use proteus_types::stats::{CacheStats, CoreStats, MemStats, RunSummary, StallCause};
-use proteus_workloads::{Benchmark, WorkloadParams};
+use proteus_workgen::WorkloadSel;
+use proteus_workloads::WorkloadParams;
 
 fn u(v: &Json, key: &str) -> Option<u64> {
     v.get(key)?.as_u64()
@@ -161,49 +162,27 @@ pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
     })
 }
 
-/// Encodes a benchmark selector. `LargeTx` carries its element count;
-/// every other variant is identified by its stable abbreviation.
-pub fn bench_to_json(bench: Benchmark) -> Json {
-    match bench {
-        Benchmark::LargeTx { elements } => {
-            Json::obj([("kind", Json::str("LT")), ("elements", Json::U64(elements))])
-        }
-        other => Json::obj([("kind", Json::str(other.abbrev()))]),
-    }
+/// Encodes a workload selector. Paper benchmarks keep their historical
+/// encoding (`{"kind":"QE"}`, `LargeTx` with its element count);
+/// generated specs nest the full spec. Delegates to
+/// [`proteus_workgen::codec`], the single owner of this format.
+pub fn bench_to_json(bench: &WorkloadSel) -> Json {
+    proteus_workgen::codec::sel_to_json(bench)
 }
 
-/// Decodes a benchmark selector; `None` on unknown kinds.
-pub fn bench_from_json(v: &Json) -> Option<Benchmark> {
-    match v.get("kind")?.as_str()? {
-        "QE" => Some(Benchmark::Queue),
-        "HM" => Some(Benchmark::HashMap),
-        "SS" => Some(Benchmark::StringSwap),
-        "AT" => Some(Benchmark::AvlTree),
-        "BT" => Some(Benchmark::BTree),
-        "RT" => Some(Benchmark::RbTree),
-        "LT" => Some(Benchmark::LargeTx { elements: v.get("elements")?.as_u64()? }),
-        _ => None,
-    }
+/// Decodes a workload selector; `None` on unknown kinds.
+pub fn bench_from_json(v: &Json) -> Option<WorkloadSel> {
+    proteus_workgen::codec::sel_from_json(v)
 }
 
-/// Encodes workload parameters.
+/// Encodes workload parameters (shared with the op-trace header codec).
 pub fn params_to_json(p: &WorkloadParams) -> Json {
-    Json::obj([
-        ("threads", Json::U64(p.threads as u64)),
-        ("init_ops", Json::U64(p.init_ops as u64)),
-        ("sim_ops", Json::U64(p.sim_ops as u64)),
-        ("seed", Json::U64(p.seed)),
-    ])
+    proteus_workgen::codec::params_to_json(p)
 }
 
 /// Decodes workload parameters; `None` on any missing or mistyped field.
 pub fn params_from_json(v: &Json) -> Option<WorkloadParams> {
-    Some(WorkloadParams {
-        threads: v.get("threads")?.as_usize()?,
-        init_ops: v.get("init_ops")?.as_usize()?,
-        sim_ops: v.get("sim_ops")?.as_usize()?,
-        seed: v.get("seed")?.as_u64()?,
-    })
+    proteus_workgen::codec::params_from_json(v)
 }
 
 /// Encodes a logging scheme as its stable report label.
@@ -352,7 +331,7 @@ pub fn spec_to_json(s: &ExperimentSpec) -> Json {
     Json::obj([
         ("config", config_to_json(&s.config)),
         ("scheme", scheme_to_json(s.scheme)),
-        ("bench", bench_to_json(s.bench)),
+        ("bench", bench_to_json(&s.bench)),
         ("params", params_to_json(&s.params)),
     ])
 }
@@ -383,6 +362,7 @@ pub fn result_from_json(v: &Json) -> Option<ExperimentResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proteus_workloads::Benchmark;
 
     fn busy_summary() -> RunSummary {
         let mut core0 = CoreStats::new();
@@ -475,7 +455,8 @@ mod tests {
             Benchmark::RbTree,
             Benchmark::LargeTx { elements: 2048 },
         ] {
-            assert_eq!(bench_from_json(&bench_to_json(b)), Some(b));
+            let sel: WorkloadSel = b.into();
+            assert_eq!(bench_from_json(&bench_to_json(&sel)), Some(sel));
         }
         let p = WorkloadParams { threads: 3, init_ops: 1234, sim_ops: 567, seed: 0xDEAD_BEEF };
         assert_eq!(params_from_json(&params_to_json(&p)), Some(p));
@@ -495,7 +476,7 @@ mod tests {
                 .with_logq_entries(8)
                 .with_cache_divisor(4),
             scheme: LoggingSchemeKind::Proteus,
-            bench: Benchmark::HashMap,
+            bench: Benchmark::HashMap.into(),
             params: WorkloadParams { threads: 2, init_ops: 500, sim_ops: 100, seed: 7 },
         };
         let line = spec_to_json(&spec).to_line();
@@ -517,7 +498,7 @@ mod tests {
         let spec = ExperimentSpec {
             config: SystemConfig::skylake_like(),
             scheme: LoggingSchemeKind::Atom,
-            bench: Benchmark::LargeTx { elements: 64 },
+            bench: Benchmark::LargeTx { elements: 64 }.into(),
             params: WorkloadParams { threads: 1, init_ops: 10, sim_ops: 5, seed: 42 },
         };
         let line = spec_to_json(&spec).to_line();
@@ -555,7 +536,7 @@ mod tests {
         let spec = ExperimentSpec {
             config: SystemConfig::skylake_like(),
             scheme: LoggingSchemeKind::Proteus,
-            bench: Benchmark::Queue,
+            bench: Benchmark::Queue.into(),
             params: WorkloadParams { threads: 1, init_ops: 1, sim_ops: 1, seed: 1 },
         };
         let line = spec_to_json(&spec).to_line().replace(r#""llt_ways":8,"#, "");

@@ -19,19 +19,23 @@ use proteus_types::stats::RunSummary;
 use proteus_types::{
     stable_hash_value, FieldHasher, JobOutcome, SimError, StableHash, StableHasher,
 };
-use proteus_workloads::{generate, Benchmark, GeneratedWorkload, WorkloadParams};
+use proteus_workgen::WorkloadSel;
+use proteus_workloads::{GeneratedWorkload, WorkloadParams};
 use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, OnceLock};
 
-/// One experiment: a benchmark under a scheme on a configuration.
+/// One experiment: a workload under a scheme on a configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Machine configuration.
     pub config: SystemConfig,
     /// Logging scheme under test.
     pub scheme: LoggingSchemeKind,
-    /// Benchmark to run.
-    pub bench: Benchmark,
+    /// Workload to run: a paper benchmark or a generated spec.
+    /// (`WorkloadSel::Bench` hashes and encodes exactly as the bare
+    /// `Benchmark` used to, so pre-existing spec hashes and resume
+    /// ledgers are unaffected.)
+    pub bench: WorkloadSel,
     /// Workload generation parameters.
     pub params: WorkloadParams,
 }
@@ -92,7 +96,7 @@ pub fn experiment_harness() -> Harness<ExperimentResult> {
 ///
 /// Propagates configuration, expansion, and simulation errors.
 pub fn run_one(spec: &ExperimentSpec) -> Result<ExperimentResult, SimError> {
-    let workload = generate(spec.bench, &spec.params);
+    let workload = spec.bench.generate(&spec.params);
     run_workload(spec, &workload)
 }
 
@@ -122,7 +126,7 @@ pub fn run_one_traced(
     spec: &ExperimentSpec,
     trace: &TraceConfig,
 ) -> Result<(ExperimentResult, Option<TraceReport>), SimError> {
-    let workload = generate(spec.bench, &spec.params);
+    let workload = spec.bench.generate(&spec.params);
     run_workload_traced(spec, &workload, trace)
 }
 
@@ -290,7 +294,7 @@ impl SchemeSweep {
 /// Returns the first simulation error.
 pub fn sweep_schemes(
     config: &SystemConfig,
-    bench: Benchmark,
+    bench: impl Into<WorkloadSel>,
     params: &WorkloadParams,
     schemes: &[LoggingSchemeKind],
 ) -> Result<SchemeSweep, SimError> {
@@ -309,28 +313,29 @@ pub fn sweep_schemes(
 /// event stream failures.
 pub fn sweep_schemes_with(
     config: &SystemConfig,
-    bench: Benchmark,
+    bench: impl Into<WorkloadSel>,
     params: &WorkloadParams,
     schemes: &[LoggingSchemeKind],
     opts: &SweepOptions,
 ) -> Result<SchemeSweep, SimError> {
+    let sel: WorkloadSel = bench.into();
     let specs: Vec<ExperimentSpec> = schemes
         .iter()
         .map(|&scheme| ExperimentSpec {
             config: config.clone(),
             scheme,
-            bench,
+            bench: sel.clone(),
             params: params.clone(),
         })
         .collect();
     let workload: OnceLock<GeneratedWorkload> = OnceLock::new();
     let (report, typed_errors) = sweep_jobs(&specs, opts, |i| {
-        let w = workload.get_or_init(|| generate(bench, params));
+        let w = workload.get_or_init(|| sel.generate(params));
         run_workload(&specs[i], w)
     })?;
     let results = all_or_first_error(report, typed_errors)?;
     Ok(SchemeSweep {
-        bench: bench.abbrev().to_string(),
+        bench: sel.abbrev().to_string(),
         results: schemes
             .iter()
             .zip(results)
@@ -342,6 +347,7 @@ pub fn sweep_schemes_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proteus_workloads::Benchmark;
 
     fn tiny_params() -> WorkloadParams {
         WorkloadParams { threads: 2, init_ops: 40, sim_ops: 12, seed: 9 }
@@ -351,7 +357,7 @@ mod tests {
         ExperimentSpec {
             config: SystemConfig::skylake_like().with_num_cores(2),
             scheme,
-            bench,
+            bench: bench.into(),
             params: tiny_params(),
         }
     }
@@ -412,7 +418,7 @@ mod tests {
         let spec = ExperimentSpec {
             config: SystemConfig::skylake_like().with_num_cores(1),
             scheme: LoggingSchemeKind::NoLog,
-            bench: Benchmark::Queue,
+            bench: Benchmark::Queue.into(),
             params: tiny_params(), // 2 threads
         };
         assert!(matches!(run_one(&spec), Err(SimError::TooManyThreads { .. })));
@@ -504,7 +510,7 @@ mod tests {
     #[test]
     fn derived_seed_runs_are_reproducible() {
         let mut spec = tiny_spec(Benchmark::HashMap, LoggingSchemeKind::Proteus);
-        spec.params = spec.params.with_derived_seed(spec.bench);
+        spec.params = spec.bench.derived_params(spec.params.clone());
         let a = run_one(&spec).unwrap();
         let b = run_one(&spec).unwrap();
         assert_eq!(a.summary, b.summary);

@@ -1,0 +1,490 @@
+//! JSON codecs for selectors, gen specs, and the JSONL trace file.
+//!
+//! ## Trace file format (version 1)
+//!
+//! Line 1 is the header:
+//!
+//! ```json
+//! {"magic":"proteus-optrace","version":1,"name":"QEx2",
+//!  "sel":{...},"params":{...},"lines":N,"content_hash":"0123..ef"}
+//! ```
+//!
+//! followed by exactly `lines` body lines, each either an init chunk
+//! (`{"t":0,"init":[op,...]}`, at most [`INIT_CHUNK`] ops) or one
+//! durable group (`{"t":0,"tx":[op,...]}`), in generation order. Ops
+//! are compact arrays, tag first: `["MI",s,key,value]`.
+//!
+//! Loading verifies, in order: magic + version (wrong format), the
+//! declared body line count (truncation), per-line shape (corruption),
+//! and finally the recomputed [`OpTrace::content_hash`] against the
+//! header (any silent body edit). Each failure is a distinct
+//! `SimError::InvalidConfig` naming the offending line.
+
+use crate::gen::{GenSpec, GenStructure, OpMix, Skew};
+use crate::sel::WorkloadSel;
+use crate::trace::{OpTrace, ThreadOps, TRACE_VERSION};
+use proteus_harness::{json, Json};
+use proteus_types::SimError;
+use proteus_workloads::{Benchmark, OpSpec, WorkloadParams};
+
+/// Magic string identifying a trace file's first line.
+pub const TRACE_MAGIC: &str = "proteus-optrace";
+
+/// Init ops batched per body line (keeps big-init traces compact
+/// without unbounded lines).
+pub const INIT_CHUNK: usize = 1024;
+
+/// Encodes a workload selector. `Bench` keeps the historical
+/// `Benchmark` encoding byte-for-byte (`{"kind":"QE"}`, `LargeTx` with
+/// its element count) so ledgers and goldens written before the
+/// generalisation still decode; `Gen` nests the full spec.
+pub fn sel_to_json(sel: &WorkloadSel) -> Json {
+    match sel {
+        WorkloadSel::Bench(Benchmark::LargeTx { elements }) => {
+            Json::obj([("kind", Json::str("LT")), ("elements", Json::U64(*elements))])
+        }
+        WorkloadSel::Bench(other) => Json::obj([("kind", Json::str(other.abbrev()))]),
+        WorkloadSel::Gen(g) => {
+            Json::obj([("kind", Json::str("GEN")), ("spec", gen_spec_to_json(g))])
+        }
+    }
+}
+
+/// Decodes a workload selector; `None` on unknown kinds.
+pub fn sel_from_json(v: &Json) -> Option<WorkloadSel> {
+    let bench = |b: Benchmark| Some(WorkloadSel::Bench(b));
+    match v.get("kind")?.as_str()? {
+        "QE" => bench(Benchmark::Queue),
+        "HM" => bench(Benchmark::HashMap),
+        "SS" => bench(Benchmark::StringSwap),
+        "AT" => bench(Benchmark::AvlTree),
+        "BT" => bench(Benchmark::BTree),
+        "RT" => bench(Benchmark::RbTree),
+        "LT" => bench(Benchmark::LargeTx { elements: v.get("elements")?.as_u64()? }),
+        "GEN" => Some(WorkloadSel::Gen(gen_spec_from_json(v.get("spec")?)?)),
+        _ => None,
+    }
+}
+
+/// Encodes a gen spec.
+pub fn gen_spec_to_json(g: &GenSpec) -> Json {
+    let structure = match g.structure {
+        GenStructure::HashMap { buckets } => {
+            Json::obj([("kind", Json::str("HM")), ("buckets", Json::U64(buckets))])
+        }
+        GenStructure::BTree => Json::obj([("kind", Json::str("BT"))]),
+        GenStructure::Queue => Json::obj([("kind", Json::str("QE"))]),
+    };
+    let skew = match g.skew {
+        Skew::Uniform => Json::obj([("kind", Json::str("uniform"))]),
+        Skew::Zipfian { theta_milli } => Json::obj([
+            ("kind", Json::str("zipfian")),
+            ("theta_milli", Json::U64(theta_milli as u64)),
+        ]),
+    };
+    Json::obj([
+        ("name", Json::str(g.name.clone())),
+        ("structure", structure),
+        ("per_thread", Json::U64(g.per_thread as u64)),
+        ("key_range", Json::U64(g.key_range)),
+        (
+            "mix",
+            Json::obj([
+                ("read", Json::U64(g.mix.read_pct as u64)),
+                ("insert", Json::U64(g.mix.insert_pct as u64)),
+                ("delete", Json::U64(g.mix.delete_pct as u64)),
+                ("scan", Json::U64(g.mix.scan_pct as u64)),
+                ("drain", Json::U64(g.mix.drain_pct as u64)),
+            ]),
+        ),
+        ("skew", skew),
+        ("scan_len", Json::U64(g.scan_len as u64)),
+        ("tx_ops", Json::U64(g.tx_ops as u64)),
+        ("drain_batch", Json::U64(g.drain_batch as u64)),
+    ])
+}
+
+fn u8_field(v: &Json, key: &str) -> Option<u8> {
+    u8::try_from(v.get(key)?.as_u64()?).ok()
+}
+
+fn u32_field(v: &Json, key: &str) -> Option<u32> {
+    u32::try_from(v.get(key)?.as_u64()?).ok()
+}
+
+/// Decodes a gen spec; `None` on malformed input.
+pub fn gen_spec_from_json(v: &Json) -> Option<GenSpec> {
+    let s = v.get("structure")?;
+    let structure = match s.get("kind")?.as_str()? {
+        "HM" => GenStructure::HashMap { buckets: s.get("buckets")?.as_u64()? },
+        "BT" => GenStructure::BTree,
+        "QE" => GenStructure::Queue,
+        _ => return None,
+    };
+    let k = v.get("skew")?;
+    let skew = match k.get("kind")?.as_str()? {
+        "uniform" => Skew::Uniform,
+        "zipfian" => Skew::Zipfian { theta_milli: u32_field(k, "theta_milli")? },
+        _ => return None,
+    };
+    let m = v.get("mix")?;
+    Some(GenSpec {
+        name: v.get("name")?.as_str()?.to_string(),
+        structure,
+        per_thread: v.get("per_thread")?.as_usize()?,
+        key_range: v.get("key_range")?.as_u64()?,
+        mix: OpMix {
+            read_pct: u8_field(m, "read")?,
+            insert_pct: u8_field(m, "insert")?,
+            delete_pct: u8_field(m, "delete")?,
+            scan_pct: u8_field(m, "scan")?,
+            drain_pct: u8_field(m, "drain")?,
+        },
+        skew,
+        scan_len: u32_field(v, "scan_len")?,
+        tx_ops: u32_field(v, "tx_ops")?,
+        drain_batch: u32_field(v, "drain_batch")?,
+    })
+}
+
+/// Encodes workload parameters (same shape `sim::persist` has always
+/// written; that module now delegates here).
+pub fn params_to_json(p: &WorkloadParams) -> Json {
+    Json::obj([
+        ("threads", Json::U64(p.threads as u64)),
+        ("init_ops", Json::U64(p.init_ops as u64)),
+        ("sim_ops", Json::U64(p.sim_ops as u64)),
+        ("seed", Json::U64(p.seed)),
+    ])
+}
+
+/// Decodes workload parameters; `None` on missing/mistyped fields.
+pub fn params_from_json(v: &Json) -> Option<WorkloadParams> {
+    Some(WorkloadParams {
+        threads: v.get("threads")?.as_usize()?,
+        init_ops: v.get("init_ops")?.as_usize()?,
+        sim_ops: v.get("sim_ops")?.as_usize()?,
+        seed: v.get("seed")?.as_u64()?,
+    })
+}
+
+/// Encodes one op as a compact tagged array.
+pub fn op_to_json(op: &OpSpec) -> Json {
+    let arr = |tag: &str, rest: &[u64]| {
+        let mut a = vec![Json::str(tag)];
+        a.extend(rest.iter().map(|&n| Json::U64(n)));
+        Json::Arr(a)
+    };
+    match *op {
+        OpSpec::Enqueue { s, value } => arr("ENQ", &[s as u64, value]),
+        OpSpec::Dequeue { s } => arr("DEQ", &[s as u64]),
+        OpSpec::MapInsert { s, key, value } => arr("MI", &[s as u64, key, value]),
+        OpSpec::MapDelete { s, key } => arr("MD", &[s as u64, key]),
+        OpSpec::Swap { i, j } => arr("SW", &[i, j]),
+        OpSpec::TreeInsert { s, key, value } => arr("TI", &[s as u64, key, value]),
+        OpSpec::TreeDelete { s, key } => arr("TD", &[s as u64, key]),
+        OpSpec::BigUpdate { node, base } => arr("BU", &[node, base]),
+        OpSpec::MapLookup { s, key } => arr("ML", &[s as u64, key]),
+        OpSpec::TreeLookup { s, key } => arr("TL", &[s as u64, key]),
+        OpSpec::TreeScan { s, key, len } => arr("TS", &[s as u64, key, len as u64]),
+        OpSpec::QueueDrain { s, n } => arr("QD", &[s as u64, n as u64]),
+    }
+}
+
+/// Decodes one op; `None` on unknown tags or wrong arity.
+pub fn op_from_json(v: &Json) -> Option<OpSpec> {
+    let a = v.as_arr()?;
+    let tag = a.first()?.as_str()?;
+    let n = |i: usize| a.get(i)?.as_u64();
+    let s = |i: usize| -> Option<usize> { usize::try_from(n(i)?).ok() };
+    let op = match (tag, a.len()) {
+        ("ENQ", 3) => OpSpec::Enqueue { s: s(1)?, value: n(2)? },
+        ("DEQ", 2) => OpSpec::Dequeue { s: s(1)? },
+        ("MI", 4) => OpSpec::MapInsert { s: s(1)?, key: n(2)?, value: n(3)? },
+        ("MD", 3) => OpSpec::MapDelete { s: s(1)?, key: n(2)? },
+        ("SW", 3) => OpSpec::Swap { i: n(1)?, j: n(2)? },
+        ("TI", 4) => OpSpec::TreeInsert { s: s(1)?, key: n(2)?, value: n(3)? },
+        ("TD", 3) => OpSpec::TreeDelete { s: s(1)?, key: n(2)? },
+        ("BU", 3) => OpSpec::BigUpdate { node: n(1)?, base: n(2)? },
+        ("ML", 3) => OpSpec::MapLookup { s: s(1)?, key: n(2)? },
+        ("TL", 3) => OpSpec::TreeLookup { s: s(1)?, key: n(2)? },
+        ("TS", 4) => OpSpec::TreeScan { s: s(1)?, key: n(2)?, len: u32::try_from(n(3)?).ok()? },
+        ("QD", 3) => OpSpec::QueueDrain { s: s(1)?, n: u32::try_from(n(2)?).ok()? },
+        _ => return None,
+    };
+    Some(op)
+}
+
+fn body_line_count(trace: &OpTrace) -> u64 {
+    trace
+        .threads
+        .iter()
+        .map(|t| t.init.len().div_ceil(INIT_CHUNK) as u64 + t.groups.len() as u64)
+        .sum()
+}
+
+/// Serialises a trace to its JSONL form.
+pub fn trace_to_string(trace: &OpTrace) -> String {
+    let header = Json::obj([
+        ("magic", Json::str(TRACE_MAGIC)),
+        ("version", Json::U64(TRACE_VERSION)),
+        ("name", Json::str(trace.workload_name())),
+        ("sel", sel_to_json(&trace.sel)),
+        ("params", params_to_json(&trace.params)),
+        ("lines", Json::U64(body_line_count(trace))),
+        ("content_hash", Json::str(format!("{:016x}", trace.content_hash()))),
+    ]);
+    let mut out = header.to_line();
+    out.push('\n');
+    for (t, ops) in trace.threads.iter().enumerate() {
+        for chunk in ops.init.chunks(INIT_CHUNK) {
+            let line = Json::obj([
+                ("t", Json::U64(t as u64)),
+                ("init", Json::Arr(chunk.iter().map(op_to_json).collect())),
+            ]);
+            out.push_str(&line.to_line());
+            out.push('\n');
+        }
+        for group in &ops.groups {
+            let line = Json::obj([
+                ("t", Json::U64(t as u64)),
+                ("tx", Json::Arr(group.iter().map(op_to_json).collect())),
+            ]);
+            out.push_str(&line.to_line());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn bad(msg: impl Into<String>) -> SimError {
+    SimError::InvalidConfig(format!("op trace: {}", msg.into()))
+}
+
+/// Parses and verifies a JSONL trace (see module docs for the checks).
+pub fn trace_from_str(text: &str) -> Result<OpTrace, SimError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| bad("empty file"))?;
+    let header = json::parse(header_line).map_err(|e| bad(format!("header unparsable: {e}")))?;
+    match header.get("magic").and_then(Json::as_str) {
+        Some(TRACE_MAGIC) => {}
+        _ => return Err(bad("missing or wrong magic (not an op-trace file)")),
+    }
+    match header.get("version").and_then(Json::as_u64) {
+        Some(TRACE_VERSION) => {}
+        Some(v) => return Err(bad(format!("unsupported version {v} (expected {TRACE_VERSION})"))),
+        None => return Err(bad("missing version")),
+    }
+    let sel = header
+        .get("sel")
+        .and_then(sel_from_json)
+        .ok_or_else(|| bad("header selector malformed"))?;
+    let params = header
+        .get("params")
+        .and_then(params_from_json)
+        .ok_or_else(|| bad("header params malformed"))?;
+    let declared_lines =
+        header.get("lines").and_then(Json::as_u64).ok_or_else(|| bad("missing line count"))?;
+    let declared_hash = header
+        .get("content_hash")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing content hash"))?
+        .to_string();
+
+    let mut threads: Vec<ThreadOps> = Vec::new();
+    threads.resize_with(params.threads, ThreadOps::default);
+    let mut seen = 0u64;
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2; // 1-based, after the header
+        let v = json::parse(line).map_err(|e| bad(format!("line {lineno} unparsable: {e}")))?;
+        let t = v
+            .get("t")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad(format!("line {lineno} missing thread index")))?;
+        if t >= threads.len() {
+            return Err(bad(format!(
+                "line {lineno} addresses thread {t} but header declares {}",
+                params.threads
+            )));
+        }
+        let decode = |arr: &Json, what: &str| -> Result<Vec<OpSpec>, SimError> {
+            arr.as_arr()
+                .ok_or_else(|| bad(format!("line {lineno} {what} is not an array")))?
+                .iter()
+                .map(|op| {
+                    op_from_json(op)
+                        .ok_or_else(|| bad(format!("line {lineno} has an unknown or malformed op")))
+                })
+                .collect()
+        };
+        if let Some(arr) = v.get("init") {
+            threads[t].init.extend(decode(arr, "init chunk")?);
+        } else if let Some(arr) = v.get("tx") {
+            threads[t].groups.push(decode(arr, "tx group")?);
+        } else {
+            return Err(bad(format!("line {lineno} is neither an init chunk nor a tx group")));
+        }
+        seen += 1;
+    }
+    if seen != declared_lines {
+        return Err(bad(format!(
+            "truncated: header declares {declared_lines} body lines, found {seen}"
+        )));
+    }
+    let trace = OpTrace { sel, params, threads };
+    let got = format!("{:016x}", trace.content_hash());
+    if got != declared_hash {
+        return Err(bad(format!(
+            "content hash mismatch (header {declared_hash}, recomputed {got}) — corrupt body"
+        )));
+    }
+    Ok(trace)
+}
+
+/// Writes a trace to `path` (JSONL).
+pub fn write_trace(trace: &OpTrace, path: &str) -> Result<(), SimError> {
+    std::fs::write(path, trace_to_string(trace))
+        .map_err(|e| SimError::HarnessIo(format!("writing trace {path}: {e}")))
+}
+
+/// Reads and verifies a trace from `path`.
+pub fn read_trace(path: &str) -> Result<OpTrace, SimError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::HarnessIo(format!("reading trace {path}: {e}")))?;
+    trace_from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenSpec, GenStructure, OpMix, Skew};
+    use crate::trace::record;
+
+    fn sample_trace() -> OpTrace {
+        let sel = WorkloadSel::from(Benchmark::Queue);
+        let params = WorkloadParams { threads: 2, init_ops: 30, sim_ops: 10, seed: 5 };
+        record(&sel, &params).1
+    }
+
+    fn gen_trace() -> OpTrace {
+        let sel = WorkloadSel::Gen(GenSpec {
+            name: "kv".into(),
+            structure: GenStructure::HashMap { buckets: 8 },
+            per_thread: 2,
+            key_range: 100,
+            mix: OpMix { read_pct: 30, insert_pct: 50, delete_pct: 20, scan_pct: 0, drain_pct: 0 },
+            skew: Skew::Zipfian { theta_milli: 990 },
+            scan_len: 0,
+            tx_ops: 2,
+            drain_batch: 0,
+        });
+        let params = WorkloadParams { threads: 2, init_ops: 40, sim_ops: 12, seed: 9 };
+        record(&sel, &params).1
+    }
+
+    #[test]
+    fn every_op_kind_round_trips() {
+        let ops = [
+            OpSpec::Enqueue { s: 1, value: 42 },
+            OpSpec::Dequeue { s: 0 },
+            OpSpec::MapInsert { s: 2, key: 7, value: 8 },
+            OpSpec::MapDelete { s: 3, key: 9 },
+            OpSpec::Swap { i: 4, j: 5 },
+            OpSpec::TreeInsert { s: 0, key: 1, value: 2 },
+            OpSpec::TreeDelete { s: 1, key: 3 },
+            OpSpec::BigUpdate { node: 2, base: 100 },
+            OpSpec::MapLookup { s: 0, key: 11 },
+            OpSpec::TreeLookup { s: 1, key: 12 },
+            OpSpec::TreeScan { s: 2, key: 13, len: 16 },
+            OpSpec::QueueDrain { s: 3, n: 12 },
+        ];
+        for op in ops {
+            assert_eq!(op_from_json(&op_to_json(&op)), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_bench_and_gen() {
+        for trace in [sample_trace(), gen_trace()] {
+            let text = trace_to_string(&trace);
+            let back = trace_from_str(&text).expect("round trip");
+            assert_eq!(back, trace);
+        }
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected() {
+        let text = trace_to_string(&sample_trace());
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop();
+        let truncated = lines.join("\n");
+        let err = trace_from_str(&truncated).unwrap_err();
+        assert!(format!("{err}").contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let text = trace_to_string(&sample_trace());
+        // Wrong magic.
+        let bad_magic = text.replacen(TRACE_MAGIC, "not-a-trace", 1);
+        assert!(trace_from_str(&bad_magic).is_err());
+        // Unsupported version.
+        let bad_version = text.replacen("\"version\":1", "\"version\":99", 1);
+        let err = trace_from_str(&bad_version).unwrap_err();
+        assert!(format!("{err}").contains("version"), "{err}");
+        // Unparsable header line.
+        let mut broken = text.clone();
+        broken.replace_range(0..1, "X");
+        assert!(trace_from_str(&broken).is_err());
+    }
+
+    #[test]
+    fn corrupt_body_fails_content_hash() {
+        let text = trace_to_string(&sample_trace());
+        // Flip one op value in the body without touching line count.
+        let tampered = text.replacen("[\"ENQ\",", "[\"DEQ\",", 1);
+        // If the trace had no enqueue (unlikely), skip — nothing tampered.
+        if tampered != text {
+            let err = trace_from_str(&tampered).unwrap_err();
+            let msg = format!("{err}");
+            // Either arity check or the content hash catches it.
+            assert!(msg.contains("hash") || msg.contains("malformed"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_are_rejected() {
+        assert!(trace_from_str("").is_err());
+        assert!(trace_from_str("\n\n").is_err());
+        assert!(trace_from_str("{\"magic\":\"proteus-optrace\"}").is_err());
+        assert!(trace_from_str("hello world").is_err());
+    }
+
+    #[test]
+    fn init_chunking_splits_large_inits() {
+        let sel = WorkloadSel::from(Benchmark::Queue);
+        let params = WorkloadParams { threads: 1, init_ops: INIT_CHUNK + 10, sim_ops: 1, seed: 1 };
+        let (_, trace) = record(&sel, &params);
+        let text = trace_to_string(&trace);
+        // header + 2 init chunks + 1 tx line
+        assert_eq!(text.lines().count(), 4);
+        assert_eq!(trace_from_str(&text).expect("round trip"), trace);
+    }
+
+    #[test]
+    fn sel_codec_round_trips_and_keeps_bench_bytes() {
+        // Historical Benchmark encoding is pinned byte-for-byte.
+        assert_eq!(
+            sel_to_json(&WorkloadSel::from(Benchmark::LargeTx { elements: 64 })).to_line(),
+            "{\"kind\":\"LT\",\"elements\":64}"
+        );
+        assert_eq!(
+            sel_to_json(&WorkloadSel::from(Benchmark::Queue)).to_line(),
+            "{\"kind\":\"QE\"}"
+        );
+        for trace in [sample_trace(), gen_trace()] {
+            let j = sel_to_json(&trace.sel);
+            assert_eq!(sel_from_json(&j), Some(trace.sel));
+        }
+    }
+}

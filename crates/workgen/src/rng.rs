@@ -1,0 +1,186 @@
+//! Environment-independent randomness for workload generation.
+//!
+//! Table 2 workloads draw from `rand::StdRng`, which the offline build
+//! replaces with a stub producing a different stream — numeric goldens
+//! over those workloads are therefore gated on a fingerprint. Generated
+//! workloads avoid the problem entirely: they draw from this crate's
+//! own splitmix64 stream, which is a few integer operations and is
+//! byte-identical in every build environment. Only the zipfian sampler
+//! touches floating point (`powf` in the zeta precomputation); see
+//! [`skew_fingerprint`] for how goldens over skewed streams are gated.
+
+/// A splitmix64 generator (Steele et al., "Fast splittable pseudorandom
+/// number generators"). Deterministic, platform-independent, and good
+/// enough statistically for op-mix/skew draws.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)` (`n == 0` yields 0).
+    ///
+    /// Plain modulo: the bias for the `n` values used here (structure
+    /// counts, key ranges far below 2^64) is negligible, and modulo is
+    /// trivially reproducible.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `pct`/100.
+    pub fn chance(&mut self, pct: u8) -> bool {
+        self.below(100) < pct as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A zipfian sampler over `[0, n)` using the YCSB/Gray et al.
+/// construction: draws are skewed toward low ranks with parameter
+/// `theta` (YCSB uses 0.99).
+///
+/// The zeta constants are precomputed once per generation; sampling is
+/// then two multiplies and two `powf` calls. Floating point makes the
+/// stream *theoretically* platform-sensitive in the last ulp, so
+/// numeric goldens over zipfian streams gate on [`skew_fingerprint`];
+/// in practice IEEE-754 `powf` agrees across the platforms we build on.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// A sampler over `[0, n)` with skew `theta` in (0, 1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(1);
+        let zeta_n = zeta(n, theta);
+        let zeta_2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian { n, theta, alpha, zeta_n, eta }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn draw(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.unit_f64();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Fingerprint of the floating-point skew pipeline in this build
+/// environment: a short canonical zipfian draw sequence, hashed.
+///
+/// Mirrors `proteus_bench::golden::workload_fingerprint` — goldens that
+/// pin zipfian-skewed trace contents compare this against the capture
+/// environment's value and skip (never fail) on mismatch, because a
+/// `powf` ulp difference changes the *workload input*, not the engine.
+pub fn skew_fingerprint() -> u64 {
+    let mut h = proteus_types::StableHasher::new();
+    let zipf = Zipfian::new(1 << 20, 0.99);
+    let mut rng = SplitMix64::new(0x5EED_F1D0);
+    for _ in 0..64 {
+        h.write_u64(zipf.draw(&mut rng));
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_pinned() {
+        // First values of the reference splitmix64 stream for seed 0 —
+        // pinned so the generator can never silently drift.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert!(!r.chance(0));
+            assert!(r.chance(100));
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let zipf = Zipfian::new(10_000, 0.99);
+        let mut rng = SplitMix64::new(42);
+        let draws: Vec<u64> = (0..10_000).map(|_| zipf.draw(&mut rng)).collect();
+        assert!(draws.iter().all(|&d| d < 10_000));
+        // Hot head: far more than the uniform 1% of draws hit the top 1%.
+        let hot = draws.iter().filter(|&&d| d < 100).count();
+        assert!(hot > 2_000, "zipfian head too cold: {hot}/10000 in top 1%");
+        // Tail still reachable.
+        assert!(draws.iter().any(|&d| d >= 1_000));
+    }
+
+    #[test]
+    fn zipfian_uniform_limit_sane() {
+        // Tiny universe: every rank reachable, no panics.
+        let zipf = Zipfian::new(2, 0.99);
+        let mut rng = SplitMix64::new(9);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[zipf.draw(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn skew_fingerprint_is_stable_within_build() {
+        assert_eq!(skew_fingerprint(), skew_fingerprint());
+    }
+}

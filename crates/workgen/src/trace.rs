@@ -1,0 +1,324 @@
+//! The versioned op-trace: a recorded per-thread operation stream plus
+//! the header needed to replay it byte-identically.
+//!
+//! A trace captures *inputs* (structure setup + op streams), not the
+//! emitted `Program` — replay rebuilds the structures from the header's
+//! selector and re-emits every group through the same
+//! `workloads::spec::emit_op_group` path generation used, so the
+//! replayed `Program` + `WordImage` are equal by construction and every
+//! downstream consumer (runner, crash engine, tracer, service) runs a
+//! trace exactly as it runs a generated workload.
+
+use crate::gen::build_gen_structures;
+use crate::sel::WorkloadSel;
+use proteus_core::pmem::WordImage;
+use proteus_core::program::Program;
+use proteus_types::{SimError, StableHasher, ThreadId};
+use proteus_workloads::{
+    build_thread_structures, emit_op_group, lock_base_for, run_op, thread_alloc, DirectMem,
+    GeneratedWorkload, NodeAlloc, OpRecorder, OpSpec, Structures, WorkloadParams,
+};
+
+/// Current on-disk trace format version (see `codec`).
+pub const TRACE_VERSION: u64 = 1;
+
+/// One thread's recorded op streams.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThreadOps {
+    /// Fast-forwarded initialisation ops, in draw order.
+    pub init: Vec<OpSpec>,
+    /// Durable op groups (each one emitted transaction), in order.
+    pub groups: Vec<Vec<OpSpec>>,
+}
+
+/// A recorded workload: selector + parameters + per-thread op streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// The selector that drew the streams (needed to rebuild the
+    /// initial structures on replay).
+    pub sel: WorkloadSel,
+    /// Generation parameters the streams were drawn under.
+    pub params: WorkloadParams,
+    /// One entry per thread.
+    pub threads: Vec<ThreadOps>,
+}
+
+fn hash_op(h: &mut StableHasher, op: &OpSpec) {
+    match *op {
+        OpSpec::Enqueue { s, value } => {
+            h.write_u8(1);
+            h.write_u64(s as u64);
+            h.write_u64(value);
+        }
+        OpSpec::Dequeue { s } => {
+            h.write_u8(2);
+            h.write_u64(s as u64);
+        }
+        OpSpec::MapInsert { s, key, value } => {
+            h.write_u8(3);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+            h.write_u64(value);
+        }
+        OpSpec::MapDelete { s, key } => {
+            h.write_u8(4);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+        }
+        OpSpec::Swap { i, j } => {
+            h.write_u8(5);
+            h.write_u64(i);
+            h.write_u64(j);
+        }
+        OpSpec::TreeInsert { s, key, value } => {
+            h.write_u8(6);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+            h.write_u64(value);
+        }
+        OpSpec::TreeDelete { s, key } => {
+            h.write_u8(7);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+        }
+        OpSpec::BigUpdate { node, base } => {
+            h.write_u8(8);
+            h.write_u64(node);
+            h.write_u64(base);
+        }
+        OpSpec::MapLookup { s, key } => {
+            h.write_u8(9);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+        }
+        OpSpec::TreeLookup { s, key } => {
+            h.write_u8(10);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+        }
+        OpSpec::TreeScan { s, key, len } => {
+            h.write_u8(11);
+            h.write_u64(s as u64);
+            h.write_u64(key);
+            h.write_u64(len as u64);
+        }
+        OpSpec::QueueDrain { s, n } => {
+            h.write_u8(12);
+            h.write_u64(s as u64);
+            h.write_u64(n as u64);
+        }
+    }
+}
+
+impl OpTrace {
+    /// The workload name replaying this trace produces.
+    pub fn workload_name(&self) -> String {
+        format!("{}x{}", self.sel.abbrev(), self.params.threads)
+    }
+
+    /// Total recorded ops (init + every group member) across threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads
+            .iter()
+            .map(|t| t.init.len() as u64 + t.groups.iter().map(|g| g.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Total durable groups (= transactions on replay, except all-read
+    /// groups which emit untransacted) across threads.
+    pub fn total_groups(&self) -> u64 {
+        self.threads.iter().map(|t| t.groups.len() as u64).sum()
+    }
+
+    /// Structural identity of the recorded streams (selector, params,
+    /// and every op in order). The codec stores this in the header and
+    /// re-verifies it on load, so silent corruption of a stored trace
+    /// body cannot masquerade as a valid workload.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(proteus_types::stable_hash_value(&self.sel));
+        h.write_u64(proteus_types::stable_hash_value(&self.params));
+        for t in &self.threads {
+            h.write_str("thread");
+            h.write_u64(t.init.len() as u64);
+            for op in &t.init {
+                hash_op(&mut h, op);
+            }
+            h.write_u64(t.groups.len() as u64);
+            for g in &t.groups {
+                h.write_u64(g.len() as u64);
+                for op in g {
+                    hash_op(&mut h, op);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Captures op streams as the generator draws them.
+#[derive(Debug, Default)]
+struct TraceRecorder {
+    threads: Vec<ThreadOps>,
+}
+
+impl TraceRecorder {
+    fn thread(&mut self, t: usize) -> &mut ThreadOps {
+        if self.threads.len() <= t {
+            self.threads.resize_with(t + 1, ThreadOps::default);
+        }
+        &mut self.threads[t]
+    }
+}
+
+impl OpRecorder for TraceRecorder {
+    fn record_init(&mut self, t: usize, op: OpSpec) {
+        self.thread(t).init.push(op);
+    }
+
+    fn record_group(&mut self, t: usize, ops: &[OpSpec]) {
+        self.thread(t).groups.push(ops.to_vec());
+    }
+}
+
+/// Generates the selected workload while recording its op streams.
+/// The returned workload is exactly `sel.generate(params)`; the trace
+/// replays to the same bytes (see [`replay`]).
+pub fn record(sel: &WorkloadSel, params: &WorkloadParams) -> (GeneratedWorkload, OpTrace) {
+    let mut rec = TraceRecorder::default();
+    let workload = sel.generate_recorded(params, &mut rec);
+    // Threads that drew no ops still occupy a slot.
+    rec.threads.resize_with(params.threads, ThreadOps::default);
+    (workload, OpTrace { sel: sel.clone(), params: params.clone(), threads: rec.threads })
+}
+
+fn build_structures_for(
+    sel: &WorkloadSel,
+    params: &WorkloadParams,
+    image: &mut WordImage,
+    alloc: &mut NodeAlloc,
+) -> Structures {
+    match sel {
+        WorkloadSel::Bench(b) => build_thread_structures(*b, params, image, alloc).structures,
+        WorkloadSel::Gen(g) => build_gen_structures(g, image, alloc),
+    }
+}
+
+/// Materialises a trace into a runnable workload: rebuilds each
+/// thread's structures from the header selector, applies the recorded
+/// init ops functionally, and re-emits every recorded group through
+/// the shared emission path. For a trace produced by [`record`], the
+/// result is byte-identical to the recorded generation.
+pub fn replay(trace: &OpTrace) -> Result<GeneratedWorkload, SimError> {
+    trace.sel.validate()?;
+    if trace.params.threads == 0 || trace.params.threads != trace.threads.len() {
+        return Err(SimError::InvalidConfig(format!(
+            "trace header declares {} threads but carries {} op streams",
+            trace.params.threads,
+            trace.threads.len()
+        )));
+    }
+    let mut image = WordImage::new();
+    let mut programs = Vec::with_capacity(trace.threads.len());
+    for (t, ops) in trace.threads.iter().enumerate() {
+        let mut alloc = thread_alloc(t);
+        let structures = build_structures_for(&trace.sel, &trace.params, &mut image, &mut alloc);
+        for &op in &ops.init {
+            let mut m = DirectMem::new(&mut image);
+            run_op(&mut m, &mut alloc, &structures, op);
+        }
+        let lock_base = lock_base_for(t);
+        let mut program = Program::new(ThreadId::new(t as u32));
+        for group in &ops.groups {
+            emit_op_group(&mut image, &mut program, &mut alloc, &structures, group, lock_base);
+        }
+        program.validate().map_err(|e| {
+            SimError::InvalidConfig(format!("replayed program for thread {t} invalid: {e}"))
+        })?;
+        programs.push(program);
+    }
+    Ok(GeneratedWorkload { name: trace.workload_name(), programs, initial_image: image })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenSpec, GenStructure, OpMix, Skew};
+    use proteus_workloads::Benchmark;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams { threads: 2, init_ops: 80, sim_ops: 25, seed: 11 }
+    }
+
+    #[test]
+    fn record_matches_plain_generation() {
+        for sel in [
+            WorkloadSel::from(Benchmark::Queue),
+            WorkloadSel::from(Benchmark::RbTree),
+            WorkloadSel::from(Benchmark::LargeTx { elements: 64 }),
+        ] {
+            let p = params();
+            let plain = sel.generate(&p);
+            let (recorded, trace) = record(&sel, &p);
+            assert_eq!(plain.programs, recorded.programs, "{}", sel.abbrev());
+            assert_eq!(plain.initial_image, recorded.initial_image, "{}", sel.abbrev());
+            assert_eq!(trace.threads.len(), 2);
+            assert_eq!(trace.total_ops(), (80 + 25) * 2, "{}", sel.abbrev());
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical_for_every_table2_bench() {
+        for bench in Benchmark::TABLE2 {
+            let sel = WorkloadSel::from(bench);
+            let p = params();
+            let (recorded, trace) = record(&sel, &p);
+            let replayed = replay(&trace).expect("replay");
+            assert_eq!(recorded.name, replayed.name, "{bench:?}");
+            assert_eq!(recorded.programs, replayed.programs, "{bench:?}");
+            assert_eq!(recorded.initial_image, replayed.initial_image, "{bench:?}");
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical_for_generated_workloads() {
+        let sel = WorkloadSel::Gen(GenSpec {
+            name: "mix".into(),
+            structure: GenStructure::BTree,
+            per_thread: 2,
+            key_range: 500,
+            mix: OpMix { read_pct: 30, insert_pct: 40, delete_pct: 10, scan_pct: 20, drain_pct: 0 },
+            skew: Skew::Zipfian { theta_milli: 900 },
+            scan_len: 5,
+            tx_ops: 3,
+            drain_batch: 0,
+        });
+        let p = params();
+        let (recorded, trace) = record(&sel, &p);
+        let replayed = replay(&trace).expect("replay");
+        assert_eq!(recorded.programs, replayed.programs);
+        assert_eq!(recorded.initial_image, replayed.initial_image);
+    }
+
+    #[test]
+    fn replay_rejects_thread_mismatch() {
+        let (_, mut trace) = record(&WorkloadSel::from(Benchmark::Queue), &params());
+        trace.threads.pop();
+        assert!(matches!(replay(&trace), Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn content_hash_sees_every_op() {
+        let (_, trace) = record(&WorkloadSel::from(Benchmark::Queue), &params());
+        let base = trace.content_hash();
+        let mut t = trace.clone();
+        t.threads[0].init[0] = OpSpec::Dequeue { s: 0 };
+        assert_ne!(base, t.content_hash());
+        let mut t = trace.clone();
+        t.threads[1].groups[3][0] = OpSpec::Enqueue { s: 0, value: 1 };
+        assert_ne!(base, t.content_hash());
+        let mut t = trace.clone();
+        t.params.seed ^= 1;
+        assert_ne!(base, t.content_hash());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the op-trace codec, mirroring the service
+//! frame-protocol suite: any recorded trace must survive a
+//! serialise/parse round trip exactly and replay byte-identically,
+//! while truncations and single-byte corruptions of the stored text
+//! must either be rejected cleanly or parse back to the original
+//! trace — never panic, never yield a silently different workload.
+//!
+//! Only runs online: the offline stub of proptest is resolution-only,
+//! and `tools/offline-check.sh` skips this suite.
+
+use proptest::prelude::*;
+use proteus_workgen::codec::{trace_from_str, trace_to_string};
+use proteus_workgen::{record, replay, GenSpec, GenStructure, OpMix, Skew, WorkloadSel};
+use proteus_workloads::{Benchmark, WorkloadParams};
+
+fn gen_sel_strategy() -> impl Strategy<Value = WorkloadSel> {
+    (1usize..3, 0u64..200, 1u32..1000, any::<bool>(), 1u32..4).prop_map(
+        |(per_thread, key_range, theta_milli, zipf, tx_ops)| {
+            WorkloadSel::Gen(GenSpec {
+                name: "prop".into(),
+                structure: GenStructure::HashMap { buckets: 16 },
+                per_thread,
+                key_range,
+                mix: OpMix {
+                    read_pct: 30,
+                    insert_pct: 50,
+                    delete_pct: 20,
+                    scan_pct: 0,
+                    drain_pct: 0,
+                },
+                skew: if zipf { Skew::Zipfian { theta_milli } } else { Skew::Uniform },
+                scan_len: 0,
+                tx_ops,
+                drain_batch: 0,
+            })
+        },
+    )
+}
+
+fn sel_strategy() -> impl Strategy<Value = WorkloadSel> {
+    prop_oneof![
+        Just(WorkloadSel::from(Benchmark::Queue)),
+        Just(WorkloadSel::from(Benchmark::HashMap)),
+        Just(WorkloadSel::from(Benchmark::RbTree)),
+        Just(WorkloadSel::from(Benchmark::LargeTx { elements: 32 })),
+        gen_sel_strategy(),
+    ]
+}
+
+fn params_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (1usize..3, 0usize..40, 1usize..16, any::<u64>()).prop_map(
+        |(threads, init_ops, sim_ops, seed)| WorkloadParams { threads, init_ops, sim_ops, seed },
+    )
+}
+
+proptest! {
+    #[test]
+    fn traces_round_trip_exactly(sel in sel_strategy(), params in params_strategy()) {
+        let (_, trace) = record(&sel, &params);
+        let text = trace_to_string(&trace);
+        let back = trace_from_str(&text).expect("own serialisation must parse");
+        prop_assert_eq!(&back, &trace);
+        // And the text itself is canonical: re-serialising is identical.
+        prop_assert_eq!(trace_to_string(&back), text);
+    }
+
+    #[test]
+    fn replays_match_the_recorded_generation(sel in sel_strategy(), params in params_strategy()) {
+        let (workload, trace) = record(&sel, &params);
+        let replayed = replay(&trace).expect("recorded trace must replay");
+        prop_assert_eq!(workload.name, replayed.name);
+        prop_assert_eq!(workload.programs, replayed.programs);
+        prop_assert_eq!(workload.initial_image, replayed.initial_image);
+    }
+
+    #[test]
+    fn truncations_are_rejected_or_equal(
+        sel in sel_strategy(),
+        params in params_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (_, trace) = record(&sel, &params);
+        let text = trace_to_string(&trace);
+        let mut cut = ((text.len() as f64) * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        // A prefix either fails verification (missing lines, broken
+        // JSON, hash mismatch) or — e.g. cut exactly at the final
+        // newline — still parses to the identical trace. It must never
+        // parse to a different one.
+        match trace_from_str(&text[..cut]) {
+            Ok(back) => prop_assert_eq!(back, trace),
+            Err(e) => prop_assert!(e.to_string().contains("op trace"), "wrong error class: {e}"),
+        }
+    }
+
+    #[test]
+    fn single_byte_corruptions_never_yield_a_different_trace(
+        sel in sel_strategy(),
+        params in params_strategy(),
+        pos_frac in 0.0f64..1.0,
+        replacement in prop::sample::select(vec![b'0', b'9', b'a', b'"', b'[', b'}', b',', b' ']),
+    ) {
+        let (_, trace) = record(&sel, &params);
+        let text = trace_to_string(&trace);
+        let mut bytes = text.clone().into_bytes();
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        prop_assume!(bytes[pos] != replacement);
+        bytes[pos] = replacement;
+        let Ok(mutated) = String::from_utf8(bytes) else {
+            return Ok(()); // ASCII replacement into ASCII text; unreachable
+        };
+        match trace_from_str(&mutated) {
+            // Mutations in ignorable positions may survive, but only
+            // as the *same* logical trace (the content hash pins every
+            // op, the header pins sel/params).
+            Ok(back) => {
+                prop_assert_eq!(back.content_hash(), trace.content_hash());
+                prop_assert_eq!(back.threads, trace.threads);
+            }
+            Err(_) => {}
+        }
+    }
+}

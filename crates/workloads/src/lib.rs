@@ -36,4 +36,8 @@ pub mod spec;
 pub mod stringswap;
 
 pub use mem::{durable_transaction, CollectMem, DirectMem, EmitMem, Mem, NodeAlloc};
-pub use spec::{generate, thread_arena, Benchmark, GeneratedWorkload, WorkloadParams};
+pub use spec::{
+    build_thread_structures, emit_op_group, generate, generate_with, lock_base_for,
+    op_struct_index, run_op, thread_alloc, thread_arena, Benchmark, GeneratedWorkload, OpRecorder,
+    OpSpec, Structures, ThreadStructures, WorkloadParams,
+};

@@ -196,30 +196,80 @@ impl GeneratedWorkload {
     }
 }
 
+/// The per-thread data structures an operation stream runs against.
+///
+/// Public so the trace replayer (`proteus-workgen`) can rebuild a
+/// thread's structures from a trace header and feed recorded
+/// [`OpSpec`]s back through [`run_op`] / [`emit_op_group`].
 #[derive(Debug, Clone)]
-enum Structures {
+pub enum Structures {
+    /// Linked-list queues (QE).
     Queues(Vec<Queue>),
+    /// Chained hash maps (HM and generated key-value mixes).
     Maps(Vec<HashMapStruct>),
+    /// A string array (SS).
     Strings(StringArray),
+    /// AVL trees (AT).
     Avls(Vec<AvlTree>),
+    /// B-trees (BT and generated scan mixes).
     BTrees(Vec<BTree>),
+    /// Red-black trees (RT).
     RbTrees(Vec<RbTree>),
+    /// The §7.3 large-transaction node list (LT).
     BigList(BigNodeList),
 }
 
-#[derive(Debug, Clone, Copy)]
-enum OpSpec {
+/// One structure operation, the unit recorded in op traces.
+///
+/// The structure index `s` selects among the thread's own structures;
+/// keys and values are plain integers so specs serialize compactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are explained in each variant's doc line
+pub enum OpSpec {
+    /// Enqueue `value` on queue `s`.
     Enqueue { s: usize, value: u64 },
+    /// Dequeue from queue `s`.
     Dequeue { s: usize },
+    /// Insert/update `key -> value` in map `s`.
     MapInsert { s: usize, key: u64, value: u64 },
+    /// Delete `key` from map `s`.
     MapDelete { s: usize, key: u64 },
+    /// Swap strings `i` and `j`.
     Swap { i: u64, j: u64 },
+    /// Insert `key` (with `value` where the tree stores one) in tree `s`.
     TreeInsert { s: usize, key: u64, value: u64 },
+    /// Delete `key` from tree `s`.
     TreeDelete { s: usize, key: u64 },
+    /// Rewrite every element of big node `node` from `base`.
     BigUpdate { node: u64, base: u64 },
+    /// Point lookup of `key` in map `s` (read-only).
+    MapLookup { s: usize, key: u64 },
+    /// Point lookup of `key` in tree `s` (read-only).
+    TreeLookup { s: usize, key: u64 },
+    /// Scan `len` consecutive keys from `key` in tree `s` (read-only).
+    ///
+    /// Approximates a range scan with `len` successive point lookups —
+    /// the trees store dense integer keys, so consecutive lookups walk
+    /// the same leaf neighbourhood a range iterator would.
+    TreeScan { s: usize, key: u64, len: u32 },
+    /// Dequeue up to `n` nodes from queue `s` (stops when empty).
+    QueueDrain { s: usize, n: u32 },
 }
 
-fn run_op<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, structures: &Structures, op: OpSpec) {
+impl OpSpec {
+    /// True when the operation never writes persistent data. Read-only
+    /// groups are emitted without a durable transaction (writes outside
+    /// a tx are what need undo hints, reads need none).
+    pub fn is_readonly(&self) -> bool {
+        matches!(
+            self,
+            OpSpec::MapLookup { .. } | OpSpec::TreeLookup { .. } | OpSpec::TreeScan { .. }
+        )
+    }
+}
+
+/// Applies `op` to `structures` through any [`Mem`] implementation.
+pub fn run_op<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, structures: &Structures, op: OpSpec) {
     match (structures, op) {
         (Structures::Queues(qs), OpSpec::Enqueue { s, value }) => qs[s].enqueue(mem, alloc, value),
         (Structures::Queues(qs), OpSpec::Dequeue { s }) => {
@@ -253,18 +303,57 @@ fn run_op<M: Mem>(mem: &mut M, alloc: &mut NodeAlloc, structures: &Structures, o
         (Structures::BigList(list), OpSpec::BigUpdate { node, base }) => {
             list.update_node(mem, node, base)
         }
+        (Structures::Maps(ms), OpSpec::MapLookup { s, key }) => {
+            ms[s].get(mem, key);
+        }
+        (Structures::Avls(ts), OpSpec::TreeLookup { s, key }) => {
+            ts[s].get(mem, key);
+        }
+        (Structures::BTrees(ts), OpSpec::TreeLookup { s, key }) => {
+            ts[s].contains(mem, key);
+        }
+        (Structures::RbTrees(ts), OpSpec::TreeLookup { s, key }) => {
+            ts[s].get(mem, key);
+        }
+        (Structures::Avls(ts), OpSpec::TreeScan { s, key, len }) => {
+            for i in 0..len as u64 {
+                ts[s].get(mem, key.wrapping_add(i));
+            }
+        }
+        (Structures::BTrees(ts), OpSpec::TreeScan { s, key, len }) => {
+            for i in 0..len as u64 {
+                ts[s].contains(mem, key.wrapping_add(i));
+            }
+        }
+        (Structures::RbTrees(ts), OpSpec::TreeScan { s, key, len }) => {
+            for i in 0..len as u64 {
+                ts[s].get(mem, key.wrapping_add(i));
+            }
+        }
+        (Structures::Queues(qs), OpSpec::QueueDrain { s, n }) => {
+            for _ in 0..n {
+                if qs[s].dequeue(mem).is_none() {
+                    break;
+                }
+            }
+        }
         _ => unreachable!("op does not match structure kind"),
     }
 }
 
-fn op_struct_index(op: OpSpec) -> usize {
+/// The index of the structure `op` targets (used for lock assignment).
+pub fn op_struct_index(op: OpSpec) -> usize {
     match op {
         OpSpec::Enqueue { s, .. }
         | OpSpec::Dequeue { s }
         | OpSpec::MapInsert { s, .. }
         | OpSpec::MapDelete { s, .. }
         | OpSpec::TreeInsert { s, .. }
-        | OpSpec::TreeDelete { s, .. } => s,
+        | OpSpec::TreeDelete { s, .. }
+        | OpSpec::MapLookup { s, .. }
+        | OpSpec::TreeLookup { s, .. }
+        | OpSpec::TreeScan { s, .. }
+        | OpSpec::QueueDrain { s, .. } => s,
         OpSpec::Swap { .. } | OpSpec::BigUpdate { .. } => 0,
     }
 }
@@ -319,6 +408,182 @@ fn pick_op(
     }
 }
 
+/// A fresh node allocator covering thread `t`'s 64 MiB arena.
+pub fn thread_alloc(t: usize) -> NodeAlloc {
+    NodeAlloc::new(Addr::new(DATA_BASE + t as u64 * ARENA_BYTES), ARENA_BYTES)
+}
+
+/// The base of thread `t`'s lock-word line.
+///
+/// Per-thread lock words (one per owned structure, 8 slots) are
+/// volatile runtime state: they live outside the persistent data arena
+/// and take no undo logging — after a crash, lock state is meaningless
+/// (the paper's locking is for mutual exclusion only).
+pub fn lock_base_for(t: usize) -> Addr {
+    Addr::new(0x0E00_0000 + t as u64 * 64)
+}
+
+/// One thread's freshly created structures plus the derived generation
+/// bounds the op stream draws from.
+#[derive(Debug)]
+pub struct ThreadStructures {
+    /// The structures themselves.
+    pub structures: Structures,
+    /// Structures owned by this thread.
+    pub per_thread: usize,
+    /// Key universe for map/tree operations.
+    pub key_range: u64,
+    /// String-array item count (SS only, 0 otherwise).
+    pub items: u64,
+    /// Big-node count (LT only, 0 otherwise).
+    pub big_nodes: u64,
+}
+
+/// Creates one thread's structures in `image` via `alloc`, exactly as
+/// [`generate`] does — the replayer uses this to rebuild a trace's
+/// initial state byte-identically.
+pub fn build_thread_structures(
+    bench: Benchmark,
+    params: &WorkloadParams,
+    image: &mut WordImage,
+    alloc: &mut NodeAlloc,
+) -> ThreadStructures {
+    let per_thread = (bench.structure_count() / params.threads).max(1);
+    let key_range = (params.init_ops as u64).max(16) * 2;
+    let mut m = DirectMem::new(image);
+    let (structures, items, big_nodes) = match bench {
+        Benchmark::Queue => (
+            Structures::Queues((0..per_thread).map(|_| Queue::create(&mut m, alloc)).collect()),
+            0,
+            0,
+        ),
+        Benchmark::HashMap => (
+            Structures::Maps(
+                (0..per_thread).map(|_| HashMapStruct::create(&mut m, alloc, 256)).collect(),
+            ),
+            0,
+            0,
+        ),
+        Benchmark::StringSwap => {
+            // 262144 items across threads, scaled with init_ops
+            // (the array is the structure; init swaps shuffle it).
+            let items =
+                ((262_144 / params.threads) as u64).min((params.init_ops as u64 + 1) * 4).max(16);
+            (Structures::Strings(StringArray::create(&mut m, alloc, items)), items, 0)
+        }
+        Benchmark::AvlTree => (
+            Structures::Avls((0..per_thread).map(|_| AvlTree::create(&mut m, alloc)).collect()),
+            0,
+            0,
+        ),
+        Benchmark::BTree => (
+            Structures::BTrees((0..per_thread).map(|_| BTree::create(&mut m, alloc)).collect()),
+            0,
+            0,
+        ),
+        Benchmark::RbTree => (
+            Structures::RbTrees((0..per_thread).map(|_| RbTree::create(&mut m, alloc)).collect()),
+            0,
+            0,
+        ),
+        Benchmark::LargeTx { elements } => {
+            let nodes = 16;
+            (Structures::BigList(BigNodeList::create(&mut m, alloc, nodes, elements)), 0, nodes)
+        }
+    };
+    ThreadStructures { structures, per_thread, key_range, items, big_nodes }
+}
+
+/// Observes the op stream as [`generate_with`] draws it — the hook the
+/// trace recorder uses to capture workloads without perturbing them.
+pub trait OpRecorder {
+    /// A fast-forwarded initialisation op applied to thread `t`.
+    fn record_init(&mut self, t: usize, op: OpSpec);
+    /// One emitted operation group for thread `t` (Table 2 groups hold
+    /// a single op; generated workloads may batch several per tx).
+    fn record_group(&mut self, t: usize, ops: &[OpSpec]);
+}
+
+/// The no-op recorder plain [`generate`] uses.
+impl OpRecorder for () {
+    fn record_init(&mut self, _t: usize, _op: OpSpec) {}
+    fn record_group(&mut self, _t: usize, _ops: &[OpSpec]) {}
+}
+
+/// Emits one operation group into `program`, mutating `image`.
+///
+/// A group is the unit of durability: a combined conservative undo
+/// hint is collected by dry-running every op, then all ops execute
+/// inside a single `TxBegin`/`TxEnd` bracket behind the structures'
+/// locks. Groups whose ops are all read-only skip the dry run and the
+/// transaction entirely (reads need no undo coverage) but still pay
+/// the application preamble and locking. A single mutating op emits
+/// byte-identically to the historical per-op path.
+pub fn emit_op_group(
+    image: &mut WordImage,
+    program: &mut Program,
+    alloc: &mut NodeAlloc,
+    structures: &Structures,
+    ops: &[OpSpec],
+    lock_base: Addr,
+) {
+    if ops.is_empty() {
+        return;
+    }
+    let durable = ops.iter().any(|op| !op.is_readonly());
+    let hint_nodes = if durable {
+        let mut c = CollectMem::new(image);
+        let mut scratch_alloc = alloc.clone();
+        for &op in ops {
+            run_op(&mut c, &mut scratch_alloc, structures, op);
+        }
+        c.hint()
+    } else {
+        Vec::new()
+    };
+
+    // Application preamble: parse each operation from the input stream.
+    for _ in ops {
+        let mut remaining = APP_OVERHEAD_CYCLES;
+        while remaining > 0 {
+            let chunk = remaining.min(200) as u8;
+            program.compute(chunk);
+            remaining -= chunk as u32;
+        }
+    }
+
+    // Take each touched structure's lock once, in first-use order.
+    let mut locks: Vec<Addr> = Vec::new();
+    for &op in ops {
+        let lock = lock_base.offset((op_struct_index(op) % 8) as u64 * 8);
+        if !locks.contains(&lock) {
+            locks.push(lock);
+        }
+    }
+    for &lock in &locks {
+        program.read(lock);
+        program.write(lock, 1);
+    }
+
+    if durable {
+        // Cover both 32-byte grains of each 64-byte node.
+        let hint: Vec<Addr> = hint_nodes.iter().flat_map(|n| [*n, n.offset(32)]).collect();
+        program.tx_begin(hint);
+    }
+    {
+        let mut e = EmitMem::new(image, program);
+        for &op in ops {
+            run_op(&mut e, alloc, structures, op);
+        }
+    }
+    if durable {
+        program.tx_end();
+    }
+    for &lock in locks.iter().rev() {
+        program.write(lock, 0);
+    }
+}
+
 /// Generates the workload.
 ///
 /// # Panics
@@ -326,123 +591,43 @@ fn pick_op(
 /// Panics if a thread's 64 MiB node arena is exhausted (reduce the op
 /// counts) or if generation produces an invalid program (a bug).
 pub fn generate(bench: Benchmark, params: &WorkloadParams) -> GeneratedWorkload {
+    generate_with(bench, params, &mut ())
+}
+
+/// [`generate`] with an [`OpRecorder`] observing every drawn op — the
+/// entry point trace recording uses. `generate_with(b, p, &mut ())` is
+/// exactly `generate(b, p)`.
+pub fn generate_with(
+    bench: Benchmark,
+    params: &WorkloadParams,
+    rec: &mut impl OpRecorder,
+) -> GeneratedWorkload {
     assert!(params.threads > 0, "need at least one thread");
     let mut image = WordImage::new();
     let mut programs = Vec::with_capacity(params.threads);
-    let per_thread = (bench.structure_count() / params.threads).max(1);
-    let key_range = (params.init_ops as u64).max(16) * 2;
 
     for t in 0..params.threads {
-        let arena = Addr::new(DATA_BASE + t as u64 * ARENA_BYTES);
-        let mut alloc = NodeAlloc::new(arena, ARENA_BYTES);
+        let mut alloc = thread_alloc(t);
         let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37));
 
-        // Build structures.
-        let (structures, items, big_nodes) = {
-            let mut m = DirectMem::new(&mut image);
-            match bench {
-                Benchmark::Queue => (
-                    Structures::Queues(
-                        (0..per_thread).map(|_| Queue::create(&mut m, &mut alloc)).collect(),
-                    ),
-                    0,
-                    0,
-                ),
-                Benchmark::HashMap => (
-                    Structures::Maps(
-                        (0..per_thread)
-                            .map(|_| HashMapStruct::create(&mut m, &mut alloc, 256))
-                            .collect(),
-                    ),
-                    0,
-                    0,
-                ),
-                Benchmark::StringSwap => {
-                    // 262144 items across threads, scaled with init_ops
-                    // (the array is the structure; init swaps shuffle it).
-                    let items = ((262_144 / params.threads) as u64)
-                        .min((params.init_ops as u64 + 1) * 4)
-                        .max(16);
-                    (Structures::Strings(StringArray::create(&mut m, &mut alloc, items)), items, 0)
-                }
-                Benchmark::AvlTree => (
-                    Structures::Avls(
-                        (0..per_thread).map(|_| AvlTree::create(&mut m, &mut alloc)).collect(),
-                    ),
-                    0,
-                    0,
-                ),
-                Benchmark::BTree => (
-                    Structures::BTrees(
-                        (0..per_thread).map(|_| BTree::create(&mut m, &mut alloc)).collect(),
-                    ),
-                    0,
-                    0,
-                ),
-                Benchmark::RbTree => (
-                    Structures::RbTrees(
-                        (0..per_thread).map(|_| RbTree::create(&mut m, &mut alloc)).collect(),
-                    ),
-                    0,
-                    0,
-                ),
-                Benchmark::LargeTx { elements } => {
-                    let nodes = 16;
-                    (
-                        Structures::BigList(BigNodeList::create(
-                            &mut m, &mut alloc, nodes, elements,
-                        )),
-                        0,
-                        nodes,
-                    )
-                }
-            }
-        };
+        let ts = build_thread_structures(bench, params, &mut image, &mut alloc);
 
         // Fast-forwarded initialisation.
         for _ in 0..params.init_ops {
-            let op = pick_op(bench, per_thread, key_range, items, big_nodes, &mut rng);
+            let op = pick_op(bench, ts.per_thread, ts.key_range, ts.items, ts.big_nodes, &mut rng);
+            rec.record_init(t, op);
             let mut m = DirectMem::new(&mut image);
-            run_op(&mut m, &mut alloc, &structures, op);
+            run_op(&mut m, &mut alloc, &ts.structures, op);
         }
 
-        // Per-thread lock words (one per owned structure). Locks are
-        // volatile runtime state: they live outside the persistent data
-        // arena and take no undo logging — after a crash, lock state is
-        // meaningless (the paper's locking is for mutual exclusion only).
-        let lock_base = Addr::new(0x0E00_0000 + t as u64 * 64);
+        let lock_base = lock_base_for(t);
 
         // Simulated operations: dry-run for the hint, then emit.
         let mut program = Program::new(ThreadId::new(t as u32));
         for _ in 0..params.sim_ops {
-            let op = pick_op(bench, per_thread, key_range, items, big_nodes, &mut rng);
-            let hint_nodes = {
-                let mut c = CollectMem::new(&image);
-                let mut scratch_alloc = alloc.clone();
-                run_op(&mut c, &mut scratch_alloc, &structures, op);
-                c.hint()
-            };
-            // Application preamble: parse the next operation from the
-            // input stream and take the structure's lock.
-            let lock = lock_base.offset((op_struct_index(op) % 8) as u64 * 8);
-            let mut remaining = APP_OVERHEAD_CYCLES;
-            while remaining > 0 {
-                let chunk = remaining.min(200) as u8;
-                program.compute(chunk);
-                remaining -= chunk as u32;
-            }
-            program.read(lock);
-            program.write(lock, 1);
-
-            // Cover both 32-byte grains of each 64-byte node.
-            let hint: Vec<Addr> = hint_nodes.iter().flat_map(|n| [*n, n.offset(32)]).collect();
-            program.tx_begin(hint);
-            {
-                let mut e = EmitMem::new(&mut image, &mut program);
-                run_op(&mut e, &mut alloc, &structures, op);
-            }
-            program.tx_end();
-            program.write(lock, 0);
+            let op = pick_op(bench, ts.per_thread, ts.key_range, ts.items, ts.big_nodes, &mut rng);
+            rec.record_group(t, &[op]);
+            emit_op_group(&mut image, &mut program, &mut alloc, &ts.structures, &[op], lock_base);
         }
         program.validate().expect("generated program must validate");
         programs.push(program);

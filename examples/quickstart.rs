@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec {
         config,
         scheme: LoggingSchemeKind::Proteus,
-        bench: Benchmark::HashMap,
+        bench: Benchmark::HashMap.into(),
         params: WorkloadParams::table2(Benchmark::HashMap, 4, 0.05),
     };
 

@@ -1,36 +1,38 @@
-//! Compare every logging scheme on one benchmark, paper style.
+//! Compare every logging scheme on one workload, paper style.
 //!
 //! ```sh
-//! cargo run --release --example scheme_shootout [qe|hm|ss|at|bt|rt] [scale]
+//! cargo run --release --example scheme_shootout [WORKLOAD] [scale]
 //! ```
+//!
+//! `WORKLOAD` is any roster CLI name (`qe`, `hm`, ..., `ycsb-a`,
+//! `indexer`, ...); run `reproduce workloads` for the full list.
 
 use proteus_sim::report::{f2, Table};
 use proteus_sim::runner::sweep_schemes;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
-use proteus_workloads::{Benchmark, WorkloadParams};
+use proteus_workgen::roster;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = match std::env::args().nth(1).as_deref() {
-        Some("qe") | None => Benchmark::Queue,
-        Some("hm") => Benchmark::HashMap,
-        Some("ss") => Benchmark::StringSwap,
-        Some("at") => Benchmark::AvlTree,
-        Some("bt") => Benchmark::BTree,
-        Some("rt") => Benchmark::RbTree,
-        Some(other) => return Err(format!("unknown benchmark {other}").into()),
+    let name = std::env::args().nth(1).unwrap_or_else(|| "qe".to_string());
+    let Some(desc) = roster::by_cli_name(&name) else {
+        let names: Vec<&str> = roster::all().iter().map(|d| d.cli_name).collect();
+        return Err(format!("unknown workload {name}; try one of: {}", names.join(", ")).into());
     };
     let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
-    let params = WorkloadParams::table2(bench, 4, scale);
+    let sel = desc.sel();
+    sel.validate()?;
+    let params = desc.params(4, scale);
     let divisor = ((1.0 / scale) as u64).max(1).next_power_of_two().min(64);
     let config = SystemConfig::skylake_like().with_cache_divisor(divisor);
 
     println!(
-        "{} at {:.0}% of Table 2 size ({} txs/thread), 4 cores, fast NVM",
-        bench.abbrev(),
+        "{} at {:.0}% size ({} txs/thread), 4 cores, fast NVM — {}",
+        sel.abbrev(),
         scale * 100.0,
-        params.sim_ops
+        params.sim_ops,
+        desc.blurb
     );
-    let sweep = sweep_schemes(&config, bench, &params, &LoggingSchemeKind::ALL)?;
+    let sweep = sweep_schemes(&config, sel, &params, &LoggingSchemeKind::ALL)?;
 
     let mut table = Table::new(["scheme", "speedup", "norm. NVMM writes", "norm. stalls"]);
     for scheme in LoggingSchemeKind::ALL {

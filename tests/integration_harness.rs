@@ -21,7 +21,12 @@ fn temp_file(tag: &str) -> PathBuf {
 fn tiny_spec(bench: Benchmark, scheme: LoggingSchemeKind) -> ExperimentSpec {
     let params =
         WorkloadParams { threads: 2, init_ops: 40, sim_ops: 10, seed: 0 }.with_derived_seed(bench);
-    ExperimentSpec { config: SystemConfig::skylake_like().with_num_cores(2), scheme, bench, params }
+    ExperimentSpec {
+        config: SystemConfig::skylake_like().with_num_cores(2),
+        scheme,
+        bench: bench.into(),
+        params,
+    }
 }
 
 /// Passes `validate()` but panics in the cache model (96 sets is not a

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Times the cycle engine on the fixed workload basket (QE/HM/SS under
-# the registry's bench basket — PMEM+pcommit, ATOM, Proteus, InCLL)
-# with event-driven fast-forwarding on and off, writing
-# BENCH_cycle_engine.json at the repo root. The scheme list comes from
-# `registry::bench_basket()`; registering a new scheme with
-# `bench_basket: true` adds its rows here with no script change.
+# Times the cycle engine on the roster's bench basket (QE/HM/SS plus
+# the generated ycsb-a preset, under the registry's bench-basket
+# schemes — PMEM+pcommit, ATOM, Proteus, InCLL) with event-driven
+# fast-forwarding on and off, writing BENCH_cycle_engine.json at the
+# repo root. Both axes are table-driven: the scheme list comes from
+# `registry::bench_basket()`, the workload list from
+# `workgen::roster::bench_basket()`; flipping `bench_basket: true` on
+# a scheme or a workload descriptor adds its rows with no script
+# change.
 #
 # The underlying `reproduce bench` command cross-checks every pair of
 # runs: if fast-forwarding changes any simulated outcome, the benchmark

@@ -62,6 +62,7 @@ do_test() {
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-harness --test harness_resume
     run cargo "${PATCH_ARGS[@]}" test -q --offline --release -p proteus-bench --test golden_pin
     run cargo "${PATCH_ARGS[@]}" test -q --offline --release -p proteus-bench --test registry_completeness
+    run cargo "${PATCH_ARGS[@]}" test -q --offline --release -p proteus-bench --test workgen_pin
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-cpu --test pipeline
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-crash --test integration_crash
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-service --test integration_service
@@ -69,12 +70,26 @@ do_test() {
     # suite with every skip single-stepped under fingerprint assertions.
     run cargo "${PATCH_ARGS[@]}" test -q --offline -p proteus-sim --features paranoid --test integration_fastforward
     # Smoke the crash-point sweep end to end (bounded workload sizes):
-    # explores every failure-safe scheme and self-validates the checker
-    # against the disable_persist_ordering fault knob.
+    # explores the roster's crash workloads — Table 2 rows AND the
+    # generated ycsb-a/indexer presets — under every failure-safe
+    # scheme, and self-validates the checker against the
+    # disable_persist_ordering fault knob.
     run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
         crashsweep --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
     run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
         crashrepro --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
+    # Smoke the op-trace pipeline end to end: record a generated preset
+    # to a trace file, then replay it — `replay` exits non-zero unless
+    # the replayed workload and every scheme's RunSummary are
+    # byte-identical to regenerating from the trace header.
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        gen --workload indexer --scale 0.01 --file "${CARGO_TARGET_DIR}/smoke_optrace.jsonl"
+    [[ -s "${CARGO_TARGET_DIR}/smoke_optrace.jsonl" ]] || {
+        echo "gen smoke produced an empty op trace" >&2
+        exit 1
+    }
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        replay --file "${CARGO_TARGET_DIR}/smoke_optrace.jsonl"
     # Smoke the cycle-level tracer end to end: tracedump exits non-zero
     # unless the trace reconciles (±0) with the RunSummary, the emitted
     # Chrome JSON parses, and every core and MC queue track carries at
