@@ -15,7 +15,11 @@
 #       Criterion benches need the real crates and are skipped offline)
 #   end-to-end smokes: a bounded crashsweep/crashrepro round trip
 #       (the roster's crash workloads: Table 2 rows plus the generated
-#       ycsb-a/indexer presets), a record->replay op-trace round trip
+#       ycsb-a/indexer presets), a bounded `reproduce contention` sweep
+#       (the contended MQ/CH/LB workloads under every failure-safe
+#       scheme, judged by the cross-thread commit-prefix oracle, with
+#       the early_release lock-handoff fault caught, shrunk, and
+#       replayed through crashrepro), a record->replay op-trace round trip
 #       (`reproduce gen --workload indexer --file` then `reproduce
 #       replay --file`, which fails unless the replayed workload and
 #       every scheme's RunSummary are byte-identical to regenerating

@@ -23,7 +23,7 @@ fn bench_logq_sizes(c: &mut Criterion) {
                 let spec = ExperimentSpec {
                     config: config.clone(),
                     scheme: LoggingSchemeKind::Proteus,
-                    bench,
+                    bench: bench.into(),
                     params: params.clone(),
                 };
                 run_workload(&spec, &workload).unwrap()

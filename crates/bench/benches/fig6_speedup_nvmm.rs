@@ -28,7 +28,7 @@ fn bench_schemes(c: &mut Criterion) {
                     let spec = ExperimentSpec {
                         config: config.clone(),
                         scheme,
-                        bench,
+                        bench: bench.into(),
                         params: params.clone(),
                     };
                     run_workload(&spec, &workload).unwrap()

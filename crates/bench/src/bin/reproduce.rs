@@ -1,9 +1,12 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|crashrepro|trace|all>
-//!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH]
+//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|contention|crashrepro|trace|all>
+//!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH] [--list]
 //! ```
+//!
+//! `--list` prints a one-line summary of each registry — the workload
+//! roster and the scheme table, with each row's roles — and exits.
 //!
 //! `--scale` scales the Table 2 op counts (default 0.1); `--threads`
 //! sets the core/thread count (default 4). Shapes are stable across
@@ -32,6 +35,13 @@
 //! repro artifact to `--file` (default: a fixed path under the system
 //! temp directory). `crashrepro` replays such an artifact.
 //!
+//! `contention` is the cross-thread counterpart: it explores crash
+//! points over the roster's contended shared-structure workloads
+//! (MPMC queue, contended hash maps, lock-coupled B-trees) under every
+//! failure-safe scheme, judged by the cross-thread commit-prefix
+//! oracle, and self-validates against the `early_release` lock-handoff
+//! fault knob.
+//!
 //! The workgen targets: `workloads` lists the roster (Table 2 rows and
 //! generated presets); `gen --workload NAME` records a roster workload
 //! to an op trace (written to `--file` when given) and sweeps every
@@ -56,19 +66,68 @@
 //! duplicated or the verify pass diverges.
 
 use proteus_bench::experiments::{
-    ablation_llt, ablation_threads, ablation_wpq, bench, crashrepro, crashsweep, fig10, fig11,
-    fig12, fig6, fig7, fig8, fig9, gen, replay, table1, table2, table3, table4, trace, workloads,
-    ExperimentCtx,
+    ablation_llt, ablation_threads, ablation_wpq, bench, contention, crashrepro, crashsweep, fig10,
+    fig11, fig12, fig6, fig7, fig8, fig9, gen, replay, table1, table2, table3, table4, trace,
+    workloads, ExperimentCtx,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|crashrepro|trace|workloads|gen|replay|all> \
-         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH] [--workload NAME]"
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|contention|crashrepro|trace|workloads|gen|replay|all> \
+         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH] [--workload NAME] [--list]"
     );
     ExitCode::FAILURE
+}
+
+/// `--list`: one line per registry — every roster workload and every
+/// scheme, with their roles, so new rows (e.g. the contended MQ/CH/LB
+/// workloads) are discoverable without reading the source.
+fn print_rosters() {
+    let workloads: Vec<String> = proteus_workgen::roster::all()
+        .iter()
+        .map(|d| {
+            let mut tags = Vec::new();
+            if d.table2 {
+                tags.push("table2");
+            }
+            if d.preset {
+                tags.push("preset");
+            }
+            if d.crash_roster {
+                tags.push("crash");
+            }
+            if d.bench_basket {
+                tags.push("bench");
+            }
+            if d.contended {
+                tags.push("contended");
+            }
+            format!("{}[{}]", d.cli_name, tags.join(","))
+        })
+        .collect();
+    println!("workloads: {}", workloads.join(" "));
+    let schemes: Vec<String> = proteus_core::scheme::registry::all()
+        .iter()
+        .map(|d| {
+            let mut tags = Vec::new();
+            if d.baseline {
+                tags.push("baseline");
+            }
+            if d.failure_safe {
+                tags.push("safe");
+            }
+            if d.crash_sweep {
+                tags.push("crash");
+            }
+            if d.bench_basket {
+                tags.push("bench");
+            }
+            format!("{}[{}]", d.cli_name, tags.join(","))
+        })
+        .collect();
+    println!("schemes: {}", schemes.join(" "));
 }
 
 fn main() -> ExitCode {
@@ -82,6 +141,10 @@ fn main() -> ExitCode {
         "worker" => return worker(&args[1..]),
         "loadgen" => return loadgen(&args[1..]),
         _ => {}
+    }
+    if args.iter().any(|a| a == "--list") {
+        print_rosters();
+        return ExitCode::SUCCESS;
     }
     let mut ctx = ExperimentCtx::default();
     ctx.opts.progress = true;
@@ -141,6 +204,7 @@ fn main() -> ExitCode {
         ("ablation-wpq", ablation_wpq),
         ("bench", bench),
         ("crashsweep", crashsweep),
+        ("contention", contention),
         ("crashrepro", crashrepro),
         ("trace", trace),
         ("workloads", workloads),

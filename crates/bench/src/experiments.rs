@@ -777,6 +777,108 @@ pub fn crashsweep(ctx: &ExperimentCtx) -> Result<String, SimError> {
     ))
 }
 
+/// Contended crash sweep: the roster's contended shared-structure
+/// workloads (MPMC queue, contended hash maps, lock-coupled B-trees)
+/// explored under every failure-safe scheme with the cross-thread
+/// oracle — a recovered image must equal a commit prefix of each
+/// structure's lock-handoff order, closed under per-thread program
+/// order. Then the contended counterpart of the `crashsweep` self-test:
+/// the `early_release` fault knob (lock handoff reordered before the
+/// commit persist barrier) must be caught, shrunk, and replayed.
+///
+/// # Errors
+///
+/// Fails on simulation errors, on any cross-thread violation in the
+/// failure-safe matrix, on a cell under 200 crash points at full
+/// default scale, and if the early-release fault is *not* caught.
+pub fn contention(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    use proteus_crash::{explore, shrink, ExploreSpec};
+    use proteus_workloads::{ContendedKind, ContendedSpec};
+
+    let schemes = registry::contention_roster();
+    let specs: Vec<ExploreSpec> = roster::contended()
+        .flat_map(|d| {
+            let params = d.params(ctx.scale.threads, ctx.scale.scale);
+            schemes
+                .iter()
+                .map(|&scheme| ExploreSpec::new(d.sel(), params.clone(), scheme, 512))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let report = proteus_crash::sweep(&specs, &ctx.opts)?;
+
+    let mut table = Table::new(["workload", "scheme", "events", "points", "violations"]);
+    let mut violated = Vec::new();
+    for (spec, result) in specs.iter().zip(&report.results) {
+        let outcome = result.payload.as_ref().ok_or_else(|| {
+            SimError::HarnessIo(format!("exploration '{}' did not complete", result.name))
+        })?;
+        // The acceptance bar: >= 200 stratified crash points per cell.
+        // Scaled-down smokes explore every event they have; only the
+        // default scale (and up) is held to the absolute floor.
+        if ctx.scale.scale >= 0.1 && outcome.points_explored < 200 {
+            return Err(SimError::HarnessIo(format!(
+                "{}: only {} crash points (floor is 200 at scale >= 0.1)",
+                result.name, outcome.points_explored
+            )));
+        }
+        table.row([
+            spec.bench.abbrev().to_string(),
+            spec.scheme.label().to_string(),
+            outcome.total_events.to_string(),
+            outcome.points_explored.to_string(),
+            outcome.violations.len().to_string(),
+        ]);
+        if let Some(v) = outcome.violations.first() {
+            violated.push(format!("{} at event {}: {}", spec.name(), v.event, v.detail));
+        }
+    }
+    if let Some(first) = violated.first() {
+        return Err(SimError::ConsistencyViolation(first.clone()));
+    }
+
+    // Self-validation: hand a lock over before the group's commit
+    // persists and the cross-thread oracle must see a recovered image
+    // matching no commit prefix. Mirrors `crashsweep`'s
+    // disable_persist_ordering self-test on the new axis.
+    let broken = ExploreSpec::new(
+        ContendedSpec { kind: ContendedKind::MpmcQueue, early_release: true },
+        WorkloadParams { threads: 3, init_ops: 64, sim_ops: 16, seed: 9 },
+        LoggingSchemeKind::Proteus,
+        512,
+    );
+    let outcome = explore(&broken)?;
+    if outcome.violations.is_empty() {
+        return Err(SimError::ConsistencyViolation(format!(
+            "self-test FAILED: early_release escaped {} crash points",
+            outcome.points_explored
+        )));
+    }
+    let repro = shrink(&broken)?.ok_or_else(|| {
+        SimError::ConsistencyViolation("self-test FAILED: violation did not shrink".into())
+    })?;
+    let path = ctx.file.clone().unwrap_or_else(default_repro_path);
+    repro.save(&path)?;
+    let replay = repro.replay()?;
+    if !replay.violated {
+        return Err(SimError::ConsistencyViolation(
+            "self-test FAILED: shrunk early-release repro did not replay".into(),
+        ));
+    }
+
+    Ok(format!(
+        "Contention sweep: cross-thread consistency checked at every sampled persist event\n{}\n\
+         self-test: early_release caught at {} of {} crash points,\n\
+         shrunk to {} (event {}), replayed from {}",
+        table.render(),
+        outcome.violations.len(),
+        outcome.points_explored,
+        repro.spec.name(),
+        repro.event,
+        path.display(),
+    ))
+}
+
 /// Peak resident set size of this process in KiB (Linux `VmHWM`; 0 when
 /// unavailable).
 fn peak_rss_kib() -> u64 {
@@ -807,7 +909,9 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
 
     let schemes = registry::bench_basket();
 
-    let mut table = Table::new(["bench", "scheme", "Mcycles", "ff (s)", "step (s)", "speedup"]);
+    let mut table = Table::new([
+        "bench", "scheme", "Mcycles", "coh miss", "inval", "ff (s)", "step (s)", "speedup",
+    ]);
     let mut json_entries = Vec::new();
     let (mut ff_total, mut ss_total) = (0.0f64, 0.0f64);
     let mut total_cycles = 0u64;
@@ -840,18 +944,23 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
                 sel.abbrev().to_string(),
                 scheme.label().to_string(),
                 format!("{:.2}", cycles as f64 / 1e6),
+                ff_sum.coherence.coherence_misses.to_string(),
+                ff_sum.coherence.invalidations.to_string(),
                 format!("{ff_wall:.3}"),
                 format!("{ss_wall:.3}"),
                 f2(ss_wall / ff_wall.max(1e-9)),
             ]);
             json_entries.push(format!(
                 "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \
+                 \"coherence_misses\": {}, \"invalidations\": {}, \
                  \"ff_wall_s\": {:.6}, \"step_wall_s\": {:.6}, \
                  \"ff_mcycles_per_s\": {:.3}, \"step_mcycles_per_s\": {:.3}, \
                  \"speedup\": {:.3}}}",
                 sel.abbrev(),
                 scheme.label(),
                 cycles,
+                ff_sum.coherence.coherence_misses,
+                ff_sum.coherence.invalidations,
                 ff_wall,
                 ss_wall,
                 cycles as f64 / 1e6 / ff_wall.max(1e-9),
@@ -983,7 +1092,7 @@ pub fn gen(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let sel = d.sel();
     sel.validate()?;
     let params = d.params(ctx.scale.threads, ctx.scale.scale);
-    let (_workload, trace) = proteus_workgen::record(&sel, &params);
+    let (_workload, trace) = proteus_workgen::record(&sel, &params)?;
     let sweep = sweep_schemes_with(
         &ctx.scale.config().with_mem_tech(MemTech::NvmFast),
         sel.clone(),
@@ -1039,7 +1148,7 @@ pub fn replay(ctx: &ExperimentCtx) -> Result<String, SimError> {
         None => {
             let d = resolve_workload(ctx)?;
             let params = d.params(ctx.scale.threads, ctx.scale.scale);
-            let (_, trace) = proteus_workgen::record(&d.sel(), &params);
+            let (_, trace) = proteus_workgen::record(&d.sel(), &params)?;
             let mut p = std::env::temp_dir();
             p.push(format!("proteus_optrace_{}_{}.jsonl", d.cli_name, std::process::id()));
             let s = p

@@ -138,6 +138,42 @@ fn seed_scheme_spec_hashes_are_byte_identical() {
     }
 }
 
+/// The coherence layer must be zero-effect when no line is shared:
+/// every single-owner workload runs with all coherence counters at
+/// zero, so its `RunSummary` serializes without a `coherence` key and
+/// the pre-coherence golden bytes above stay reachable. (The golden
+/// replay itself proves byte-identity; this pins *why* it holds.)
+#[test]
+fn single_owner_runs_report_zero_coherence_activity() {
+    let tiny = tiny_scale();
+    for bench in Benchmark::TABLE2 {
+        let sweep = sweep_schemes(
+            &tiny.config().with_mem_tech(MemTech::NvmFast),
+            bench,
+            &tiny.params(bench),
+            &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
+        )
+        .expect("tiny sweep");
+        for scheme in [LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus] {
+            let summary = sweep.summary_of(scheme);
+            assert!(
+                summary.coherence.is_zero(),
+                "{}/{}: single-owner run reported coherence activity: {:?}",
+                bench.abbrev(),
+                scheme.label(),
+                summary.coherence
+            );
+            let line = summary_to_json(summary).to_line();
+            assert!(
+                !line.contains("\"coherence\""),
+                "{}/{}: zero coherence stats must not serialize",
+                bench.abbrev(),
+                scheme.label()
+            );
+        }
+    }
+}
+
 /// Full numeric replay at the tiny scale, gated on the workload
 /// fingerprint (stub `rand` generates a different workload, which is
 /// an input change, not an engine change — skip, don't fail).

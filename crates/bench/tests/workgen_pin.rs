@@ -83,7 +83,7 @@ fn preset_trace_content_hashes_are_pinned() {
             continue;
         }
         let params = d.params(PIN_THREADS, PIN_SCALE);
-        let (_, trace) = record(&d.sel(), &params);
+        let (_, trace) = record(&d.sel(), &params).unwrap();
         assert_eq!(
             trace.content_hash(),
             *hash,
@@ -128,7 +128,7 @@ fn record_replay_summaries_are_byte_identical_under_both_engines() {
     .map(|(name, sel)| {
         let params = match &sel {
             WorkloadSel::Bench(b) => tiny_scale().params(*b),
-            WorkloadSel::Gen(_) => {
+            WorkloadSel::Gen(_) | WorkloadSel::Contended(_) => {
                 roster::by_cli_name(name).unwrap().params(PIN_THREADS, PIN_SCALE)
             }
         };
@@ -136,7 +136,7 @@ fn record_replay_summaries_are_byte_identical_under_both_engines() {
     })
     .collect();
     for (name, sel, params) in cases {
-        let (recorded, trace) = record(&sel, &params);
+        let (recorded, trace) = record(&sel, &params).unwrap();
         let parsed = trace_from_str(&trace_to_string(&trace)).expect("trace round trip");
         assert_eq!(parsed, trace, "{name}");
         let replayed = replay(&parsed).expect("replay");

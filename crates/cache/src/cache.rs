@@ -187,6 +187,35 @@ impl Cache {
         let w = self.sets[set].swap_remove(pos);
         Some((w.data, w.dirty))
     }
+
+    /// Cleans a resident dirty line like [`Cache::clean`] but without
+    /// counting a `clwb` flush — the coherence transfer path, which must
+    /// not inflate the flush statistic.
+    pub fn clean_for_transfer(&mut self, line: LineAddr) -> Option<LineData> {
+        let set = self.set_index(line);
+        let w = self.sets[set].iter_mut().find(|w| w.tag == line.index() && w.dirty)?;
+        w.dirty = false;
+        Some(w.data)
+    }
+}
+
+/// A private cache level as the coherence snoop scans see it.
+impl proteus_coherence::SnoopLevel for Cache {
+    fn snoop_contains(&self, line: LineAddr) -> bool {
+        self.contains(line)
+    }
+    fn snoop_peek(&self, line: LineAddr) -> Option<LineData> {
+        self.peek_data(line)
+    }
+    fn snoop_dirty(&self, line: LineAddr) -> bool {
+        self.is_dirty(line)
+    }
+    fn snoop_clean(&mut self, line: LineAddr) -> Option<LineData> {
+        self.clean_for_transfer(line)
+    }
+    fn snoop_invalidate(&mut self, line: LineAddr) -> Option<(LineData, bool)> {
+        self.invalidate(line)
+    }
 }
 
 #[cfg(test)]

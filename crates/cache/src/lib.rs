@@ -19,4 +19,5 @@ pub mod cache;
 pub mod system;
 
 pub use cache::{Cache, EvictedLine};
+pub use proteus_coherence::{CoherenceAction, CoherenceEvent};
 pub use system::{CacheSystem, LookupResult};

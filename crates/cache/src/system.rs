@@ -2,18 +2,27 @@
 //!
 //! Hits at a lower level promote the line into the upper levels (fill
 //! path); evictions cascade downward, and dirty lines evicted from the L3
-//! surface as write-backs bound for the memory controller. The paper's
-//! workloads partition data structures across threads behind locks, so no
-//! inter-core coherence protocol is modelled — the simulator's invariant
-//! is that no line is written by more than one core.
+//! surface as write-backs bound for the memory controller.
+//!
+//! The paper's headline workloads partition data structures across
+//! threads behind locks, so for them no inter-core coherence traffic
+//! exists and no line is written by more than one core. Contended
+//! workloads share lines inside the static coherence domain
+//! (`proteus_types::sharing`), and only for those addresses the
+//! `proteus-coherence` protocol kicks in: loads snoop remote private
+//! stacks for a dirty owner (ownership transfer through the shared L3),
+//! stores read-for-ownership and invalidate every remote copy. Accesses
+//! outside the domain take the historical path bit for bit.
 
 use crate::cache::Cache;
+use proteus_coherence::{dirty_owner, CoherenceCtrl, CoherenceEvent};
 use proteus_core::pmem::LineData;
 use proteus_trace::{CacheLevel, Tracer};
 use proteus_types::addr::LineAddr;
 use proteus_types::clock::Cycle;
 use proteus_types::config::{CacheConfig, SystemConfig};
-use proteus_types::stats::CacheStats;
+use proteus_types::sharing::in_coherence_domain;
+use proteus_types::stats::{CacheStats, CoherenceStats};
 use proteus_types::{Addr, CoreId};
 
 /// Outcome of a cache access.
@@ -42,6 +51,7 @@ pub struct CacheSystem {
     l2: Vec<Cache>,
     l3: Cache,
     cfg: CacheConfig,
+    coherence: CoherenceCtrl,
 }
 
 impl CacheSystem {
@@ -51,6 +61,7 @@ impl CacheSystem {
             l1: (0..cfg.num_cores).map(|_| Cache::new(&cfg.caches.l1d)).collect(),
             l2: (0..cfg.num_cores).map(|_| Cache::new(&cfg.caches.l2)).collect(),
             l3: Cache::new(&cfg.caches.l3),
+            coherence: CoherenceCtrl::new(cfg.caches.l3.latency),
             cfg: cfg.caches.clone(),
         }
     }
@@ -79,12 +90,79 @@ impl CacheSystem {
             self.promote_to_l1(c, line, data, dirty, writebacks);
             return LookupResult::Hit { latency: self.cfg.l2.latency, data };
         }
+        // Shared lines: a remote private dirty copy is fresher than the
+        // L3, so the snoop scan must run before the L3 probe.
+        if in_coherence_domain(addr) {
+            if let Some(owner) = self.remote_dirty_owner(c, line) {
+                let data = self.transfer_ownership(owner, c, line, writebacks);
+                return LookupResult::Hit { latency: self.coherence.transfer_latency(), data };
+            }
+        }
         if let Some(data) = self.l3.lookup(line) {
             let dirty = self.l3.is_dirty(line);
             self.promote_to_l1(c, line, data, dirty, writebacks);
             return LookupResult::Hit { latency: self.cfg.l3.latency, data };
         }
+        if in_coherence_domain(addr) {
+            self.coherence.note_domain_miss();
+        }
         LookupResult::Miss
+    }
+
+    /// The core holding a dirty copy of `line` in its private stack,
+    /// excluding `requester`.
+    fn remote_dirty_owner(&self, requester: usize, line: LineAddr) -> Option<usize> {
+        dirty_owner(
+            (0..self.l1.len()).filter(|&i| i != requester).map(|i| (i, [&self.l1[i], &self.l2[i]])),
+            line,
+        )
+    }
+
+    /// Moves `line`'s dirty data from `owner`'s private stack to
+    /// `requester`: the owner's copies are cleaned in place, the dirty
+    /// data lands in the shared L3 (it stays the freshest persistent
+    /// copy), and the requester receives a clean private copy.
+    fn transfer_ownership(
+        &mut self,
+        owner: usize,
+        requester: usize,
+        line: LineAddr,
+        writebacks: &mut Vec<Writeback>,
+    ) -> LineData {
+        let data = self.l1[owner]
+            .clean_for_transfer(line)
+            .or_else(|| self.l2[owner].clean_for_transfer(line))
+            .expect("snoop scan found a dirty owner");
+        // A stale clean shadow below the dirty copy must also refresh,
+        // or its later eviction could expose old contents.
+        self.l2[owner].update_if_present(line, data);
+        self.spill_to_l3(line, data, writebacks);
+        self.promote_to_l1(requester, line, data, false, writebacks);
+        self.coherence.note_transfer(
+            line,
+            CoreId::new(owner as u32),
+            CoreId::new(requester as u32),
+        );
+        data
+    }
+
+    /// Read-for-ownership completion: removes every remote copy of
+    /// `line` so the writer's L1 copy is the only one.
+    fn invalidate_remote(&mut self, writer: usize, line: LineAddr) {
+        for i in 0..self.l1.len() {
+            if i == writer {
+                continue;
+            }
+            let removed =
+                self.l1[i].invalidate(line).is_some() | self.l2[i].invalidate(line).is_some();
+            if removed {
+                self.coherence.note_invalidate(
+                    line,
+                    CoreId::new(i as u32),
+                    CoreId::new(writer as u32),
+                );
+            }
+        }
     }
 
     /// Performs a store of `value` at `addr` for `core` (write-allocate:
@@ -99,6 +177,12 @@ impl CacheSystem {
     ) -> LookupResult {
         match self.load(core, addr, writebacks) {
             LookupResult::Hit { latency, mut data } => {
+                // Shared lines: the store completes a read-for-ownership —
+                // every remote copy disappears before the write, leaving
+                // the writer's L1 copy the single (modified) one.
+                if in_coherence_domain(addr) {
+                    self.invalidate_remote(core.index(), addr.line());
+                }
                 let ok = self.l1[core.index()].write_word(addr, value);
                 debug_assert!(ok, "load promoted the line into L1");
                 data[(addr.line_offset() / 8) as usize] = value;
@@ -118,6 +202,20 @@ impl CacheSystem {
         writebacks: &mut Vec<Writeback>,
     ) {
         let c = core.index();
+        // Shared lines: a fill races the coherence protocol — if any
+        // cache acquired a dirty copy while this fetch was in flight, the
+        // memory data is stale and must not install (a stale clean copy
+        // in the requester's L1 would shadow the fresh remote dirty copy
+        // from its own snoop scans, and the L3 insert would clobber a
+        // transferred dirty line). The requester retries through the
+        // coherent lookup path instead.
+        if in_coherence_domain(line.base())
+            && (self.l3.is_dirty(line)
+                || (0..self.l1.len())
+                    .any(|i| self.l1[i].is_dirty(line) || self.l2[i].is_dirty(line)))
+        {
+            return;
+        }
         if let Some(ev) = self.l3.insert(line, data, false) {
             if ev.dirty {
                 writebacks.push((ev.line, ev.data));
@@ -199,6 +297,17 @@ impl CacheSystem {
         if self.l2[c].contains(line) {
             return self.l2[c].peek_data(line);
         }
+        // Shared lines: a remote dirty copy is fresher than the L3 (the
+        // read-only half of the coherent load path; `wait-value` lock
+        // probes ride on this).
+        if in_coherence_domain(addr) {
+            if let Some(owner) = self.remote_dirty_owner(c, line) {
+                let fresh =
+                    self.l1[owner].peek_data(line).or_else(|| self.l2[owner].peek_data(line));
+                debug_assert!(fresh.is_some(), "dirty owner must hold the line");
+                return fresh;
+            }
+        }
         self.l3.peek_data(line)
     }
 
@@ -227,6 +336,32 @@ impl CacheSystem {
                 (CacheLevel::L3, l3.hits, l3.misses),
             ],
         );
+    }
+
+    /// Installs a line into the shared L3 before the run starts (clean;
+    /// no statistics, no evictions expected in an empty cache). The
+    /// simulator preloads lock-word lines of sharing workloads so the
+    /// first ticket probe finds them cached instead of cold-polling
+    /// memory.
+    pub fn preload(&mut self, line: LineAddr, data: LineData) {
+        let ev = self.l3.insert(line, data, false);
+        debug_assert!(ev.is_none(), "preload runs on an empty cache");
+    }
+
+    /// Cache-side coherence statistics (invalidations, transfers,
+    /// domain misses; `lock_acquires` is a core-side counter).
+    pub fn coherence_stats(&self) -> &CoherenceStats {
+        self.coherence.stats()
+    }
+
+    /// Enables coherence event capture for the tracer (off by default).
+    pub fn enable_coherence_events(&mut self) {
+        self.coherence.enable_events();
+    }
+
+    /// Takes the coherence events captured since the last drain.
+    pub fn drain_coherence_events(&mut self) -> Vec<CoherenceEvent> {
+        self.coherence.drain_events()
     }
 
     /// Aggregated statistics: (L1 over all cores, L2 over all cores, L3).
@@ -353,6 +488,83 @@ mod tests {
         s.store(core(), a, 1, &mut wb); // dirty in L1
         let data = s.clwb(core(), a).unwrap();
         assert_eq!(data[0], 1);
+    }
+
+    #[test]
+    fn shared_line_load_transfers_remote_dirty_copy() {
+        use proteus_types::sharing::SHARED_ARENA_BASE;
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(SHARED_ARENA_BASE);
+        s.fill(CoreId::new(0), a.line(), [0; 8], &mut wb);
+        s.store(CoreId::new(0), a, 0xBEEF, &mut wb);
+        // Core 1 must see core 0's unflushed store, at transfer latency.
+        match s.load(CoreId::new(1), a, &mut wb) {
+            LookupResult::Hit { latency, data } => {
+                assert_eq!(data[0], 0xBEEF, "remote dirty data must transfer");
+                assert_eq!(latency, 42 + proteus_coherence::REMOTE_HOP_CYCLES);
+            }
+            LookupResult::Miss => panic!("dirty owner must be snooped"),
+        }
+        assert_eq!(s.coherence_stats().remote_transfers, 1);
+        // The peek path sees the same freshness.
+        s.store(CoreId::new(1), a, 0xF00D, &mut wb);
+        assert_eq!(s.peek(CoreId::new(0), a).unwrap()[0], 0xF00D);
+    }
+
+    #[test]
+    fn shared_line_store_invalidates_remote_copies() {
+        use proteus_types::sharing::SHARED_ARENA_BASE;
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(SHARED_ARENA_BASE + 64);
+        s.fill(CoreId::new(0), a.line(), [3; 8], &mut wb);
+        s.fill(CoreId::new(1), a.line(), [3; 8], &mut wb);
+        s.store(CoreId::new(0), a, 9, &mut wb);
+        assert_eq!(s.coherence_stats().invalidations, 1, "core 1's copy removed");
+        // Core 1 re-reads through the coherent path, never a stale L1 hit.
+        match s.load(CoreId::new(1), a, &mut wb) {
+            LookupResult::Hit { data, .. } => assert_eq!(data[0], 9),
+            LookupResult::Miss => panic!("dirty owner or L3 must serve"),
+        }
+    }
+
+    #[test]
+    fn private_lines_never_touch_the_coherence_path() {
+        // The exact pre-coherence behavior: a remote dirty copy of a
+        // NON-domain line is invisible to other cores (the single-owner
+        // invariant makes this unobservable in real workloads).
+        let mut s = sys();
+        let mut wb = Vec::new();
+        let a = Addr::new(0x1000_0000);
+        s.fill(CoreId::new(0), a.line(), [0; 8], &mut wb);
+        s.store(CoreId::new(0), a, 7, &mut wb);
+        match s.load(CoreId::new(1), a, &mut wb) {
+            LookupResult::Hit { latency, data } => {
+                assert_eq!(latency, 42, "L3 hit, no snoop");
+                assert_eq!(data[0], 0, "stale L3 copy — coherence must not engage");
+            }
+            LookupResult::Miss => panic!("L3 holds the fill copy"),
+        }
+        let cs = s.coherence_stats();
+        assert_eq!(cs.invalidations + cs.remote_transfers + cs.coherence_misses, 0);
+        assert!(cs.is_zero());
+    }
+
+    #[test]
+    fn coherence_events_capture_transfer_and_invalidate() {
+        use proteus_coherence::CoherenceAction;
+        use proteus_types::sharing::SHARED_ARENA_BASE;
+        let mut s = sys();
+        s.enable_coherence_events();
+        let mut wb = Vec::new();
+        let a = Addr::new(SHARED_ARENA_BASE + 128);
+        s.fill(CoreId::new(0), a.line(), [0; 8], &mut wb);
+        s.store(CoreId::new(0), a, 1, &mut wb);
+        s.store(CoreId::new(1), a, 2, &mut wb);
+        let ev = s.drain_coherence_events();
+        assert!(ev.iter().any(|e| e.action == CoherenceAction::Transfer));
+        assert!(ev.iter().any(|e| e.action == CoherenceAction::Invalidate));
     }
 
     #[test]

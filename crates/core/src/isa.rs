@@ -103,6 +103,16 @@ pub enum Uop {
     /// registers and forces the MC to drain this thread's LPQ entries to
     /// NVMM.
     LogSave,
+    /// Ticket-lock acquire: a load of the word at `addr` that may not
+    /// dispatch until the coherent cache view holds exactly `expected`.
+    /// While the value differs the core stalls with `lock-wait`; once it
+    /// matches, the op executes as an ordinary load and retires.
+    WaitValue {
+        /// The ticket-lock word.
+        addr: Addr,
+        /// The ticket value that grants ownership.
+        expected: u64,
+    },
 }
 
 impl Uop {
@@ -123,7 +133,8 @@ impl Uop {
             Uop::Load { addr, .. }
             | Uop::Store { addr, .. }
             | Uop::Clwb { addr }
-            | Uop::LogLoad { addr, .. } => Some(*addr),
+            | Uop::LogLoad { addr, .. }
+            | Uop::WaitValue { addr, .. } => Some(*addr),
             _ => None,
         }
     }
@@ -144,6 +155,7 @@ impl fmt::Display for Uop {
             Uop::LogLoad { lr, addr } => write!(f, "log-load {lr}, {addr}"),
             Uop::LogFlush { lr } => write!(f, "log-flush {lr}, (LTA)+"),
             Uop::LogSave => f.write_str("log-save"),
+            Uop::WaitValue { addr, expected } => write!(f, "wait-value {addr}, {expected:#x}"),
         }
     }
 }
@@ -201,6 +213,10 @@ mod tests {
     fn addresses() {
         assert_eq!(Uop::Load { addr: Addr::new(8), dependent: false }.addr(), Some(Addr::new(8)));
         assert_eq!(Uop::Sfence.addr(), None);
+        assert_eq!(
+            Uop::WaitValue { addr: Addr::new(0x0E10_0000), expected: 3 }.addr(),
+            Some(Addr::new(0x0E10_0000))
+        );
         assert_eq!(
             Uop::LogLoad { lr: LogRegId(0), addr: Addr::new(0x20) }.addr(),
             Some(Addr::new(0x20))

@@ -38,6 +38,24 @@ pub enum Op {
     },
     /// Commit the open durable transaction.
     TxEnd,
+    /// Acquire a ticket lock on a shared structure: spin until the word
+    /// at `addr` holds `ticket`. The matching release is an ordinary
+    /// [`Op::Write`] of `ticket + 1` emitted by the workload generator.
+    ///
+    /// `external` carries the writes *other* threads committed (in the
+    /// generator's global schedule) between this thread's previous
+    /// synchronization point and this acquire. Scheme expansions that
+    /// pre-execute the program against a working image (software undo,
+    /// InCLL) fold them in at the acquire point so precomputed undo-log
+    /// values match what this thread actually observes at run time.
+    LockWait {
+        /// The ticket-lock word.
+        addr: Addr,
+        /// The ticket value that grants ownership.
+        ticket: u64,
+        /// Other threads' committed writes visible at this acquire.
+        external: Vec<(Addr, u64)>,
+    },
 }
 
 /// A thread's logical operation sequence.
@@ -91,6 +109,12 @@ impl Program {
         self
     }
 
+    /// Appends a ticket-lock acquire (see [`Op::LockWait`]).
+    pub fn lock_wait(&mut self, addr: Addr, ticket: u64, external: Vec<(Addr, u64)>) -> &mut Self {
+        self.ops.push(Op::LockWait { addr, ticket, external });
+        self
+    }
+
     /// Number of transactions in the program.
     pub fn transaction_count(&self) -> u64 {
         self.ops.iter().filter(|o| matches!(o, Op::TxEnd)).count() as u64
@@ -131,6 +155,14 @@ impl Program {
                                 "op {i}: write to {addr} not covered by undo hint"
                             )));
                         }
+                    }
+                }
+                Op::LockWait { .. } => {
+                    if hint_grains.is_some() {
+                        return Err(SimError::InvalidConfig(format!(
+                            "op {i}: lock_wait inside a transaction in program for {}",
+                            self.thread
+                        )));
                     }
                 }
                 Op::Read(_) | Op::ReadDep(_) | Op::Compute(_) => {}
@@ -212,6 +244,34 @@ mod tests {
         let mut p = Program::new(ThreadId::new(0));
         p.write(Addr::new(0x500), 9);
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn lock_wait_allowed_outside_transactions_only() {
+        let lock = Addr::new(0x0E10_0000);
+        let mut p = Program::new(ThreadId::new(1));
+        p.lock_wait(lock, 0, vec![(Addr::new(0x6000_0000), 7)])
+            .tx_begin(vec![Addr::new(0x6000_0000)])
+            .write(Addr::new(0x6000_0000), 8)
+            .tx_end()
+            .write(lock, 1); // release
+        assert!(p.validate().is_ok());
+
+        let mut bad = Program::new(ThreadId::new(1));
+        bad.tx_begin(vec![]).lock_wait(lock, 0, vec![]).tx_end();
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("lock_wait inside a transaction"));
+    }
+
+    #[test]
+    fn external_writes_are_not_applied_functionally() {
+        // `external` describes *other* threads' writes; applying this
+        // thread's program must not replay them.
+        let mut p = Program::new(ThreadId::new(0));
+        p.lock_wait(Addr::new(0x0E10_0000), 0, vec![(Addr::new(0x6000_0000), 99)]);
+        let mut img = WordImage::new();
+        p.apply_functionally(&mut img);
+        assert_eq!(img.read_word(Addr::new(0x6000_0000)), 0);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub(super) fn expand_atom(program: &Program) -> Result<Trace, SimError> {
                 trace.uops.push(Uop::TxEnd { tx });
                 trace.transactions += 1;
             }
+            // Hardware logging reads old values from the coherent cache at
+            // run time, so the acquire needs no image pre-execution.
+            Op::LockWait { addr, ticket, .. } => {
+                trace.uops.push(Uop::WaitValue { addr: *addr, expected: *ticket });
+            }
         }
     }
     Ok(trace)
@@ -91,6 +96,9 @@ pub(super) fn expand_proteus(program: &Program, opts: &ExpandOptions) -> Result<
                 }
                 trace.uops.push(Uop::TxEnd { tx });
                 trace.transactions += 1;
+            }
+            Op::LockWait { addr, ticket, .. } => {
+                trace.uops.push(Uop::WaitValue { addr: *addr, expected: *ticket });
             }
         }
     }

@@ -163,9 +163,15 @@ fn classify(program: &Program, layout: &AddressLayout, initial: &WordImage) -> C
             break;
         }
         for (line, words) in tx {
+            // Shared (coherence-domain) lines never embed: recovery is
+            // per-thread, and an embedded entry in a line several threads
+            // mutate would be scrubbed or misread by a sibling thread's
+            // pass. Shared grains always take the external-entry path,
+            // whose log slots are private per thread.
             if words.len() == 1
                 && !words.contains(&ENTRY_WORD)
                 && !word6_data.contains(line)
+                && !proteus_types::sharing::in_coherence_domain(line.base())
                 && initial.read_word(line.base().offset(ENTRY_WORD * 8)) == 0
                 && !dir_set.contains(line)
                 && directory.len() < cap
@@ -234,6 +240,16 @@ pub(super) fn expand(
             Op::Read(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: false }),
             Op::ReadDep(addr) => trace.uops.push(Uop::Load { addr: *addr, dependent: true }),
             Op::Compute(lat) => trace.uops.push(Uop::Compute { latency: *lat }),
+            Op::LockWait { addr, ticket, external } => {
+                // Fold the other threads' committed writes into the
+                // working image (as in the software expansion) so external
+                // undo entries logged after the acquire carry the values
+                // this thread observes at run time.
+                for (a, v) in external {
+                    image.write_word(*a, *v);
+                }
+                trace.uops.push(Uop::WaitValue { addr: *addr, expected: *ticket });
+            }
             Op::TxBegin { .. } => {
                 let tx = next_tx;
                 next_tx = next_tx.next();
@@ -562,6 +578,25 @@ mod tests {
         let list = layout.log_slot(ThreadId::new(0), layout.log_area_entries - 2);
         let listed: HashSet<u64> = (0..2).map(|i| img.read_word(list.offset(i * 8))).collect();
         assert_eq!(listed, HashSet::from([a.raw(), b.raw()]));
+    }
+
+    #[test]
+    fn shared_lines_never_embed() {
+        // A single-word transaction on a coherence-domain line would
+        // qualify structurally, but must fall back to an external entry:
+        // per-thread recovery cannot own an entry word other threads
+        // mutate.
+        let layout = layout();
+        let shared = Addr::new(proteus_types::sharing::SHARED_ARENA_BASE);
+        let mut p = Program::new(ThreadId::new(0));
+        p.tx_begin(vec![shared, shared.offset(32)]);
+        p.write(shared, 0xAB);
+        p.tx_end();
+        let (_, img) = expand_and_final(&p, &layout, &WordImage::new());
+        let header = layout.log_slot(ThreadId::new(0), layout.log_area_entries - 1);
+        assert_eq!(img.read_word(header.offset(8)), 0, "no embeddable lines");
+        let e = LogEntry::read_from(&img, layout.log_slot(ThreadId::new(0), 0)).unwrap();
+        assert_eq!(e.log_from, shared);
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub(super) fn expand(program: &Program) -> Result<Trace, SimError> {
                 trace.transactions += 1;
                 in_tx = false;
             }
+            Op::LockWait { addr, ticket, .. } => {
+                trace.uops.push(Uop::WaitValue { addr: *addr, expected: *ticket });
+            }
         }
     }
     Ok(trace)

@@ -101,6 +101,16 @@ pub(super) fn expand(
                 trace.uops.push(Uop::Clwb { addr: log_flag });
                 persist_point(&mut trace);
             }
+            Op::LockWait { addr, ticket, external } => {
+                // Other threads' committed writes become visible at the
+                // acquire point; fold them into the pre-execution image so
+                // undo-log entries logged after this acquire carry the
+                // values this thread actually observes at run time.
+                for (a, v) in external {
+                    image.write_word(*a, *v);
+                }
+                trace.uops.push(Uop::WaitValue { addr: *addr, expected: *ticket });
+            }
             Op::TxEnd => {
                 area.end_tx()?;
                 // Step 3: persist the data updates.
@@ -187,6 +197,40 @@ mod tests {
         assert_eq!(entry.data[0], 0x11);
         assert_eq!(entry.log_from, node);
         assert_eq!(final_image.read_word(node), 0xAB);
+    }
+
+    #[test]
+    fn external_writes_feed_undo_values_after_acquire() {
+        // Another thread committed 0x77 to the shared word before our
+        // acquire; the undo entry logged after the acquire must capture
+        // 0x77, not the stale initial 0x11.
+        let layout = AddressLayout::default();
+        let shared = Addr::new(0x6000_0000);
+        let lock = Addr::new(0x0E10_0000);
+        let mut initial = WordImage::new();
+        initial.write_word(shared, 0x11);
+        let opts = ExpandOptions { initial_image: initial.into(), ..Default::default() };
+        let mut p = Program::new(ThreadId::new(1));
+        p.lock_wait(lock, 1, vec![(shared, 0x77)]);
+        p.tx_begin(vec![shared]);
+        p.write(shared, 0x88);
+        p.tx_end();
+        p.write(lock, 2);
+        let t = expand(&p, &layout, &opts, false).unwrap();
+        assert_eq!(
+            t.count_matching(|u| matches!(u, Uop::WaitValue { expected: 1, .. })),
+            1,
+            "acquire compiles to one wait-value"
+        );
+        let mut image = WordImage::new();
+        for u in &t.uops {
+            if let Uop::Store { addr, value } = u {
+                image.write_word(*addr, *value);
+            }
+        }
+        let slot = layout.log_slot(ThreadId::new(1), 0);
+        let entry = LogEntry::read_from(&image, slot).unwrap();
+        assert_eq!(entry.data[0], 0x77);
     }
 
     #[test]

@@ -211,6 +211,9 @@ pub struct Core {
     out: Vec<(Cycle, McRequest)>,
     /// Reusable eviction buffer for cache calls (no per-cycle allocation).
     wb_scratch: Vec<(LineAddr, LineData)>,
+    /// Successful `wait-value` ticket acquires (contended workloads; the
+    /// simulator merges these into the run's coherence statistics).
+    lock_acquires: u64,
     stats: CoreStats,
     done_at: Option<Cycle>,
 
@@ -269,6 +272,7 @@ impl Core {
             next_local_id: 0,
             out: Vec::new(),
             wb_scratch: Vec::new(),
+            lock_acquires: 0,
             stats: CoreStats::new(),
             done_at: None,
             tracer: Tracer::disabled(),
@@ -312,6 +316,12 @@ impl Core {
     /// Collected statistics (valid once done, but readable any time).
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Successful `wait-value` ticket-lock acquires (zero for
+    /// share-nothing workloads).
+    pub fn lock_acquires(&self) -> u64 {
+        self.lock_acquires
     }
 
     /// Drains requests bound for the memory controller.
@@ -370,6 +380,19 @@ impl Core {
             self.forwarded_word(addr, before_seq)
                 .unwrap_or(line_data[(addr.line_offset() / 8) as usize])
         })
+    }
+
+    /// The lock word's value as this core would read it right now: the
+    /// newest own unreleased store (a re-acquire can race its own release
+    /// still sitting in the store queue), else the coherent cached view.
+    /// `None` means no copy is cached anywhere — memory is then
+    /// authoritative, because a release store never leaves the private
+    /// caches without a coherent reader pulling it out.
+    fn lock_word_visible(&self, addr: Addr, before_seq: u64, caches: &CacheSystem) -> Option<u64> {
+        if let Some(v) = self.forwarded_word(addr, before_seq) {
+            return Some(v);
+        }
+        caches.peek(self.id, addr).map(|data| data[(addr.line_offset() / 8) as usize])
     }
 
     fn issue_fetch(&mut self, line: LineAddr, now: Cycle) {
@@ -501,7 +524,10 @@ impl Core {
                 if !self.rob[idx].completed {
                     self.rob[idx].completed = true;
                     self.inflight_exec = self.inflight_exec.saturating_sub(1);
-                    if matches!(self.rob[idx].uop, Uop::Load { .. } | Uop::LogLoad { .. }) {
+                    if matches!(
+                        self.rob[idx].uop,
+                        Uop::Load { .. } | Uop::LogLoad { .. } | Uop::WaitValue { .. }
+                    ) {
                         self.incomplete_loads.remove(&seq);
                     }
                 }
@@ -742,6 +768,9 @@ impl Core {
                     if let Some(path) = self.tx_path.as_mut() {
                         path.last_store = Some(now);
                     }
+                    if self.tracer.is_enabled() && proteus_types::sharing::is_struct_lock(addr) {
+                        self.tracer.emit(now, TraceEventKind::LockRelease { addr: addr.raw() });
+                    }
                 }
                 Uop::Clwb { addr } => {
                     self.pending_clwbs.push(PendingClwb { addr, performed: false, ack_id: None });
@@ -844,6 +873,10 @@ impl Core {
                     self.fence_active = false;
                 }
                 Uop::Compute { .. } => {}
+                Uop::WaitValue { .. } => {
+                    self.loads_in_rob -= 1;
+                    self.stats.loads += 1;
+                }
             }
             self.rob.pop_front();
             self.stats.uops_retired += 1;
@@ -1272,6 +1305,47 @@ impl Core {
                 self.fence_active = true;
                 completed = true;
             }
+            Uop::WaitValue { addr, expected } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    return Err(StallCause::IssueQFull);
+                }
+                if self.loads_in_rob >= self.loadq_entries {
+                    return Err(StallCause::LoadQFull);
+                }
+                match self.lock_word_visible(addr, seq, caches) {
+                    Some(v) if v == expected => {
+                        // Ticket matched: the acquire dispatches as a
+                        // guaranteed-hit load of the lock word (the probe
+                        // saw the line, so the coherent load cannot miss).
+                        self.loads_in_rob += 1;
+                        self.incomplete_loads.insert(seq);
+                        self.lock_acquires += 1;
+                        self.tracer.emit(now, TraceEventKind::LockAcquire { addr: addr.raw() });
+                        if self.forwarded_word(addr, seq).is_some() {
+                            complete_at = Some(now + self.l1_latency);
+                        } else {
+                            match caches.load(self.id, addr, &mut self.wb_scratch) {
+                                LookupResult::Hit { latency, .. } => {
+                                    complete_at = Some(now + latency);
+                                }
+                                LookupResult::Miss => {
+                                    unreachable!("probe saw the lock line resident")
+                                }
+                            }
+                            self.flush_writebacks(now);
+                        }
+                    }
+                    Some(_) => return Err(StallCause::LockWait),
+                    None => {
+                        // Nowhere cached: pull the lock line in (memory is
+                        // authoritative — see `lock_word_visible`) and
+                        // retry once it lands. MSHR dedup makes the retry
+                        // polling free.
+                        self.issue_fetch(addr.line(), now);
+                        return Err(StallCause::LockWait);
+                    }
+                }
+            }
         }
         if let Some(c) = complete_at {
             self.inflight_exec += 1;
@@ -1307,7 +1381,7 @@ impl Core {
     /// in exactly the order the dispatch path applies them — used both to
     /// predict wakeups and to attribute stall cycles across skipped
     /// windows.
-    fn dispatch_stall_cause(&self) -> Option<StallCause> {
+    fn dispatch_stall_cause(&self, caches: &CacheSystem) -> Option<StallCause> {
         debug_assert!(self.pc < self.trace.uops.len(), "caller checks for remaining uops");
         let uop = self.trace.uops[self.pc];
         if self.rob.len() >= self.rob_entries {
@@ -1372,6 +1446,18 @@ impl Core {
                     Some(StallCause::LogQFull)
                 } else {
                     None
+                }
+            }
+            Uop::WaitValue { addr, expected } => {
+                if self.inflight_exec >= self.issueq_entries {
+                    Some(StallCause::IssueQFull)
+                } else if self.loads_in_rob >= self.loadq_entries {
+                    Some(StallCause::LoadQFull)
+                } else {
+                    match self.lock_word_visible(addr, self.next_seq, caches) {
+                        Some(v) if v == expected => None,
+                        _ => Some(StallCause::LockWait),
+                    }
                 }
             }
         }
@@ -1489,7 +1575,7 @@ impl Core {
             wake(now, &mut best);
         }
         if self.pc < self.trace.uops.len() {
-            match self.dispatch_stall_cause() {
+            match self.dispatch_stall_cause(caches) {
                 None => wake(now, &mut best),
                 // A log-load rejected by the load queue or LR file has
                 // already probed — and mutated — the LLT by the time the
@@ -1512,12 +1598,32 @@ impl Core {
     /// dispatch path would have recorded the same stall cause on every
     /// one of those cycles; crediting them in bulk keeps `RunSummary`
     /// byte-identical with single-stepping.
-    pub fn account_skipped_cycles(&mut self, n: u64) {
+    pub fn account_skipped_cycles(&mut self, n: u64, caches: &CacheSystem) {
         if n == 0 || self.done_at.is_some() || self.pc >= self.trace.uops.len() {
             return;
         }
-        let cause = self.dispatch_stall_cause().unwrap_or(StallCause::IssueQFull);
+        let cause = self.dispatch_stall_cause(caches).unwrap_or(StallCause::IssueQFull);
         self.stats.add_stall_cycles(cause, n);
+    }
+
+    /// One-line state snapshot for debugging stuck machines. Test-only.
+    #[doc(hidden)]
+    pub fn debug_dump(&self) -> String {
+        format!(
+            "pc={}/{} next_uop={:?} rob_head={:?} storeq={:?} clwbs={} fence={} logq={} \
+             atom_acks={} mshr={:?} done={:?}",
+            self.pc,
+            self.trace.uops.len(),
+            self.trace.uops.get(self.pc),
+            self.rob.front().map(|e| (e.uop, e.completed, format!("{:?}", e.state))),
+            self.storeq.iter().map(|s| (s.addr, s.value, s.retired)).collect::<Vec<_>>(),
+            self.pending_clwbs.len(),
+            self.fence_active,
+            self.logq.len(),
+            self.atom_acks_outstanding,
+            self.mshr.keys().collect::<Vec<_>>(),
+            self.done_at,
+        )
     }
 
     /// Hashes the externally observable simulation state — not stats, not

@@ -19,7 +19,7 @@
 //! step boundary after the counter crossed the index loses nothing.
 
 use crate::fault::FaultSpec;
-use crate::oracle::ConsistencyOracle;
+use crate::oracle::WorkloadOracle;
 use proteus_sim::System;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
 use proteus_types::{stable_hash_value, FieldHasher, SimError, StableHash, StableHasher};
@@ -132,7 +132,7 @@ impl ExploreOutcome {
 /// consistency failure.
 pub fn explore(spec: &ExploreSpec) -> Result<ExploreOutcome, SimError> {
     let workload = spec.bench.generate(&spec.params);
-    let oracle = ConsistencyOracle::new(&workload);
+    let oracle = WorkloadOracle::new(&workload);
     let cfg = SystemConfig::skylake_like()
         .with_num_cores(spec.params.threads.max(1))
         .with_disable_persist_ordering(spec.broken_ordering);
@@ -163,8 +163,8 @@ pub fn explore(spec: &ExploreSpec) -> Result<ExploreOutcome, SimError> {
         }
         match m.crash_and_recover_with(&faults) {
             Ok((recovered, _report)) => {
-                if let Err(v) = oracle.check(&recovered) {
-                    violations.push(ViolationPoint { event, detail: v.to_string() });
+                if let Err(detail) = oracle.check(&recovered) {
+                    violations.push(ViolationPoint { event, detail });
                 }
             }
             Err(e) => violations.push(ViolationPoint { event, detail: e.to_string() }),

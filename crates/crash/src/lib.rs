@@ -7,10 +7,12 @@
 //! recovery always land on a transaction boundary?** It answers it
 //! systematically instead of anecdotally:
 //!
-//! * [`oracle`] — the transaction-consistency oracle: per-thread
-//!   functional snapshots at every commit, promoted out of the original
-//!   proptest so every consumer (explorer, shrinker, replayer, proptests,
-//!   example) shares one judgement.
+//! * [`oracle`] — the transaction-consistency oracles: per-thread
+//!   functional snapshots at every commit for the share-nothing
+//!   benchmarks, and per-structure commit-prefix matching (cross-thread,
+//!   lock-handoff ordered) for contended workloads, dispatched by
+//!   [`oracle::WorkloadOracle`] so every consumer (explorer, shrinker,
+//!   replayer, proptests, example) shares one judgement.
 //! * [`fault`] — crash fault models beyond the clean ADR drain: torn
 //!   64-byte line writes, prefix-only battery drains, dropped in-flight
 //!   requests.
@@ -37,7 +39,9 @@ pub mod sweep;
 
 pub use explore::{choose_points, explore, ExploreOutcome, ExploreSpec, ViolationPoint};
 pub use fault::FaultSpec;
-pub use oracle::{ConsistencyOracle, Violation};
+pub use oracle::{
+    ConsistencyOracle, CrossThreadOracle, CrossThreadViolation, Violation, WorkloadOracle,
+};
 pub use repro::{
     explore_spec_from_json, explore_spec_to_json, fault_from_json, fault_to_json, shrink,
     CrashRepro, ReplayOutcome, REPRO_VERSION,

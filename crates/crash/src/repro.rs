@@ -60,7 +60,7 @@ impl CrashRepro {
         use proteus_types::config::SystemConfig;
 
         let workload = self.spec.bench.generate(&self.spec.params);
-        let oracle = crate::oracle::ConsistencyOracle::new(&workload);
+        let oracle = crate::oracle::WorkloadOracle::new(&workload);
         let cfg = SystemConfig::skylake_like()
             .with_num_cores(self.spec.params.threads.max(1))
             .with_disable_persist_ordering(self.spec.broken_ordering);
@@ -73,7 +73,7 @@ impl CrashRepro {
         }
         match m.crash_and_recover_with(&self.spec.fault.to_crash_faults()) {
             Ok((recovered, _report)) => match oracle.check(&recovered) {
-                Err(v) => Ok(ReplayOutcome { violated: true, detail: v.to_string() }),
+                Err(detail) => Ok(ReplayOutcome { violated: true, detail }),
                 Ok(()) => Ok(ReplayOutcome {
                     violated: false,
                     detail: format!("consistent at event {}", self.event),

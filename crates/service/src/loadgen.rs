@@ -26,7 +26,7 @@ use proteus_harness::{Harness, JobSpec, Json, LedgerSnapshot, PayloadCodec, Swee
 use proteus_sim::runner::ExperimentSpec;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
 use proteus_types::stats::Log2Histogram;
-use proteus_workloads::{Benchmark, WorkloadParams};
+use proteus_workloads::{Benchmark, ContendedKind, ContendedSpec, WorkloadParams};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -83,6 +83,17 @@ pub fn build_basket(n: usize) -> Vec<ServiceJob> {
                 fault: FaultSpec::Clean,
                 broken_ordering: false,
                 max_points: 4,
+            }));
+        } else if i % 8 == 1 {
+            // A contended selector: two cores sharing one MPMC queue,
+            // so the CONTENDED wire codec and the coherent cache path
+            // run through the service end to end.
+            out.push(ServiceJob::Experiment(ExperimentSpec {
+                config: SystemConfig::skylake_like().with_num_cores(2),
+                scheme: LoggingSchemeKind::Proteus,
+                bench: ContendedSpec { kind: ContendedKind::MpmcQueue, early_release: false }
+                    .into(),
+                params: WorkloadParams { threads: 2, ..params },
             }));
         } else {
             let schemes = LoggingSchemeKind::ALL;

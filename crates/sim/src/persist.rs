@@ -14,7 +14,9 @@ use proteus_types::config::{
     CacheConfig, CacheLevelConfig, CoreConfig, LoggingSchemeKind, MemConfig, MemTech,
     ProteusHwConfig, SystemConfig,
 };
-use proteus_types::stats::{CacheStats, CoreStats, MemStats, RunSummary, StallCause};
+use proteus_types::stats::{
+    CacheStats, CoherenceStats, CoreStats, MemStats, RunSummary, StallCause,
+};
 use proteus_workgen::WorkloadSel;
 use proteus_workloads::WorkloadParams;
 
@@ -133,19 +135,44 @@ fn cache_from_json(v: &Json) -> Option<CacheStats> {
     })
 }
 
-/// Encodes a summary as a JSON object.
-pub fn summary_to_json(s: &RunSummary) -> Json {
+fn coherence_to_json(c: &CoherenceStats) -> Json {
     Json::obj([
+        ("invalidations", Json::U64(c.invalidations)),
+        ("remote_transfers", Json::U64(c.remote_transfers)),
+        ("coherence_misses", Json::U64(c.coherence_misses)),
+        ("lock_acquires", Json::U64(c.lock_acquires)),
+    ])
+}
+
+fn coherence_from_json(v: &Json) -> Option<CoherenceStats> {
+    Some(CoherenceStats {
+        invalidations: u(v, "invalidations")?,
+        remote_transfers: u(v, "remote_transfers")?,
+        coherence_misses: u(v, "coherence_misses")?,
+        lock_acquires: u(v, "lock_acquires")?,
+    })
+}
+
+/// Encodes a summary as a JSON object. Coherence counters appear only
+/// when non-zero: single-owner summaries stay byte-identical to the
+/// pre-coherence encoding, so old ledgers and goldens remain valid.
+pub fn summary_to_json(s: &RunSummary) -> Json {
+    let mut fields = vec![
         ("total_cycles", Json::U64(s.total_cycles)),
         ("core", Json::Arr(s.core.iter().map(core_to_json).collect())),
         ("mem", mem_to_json(&s.mem)),
         ("l1d", cache_to_json(&s.l1d)),
         ("l2", cache_to_json(&s.l2)),
         ("l3", cache_to_json(&s.l3)),
-    ])
+    ];
+    if !s.coherence.is_zero() {
+        fields.push(("coherence", coherence_to_json(&s.coherence)));
+    }
+    Json::obj(fields)
 }
 
-/// Decodes a summary; `None` on any missing or mistyped field.
+/// Decodes a summary; `None` on any missing or mistyped field (the
+/// optional `coherence` object defaults to zero when absent).
 pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
     Some(RunSummary {
         total_cycles: u(v, "total_cycles")?,
@@ -159,6 +186,10 @@ pub fn summary_from_json(v: &Json) -> Option<RunSummary> {
         l1d: cache_from_json(v.get("l1d")?)?,
         l2: cache_from_json(v.get("l2")?)?,
         l3: cache_from_json(v.get("l3")?)?,
+        coherence: match v.get("coherence") {
+            Some(c) => coherence_from_json(c)?,
+            None => CoherenceStats::default(),
+        },
     })
 }
 
@@ -401,6 +432,7 @@ mod tests {
             l1d: CacheStats { hits: 9000, misses: 1000, writebacks: 300, clwb_flushes: 77 },
             l2: CacheStats { hits: 700, misses: 300, writebacks: 150, clwb_flushes: 0 },
             l3: CacheStats { hits: 200, misses: 100, writebacks: 80, clwb_flushes: 0 },
+            coherence: CoherenceStats::default(),
         }
     }
 

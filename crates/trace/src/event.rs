@@ -204,6 +204,26 @@ pub enum TraceEventKind {
         /// Raw transaction ID.
         tx: u64,
     },
+    /// A `wait-value` ticket-lock acquire succeeded (contended workloads).
+    LockAcquire {
+        /// Raw address of the lock word.
+        addr: u64,
+    },
+    /// A retired store handed a structure ticket lock to its successor.
+    LockRelease {
+        /// Raw address of the lock word.
+        addr: u64,
+    },
+    /// A read-for-ownership removed a remote cached copy of a shared line.
+    CoherenceInvalidate {
+        /// Line index of the invalidated copy.
+        line: u64,
+    },
+    /// A remote dirty copy of a shared line moved to the requesting core.
+    OwnershipTransfer {
+        /// Line index that changed owner.
+        line: u64,
+    },
 }
 
 /// One cycle-stamped event in a component's ring.

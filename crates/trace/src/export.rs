@@ -171,6 +171,18 @@ fn dump_track(w: &mut EventWriter, track: &TrackDump) {
             TraceEventKind::TxDurable { tx } => {
                 w.instant(&format!("tx{tx}:durable"), ev.at, pid, tid);
             }
+            TraceEventKind::LockAcquire { addr } => {
+                w.instant(&format!("lock:acquire:{addr:#x}"), ev.at, pid, tid);
+            }
+            TraceEventKind::LockRelease { addr } => {
+                w.instant(&format!("lock:release:{addr:#x}"), ev.at, pid, tid);
+            }
+            TraceEventKind::CoherenceInvalidate { line } => {
+                w.instant(&format!("coh:invalidate:{line:#x}"), ev.at, PID_CACHE, 0);
+            }
+            TraceEventKind::OwnershipTransfer { line } => {
+                w.instant(&format!("coh:transfer:{line:#x}"), ev.at, PID_CACHE, 0);
+            }
         }
     }
     for rec in &track.tx_records {

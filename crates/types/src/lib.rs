@@ -28,6 +28,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod outcome;
+pub mod sharing;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, LogGrainAddr, CACHE_LINE_SIZE, LOG_GRAIN_SIZE};

@@ -1,0 +1,100 @@
+//! The static inter-core sharing domain.
+//!
+//! The simulator's traces are pre-generated, so which addresses can ever
+//! be shared between cores is known statically: contended workloads place
+//! their structures in a dedicated **shared arena** and their ticket-lock
+//! words in a dedicated **structure-lock range**. Everything else —
+//! per-thread benchmark data, log areas, per-thread flags — stays
+//! single-owner, and the coherence layer must treat it exactly as the
+//! pre-coherence cache model did (zero cost, zero effect).
+//!
+//! The two ranges are compile-time constants, not configuration: adding a
+//! field to `SystemConfig` would change every spec hash in every recorded
+//! ledger (see `hash::FieldHasher`), and there is nothing to configure —
+//! the ranges only need to be disjoint from the per-thread layout, which
+//! tests pin.
+
+use crate::addr::Addr;
+
+/// Base of the shared data arena contended structures are built in.
+/// Sits above the 16 per-thread 64 MiB benchmark arenas (which end at
+/// 0x5000_0000) and below the uncacheable log areas at 0x8000_0000.
+pub const SHARED_ARENA_BASE: u64 = 0x6000_0000;
+
+/// Size of the shared data arena (64 MiB).
+pub const SHARED_ARENA_SIZE: u64 = 64 << 20;
+
+/// Base of the structure ticket-lock words, one cache line per lock.
+/// Distinct from the per-thread flag lines at 0x0E00_0000 so single-owner
+/// workloads never touch the coherence domain.
+pub const STRUCT_LOCK_BASE: u64 = 0x0E10_0000;
+
+/// Size of the structure-lock range (1 MiB — 16 Ki locks).
+pub const STRUCT_LOCK_SIZE: u64 = 0x0010_0000;
+
+/// Whether `addr` lies in the shared data arena.
+pub fn is_shared_data(addr: Addr) -> bool {
+    (SHARED_ARENA_BASE..SHARED_ARENA_BASE + SHARED_ARENA_SIZE).contains(&addr.raw())
+}
+
+/// Whether `addr` is a structure ticket-lock word.
+pub fn is_struct_lock(addr: Addr) -> bool {
+    (STRUCT_LOCK_BASE..STRUCT_LOCK_BASE + STRUCT_LOCK_SIZE).contains(&addr.raw())
+}
+
+/// Whether `addr` is in the coherence domain — the only addresses for
+/// which inter-core snooping, invalidation, and ownership transfer are
+/// modeled. Accesses outside the domain take the pre-coherence fast path
+/// bit for bit.
+pub fn in_coherence_domain(addr: Addr) -> bool {
+    is_shared_data(addr) || is_struct_lock(addr)
+}
+
+/// The lock word for structure `index`, one per cache line.
+///
+/// # Panics
+///
+/// Panics if `index` would leave the structure-lock range.
+pub fn struct_lock_addr(index: usize) -> Addr {
+    let offset = index as u64 * crate::addr::CACHE_LINE_SIZE;
+    assert!(offset < STRUCT_LOCK_SIZE, "structure index {index} out of lock range");
+    Addr::new(STRUCT_LOCK_BASE + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_is_the_union_of_both_ranges() {
+        assert!(in_coherence_domain(Addr::new(SHARED_ARENA_BASE)));
+        assert!(in_coherence_domain(Addr::new(SHARED_ARENA_BASE + SHARED_ARENA_SIZE - 8)));
+        assert!(in_coherence_domain(struct_lock_addr(0)));
+        assert!(!in_coherence_domain(Addr::new(SHARED_ARENA_BASE - 8)));
+        assert!(!in_coherence_domain(Addr::new(SHARED_ARENA_BASE + SHARED_ARENA_SIZE)));
+    }
+
+    #[test]
+    fn single_owner_layout_stays_outside_the_domain() {
+        // Per-thread benchmark arenas (DATA_BASE + t * 64 MiB, t < 16).
+        for t in 0..16u64 {
+            assert!(!in_coherence_domain(Addr::new(0x1000_0000 + t * (64 << 20))));
+        }
+        // Per-thread flag lines and log areas.
+        assert!(!in_coherence_domain(Addr::new(0x0E00_0000)));
+        assert!(!in_coherence_domain(Addr::new(0x0F00_0000)));
+        assert!(!in_coherence_domain(Addr::new(0x8000_0000)));
+    }
+
+    #[test]
+    fn lock_addrs_are_line_disjoint() {
+        assert_eq!(struct_lock_addr(0).raw(), STRUCT_LOCK_BASE);
+        assert_ne!(struct_lock_addr(1).line(), struct_lock_addr(0).line());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of lock range")]
+    fn lock_index_overflow_panics() {
+        let _ = struct_lock_addr((STRUCT_LOCK_SIZE / 64) as usize);
+    }
+}

@@ -29,11 +29,14 @@ pub enum StallCause {
     /// ATOM: store retirement blocked on log durability backed up into
     /// the pipeline.
     AtomLogWait,
+    /// A `wait-value` spin (ticket-lock acquire on a shared structure)
+    /// has not observed its expected value yet.
+    LockWait,
 }
 
 impl StallCause {
     /// All causes, for iteration in reports.
-    pub const ALL: [StallCause; 8] = [
+    pub const ALL: [StallCause; 9] = [
         StallCause::RobFull,
         StallCause::IssueQFull,
         StallCause::LoadQFull,
@@ -42,6 +45,7 @@ impl StallCause {
         StallCause::LrFull,
         StallCause::FenceDrain,
         StallCause::AtomLogWait,
+        StallCause::LockWait,
     ];
 
     fn slot(self) -> usize {
@@ -54,6 +58,7 @@ impl StallCause {
             StallCause::LrFull => 5,
             StallCause::FenceDrain => 6,
             StallCause::AtomLogWait => 7,
+            StallCause::LockWait => 8,
         }
     }
 }
@@ -69,6 +74,7 @@ impl fmt::Display for StallCause {
             StallCause::LrFull => "lr-full",
             StallCause::FenceDrain => "fence-drain",
             StallCause::AtomLogWait => "atom-log-wait",
+            StallCause::LockWait => "lock-wait",
         };
         f.write_str(s)
     }
@@ -107,7 +113,7 @@ pub struct CoreStats {
     pub llt_hits: u64,
     /// Front-end dispatch stall cycles by cause (indexed via
     /// [`StallCause::ALL`] order).
-    stall_cycles: [u64; 8],
+    stall_cycles: [u64; 9],
 }
 
 impl CoreStats {
@@ -281,6 +287,41 @@ impl CacheStats {
     }
 }
 
+/// Inter-core coherence statistics (all zero when no line is shared:
+/// the protocol only acts on cross-core interactions inside the shared
+/// coherence domain, so single-owner workloads never move these).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceStats {
+    /// Remote private copies invalidated by a store (M/S/I: a writer
+    /// gains exclusive ownership before mutating the line).
+    pub invalidations: u64,
+    /// Dirty lines transferred from a remote private cache to satisfy
+    /// another core's access (cache-to-cache ownership transfer).
+    pub remote_transfers: u64,
+    /// Loads in the shared domain that missed every private cache and
+    /// had no remote dirty owner (coherence misses: the line had to
+    /// come from L3 or memory).
+    pub coherence_misses: u64,
+    /// `wait-value` spins resolved (successful lock acquires).
+    pub lock_acquires: u64,
+}
+
+impl CoherenceStats {
+    /// Whether any coherence activity was observed.
+    pub fn is_zero(&self) -> bool {
+        *self == CoherenceStats::default()
+    }
+
+    /// Accumulates another system's counters into this one (saturating,
+    /// for the same reason as [`CoreStats::merge`]).
+    pub fn merge(&mut self, other: &CoherenceStats) {
+        self.invalidations = self.invalidations.saturating_add(other.invalidations);
+        self.remote_transfers = self.remote_transfers.saturating_add(other.remote_transfers);
+        self.coherence_misses = self.coherence_misses.saturating_add(other.coherence_misses);
+        self.lock_acquires = self.lock_acquires.saturating_add(other.lock_acquires);
+    }
+}
+
 /// Full-run summary: everything a figure or table needs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -296,6 +337,11 @@ pub struct RunSummary {
     pub l2: CacheStats,
     /// Shared L3 statistics.
     pub l3: CacheStats,
+    /// Inter-core coherence statistics (all zero for single-owner
+    /// workloads; serialized only when non-zero so pre-coherence
+    /// ledgers and goldens stay byte-identical).
+    #[serde(default, skip_serializing_if = "CoherenceStats::is_zero")]
+    pub coherence: CoherenceStats,
 }
 
 impl RunSummary {

@@ -25,7 +25,7 @@ use crate::sel::WorkloadSel;
 use crate::trace::{OpTrace, ThreadOps, TRACE_VERSION};
 use proteus_harness::{json, Json};
 use proteus_types::SimError;
-use proteus_workloads::{Benchmark, OpSpec, WorkloadParams};
+use proteus_workloads::{Benchmark, ContendedKind, ContendedSpec, OpSpec, WorkloadParams};
 
 /// Magic string identifying a trace file's first line.
 pub const TRACE_MAGIC: &str = "proteus-optrace";
@@ -47,6 +47,11 @@ pub fn sel_to_json(sel: &WorkloadSel) -> Json {
         WorkloadSel::Gen(g) => {
             Json::obj([("kind", Json::str("GEN")), ("spec", gen_spec_to_json(g))])
         }
+        WorkloadSel::Contended(c) => Json::obj([
+            ("kind", Json::str("CONTENDED")),
+            ("struct", Json::str(c.kind.abbrev())),
+            ("early_release", Json::Bool(c.early_release)),
+        ]),
     }
 }
 
@@ -62,6 +67,14 @@ pub fn sel_from_json(v: &Json) -> Option<WorkloadSel> {
         "RT" => bench(Benchmark::RbTree),
         "LT" => bench(Benchmark::LargeTx { elements: v.get("elements")?.as_u64()? }),
         "GEN" => Some(WorkloadSel::Gen(gen_spec_from_json(v.get("spec")?)?)),
+        "CONTENDED" => {
+            let abbrev = v.get("struct")?.as_str()?;
+            let kind = ContendedKind::ALL.into_iter().find(|k| k.abbrev() == abbrev)?;
+            Some(WorkloadSel::Contended(ContendedSpec {
+                kind,
+                early_release: v.get("early_release")?.as_bool()?,
+            }))
+        }
         _ => None,
     }
 }
@@ -363,7 +376,7 @@ mod tests {
     fn sample_trace() -> OpTrace {
         let sel = WorkloadSel::from(Benchmark::Queue);
         let params = WorkloadParams { threads: 2, init_ops: 30, sim_ops: 10, seed: 5 };
-        record(&sel, &params).1
+        record(&sel, &params).unwrap().1
     }
 
     fn gen_trace() -> OpTrace {
@@ -379,7 +392,7 @@ mod tests {
             drain_batch: 0,
         });
         let params = WorkloadParams { threads: 2, init_ops: 40, sim_ops: 12, seed: 9 };
-        record(&sel, &params).1
+        record(&sel, &params).unwrap().1
     }
 
     #[test]
@@ -464,7 +477,7 @@ mod tests {
     fn init_chunking_splits_large_inits() {
         let sel = WorkloadSel::from(Benchmark::Queue);
         let params = WorkloadParams { threads: 1, init_ops: INIT_CHUNK + 10, sim_ops: 1, seed: 1 };
-        let (_, trace) = record(&sel, &params);
+        let (_, trace) = record(&sel, &params).unwrap();
         let text = trace_to_string(&trace);
         // header + 2 init chunks + 1 tx line
         assert_eq!(text.lines().count(), 4);
@@ -486,5 +499,30 @@ mod tests {
             let j = sel_to_json(&trace.sel);
             assert_eq!(sel_from_json(&j), Some(trace.sel));
         }
+    }
+
+    #[test]
+    fn contended_selector_round_trips() {
+        for kind in ContendedKind::ALL {
+            for early_release in [false, true] {
+                let sel = WorkloadSel::Contended(ContendedSpec { kind, early_release });
+                assert_eq!(sel_from_json(&sel_to_json(&sel)), Some(sel));
+            }
+        }
+        assert_eq!(
+            sel_to_json(&WorkloadSel::Contended(ContendedSpec {
+                kind: ContendedKind::MpmcQueue,
+                early_release: false,
+            }))
+            .to_line(),
+            "{\"kind\":\"CONTENDED\",\"struct\":\"MQ\",\"early_release\":false}"
+        );
+        // Unknown structure abbreviations are rejected, not defaulted.
+        let bad = Json::obj([
+            ("kind", Json::str("CONTENDED")),
+            ("struct", Json::str("??")),
+            ("early_release", Json::Bool(false)),
+        ]);
+        assert_eq!(sel_from_json(&bad), None);
     }
 }

@@ -385,6 +385,7 @@ pub fn generate_gen_with(
         name: format!("{}x{}", spec.name, params.threads),
         programs,
         initial_image: image,
+        sharing: None,
     }
 }
 

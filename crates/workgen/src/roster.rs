@@ -7,7 +7,7 @@
 
 use crate::gen::{GenSpec, GenStructure, OpMix, Skew};
 use crate::sel::WorkloadSel;
-use proteus_workloads::{Benchmark, WorkloadParams};
+use proteus_workloads::{Benchmark, ContendedKind, ContendedSpec, WorkloadParams};
 
 /// One roster row.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +29,9 @@ pub struct WorkloadDescriptor {
     pub crash_roster: bool,
     /// Member of the `reproduce bench` / `tools/bench.sh` basket.
     pub bench_basket: bool,
+    /// Contended shared-structure workload (inter-core sharing; member
+    /// of the `reproduce contention` roster).
+    pub contended: bool,
 }
 
 impl WorkloadDescriptor {
@@ -52,10 +55,12 @@ impl WorkloadDescriptor {
             WorkloadSel::Bench(b) => {
                 WorkloadParams::table2(*b, threads, scale).with_derived_seed(*b)
             }
-            WorkloadSel::Gen(_) => {
+            WorkloadSel::Gen(_) | WorkloadSel::Contended(_) => {
                 let (init, sim) = self.base_ops;
                 sel.derived_params(WorkloadParams {
-                    threads,
+                    // Contended generation needs at least two threads —
+                    // one core cannot contend with itself.
+                    threads: if self.contended { threads.max(2) } else { threads },
                     init_ops: ((init as f64 * scale) as usize).max(1),
                     sim_ops: ((sim as f64 * scale) as usize).max(1),
                     seed: 0,
@@ -63,6 +68,21 @@ impl WorkloadDescriptor {
             }
         }
     }
+}
+
+fn contended_mq() -> WorkloadSel {
+    WorkloadSel::Contended(ContendedSpec { kind: ContendedKind::MpmcQueue, early_release: false })
+}
+
+fn contended_ch() -> WorkloadSel {
+    WorkloadSel::Contended(ContendedSpec {
+        kind: ContendedKind::ContendedHashMap,
+        early_release: false,
+    })
+}
+
+fn contended_lb() -> WorkloadSel {
+    WorkloadSel::Contended(ContendedSpec { kind: ContendedKind::LockedBTree, early_release: false })
 }
 
 fn ycsb_a() -> WorkloadSel {
@@ -153,8 +173,10 @@ fn million_key() -> WorkloadSel {
 /// `base_ops` for listing purposes (their `params()` goes through
 /// `WorkloadParams::table2` as always). The crashsweep roster keeps
 /// the historical QE/HM/RT trio and adds the two most write-heavy
-/// presets; the bench basket keeps QE/HM/SS and adds ycsb-a.
-static ROSTER: [WorkloadDescriptor; 12] = [
+/// presets; the bench basket keeps QE/HM/SS and adds ycsb-a plus the
+/// three contended rows (MQ/CH/LB), which also form the `reproduce
+/// contention` roster.
+static ROSTER: [WorkloadDescriptor; 15] = [
     WorkloadDescriptor {
         cli_name: "qe",
         blurb: "enqueue/dequeue in 8 queues",
@@ -164,6 +186,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: false,
         crash_roster: true,
         bench_basket: true,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "hm",
@@ -174,6 +197,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: false,
         crash_roster: true,
         bench_basket: true,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "ss",
@@ -184,6 +208,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: false,
         crash_roster: false,
         bench_basket: true,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "at",
@@ -194,6 +219,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: false,
         crash_roster: false,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "bt",
@@ -204,6 +230,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: false,
         crash_roster: false,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "rt",
@@ -214,6 +241,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: false,
         crash_roster: true,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "ycsb-a",
@@ -224,6 +252,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: true,
         crash_roster: true,
         bench_basket: true,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "ycsb-b",
@@ -234,6 +263,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: true,
         crash_roster: false,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "ycsb-c",
@@ -244,6 +274,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: true,
         crash_roster: false,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "scan-heavy",
@@ -254,6 +285,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: true,
         crash_roster: false,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "indexer",
@@ -264,6 +296,7 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: true,
         crash_roster: true,
         bench_basket: false,
+        contended: false,
     },
     WorkloadDescriptor {
         cli_name: "million-key",
@@ -274,6 +307,40 @@ static ROSTER: [WorkloadDescriptor; 12] = [
         preset: true,
         crash_roster: false,
         bench_basket: false,
+        contended: false,
+    },
+    WorkloadDescriptor {
+        cli_name: "mq",
+        blurb: "contended: one MPMC queue shared by every thread (ticket lock)",
+        make: contended_mq,
+        base_ops: (2_000, 1_000),
+        table2: false,
+        preset: false,
+        crash_roster: false,
+        bench_basket: true,
+        contended: true,
+    },
+    WorkloadDescriptor {
+        cli_name: "ch",
+        blurb: "contended: two hot chained hash maps behind ticket locks",
+        make: contended_ch,
+        base_ops: (2_000, 1_000),
+        table2: false,
+        preset: false,
+        crash_roster: false,
+        bench_basket: true,
+        contended: true,
+    },
+    WorkloadDescriptor {
+        cli_name: "lb",
+        blurb: "contended: two B-trees with hand-over-hand root/write locks",
+        make: contended_lb,
+        base_ops: (2_000, 1_000),
+        table2: false,
+        preset: false,
+        crash_roster: false,
+        bench_basket: true,
+        contended: true,
     },
 ];
 
@@ -307,6 +374,11 @@ pub fn crash_roster() -> impl Iterator<Item = &'static WorkloadDescriptor> {
 /// The perf-bench basket rows.
 pub fn bench_basket() -> impl Iterator<Item = &'static WorkloadDescriptor> {
     ROSTER.iter().filter(|d| d.bench_basket)
+}
+
+/// The contended shared-structure rows (`reproduce contention` roster).
+pub fn contended() -> impl Iterator<Item = &'static WorkloadDescriptor> {
+    ROSTER.iter().filter(|d| d.contended)
 }
 
 #[cfg(test)]
@@ -366,6 +438,29 @@ mod tests {
     fn selector_hashes_distinct_across_roster() {
         let hashes: HashSet<u64> = ROSTER.iter().map(|d| stable_hash_value(&d.sel())).collect();
         assert_eq!(hashes.len(), ROSTER.len());
+    }
+
+    #[test]
+    fn contended_roster_covers_every_kind() {
+        use proteus_workloads::ContendedKind;
+        let labels: Vec<String> = contended().map(|d| d.label()).collect();
+        let expect: Vec<&str> = ContendedKind::ALL.iter().map(|k| k.abbrev()).collect();
+        assert_eq!(labels, expect);
+        for d in contended() {
+            // Never the fault-injection variant, and always >= 2 threads.
+            let WorkloadSel::Contended(c) = d.sel() else {
+                panic!("{}: contended row with a non-contended selector", d.cli_name)
+            };
+            assert!(!c.early_release, "{}", d.cli_name);
+            assert!(d.bench_basket, "{}: contended rows ride the bench basket", d.cli_name);
+            assert!(!d.preset && !d.table2 && !d.crash_roster, "{}", d.cli_name);
+            let p = d.params(1, 0.1);
+            assert_eq!(p.threads, 2, "{}: threads must be clamped to 2", d.cli_name);
+            let w = d.sel().generate(&p);
+            assert!(w.sharing.is_some(), "{}", d.cli_name);
+        }
+        // The contended axis must not disturb the preset listing.
+        assert_eq!(presets().count(), 6);
     }
 
     #[test]

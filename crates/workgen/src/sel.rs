@@ -9,7 +9,10 @@
 
 use crate::gen::{generate_gen_with, GenSpec};
 use proteus_types::{FieldHasher, SimError, StableHash, StableHasher};
-use proteus_workloads::{generate_with, Benchmark, GeneratedWorkload, OpRecorder, WorkloadParams};
+use proteus_workloads::{
+    generate_contended, generate_with, Benchmark, ContendedKind, ContendedSpec, GeneratedWorkload,
+    OpRecorder, WorkloadParams,
+};
 
 /// Selects the workload an experiment runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +21,8 @@ pub enum WorkloadSel {
     Bench(Benchmark),
     /// A generated workload spec.
     Gen(GenSpec),
+    /// A contended shared-structure workload (inter-core sharing).
+    Contended(ContendedSpec),
 }
 
 impl From<Benchmark> for WorkloadSel {
@@ -32,6 +37,12 @@ impl From<GenSpec> for WorkloadSel {
     }
 }
 
+impl From<ContendedSpec> for WorkloadSel {
+    fn from(c: ContendedSpec) -> Self {
+        WorkloadSel::Contended(c)
+    }
+}
+
 impl StableHash for WorkloadSel {
     fn stable_hash(&self, h: &mut StableHasher) {
         match self {
@@ -40,6 +51,7 @@ impl StableHash for WorkloadSel {
             // pre-generalisation spec hash and ledger key.
             WorkloadSel::Bench(b) => b.stable_hash(h),
             WorkloadSel::Gen(g) => g.stable_hash(h),
+            WorkloadSel::Contended(c) => c.stable_hash(h),
         }
     }
 }
@@ -51,13 +63,19 @@ impl WorkloadSel {
         match self {
             WorkloadSel::Bench(b) => b.abbrev(),
             WorkloadSel::Gen(g) => &g.name,
+            WorkloadSel::Contended(c) if c.early_release => match c.kind {
+                ContendedKind::MpmcQueue => "MQ!",
+                ContendedKind::ContendedHashMap => "CH!",
+                ContendedKind::LockedBTree => "LB!",
+            },
+            WorkloadSel::Contended(c) => c.kind.abbrev(),
         }
     }
 
     /// Checks the selector is runnable (benchmarks always are).
     pub fn validate(&self) -> Result<(), SimError> {
         match self {
-            WorkloadSel::Bench(_) => Ok(()),
+            WorkloadSel::Bench(_) | WorkloadSel::Contended(_) => Ok(()),
             WorkloadSel::Gen(g) => g
                 .validate()
                 .map_err(|e| SimError::InvalidConfig(format!("gen spec {}: {e}", g.name))),
@@ -81,6 +99,11 @@ impl WorkloadSel {
         match self {
             WorkloadSel::Bench(b) => generate_with(*b, params, rec),
             WorkloadSel::Gen(g) => generate_gen_with(g, params, rec),
+            // Contended generation draws from a *global* schedule, not
+            // per-thread op streams, so there is nothing a per-thread
+            // recorder could capture; `trace::record` rejects these
+            // selectors before getting here.
+            WorkloadSel::Contended(c) => generate_contended(c, params),
         }
     }
 
@@ -91,7 +114,7 @@ impl WorkloadSel {
     pub fn derived_params(&self, params: WorkloadParams) -> WorkloadParams {
         match self {
             WorkloadSel::Bench(b) => params.with_derived_seed(*b),
-            WorkloadSel::Gen(_) => {
+            WorkloadSel::Gen(_) | WorkloadSel::Contended(_) => {
                 let mut p = params;
                 let mut f = FieldHasher::new("WorkloadSeed");
                 f.field("bench", self)
@@ -192,5 +215,55 @@ mod tests {
         let w = WorkloadSel::from(gen_spec()).generate(&p);
         assert_eq!(w.name, "kvx1");
         assert_eq!(w.programs.len(), 1);
+    }
+
+    #[test]
+    fn contended_selector_generates_with_a_sharing_plan() {
+        let p = WorkloadParams { threads: 2, init_ops: 16, sim_ops: 4, seed: 3 };
+        for kind in ContendedKind::ALL {
+            let sel = WorkloadSel::from(ContendedSpec { kind, early_release: false });
+            assert_eq!(sel.abbrev(), kind.abbrev());
+            assert!(sel.validate().is_ok());
+            let w = sel.generate(&p);
+            assert_eq!(w.name, format!("{}x2", kind.abbrev()));
+            assert!(w.sharing.is_some(), "{kind:?}");
+        }
+        let faulty = WorkloadSel::from(ContendedSpec {
+            kind: ContendedKind::MpmcQueue,
+            early_release: true,
+        });
+        assert_eq!(faulty.abbrev(), "MQ!");
+    }
+
+    #[test]
+    fn contended_selector_hashes_distinctly() {
+        let mq = ContendedSpec { kind: ContendedKind::MpmcQueue, early_release: false };
+        let h = stable_hash_value(&WorkloadSel::from(mq));
+        for b in Benchmark::TABLE2 {
+            assert_ne!(h, stable_hash_value(&WorkloadSel::from(b)));
+        }
+        assert_ne!(h, stable_hash_value(&WorkloadSel::from(gen_spec())));
+        // The fault knob is part of the identity.
+        let faulty = ContendedSpec { early_release: true, ..mq };
+        assert_ne!(h, stable_hash_value(&WorkloadSel::from(faulty)));
+        let ch = ContendedSpec { kind: ContendedKind::ContendedHashMap, early_release: false };
+        assert_ne!(h, stable_hash_value(&WorkloadSel::from(ch)));
+    }
+
+    #[test]
+    fn contended_derived_seed_is_shape_sensitive() {
+        let base = WorkloadParams { threads: 2, init_ops: 100, sim_ops: 20, seed: 0 };
+        let mq = WorkloadSel::from(ContendedSpec {
+            kind: ContendedKind::MpmcQueue,
+            early_release: false,
+        });
+        let a = mq.derived_params(base.clone());
+        assert_eq!(a.seed, mq.derived_params(base.clone()).seed);
+        let lb = WorkloadSel::from(ContendedSpec {
+            kind: ContendedKind::LockedBTree,
+            early_release: false,
+        });
+        assert_ne!(a.seed, lb.derived_params(base.clone()).seed);
+        assert_ne!(a.seed, mq.derived_params(WorkloadParams { sim_ops: 21, ..base }).seed);
     }
 }

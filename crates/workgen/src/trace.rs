@@ -181,15 +181,42 @@ impl OpRecorder for TraceRecorder {
     }
 }
 
+/// Rejects selectors whose workloads cannot round-trip through the
+/// per-thread op-trace format. Contended workloads are generated from a
+/// *global* cross-thread schedule (ticket interleavings, external write
+/// lists) that per-thread op streams cannot represent; recording one
+/// would replay to a different workload, so both directions refuse up
+/// front.
+fn reject_unrecordable(sel: &WorkloadSel) -> Result<(), SimError> {
+    if let WorkloadSel::Contended(c) = sel {
+        return Err(SimError::InvalidConfig(format!(
+            "contended workload '{}' cannot be op-trace recorded or replayed: its \
+             cross-thread lock schedule is not a set of per-thread op streams; \
+             regenerate it from the spec instead",
+            c.label()
+        )));
+    }
+    Ok(())
+}
+
 /// Generates the selected workload while recording its op streams.
 /// The returned workload is exactly `sel.generate(params)`; the trace
 /// replays to the same bytes (see [`replay`]).
-pub fn record(sel: &WorkloadSel, params: &WorkloadParams) -> (GeneratedWorkload, OpTrace) {
+///
+/// # Errors
+///
+/// Rejects contended selectors — their global sharing schedule does not
+/// fit the per-thread trace format (see [`reject_unrecordable`]).
+pub fn record(
+    sel: &WorkloadSel,
+    params: &WorkloadParams,
+) -> Result<(GeneratedWorkload, OpTrace), SimError> {
+    reject_unrecordable(sel)?;
     let mut rec = TraceRecorder::default();
     let workload = sel.generate_recorded(params, &mut rec);
     // Threads that drew no ops still occupy a slot.
     rec.threads.resize_with(params.threads, ThreadOps::default);
-    (workload, OpTrace { sel: sel.clone(), params: params.clone(), threads: rec.threads })
+    Ok((workload, OpTrace { sel: sel.clone(), params: params.clone(), threads: rec.threads }))
 }
 
 fn build_structures_for(
@@ -201,6 +228,7 @@ fn build_structures_for(
     match sel {
         WorkloadSel::Bench(b) => build_thread_structures(*b, params, image, alloc).structures,
         WorkloadSel::Gen(g) => build_gen_structures(g, image, alloc),
+        WorkloadSel::Contended(_) => unreachable!("replay rejects contended selectors up front"),
     }
 }
 
@@ -210,6 +238,7 @@ fn build_structures_for(
 /// the shared emission path. For a trace produced by [`record`], the
 /// result is byte-identical to the recorded generation.
 pub fn replay(trace: &OpTrace) -> Result<GeneratedWorkload, SimError> {
+    reject_unrecordable(&trace.sel)?;
     trace.sel.validate()?;
     if trace.params.threads == 0 || trace.params.threads != trace.threads.len() {
         return Err(SimError::InvalidConfig(format!(
@@ -237,7 +266,12 @@ pub fn replay(trace: &OpTrace) -> Result<GeneratedWorkload, SimError> {
         })?;
         programs.push(program);
     }
-    Ok(GeneratedWorkload { name: trace.workload_name(), programs, initial_image: image })
+    Ok(GeneratedWorkload {
+        name: trace.workload_name(),
+        programs,
+        initial_image: image,
+        sharing: None,
+    })
 }
 
 #[cfg(test)]
@@ -259,7 +293,7 @@ mod tests {
         ] {
             let p = params();
             let plain = sel.generate(&p);
-            let (recorded, trace) = record(&sel, &p);
+            let (recorded, trace) = record(&sel, &p).expect("recordable");
             assert_eq!(plain.programs, recorded.programs, "{}", sel.abbrev());
             assert_eq!(plain.initial_image, recorded.initial_image, "{}", sel.abbrev());
             assert_eq!(trace.threads.len(), 2);
@@ -272,7 +306,7 @@ mod tests {
         for bench in Benchmark::TABLE2 {
             let sel = WorkloadSel::from(bench);
             let p = params();
-            let (recorded, trace) = record(&sel, &p);
+            let (recorded, trace) = record(&sel, &p).expect("recordable");
             let replayed = replay(&trace).expect("replay");
             assert_eq!(recorded.name, replayed.name, "{bench:?}");
             assert_eq!(recorded.programs, replayed.programs, "{bench:?}");
@@ -294,22 +328,42 @@ mod tests {
             drain_batch: 0,
         });
         let p = params();
-        let (recorded, trace) = record(&sel, &p);
+        let (recorded, trace) = record(&sel, &p).expect("recordable");
         let replayed = replay(&trace).expect("replay");
         assert_eq!(recorded.programs, replayed.programs);
         assert_eq!(recorded.initial_image, replayed.initial_image);
     }
 
     #[test]
+    fn contended_selectors_are_rejected_with_a_clean_error() {
+        use proteus_workloads::{ContendedKind, ContendedSpec};
+        let sel = WorkloadSel::Contended(ContendedSpec {
+            kind: ContendedKind::MpmcQueue,
+            early_release: false,
+        });
+        let err = record(&sel, &params()).unwrap_err();
+        assert!(format!("{err}").contains("cannot be op-trace recorded"), "{err}");
+        // A hand-forged trace header claiming a contended selector is
+        // rejected by replay the same way.
+        let forged = OpTrace {
+            sel,
+            params: params(),
+            threads: vec![ThreadOps::default(), ThreadOps::default()],
+        };
+        let err = replay(&forged).unwrap_err();
+        assert!(format!("{err}").contains("cannot be op-trace recorded"), "{err}");
+    }
+
+    #[test]
     fn replay_rejects_thread_mismatch() {
-        let (_, mut trace) = record(&WorkloadSel::from(Benchmark::Queue), &params());
+        let (_, mut trace) = record(&WorkloadSel::from(Benchmark::Queue), &params()).unwrap();
         trace.threads.pop();
         assert!(matches!(replay(&trace), Err(SimError::InvalidConfig(_))));
     }
 
     #[test]
     fn content_hash_sees_every_op() {
-        let (_, trace) = record(&WorkloadSel::from(Benchmark::Queue), &params());
+        let (_, trace) = record(&WorkloadSel::from(Benchmark::Queue), &params()).unwrap();
         let base = trace.content_hash();
         let mut t = trace.clone();
         t.threads[0].init[0] = OpSpec::Dequeue { s: 0 };

@@ -56,7 +56,7 @@ fn params_strategy() -> impl Strategy<Value = WorkloadParams> {
 proptest! {
     #[test]
     fn traces_round_trip_exactly(sel in sel_strategy(), params in params_strategy()) {
-        let (_, trace) = record(&sel, &params);
+        let (_, trace) = record(&sel, &params).unwrap();
         let text = trace_to_string(&trace);
         let back = trace_from_str(&text).expect("own serialisation must parse");
         prop_assert_eq!(&back, &trace);
@@ -66,7 +66,7 @@ proptest! {
 
     #[test]
     fn replays_match_the_recorded_generation(sel in sel_strategy(), params in params_strategy()) {
-        let (workload, trace) = record(&sel, &params);
+        let (workload, trace) = record(&sel, &params).unwrap();
         let replayed = replay(&trace).expect("recorded trace must replay");
         prop_assert_eq!(workload.name, replayed.name);
         prop_assert_eq!(workload.programs, replayed.programs);
@@ -79,7 +79,7 @@ proptest! {
         params in params_strategy(),
         cut_frac in 0.0f64..1.0,
     ) {
-        let (_, trace) = record(&sel, &params);
+        let (_, trace) = record(&sel, &params).unwrap();
         let text = trace_to_string(&trace);
         let mut cut = ((text.len() as f64) * cut_frac) as usize;
         while !text.is_char_boundary(cut) {
@@ -102,7 +102,7 @@ proptest! {
         pos_frac in 0.0f64..1.0,
         replacement in prop::sample::select(vec![b'0', b'9', b'a', b'"', b'[', b'}', b',', b' ']),
     ) {
-        let (_, trace) = record(&sel, &params);
+        let (_, trace) = record(&sel, &params).unwrap();
         let text = trace_to_string(&trace);
         let mut bytes = text.clone().into_bytes();
         let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;

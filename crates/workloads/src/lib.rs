@@ -27,6 +27,7 @@
 
 pub mod avl;
 pub mod btree;
+pub mod contended;
 pub mod hashmap;
 pub mod largetx;
 pub mod mem;
@@ -35,6 +36,7 @@ pub mod rbtree;
 pub mod spec;
 pub mod stringswap;
 
+pub use contended::{generate_contended, ContendedKind, ContendedSpec, LockGroup, SharingPlan};
 pub use mem::{durable_transaction, CollectMem, DirectMem, EmitMem, Mem, NodeAlloc};
 pub use spec::{
     build_thread_structures, emit_op_group, generate, generate_with, lock_base_for,

@@ -32,7 +32,7 @@ const DATA_BASE: u64 = 0x1000_0000;
 /// key for each operation from an input file", operations take locks),
 /// so this uniform cost exists in every scheme and is what keeps logging
 /// overhead a *fraction* of execution time rather than a multiple.
-const APP_OVERHEAD_CYCLES: u32 = 600;
+pub(crate) const APP_OVERHEAD_CYCLES: u32 = 600;
 
 /// The data arena `[start, end)` owned by thread `t`. Threads touch only
 /// their own arena (the paper's share-nothing locking discipline), so
@@ -187,6 +187,10 @@ pub struct GeneratedWorkload {
     pub programs: Vec<Program>,
     /// Memory contents after initialisation (fast-forward).
     pub initial_image: WordImage,
+    /// The global lock schedule, for contended workloads only
+    /// (`None` for every single-owner workload — the discriminant the
+    /// crash harness uses to pick its oracle).
+    pub sharing: Option<crate::contended::SharingPlan>,
 }
 
 impl GeneratedWorkload {
@@ -637,6 +641,7 @@ pub fn generate_with(
         name: format!("{}x{}", bench.abbrev(), params.threads),
         programs,
         initial_image: image,
+        sharing: None,
     }
 }
 

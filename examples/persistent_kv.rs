@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name: "persistent-kv".into(),
         programs: vec![program],
         initial_image: initial,
+        sharing: None,
     };
 
     // Run half way, then pull the plug.

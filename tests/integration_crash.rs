@@ -20,7 +20,7 @@ use proteus_crash::{
 use proteus_harness::SweepOptions;
 use proteus_sim::System;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
-use proteus_workloads::{generate, Benchmark, WorkloadParams};
+use proteus_workloads::{generate, Benchmark, ContendedKind, ContendedSpec, WorkloadParams};
 
 const FAILURE_SAFE: [LoggingSchemeKind; 4] = [
     LoggingSchemeKind::SwPmem,
@@ -146,6 +146,65 @@ fn fixed_proteus_passes_where_broken_proteus_fails() {
     );
     let outcome = explore(&spec).unwrap();
     assert!(outcome.is_consistent(), "{:?}", outcome.violations.first());
+}
+
+#[test]
+fn every_failure_safe_scheme_survives_contended_exploration() {
+    // The cross-thread pillar: inter-core sharing through ticket locks
+    // must not open any crash window the oracle can see. Each contended
+    // structure is explored under every failure-safe scheme; the
+    // judgement is the cross-thread oracle (commit-prefix matching in
+    // lock-handoff order), dispatched automatically off the workload's
+    // sharing plan.
+    let params = WorkloadParams { threads: 2, init_ops: 48, sim_ops: 10, seed: 5 };
+    for kind in ContendedKind::ALL {
+        for scheme in FAILURE_SAFE {
+            let spec = ExploreSpec::new(
+                ContendedSpec { kind, early_release: false },
+                params.clone(),
+                scheme,
+                32,
+            );
+            let outcome = explore(&spec).unwrap();
+            assert!(outcome.total_events > 0, "{kind:?}/{scheme:?}: no persist events");
+            assert!(
+                outcome.is_consistent(),
+                "{kind:?}/{scheme:?} violated at {:?}",
+                outcome.violations.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn early_lock_release_is_caught_by_the_cross_thread_oracle() {
+    // Oracle self-test: the `early_release` knob drops the data-lock
+    // release store *before* the transaction, so a successor thread can
+    // commit writes whose predecessor never became durable. Crashing in
+    // that window leaves a structure state matching no commit prefix —
+    // only the cross-thread oracle can see this (each thread's own
+    // snapshot sequence is locally consistent). Exploration MUST catch
+    // it, and the violation must name the prefix check.
+    let params = WorkloadParams { threads: 3, init_ops: 64, sim_ops: 16, seed: 9 };
+    let mut caught = 0usize;
+    for kind in ContendedKind::ALL {
+        let spec = ExploreSpec::new(
+            ContendedSpec { kind, early_release: true },
+            params.clone(),
+            LoggingSchemeKind::Proteus,
+            256,
+        );
+        let outcome = explore(&spec).unwrap();
+        caught += outcome.violations.len();
+        for v in &outcome.violations {
+            assert!(
+                v.detail.contains("commit prefix") || v.detail.contains("program order"),
+                "unexpected violation shape: {}",
+                v.detail
+            );
+        }
+    }
+    assert!(caught > 0, "the early-release fault knob must tear at least one state");
 }
 
 #[test]

@@ -58,6 +58,43 @@ fn fast_forward_is_invisible_to_simulated_state() {
     }
 }
 
+/// The same pin on the contended axis: inter-core sharing (coherence
+/// traffic, invalidations, lock spins) must be modeled on clock edges
+/// the fast-forward engine can see. Every contended workload × every
+/// failure-safe scheme, byte-identical summaries and persist timelines.
+#[test]
+fn fast_forward_is_invisible_on_contended_workloads() {
+    use proteus_workloads::{generate_contended, ContendedKind, ContendedSpec};
+    let params = WorkloadParams { threads: 2, init_ops: 48, sim_ops: 10, seed: 11 };
+    for kind in ContendedKind::ALL {
+        let workload = generate_contended(&ContendedSpec { kind, early_release: false }, &params);
+        for scheme in [
+            LoggingSchemeKind::SwPmem,
+            LoggingSchemeKind::SwPmemPcommit,
+            LoggingSchemeKind::Atom,
+            LoggingSchemeKind::ProteusNoLwr,
+            LoggingSchemeKind::Proteus,
+            LoggingSchemeKind::Incll,
+        ] {
+            let (sum_ff, tl_ff, now_ff) = observe(&workload, scheme, true);
+            let (sum_ss, tl_ss, now_ss) = observe(&workload, scheme, false);
+            assert_eq!(
+                sum_ff, sum_ss,
+                "{kind:?}/{scheme:?}: RunSummary diverged between engine modes"
+            );
+            assert_eq!(
+                tl_ff, tl_ss,
+                "{kind:?}/{scheme:?}: persist timeline diverged between engine modes"
+            );
+            assert_eq!(now_ff, now_ss, "{kind:?}/{scheme:?}: completion cycle diverged");
+            assert!(
+                sum_ff.coherence.lock_acquires > 0,
+                "{kind:?}/{scheme:?}: contended run must acquire locks"
+            );
+        }
+    }
+}
+
 /// Fast-forwarding must not change where `run_until` lands or what the
 /// crash image holds at an intermediate persist event.
 #[test]

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Times the cycle engine on the roster's bench basket (QE/HM/SS plus
-# the generated ycsb-a preset, under the registry's bench-basket
-# schemes — PMEM+pcommit, ATOM, Proteus, InCLL) with event-driven
-# fast-forwarding on and off, writing BENCH_cycle_engine.json at the
-# repo root. Both axes are table-driven: the scheme list comes from
-# `registry::bench_basket()`, the workload list from
+# Times the cycle engine on the roster's bench basket (QE/HM/SS, the
+# generated ycsb-a preset, and the contended MQ/CH/LB workloads, under
+# the registry's bench-basket schemes — PMEM+pcommit, ATOM, Proteus,
+# InCLL) with event-driven fast-forwarding on and off, writing
+# BENCH_cycle_engine.json at the repo root. Each row also reports the
+# run's coherence-miss and invalidation counters (zero for every
+# single-owner workload). Both axes are table-driven: the scheme list
+# comes from `registry::bench_basket()`, the workload list from
 # `workgen::roster::bench_basket()`; flipping `bench_basket: true` on
 # a scheme or a workload descriptor adds its rows with no script
 # change.

@@ -78,6 +78,15 @@ do_test() {
         crashsweep --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
     run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
         crashrepro --file "${CARGO_TARGET_DIR}/smoke_crash_repro.json"
+    # Smoke the contended axis: the three shared-structure workloads
+    # (MPMC queue, contended hash maps, lock-coupled B-trees) under
+    # every failure-safe scheme, judged by the cross-thread
+    # commit-prefix oracle, plus the early_release lock-handoff
+    # self-test (caught, shrunk, replayed).
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        contention --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_contention_repro.json"
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        crashrepro --file "${CARGO_TARGET_DIR}/smoke_contention_repro.json"
     # Smoke the op-trace pipeline end to end: record a generated preset
     # to a trace file, then replay it — `replay` exits non-zero unless
     # the replayed workload and every scheme's RunSummary are

@@ -3,17 +3,20 @@
 //! The workspace only uses `#[derive(Serialize, Deserialize)]` as
 //! annotations (no code serialises through serde), so empty expansions
 //! are enough to type-check and run everything that matters offline.
+//! The derives register the `serde` helper attribute, exactly like the
+//! real macros, so field attributes such as `skip_serializing_if`
+//! type-check too.
 
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
