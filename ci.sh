@@ -28,14 +28,20 @@
 #       RunSummary and the Chrome JSON must parse with all tracks
 #       populated), a `reproduce bench` run timing the cycle engine
 #       with fast-forwarding on and off (fails on any output
-#       divergence), and a timeout-guarded `reproduce loadgen` run that
+#       divergence), a 2-worker-thread `reproduce bench` plus a
+#       `reproduce bench-parallel` sweep smoking the parallel quantum
+#       engine end to end through the CLI (each fails on any divergence
+#       from the sequential reference), and a timeout-guarded `reproduce loadgen` run that
 #       boots the distributed sweep service (coordinator + two loopback
 #       workers + HTTP front-end) in-process, submits a sweep over
 #       HTTP, scrapes /metrics, and byte-compares the distributed
 #       results ledger against a single-process Harness run
-#   the fast-forward determinism suite twice: once normally and once
-#       with --features paranoid, which single-steps every would-be
-#       skip and asserts the machine state fingerprint never moves
+#   the engine determinism suite twice: once normally and once with
+#       --features paranoid, which single-steps every would-be skip and
+#       asserts the machine state fingerprint never moves; the suite
+#       pins fast-forwarding AND the parallel engine (2- and 4-worker
+#       runs byte-identical to sequential across the whole
+#       workload × scheme matrix, plus worker oversubscription)
 #   scheme-registry gates: tools/lint-scheme-dispatch.sh (no per-scheme
 #       dispatch outside crates/core/src/scheme/registry.rs), the
 #       registry completeness suite (every registered scheme

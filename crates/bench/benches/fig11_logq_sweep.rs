@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use proteus_sim::runner::{run_workload, ExperimentSpec};
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 use proteus_workloads::{generate, Benchmark, WorkloadParams};
 
 fn bench_logq_sizes(c: &mut Criterion) {
@@ -25,6 +25,7 @@ fn bench_logq_sizes(c: &mut Criterion) {
                     scheme: LoggingSchemeKind::Proteus,
                     bench: bench.into(),
                     params: params.clone(),
+                    engine: EngineConfig::default(),
                 };
                 run_workload(&spec, &workload).unwrap()
             })

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use proteus_sim::runner::{run_workload, ExperimentSpec};
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 use proteus_workloads::{generate, Benchmark, WorkloadParams};
 
 fn bench_schemes(c: &mut Criterion) {
@@ -30,6 +30,7 @@ fn bench_schemes(c: &mut Criterion) {
                         scheme,
                         bench: bench.into(),
                         params: params.clone(),
+                        engine: EngineConfig::default(),
                     };
                     run_workload(&spec, &workload).unwrap()
                 })

@@ -11,7 +11,7 @@
 //! distributions behind the aggregates.
 
 use proteus_sim::runner::{run_workload_traced, sweep_schemes, ExperimentSpec};
-use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig, TraceConfig};
 use proteus_types::stats::StallCause;
 use proteus_workloads::{generate, Benchmark, WorkloadParams};
 use std::process::ExitCode;
@@ -72,6 +72,7 @@ fn main() -> ExitCode {
         scheme: LoggingSchemeKind::Proteus,
         bench: bench.into(),
         params: params.clone(),
+        engine: EngineConfig::default(),
     };
     let workload = generate(bench, &params);
     match run_workload_traced(&spec, &workload, &TraceConfig::enabled()) {

@@ -1,8 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|contention|crashrepro|trace|all>
-//!           [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH] [--list]
+//! reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|bench-parallel|crashsweep|contention|crashrepro|trace|all>
+//!           [--scale S] [--threads N] [--engine-threads N] [--jobs J] [--resume LEDGER]
+//!           [--events PATH] [--file PATH] [--verbose] [--list]
 //! ```
 //!
 //! `--list` prints a one-line summary of each registry — the workload
@@ -11,6 +12,14 @@
 //! `--scale` scales the Table 2 op counts (default 0.1); `--threads`
 //! sets the core/thread count (default 4). Shapes are stable across
 //! scales; absolute speedups move slightly.
+//!
+//! `--engine-threads N` runs the simulations on the parallel quantum
+//! engine (DESIGN.md §11) with `N` worker threads; the default `1` is
+//! the classic sequential loop. Results are byte-identical for every
+//! value — only wall clocks move — so figures and resume ledgers are
+//! unaffected. `--verbose` appends the engine's phase wall-time
+//! counters (core tick / grant wait / MC drain / barrier) to the
+//! `bench` and `bench-parallel` reports.
 //!
 //! The harness flags:
 //!
@@ -28,6 +37,11 @@
 //! event-driven fast-forwarding on and off, cross-checking that both
 //! modes produce identical results, and writes a JSON report to
 //! `--file` (default `BENCH_cycle_engine.json`).
+//!
+//! `bench-parallel` times the same basket (plus the contended rows) at
+//! 1, 2, and 4 engine worker threads, asserts every multi-threaded run
+//! is byte-identical to the sequential reference while recording, and
+//! writes `BENCH_parallel.json`.
 //!
 //! `crashsweep` explores crash points across the roster's crash
 //! workloads and every failure-safe scheme, self-validating against
@@ -66,17 +80,18 @@
 //! duplicated or the verify pass diverges.
 
 use proteus_bench::experiments::{
-    ablation_llt, ablation_threads, ablation_wpq, bench, contention, crashrepro, crashsweep, fig10,
-    fig11, fig12, fig6, fig7, fig8, fig9, gen, replay, table1, table2, table3, table4, trace,
-    workloads, ExperimentCtx,
+    ablation_llt, ablation_threads, ablation_wpq, bench, bench_parallel, contention, crashrepro,
+    crashsweep, fig10, fig11, fig12, fig6, fig7, fig8, fig9, gen, replay, table1, table2, table3,
+    table4, trace, workloads, ExperimentCtx,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|crashsweep|contention|crashrepro|trace|workloads|gen|replay|all> \
-         [--scale S] [--threads N] [--jobs J] [--resume LEDGER] [--events PATH] [--file PATH] [--workload NAME] [--list]"
+        "usage: reproduce <fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1..4|ablations|bench|bench-parallel|crashsweep|contention|crashrepro|trace|workloads|gen|replay|all> \
+         [--scale S] [--threads N] [--engine-threads N] [--jobs J] [--resume LEDGER] \
+         [--events PATH] [--file PATH] [--workload NAME] [--verbose] [--list]"
     );
     ExitCode::FAILURE
 }
@@ -159,6 +174,14 @@ fn main() -> ExitCode {
                 ctx.scale.threads = args[i + 1].parse().unwrap_or(ctx.scale.threads);
                 i += 2;
             }
+            "--engine-threads" if i + 1 < args.len() => {
+                ctx.engine.threads = args[i + 1].parse::<usize>().unwrap_or(1).max(1);
+                i += 2;
+            }
+            "--verbose" => {
+                ctx.verbose = true;
+                i += 1;
+            }
             "--jobs" if i + 1 < args.len() => {
                 ctx.opts.workers = args[i + 1].parse().unwrap_or(ctx.opts.workers);
                 i += 2;
@@ -203,6 +226,7 @@ fn main() -> ExitCode {
         ("ablation-threads", ablation_threads),
         ("ablation-wpq", ablation_wpq),
         ("bench", bench),
+        ("bench-parallel", bench_parallel),
         ("crashsweep", crashsweep),
         ("contention", contention),
         ("crashrepro", crashrepro),

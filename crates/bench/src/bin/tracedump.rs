@@ -21,7 +21,7 @@ use proteus_harness::json::{self, Json};
 use proteus_sim::runner::{run_workload_traced, ExperimentSpec};
 use proteus_trace::export::{PID_CORES, PID_MC};
 use proteus_trace::QueueId;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig, TraceConfig};
 use proteus_workloads::{generate, Benchmark, WorkloadParams};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -133,6 +133,7 @@ fn main() -> ExitCode {
         scheme,
         bench: bench.into(),
         params,
+        engine: EngineConfig::default(),
     };
     let workload = generate(bench, &spec.params);
     let (result, report) = match run_workload_traced(&spec, &workload, &trace_cfg) {

@@ -14,9 +14,10 @@
 
 use proteus_core::scheme::registry;
 use proteus_harness::SweepOptions;
+use proteus_service::MetricsRegistry;
 use proteus_sim::report::{f2, pct1, Table};
 use proteus_sim::runner::{sweep_schemes_with, SchemeSweep};
-use proteus_types::config::{LoggingSchemeKind, MemTech, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, MemTech, SystemConfig};
 use proteus_types::stats::geometric_mean;
 use proteus_types::SimError;
 use proteus_workgen::{roster, WorkloadSel};
@@ -75,13 +76,27 @@ pub struct ExperimentCtx {
     /// Workload CLI name for `gen` (`--workload`), resolved through the
     /// workgen roster.
     pub workload: Option<String>,
+    /// Cycle-engine settings (`--engine-threads`): threaded into every
+    /// spec the experiments build. Results are byte-identical for every
+    /// value; only wall clocks move.
+    pub engine: EngineConfig,
+    /// `--verbose`: append engine phase wall-time counters to reports
+    /// that run the machine directly (`bench`, `bench-parallel`).
+    pub verbose: bool,
 }
 
 impl ExperimentCtx {
     /// Context with default orchestration (auto workers, no ledger or
     /// event stream).
     pub fn from_scale(scale: ExperimentScale) -> Self {
-        ExperimentCtx { scale, opts: SweepOptions::default(), file: None, workload: None }
+        ExperimentCtx {
+            scale,
+            opts: SweepOptions::default(),
+            file: None,
+            workload: None,
+            engine: EngineConfig::default(),
+            verbose: false,
+        }
     }
 }
 
@@ -107,6 +122,7 @@ fn sweep_all_benchmarks(ctx: &ExperimentCtx, tech: MemTech) -> Result<Vec<Scheme
                 &ctx.scale.params(*bench),
                 &LoggingSchemeKind::ALL,
                 &ctx.opts,
+                &ctx.engine,
             )
         })
         .collect()
@@ -315,6 +331,7 @@ pub fn fig11(ctx: &ExperimentCtx) -> Result<String, SimError> {
                 &params,
                 &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
                 &ctx.opts,
+                &ctx.engine,
             )?;
             let v = sweep.speedup(LoggingSchemeKind::Proteus);
             columns[i].push(v);
@@ -349,6 +366,7 @@ pub fn fig12(ctx: &ExperimentCtx) -> Result<String, SimError> {
                 &params,
                 &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
                 &ctx.opts,
+                &ctx.engine,
             )?;
             let v = sweep.speedup(LoggingSchemeKind::Proteus);
             columns[i].push(v);
@@ -392,6 +410,7 @@ pub fn table3(ctx: &ExperimentCtx) -> Result<String, SimError> {
             &params,
             &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus, LoggingSchemeKind::NoLog],
             &ctx.opts,
+            &ctx.engine,
         )?;
         proteus_row.push(f2(sweep.speedup(LoggingSchemeKind::Proteus)));
         ideal_row.push(f2(sweep.speedup(LoggingSchemeKind::NoLog)));
@@ -415,6 +434,7 @@ pub fn table4(ctx: &ExperimentCtx) -> Result<String, SimError> {
             &ctx.scale.params(bench),
             &[LoggingSchemeKind::Proteus],
             &ctx.opts,
+            &ctx.engine,
         )?;
         let merged = sweep.summary_of(LoggingSchemeKind::Proteus).cores_merged();
         let rate = merged.llt_miss_rate_pct().unwrap_or(0.0);
@@ -544,6 +564,7 @@ pub fn ablation_threads(ctx: &ExperimentCtx) -> Result<String, SimError> {
                 LoggingSchemeKind::NoLog,
             ],
             &ctx.opts,
+            &ctx.engine,
         )?;
         table.row([
             n.to_string(),
@@ -579,6 +600,7 @@ pub fn ablation_wpq(ctx: &ExperimentCtx) -> Result<String, SimError> {
             &params,
             &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
             &ctx.opts,
+            &ctx.engine,
         )?;
         table.row([
             size.to_string(),
@@ -609,6 +631,7 @@ pub fn ablation_llt(ctx: &ExperimentCtx) -> Result<String, SimError> {
                 &params,
                 &[LoggingSchemeKind::SwPmem, LoggingSchemeKind::Proteus],
                 &ctx.opts,
+                &ctx.engine,
             )?;
             row.push(f2(sweep.speedup(LoggingSchemeKind::Proteus)));
         }
@@ -641,6 +664,7 @@ pub fn trace(ctx: &ExperimentCtx) -> Result<String, SimError> {
             scheme,
             bench: bench.into(),
             params: params.clone(),
+            engine: EngineConfig::default(),
         };
         let (result, report) = run_workload_traced(&spec, &workload, &TraceConfig::enabled())?;
         let report = report.expect("tracing was enabled");
@@ -908,6 +932,7 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
     use std::fmt::Write as _;
 
     let schemes = registry::bench_basket();
+    let metrics = MetricsRegistry::new();
 
     let mut table = Table::new([
         "bench", "scheme", "Mcycles", "coh miss", "inval", "ff (s)", "step (s)", "speedup",
@@ -922,13 +947,17 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
         for &scheme in &schemes {
             let run = |fast: bool| -> Result<_, SimError> {
                 let mut system = System::new(&ctx.scale.config(), scheme, &workload)?;
-                system.set_fast_forward(fast);
+                let mut engine = ctx.engine;
+                engine.fast_forward = fast;
+                system.set_engine(&engine);
                 let start = std::time::Instant::now();
                 let summary = system.run()?;
-                Ok((start.elapsed().as_secs_f64(), summary, system.now()))
+                let phases = system.phase_times().clone();
+                Ok((start.elapsed().as_secs_f64(), summary, system.now(), phases))
             };
-            let (ff_wall, ff_sum, ff_now) = run(true)?;
-            let (ss_wall, ss_sum, ss_now) = run(false)?;
+            let (ff_wall, ff_sum, ff_now, ff_phases) = run(true)?;
+            let (ss_wall, ss_sum, ss_now, _) = run(false)?;
+            metrics.record_engine_phases(&ff_phases);
             if ff_sum != ss_sum || ff_now != ss_now {
                 return Err(SimError::ConsistencyViolation(format!(
                     "{}/{}: fast-forward diverged from single-stepping",
@@ -975,6 +1004,7 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": {:.4},", ctx.scale.scale);
     let _ = writeln!(json, "  \"threads\": {},", ctx.scale.threads);
+    let _ = writeln!(json, "  \"engine_threads\": {},", ctx.engine.threads.max(1));
     let _ = writeln!(json, "  \"entries\": [\n{}\n  ],", json_entries.join(",\n"));
     let _ = writeln!(json, "  \"total_cycles\": {total_cycles},");
     let _ = writeln!(json, "  \"ff_wall_s\": {ff_total:.6},");
@@ -986,12 +1016,13 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
         ctx.file.clone().unwrap_or_else(|| std::path::PathBuf::from("BENCH_cycle_engine.json"));
     std::fs::write(&path, &json).map_err(|e| SimError::HarnessIo(e.to_string()))?;
 
-    Ok(format!(
-        "Cycle-engine benchmark (scale {:.2}, {} threads)\n{}\n\
+    let mut report = format!(
+        "Cycle-engine benchmark (scale {:.2}, {} threads, engine threads {})\n{}\n\
          total: {:.2} Mcycles; fast-forward {:.3} s vs single-step {:.3} s \
          ({:.2}x); peak RSS {} KiB; report: {}",
         ctx.scale.scale,
         ctx.scale.threads,
+        ctx.engine.threads.max(1),
         table.render(),
         total_cycles as f64 / 1e6,
         ff_total,
@@ -999,7 +1030,154 @@ pub fn bench(ctx: &ExperimentCtx) -> Result<String, SimError> {
         speedup,
         rss,
         path.display(),
-    ))
+    );
+    if ctx.verbose {
+        report.push_str("\n\nengine phase counters (fast-forward runs, all cells):\n");
+        report.push_str(&metrics.render());
+    }
+    Ok(report)
+}
+
+/// `bench-parallel`: the parallel quantum engine (DESIGN.md §11)
+/// against its own sequential reference.
+///
+/// For every bench-basket workload — plus the contended
+/// shared-structure rows, which degenerate to sequential stepping but
+/// must stay byte-identical — and every basket scheme, this runs the
+/// machine at 1, 2, and 4 engine threads and asserts during recording
+/// that each multi-threaded run reproduces the sequential
+/// [`RunSummary`] and final cycle exactly. Wall times, quantum
+/// telemetry, and the identity verdict land in `BENCH_parallel.json`
+/// (`--file` to override).
+///
+/// # Errors
+///
+/// [`SimError::ConsistencyViolation`] if any thread count diverges from
+/// the sequential reference; otherwise propagates configuration,
+/// expansion, and I/O errors.
+pub fn bench_parallel(ctx: &ExperimentCtx) -> Result<String, SimError> {
+    use proteus_sim::System;
+    use std::fmt::Write as _;
+
+    const THREAD_AXIS: [usize; 3] = [1, 2, 4];
+    let schemes = registry::bench_basket();
+    let metrics = MetricsRegistry::new();
+    // The basket already carries the contended MQ/CH/LB rows.
+    let rows: Vec<_> = roster::bench_basket().collect();
+
+    let mut table = Table::new([
+        "bench",
+        "scheme",
+        "Mcycles",
+        "t=1 (s)",
+        "t=2 (s)",
+        "t=4 (s)",
+        "quanta@4",
+        "identical",
+    ]);
+    let mut json_entries = Vec::new();
+    let mut cells = 0u64;
+    for d in rows {
+        let sel = d.sel();
+        let params = d.params(ctx.scale.threads, ctx.scale.scale);
+        // Contended rows force at least two threads; the machine must
+        // have a core per thread.
+        let config = ctx.scale.config().with_num_cores(params.threads);
+        let workload = sel.generate(&params);
+        for &scheme in &schemes {
+            let run = |threads: usize| -> Result<_, SimError> {
+                let mut system = System::new(&config, scheme, &workload)?;
+                let mut engine = ctx.engine;
+                engine.threads = threads;
+                system.set_engine(&engine);
+                let start = std::time::Instant::now();
+                let summary = system.run()?;
+                let phases = system.phase_times().clone();
+                Ok((start.elapsed().as_secs_f64(), summary, system.now(), phases))
+            };
+            let mut walls = Vec::new();
+            let mut quanta_at_4 = 0u64;
+            let (ref_wall, ref_sum, ref_now, _) = run(THREAD_AXIS[0])?;
+            walls.push(ref_wall);
+            for &threads in &THREAD_AXIS[1..] {
+                let (wall, sum, now, phases) = run(threads)?;
+                // The recording itself is the identity oracle: a
+                // divergent summary or final cycle fails the whole
+                // experiment rather than landing in the JSON.
+                if sum != ref_sum || now != ref_now {
+                    return Err(SimError::ConsistencyViolation(format!(
+                        "{}/{}: {threads}-thread engine diverged from the sequential reference",
+                        sel.abbrev(),
+                        scheme.label()
+                    )));
+                }
+                metrics.record_engine_phases(&phases);
+                if threads == 4 {
+                    quanta_at_4 = phases.quanta;
+                }
+                walls.push(wall);
+            }
+            cells += 1;
+            let cycles = ref_sum.total_cycles;
+            table.row([
+                sel.abbrev().to_string(),
+                scheme.label().to_string(),
+                format!("{:.2}", cycles as f64 / 1e6),
+                format!("{:.3}", walls[0]),
+                format!("{:.3}", walls[1]),
+                format!("{:.3}", walls[2]),
+                quanta_at_4.to_string(),
+                "yes".to_string(),
+            ]);
+            let per_thread: Vec<String> = THREAD_AXIS
+                .iter()
+                .zip(&walls)
+                .map(|(t, w)| {
+                    format!(
+                        "{{\"threads\": {t}, \"wall_s\": {w:.6}, \"mcycles_per_s\": {:.3}}}",
+                        cycles as f64 / 1e6 / w.max(1e-9)
+                    )
+                })
+                .collect();
+            json_entries.push(format!(
+                "    {{\"bench\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \
+                 \"contended\": {}, \"identical\": true, \"quanta_at_4_threads\": {}, \
+                 \"runs\": [{}]}}",
+                sel.abbrev(),
+                scheme.label(),
+                cycles,
+                d.contended,
+                quanta_at_4,
+                per_thread.join(", "),
+            ));
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": {:.4},", ctx.scale.scale);
+    let _ = writeln!(json, "  \"threads\": {},", ctx.scale.threads);
+    let _ = writeln!(json, "  \"thread_axis\": [1, 2, 4],");
+    let _ = writeln!(json, "  \"entries\": [\n{}\n  ],", json_entries.join(",\n"));
+    let _ = writeln!(json, "  \"cells\": {cells},");
+    let _ = writeln!(json, "  \"all_identical\": true");
+    json.push('}');
+    let path = ctx.file.clone().unwrap_or_else(|| std::path::PathBuf::from("BENCH_parallel.json"));
+    std::fs::write(&path, &json).map_err(|e| SimError::HarnessIo(e.to_string()))?;
+
+    let mut report = format!(
+        "Parallel-engine benchmark (scale {:.2}, {} threads)\n{}\n\
+         {} cells, every thread count byte-identical to sequential; report: {}",
+        ctx.scale.scale,
+        ctx.scale.threads,
+        table.render(),
+        cells,
+        path.display(),
+    );
+    if ctx.verbose {
+        report.push_str("\n\nengine phase counters (parallel runs, all cells):\n");
+        report.push_str(&metrics.render());
+    }
+    Ok(report)
 }
 
 /// Replays a shrunk crash-repro artifact written by `crashsweep` (or by
@@ -1099,6 +1277,7 @@ pub fn gen(ctx: &ExperimentCtx) -> Result<String, SimError> {
         &params,
         &LoggingSchemeKind::ALL,
         &ctx.opts,
+        &ctx.engine,
     )?;
     let mut out = speedup_table(
         std::slice::from_ref(&sweep),

@@ -56,6 +56,21 @@ impl Cache {
         }
     }
 
+    /// A zero-capacity stand-in used by the quantum engine while a real
+    /// level is on loan to a worker thread (see `crate::quantum`). Any
+    /// access would panic on the empty set vector, which is exactly the
+    /// invariant: nothing may touch the hierarchy mid-quantum.
+    pub(crate) fn placeholder() -> Self {
+        Cache {
+            sets: Vec::new(),
+            ways: 0,
+            set_mask: 0,
+            set_shift: 0,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
     fn set_index(&self, line: LineAddr) -> usize {
         ((line.index() >> self.set_shift) & self.set_mask) as usize
     }

@@ -16,8 +16,10 @@
 //! crate — the core sends them straight to the memory controller.
 
 pub mod cache;
+pub mod quantum;
 pub mod system;
 
 pub use cache::{Cache, EvictedLine};
 pub use proteus_coherence::{CoherenceAction, CoherenceEvent};
+pub use quantum::{CacheAccess, CorePrivates, QuantumCaches, QuantumGate, SharedTier};
 pub use system::{CacheSystem, LookupResult};

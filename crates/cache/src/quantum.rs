@@ -1,0 +1,477 @@
+//! Deterministic shared-tier access for the parallel quantum engine.
+//!
+//! DESIGN.md §11: inside a quantum, each worker thread owns its core's
+//! private L1/L2 outright and advances cycle by cycle. The shared L3 is
+//! the one piece of cache state every core can reach, so its accesses
+//! must happen in **exactly the sequential order** — (cycle, core
+//! index, program order) — or LRU state, eviction choices, and hit
+//! latencies would diverge between engines.
+//!
+//! The [`QuantumGate`] enforces that order without a central scheduler:
+//! every core publishes `done[i]` = the next cycle it will execute
+//! (i.e. it has finished all cycles `< done[i]`). Core `i` may touch
+//! the shared tier during its tick of cycle `t` once
+//!
+//! * every lower-indexed core has finished `t`   (`done[j] > t`, `j < i`), and
+//! * every higher-indexed core has reached `t`   (`done[j] >= t`, `j > i`).
+//!
+//! While `i` is mid-tick at `t` it holds `done[i] == t`, so no other
+//! core can satisfy its own grant condition at any cycle `<= t` — the
+//! grant is exclusive for the remainder of the tick, and successive
+//! grants are ordered by `(cycle, core)`. The sequential engine ticks
+//! cores in index order within a cycle, so this is precisely its order.
+//! Deadlock-freedom: order waiting cores by `(cycle, index)`; the
+//! minimal one only waits on cores that are not waiting, and a
+//! non-waiting core finishes its tick in bounded time.
+//!
+//! Coherence-domain addresses never take this path at all: snoop scans
+//! read *other* cores' private stacks, which no quantum may observe.
+//! The engine bounds every quantum so domain accesses fall outside it
+//! (`Core::domain_quiet_horizon`), and [`QuantumCaches`] debug-asserts
+//! the invariant on every access.
+
+use crate::cache::Cache;
+use crate::system::{CacheSystem, LookupResult, Writeback};
+use proteus_core::pmem::LineData;
+use proteus_types::addr::LineAddr;
+use proteus_types::clock::Cycle;
+use proteus_types::sharing::in_coherence_domain;
+use proteus_types::{Addr, CoreId};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The cache interface a core's tick path needs. Implemented by the
+/// full [`CacheSystem`] (sequential engine, barrier work) and by the
+/// per-worker [`QuantumCaches`] view (parallel engine, private levels
+/// plus gated shared tier). `Core` is generic over this trait, so both
+/// engines run the identical pipeline code.
+pub trait CacheAccess {
+    /// Load the line containing `addr`; see [`CacheSystem::load`].
+    fn load(&mut self, core: CoreId, addr: Addr, writebacks: &mut Vec<Writeback>) -> LookupResult;
+    /// Store `value` at `addr`; see [`CacheSystem::store`].
+    fn store(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+        writebacks: &mut Vec<Writeback>,
+    ) -> LookupResult;
+    /// Flush the freshest dirty copy of `addr`'s line; see
+    /// [`CacheSystem::clwb`].
+    fn clwb(&mut self, core: CoreId, addr: Addr) -> Option<LineData>;
+    /// Install a memory fill; see [`CacheSystem::fill`].
+    fn fill(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        data: LineData,
+        writebacks: &mut Vec<Writeback>,
+    );
+    /// Non-mutating freshest-copy probe; see [`CacheSystem::peek`].
+    fn peek(&self, core: CoreId, addr: Addr) -> Option<LineData>;
+}
+
+/// One core's private cache levels, on loan from the [`CacheSystem`]
+/// for the duration of a quantum.
+#[derive(Debug)]
+pub struct CorePrivates {
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
+}
+
+/// The shared tier (the L3), on loan from the [`CacheSystem`] into the
+/// [`QuantumGate`] for the duration of a quantum.
+#[derive(Debug)]
+pub struct SharedTier {
+    pub(crate) l3: Cache,
+}
+
+/// `done[i]` on its own cache line so worker publishes don't false-share.
+#[derive(Debug)]
+#[repr(align(64))]
+struct PaddedCycle(AtomicU64);
+
+/// The rendezvous object of one parallel run: the loaned shared tier
+/// plus each core's published progress. See the module docs for the
+/// grant protocol.
+#[derive(Debug)]
+pub struct QuantumGate {
+    slot: Mutex<Option<SharedTier>>,
+    done: Vec<PaddedCycle>,
+}
+
+impl QuantumGate {
+    /// A gate for `cores` cores with no quantum in progress.
+    pub fn new(cores: usize) -> Self {
+        QuantumGate {
+            slot: Mutex::new(None),
+            done: (0..cores).map(|_| PaddedCycle(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Installs the shared tier and resets every core's progress to
+    /// `start`. Called by the engine thread before handing cores out.
+    pub fn open(&self, shared: SharedTier, start: Cycle) {
+        for d in &self.done {
+            d.0.store(start, Ordering::Relaxed);
+        }
+        let mut slot = self.slot.lock().expect("quantum gate poisoned");
+        debug_assert!(slot.is_none(), "previous quantum not closed");
+        *slot = Some(shared);
+    }
+
+    /// Takes the shared tier back after every worker returned.
+    pub fn close(&self) -> SharedTier {
+        self.slot.lock().expect("quantum gate poisoned").take().expect("quantum in progress")
+    }
+
+    /// Publishes that `core` has finished every cycle below `next`.
+    #[inline]
+    pub fn mark_done(&self, core: usize, next: Cycle) {
+        self.done[core].0.store(next, Ordering::Release);
+    }
+
+    /// Whether `core` holds the shared-access grant for `cycle`.
+    #[inline]
+    fn granted(&self, core: usize, cycle: Cycle) -> bool {
+        self.done.iter().enumerate().all(|(j, d)| {
+            let done = d.0.load(Ordering::Acquire);
+            match j.cmp(&core) {
+                std::cmp::Ordering::Less => done > cycle,
+                std::cmp::Ordering::Equal => true,
+                std::cmp::Ordering::Greater => done >= cycle,
+            }
+        })
+    }
+
+    /// Spins (yielding) until `core` holds the grant for `cycle`,
+    /// returning the nanoseconds spent waiting.
+    fn wait_grant(&self, core: usize, cycle: Cycle) -> u64 {
+        if self.granted(core, cycle) {
+            return 0;
+        }
+        let start = std::time::Instant::now();
+        while !self.granted(core, cycle) {
+            std::thread::yield_now();
+        }
+        start.elapsed().as_nanos() as u64
+    }
+}
+
+/// One worker's view of the hierarchy during a quantum: owned private
+/// L1/L2 plus grant-gated access to the shared tier. Implements
+/// [`CacheAccess`] bit-for-bit like [`CacheSystem`] for non-domain
+/// addresses; domain addresses are unreachable by construction (the
+/// quantum bound) and debug-asserted.
+pub struct QuantumCaches<'g> {
+    core: usize,
+    l1: Cache,
+    l2: Cache,
+    l1_latency: Cycle,
+    l2_latency: Cycle,
+    l3_latency: Cycle,
+    gate: &'g QuantumGate,
+    cycle: Cell<Cycle>,
+    granted: Cell<bool>,
+    wait_ns: Cell<u64>,
+}
+
+impl<'g> QuantumCaches<'g> {
+    /// Wraps `privates` for `core`; `latencies` is `(l1, l2, l3)`.
+    pub fn new(
+        core: usize,
+        privates: CorePrivates,
+        latencies: (Cycle, Cycle, Cycle),
+        gate: &'g QuantumGate,
+    ) -> Self {
+        QuantumCaches {
+            core,
+            l1: privates.l1,
+            l2: privates.l2,
+            l1_latency: latencies.0,
+            l2_latency: latencies.1,
+            l3_latency: latencies.2,
+            gate,
+            cycle: Cell::new(0),
+            granted: Cell::new(false),
+            wait_ns: Cell::new(0),
+        }
+    }
+
+    /// Marks the start of this core's tick of `cycle`; the shared-tier
+    /// grant (if any) is re-acquired lazily on first use.
+    pub fn begin_cycle(&mut self, cycle: Cycle) {
+        self.cycle.set(cycle);
+        self.granted.set(false);
+    }
+
+    /// Returns the private levels and the accumulated grant-wait time.
+    pub fn into_parts(self) -> (CorePrivates, u64) {
+        (CorePrivates { l1: self.l1, l2: self.l2 }, self.wait_ns.get())
+    }
+
+    /// Runs `f` on the shared tier under the grant for the current
+    /// tick, acquiring it (once per tick) if not yet held.
+    fn with_shared<R>(&self, f: impl FnOnce(&mut SharedTier) -> R) -> R {
+        if !self.granted.get() {
+            let waited = self.gate.wait_grant(self.core, self.cycle.get());
+            self.wait_ns.set(self.wait_ns.get() + waited);
+            self.granted.set(true);
+        }
+        debug_assert!(
+            self.gate.granted(self.core, self.cycle.get()),
+            "shared-tier grant lost mid-tick (core {} cycle {})",
+            self.core,
+            self.cycle.get()
+        );
+        let mut slot = self.gate.slot.lock().expect("quantum gate poisoned");
+        f(slot.as_mut().expect("quantum in progress"))
+    }
+
+    /// Mirror of `CacheSystem::promote_to_l1` for the non-domain path.
+    fn promote_to_l1(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        dirty: bool,
+        writebacks: &mut Vec<Writeback>,
+    ) {
+        if let Some(ev) = self.l1.insert(line, data, dirty) {
+            if ev.dirty {
+                self.spill_to_l2(ev.line, ev.data, writebacks);
+            }
+        }
+    }
+
+    fn spill_to_l2(&mut self, line: LineAddr, data: LineData, writebacks: &mut Vec<Writeback>) {
+        if let Some(ev) = self.l2.insert(line, data, true) {
+            if ev.dirty {
+                self.with_shared(|sh| {
+                    if let Some(ev) = sh.l3.insert(ev.line, ev.data, true) {
+                        if ev.dirty {
+                            writebacks.push((ev.line, ev.data));
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    #[inline]
+    fn assert_private(&self, addr: Addr) {
+        debug_assert!(
+            !in_coherence_domain(addr),
+            "coherence-domain access inside a quantum (core {} cycle {} addr {:#x}) — \
+             the quantum bound must exclude it",
+            self.core,
+            self.cycle.get(),
+            addr.raw()
+        );
+    }
+}
+
+impl CacheAccess for QuantumCaches<'_> {
+    fn load(&mut self, core: CoreId, addr: Addr, writebacks: &mut Vec<Writeback>) -> LookupResult {
+        debug_assert_eq!(core.index(), self.core, "view is per-core");
+        self.assert_private(addr);
+        let line = addr.line();
+        if let Some(data) = self.l1.lookup(line) {
+            return LookupResult::Hit { latency: self.l1_latency, data };
+        }
+        if let Some(data) = self.l2.lookup(line) {
+            let dirty = self.l2.is_dirty(line);
+            self.promote_to_l1(line, data, dirty, writebacks);
+            return LookupResult::Hit { latency: self.l2_latency, data };
+        }
+        let hit =
+            self.with_shared(|sh| sh.l3.lookup(line).map(|data| (data, sh.l3.is_dirty(line))));
+        if let Some((data, dirty)) = hit {
+            self.promote_to_l1(line, data, dirty, writebacks);
+            return LookupResult::Hit { latency: self.l3_latency, data };
+        }
+        LookupResult::Miss
+    }
+
+    fn store(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+        writebacks: &mut Vec<Writeback>,
+    ) -> LookupResult {
+        match self.load(core, addr, writebacks) {
+            LookupResult::Hit { latency, mut data } => {
+                let ok = self.l1.write_word(addr, value);
+                debug_assert!(ok, "load promoted the line into L1");
+                data[(addr.line_offset() / 8) as usize] = value;
+                LookupResult::Hit { latency, data }
+            }
+            LookupResult::Miss => LookupResult::Miss,
+        }
+    }
+
+    fn clwb(&mut self, core: CoreId, addr: Addr) -> Option<LineData> {
+        debug_assert_eq!(core.index(), self.core, "view is per-core");
+        self.assert_private(addr);
+        let line = addr.line();
+        if let Some(data) = self.l1.clean(line) {
+            self.l2.update_if_present(line, data);
+            self.with_shared(|sh| sh.l3.update_if_present(line, data));
+            return Some(data);
+        }
+        if let Some(data) = self.l2.clean(line) {
+            self.with_shared(|sh| sh.l3.update_if_present(line, data));
+            return Some(data);
+        }
+        self.with_shared(|sh| sh.l3.clean(line))
+    }
+
+    fn fill(
+        &mut self,
+        _core: CoreId,
+        _line: LineAddr,
+        _data: LineData,
+        _writebacks: &mut Vec<Writeback>,
+    ) {
+        // Fills happen in `System::handle_event`, which only the engine
+        // thread runs between quanta — no memory event can be delivered
+        // inside a quantum (the quantum bound excludes them).
+        unreachable!("memory fill inside a quantum");
+    }
+
+    fn peek(&self, core: CoreId, addr: Addr) -> Option<LineData> {
+        debug_assert_eq!(core.index(), self.core, "view is per-core");
+        self.assert_private(addr);
+        let line = addr.line();
+        if self.l1.contains(line) {
+            return self.l1.peek_data(line);
+        }
+        if self.l2.contains(line) {
+            return self.l2.peek_data(line);
+        }
+        self.with_shared(|sh| sh.l3.peek_data(line))
+    }
+}
+
+impl CacheAccess for CacheSystem {
+    fn load(&mut self, core: CoreId, addr: Addr, writebacks: &mut Vec<Writeback>) -> LookupResult {
+        CacheSystem::load(self, core, addr, writebacks)
+    }
+
+    fn store(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        value: u64,
+        writebacks: &mut Vec<Writeback>,
+    ) -> LookupResult {
+        CacheSystem::store(self, core, addr, value, writebacks)
+    }
+
+    fn clwb(&mut self, core: CoreId, addr: Addr) -> Option<LineData> {
+        CacheSystem::clwb(self, core, addr)
+    }
+
+    fn fill(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        data: LineData,
+        writebacks: &mut Vec<Writeback>,
+    ) {
+        CacheSystem::fill(self, core, line, data, writebacks);
+    }
+
+    fn peek(&self, core: CoreId, addr: Addr) -> Option<LineData> {
+        CacheSystem::peek(self, core, addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_types::config::SystemConfig;
+
+    fn two_core_system() -> CacheSystem {
+        CacheSystem::new(&SystemConfig::skylake_like().with_num_cores(2))
+    }
+
+    /// Drives the same access mix through the full hierarchy and a
+    /// single-core quantum view; every result and every statistic must
+    /// match bit for bit.
+    #[test]
+    fn quantum_view_matches_cache_system_on_private_addresses() {
+        let cfg = SystemConfig::skylake_like().with_num_cores(2);
+        let mut seq = CacheSystem::new(&cfg);
+        let mut par = CacheSystem::new(&cfg);
+        let core = CoreId::new(0);
+        let mut wb_seq = Vec::new();
+        let mut wb_par = Vec::new();
+
+        // Preload identical lines via fill on both.
+        for i in 0..64u64 {
+            let a = Addr::new(0x1_0000 + i * 64);
+            CacheSystem::fill(&mut seq, core, a.line(), [i; 8], &mut wb_seq);
+            CacheSystem::fill(&mut par, core, a.line(), [i; 8], &mut wb_par);
+        }
+
+        let gate = QuantumGate::new(2);
+        let (mut privates, shared) = par.begin_quantum();
+        gate.open(shared, 0);
+        // Core 1 idles "ahead" so core 0 holds the grant immediately.
+        gate.mark_done(1, u64::MAX);
+        let pair = privates.remove(0);
+        let mut view = QuantumCaches::new(0, pair, par.level_latencies(), &gate);
+        view.begin_cycle(0);
+
+        for i in 0..96u64 {
+            let a = Addr::new(0x1_0000 + (i % 80) * 64 + (i % 8) * 8);
+            let l_seq = CacheAccess::load(&mut seq, core, a, &mut wb_seq);
+            let l_par = CacheAccess::load(&mut view, core, a, &mut wb_par);
+            assert_eq!(l_seq, l_par, "load {i}");
+            let s_seq = CacheAccess::store(&mut seq, core, a, i, &mut wb_seq);
+            let s_par = CacheAccess::store(&mut view, core, a, i, &mut wb_par);
+            assert_eq!(s_seq, s_par, "store {i}");
+            if i % 7 == 0 {
+                assert_eq!(
+                    CacheAccess::clwb(&mut seq, core, a),
+                    CacheAccess::clwb(&mut view, core, a),
+                    "clwb {i}"
+                );
+            }
+            assert_eq!(
+                CacheAccess::peek(&seq, core, a),
+                CacheAccess::peek(&view, core, a),
+                "peek {i}"
+            );
+        }
+        assert_eq!(wb_seq, wb_par, "L3 eviction write-backs must match");
+
+        let (pair, _waited) = view.into_parts();
+        privates.insert(0, pair);
+        par.end_quantum(privates, gate.close());
+        assert_eq!(seq.stats(), par.stats(), "hit/miss statistics must match");
+    }
+
+    /// The grant protocol orders two workers' shared-tier accesses by
+    /// (cycle, core): core 1 at cycle 0 cannot get the grant until core
+    /// 0 has finished cycle 0.
+    #[test]
+    fn grant_orders_cores_within_a_cycle() {
+        let gate = QuantumGate::new(2);
+        let sys = two_core_system();
+        let (_, shared) = {
+            let mut sys = sys;
+            sys.begin_quantum()
+        };
+        gate.open(shared, 0);
+        assert!(gate.granted(0, 0), "lowest core leads the cycle");
+        assert!(!gate.granted(1, 0), "core 1 waits for core 0 to finish cycle 0");
+        gate.mark_done(0, 1);
+        assert!(gate.granted(1, 0), "grant passes to core 1");
+        assert!(!gate.granted(0, 1), "core 0 at cycle 1 now waits for core 1");
+        gate.mark_done(1, 1);
+        assert!(gate.granted(0, 1));
+    }
+}

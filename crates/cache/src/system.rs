@@ -364,6 +364,46 @@ impl CacheSystem {
         self.coherence.drain_events()
     }
 
+    /// Hit latencies `(l1d, l2, l3)` — the worker-side quantum view
+    /// charges the same latencies as the full hierarchy.
+    pub fn level_latencies(&self) -> (Cycle, Cycle, Cycle) {
+        (self.cfg.l1d.latency, self.cfg.l2.latency, self.cfg.l3.latency)
+    }
+
+    /// Loans the hierarchy out for one parallel quantum: each core's
+    /// private L1/L2 pair plus the shared L3 (see `crate::quantum`).
+    /// Placeholders take their slots so any accidental access through
+    /// `self` mid-quantum panics instead of reading stale state.
+    pub fn begin_quantum(
+        &mut self,
+    ) -> (Vec<crate::quantum::CorePrivates>, crate::quantum::SharedTier) {
+        let privates = (0..self.l1.len())
+            .map(|i| crate::quantum::CorePrivates {
+                l1: std::mem::replace(&mut self.l1[i], Cache::placeholder()),
+                l2: std::mem::replace(&mut self.l2[i], Cache::placeholder()),
+            })
+            .collect();
+        let shared = crate::quantum::SharedTier {
+            l3: std::mem::replace(&mut self.l3, Cache::placeholder()),
+        };
+        (privates, shared)
+    }
+
+    /// Returns the loaned levels after a quantum. `privates` must be in
+    /// core order, exactly as produced by [`CacheSystem::begin_quantum`].
+    pub fn end_quantum(
+        &mut self,
+        privates: Vec<crate::quantum::CorePrivates>,
+        shared: crate::quantum::SharedTier,
+    ) {
+        debug_assert_eq!(privates.len(), self.l1.len(), "one private pair per core");
+        for (i, pair) in privates.into_iter().enumerate() {
+            self.l1[i] = pair.l1;
+            self.l2[i] = pair.l2;
+        }
+        self.l3 = shared.l3;
+    }
+
     /// Aggregated statistics: (L1 over all cores, L2 over all cores, L3).
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
         let mut l1 = CacheStats::default();

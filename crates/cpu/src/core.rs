@@ -22,7 +22,7 @@
 
 use crate::llt::Llt;
 use crate::logq::{LogQ, LogRegFile};
-use proteus_cache::{CacheSystem, LookupResult};
+use proteus_cache::{CacheAccess, LookupResult};
 use proteus_core::entry::LogEntry;
 use proteus_core::isa::{Trace, Uop};
 use proteus_core::layout::AddressLayout;
@@ -35,9 +35,9 @@ use proteus_types::addr::{LineAddr, LogGrainAddr};
 use proteus_types::clock::Cycle;
 use proteus_types::config::{LoggingSchemeKind, SystemConfig};
 use proteus_types::stats::{CoreStats, StallCause};
-use proteus_types::{Addr, CoreId, ThreadId, TxId};
+use proteus_types::{Addr, CoreId, FastMap, FastSet, ThreadId, TxId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One-way latency from the L3 miss point to the memory controller.
 pub const MC_LINK_DELAY: Cycle = 10;
@@ -64,6 +64,21 @@ pub fn decode_core(id: u64) -> CoreId {
 /// Recovers the core-local part of a correlation id.
 pub fn decode_local(id: u64) -> u64 {
     id & 0xFFFF_FFFF_FFFF
+}
+
+/// The coherence-domain address a uop touches, if any. `wait-value`
+/// always polls a struct lock; the other memory uops count only when
+/// their address falls inside the static sharing domain.
+fn uop_domain_addr(uop: &Uop) -> Option<Addr> {
+    let addr = match *uop {
+        Uop::Load { addr, .. }
+        | Uop::Store { addr, .. }
+        | Uop::Clwb { addr }
+        | Uop::LogLoad { addr, .. }
+        | Uop::WaitValue { addr, .. } => addr,
+        _ => return None,
+    };
+    proteus_types::sharing::in_coherence_domain(addr).then_some(addr)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +124,7 @@ struct RobEntry {
     state: UopState,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct StoreEntry {
     seq: u64,
     addr: Addr,
@@ -169,6 +184,11 @@ pub struct Core {
 
     trace: Trace,
     pc: usize,
+    /// Trace indices of uops addressing the coherence domain, in program
+    /// order (empty for single-owner workloads). Drives
+    /// [`Core::domain_quiet_horizon`], the parallel engine's bound on how
+    /// far this core can run without a coherence-visible access.
+    domain_uops: Vec<u32>,
 
     rob: VecDeque<RobEntry>,
     next_seq: u64,
@@ -179,7 +199,7 @@ pub struct Core {
     storeq: VecDeque<StoreEntry>,
     stores_retired_seq: u64,
     /// Unreleased-store count per line (clwb ordering checks in O(1)).
-    storeq_lines: HashMap<u64, u32>,
+    storeq_lines: FastMap<u64, u32>,
     /// Completion time of the most recent compute op: scalar application
     /// code is a serial dependency chain.
     last_compute_done: Cycle,
@@ -192,18 +212,18 @@ pub struct Core {
     lrs: LogRegFile,
     logarea: LogArea,
     current_tx: Option<TxId>,
-    flush_meta: HashMap<u64, (usize, u64, TxId)>, // logq_id -> (lr, entry seq, tx)
+    flush_meta: FastMap<u64, (usize, u64, TxId)>, // logq_id -> (lr, entry seq, tx)
     /// Fault-injection knob (see `ProteusHwConfig::disable_persist_ordering`):
     /// stores skip the write-ahead gate and ready flushes are buffered in
     /// `held_flushes` until the commit fence instead of being sent.
     persist_ordering_disabled: bool,
     held_flushes: Vec<HeldFlush>,
 
-    atom_logged: HashSet<u64>,
+    atom_logged: FastSet<u64>,
     atom_acks_outstanding: usize,
 
-    mshr: HashMap<u64, MshrEntry>,
-    req_lines: HashMap<u64, LineAddr>,
+    mshr: FastMap<u64, MshrEntry>,
+    req_lines: FastMap<u64, LineAddr>,
     incomplete_loads: std::collections::BTreeSet<u64>,
     parked_loads: Vec<u64>,
     next_local_id: u64,
@@ -232,6 +252,13 @@ impl Core {
     ) -> Self {
         let thread = trace.thread;
         let policy = registry::descriptor(scheme).core;
+        let domain_uops = trace
+            .uops
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| uop_domain_addr(u).is_some())
+            .map(|(i, _)| i as u32)
+            .collect();
         Core {
             id,
             thread,
@@ -244,34 +271,47 @@ impl Core {
             l1_latency: cfg.caches.l1d.latency,
             trace,
             pc: 0,
-            rob: VecDeque::new(),
+            domain_uops,
+            // Structural queues never outgrow their Table 1 limits, so
+            // sizing them up front removes every steady-state
+            // reallocation from the per-cycle path (arena-style slabs).
+            rob: VecDeque::with_capacity(cfg.cores.rob_entries),
             next_seq: 0,
-            completions: BinaryHeap::new(),
+            completions: BinaryHeap::with_capacity(cfg.cores.issueq_entries),
             inflight_exec: 0,
             loads_in_rob: 0,
-            storeq: VecDeque::new(),
+            storeq: VecDeque::with_capacity(cfg.cores.storeq_entries),
             stores_retired_seq: 0,
-            storeq_lines: HashMap::new(),
+            storeq_lines: FastMap::with_capacity_and_hasher(
+                cfg.cores.storeq_entries,
+                Default::default(),
+            ),
             last_compute_done: 0,
-            pending_clwbs: Vec::new(),
+            pending_clwbs: Vec::with_capacity(16),
             fence_active: false,
             llt: Llt::new(cfg.proteus.llt_entries, cfg.proteus.llt_ways),
             logq: LogQ::new(cfg.proteus.logq_entries),
             lrs: LogRegFile::new(cfg.proteus.log_registers),
             logarea: LogArea::new(thread, layout),
             current_tx: None,
-            flush_meta: HashMap::new(),
+            flush_meta: FastMap::with_capacity_and_hasher(
+                cfg.proteus.logq_entries,
+                Default::default(),
+            ),
             persist_ordering_disabled: cfg.proteus.disable_persist_ordering && policy.proteus_hw,
             held_flushes: Vec::new(),
-            atom_logged: HashSet::new(),
+            atom_logged: FastSet::default(),
             atom_acks_outstanding: 0,
-            mshr: HashMap::new(),
-            req_lines: HashMap::new(),
+            mshr: FastMap::with_capacity_and_hasher(cfg.cores.loadq_entries, Default::default()),
+            req_lines: FastMap::with_capacity_and_hasher(
+                cfg.cores.loadq_entries,
+                Default::default(),
+            ),
             incomplete_loads: std::collections::BTreeSet::new(),
-            parked_loads: Vec::new(),
+            parked_loads: Vec::with_capacity(cfg.cores.loadq_entries),
             next_local_id: 0,
-            out: Vec::new(),
-            wb_scratch: Vec::new(),
+            out: Vec::with_capacity(32),
+            wb_scratch: Vec::with_capacity(8),
             lock_acquires: 0,
             stats: CoreStats::new(),
             done_at: None,
@@ -388,7 +428,12 @@ impl Core {
     /// `None` means no copy is cached anywhere — memory is then
     /// authoritative, because a release store never leaves the private
     /// caches without a coherent reader pulling it out.
-    fn lock_word_visible(&self, addr: Addr, before_seq: u64, caches: &CacheSystem) -> Option<u64> {
+    fn lock_word_visible<C: CacheAccess>(
+        &self,
+        addr: Addr,
+        before_seq: u64,
+        caches: &C,
+    ) -> Option<u64> {
         if let Some(v) = self.forwarded_word(addr, before_seq) {
             return Some(v);
         }
@@ -409,7 +454,7 @@ impl Core {
     /// forward past a window in which [`Core::next_event_cycle`] reported
     /// no possible progress; such skipped cycles must be credited through
     /// [`Core::account_skipped_cycles`] to keep statistics exact.
-    pub fn tick(&mut self, now: Cycle, caches: &mut CacheSystem) {
+    pub fn tick<C: CacheAccess>(&mut self, now: Cycle, caches: &mut C) {
         if self.done_at.is_some() {
             return;
         }
@@ -438,7 +483,7 @@ impl Core {
 
     /// Delivers a memory-controller event (the surrounding system applies
     /// the response link latency before calling this).
-    pub fn handle_event(&mut self, event: &McEvent, now: Cycle, caches: &mut CacheSystem) {
+    pub fn handle_event<C: CacheAccess>(&mut self, event: &McEvent, now: Cycle, caches: &mut C) {
         match event {
             McEvent::ReadDone { req_id, data, .. } => {
                 let Some(line) = self.req_lines.remove(req_id) else {
@@ -537,7 +582,7 @@ impl Core {
 
     /// Issues parked dependent loads whose older loads have all completed
     /// (the pointer-chasing serialisation).
-    fn issue_parked_loads(&mut self, now: Cycle, caches: &mut CacheSystem) {
+    fn issue_parked_loads<C: CacheAccess>(&mut self, now: Cycle, caches: &mut C) {
         if self.parked_loads.is_empty() {
             return;
         }
@@ -602,6 +647,9 @@ impl Core {
     /// Sends log flushes whose log-load data has arrived. Flushes issue
     /// concurrently — the paper's key advantage over ATOM.
     fn send_ready_flushes(&mut self, now: Cycle) {
+        if self.logq.is_empty() && self.held_flushes.is_empty() {
+            return;
+        }
         let ready: Vec<(u64, Addr)> = self
             .logq
             .unsent()
@@ -743,7 +791,7 @@ impl Core {
         });
     }
 
-    fn retire(&mut self, now: Cycle, caches: &mut CacheSystem) {
+    fn retire<C: CacheAccess>(&mut self, now: Cycle, caches: &mut C) {
         for _ in 0..self.width {
             let Some(head) = self.rob.front() else { break };
             if !head.completed {
@@ -885,7 +933,12 @@ impl Core {
 
     /// ATOM: a transactional store at the ROB head may retire only once
     /// its grain's log entry is durable at the memory controller.
-    fn atom_retire_ready(&mut self, addr: Addr, now: Cycle, caches: &mut CacheSystem) -> bool {
+    fn atom_retire_ready<C: CacheAccess>(
+        &mut self,
+        addr: Addr,
+        now: Cycle,
+        caches: &mut C,
+    ) -> bool {
         let grain = addr.log_grain();
         if self.atom_logged.contains(&grain.index()) {
             return true;
@@ -950,8 +1003,8 @@ impl Core {
     /// order, one per cycle, subject to the write-ahead constraint. The
     /// write-allocate fetch was prefetched at dispatch; the peek below is
     /// a fallback for lines evicted in between.
-    fn release_stores(&mut self, now: Cycle, caches: &mut CacheSystem) {
-        let Some(head) = self.storeq.front().cloned() else { return };
+    fn release_stores<C: CacheAccess>(&mut self, now: Cycle, caches: &mut C) {
+        let Some(head) = self.storeq.front().copied() else { return };
         if !head.retired {
             return;
         }
@@ -996,7 +1049,7 @@ impl Core {
     }
 
     /// Performs retired clwbs whose same-line older stores have released.
-    fn process_clwbs(&mut self, now: Cycle, caches: &mut CacheSystem) {
+    fn process_clwbs<C: CacheAccess>(&mut self, now: Cycle, caches: &mut C) {
         let mut to_remove = Vec::new();
         for i in 0..self.pending_clwbs.len() {
             if self.pending_clwbs[i].performed {
@@ -1029,7 +1082,7 @@ impl Core {
         }
     }
 
-    fn dispatch(&mut self, now: Cycle, caches: &mut CacheSystem) {
+    fn dispatch<C: CacheAccess>(&mut self, now: Cycle, caches: &mut C) {
         let mut dispatched = 0;
         let mut stall: Option<StallCause> = None;
         while dispatched < self.width && self.pc < self.trace.uops.len() {
@@ -1080,11 +1133,11 @@ impl Core {
         }
     }
 
-    fn try_dispatch_one(
+    fn try_dispatch_one<C: CacheAccess>(
         &mut self,
         uop: Uop,
         now: Cycle,
-        caches: &mut CacheSystem,
+        caches: &mut C,
     ) -> Result<(), StallCause> {
         let seq = self.next_seq;
         let mut state = UopState::None;
@@ -1381,7 +1434,7 @@ impl Core {
     /// in exactly the order the dispatch path applies them — used both to
     /// predict wakeups and to attribute stall cycles across skipped
     /// windows.
-    fn dispatch_stall_cause(&self, caches: &CacheSystem) -> Option<StallCause> {
+    fn dispatch_stall_cause<C: CacheAccess>(&self, caches: &C) -> Option<StallCause> {
         debug_assert!(self.pc < self.trace.uops.len(), "caller checks for remaining uops");
         let uop = self.trace.uops[self.pc];
         if self.rob.len() >= self.rob_entries {
@@ -1469,7 +1522,7 @@ impl Core {
     /// ack). Mirrors [`Core::retire`]'s gating exactly; anything this
     /// cannot cheaply rule out counts as unblocked (a wasted step is
     /// safe, a missed wake is not).
-    fn head_blocked(&self, head: &RobEntry, caches: &CacheSystem) -> bool {
+    fn head_blocked<C: CacheAccess>(&self, head: &RobEntry, caches: &C) -> bool {
         match (&head.uop, &head.state) {
             // A sent fence waits for the controller's completion event.
             (_, UopState::Fence(FenceProgress::Sent)) => true,
@@ -1513,7 +1566,7 @@ impl Core {
     /// [`proteus_types::NextEvent`] contract; it is an inherent method
     /// because store-release and ATOM-logging progress depend on cache
     /// residency, so the hierarchy must be consulted.
-    pub fn next_event_cycle(&self, now: Cycle, caches: &CacheSystem) -> Option<Cycle> {
+    pub fn next_event_cycle<C: CacheAccess>(&self, now: Cycle, caches: &C) -> Option<Cycle> {
         if self.done_at.is_some() {
             return None;
         }
@@ -1592,13 +1645,54 @@ impl Core {
         best
     }
 
+    /// Earliest cycle at or after `now` at which ticking this core might
+    /// perform a coherence-domain cache access, or `None` if it never
+    /// will (single-owner traces, or a finished core). The parallel
+    /// engine caps every quantum at the minimum horizon over all cores,
+    /// so inside a quantum no worker ever reaches the snoop paths — the
+    /// invariant `QuantumCaches` debug-asserts.
+    ///
+    /// Conservative in one direction only: the horizon may be earlier
+    /// than the first real domain access (costing quantum length, never
+    /// correctness).
+    pub fn domain_quiet_horizon(&self, now: Cycle) -> Option<Cycle> {
+        if self.done_at.is_some() {
+            return None;
+        }
+        // In-flight domain state can touch the domain on any cycle: a
+        // queued store releases, a pending clwb flushes, a ROB-resident
+        // access (parked load, ATOM store, lock probe) replays.
+        use proteus_types::sharing::in_coherence_domain;
+        let in_flight = self.storeq.iter().any(|s| in_coherence_domain(s.addr))
+            || self.pending_clwbs.iter().any(|c| in_coherence_domain(c.addr))
+            || self.rob.iter().any(|e| uop_domain_addr(&e.uop).is_some());
+        if in_flight {
+            return Some(now);
+        }
+        // Nothing in flight, so the next domain access must first
+        // dispatch. Dispatch is in-order at `width` uops per cycle, so
+        // the first dispatch *attempt* of the domain uop at trace index
+        // `nd` (which already probes the lock word for `wait-value`)
+        // needs at least `ceil((nd - pc) / width) - 1` further cycles.
+        let i = self.domain_uops.partition_point(|&i| (i as usize) < self.pc);
+        let nd = match self.domain_uops.get(i) {
+            Some(&nd) => nd as usize,
+            None => return None,
+        };
+        let gap = nd - self.pc;
+        if gap == 0 {
+            return Some(now);
+        }
+        Some(now + ((gap - 1) / self.width) as Cycle)
+    }
+
     /// Credits `n` skipped cycles to the dispatch-stall statistics.
     ///
     /// During a skipped window the core's state is frozen, so the
     /// dispatch path would have recorded the same stall cause on every
     /// one of those cycles; crediting them in bulk keeps `RunSummary`
     /// byte-identical with single-stepping.
-    pub fn account_skipped_cycles(&mut self, n: u64, caches: &CacheSystem) {
+    pub fn account_skipped_cycles<C: CacheAccess>(&mut self, n: u64, caches: &C) {
         if n == 0 || self.done_at.is_some() || self.pc >= self.trace.uops.len() {
             return;
         }

@@ -33,6 +33,7 @@ use proteus_types::addr::LineAddr;
 use proteus_types::clock::{ClockRatio, Cycle, NextEvent};
 use proteus_types::config::MemConfig;
 use proteus_types::stats::MemStats;
+use proteus_types::FastSet;
 use proteus_types::{CoreId, ThreadId, TxId};
 use std::collections::VecDeque;
 
@@ -122,6 +123,21 @@ pub struct MemoryController {
     intake: VecDeque<(Cycle, McRequest)>,
     read_queue: Vec<ReadEntry>,
     wpq: Vec<WpqEntry>,
+    /// Index over `wpq`: the lines of its coalescable entries (data
+    /// write-backs not yet in service; at most one per line). Writeback
+    /// intake retries probe the WPQ for a coalescing target every cycle
+    /// while the queue is full, so the probe must not be a queue scan.
+    wpq_coalescable: FastSet<LineAddr>,
+    /// Entries `intake[..blocked_prefix]` are due write-backs (or ATOM
+    /// log appends) that were rejected by a full WPQ and provably stay
+    /// rejected while the WPQ remains full: a new coalescing target can
+    /// only appear via a push, and a push needs a free slot. The prefix
+    /// lets `process_intake` charge their per-cycle rejections in bulk
+    /// instead of re-checking hundreds of parked entries every cycle.
+    /// Reset to zero whenever the WPQ has room (or a tracer is attached,
+    /// which needs the per-entry reject events). Purely an accelerator:
+    /// never hashed into the machine state.
+    blocked_prefix: usize,
     lpq: Vec<LpqEntry>,
     /// Background truncation/marker writes waiting for WPQ space.
     pending_writes: VecDeque<(LineAddr, [u64; 8], WriteKind)>,
@@ -177,8 +193,10 @@ impl MemoryController {
             layout,
             drain_mode,
             intake: VecDeque::new(),
+            blocked_prefix: 0,
             read_queue: Vec::new(),
             wpq: Vec::new(),
+            wpq_coalescable: FastSet::default(),
             lpq: Vec::new(),
             pending_writes: VecDeque::new(),
             pending_pcommits: Vec::new(),
@@ -523,15 +541,122 @@ impl MemoryController {
     }
 
     fn process_intake(&mut self, now: Cycle) {
-        // Rotate the deque once: pop each entry, accept it (dropping it)
-        // or push it back. Relative order is preserved and no request is
-        // ever cloned on the per-cycle retry path.
-        for _ in 0..self.intake.len() {
-            let (at, req) = self.intake.pop_front().expect("length checked");
+        // Walk the deque in place. A due entry that is certainly blocked
+        // (its queue is full and nothing lets it cut in) stays where it
+        // sits, paying only the same reject bookkeeping `try_accept`
+        // would; everything else is pulled out and offered to
+        // `try_accept`, which remains the sole authority on acceptance.
+        // The in-place walk matters: a blocked machine retries every due
+        // entry every cycle, and rotating ~100-byte requests through the
+        // deque for each retry dominated whole-run wall time.
+        //
+        // On top of the walk sits the `blocked_prefix` bulk path. While
+        // the WPQ is full, no new coalescing target can appear (a push
+        // needs a free slot) and no parked write-back can be accepted,
+        // so a prefix of already-rejected write-backs needs no
+        // re-examination at all — only its per-cycle rejection stats.
+        // Any cycle that starts with WPQ headroom resets the prefix and
+        // walks everything exactly.
+        let wpq_pinned = self.wpq.len() >= self.cfg.wpq_entries && !self.tracer.is_enabled();
+        if !wpq_pinned {
+            self.blocked_prefix = 0;
+        } else {
+            debug_assert!(self.blocked_prefix <= self.intake.len());
+            debug_assert!(self.intake.iter().take(self.blocked_prefix).all(|(at, req)| {
+                *at <= now
+                    && match req {
+                        McRequest::WriteBack { line, .. } => !self.wpq_coalescable.contains(line),
+                        McRequest::AtomLog { .. } => true,
+                        _ => false,
+                    }
+            }));
+            // Each parked entry would have been offered to `try_accept`
+            // this cycle and rejected with exactly one WPQ-full tick.
+            self.stats.wpq_full_rejections += self.blocked_prefix as u64;
+        }
+        let mut i = self.blocked_prefix;
+        // The prefix may grow only while it stays contiguous with the
+        // rejections seen during this walk.
+        let mut extending = wpq_pinned;
+        while i < self.intake.len() {
+            let (at, ref req) = self.intake[i];
             if at > now {
-                self.intake.push_back((at, req));
-            } else if let Err(req) = self.try_accept(req, now) {
-                self.intake.push_back((at, req));
+                // Delivery cycles are monotone in arrival order, so
+                // nothing beyond this point is due either; but the walk
+                // stays correct even if a caller breaks that, so keep
+                // scanning entry by entry.
+                extending = false;
+                i += 1;
+                continue;
+            }
+            // Mirror of `try_accept`'s reject conditions, by reference.
+            // Each arm must replicate that path's stats and trace events
+            // exactly; acceptance-side effects stay in `try_accept`.
+            let blocked = match req {
+                McRequest::Read { line, .. } => {
+                    let line = *line;
+                    !self.wpq.iter().rev().any(|e| e.line == line)
+                        && self.read_queue.len() >= self.cfg.read_queue_entries
+                        && {
+                            self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::ReadQ });
+                            true
+                        }
+                }
+                McRequest::WriteBack { line, .. } => {
+                    // `wpq_coalescable` only ever holds data-kind lines,
+                    // so a hit implies `classify(line) == Data` and a
+                    // guaranteed coalesce; a miss with a full WPQ rejects
+                    // for data and log write-backs alike.
+                    !self.wpq_coalescable.contains(line)
+                        && self.wpq.len() >= self.cfg.wpq_entries
+                        && {
+                            self.stats.wpq_full_rejections += 1;
+                            self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Wpq });
+                            true
+                        }
+                }
+                McRequest::LogFlush { .. } => {
+                    extending = false;
+                    self.lpq.len() >= self.cfg.lpq_entries && {
+                        self.stats.lpq_full_rejections += 1;
+                        self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Lpq });
+                        true
+                    }
+                }
+                McRequest::AtomLog { .. } => {
+                    self.wpq.len() >= self.cfg.wpq_entries && {
+                        self.stats.wpq_full_rejections += 1;
+                        self.tracer.emit(now, TraceEventKind::Reject { queue: QueueId::Wpq });
+                        true
+                    }
+                }
+                // TxEnd, Pcommit, and DrainCoreLogs are always accepted.
+                _ => false,
+            };
+            if blocked {
+                if extending && i == self.blocked_prefix {
+                    match self.intake[i].1 {
+                        McRequest::WriteBack { .. } | McRequest::AtomLog { .. } => {
+                            self.blocked_prefix += 1;
+                        }
+                        _ => extending = false,
+                    }
+                } else {
+                    extending = false;
+                }
+                i += 1;
+                continue;
+            }
+            extending = false;
+            let (at, req) = self.intake.remove(i).expect("index in range");
+            if let Err(req) = self.try_accept(req, now) {
+                // The pre-filter said "maybe"; `try_accept` said no and
+                // already recorded the rejection. Put the entry back in
+                // its slot so the retry order matches the rotate-based
+                // implementation exactly.
+                debug_assert!(false, "in-place intake pre-filter missed a reject condition");
+                self.intake.insert(i, (at, req));
+                i += 1;
             }
         }
     }
@@ -688,20 +813,33 @@ impl MemoryController {
     }
 
     fn insert_wpq(&mut self, line: LineAddr, data: LineData, kind: WriteKind) -> bool {
+        debug_assert_eq!(
+            self.wpq_coalescable.len(),
+            self.wpq.iter().filter(|e| e.coalescable()).count(),
+            "coalescable index out of sync with the WPQ"
+        );
         // Coalesce onto an existing same-line data entry not yet in
-        // service (normal write-back coalescing).
-        if kind == WriteKind::Data {
-            if let Some(e) = self.wpq.iter_mut().find(|e| e.line == line && e.coalescable()) {
-                e.data = data;
-                self.stats.wpq_inserts += 1;
-                self.persist_event(PersistEventKind::WpqAccept { line });
-                return true;
-            }
+        // service (normal write-back coalescing). The index keeps the
+        // common full-queue retry (no coalescing target) off the queue
+        // scan; a hit scans, but a hit also accepts the request.
+        if kind == WriteKind::Data && self.wpq_coalescable.contains(&line) {
+            let e = self
+                .wpq
+                .iter_mut()
+                .find(|e| e.line == line && e.coalescable())
+                .expect("indexed line has a coalescable entry");
+            e.data = data;
+            self.stats.wpq_inserts += 1;
+            self.persist_event(PersistEventKind::WpqAccept { line });
+            return true;
         }
         if self.wpq.len() >= self.cfg.wpq_entries {
             return false;
         }
         self.wpq.push(WpqEntry { line, data, kind, in_service: false });
+        if kind == WriteKind::Data {
+            self.wpq_coalescable.insert(line);
+        }
         self.stats.wpq_inserts += 1;
         self.persist_event(PersistEventKind::WpqAccept { line });
         self.tracer.emit(
@@ -1024,6 +1162,9 @@ impl MemoryController {
                 let done = self.banks[bank].start_write(row, now, &self.timing);
                 if let Some(e) = self.wpq.iter_mut().find(|e| e.line == line && !e.in_service) {
                     e.in_service = true;
+                    if e.kind == WriteKind::Data {
+                        self.wpq_coalescable.remove(&e.line);
+                    }
                 }
                 self.in_flight.push((done, InFlight::WpqWrite { index_line: line }));
                 return;
@@ -1097,8 +1238,7 @@ impl NextEvent for MemoryController {
         }
         if let Some((line, _, kind)) = self.pending_writes.front() {
             let fits = self.wpq.len() < self.cfg.wpq_entries
-                || (*kind == WriteKind::Data
-                    && self.wpq.iter().any(|e| e.line == *line && e.coalescable()));
+                || (*kind == WriteKind::Data && self.wpq_coalescable.contains(line));
             if fits {
                 return Some(now);
             }

@@ -16,6 +16,10 @@ use proteus_sim::runner::{experiment_codec, run_one, ExperimentSpec};
 use proteus_types::JobOutcome;
 
 /// One distributable unit of work.
+// The spec variants are large by nature (a full SystemConfig rides in
+// each), but jobs are created once per submission and never stored in
+// bulk collections on a hot path, so indirection would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceJob {
     /// A full simulator run producing an `ExperimentResult`.
@@ -120,7 +124,7 @@ pub struct WireResult {
 mod tests {
     use super::*;
     use proteus_crash::FaultSpec;
-    use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+    use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
     use proteus_workloads::{Benchmark, WorkloadParams};
 
     fn tiny_experiment(seed: u64) -> ServiceJob {
@@ -129,6 +133,7 @@ mod tests {
             scheme: LoggingSchemeKind::Proteus,
             bench: Benchmark::Queue.into(),
             params: WorkloadParams { threads: 1, init_ops: 8, sim_ops: 4, seed },
+            engine: EngineConfig::default(),
         })
     }
 

@@ -24,7 +24,7 @@ use crate::worker::{run_worker, WorkerOptions};
 use proteus_crash::{ExploreSpec, FaultSpec};
 use proteus_harness::{Harness, JobSpec, Json, LedgerSnapshot, PayloadCodec, SweepOptions};
 use proteus_sim::runner::ExperimentSpec;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 use proteus_types::stats::Log2Histogram;
 use proteus_workloads::{Benchmark, ContendedKind, ContendedSpec, WorkloadParams};
 use std::path::PathBuf;
@@ -94,6 +94,7 @@ pub fn build_basket(n: usize) -> Vec<ServiceJob> {
                 bench: ContendedSpec { kind: ContendedKind::MpmcQueue, early_release: false }
                     .into(),
                 params: WorkloadParams { threads: 2, ..params },
+                engine: EngineConfig::default(),
             }));
         } else {
             let schemes = LoggingSchemeKind::ALL;
@@ -102,6 +103,7 @@ pub fn build_basket(n: usize) -> Vec<ServiceJob> {
                 scheme: schemes[i % schemes.len()],
                 bench: if i % 4 == 1 { ycsb.clone() } else { Benchmark::Queue.into() },
                 params,
+                engine: EngineConfig::default(),
             }));
         }
     }

@@ -76,6 +76,19 @@ impl MetricsRegistry {
         self.inner.lock().expect("metrics lock").histograms.get(name).cloned()
     }
 
+    /// Folds one run's cycle-engine phase wall times (DESIGN.md §11)
+    /// into the standard `engine_*` counters, so `/metrics` scrapes and
+    /// `reproduce bench --verbose` read the same accounting.
+    pub fn record_engine_phases(&self, t: &proteus_sim::EnginePhaseTimes) {
+        self.counter_add("engine_core_tick_ns_total", t.core_tick_ns);
+        self.counter_add("engine_grant_wait_ns_total", t.grant_wait_ns);
+        self.counter_add("engine_mc_drain_ns_total", t.mc_drain_ns);
+        self.counter_add("engine_barrier_ns_total", t.barrier_ns);
+        self.counter_add("engine_quanta_total", t.quanta);
+        self.counter_add("engine_quantum_cycles_total", t.quantum_cycles);
+        self.counter_add("engine_sequential_steps_total", t.sequential_steps);
+    }
+
     /// Renders the whole registry in the text exposition format:
     /// `# TYPE` headers, plain counter/gauge samples, and cumulative
     /// `_bucket{le="..."}`/`_sum`/`_count` series per histogram.
@@ -114,6 +127,26 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_phase_counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        let t = proteus_sim::EnginePhaseTimes {
+            core_tick_ns: 5,
+            grant_wait_ns: 2,
+            mc_drain_ns: 3,
+            barrier_ns: 4,
+            quanta: 1,
+            quantum_cycles: 100,
+            sequential_steps: 7,
+        };
+        reg.record_engine_phases(&t);
+        reg.record_engine_phases(&t);
+        assert_eq!(reg.counter("engine_core_tick_ns_total"), 10);
+        assert_eq!(reg.counter("engine_quanta_total"), 2);
+        assert_eq!(reg.counter("engine_sequential_steps_total"), 14);
+        assert!(reg.render().contains("engine_quantum_cycles_total 200"));
+    }
 
     #[test]
     fn counters_and_gauges_accumulate() {

@@ -1,0 +1,42 @@
+//! Ad-hoc profiling helper (not part of the test suite): times one
+//! bench cell with coarse phase breakdown. Run with
+//! `cargo run --release --example profile_cell -- <scheme> <threads>`.
+
+use proteus_sim::System;
+use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_workloads::{generate, Benchmark, WorkloadParams};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scheme = match args.get(1).map(|s| s.as_str()) {
+        Some("incll") => LoggingSchemeKind::Incll,
+        Some("atom") => LoggingSchemeKind::Atom,
+        _ => LoggingSchemeKind::Proteus,
+    };
+    let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let scale = 0.1f64;
+    let divisor = ((1.0 / scale) as u64).next_power_of_two().min(64);
+    let cfg = SystemConfig::skylake_like().with_num_cores(threads).with_cache_divisor(divisor);
+    let params = WorkloadParams::table2(Benchmark::Queue, threads, scale)
+        .with_derived_seed(Benchmark::Queue);
+    let t0 = Instant::now();
+    let w = generate(Benchmark::Queue, &params);
+    eprintln!("generate: {:?}", t0.elapsed());
+    let t1 = Instant::now();
+    let mut sys = System::new(&cfg, scheme, &w).unwrap();
+    eprintln!("System::new (expansion): {:?}", t1.elapsed());
+    let t2 = Instant::now();
+    let summary = sys.run().unwrap();
+    let wall = t2.elapsed();
+    eprintln!(
+        "run: {:?} ({:.3} Mcycles/s, {} cycles)",
+        wall,
+        summary.total_cycles as f64 / 1e6 / wall.as_secs_f64(),
+        summary.total_cycles
+    );
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{summary:?}").hash(&mut h);
+    eprintln!("summary-fingerprint: {:x}", h.finish());
+}

@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use proteus_sim::runner::{run_one, ExperimentSpec};
-//! use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+//! use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 //! use proteus_workloads::{Benchmark, WorkloadParams};
 //!
 //! let spec = ExperimentSpec {
@@ -30,17 +30,20 @@
 //!     scheme: LoggingSchemeKind::Proteus,
 //!     bench: Benchmark::Queue.into(),
 //!     params: WorkloadParams { threads: 1, init_ops: 50, sim_ops: 20, seed: 1 },
+//!     engine: EngineConfig::default(),
 //! };
 //! let result = run_one(&spec)?;
 //! assert!(result.summary.total_cycles > 0);
 //! # Ok::<(), proteus_types::SimError>(())
 //! ```
 
+pub mod parallel;
 pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod system;
 
+pub use parallel::EnginePhaseTimes;
 pub use proteus_harness::SweepOptions;
 pub use runner::{
     run_many, run_many_report, run_many_with, run_one, run_one_traced, run_workload_traced,

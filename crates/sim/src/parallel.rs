@@ -1,0 +1,173 @@
+//! The parallel quantum engine: per-core worker threads between
+//! deterministic barriers (DESIGN.md §11).
+//!
+//! The sequential engine interleaves everything on one thread: each
+//! cycle ticks every core (which may touch its private L1/L2 and the
+//! shared L3), then the memory controller, then delivers due responses.
+//! The quantum engine observes that between two *coherence-visible*
+//! points — a response delivery, a memory-controller state change, a
+//! shared-line access — the cores only interact through the shared L3,
+//! and those accesses can be ordered exactly as the sequential engine
+//! orders them without a global lockstep (see
+//! [`proteus_cache::QuantumGate`]).
+//!
+//! So the run loop repeats: compute the next coherence-visible bound
+//! `E` (see `System::quantum_end`), loan each core its private cache
+//! levels, and let worker threads advance all cores independently
+//! through cycles `[T, E)`. Cores record their memory-controller
+//! submissions instead of delivering them; at the barrier the main
+//! thread replays `submit → mc.tick` in exactly the sequential
+//! interleaving, which is sound because `submit` only enqueues a
+//! request keyed by its delivery cycle — nothing about the controller's
+//! intake depends on *when* in the host's execution the call happens.
+//!
+//! Determinism: every simulated decision inside a quantum happens at
+//! fixed (cycle, core, program-order) coordinates, shared-tier accesses
+//! are totally ordered by the gate in that same key, and the barrier
+//! replay is single-threaded. Thread count, host scheduling, and
+//! rendezvous timing can therefore change only wall-clock numbers —
+//! `RunSummary`, persist timelines, and crash images are byte-identical
+//! to the sequential engine for every `threads` value, which the
+//! fast-forward identity suite asserts.
+
+use proteus_cache::{CorePrivates, QuantumCaches, QuantumGate};
+use proteus_cpu::Core;
+use proteus_mem::McRequest;
+use proteus_types::clock::Cycle;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+/// One core's recorded memory-controller submission:
+/// `(tick cycle, deliver-at cycle, request)`. Replayed at the barrier in
+/// (tick cycle, core index, issue order) — the sequential order.
+pub(crate) type Submission = (Cycle, Cycle, McRequest);
+
+/// One core plus its loaned private cache levels, in flight between the
+/// engine thread and a worker.
+pub(crate) struct Unit {
+    pub idx: usize,
+    pub core: Core,
+    pub privates: CorePrivates,
+}
+
+/// A quantum assignment for one worker: advance `units` (ascending core
+/// index) through cycles `[start, end)`.
+pub(crate) struct QuantumTask {
+    pub start: Cycle,
+    pub end: Cycle,
+    pub units: Vec<Unit>,
+}
+
+/// A worker's completed quantum: the units back, each with its
+/// submission log, plus wall-clock accounting.
+pub(crate) struct QuantumResult {
+    pub units: Vec<(Unit, Vec<Submission>)>,
+    /// `Some(c)` iff every owned core had finished by the end of the
+    /// quantum, where `c` is the latest cycle one of them completed in
+    /// (`task.start` for cores already done at hand-out). The engine
+    /// needs this to stop the memory-controller replay where the
+    /// sequential loop would have stopped stepping — ticking the
+    /// controller past the machine's completion cycle would drain
+    /// write-pending-queue residue the sequential engine never drains.
+    pub all_done_at: Option<Cycle>,
+    /// Total wall time the worker spent inside the quantum.
+    pub work_ns: u64,
+    /// Portion of `work_ns` spent spinning for shared-tier grants.
+    pub wait_ns: u64,
+}
+
+/// Wall-clock accounting of the engine's phases, for
+/// `reproduce bench --verbose`. Purely observational — never consulted
+/// by simulation logic. `core_tick_ns` sums per-worker spans, so with
+/// real hardware parallelism it can exceed the run's wall time.
+#[derive(Debug, Clone, Default)]
+pub struct EnginePhaseTimes {
+    /// Worker time ticking cores and their caches (includes grant waits).
+    pub core_tick_ns: u64,
+    /// Worker time spinning for shared-tier grants (barrier-wait share
+    /// of `core_tick_ns`).
+    pub grant_wait_ns: u64,
+    /// Main-thread time replaying submissions through the memory
+    /// controller and draining its events at each barrier.
+    pub mc_drain_ns: u64,
+    /// Main-thread time handing cores out and collecting them back
+    /// (includes waiting for the slowest worker).
+    pub barrier_ns: u64,
+    /// Quanta executed.
+    pub quanta: u64,
+    /// Cycles advanced inside quanta.
+    pub quantum_cycles: u64,
+    /// Cycles advanced by the sequential `step` path (too-short quanta,
+    /// due deliveries, or the engine running with `threads == 1`).
+    pub sequential_steps: u64,
+}
+
+/// A unit mid-quantum: core index, the core, its gated cache view, its
+/// submission log, and the cycle it finished in (if it did).
+type ActiveUnit<'g> = (usize, Core, QuantumCaches<'g>, Vec<Submission>, Option<Cycle>);
+
+/// Worker body: pull quantum tasks until the channel closes. Each task
+/// ticks every owned core through `[start, end)` in ascending core
+/// index per cycle — the order the grant protocol's deadlock-freedom
+/// argument relies on — publishing per-cycle progress through `gate`.
+pub(crate) fn worker_loop(
+    rx: Receiver<QuantumTask>,
+    tx: Sender<QuantumResult>,
+    gate: &QuantumGate,
+    latencies: (Cycle, Cycle, Cycle),
+) {
+    let mut req_buf = Vec::new();
+    while let Ok(task) = rx.recv() {
+        let started = Instant::now();
+        let mut units: Vec<ActiveUnit<'_>> = task
+            .units
+            .into_iter()
+            .map(|u| {
+                let done_at = u.core.is_done().then_some(task.start);
+                let caches = QuantumCaches::new(u.idx, u.privates, latencies, gate);
+                (u.idx, u.core, caches, Vec::new(), done_at)
+            })
+            .collect();
+        for t in task.start..task.end {
+            for (idx, core, caches, log, done_at) in &mut units {
+                caches.begin_cycle(t);
+                core.tick(t, caches);
+                core.drain_requests_into(&mut req_buf);
+                for (at, req) in req_buf.drain(..) {
+                    log.push((t, at, req));
+                }
+                if done_at.is_none() && core.is_done() {
+                    *done_at = Some(t);
+                }
+                // Publishing done[idx] = t + 1 releases every grant
+                // waiting on this core having finished cycle t.
+                gate.mark_done(*idx, t + 1);
+            }
+        }
+        let mut wait_ns = 0;
+        let mut all_done_at = Some(task.start);
+        let units = units
+            .into_iter()
+            .map(|(idx, core, caches, log, done_at)| {
+                let (privates, waited) = caches.into_parts();
+                wait_ns += waited;
+                all_done_at = match (all_done_at, done_at) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                (Unit { idx, core, privates }, log)
+            })
+            .collect();
+        if tx
+            .send(QuantumResult {
+                units,
+                all_done_at,
+                work_ns: started.elapsed().as_nanos() as u64,
+                wait_ns,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}

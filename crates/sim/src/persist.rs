@@ -11,7 +11,7 @@
 use crate::runner::{ExperimentResult, ExperimentSpec};
 use proteus_harness::Json;
 use proteus_types::config::{
-    CacheConfig, CacheLevelConfig, CoreConfig, LoggingSchemeKind, MemConfig, MemTech,
+    CacheConfig, CacheLevelConfig, CoreConfig, EngineConfig, LoggingSchemeKind, MemConfig, MemTech,
     ProteusHwConfig, SystemConfig,
 };
 use proteus_types::stats::{
@@ -374,6 +374,7 @@ pub fn spec_from_json(v: &Json) -> Option<ExperimentSpec> {
         scheme: scheme_from_label(v.get("scheme")?.as_str()?)?,
         bench: bench_from_json(v.get("bench")?)?,
         params: params_from_json(v.get("params")?)?,
+        engine: EngineConfig::default(),
     })
 }
 
@@ -510,6 +511,7 @@ mod tests {
             scheme: LoggingSchemeKind::Proteus,
             bench: Benchmark::HashMap.into(),
             params: WorkloadParams { threads: 2, init_ops: 500, sim_ops: 100, seed: 7 },
+            engine: EngineConfig::default(),
         };
         let line = spec_to_json(&spec).to_line();
         let parsed = proteus_harness::json::parse(&line).unwrap();
@@ -532,6 +534,7 @@ mod tests {
             scheme: LoggingSchemeKind::Atom,
             bench: Benchmark::LargeTx { elements: 64 }.into(),
             params: WorkloadParams { threads: 1, init_ops: 10, sim_ops: 5, seed: 42 },
+            engine: EngineConfig::default(),
         };
         let line = spec_to_json(&spec).to_line();
         assert_eq!(
@@ -570,6 +573,7 @@ mod tests {
             scheme: LoggingSchemeKind::Proteus,
             bench: Benchmark::Queue.into(),
             params: WorkloadParams { threads: 1, init_ops: 1, sim_ops: 1, seed: 1 },
+            engine: EngineConfig::default(),
         };
         let line = spec_to_json(&spec).to_line().replace(r#""llt_ways":8,"#, "");
         let parsed = proteus_harness::json::parse(&line).unwrap();

@@ -14,7 +14,7 @@ use crate::persist;
 use crate::system::System;
 use proteus_harness::{Harness, JobSpec, PayloadCodec, SweepOptions, SweepReport};
 use proteus_trace::TraceReport;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig, TraceConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig, TraceConfig};
 use proteus_types::stats::RunSummary;
 use proteus_types::{
     stable_hash_value, FieldHasher, JobOutcome, SimError, StableHash, StableHasher,
@@ -38,6 +38,13 @@ pub struct ExperimentSpec {
     pub bench: WorkloadSel,
     /// Workload generation parameters.
     pub params: WorkloadParams,
+    /// Cycle-engine execution settings (fast-forward, worker threads).
+    /// Deliberately excluded from the stable hash and the sweep wire
+    /// form: the engine produces byte-identical results for every
+    /// setting, so two specs differing only here are the *same*
+    /// experiment and must share resume-ledger entries and derived
+    /// seeds.
+    pub engine: EngineConfig,
 }
 
 impl StableHash for ExperimentSpec {
@@ -141,6 +148,7 @@ pub fn run_workload_traced(
     trace: &TraceConfig,
 ) -> Result<(ExperimentResult, Option<TraceReport>), SimError> {
     let mut system = System::new_with_trace(&spec.config, spec.scheme, workload, trace)?;
+    system.set_engine(&spec.engine);
     let summary = system.run()?;
     let report = system.take_trace_report();
     Ok((ExperimentResult { name: spec.display_name(), summary }, report))
@@ -298,7 +306,14 @@ pub fn sweep_schemes(
     params: &WorkloadParams,
     schemes: &[LoggingSchemeKind],
 ) -> Result<SchemeSweep, SimError> {
-    sweep_schemes_with(config, bench, params, schemes, &SweepOptions::default())
+    sweep_schemes_with(
+        config,
+        bench,
+        params,
+        schemes,
+        &SweepOptions::default(),
+        &EngineConfig::default(),
+    )
 }
 
 /// [`sweep_schemes`] with explicit harness options.
@@ -317,6 +332,7 @@ pub fn sweep_schemes_with(
     params: &WorkloadParams,
     schemes: &[LoggingSchemeKind],
     opts: &SweepOptions,
+    engine: &EngineConfig,
 ) -> Result<SchemeSweep, SimError> {
     let sel: WorkloadSel = bench.into();
     let specs: Vec<ExperimentSpec> = schemes
@@ -326,6 +342,7 @@ pub fn sweep_schemes_with(
             scheme,
             bench: sel.clone(),
             params: params.clone(),
+            engine: *engine,
         })
         .collect();
     let workload: OnceLock<GeneratedWorkload> = OnceLock::new();
@@ -359,6 +376,7 @@ mod tests {
             scheme,
             bench: bench.into(),
             params: tiny_params(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -420,6 +438,7 @@ mod tests {
             scheme: LoggingSchemeKind::NoLog,
             bench: Benchmark::Queue.into(),
             params: tiny_params(), // 2 threads
+            engine: EngineConfig::default(),
         };
         assert!(matches!(run_one(&spec), Err(SimError::TooManyThreads { .. })));
     }

@@ -1,11 +1,12 @@
 //! The simulated machine: cores + caches + memory controller.
 
-use proteus_cache::CacheSystem;
+use crate::parallel::{self, EnginePhaseTimes, QuantumResult, QuantumTask, Submission, Unit};
+use proteus_cache::{CacheSystem, CorePrivates, QuantumGate};
 use proteus_core::layout::AddressLayout;
 use proteus_core::pmem::WordImage;
 use proteus_core::recovery::{recover, RecoveryReport};
 use proteus_core::scheme::{expand_program_with, registry, ExpandOptions};
-use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY};
+use proteus_cpu::core::{decode_core, Core, MC_LINK_DELAY, UNCACHED_DELAY};
 use proteus_mem::{CrashFaults, LogDrainMode, McEvent, McRequest, MemoryController, PersistEvent};
 use proteus_trace::{TraceReport, Tracer, TrackKind};
 use proteus_types::clock::{Cycle, NextEvent};
@@ -14,7 +15,9 @@ use proteus_types::stats::RunSummary;
 use proteus_types::{SimError, ThreadId};
 use proteus_workloads::GeneratedWorkload;
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A complete simulated machine executing one workload under one logging
 /// scheme.
@@ -56,6 +59,13 @@ pub struct System {
     /// doubles on each unproductive probe up to [`MAX_PROBE_BACKOFF`], so
     /// long busy stretches pay for almost no probes at all.
     probe_backoff: u32,
+    /// Worker threads for the parallel quantum engine (see
+    /// [`crate::parallel`]); `1` keeps the classic sequential loop.
+    /// Wall-clock policy only — outcomes are byte-identical either way.
+    engine_threads: usize,
+    /// Wall-clock phase accounting (observational; see
+    /// [`EnginePhaseTimes`]).
+    phase_times: EnginePhaseTimes,
 }
 
 /// Ceiling for the exponential probe backoff. Probing costs a scan of
@@ -64,6 +74,23 @@ pub struct System {
 /// cycles, so a few dozen cycles of blindness costs little and caps
 /// probe overhead in fully busy runs at ~3%.
 const MAX_PROBE_BACKOFF: u32 = 32;
+
+/// Shortest window worth running as a parallel quantum. Below this the
+/// rendezvous (channel round-trip plus cache-level loan) costs more than
+/// the ticks it covers, so the engine single-steps instead.
+const MIN_QUANTUM: Cycle = 8;
+
+/// The core a controller event is addressed to.
+fn event_core_index(ev: &McEvent) -> usize {
+    match ev {
+        McEvent::TxEndDone { core, .. } => core.index(),
+        McEvent::ReadDone { req_id: id, .. }
+        | McEvent::WritebackAck { ack_id: id, .. }
+        | McEvent::LogFlushAck { flush_id: id, .. }
+        | McEvent::AtomLogAck { log_id: id, .. }
+        | McEvent::PcommitDone { commit_id: id, .. } => decode_core(*id).index(),
+    }
+}
 
 impl System {
     /// Builds a machine for `workload` under `scheme`.
@@ -159,6 +186,8 @@ impl System {
             req_buf: Vec::new(),
             probe_delay: 0,
             probe_backoff: 1,
+            engine_threads: EngineConfig::default().threads,
+            phase_times: EnginePhaseTimes::default(),
         })
     }
 
@@ -172,6 +201,21 @@ impl System {
     /// mode.
     pub fn set_engine(&mut self, engine: &EngineConfig) {
         self.set_fast_forward(engine.fast_forward);
+        self.engine_threads = engine.threads.max(1);
+    }
+
+    /// Whether runs use the parallel quantum engine. Tracing pins the
+    /// machine to single-stepping (it samples per cycle), so it also
+    /// pins the sequential loop.
+    fn parallel_active(&self) -> bool {
+        self.engine_threads > 1 && !self.single_step_forced && !self.cores.is_empty()
+    }
+
+    /// Wall-clock phase accounting accumulated so far (all zeros until a
+    /// run has executed; `sequential_steps` also counts the classic
+    /// engine's cycles).
+    pub fn phase_times(&self) -> &EnginePhaseTimes {
+        &self.phase_times
     }
 
     /// Enables or disables event-driven fast-forwarding. A no-op (stays
@@ -236,15 +280,7 @@ impl System {
             }
         }
         for ev in self.mc.drain_events() {
-            let core_idx = match &ev {
-                McEvent::TxEndDone { core, .. } => core.index(),
-                McEvent::ReadDone { req_id: id, .. }
-                | McEvent::WritebackAck { ack_id: id, .. }
-                | McEvent::LogFlushAck { flush_id: id, .. }
-                | McEvent::AtomLogAck { log_id: id, .. }
-                | McEvent::PcommitDone { commit_id: id, .. } => decode_core(*id).index(),
-            };
-            self.inbox.push_back((ev.at() + MC_LINK_DELAY, core_idx, ev));
+            self.inbox.push_back((ev.at() + MC_LINK_DELAY, event_core_index(&ev), ev));
         }
         for _ in 0..self.inbox.len() {
             let (at, idx, ev) = self.inbox.pop_front().expect("nonempty");
@@ -255,6 +291,7 @@ impl System {
             }
         }
         self.now += 1;
+        self.phase_times.sequential_steps += 1;
     }
 
     /// The earliest cycle at or after `now` at which any component could
@@ -364,12 +401,192 @@ impl System {
         self.inbox.len().hash(h);
     }
 
+    /// The first cycle at or after `now` that might be coherence-visible
+    /// to more than one core — the farthest a quantum may run (exclusive)
+    /// without any core observing shared-L3/MC state another core's
+    /// quantum-local execution could change. Sources, tightest first:
+    ///
+    /// * a new submission made at `now` is delivered no earlier than
+    ///   `now + UNCACHED_DELAY + MC_LINK_DELAY` (the cheapest request
+    ///   path out of a core plus the response link);
+    /// * pre-existing memory-controller work first changes state at
+    ///   `mc.next_event_cycle(now)`, so its earliest delivery is that
+    ///   plus the link delay;
+    /// * responses already in the inbox are due at their recorded cycle
+    ///   (a due delivery forces a zero-length quantum, which the caller
+    ///   routes to the sequential `step` path);
+    /// * a core about to touch the coherence domain bounds the quantum
+    ///   at its [`Core::domain_quiet_horizon`] — domain traffic takes
+    ///   snoop paths `QuantumCaches` cannot serve.
+    fn quantum_end(&self, limit: Cycle) -> Cycle {
+        let t = self.now;
+        let mut end = limit.min(t + UNCACHED_DELAY + MC_LINK_DELAY);
+        if let Some(n0) = self.mc.next_event_cycle(t) {
+            end = end.min(n0.max(t) + MC_LINK_DELAY);
+        }
+        for (at, _, _) in &self.inbox {
+            end = end.min(*at);
+        }
+        for core in &self.cores {
+            if let Some(h) = core.domain_quiet_horizon(t) {
+                end = end.min(h);
+            }
+        }
+        end.max(t)
+    }
+
+    /// Executes one quantum `[now, end)` on the worker pool, then replays
+    /// the recorded memory-controller submissions at the barrier in the
+    /// exact sequential interleaving (cycle, core index, issue order).
+    fn run_quantum(
+        &mut self,
+        end: Cycle,
+        gate: &QuantumGate,
+        task_txs: &[Sender<QuantumTask>],
+        res_rx: &Receiver<QuantumResult>,
+    ) {
+        let start = self.now;
+        debug_assert!(
+            self.inbox.iter().all(|(at, _, _)| *at >= end),
+            "quantum overlaps a due response delivery"
+        );
+        let handout = Instant::now();
+        let (privates, shared) = self.caches.begin_quantum();
+        gate.open(shared, start);
+        let cores = std::mem::take(&mut self.cores);
+        let ncores = cores.len();
+        let nworkers = task_txs.len();
+        let mut buckets: Vec<Vec<Unit>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (idx, (core, privates)) in cores.into_iter().zip(privates).enumerate() {
+            buckets[idx % nworkers].push(Unit { idx, core, privates });
+        }
+        for (tx, units) in task_txs.iter().zip(buckets) {
+            tx.send(QuantumTask { start, end, units }).expect("worker alive");
+        }
+        let mut returned: Vec<Option<(Core, CorePrivates)>> = (0..ncores).map(|_| None).collect();
+        let mut logs: Vec<Vec<Submission>> = (0..ncores).map(|_| Vec::new()).collect();
+        let mut all_done_at = Some(start);
+        for _ in 0..nworkers {
+            let result = res_rx.recv().expect("worker alive");
+            self.phase_times.core_tick_ns += result.work_ns;
+            self.phase_times.grant_wait_ns += result.wait_ns;
+            all_done_at = match (all_done_at, result.all_done_at) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            for (unit, log) in result.units {
+                logs[unit.idx] = log;
+                returned[unit.idx] = Some((unit.core, unit.privates));
+            }
+        }
+        // If every core finished mid-quantum, the sequential loop would
+        // have stopped stepping right after the completing cycle — so the
+        // controller replay must stop there too, or it would drain
+        // write-pending residue the sequential engine leaves in place.
+        let stop = all_done_at.map_or(end, |c| (c + 1).min(end));
+        let mut privates = Vec::with_capacity(ncores);
+        for slot in returned {
+            let (core, pair) = slot.expect("every core returned");
+            self.cores.push(core);
+            privates.push(pair);
+        }
+        self.caches.end_quantum(privates, gate.close());
+        self.phase_times.barrier_ns += handout.elapsed().as_nanos() as u64;
+
+        // Replay: feed each cycle's submissions to the controller in core
+        // order, tick it, and bank its responses for delivery. `submit`
+        // only enqueues keyed by the delivery cycle, so making the calls
+        // here instead of inside the workers' ticks is unobservable.
+        let replay = Instant::now();
+        let mut streams: Vec<_> = logs.into_iter().map(|l| l.into_iter().peekable()).collect();
+        for t in start..stop {
+            for stream in &mut streams {
+                while stream.peek().is_some_and(|(tick, _, _)| *tick == t) {
+                    let (_, at, req) = stream.next().expect("peeked");
+                    self.mc.submit(req, at);
+                }
+            }
+            self.mc.tick(t);
+            for ev in self.mc.drain_events() {
+                let at = ev.at() + MC_LINK_DELAY;
+                debug_assert!(
+                    at >= end,
+                    "quantum bound failed to cover a response due at {at} (quantum end {end})"
+                );
+                self.inbox.push_back((at, event_core_index(&ev), ev));
+            }
+        }
+        debug_assert!(
+            streams.iter_mut().all(|s| s.peek().is_none()),
+            "submission recorded past its quantum"
+        );
+        self.phase_times.mc_drain_ns += replay.elapsed().as_nanos() as u64;
+        self.phase_times.quanta += 1;
+        self.phase_times.quantum_cycles += stop - start;
+        self.now = stop;
+    }
+
+    /// The parallel engine's outer loop: fast-forward probing first (an
+    /// idle machine should jump, not tick idle quanta), then a quantum if
+    /// the coherence-visibility bound leaves room, else one sequential
+    /// step. Workers live for the whole call inside a thread scope;
+    /// dropping the task channels shuts them down before the scope joins.
+    fn run_parallel(&mut self, limit: Cycle) {
+        let ncores = self.cores.len();
+        let nworkers = self.engine_threads.min(ncores).max(1);
+        let gate = QuantumGate::new(ncores);
+        let latencies = self.caches.level_latencies();
+        std::thread::scope(|s| {
+            let (res_tx, res_rx) = std::sync::mpsc::channel();
+            let mut task_txs = Vec::with_capacity(nworkers);
+            for _ in 0..nworkers {
+                let (task_tx, task_rx) = std::sync::mpsc::channel();
+                task_txs.push(task_tx);
+                let res_tx = res_tx.clone();
+                let gate = &gate;
+                s.spawn(move || parallel::worker_loop(task_rx, res_tx, gate, latencies));
+            }
+            while !self.is_done() && self.now < limit {
+                if self.fast_forward {
+                    if self.probe_delay > 0 {
+                        self.probe_delay -= 1;
+                    } else {
+                        let wake = self.next_wake().unwrap_or(limit).min(limit);
+                        if wake > self.now + 1 {
+                            self.skip_to(wake);
+                            self.probe_backoff = 1;
+                            continue;
+                        }
+                        self.probe_delay = self.probe_backoff;
+                        self.probe_backoff = (self.probe_backoff * 2).min(MAX_PROBE_BACKOFF);
+                    }
+                }
+                let end = self.quantum_end(limit);
+                if end.saturating_sub(self.now) >= MIN_QUANTUM {
+                    self.run_quantum(end, &gate, &task_txs, &res_rx);
+                } else {
+                    self.step();
+                }
+            }
+        });
+    }
+
     /// Runs until every core finishes.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] if the runaway guard trips.
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        if self.parallel_active() {
+            self.run_parallel(self.max_cycles);
+            if !self.is_done() {
+                return Err(SimError::InvalidConfig(format!(
+                    "simulation exceeded {} cycles without finishing",
+                    self.max_cycles
+                )));
+            }
+            return Ok(self.summary());
+        }
         while !self.is_done() {
             if self.now >= self.max_cycles {
                 return Err(SimError::InvalidConfig(format!(
@@ -385,6 +602,10 @@ impl System {
     /// Runs until `cycle` or completion, whichever comes first. Returns
     /// whether the machine finished.
     pub fn run_until(&mut self, cycle: Cycle) -> bool {
+        if self.parallel_active() {
+            self.run_parallel(cycle);
+            return self.is_done();
+        }
         while !self.is_done() && self.now < cycle {
             self.advance(cycle);
         }
@@ -639,6 +860,46 @@ mod tests {
                         "{kind:?}/{scheme:?}: durable word {a} diverged from the schedule"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_byte_identical_to_sequential() {
+        use proteus_workloads::{generate_contended, ContendedKind, ContendedSpec};
+        let cfg = SystemConfig::skylake_like().with_num_cores(2);
+        // A single-owner workload (each thread on private data) exercises
+        // the quantum path; the contended one never leaves the sequential
+        // path (spinning cores pin `domain_quiet_horizon` at `now`) but
+        // must still come out identical.
+        let private = generate(
+            Benchmark::Queue,
+            &WorkloadParams { threads: 2, init_ops: 20, sim_ops: 8, seed: 4 },
+        );
+        let contended = generate_contended(
+            &ContendedSpec { kind: ContendedKind::MpmcQueue, early_release: false },
+            &WorkloadParams { threads: 2, init_ops: 24, sim_ops: 12, seed: 7 },
+        );
+        for (w, want_quanta) in [(&private, true), (&contended, false)] {
+            let run = |threads: usize| {
+                let mut sys = System::new(&cfg, LoggingSchemeKind::Proteus, w).unwrap();
+                sys.set_engine(&EngineConfig::fast().with_threads(threads));
+                sys.set_record_persist_events(true);
+                let summary = sys.run().unwrap();
+                if threads > 1 && want_quanta {
+                    assert!(
+                        sys.phase_times().quanta > 0,
+                        "threads={threads} never entered the quantum path"
+                    );
+                }
+                (format!("{summary:?}"), format!("{:?}", sys.persist_timeline()), sys.crash_image())
+            };
+            let sequential = run(1);
+            for threads in [2, 4] {
+                let parallel = run(threads);
+                assert_eq!(sequential.0, parallel.0, "summary diverged at threads={threads}");
+                assert_eq!(sequential.1, parallel.1, "timeline diverged at threads={threads}");
+                assert_eq!(sequential.2, parallel.2, "image diverged at threads={threads}");
             }
         }
     }

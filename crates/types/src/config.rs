@@ -390,17 +390,30 @@ pub struct EngineConfig {
     /// component wakeup instead of spinning empty ticks. Cycle-exact by
     /// construction (see DESIGN.md §6); disable only to cross-validate.
     pub fast_forward: bool,
+    /// Worker threads for the parallel quantum engine (DESIGN.md §11).
+    /// `1` (the default) runs the classic sequential loop; `N > 1` runs
+    /// per-core pipelines on up to `N` scoped worker threads between
+    /// deterministic memory-clock-edge barriers. Results are
+    /// byte-identical across any thread count.
+    pub threads: usize,
 }
 
 impl EngineConfig {
     /// Fast-forward on — the default engine.
     pub fn fast() -> Self {
-        EngineConfig { fast_forward: true }
+        EngineConfig { fast_forward: true, threads: 1 }
     }
 
     /// Single-step every cycle, as the pre-event-driven engine did.
     pub fn single_step() -> Self {
-        EngineConfig { fast_forward: false }
+        EngineConfig { fast_forward: false, threads: 1 }
+    }
+
+    /// This configuration with `threads` worker threads.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 

@@ -1,0 +1,124 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! The cycle engine keys several per-core structures (MSHR, store-queue
+//! line counts, in-flight flush metadata) by line/grain addresses and
+//! looks them up every busy cycle. `std`'s default SipHash is keyed and
+//! DoS-resistant — properties the simulator does not need — and its
+//! per-lookup cost shows up directly in simulated-cycles-per-second.
+//! This module provides the well-known Fx multiply-rotate construction
+//! (a single wrapping multiply per word, as used by rustc's internal
+//! tables) with a **fixed** seed: same key, same hash, on every run and
+//! every platform.
+//!
+//! Determinism note: the simulator's outputs must be byte-identical
+//! across runs, so the hasher must not be randomly keyed; beyond that,
+//! no simulated state may depend on map *iteration* order. The hot maps
+//! are only ever probed by key (or drained via `retain` on a `Vec`), so
+//! swapping the hasher cannot change a `RunSummary` — the fast-forward
+//! identity suite and the golden pins would catch it if it did.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx construction (64-bit golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word multiply-rotate hasher; see the module docs.
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]; usable as a `HashMap` type
+/// parameter default.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// `HashMap` keyed with the deterministic fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// `HashSet` keyed with the deterministic fast hasher.
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&0xDEAD_BEEFu64), hash_of(&0xDEAD_BEEFu64));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_aligned_input() {
+        let mut a = FastHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FastHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work_as_drop_ins() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        m.insert(42, 1);
+        *m.entry(42).or_insert(0) += 1;
+        assert_eq!(m[&42], 2);
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

@@ -25,6 +25,7 @@ pub mod addr;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod fasthash;
 pub mod hash;
 pub mod ids;
 pub mod outcome;
@@ -35,6 +36,7 @@ pub use addr::{Addr, LineAddr, LogGrainAddr, CACHE_LINE_SIZE, LOG_GRAIN_SIZE};
 pub use clock::{ClockRatio, Cycle, NextEvent};
 pub use config::{EngineConfig, LoggingSchemeKind, MemTech, SystemConfig, TraceConfig};
 pub use error::SimError;
+pub use fasthash::{FastBuildHasher, FastMap, FastSet};
 pub use hash::{stable_hash_value, FieldHasher, StableHash, StableHasher};
 pub use ids::{CoreId, ThreadId, TxId};
 pub use outcome::JobOutcome;

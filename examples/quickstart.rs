@@ -5,7 +5,7 @@
 //! ```
 
 use proteus_sim::runner::{run_one, ExperimentSpec};
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 use proteus_workloads::{Benchmark, WorkloadParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scheme: LoggingSchemeKind::Proteus,
         bench: Benchmark::HashMap.into(),
         params: WorkloadParams::table2(Benchmark::HashMap, 4, 0.05),
+        engine: EngineConfig::default(),
     };
 
     let result = run_one(&spec)?;

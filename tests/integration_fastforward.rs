@@ -1,11 +1,12 @@
-//! The event-driven engine contract: fast-forwarding changes wall-clock
-//! time only. Every simulated outcome — the full `RunSummary` (cycles,
-//! per-queue stalls, cache and memory counters) and the cycle-stamped
-//! persist-event timeline — must be byte-identical with skipping on and
-//! off, for every workload × scheme pair.
+//! The engine contract: engine settings change wall-clock time only.
+//! Every simulated outcome — the full `RunSummary` (cycles, per-queue
+//! stalls, cache and memory counters) and the cycle-stamped
+//! persist-event timeline — must be byte-identical with event-driven
+//! fast-forwarding on and off, *and* across parallel-engine worker
+//! thread counts (DESIGN.md §11), for every workload × scheme pair.
 
 use proteus_sim::System;
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 use proteus_types::stats::RunSummary;
 use proteus_workloads::{generate, Benchmark, GeneratedWorkload, WorkloadParams};
 
@@ -158,4 +159,75 @@ fn engine_skips_and_lands_on_the_same_final_cycle() {
         system.run_until(wake.max(before + 1));
     }
     assert!(skipped_any, "a queue workload must contain at least one skippable window");
+}
+
+/// Like [`observe`], but exercising the full engine configuration:
+/// fast-forward on/off × parallel worker thread count.
+fn observe_engine(
+    workload: &GeneratedWorkload,
+    scheme: LoggingSchemeKind,
+    fast_forward: bool,
+    threads: usize,
+) -> (RunSummary, Vec<proteus_mem::PersistEvent>, u64) {
+    let mut system = System::new(&config(), scheme, workload).unwrap();
+    system.set_engine(&EngineConfig { fast_forward, threads });
+    system.set_record_persist_events(true);
+    let summary = system.run().unwrap();
+    let timeline = system.persist_timeline().to_vec();
+    let now = system.now();
+    (summary, timeline, now)
+}
+
+/// The parallel quantum engine's determinism pin, across the whole
+/// roster: every Table 2 benchmark, the generated ycsb-a preset, and
+/// all three contended workloads, under every bench-basket scheme, with
+/// fast-forwarding both on and off — 2- and 4-worker runs must be
+/// byte-identical (summary, persist timeline, completion cycle) to the
+/// sequential reference. Under `--features paranoid` every engine skip
+/// inside each quantum is additionally cross-validated by
+/// single-stepping.
+#[test]
+fn parallel_engine_is_invisible_across_the_roster() {
+    use proteus_core::scheme::registry;
+    use proteus_workgen::roster;
+
+    let rows: Vec<&roster::WorkloadDescriptor> =
+        roster::table2().chain(roster::by_cli_name("ycsb-a")).chain(roster::contended()).collect();
+    for d in rows {
+        // Tiny op counts: the matrix is wide and identity, not
+        // throughput, is under test. Contended rows need a few more ops
+        // so the threads actually collide on the shared structure.
+        let scale = if d.contended { 0.01 } else { 0.001 };
+        let params = d.params(2, scale);
+        let workload = d.sel().generate(&params);
+        for scheme in registry::bench_basket() {
+            for fast_forward in [true, false] {
+                let reference = observe_engine(&workload, scheme, fast_forward, 1);
+                for threads in [2, 4] {
+                    let got = observe_engine(&workload, scheme, fast_forward, threads);
+                    assert_eq!(
+                        reference, got,
+                        "{}/{scheme:?} ff={fast_forward} threads={threads}: \
+                         parallel run diverged from the sequential reference",
+                        d.cli_name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Worker oversubscription is safe: asking for more engine threads than
+/// the machine has cores (or than the host has CPUs) must neither wedge
+/// nor change a single simulated byte.
+#[test]
+fn engine_thread_oversubscription_is_identical() {
+    let workload = small(Benchmark::Queue);
+    for scheme in [LoggingSchemeKind::Proteus, LoggingSchemeKind::Incll] {
+        let reference = observe_engine(&workload, scheme, true, 1);
+        for threads in [3, 8, 64] {
+            let got = observe_engine(&workload, scheme, true, threads);
+            assert_eq!(reference, got, "{scheme:?} threads={threads}: oversubscribed run diverged");
+        }
+    }
 }

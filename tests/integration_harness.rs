@@ -6,7 +6,7 @@
 use proteus_harness::json::{self, Json};
 use proteus_harness::SweepOptions;
 use proteus_sim::runner::{run_many_report, run_many_with, ExperimentSpec};
-use proteus_types::config::{LoggingSchemeKind, SystemConfig};
+use proteus_types::config::{EngineConfig, LoggingSchemeKind, SystemConfig};
 use proteus_types::{JobOutcome, SimError};
 use proteus_workloads::{Benchmark, WorkloadParams};
 use std::path::PathBuf;
@@ -26,6 +26,7 @@ fn tiny_spec(bench: Benchmark, scheme: LoggingSchemeKind) -> ExperimentSpec {
         scheme,
         bench: bench.into(),
         params,
+        engine: EngineConfig::default(),
     }
 }
 

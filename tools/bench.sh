@@ -15,8 +15,23 @@
 # runs: if fast-forwarding changes any simulated outcome, the benchmark
 # fails. Numbers from this script are recorded in EXPERIMENTS.md.
 #
-# Usage: tools/bench.sh [--scale S] [--threads N] [--file PATH]
-#   (defaults: scale 0.1, threads 4, file BENCH_cycle_engine.json)
+# Usage: tools/bench.sh [--scale S] [--threads N] [--engine-threads N]
+#                        [--verbose] [--file PATH]
+#   (defaults: scale 0.1, threads 4, engine-threads 1,
+#    file BENCH_cycle_engine.json)
+#
+# `--engine-threads N` runs every simulation on the parallel quantum
+# engine (DESIGN.md §11) with N worker threads; results are
+# byte-identical, only wall clocks move. `--verbose` appends the
+# engine's per-phase wall-time counters to the report.
+#
+# A third mode sweeps the engine thread axis itself:
+#
+#   tools/bench.sh parallel [--scale S] [--file PATH]
+#
+# which times the same basket plus the contended workloads at 1, 2, and
+# 4 engine threads, asserts byte-identity against the sequential
+# reference, and writes BENCH_parallel.json.
 #
 # A second mode benchmarks the distributed sweep service instead:
 #
@@ -61,7 +76,10 @@ restore_lock() {
 trap restore_lock EXIT
 
 MODE="bench"
-if [[ "${1:-}" == "service" ]]; then
+if [[ "${1:-}" == "parallel" ]]; then
+    MODE="bench-parallel"
+    shift
+elif [[ "${1:-}" == "service" ]]; then
     MODE="loadgen"
     shift
     # Defaults sized for a real measurement run; override freely.

@@ -117,6 +117,20 @@ do_test() {
         echo "bench smoke produced an empty report" >&2
         exit 1
     }
+    # Smoke the parallel quantum engine through the CLI: the same bench
+    # basket on 2 worker threads (cross-checked against sequential
+    # fast-forward results inside `bench` itself), then the dedicated
+    # 1/2/4-thread byte-identity sweep. The full workload × scheme
+    # parallel identity matrix already ran above, inside
+    # integration_fastforward (normal and paranoid builds).
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        bench --scale 0.02 --engine-threads 2 --file "${CARGO_TARGET_DIR}/smoke_bench_t2.json"
+    run cargo "${PATCH_ARGS[@]}" run -q --release --offline -p proteus-bench --bin reproduce -- \
+        bench-parallel --scale 0.02 --file "${CARGO_TARGET_DIR}/smoke_bench_parallel.json"
+    [[ -s "${CARGO_TARGET_DIR}/smoke_bench_parallel.json" ]] || {
+        echo "bench-parallel smoke produced an empty report" >&2
+        exit 1
+    }
     # Smoke the distributed sweep service end to end: boots a
     # coordinator, an HTTP front-end, and two loopback workers
     # in-process, submits a duplicate-heavy sweep over HTTP, scrapes
